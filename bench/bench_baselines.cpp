@@ -1,0 +1,51 @@
+// Figures 2-4 context: the regimes of the three classical designs.
+//   WFO  (Fig. 2) — fair iff clock error ≪ inter-message gap;
+//   FIFO (Fig. 4) — fair iff network delay spread ≪ gap (equal wires);
+//   Tommy (Fig. 3) — fair probabilistically, no infrastructure assumption.
+// Sweeps the error/gap ratio for the clocks and the delay-jitter/gap ratio
+// for the network, reporting normalized RAS for all four sequencers.
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/tommy_sequencer.hpp"
+#include "sim/offline_runner.hpp"
+
+int main() {
+  using namespace tommy;
+  using namespace tommy::literals;
+
+  std::printf("# Baseline regimes — 100 clients, 1000 msgs, gap 10us\n");
+  std::printf(
+      "sigma_over_gap,jitter_over_gap,tommy_ras,truetime_ras,wfo_ras,"
+      "fifo_ras\n");
+
+  const double gap_us = 10.0;
+  for (double sigma_ratio : {0.01, 0.1, 0.5, 1.0, 4.0, 16.0}) {
+    for (double jitter_ratio : {0.01, 1.0, 16.0}) {
+      Rng rng(77);
+      const sim::Population pop =
+          sim::gaussian_population(100, sigma_ratio * gap_us * 1e-6, rng);
+      const auto events = sim::poisson_workload(
+          pop.ids(), 1000, Duration::from_micros(gap_us), rng);
+      sim::MaterializeConfig mat;
+      mat.mean_net_delay = Duration::from_micros(jitter_ratio * gap_us);
+      const auto observed = sim::materialize_messages(pop, events, mat, rng);
+
+      core::ClientRegistry registry;
+      pop.seed_registry(registry);
+      core::TommySequencer tommy(registry);
+      core::TrueTimeSequencer truetime(registry);
+      core::WfoSequencer wfo;
+      core::FifoSequencer fifo;
+
+      std::printf("%.2f,%.2f,%.4f,%.4f,%.4f,%.4f\n", sigma_ratio,
+                  jitter_ratio,
+                  sim::score_sequencer(tommy, observed).ras.normalized(),
+                  sim::score_sequencer(truetime, observed).ras.normalized(),
+                  sim::score_sequencer(wfo, observed).ras.normalized(),
+                  sim::score_sequencer(fifo, observed).ras.normalized());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

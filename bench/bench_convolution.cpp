@@ -1,0 +1,73 @@
+// §3.3's optimization claim: FFT convolution is log-linear versus the
+// quadratic direct method. One google-benchmark counter pair per grid
+// size; the crossover and the asymptotic gap should be visible directly
+// in the reported times.
+#include <benchmark/benchmark.h>
+
+#include "stats/convolution.hpp"
+#include "stats/fft.hpp"
+#include "stats/gaussian.hpp"
+
+namespace {
+
+using tommy::stats::ConvolutionMethod;
+using tommy::stats::Gaussian;
+using tommy::stats::GridDensity;
+
+GridDensity grid_of_size(std::size_t points) {
+  const Gaussian g(0.0, 1.0);
+  return GridDensity::from_distribution(g, points);
+}
+
+void BM_ConvolveDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GridDensity a = grid_of_size(n);
+  const GridDensity b = grid_of_size(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tommy::stats::convolve(a, b, ConvolutionMethod::kDirect));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvolveDirect)->RangeMultiplier(2)->Range(64, 8192)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ConvolveFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GridDensity a = grid_of_size(n);
+  const GridDensity b = grid_of_size(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tommy::stats::convolve(a, b, ConvolutionMethod::kFft));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvolveFft)->RangeMultiplier(2)->Range(64, 8192)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_RawFftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n, {1.0, 0.0});
+  for (auto _ : state) {
+    auto copy = data;
+    tommy::stats::fft_forward(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RawFftForward)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_DifferenceDensityEndToEnd(benchmark::State& state) {
+  // The full per-client-pair setup cost the sequencer pays once per pair.
+  const auto points = static_cast<std::size_t>(state.range(0));
+  const Gaussian theta_i(5e-6, 20e-6);
+  const Gaussian theta_j(-3e-6, 35e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tommy::stats::difference_density(
+        theta_j, theta_i, points, ConvolutionMethod::kFft));
+  }
+}
+BENCHMARK(BM_DifferenceDensityEndToEnd)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Cost of the preceding-probability engine (§3.2/§3.3): the Gaussian
+// closed form versus the numeric convolution path, and the effect of the
+// per-client-pair Δθ density cache.
+#include <benchmark/benchmark.h>
+
+#include "core/preceding.hpp"
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+
+namespace {
+
+using tommy::ClientId;
+using tommy::MessageId;
+using tommy::TimePoint;
+using tommy::core::ClientRegistry;
+using tommy::core::Message;
+using tommy::core::PrecedingConfig;
+using tommy::core::PrecedingEngine;
+
+ClientRegistry gaussian_registry(std::size_t clients) {
+  ClientRegistry registry;
+  for (std::size_t c = 0; c < clients; ++c) {
+    registry.announce(
+        ClientId(static_cast<std::uint32_t>(c)),
+        std::make_unique<tommy::stats::Gaussian>(
+            1e-6 * static_cast<double>(c % 7), 10e-6 + 1e-6 * static_cast<double>(c % 5)));
+  }
+  return registry;
+}
+
+ClientRegistry uniform_registry(std::size_t clients) {
+  ClientRegistry registry;
+  for (std::size_t c = 0; c < clients; ++c) {
+    registry.announce(ClientId(static_cast<std::uint32_t>(c)),
+                      std::make_unique<tommy::stats::Uniform>(
+                          -20e-6 - 1e-6 * static_cast<double>(c % 3), 20e-6));
+  }
+  return registry;
+}
+
+Message msg(std::uint64_t id, std::uint32_t client, double stamp) {
+  return Message{MessageId(id), ClientId(client), TimePoint(stamp)};
+}
+
+void BM_GaussianClosedForm(benchmark::State& state) {
+  const ClientRegistry registry = gaussian_registry(16);
+  const PrecedingEngine engine(registry);
+  const Message a = msg(0, 1, 0.0);
+  const Message b = msg(1, 2, 3e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.preceding_probability(a, b));
+  }
+}
+BENCHMARK(BM_GaussianClosedForm);
+
+void BM_NumericCachedQuery(benchmark::State& state) {
+  // After the first query the Δθ density is cached: steady-state cost is
+  // one interpolated CDF lookup.
+  const ClientRegistry registry = uniform_registry(16);
+  PrecedingConfig config;
+  config.grid_points = static_cast<std::size_t>(state.range(0));
+  const PrecedingEngine engine(registry, config);
+  const Message a = msg(0, 1, 0.0);
+  const Message b = msg(1, 2, 3e-6);
+  (void)engine.preceding_probability(a, b);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.preceding_probability(a, b));
+  }
+}
+BENCHMARK(BM_NumericCachedQuery)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NumericUncachedQuery(benchmark::State& state) {
+  // Cache disabled: every query pays the full convolution. This is the
+  // §3.3 "communication and computation intensive" path the paper's
+  // client-learned-distribution design avoids.
+  const ClientRegistry registry = uniform_registry(16);
+  PrecedingConfig config;
+  config.grid_points = static_cast<std::size_t>(state.range(0));
+  config.cache_difference_densities = false;
+  const PrecedingEngine engine(registry, config);
+  const Message a = msg(0, 1, 0.0);
+  const Message b = msg(1, 2, 3e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.preceding_probability(a, b));
+  }
+}
+BENCHMARK(BM_NumericUncachedQuery)->Arg(256)->Arg(1024);
+
+void BM_PairwiseMatrixGaussian(benchmark::State& state) {
+  // Full O(n²) tournament probability fill, the general-path setup cost.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ClientRegistry registry = gaussian_registry(32);
+  const PrecedingEngine engine(registry);
+  std::vector<Message> messages;
+  for (std::size_t k = 0; k < n; ++k) {
+    messages.push_back(
+        msg(k, static_cast<std::uint32_t>(k % 32), 1e-6 * static_cast<double>(k)));
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        acc += engine.preceding_probability(messages[i], messages[j]);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PairwiseMatrixGaussian)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SafeEmissionTime(benchmark::State& state) {
+  const ClientRegistry registry = gaussian_registry(16);
+  const PrecedingEngine engine(registry);
+  const Message a = msg(0, 1, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.safe_emission_time(a, 0.999));
+  }
+}
+BENCHMARK(BM_SafeEmissionTime);
+
+void BM_SafeEmissionTimeNumericQuantile(benchmark::State& state) {
+  // Non-Gaussian distribution: the quantile is the bisection search the
+  // paper describes ("binary search on the future timestamps").
+  const ClientRegistry registry = uniform_registry(16);
+  const PrecedingEngine engine(registry);
+  const Message a = msg(0, 1, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.safe_emission_time(a, 0.999));
+  }
+}
+BENCHMARK(BM_SafeEmissionTimeNumericQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Sequencer throughput: offline sequencing cost on the Gaussian fast path
+// versus the general tournament path, the baselines, and the online
+// sequencer's per-message cost.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/online_sequencer.hpp"
+#include "core/tommy_sequencer.hpp"
+#include "sim/offline_runner.hpp"
+
+namespace {
+
+using namespace tommy;
+using namespace tommy::literals;
+
+struct Workbench {
+  sim::Population population;
+  std::vector<core::Message> messages;
+  core::ClientRegistry registry;
+
+  Workbench(std::size_t clients, std::size_t count, Rng rng)
+      : population(sim::gaussian_population(clients, 20e-6, rng)) {
+    const auto events =
+        sim::poisson_workload(population.ids(), count, 10_us, rng);
+    const auto observed = sim::materialize_messages(
+        population, events, sim::MaterializeConfig{}, rng);
+    for (const auto& om : observed) messages.push_back(om.message);
+    population.seed_registry(registry);
+  }
+};
+
+void BM_TommyFastPath(benchmark::State& state) {
+  Workbench bench(100, static_cast<std::size_t>(state.range(0)), Rng(3));
+  core::TommySequencer seq(bench.registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.sequence(bench.messages));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TommyFastPath)->RangeMultiplier(4)->Range(256, 65536);
+
+void BM_TommyTournamentPath(benchmark::State& state) {
+  Workbench bench(100, static_cast<std::size_t>(state.range(0)), Rng(3));
+  core::TommyConfig config;
+  config.gaussian_fast_path = false;
+  core::TommySequencer seq(bench.registry, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.sequence(bench.messages));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TommyTournamentPath)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_TrueTime(benchmark::State& state) {
+  Workbench bench(100, static_cast<std::size_t>(state.range(0)), Rng(3));
+  core::TrueTimeSequencer seq(bench.registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.sequence(bench.messages));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrueTime)->RangeMultiplier(4)->Range(256, 65536);
+
+void BM_Wfo(benchmark::State& state) {
+  Workbench bench(100, static_cast<std::size_t>(state.range(0)), Rng(3));
+  core::WfoSequencer seq;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.sequence(bench.messages));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Wfo)->RangeMultiplier(4)->Range(256, 65536);
+
+void BM_OnlineIngestAndPoll(benchmark::State& state) {
+  // Per-message online cost: ingest a burst then drain it.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Workbench bench(50, count, Rng(5));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::OnlineConfig config;
+    config.p_safe = 0.999;
+    core::OnlineSequencer seq(bench.registry, bench.population.ids(), config);
+    state.ResumeTiming();
+
+    TimePoint now(0.0);
+    for (const core::Message& m : bench.messages) {
+      core::Message copy = m;
+      now = std::max(now, m.arrival);
+      copy.arrival = now;
+      seq.on_message(copy);
+    }
+    for (ClientId c : bench.population.ids()) {
+      seq.on_heartbeat(c, now + 10_s, now + 1_ms);
+    }
+    benchmark::DoNotOptimize(seq.poll(now + 1_s));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnlineIngestAndPoll)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Ad-exchange auction with non-Gaussian clocks (§3.3): bidders' clock
+// offsets are long-tailed and skewed (Gumbel — the "Gaussian-like but
+// long tail" shape reported for real offset data), so the closed form does
+// not apply and the sequencer runs the convolution path. Also demonstrates
+// the fair-total-order extension (§5): random within-batch tie-breaking
+// with long-run win accounting.
+//
+// Build & run:  ./build/examples/ad_auction
+#include <cstdio>
+#include <memory>
+
+#include "core/tie_breaker.hpp"
+#include "core/tommy_sequencer.hpp"
+#include "metrics/ras.hpp"
+#include "sim/offline_runner.hpp"
+#include "stats/analytic.hpp"
+
+int main() {
+  using namespace tommy;
+  using namespace tommy::literals;
+
+  constexpr std::size_t kBidders = 24;
+  constexpr std::size_t kAuctions = 200;
+
+  Rng rng(555);
+  // Long-tailed, skewed offsets: ad bidders on congested paths.
+  const sim::Population bidders = sim::gumbel_population(kBidders, 30e-6, rng);
+
+  const auto bids =
+      sim::burst_workload(bidders.ids(), kAuctions, 5_ms, 1_us, 60_us, rng);
+  const auto observed =
+      sim::materialize_messages(bidders, bids, sim::MaterializeConfig{}, rng);
+
+  core::ClientRegistry registry;
+  bidders.seed_registry(registry);
+
+  core::TommyConfig config;
+  config.threshold = 0.75;
+  config.preceding.grid_points = 512;   // numeric Δθ-density path
+  config.max_tournament_nodes = 8192;
+  core::TommySequencer tommy(registry, config);
+
+  const sim::SequencerScore score = sim::score_sequencer(tommy, observed);
+  std::printf("ad auction: %zu bidders (Gumbel offsets), %zu auctions\n",
+              kBidders, kAuctions);
+  std::printf("tommy RAS %.4f over %llu pairs; %zu batches "
+              "(mean size %.2f)\n",
+              score.ras.normalized(),
+              static_cast<unsigned long long>(score.ras.pairs),
+              score.batches.batch_count, score.batches.mean_batch_size);
+  std::printf("Δθ densities cached per ordered client pair: %zu\n",
+              tommy.engine().cached_pairs());
+  std::printf("tournament transitive this run: %s\n",
+              tommy.last_diagnostics().tournament_transitive ? "yes" : "no");
+
+  // Fair total order (§5): applications that need a single winner per
+  // auction break within-batch ties randomly; over many auctions no
+  // bidder is systematically preferred.
+  std::vector<core::Message> input;
+  for (const auto& om : observed) input.push_back(om.message);
+  const auto result = tommy.sequence(std::move(input));
+
+  core::FairTieBreaker breaker(777);
+  const auto total_order = breaker.total_order(result);
+  std::printf("\nfair total order: %zu messages, tie-broken batches: %zu\n",
+              total_order.size(), breaker.ledger().client_count());
+  if (breaker.ledger().client_count() > 0) {
+    std::printf("long-run tie-break win-rate disparity (max/min): %.2f "
+                "(1.0 = perfectly even)\n",
+                breaker.ledger().disparity(10));
+  }
+  return 0;
+}

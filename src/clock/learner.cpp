@@ -1,0 +1,81 @@
+#include "clock/learner.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "stats/estimators.hpp"
+#include "stats/kde.hpp"
+
+namespace tommy::clock {
+
+void OffsetLearner::add_sample(double offset) { samples_.push_back(offset); }
+
+void OffsetLearner::add_samples(const std::vector<double>& offsets) {
+  samples_.insert(samples_.end(), offsets.begin(), offsets.end());
+}
+
+stats::DistributionSummary GaussianLearner::summarize() const {
+  TOMMY_EXPECTS(sample_count() >= min_samples());
+  const stats::Gaussian fit = stats::fit_gaussian(samples_);
+  return stats::DistributionSummary(
+      stats::GaussianParams{fit.mu(), fit.sigma()});
+}
+
+std::string GaussianLearner::describe() const {
+  std::ostringstream os;
+  os << "GaussianLearner(n=" << sample_count() << ")";
+  return os.str();
+}
+
+stats::DistributionSummary RobustGaussianLearner::summarize() const {
+  TOMMY_EXPECTS(sample_count() >= min_samples());
+  const stats::Gaussian fit = stats::fit_gaussian_robust(samples_);
+  return stats::DistributionSummary(
+      stats::GaussianParams{fit.mu(), fit.sigma()});
+}
+
+std::string RobustGaussianLearner::describe() const {
+  std::ostringstream os;
+  os << "RobustGaussianLearner(n=" << sample_count() << ")";
+  return os.str();
+}
+
+HistogramLearner::HistogramLearner(std::size_t min_bins, std::size_t max_bins)
+    : min_bins_(min_bins), max_bins_(max_bins) {
+  TOMMY_EXPECTS(min_bins >= 1 && min_bins <= max_bins);
+}
+
+stats::DistributionSummary HistogramLearner::summarize() const {
+  TOMMY_EXPECTS(sample_count() >= min_samples());
+  const stats::Empirical fit =
+      stats::fit_histogram_auto(samples_, min_bins_, max_bins_);
+  std::vector<double> masses(fit.bin_masses().begin(),
+                             fit.bin_masses().end());
+  return stats::DistributionSummary(
+      stats::HistogramParams{fit.lo(), fit.hi(), std::move(masses)});
+}
+
+std::string HistogramLearner::describe() const {
+  std::ostringstream os;
+  os << "HistogramLearner(n=" << sample_count() << ")";
+  return os.str();
+}
+
+KdeLearner::KdeLearner(double bandwidth, std::size_t summary_bins)
+    : bandwidth_(bandwidth), summary_bins_(summary_bins) {
+  TOMMY_EXPECTS(summary_bins >= 2);
+}
+
+stats::DistributionSummary KdeLearner::summarize() const {
+  TOMMY_EXPECTS(sample_count() >= min_samples());
+  const stats::KernelDensity kde(samples_, bandwidth_);
+  return stats::DistributionSummary::describe(kde, summary_bins_);
+}
+
+std::string KdeLearner::describe() const {
+  std::ostringstream os;
+  os << "KdeLearner(n=" << sample_count() << ")";
+  return os.str();
+}
+
+}  // namespace tommy::clock

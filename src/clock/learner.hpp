@@ -1,0 +1,90 @@
+// Offset-distribution learners: turn accumulated sync-probe offset
+// estimates into the DistributionSummary a client announces to the
+// sequencer (Figure 1, §3.3 "Clients learn their own f_θ").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace tommy::clock {
+
+class OffsetLearner {
+ public:
+  virtual ~OffsetLearner() = default;
+
+  /// Ingests one offset estimate (seconds).
+  void add_sample(double offset);
+
+  /// Ingests a batch of estimates.
+  void add_samples(const std::vector<double>& offsets);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// Minimum number of samples summarize() needs.
+  [[nodiscard]] virtual std::size_t min_samples() const { return 2; }
+
+  /// Fits the learned distribution. Requires sample_count() >=
+  /// min_samples().
+  [[nodiscard]] virtual stats::DistributionSummary summarize() const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  std::vector<double> samples_;
+};
+
+/// Moment-matched Gaussian (the common fast path).
+class GaussianLearner final : public OffsetLearner {
+ public:
+  [[nodiscard]] stats::DistributionSummary summarize() const override;
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Median/MAD Gaussian — robust to occasional wild probes.
+class RobustGaussianLearner final : public OffsetLearner {
+ public:
+  [[nodiscard]] stats::DistributionSummary summarize() const override;
+  [[nodiscard]] std::string describe() const override;
+};
+
+/// Histogram (Freedman–Diaconis bins) — captures skew and long tails that
+/// a Gaussian fit would erase (§3.3's motivation).
+class HistogramLearner final : public OffsetLearner {
+ public:
+  explicit HistogramLearner(std::size_t min_bins = 8,
+                            std::size_t max_bins = 128);
+
+  [[nodiscard]] std::size_t min_samples() const override { return 8; }
+  [[nodiscard]] stats::DistributionSummary summarize() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::size_t min_bins_;
+  std::size_t max_bins_;
+};
+
+/// Gaussian-kernel density estimate, shipped as a histogram summary —
+/// smooth with few samples, no binning artifacts; the right choice early
+/// in a client's life before the histogram learner has data.
+class KdeLearner final : public OffsetLearner {
+ public:
+  /// `bandwidth <= 0` selects Silverman's rule; `summary_bins` is the
+  /// wire-format resolution.
+  explicit KdeLearner(double bandwidth = 0.0, std::size_t summary_bins = 64);
+
+  [[nodiscard]] std::size_t min_samples() const override { return 4; }
+  [[nodiscard]] stats::DistributionSummary summarize() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double bandwidth_;
+  std::size_t summary_bins_;
+};
+
+using OffsetLearnerPtr = std::unique_ptr<OffsetLearner>;
+
+}  // namespace tommy::clock

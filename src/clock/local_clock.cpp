@@ -1,0 +1,19 @@
+#include "clock/local_clock.hpp"
+
+#include "common/check.hpp"
+
+namespace tommy::clock {
+
+LocalClock::LocalClock(const net::Simulation& sim, OffsetProcessPtr offset)
+    : sim_(sim), offset_(std::move(offset)) {
+  TOMMY_EXPECTS(offset_ != nullptr);
+}
+
+TimePoint LocalClock::read() { return read_at(sim_.now()); }
+
+TimePoint LocalClock::read_at(TimePoint true_time) {
+  last_offset_ = offset_->offset_at(true_time);
+  return true_time - Duration(last_offset_);
+}
+
+}  // namespace tommy::clock

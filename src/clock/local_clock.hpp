@@ -1,0 +1,34 @@
+// A client's local clock: reads true (sequencer) time from the simulation
+// and subtracts the current offset θ, so that local = true − θ and the
+// paper's model T* = T + θ holds exactly. The clock records the offset of
+// its most recent read so simulations can keep per-message ground truth.
+#pragma once
+
+#include "clock/offset_process.hpp"
+#include "common/time.hpp"
+#include "net/simulation.hpp"
+
+namespace tommy::clock {
+
+class LocalClock {
+ public:
+  LocalClock(const net::Simulation& sim, OffsetProcessPtr offset);
+
+  /// Local reading at the simulation's current time.
+  [[nodiscard]] TimePoint read();
+
+  /// Local reading at an explicit true time (must be non-decreasing across
+  /// calls for stateful offset processes).
+  [[nodiscard]] TimePoint read_at(TimePoint true_time);
+
+  /// θ used by the most recent read — ground truth for evaluation only;
+  /// the modelled system never sees this.
+  [[nodiscard]] double last_offset() const { return last_offset_; }
+
+ private:
+  const net::Simulation& sim_;
+  OffsetProcessPtr offset_;
+  double last_offset_{0.0};
+};
+
+}  // namespace tommy::clock

@@ -1,0 +1,107 @@
+#include "clock/offset_process.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tommy::clock {
+
+IidOffset::IidOffset(stats::DistributionPtr distribution, Rng rng)
+    : distribution_(std::move(distribution)), rng_(rng) {
+  TOMMY_EXPECTS(distribution_ != nullptr);
+}
+
+double IidOffset::offset_at(TimePoint) { return distribution_->sample(rng_); }
+
+std::string IidOffset::describe() const {
+  return "IidOffset(" + distribution_->describe() + ")";
+}
+
+std::string ConstantOffset::describe() const {
+  std::ostringstream os;
+  os << "ConstantOffset(" << offset_ << ")";
+  return os.str();
+}
+
+DriftOffset::DriftOffset(double initial, double rate,
+                         stats::DistributionPtr noise, Rng rng)
+    : initial_(initial), rate_(rate), noise_(std::move(noise)), rng_(rng) {}
+
+double DriftOffset::offset_at(TimePoint true_time) {
+  double value = initial_ + rate_ * true_time.seconds();
+  if (noise_ != nullptr) value += noise_->sample(rng_);
+  return value;
+}
+
+std::string DriftOffset::describe() const {
+  std::ostringstream os;
+  os << "DriftOffset(initial=" << initial_ << ", rate=" << rate_ << ")";
+  return os.str();
+}
+
+RandomWalkOffset::RandomWalkOffset(double initial, double rate_per_sqrt_s,
+                                   Rng rng)
+    : value_(initial), rate_(rate_per_sqrt_s), rng_(rng) {
+  TOMMY_EXPECTS(rate_per_sqrt_s >= 0.0);
+}
+
+double RandomWalkOffset::offset_at(TimePoint true_time) {
+  if (!started_) {
+    started_ = true;
+    last_time_ = true_time;
+    return value_;
+  }
+  TOMMY_EXPECTS(true_time >= last_time_);
+  const double dt = (true_time - last_time_).seconds();
+  if (dt > 0.0) {
+    value_ += rng_.normal(0.0, rate_ * std::sqrt(dt));
+    last_time_ = true_time;
+  }
+  return value_;
+}
+
+std::string RandomWalkOffset::describe() const {
+  std::ostringstream os;
+  os << "RandomWalkOffset(rate=" << rate_ << "/sqrt(s))";
+  return os.str();
+}
+
+OuOffset::OuOffset(double mean, double stationary_sigma, Duration tau, Rng rng)
+    : mean_(mean),
+      sigma_(stationary_sigma),
+      tau_s_(tau.seconds()),
+      value_(mean),
+      rng_(rng) {
+  TOMMY_EXPECTS(stationary_sigma > 0.0);
+  TOMMY_EXPECTS(tau.seconds() > 0.0);
+}
+
+double OuOffset::offset_at(TimePoint true_time) {
+  if (!started_) {
+    started_ = true;
+    last_time_ = true_time;
+    // Start from the stationary distribution.
+    value_ = rng_.normal(mean_, sigma_);
+    return value_;
+  }
+  TOMMY_EXPECTS(true_time >= last_time_);
+  const double dt = (true_time - last_time_).seconds();
+  if (dt > 0.0) {
+    // Exact OU transition density.
+    const double decay = std::exp(-dt / tau_s_);
+    const double step_sigma = sigma_ * std::sqrt(1.0 - decay * decay);
+    value_ = mean_ + (value_ - mean_) * decay + rng_.normal(0.0, step_sigma);
+    last_time_ = true_time;
+  }
+  return value_;
+}
+
+std::string OuOffset::describe() const {
+  std::ostringstream os;
+  os << "OuOffset(mean=" << mean_ << ", sigma=" << sigma_ << ", tau=" << tau_s_
+     << "s)";
+  return os.str();
+}
+
+}  // namespace tommy::clock

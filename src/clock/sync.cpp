@@ -1,0 +1,55 @@
+#include "clock/sync.hpp"
+
+#include "common/check.hpp"
+
+namespace tommy::clock {
+
+SyncSession::SyncSession(net::Simulation& sim, LocalClock& client_clock,
+                         net::DelayModel to_sequencer,
+                         net::DelayModel to_client)
+    : sim_(sim),
+      client_clock_(client_clock),
+      to_sequencer_(std::move(to_sequencer)),
+      to_client_(std::move(to_client)) {}
+
+void SyncSession::schedule_probes(TimePoint start, Duration interval,
+                                  std::size_t count) {
+  TOMMY_EXPECTS(start >= sim_.now());
+  TOMMY_EXPECTS(interval > Duration::zero() || count <= 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    sim_.schedule_at(start + interval * static_cast<double>(k),
+                     [this] { launch_probe(); });
+  }
+}
+
+void SyncSession::launch_probe() {
+  // t0: client stamps its local clock and the request departs.
+  const TimePoint t0 = client_clock_.read();
+  const TimePoint send_true = sim_.now();
+  const Duration d1 = to_sequencer_.sample();
+
+  sim_.schedule_after(d1, [this, t0, send_true] {
+    // t1/t2: the sequencer's clock is the simulation's true time; we model
+    // zero processing time, so t2 == t1.
+    const TimePoint t1 = sim_.now();
+    const TimePoint t2 = t1;
+    const Duration d2 = to_client_.sample();
+
+    sim_.schedule_after(d2, [this, t0, send_true, t1, t2] {
+      const TimePoint t3 = client_clock_.read();
+      const double offset_estimate =
+          0.5 * ((t1 - t0).seconds() + (t2 - t3).seconds());
+      const Duration rtt = (sim_.now() - send_true);
+      samples_.push_back(ProbeSample{offset_estimate, rtt, sim_.now()});
+    });
+  });
+}
+
+std::vector<double> SyncSession::offset_estimates() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const ProbeSample& s : samples_) out.push_back(s.offset_estimate);
+  return out;
+}
+
+}  // namespace tommy::clock

@@ -1,0 +1,60 @@
+// NTP-style clock synchronization probes over the simulated network.
+//
+// One probe gathers the classic four timestamps
+//   t0 = client local send time        t1 = sequencer receive time
+//   t2 = sequencer reply time          t3 = client local receive time
+// and estimates the client's offset (in the T* = T + θ sense) as
+//   θ̂ = ((t1 − t0) + (t2 − t3)) / 2,
+// exact when the two one-way delays are equal and off by half the delay
+// asymmetry otherwise. Accumulated θ̂ samples are what a client's offset
+// distribution learner consumes (§5 "Learning Clock Offsets
+// Distributions").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "clock/local_clock.hpp"
+#include "common/time.hpp"
+#include "net/link.hpp"
+#include "net/simulation.hpp"
+
+namespace tommy::clock {
+
+struct ProbeSample {
+  double offset_estimate;  // θ̂ in seconds
+  Duration rtt;            // round-trip time observed by the client
+  TimePoint completed_at;  // true time the probe finished
+};
+
+/// Drives a sequence of probes between one client clock and the sequencer
+/// (whose clock is the simulation's true time). Probes are scheduled on
+/// the simulation; run the simulation to completion (or past the last
+/// probe) before reading the samples.
+class SyncSession {
+ public:
+  /// `to_sequencer` and `to_client` model the two directions of the path.
+  SyncSession(net::Simulation& sim, LocalClock& client_clock,
+              net::DelayModel to_sequencer, net::DelayModel to_client);
+
+  /// Schedules `count` probes starting at `start`, spaced by `interval`.
+  void schedule_probes(TimePoint start, Duration interval, std::size_t count);
+
+  [[nodiscard]] const std::vector<ProbeSample>& samples() const {
+    return samples_;
+  }
+
+  /// Offset estimates only (what a learner ingests).
+  [[nodiscard]] std::vector<double> offset_estimates() const;
+
+ private:
+  void launch_probe();
+
+  net::Simulation& sim_;
+  LocalClock& client_clock_;
+  net::DelayModel to_sequencer_;
+  net::DelayModel to_client_;
+  std::vector<ProbeSample> samples_;
+};
+
+}  // namespace tommy::clock

@@ -1,0 +1,39 @@
+// Contract checking macros in the spirit of the Core Guidelines'
+// Expects()/Ensures() (I.6, I.8). Violations indicate programmer error and
+// terminate with a diagnostic; they are not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tommy::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[tommy] %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace tommy::detail
+
+#define TOMMY_EXPECTS(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tommy::detail::contract_failure("precondition", #cond, __FILE__, \
+                                        __LINE__);                       \
+  } while (false)
+
+#define TOMMY_ENSURES(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::tommy::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                        __LINE__);                        \
+  } while (false)
+
+#define TOMMY_ASSERT(cond)                                             \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::tommy::detail::contract_failure("invariant", #cond, __FILE__, \
+                                        __LINE__);                     \
+  } while (false)

@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace tommy::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level)); }
+
+Level level() { return static_cast<Level>(g_level.load()); }
+
+void write(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < g_level.load()) return;
+  std::fprintf(stderr, "[tommy %s] %s\n", level_name(lvl), message.c_str());
+}
+
+}  // namespace tommy::log

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr. Intentionally tiny: the library's
+// normal operation is silent; logging exists for example binaries and for
+// debugging simulations. Level is per-process, set explicitly (no env
+// magic, no global mutable state beyond one atomic).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace tommy::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that is emitted.
+void set_level(Level level);
+
+/// Currently configured minimum level.
+[[nodiscard]] Level level();
+
+/// Emits one line at `level` if it passes the filter.
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace tommy::log
+
+#define TOMMY_LOG_DEBUG ::tommy::log::detail::LineBuilder(::tommy::log::Level::kDebug)
+#define TOMMY_LOG_INFO ::tommy::log::detail::LineBuilder(::tommy::log::Level::kInfo)
+#define TOMMY_LOG_WARN ::tommy::log::detail::LineBuilder(::tommy::log::Level::kWarn)
+#define TOMMY_LOG_ERROR ::tommy::log::detail::LineBuilder(::tommy::log::Level::kError)

@@ -1,0 +1,55 @@
+// Numeric helpers shared across the statistics and core libraries:
+// the standard normal CDF and its inverse, plus small utilities used by
+// grid-based density code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tommy::math {
+
+/// Standard normal probability density.
+[[nodiscard]] double normal_pdf(double x);
+
+/// Standard normal CDF Φ(x), computed from std::erfc for accuracy in both
+/// tails.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p) for p in (0, 1); Acklam's rational
+/// approximation refined by one Halley step (relative error < 1e-12).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Clamps p into [0, 1]; used to tidy tiny numeric excursions produced by
+/// quadrature before probabilities leave a module boundary.
+[[nodiscard]] double clamp_probability(double p);
+
+/// Linear interpolation between (x0, y0) and (x1, y1) evaluated at x.
+[[nodiscard]] double lerp(double x0, double y0, double x1, double y1,
+                          double x);
+
+/// Trapezoidal integral of uniformly spaced samples `y` with spacing `dx`.
+[[nodiscard]] double trapezoid(std::span<const double> y, double dx);
+
+/// In-place cumulative trapezoid: out[k] = ∫ up to sample k. out[0] == 0.
+[[nodiscard]] std::vector<double> cumulative_trapezoid(
+    std::span<const double> y, double dx);
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rtol = 1e-9,
+                                double atol = 1e-12);
+
+/// Sample mean. Requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for singleton input.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation (sqrt of `variance`).
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// p-quantile of a sample by linear interpolation on the sorted copy;
+/// p in [0, 1]. Requires non-empty input.
+[[nodiscard]] double sample_quantile(std::span<const double> xs, double p);
+
+}  // namespace tommy::math

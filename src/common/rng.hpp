@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through explicitly-seeded Rng
+// instances (no global RNG state; Core Guidelines I.2/I.3). The generator
+// is xoshiro256++ seeded via splitmix64 — fast, high quality, and with a
+// `split()` operation so independent components (clients, links, workloads)
+// each get their own decorrelated stream from one experiment seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tommy {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE'5EED'1234ULL);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached spare deviate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent generator; deterministic given this state.
+  Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_{0.0};
+  bool has_spare_normal_{false};
+};
+
+}  // namespace tommy

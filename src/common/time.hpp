@@ -1,0 +1,170 @@
+// Strongly-typed simulation time. A TimePoint is an absolute instant on
+// some clock (simulated wall clock, a client's local clock, or the
+// sequencer's clock); a Duration is a signed span between instants.
+//
+// Representation is double seconds: simulation horizons are a few seconds,
+// where an IEEE double resolves far below one nanosecond, and the
+// statistical model (densities, quantiles, convolutions) is inherently
+// continuous.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace tommy {
+
+class Duration;
+
+/// Signed time span in seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double millis() const { return seconds_ * 1e3; }
+  [[nodiscard]] constexpr double micros() const { return seconds_ * 1e6; }
+  [[nodiscard]] constexpr double nanos() const { return seconds_ * 1e9; }
+
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration(s);
+  }
+  [[nodiscard]] static constexpr Duration from_millis(double ms) {
+    return Duration(ms * 1e-3);
+  }
+  [[nodiscard]] static constexpr Duration from_micros(double us) {
+    return Duration(us * 1e-6);
+  }
+  [[nodiscard]] static constexpr Duration from_nanos(double ns) {
+    return Duration(ns * 1e-9);
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0.0); }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(seconds_);
+  }
+
+  constexpr Duration operator-() const { return Duration(-seconds_); }
+  constexpr Duration& operator+=(Duration d) {
+    seconds_ += d.seconds_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    seconds_ -= d.seconds_;
+    return *this;
+  }
+  constexpr Duration& operator*=(double k) {
+    seconds_ *= k;
+    return *this;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(a.seconds_ * k);
+  }
+  friend constexpr Duration operator*(double k, Duration a) {
+    return Duration(a.seconds_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration(a.seconds_ / k);
+  }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return a.seconds_ / b.seconds_;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.seconds_ << "s";
+  }
+
+ private:
+  double seconds_{0.0};
+};
+
+/// Absolute instant: seconds since the simulation epoch of its clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+
+  [[nodiscard]] static constexpr TimePoint from_seconds(double s) {
+    return TimePoint(s);
+  }
+  [[nodiscard]] static constexpr TimePoint from_micros(double us) {
+    return TimePoint(us * 1e-6);
+  }
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint(0.0); }
+  [[nodiscard]] static constexpr TimePoint infinite_future() {
+    return TimePoint(std::numeric_limits<double>::infinity());
+  }
+
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(seconds_);
+  }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    seconds_ += d.seconds();
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.seconds_ + d.seconds());
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.seconds_ - d.seconds());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << t.seconds_ << "s";
+  }
+
+ private:
+  double seconds_{0.0};
+};
+
+namespace literals {
+
+constexpr Duration operator""_s(long double v) {
+  return Duration(static_cast<double>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(long double v) {
+  return Duration::from_millis(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::from_millis(static_cast<double>(v));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::from_micros(static_cast<double>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::from_micros(static_cast<double>(v));
+}
+constexpr Duration operator""_ns(long double v) {
+  return Duration::from_nanos(static_cast<double>(v));
+}
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::from_nanos(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace tommy

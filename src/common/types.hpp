@@ -1,0 +1,62 @@
+// Strong identifier types (I.4: make interfaces precisely and strongly
+// typed). ClientId, MessageId and Rank are distinct vocabulary types so a
+// rank can never silently be passed where a client id is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace tommy {
+
+/// CRTP-free tagged integer. Each Tag instantiation is an unrelated type.
+template <typename Tag, typename Rep = std::uint64_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+struct ClientIdTag {};
+struct MessageIdTag {};
+struct BatchIdTag {};
+
+/// Identifies a client (message producer) within one deployment.
+using ClientId = TaggedId<ClientIdTag, std::uint32_t>;
+/// Identifies a single message; unique across all clients in a run.
+using MessageId = TaggedId<MessageIdTag, std::uint64_t>;
+/// Identifies an emitted batch; batches are densely ranked from 0.
+using BatchId = TaggedId<BatchIdTag, std::uint64_t>;
+
+/// Rank assigned by a sequencer. Lower rank == processed sooner. Messages
+/// sharing a rank are "indifferent" (same batch, unordered w.r.t. each
+/// other).
+using Rank = std::uint64_t;
+
+}  // namespace tommy
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<tommy::TaggedId<Tag, Rep>> {
+  size_t operator()(tommy::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

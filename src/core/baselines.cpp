@@ -1,0 +1,94 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+namespace {
+
+/// Sorts by `key` and assigns singleton batches in that order.
+template <typename KeyFn>
+SequencerResult singleton_batches_by(std::vector<Message> messages,
+                                     KeyFn key) {
+  std::sort(messages.begin(), messages.end(),
+            [&key](const Message& a, const Message& b) {
+              const auto ka = key(a);
+              const auto kb = key(b);
+              if (ka != kb) return ka < kb;
+              return a.id < b.id;
+            });
+  SequencerResult result;
+  result.batches.reserve(messages.size());
+  for (std::size_t k = 0; k < messages.size(); ++k) {
+    Batch batch;
+    batch.rank = k;
+    batch.messages.push_back(messages[k]);
+    result.batches.push_back(std::move(batch));
+  }
+  return result;
+}
+
+}  // namespace
+
+TrueTimeSequencer::TrueTimeSequencer(const ClientRegistry& registry,
+                                     TrueTimeConfig config)
+    : registry_(registry), config_(config) {
+  TOMMY_EXPECTS(config.k_sigma > 0.0);
+}
+
+SequencerResult TrueTimeSequencer::sequence(std::vector<Message> messages) {
+  if (messages.empty()) return {};
+
+  struct Interval {
+    double lo;
+    double hi;
+    Message message;
+  };
+  std::vector<Interval> intervals;
+  intervals.reserve(messages.size());
+  for (Message& m : messages) {
+    const stats::Distribution& d = registry_.offset_distribution(m.client);
+    const double center =
+        m.stamp.seconds() + (config_.mean_correct ? d.mean() : 0.0);
+    const double half = config_.k_sigma * d.stddev();
+    intervals.push_back({center - half, center + half, std::move(m)});
+  }
+
+  // Overlap components via a single sweep: sort by interval start; a new
+  // batch begins when the next interval starts past everything seen so far.
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.message.id < b.message.id;
+            });
+
+  SequencerResult result;
+  Batch current;
+  current.rank = 0;
+  double reach = -std::numeric_limits<double>::infinity();
+  for (Interval& iv : intervals) {
+    if (!current.messages.empty() && iv.lo > reach) {
+      result.batches.push_back(std::move(current));
+      current = Batch{};
+      current.rank = result.batches.size();
+    }
+    reach = std::max(reach, iv.hi);
+    current.messages.push_back(std::move(iv.message));
+  }
+  result.batches.push_back(std::move(current));
+  return result;
+}
+
+SequencerResult WfoSequencer::sequence(std::vector<Message> messages) {
+  return singleton_batches_by(std::move(messages),
+                              [](const Message& m) { return m.stamp; });
+}
+
+SequencerResult FifoSequencer::sequence(std::vector<Message> messages) {
+  return singleton_batches_by(std::move(messages),
+                              [](const Message& m) { return m.arrival; });
+}
+
+}  // namespace tommy::core

@@ -1,0 +1,115 @@
+#include "core/batching.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+namespace {
+
+/// Valid boundary positions (in 1..n−1) under the closure rule: position e
+/// is a boundary candidate iff no pair (i < e <= j) has p(i, j) <=
+/// threshold. Computed with a difference array over "blocking" intervals.
+std::vector<bool> closure_boundaries(const std::vector<Message>& ordered,
+                                     const PairProbabilityFn& probability,
+                                     double threshold) {
+  const std::size_t n = ordered.size();
+  std::vector<int> cover(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (probability(ordered[i], ordered[j]) <= threshold) {
+        // This uncertain pair blocks every boundary e with i < e <= j.
+        ++cover[i + 1];
+        --cover[j + 1];
+      }
+    }
+  }
+  std::vector<bool> valid(n, false);
+  int depth = 0;
+  for (std::size_t e = 1; e < n; ++e) {
+    depth += cover[e];
+    valid[e] = depth == 0;
+  }
+  return valid;
+}
+
+std::vector<Batch> cut_at(std::vector<Message> ordered,
+                          const std::vector<bool>& boundary_at) {
+  std::vector<Batch> batches;
+  Batch current;
+  current.rank = 0;
+  for (std::size_t k = 0; k < ordered.size(); ++k) {
+    if (k > 0 && boundary_at[k]) {
+      batches.push_back(std::move(current));
+      current = Batch{};
+      current.rank = batches.size();
+    }
+    current.messages.push_back(std::move(ordered[k]));
+  }
+  batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace
+
+std::vector<Batch> batch_by_threshold(std::vector<Message> ordered,
+                                      const PairProbabilityFn& probability,
+                                      double threshold, BatchRule rule) {
+  TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+  if (ordered.empty()) return {};
+
+  const std::size_t n = ordered.size();
+  std::vector<bool> boundary(n, false);
+  if (rule == BatchRule::kAdjacent) {
+    for (std::size_t k = 1; k < n; ++k) {
+      boundary[k] = probability(ordered[k - 1], ordered[k]) > threshold;
+    }
+  } else {
+    boundary = closure_boundaries(ordered, probability, threshold);
+  }
+  return cut_at(std::move(ordered), boundary);
+}
+
+std::vector<Batch> batch_groups_by_threshold(
+    std::vector<std::vector<Message>> ordered_groups,
+    const PairProbabilityFn& probability, double threshold) {
+  TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+
+  std::vector<Batch> batches;
+  Batch current;
+  current.rank = 0;
+  bool have_any = false;
+
+  for (auto& group : ordered_groups) {
+    TOMMY_EXPECTS(!group.empty());
+    if (have_any &&
+        probability(current.messages.back(), group.front()) > threshold) {
+      batches.push_back(std::move(current));
+      current = Batch{};
+      current.rank = batches.size();
+    }
+    for (Message& m : group) current.messages.push_back(std::move(m));
+    have_any = true;
+  }
+  if (have_any) batches.push_back(std::move(current));
+  return batches;
+}
+
+double min_cross_batch_probability(const std::vector<Batch>& batches,
+                                   const PairProbabilityFn& probability) {
+  double lowest = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < batches.size(); ++a) {
+    for (std::size_t b = a + 1; b < batches.size(); ++b) {
+      for (const Message& u : batches[a].messages) {
+        for (const Message& v : batches[b].messages) {
+          lowest = std::min(lowest, probability(u, v));
+        }
+      }
+    }
+  }
+  return lowest;
+}
+
+}  // namespace tommy::core

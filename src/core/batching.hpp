@@ -1,0 +1,58 @@
+// Threshold batching (§3.4): given a linear order of messages, a batch
+// boundary is placed between adjacent messages i, j exactly when the
+// preceding probability p(i, j) exceeds the confidence threshold; messages
+// the sequencer cannot confidently separate stay in one batch. Ranks are
+// dense from 0 in order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace tommy::core {
+
+using PairProbabilityFn =
+    std::function<double(const Message&, const Message&)>;
+
+/// How batch boundaries are decided along the linear order.
+enum class BatchRule {
+  /// §3.4 / Appendix B: boundary between adjacent messages i, j iff
+  /// p(i, j) > threshold. Cheap (one check per adjacency) but a
+  /// high-uncertainty message only merges with its direct neighbours —
+  /// a pair two positions apart may straddle a boundary with p below the
+  /// threshold.
+  kAdjacent,
+  /// Closure rule (Appendix C semantics): a boundary is placed at a
+  /// position only when EVERY (earlier, later) pair across it clears the
+  /// threshold. This guarantees min_cross_batch_probability > threshold
+  /// for the whole result, and reproduces the worked online example where
+  /// one high-uncertainty message pulls temporally-distinct messages from
+  /// another client into its batch. O(n²) probability queries.
+  kClosure,
+};
+
+/// Cuts `ordered` into rank-ordered batches. `threshold` must lie in
+/// (0.5, 1.0) — at or below 0.5 every adjacent pair would separate, at 1.0
+/// nothing would.
+[[nodiscard]] std::vector<Batch> batch_by_threshold(
+    std::vector<Message> ordered, const PairProbabilityFn& probability,
+    double threshold, BatchRule rule = BatchRule::kAdjacent);
+
+/// Like batch_by_threshold but with pre-grouped messages that must never
+/// be split (the SCC-condensation cycle policy): boundaries are only
+/// considered between consecutive groups, judged on the boundary pair
+/// (last message of the earlier group vs first of the later).
+[[nodiscard]] std::vector<Batch> batch_groups_by_threshold(
+    std::vector<std::vector<Message>> ordered_groups,
+    const PairProbabilityFn& probability, double threshold);
+
+/// Diagnostic: the minimum preceding probability across any pair that the
+/// batching claims to order (u in an earlier batch, v in a later batch).
+/// A perfectly confident batching keeps this above the threshold; the
+/// adjacent-pair rule does not guarantee that, which is what the
+/// threshold-ablation bench quantifies.
+[[nodiscard]] double min_cross_batch_probability(
+    const std::vector<Batch>& batches, const PairProbabilityFn& probability);
+
+}  // namespace tommy::core

@@ -1,0 +1,70 @@
+#include "core/byzantine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+ByzantineGuard::ByzantineGuard(const ClientRegistry& registry,
+                               ByzantineConfig config)
+    : registry_(registry), config_(config) {
+  TOMMY_EXPECTS(config.epsilon > 0.0 && config.epsilon < 0.5);
+  TOMMY_EXPECTS(config.max_plausible_delay >= Duration::zero());
+}
+
+Plausibility ByzantineGuard::inspect(const Message& m) {
+  const stats::Distribution& theta = registry_.offset_distribution(m.client);
+  const double residual = (m.arrival - m.stamp).seconds();
+
+  Counts& c = counts_[m.client];
+  ++c.inspected;
+
+  // residual = θ + delay, delay >= 0 (see header for the direction guide).
+  const double lo = theta.quantile(config_.epsilon);
+  const double hi =
+      theta.quantile(1.0 - config_.epsilon) +
+      config_.max_plausible_delay.seconds();
+
+  if (residual > hi) {
+    ++c.flagged;
+    return Plausibility::kBackdated;
+  }
+  if (residual < lo) {
+    ++c.flagged;
+    return Plausibility::kForwardDated;
+  }
+  return Plausibility::kPlausible;
+}
+
+std::uint64_t ByzantineGuard::flagged_count(ClientId client) const {
+  const auto it = counts_.find(client);
+  return it == counts_.end() ? 0 : it->second.flagged;
+}
+
+std::uint64_t ByzantineGuard::inspected_count(ClientId client) const {
+  const auto it = counts_.find(client);
+  return it == counts_.end() ? 0 : it->second.inspected;
+}
+
+double ByzantineGuard::suspicion_score(ClientId client) const {
+  const auto it = counts_.find(client);
+  if (it == counts_.end() || it->second.inspected == 0) return 0.0;
+  return static_cast<double>(it->second.flagged) /
+         static_cast<double>(it->second.inspected);
+}
+
+std::vector<ClientId> ByzantineGuard::suspects(
+    double min_score, std::uint64_t min_inspected) const {
+  std::vector<ClientId> out;
+  for (const auto& [client, counts] : counts_) {
+    if (counts.inspected < min_inspected) continue;
+    const double score = static_cast<double>(counts.flagged) /
+                         static_cast<double>(counts.inspected);
+    if (score >= min_score) out.push_back(client);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tommy::core

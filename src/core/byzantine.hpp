@@ -1,0 +1,66 @@
+// Byzantine-client guard (§5 "Byzantine Clients"): in auction-apps a
+// client gains by back-dating its timestamps (claiming an earlier
+// generation time to win the ordering). Tommy's statistical model gives a
+// natural plausibility gate: the sequencer observes the residual
+//   r = arrival − stamp = θ + network_delay   (delay >= 0),
+// so r's plausible range is [Q_θ(ε), Q_θ(1−ε) + max_delay].
+//
+//   r too LARGE  -> the stamp claims a generation earlier than any
+//                   plausible θ + delay explains: back-dating, the
+//                   profitable attack (or an implausibly slow network —
+//                   the max_plausible_delay knob draws that line).
+//   r too SMALL  -> the stamp is from the client clock's future:
+//                   forward-dating (self-defeating in a fair sequencer,
+//                   but a protocol violation worth flagging).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/client_registry.hpp"
+#include "core/message.hpp"
+
+namespace tommy::core {
+
+enum class Plausibility { kPlausible, kBackdated, kForwardDated };
+
+struct ByzantineConfig {
+  /// Tail mass treated as impossible (per side).
+  double epsilon{1e-4};
+  /// Largest believable network delay; residuals above
+  /// Q_θ(1−ε) + max_plausible_delay are flagged kBackdated.
+  Duration max_plausible_delay{Duration::from_millis(250)};
+};
+
+class ByzantineGuard {
+ public:
+  ByzantineGuard(const ClientRegistry& registry, ByzantineConfig config = {});
+
+  /// Classifies one message (also records it in the per-client score).
+  Plausibility inspect(const Message& m);
+
+  /// Messages flagged (either direction) for the client.
+  [[nodiscard]] std::uint64_t flagged_count(ClientId client) const;
+  [[nodiscard]] std::uint64_t inspected_count(ClientId client) const;
+
+  /// Fraction of the client's messages flagged; 0 if none inspected.
+  [[nodiscard]] double suspicion_score(ClientId client) const;
+
+  /// Clients whose suspicion score is at least `min_score` with at least
+  /// `min_inspected` inspected messages.
+  [[nodiscard]] std::vector<ClientId> suspects(double min_score,
+                                               std::uint64_t min_inspected) const;
+
+ private:
+  struct Counts {
+    std::uint64_t inspected{0};
+    std::uint64_t flagged{0};
+  };
+
+  const ClientRegistry& registry_;
+  ByzantineConfig config_;
+  std::unordered_map<ClientId, Counts> counts_;
+};
+
+}  // namespace tommy::core

@@ -1,0 +1,45 @@
+#include "core/client_registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+void ClientRegistry::announce(ClientId client,
+                              const stats::DistributionSummary& summary) {
+  table_[client] = summary.materialize();
+}
+
+void ClientRegistry::announce(ClientId client,
+                              stats::DistributionPtr distribution) {
+  TOMMY_EXPECTS(distribution != nullptr);
+  table_[client] = std::move(distribution);
+}
+
+bool ClientRegistry::contains(ClientId client) const {
+  return table_.contains(client);
+}
+
+const stats::Distribution& ClientRegistry::offset_distribution(
+    ClientId client) const {
+  const auto it = table_.find(client);
+  TOMMY_EXPECTS(it != table_.end());
+  return *it->second;
+}
+
+bool ClientRegistry::all_gaussian() const {
+  return std::all_of(table_.begin(), table_.end(), [](const auto& entry) {
+    return entry.second->is_gaussian();
+  });
+}
+
+std::vector<ClientId> ClientRegistry::clients() const {
+  std::vector<ClientId> out;
+  out.reserve(table_.size());
+  for (const auto& [client, dist] : table_) out.push_back(client);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tommy::core

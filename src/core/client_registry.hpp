@@ -1,0 +1,44 @@
+// The sequencer's knowledge of client clock-offset distributions
+// (Figure 1's "Learned Clock Offset Distributions" box). Clients announce
+// a DistributionSummary once (or re-announce to update); the registry
+// materializes and caches the Distribution objects the engines query.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/distribution.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::core {
+
+class ClientRegistry {
+ public:
+  /// Registers (or replaces) a client's offset distribution.
+  void announce(ClientId client, const stats::DistributionSummary& summary);
+
+  /// Registers a distribution object directly (simulation convenience —
+  /// §4 seeds clients with their true distributions this way).
+  void announce(ClientId client, stats::DistributionPtr distribution);
+
+  [[nodiscard]] bool contains(ClientId client) const;
+
+  /// Offset distribution f_θ for `client`. Precondition: contains(client).
+  [[nodiscard]] const stats::Distribution& offset_distribution(
+      ClientId client) const;
+
+  /// True iff every registered distribution is exactly Gaussian — enables
+  /// the closed-form engine and the transitivity guarantee of Appendix A.
+  [[nodiscard]] bool all_gaussian() const;
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  [[nodiscard]] std::vector<ClientId> clients() const;
+
+ private:
+  std::unordered_map<ClientId, stats::DistributionPtr> table_;
+};
+
+}  // namespace tommy::core

@@ -1,0 +1,50 @@
+// Domain types of the sequencing problem: a timestamped message as the
+// sequencer sees it, and a rank-ordered batch as the sequencer emits it
+// (§3: "All messages within a batch B_i will have a rank i").
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace tommy::core {
+
+struct Message {
+  MessageId id;
+  ClientId client;
+  /// T_i — the client's local clock at generation. The only timestamp the
+  /// statistical model uses.
+  TimePoint stamp;
+  /// Sequencer receive time (its own clock). Used by the FIFO baseline and
+  /// the online sequencer; ignored by offline Tommy.
+  TimePoint arrival{TimePoint::epoch()};
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+struct Batch {
+  Rank rank{0};
+  std::vector<Message> messages;
+};
+
+/// A complete sequencing decision: batches in rank order (dense ranks from
+/// 0). Within a batch messages are unordered (partial order, §3.4).
+struct SequencerResult {
+  std::vector<Batch> batches;
+
+  [[nodiscard]] std::size_t message_count() const {
+    std::size_t n = 0;
+    for (const Batch& b : batches) n += b.messages.size();
+    return n;
+  }
+
+  [[nodiscard]] std::vector<std::size_t> batch_sizes() const {
+    std::vector<std::size_t> sizes;
+    sizes.reserve(batches.size());
+    for (const Batch& b : batches) sizes.push_back(b.messages.size());
+    return sizes;
+  }
+};
+
+}  // namespace tommy::core

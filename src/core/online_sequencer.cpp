@@ -1,0 +1,180 @@
+#include "core/online_sequencer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+OnlineSequencer::OnlineSequencer(const ClientRegistry& registry,
+                                 std::vector<ClientId> expected_clients,
+                                 OnlineConfig config)
+    : registry_(registry),
+      config_(config),
+      engine_(registry, config.preceding),
+      expected_clients_(std::move(expected_clients)) {
+  TOMMY_EXPECTS(config.threshold > 0.5 && config.threshold < 1.0);
+  TOMMY_EXPECTS(config.p_safe > 0.5 && config.p_safe < 1.0);
+  TOMMY_EXPECTS(!expected_clients_.empty());
+  for (ClientId c : expected_clients_) {
+    TOMMY_EXPECTS(registry_.contains(c));
+    clients_[c] = ClientState{};
+  }
+}
+
+void OnlineSequencer::note_alive(ClientId c, TimePoint local_stamp,
+                                 TimePoint now) {
+  const auto it = clients_.find(c);
+  TOMMY_EXPECTS(it != clients_.end());  // unknown clients are a config error
+  ClientState& state = it->second;
+  state.high_water = std::max(state.high_water, local_stamp);
+  state.last_heard = std::max(state.last_heard, now);
+  state.heard = true;
+}
+
+bool OnlineSequencer::confidently_after(const Message& later,
+                                        const Message& earlier) const {
+  return engine_.preceding_probability(earlier, later) > config_.threshold;
+}
+
+void OnlineSequencer::on_message(const Message& m) {
+  note_alive(m.client, m.stamp, m.arrival);
+
+  // Fairness-violation check: did this message confidently belong at or
+  // before a rank we already emitted? (The safe-emission machinery makes
+  // this rare — with frequency controlled by p_safe.)
+  for (const Message& emitted : last_emitted_) {
+    if (!confidently_after(m, emitted)) {
+      ++fairness_violations_;
+      break;
+    }
+  }
+
+  // Insert keeping the buffer sorted by corrected stamp.
+  const TimePoint key = engine_.corrected_stamp(m);
+  const auto pos = std::lower_bound(
+      buffer_.begin(), buffer_.end(), m,
+      [this, key](const Message& lhs, const Message& rhs) {
+        const TimePoint lk = engine_.corrected_stamp(lhs);
+        const TimePoint rk = engine_.corrected_stamp(rhs);
+        if (lk != rk) return lk < rk;
+        return lhs.id < rhs.id;
+      });
+  buffer_.insert(pos, m);
+}
+
+void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
+                                   TimePoint now) {
+  note_alive(c, local_stamp, now);
+}
+
+std::size_t OnlineSequencer::head_batch_size() const {
+  TOMMY_ASSERT(!buffer_.empty());
+  // Closure rule (see BatchRule::kClosure): the head batch ends at the
+  // first position e such that no uncertain pair (i < e <= j) crosses it.
+  // "reach" tracks the furthest uncertain partner of any absorbed row; any
+  // candidate boundary at or before reach is blocked, so we jump past it.
+  const std::size_t n = buffer_.size();
+  std::size_t reach = 0;
+  std::size_t absorbed = 0;
+  std::size_t e = 1;
+  while (e < n) {
+    for (; absorbed < e; ++absorbed) {
+      for (std::size_t j = absorbed + 1; j < n; ++j) {
+        if (!confidently_after(buffer_[j], buffer_[absorbed])) {
+          reach = std::max(reach, j);
+        }
+      }
+    }
+    if (reach < e) return e;  // clean cut: head batch is buffer_[0..e)
+    e = reach + 1;
+  }
+  return n;
+}
+
+TimePoint OnlineSequencer::safe_time_for(std::size_t batch_size) const {
+  TimePoint t_b = TimePoint(-std::numeric_limits<double>::infinity());
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    t_b = std::max(t_b, engine_.safe_emission_time(buffer_[k], config_.p_safe));
+  }
+  return t_b;
+}
+
+bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
+                                             TimePoint now) const {
+  for (ClientId c : expected_clients_) {
+    const ClientState& state = clients_.at(c);
+    const bool timed_out =
+        config_.client_silence_timeout.is_finite() &&
+        (!state.heard ||
+         now - state.last_heard > config_.client_silence_timeout);
+    if (timed_out) continue;  // liveness guard: drop from the gate
+    if (!state.heard) return false;
+    const TimePoint frontier =
+        engine_.completeness_frontier(c, state.high_water, config_.p_safe);
+    if (frontier < t_b) return false;
+  }
+  return true;
+}
+
+std::vector<EmissionRecord> OnlineSequencer::poll(TimePoint now) {
+  std::vector<EmissionRecord> emitted;
+  while (!buffer_.empty()) {
+    const std::size_t size = head_batch_size();
+    const TimePoint t_b = safe_time_for(size);
+    if (now < t_b) break;
+    if (!completeness_satisfied(t_b, now)) break;
+
+    EmissionRecord record;
+    record.batch.rank = next_rank_++;
+    record.batch.messages.assign(
+        buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+    record.emitted_at = now;
+    record.safe_time = t_b;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+
+    last_emitted_ = record.batch.messages;
+    emitted.push_back(std::move(record));
+  }
+  return emitted;
+}
+
+std::vector<EmissionRecord> OnlineSequencer::flush(TimePoint now) {
+  std::vector<EmissionRecord> emitted;
+  while (!buffer_.empty()) {
+    const std::size_t size = head_batch_size();
+    EmissionRecord record;
+    record.batch.rank = next_rank_++;
+    record.batch.messages.assign(
+        buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+    record.emitted_at = now;
+    record.safe_time = safe_time_for(size);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+    last_emitted_ = record.batch.messages;
+    emitted.push_back(std::move(record));
+  }
+  return emitted;
+}
+
+TimePoint OnlineSequencer::next_safe_time() const {
+  if (buffer_.empty()) return TimePoint::infinite_future();
+  return safe_time_for(head_batch_size());
+}
+
+std::vector<ClientId> OnlineSequencer::timed_out_clients(TimePoint now) const {
+  std::vector<ClientId> out;
+  if (!config_.client_silence_timeout.is_finite()) return out;
+  for (ClientId c : expected_clients_) {
+    const ClientState& state = clients_.at(c);
+    if (!state.heard ||
+        now - state.last_heard > config_.client_silence_timeout) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace tommy::core

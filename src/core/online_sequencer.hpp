@@ -1,0 +1,128 @@
+// Online fair sequencing (§3.5, Appendix C).
+//
+// Messages stream in; the sequencer maintains a buffer of unemitted
+// messages ordered by corrected stamp and repeatedly tries to emit the
+// head batch. A batch B is emitted only when BOTH hold:
+//
+//  (Q1, safe emission) now >= T_b where T_b = max_{m in B} T^F_m and
+//    P(T*_m < T^F_m) > p_safe. New arrivals that are not confidently
+//    after every member of B merge into B (extending T_b), reproducing
+//    Appendix C's behaviour where one high-uncertainty message pulls
+//    temporally-distinct messages into its batch.
+//
+//  (Q2, completeness) for every expected client c the sequencer has seen a
+//    message or heartbeat (over the per-client FIFO channel) whose stamp
+//    implies — with probability >= p_safe — that any future message from c
+//    must have true time past T_b: hw_c + Q_{θc}(1 − p_safe) >= T_b.
+//    A client silent longer than `client_silence_timeout` is dropped from
+//    this gate (the liveness trade-off §3.5 names: "a failed client may
+//    halt the sequencer").
+//
+// Arrivals that confidently belonged at or before an already-emitted rank
+// are counted as fairness violations (they are assigned to the next batch;
+// the p_safe knob controls how rare this is).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batching.hpp"
+#include "core/preceding.hpp"
+#include "core/sequencer.hpp"
+
+namespace tommy::core {
+
+struct OnlineConfig {
+  /// Batch-boundary confidence (§3.4).
+  double threshold{0.75};
+  /// Safe-emission confidence (§3.5; e.g. 0.999).
+  double p_safe{0.999};
+  /// Drop a client from the completeness gate after this much sequencer
+  /// time without any message/heartbeat. Infinite = never (strict
+  /// fairness, no liveness under client failure). With a finite timeout a
+  /// client that has NEVER spoken is excluded immediately — startup does
+  /// not block on clients that may not exist; it re-enters the gate with
+  /// its first message/heartbeat.
+  Duration client_silence_timeout{Duration::infinity()};
+  PrecedingConfig preceding{};
+};
+
+/// One emitted batch plus emission metadata.
+struct EmissionRecord {
+  Batch batch;
+  TimePoint emitted_at;  // sequencer clock when emitted
+  TimePoint safe_time;   // the T_b that gated it
+};
+
+class OnlineSequencer {
+ public:
+  /// `expected_clients` is the fixed, known client set (§3.5's assumption
+  /// for answering Q2). The registry must cover all of them.
+  OnlineSequencer(const ClientRegistry& registry,
+                  std::vector<ClientId> expected_clients,
+                  OnlineConfig config = {});
+
+  /// Ingests a message; `m.arrival` must be the current sequencer time
+  /// (non-decreasing across calls — FIFO channels deliver in order).
+  void on_message(const Message& m);
+
+  /// Ingests a heartbeat carrying client `c`'s local stamp.
+  void on_heartbeat(ClientId c, TimePoint local_stamp, TimePoint now);
+
+  /// Attempts emissions at sequencer time `now`; returns every batch that
+  /// became safe, in rank order.
+  [[nodiscard]] std::vector<EmissionRecord> poll(TimePoint now);
+
+  /// Shutdown path: emits everything still buffered as properly-batched
+  /// ranks, ignoring the safe-emission and completeness gates. Use when
+  /// the stream has provably ended (e.g. simulation teardown, market
+  /// close); fairness w.r.t. still-in-flight messages is obviously not
+  /// guaranteed.
+  [[nodiscard]] std::vector<EmissionRecord> flush(TimePoint now);
+
+  /// T_b of the current head batch (infinite future if buffer empty) —
+  /// callers can schedule the next poll at this instant.
+  [[nodiscard]] TimePoint next_safe_time() const;
+
+  [[nodiscard]] std::size_t pending_count() const { return buffer_.size(); }
+  [[nodiscard]] Rank next_rank() const { return next_rank_; }
+
+  /// Messages that arrived after a batch they confidently belonged in (or
+  /// before) had already been emitted.
+  [[nodiscard]] std::size_t fairness_violations() const {
+    return fairness_violations_;
+  }
+
+  /// Clients currently excluded from the completeness gate by the
+  /// silence timeout.
+  [[nodiscard]] std::vector<ClientId> timed_out_clients(TimePoint now) const;
+
+ private:
+  struct ClientState {
+    TimePoint high_water{TimePoint(-std::numeric_limits<double>::infinity())};
+    TimePoint last_heard{TimePoint(-std::numeric_limits<double>::infinity())};
+    bool heard{false};
+  };
+
+  void note_alive(ClientId c, TimePoint local_stamp, TimePoint now);
+  [[nodiscard]] bool confidently_after(const Message& later,
+                                       const Message& earlier) const;
+  /// Size of the head batch under the closure rule (BatchRule::kClosure).
+  [[nodiscard]] std::size_t head_batch_size() const;
+  [[nodiscard]] TimePoint safe_time_for(std::size_t batch_size) const;
+  [[nodiscard]] bool completeness_satisfied(TimePoint t_b, TimePoint now) const;
+
+  const ClientRegistry& registry_;
+  OnlineConfig config_;
+  PrecedingEngine engine_;
+  std::vector<ClientId> expected_clients_;
+  std::unordered_map<ClientId, ClientState> clients_;
+
+  std::vector<Message> buffer_;  // sorted by (corrected stamp, id)
+  Rank next_rank_{0};
+  std::vector<Message> last_emitted_;  // for violation detection
+  std::size_t fairness_violations_{0};
+};
+
+}  // namespace tommy::core

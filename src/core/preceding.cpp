@@ -1,0 +1,78 @@
+#include "core/preceding.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace tommy::core {
+
+PrecedingEngine::PrecedingEngine(const ClientRegistry& registry,
+                                 PrecedingConfig config)
+    : registry_(registry), config_(config) {
+  TOMMY_EXPECTS(config.grid_points >= 16);
+}
+
+double PrecedingEngine::preceding_probability(const Message& i,
+                                              const Message& j) const {
+  const stats::Distribution& di = registry_.offset_distribution(i.client);
+  const stats::Distribution& dj = registry_.offset_distribution(j.client);
+
+  if (!config_.force_numeric && di.is_gaussian() && dj.is_gaussian()) {
+    // Closed form: T*_i − T*_j is Gaussian with mean
+    // (T_i + μ_i) − (T_j + μ_j) and variance σ_i² + σ_j².
+    const double mean_diff = (j.stamp.seconds() + dj.mean()) -
+                             (i.stamp.seconds() + di.mean());
+    const double spread = std::sqrt(di.variance() + dj.variance());
+    TOMMY_ASSERT(spread > 0.0);
+    return math::normal_cdf(mean_diff / spread);
+  }
+
+  // Numeric path: p = P(Δθ > T_i − T_j), Δθ = θ_j − θ_i.
+  const double gap = i.stamp.seconds() - j.stamp.seconds();
+  if (config_.cache_difference_densities) {
+    const stats::GridDensity& delta = difference_density_for(i.client,
+                                                             j.client);
+    return math::clamp_probability(delta.tail_probability(gap));
+  }
+  const stats::GridDensity delta =
+      stats::difference_density(dj, di, config_.grid_points, config_.method);
+  return math::clamp_probability(delta.tail_probability(gap));
+}
+
+const stats::GridDensity& PrecedingEngine::difference_density_for(
+    ClientId from, ClientId to) const {
+  const auto key = std::make_pair(from, to);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  const stats::Distribution& di = registry_.offset_distribution(from);
+  const stats::Distribution& dj = registry_.offset_distribution(to);
+  auto density = std::make_unique<stats::GridDensity>(stats::difference_density(
+      dj, di, config_.grid_points, config_.method));
+  const auto [inserted, ok] = cache_.emplace(key, std::move(density));
+  TOMMY_ASSERT(ok);
+  return *inserted->second;
+}
+
+TimePoint PrecedingEngine::safe_emission_time(const Message& m,
+                                              double p_safe) const {
+  TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
+  const stats::Distribution& d = registry_.offset_distribution(m.client);
+  return m.stamp + Duration(d.quantile(p_safe));
+}
+
+TimePoint PrecedingEngine::completeness_frontier(ClientId client,
+                                                 TimePoint high_water_stamp,
+                                                 double p_safe) const {
+  TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
+  const stats::Distribution& d = registry_.offset_distribution(client);
+  return high_water_stamp + Duration(d.quantile(1.0 - p_safe));
+}
+
+TimePoint PrecedingEngine::corrected_stamp(const Message& m) const {
+  const stats::Distribution& d = registry_.offset_distribution(m.client);
+  return m.stamp + Duration(d.mean());
+}
+
+}  // namespace tommy::core

@@ -1,0 +1,95 @@
+// The preceding-probability engine: p = P(T*_i < T*_j | T_i, T_j), the
+// weight of the likely-happened-before relation i —p→ j (§3.2).
+//
+// Two evaluation paths:
+//  * Gaussian closed form (§3.2): when both clients' offsets are Gaussian,
+//      p = Φ((T_j + μ_j − T_i − μ_i) / sqrt(σ_i² + σ_j²)).
+//    (The paper's inline formula carries a sign typo on the means; see
+//    DESIGN.md "Known paper errata". This form matches the paper's own
+//    model T* = T + θ and its Appendix A.)
+//  * Numeric path (§3.3): build the density of Δθ = θ_j − θ_i by FFT
+//    convolution of f_{θj} with the reflection of f_{θi}, then
+//      p = P(Δθ > T_i − T_j) = 1 − F_Δθ(T_i − T_j).
+//    The per-ordered-client-pair Δθ CDF is cached, so the convolution cost
+//    is paid once per pair, not once per message pair.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "core/client_registry.hpp"
+#include "core/message.hpp"
+#include "stats/convolution.hpp"
+#include "stats/grid_density.hpp"
+
+namespace tommy::core {
+
+struct PrecedingConfig {
+  /// Per-input grid resolution for the numeric path.
+  std::size_t grid_points{1024};
+  /// Convolution algorithm for the numeric path.
+  stats::ConvolutionMethod method{stats::ConvolutionMethod::kFft};
+  /// Force the numeric path even for Gaussian pairs (testing/ablation).
+  bool force_numeric{false};
+  /// Cache Δθ densities per ordered client pair.
+  bool cache_difference_densities{true};
+};
+
+class PrecedingEngine {
+ public:
+  /// The registry must outlive the engine and already contain every client
+  /// that will appear in queries.
+  explicit PrecedingEngine(const ClientRegistry& registry,
+                           PrecedingConfig config = {});
+
+  /// P(T*_i < T*_j | T_i, T_j) in [0, 1].
+  [[nodiscard]] double preceding_probability(const Message& i,
+                                             const Message& j) const;
+
+  /// T^F such that P(T* < T^F) = p_safe for message m (§3.5 safe
+  /// emission): T^F = T_m + Q_{θ_m}(p_safe).
+  [[nodiscard]] TimePoint safe_emission_time(const Message& m,
+                                             double p_safe) const;
+
+  /// Sequencer-clock instant before which no *future* message of `client`
+  /// stamped after `high_water_stamp` can have been generated, with
+  /// probability >= p_safe: hw + Q_θ(1 − p_safe). Used for the
+  /// completeness gate (Q2).
+  [[nodiscard]] TimePoint completeness_frontier(ClientId client,
+                                                TimePoint high_water_stamp,
+                                                double p_safe) const;
+
+  /// Best estimate of a message's true time: T + E[θ]. Sorting by this is
+  /// order-equivalent to the Gaussian tournament's unique topological
+  /// order (Appendix A reduces the Gaussian relation to a comparison of
+  /// corrected means).
+  [[nodiscard]] TimePoint corrected_stamp(const Message& m) const;
+
+  /// Number of Δθ densities currently cached (numeric path telemetry).
+  [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
+
+  [[nodiscard]] const ClientRegistry& registry() const { return registry_; }
+  [[nodiscard]] const PrecedingConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] const stats::GridDensity& difference_density_for(
+      ClientId from, ClientId to) const;
+
+  const ClientRegistry& registry_;
+  PrecedingConfig config_;
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<ClientId, ClientId>& p) const {
+      return std::hash<ClientId>{}(p.first) * 1000003u ^
+             std::hash<ClientId>{}(p.second);
+    }
+  };
+  // Keyed (i, j) -> density of θ_j − θ_i. Mutable: a logically-const query
+  // memoizes the expensive convolution.
+  mutable std::unordered_map<std::pair<ClientId, ClientId>,
+                             std::unique_ptr<stats::GridDensity>, PairHash>
+      cache_;
+};
+
+}  // namespace tommy::core

@@ -1,0 +1,26 @@
+// Common interface of all offline sequencers: consume a set of
+// timestamped messages (all already at the sequencer, §3's starting
+// assumption) and produce rank-ordered batches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace tommy::core {
+
+class Sequencer {
+ public:
+  virtual ~Sequencer() = default;
+
+  /// Orders the given messages into batches. Input order carries no
+  /// meaning except for baselines that read Message::arrival.
+  [[nodiscard]] virtual SequencerResult sequence(
+      std::vector<Message> messages) = 0;
+
+  /// Short identifier used in bench output ("tommy", "truetime", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace tommy::core

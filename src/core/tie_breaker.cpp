@@ -1,0 +1,34 @@
+#include "core/tie_breaker.hpp"
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+FairTieBreaker::FairTieBreaker(std::uint64_t seed) : rng_(seed) {}
+
+std::vector<Message> FairTieBreaker::total_order(const Batch& batch) {
+  TOMMY_EXPECTS(!batch.messages.empty());
+  std::vector<Message> shuffled = batch.messages;
+  rng_.shuffle(shuffled);
+
+  if (shuffled.size() > 1) {
+    std::vector<ClientId> participants;
+    participants.reserve(shuffled.size());
+    for (const Message& m : shuffled) participants.push_back(m.client);
+    ledger_.record(shuffled.front().client, participants);
+  }
+  return shuffled;
+}
+
+std::vector<Message> FairTieBreaker::total_order(
+    const SequencerResult& result) {
+  std::vector<Message> out;
+  out.reserve(result.message_count());
+  for (const Batch& batch : result.batches) {
+    std::vector<Message> ordered = total_order(batch);
+    out.insert(out.end(), ordered.begin(), ordered.end());
+  }
+  return out;
+}
+
+}  // namespace tommy::core

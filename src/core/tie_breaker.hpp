@@ -1,0 +1,36 @@
+// Fair total order extension (§5 "Extension to Fair Total Order"): some
+// applications need individual messages, not batches. Breaking ties
+// deterministically would systematically favour some clients; the paper
+// proposes random tie-breaking so fairness holds stochastically over time.
+// FairTieBreaker shuffles each batch with a seeded RNG and keeps a ledger
+// of per-client outcomes so long-run fairness is measurable.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/message.hpp"
+#include "metrics/batch_stats.hpp"
+
+namespace tommy::core {
+
+class FairTieBreaker {
+ public:
+  explicit FairTieBreaker(std::uint64_t seed);
+
+  /// Returns the batch's messages in a uniformly random order and records
+  /// which client won the first slot.
+  [[nodiscard]] std::vector<Message> total_order(const Batch& batch);
+
+  /// Flattens an entire sequencing into a total order of messages.
+  [[nodiscard]] std::vector<Message> total_order(
+      const SequencerResult& result);
+
+  [[nodiscard]] const metrics::ClientWinLedger& ledger() const {
+    return ledger_;
+  }
+
+ private:
+  Rng rng_;
+  metrics::ClientWinLedger ledger_;
+};
+
+}  // namespace tommy::core

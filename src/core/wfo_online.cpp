@@ -1,0 +1,69 @@
+#include "core/wfo_online.hpp"
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+WfoOnlineSequencer::WfoOnlineSequencer(std::vector<ClientId> expected_clients)
+    : expected_clients_(std::move(expected_clients)) {
+  TOMMY_EXPECTS(!expected_clients_.empty());
+  for (ClientId c : expected_clients_) clients_[c] = ClientState{};
+}
+
+void WfoOnlineSequencer::on_message(const Message& m) {
+  const auto it = clients_.find(m.client);
+  TOMMY_EXPECTS(it != clients_.end());
+  ClientState& state = it->second;
+  if (m.stamp < state.high_water) ++monotonicity_violations_;
+  state.high_water = std::max(state.high_water, m.stamp);
+  state.queue.push_back(m);
+}
+
+void WfoOnlineSequencer::on_heartbeat(ClientId client, TimePoint local_stamp) {
+  const auto it = clients_.find(client);
+  TOMMY_EXPECTS(it != clients_.end());
+  it->second.high_water = std::max(it->second.high_water, local_stamp);
+}
+
+bool WfoOnlineSequencer::releasable(TimePoint stamp) const {
+  for (ClientId c : expected_clients_) {
+    const ClientState& state = clients_.at(c);
+    if (!state.queue.empty()) continue;     // has a candidate of its own
+    if (state.high_water > stamp) continue; // clock provably past `stamp`
+    return false;
+  }
+  return true;
+}
+
+std::vector<Batch> WfoOnlineSequencer::poll() {
+  std::vector<Batch> released;
+  while (true) {
+    // Smallest queued head stamp across clients.
+    ClientState* best = nullptr;
+    for (ClientId c : expected_clients_) {
+      ClientState& state = clients_.at(c);
+      if (state.queue.empty()) continue;
+      if (best == nullptr ||
+          state.queue.front().stamp < best->queue.front().stamp) {
+        best = &state;
+      }
+    }
+    if (best == nullptr) break;
+    if (!releasable(best->queue.front().stamp)) break;
+
+    Batch batch;
+    batch.rank = next_rank_++;
+    batch.messages.push_back(best->queue.front());
+    best->queue.pop_front();
+    released.push_back(std::move(batch));
+  }
+  return released;
+}
+
+std::size_t WfoOnlineSequencer::pending_count() const {
+  std::size_t total = 0;
+  for (const auto& [client, state] : clients_) total += state.queue.size();
+  return total;
+}
+
+}  // namespace tommy::core

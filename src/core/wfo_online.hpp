@@ -1,0 +1,69 @@
+// Streaming WaitsForOne sequencer — Figure 2 / §1's "approximate
+// solution", as it would actually run: the sequencer holds one FIFO queue
+// per client and releases the globally-smallest head timestamp once it
+// knows no client can still produce anything smaller — i.e. every other
+// client either has a queued message or has advanced its local clock past
+// the candidate (message or heartbeat with a larger stamp, over in-order
+// channels).
+//
+// This is fair exactly when clock errors are negligible relative to
+// inter-message gaps (the paper's point): it trusts raw local stamps.
+// With noisy clocks a client's stamps may regress between consecutive
+// messages; WFO's in-order assumption is then violated — such arrivals
+// are counted in monotonicity_violations() and released on arrival-order
+// within the client's queue.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace tommy::core {
+
+class WfoOnlineSequencer {
+ public:
+  /// The fixed, known client set (the same §3.5 assumption Tommy's
+  /// completeness gate uses).
+  explicit WfoOnlineSequencer(std::vector<ClientId> expected_clients);
+
+  /// Ingests a message (per-client arrival order = channel order).
+  void on_message(const Message& m);
+
+  /// Ingests a heartbeat carrying the client's current local stamp.
+  void on_heartbeat(ClientId client, TimePoint local_stamp);
+
+  /// Releases every message whose release condition holds, smallest stamp
+  /// first. Each released message is its own rank (WFO emits a total
+  /// order).
+  [[nodiscard]] std::vector<Batch> poll();
+
+  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] Rank next_rank() const { return next_rank_; }
+
+  /// Messages that arrived stamped before their client's high-water mark
+  /// (local clock regressed): the in-order-stamps assumption broke.
+  [[nodiscard]] std::size_t monotonicity_violations() const {
+    return monotonicity_violations_;
+  }
+
+ private:
+  struct ClientState {
+    std::deque<Message> queue;
+    TimePoint high_water{
+        TimePoint(-std::numeric_limits<double>::infinity())};
+  };
+
+  /// True iff no client can still produce a message stamped below `stamp`.
+  [[nodiscard]] bool releasable(TimePoint stamp) const;
+
+  std::unordered_map<ClientId, ClientState> clients_;
+  std::vector<ClientId> expected_clients_;
+  Rank next_rank_{0};
+  std::size_t monotonicity_violations_{0};
+};
+
+}  // namespace tommy::core

@@ -1,0 +1,140 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace tommy::graph {
+
+Digraph::Digraph(std::size_t n) : adj_(n) {}
+
+void Digraph::add_edge(std::size_t u, std::size_t v, double weight) {
+  TOMMY_EXPECTS(u < adj_.size() && v < adj_.size());
+  adj_[u].push_back({v, weight});
+  ++edge_count_;
+}
+
+const std::vector<Digraph::Edge>& Digraph::out_edges(std::size_t u) const {
+  TOMMY_EXPECTS(u < adj_.size());
+  return adj_[u];
+}
+
+std::optional<std::vector<std::size_t>> Digraph::topological_sort() const {
+  const std::size_t n = adj_.size();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const Edge& e : adj_[u]) ++in_degree[e.to];
+  }
+
+  // Min-heap on index keeps the order deterministic.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (in_degree[u] == 0) ready.push(u);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (const Edge& e : adj_[u]) {
+      if (--in_degree[e.to] == 0) ready.push(e.to);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool Digraph::has_cycle() const { return !topological_sort().has_value(); }
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+  std::size_t next_index = 0;
+
+  // Iterative Tarjan: frame = (vertex, next-edge cursor).
+  struct Frame {
+    std::size_t v;
+    std::size_t edge_cursor;
+  };
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+
+    std::vector<Frame> frames{{root, 0}};
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::size_t v = frame.v;
+      if (frame.edge_cursor == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+
+      bool descended = false;
+      const auto& edges = g.out_edges(v);
+      while (frame.edge_cursor < edges.size()) {
+        const std::size_t w = edges[frame.edge_cursor].to;
+        ++frame.edge_cursor;
+        if (index[w] == kUnvisited) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+
+      if (lowlink[v] == index[v]) {
+        std::vector<std::size_t> component;
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component_of[w] = result.components.size();
+          component.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(component.begin(), component.end());
+        result.components.push_back(std::move(component));
+      }
+
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+Digraph condense(const Digraph& g, const SccResult& scc) {
+  Digraph dag(scc.components.size());
+  std::map<std::pair<std::size_t, std::size_t>, double> cross;
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (const Digraph::Edge& e : g.out_edges(u)) {
+      const std::size_t cu = scc.component_of[u];
+      const std::size_t cv = scc.component_of[e.to];
+      if (cu != cv) cross[{cu, cv}] += e.weight;
+    }
+  }
+  for (const auto& [key, weight] : cross) {
+    dag.add_edge(key.first, key.second, weight);
+  }
+  return dag;
+}
+
+}  // namespace tommy::graph

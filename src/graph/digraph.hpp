@@ -1,0 +1,59 @@
+// Small weighted directed-graph type used for the pieces of §3.4 that are
+// not tournament-specific: the condensation DAG of strongly connected
+// components and generic topological sorting.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tommy::graph {
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return adj_.size(); }
+
+  /// Adds edge u -> v with the given weight; parallel edges are allowed.
+  void add_edge(std::size_t u, std::size_t v, double weight = 1.0);
+
+  struct Edge {
+    std::size_t to;
+    double weight;
+  };
+
+  [[nodiscard]] const std::vector<Edge>& out_edges(std::size_t u) const;
+
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Kahn's algorithm. Returns a topological order, or nullopt if the graph
+  /// has a cycle. Ties (multiple zero-in-degree nodes) resolve lowest index
+  /// first, making the output deterministic.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> topological_sort()
+      const;
+
+  /// True if the graph contains a directed cycle.
+  [[nodiscard]] bool has_cycle() const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::size_t edge_count_{0};
+};
+
+/// Tarjan's strongly-connected components (iterative). Returns one vector
+/// of vertex ids per component, in reverse topological order of the
+/// condensation (i.e. a component appears before the components it can
+/// reach... precisely: Tarjan emission order); use `condense` for the DAG.
+struct SccResult {
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<std::size_t> component_of;  // vertex -> component index
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+/// Builds the condensation DAG: one node per SCC, edge between distinct
+/// components if any member edge crosses them (weights summed).
+[[nodiscard]] Digraph condense(const Digraph& g, const SccResult& scc);
+
+}  // namespace tommy::graph

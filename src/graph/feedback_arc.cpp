@@ -1,0 +1,143 @@
+#include "graph/feedback_arc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+
+#include "common/check.hpp"
+#include "graph/ordering.hpp"
+
+namespace tommy::graph {
+
+namespace {
+
+FasOrdering finalize(const Tournament& t, std::vector<std::size_t> order) {
+  FasOrdering out;
+  out.removed_count = backward_edge_count(t, order);
+  out.removed_weight = backward_edge_weight(t, order);
+  out.order = std::move(order);
+  return out;
+}
+
+}  // namespace
+
+FasOrdering exact_min_fas(const Tournament& t) {
+  const std::size_t n = t.size();
+  TOMMY_EXPECTS(n <= 20);
+
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // cost_in[v][mask]: weight of edges u -> v for u in mask (those edges
+  // become backward if v is placed while mask is still unplaced).
+  // Computed incrementally below instead of materialized (memory).
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<std::size_t> parent(full + 1, n);
+  dp[0] = 0.0;
+
+  for (std::size_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (std::size_t{1} << v)) continue;
+      // Placing v next: every kept edge u -> v from a still-unplaced u
+      // (u not in mask, u != v) will end up backward.
+      double added = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (u == v || (mask & (std::size_t{1} << u))) continue;
+        if (t.edge(u, v)) added += t.edge_weight(u, v);
+      }
+      const std::size_t next = mask | (std::size_t{1} << v);
+      if (dp[mask] + added < dp[next]) {
+        dp[next] = dp[mask] + added;
+        parent[next] = v;
+      }
+    }
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::size_t mask = full;
+  while (mask != 0) {
+    const std::size_t v = parent[mask];
+    TOMMY_ASSERT(v < n);
+    order.push_back(v);
+    mask &= ~(std::size_t{1} << v);
+  }
+  std::reverse(order.begin(), order.end());
+  return finalize(t, std::move(order));
+}
+
+FasOrdering greedy_fas(const Tournament& t) {
+  const std::size_t n = t.size();
+
+  std::vector<bool> removed(n, false);
+  std::size_t remaining = n;
+  std::vector<std::size_t> head;   // grows from the front (sources)
+  std::vector<std::size_t> tail;   // grows from the back (sinks), reversed
+
+  const auto weighted_degrees = [&](std::size_t v) {
+    double out_w = 0.0;
+    double in_w = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v || removed[u]) continue;
+      if (t.edge(v, u)) {
+        out_w += t.edge_weight(v, u);
+      } else {
+        in_w += t.edge_weight(u, v);
+      }
+    }
+    return std::pair{out_w, in_w};
+  };
+
+  while (remaining > 0) {
+    // Drain sinks (no outgoing weight) then sources (no incoming weight).
+    bool changed = true;
+    while (changed && remaining > 0) {
+      changed = false;
+      for (std::size_t v = 0; v < n && remaining > 0; ++v) {
+        if (removed[v]) continue;
+        const auto [out_w, in_w] = weighted_degrees(v);
+        if (out_w == 0.0 && remaining > 1) {
+          tail.push_back(v);
+          removed[v] = true;
+          --remaining;
+          changed = true;
+        } else if (in_w == 0.0) {
+          head.push_back(v);
+          removed[v] = true;
+          --remaining;
+          changed = true;
+        }
+      }
+    }
+    if (remaining == 0) break;
+
+    // Otherwise remove the vertex maximizing out-weight − in-weight.
+    std::size_t best = n;
+    double best_delta = -std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      const auto [out_w, in_w] = weighted_degrees(v);
+      const double delta = out_w - in_w;
+      if (delta > best_delta) {
+        best_delta = delta;
+        best = v;
+      }
+    }
+    TOMMY_ASSERT(best < n);
+    head.push_back(best);
+    removed[best] = true;
+    --remaining;
+  }
+
+  std::vector<std::size_t> order = std::move(head);
+  order.insert(order.end(), tail.rbegin(), tail.rend());
+  TOMMY_ENSURES(order.size() == n);
+  return finalize(t, std::move(order));
+}
+
+FasOrdering stochastic_fas(const Tournament& t, Rng& rng) {
+  return finalize(t, sample_stochastic_order(t, rng));
+}
+
+}  // namespace tommy::graph

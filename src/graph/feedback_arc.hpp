@@ -1,0 +1,43 @@
+// Cycle-breaking for intransitive tournaments (§3.4). Finding the minimum
+// feedback arc set is NP-hard, so the library offers:
+//   * an exact exponential DP usable up to ~14 nodes (test oracle and
+//     small-batch fallback),
+//   * the Eades–Lin–Smyth greedy heuristic generalized to probability
+//     weights (fast, deterministic),
+//   * a stochastic policy that samples orderings so that, over many
+//     sequencing rounds, no message/client is systematically disfavoured —
+//     the paper's "stochastic fairness" direction.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/tournament.hpp"
+
+namespace tommy::graph {
+
+struct FasOrdering {
+  /// Linear order of all nodes; edges pointing backwards w.r.t. it are the
+  /// (removed) feedback arcs.
+  std::vector<std::size_t> order;
+  /// Total probability weight of the removed (backward) edges.
+  double removed_weight{0.0};
+  /// Number of removed edges.
+  std::size_t removed_count{0};
+};
+
+/// Exact minimum-weight feedback arc set via Held–Karp-style subset DP.
+/// Cost is the summed probability weight of backward edges. O(2^n · n²);
+/// requires n <= 20 (practically use <= 14).
+[[nodiscard]] FasOrdering exact_min_fas(const Tournament& t);
+
+/// Greedy Eades–Lin–Smyth sequence heuristic with probability-weighted
+/// degrees. Deterministic; near-optimal on small cyclic tournaments.
+[[nodiscard]] FasOrdering greedy_fas(const Tournament& t);
+
+/// Stochastic ordering (see sample_stochastic_order) packaged as a FAS
+/// policy: each call may break cycles differently, in proportion to the
+/// pairwise probabilities.
+[[nodiscard]] FasOrdering stochastic_fas(const Tournament& t, Rng& rng);
+
+}  // namespace tommy::graph

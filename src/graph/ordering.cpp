@@ -1,0 +1,100 @@
+#include "graph/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace tommy::graph {
+
+namespace {
+
+// Inserts `node` into `path` at a position where all predecessors beat it
+// and it beats all successors, found by binary search. Correct for any
+// tournament: if edge(path[m], node) we can insert somewhere right of m,
+// otherwise somewhere left of (or at) m.
+void binary_insert(const Tournament& t, std::vector<std::size_t>& path,
+                   std::size_t node,
+                   const std::function<bool(std::size_t, std::size_t)>& wins) {
+  std::size_t lo = 0;
+  std::size_t hi = path.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (wins(path[mid], node)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  path.insert(path.begin() + static_cast<std::ptrdiff_t>(lo), node);
+  (void)t;
+}
+
+}  // namespace
+
+std::vector<std::size_t> hamiltonian_path(const Tournament& t) {
+  std::vector<std::size_t> path;
+  path.reserve(t.size());
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    binary_insert(t, path, v,
+                  [&t](std::size_t a, std::size_t b) { return t.edge(a, b); });
+  }
+  TOMMY_ENSURES(path.size() == t.size());
+  return path;
+}
+
+bool is_linear_extension(const Tournament& t,
+                         const std::vector<std::size_t>& order) {
+  TOMMY_EXPECTS(order.size() == t.size());
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      if (!t.edge(order[a], order[b])) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t backward_edge_count(const Tournament& t,
+                                const std::vector<std::size_t>& order) {
+  TOMMY_EXPECTS(order.size() == t.size());
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      if (t.edge(order[b], order[a])) ++count;
+    }
+  }
+  return count;
+}
+
+double backward_edge_weight(const Tournament& t,
+                            const std::vector<std::size_t>& order) {
+  TOMMY_EXPECTS(order.size() == t.size());
+  double weight = 0.0;
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      if (t.edge(order[b], order[a])) {
+        weight += t.edge_weight(order[b], order[a]);
+      }
+    }
+  }
+  return weight;
+}
+
+std::vector<std::size_t> sample_stochastic_order(const Tournament& t,
+                                                 Rng& rng) {
+  std::vector<std::size_t> nodes(t.size());
+  std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+  rng.shuffle(nodes);
+
+  std::vector<std::size_t> path;
+  path.reserve(t.size());
+  for (std::size_t v : nodes) {
+    binary_insert(t, path, v, [&t, &rng](std::size_t a, std::size_t b) {
+      return rng.bernoulli(t.probability(a, b));
+    });
+  }
+  TOMMY_ENSURES(path.size() == t.size());
+  return path;
+}
+
+}  // namespace tommy::graph

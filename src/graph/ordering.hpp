@@ -1,0 +1,42 @@
+// Linear-order extraction from tournaments (§3.4). For a transitive
+// tournament the Hamiltonian path is unique and equals the topological
+// order; for cyclic tournaments a Hamiltonian path still always exists
+// (every tournament has one) and serves as the starting point for the
+// cycle-breaking policies in feedback_arc.hpp.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/tournament.hpp"
+
+namespace tommy::graph {
+
+/// Hamiltonian path by binary insertion: O(n log n) edge queries. For a
+/// transitive tournament this returns its unique topological ordering.
+[[nodiscard]] std::vector<std::size_t> hamiltonian_path(const Tournament& t);
+
+/// True iff `order` is consistent with *every* kept edge (not just
+/// consecutive ones): for all a before b in `order`, edge(a, b) holds.
+/// For transitive tournaments exactly one order satisfies this.
+[[nodiscard]] bool is_linear_extension(const Tournament& t,
+                                       const std::vector<std::size_t>& order);
+
+/// Number of kept edges that point backwards under `order` — the cost that
+/// a feedback-arc-set policy tries to minimize.
+[[nodiscard]] std::size_t backward_edge_count(
+    const Tournament& t, const std::vector<std::size_t>& order);
+
+/// Total probability weight of backward edges under `order`.
+[[nodiscard]] double backward_edge_weight(const Tournament& t,
+                                          const std::vector<std::size_t>& order);
+
+/// Noisy ordering: inserts nodes in random order, each pairwise comparison
+/// resolved by a Bernoulli draw with the preceding probability. Over many
+/// draws, i precedes j roughly in proportion to P(i before j) — the
+/// "stochastic fairness" direction the paper sketches for intransitive
+/// relations.
+[[nodiscard]] std::vector<std::size_t> sample_stochastic_order(
+    const Tournament& t, Rng& rng);
+
+}  // namespace tommy::graph

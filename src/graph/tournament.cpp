@@ -1,0 +1,83 @@
+#include "graph/tournament.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tommy::graph {
+
+Tournament::Tournament(std::size_t n) : n_(n), prob_(n * n, 0.5) {
+  TOMMY_EXPECTS(n >= 1);
+}
+
+Tournament Tournament::from_pairwise(
+    std::size_t n,
+    const std::function<double(std::size_t, std::size_t)>&
+        preceding_probability) {
+  Tournament t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      t.set_probability(i, j, preceding_probability(i, j));
+    }
+  }
+  return t;
+}
+
+void Tournament::set_probability(std::size_t i, std::size_t j, double p) {
+  TOMMY_EXPECTS(i < n_ && j < n_ && i != j);
+  TOMMY_EXPECTS(p >= 0.0 && p <= 1.0);
+  prob_[i * n_ + j] = p;
+  prob_[j * n_ + i] = 1.0 - p;
+}
+
+double Tournament::probability(std::size_t i, std::size_t j) const {
+  TOMMY_EXPECTS(i < n_ && j < n_ && i != j);
+  return prob_[i * n_ + j];
+}
+
+bool Tournament::edge(std::size_t i, std::size_t j) const {
+  const double p = probability(i, j);
+  if (p == 0.5) return i < j;  // deterministic tie-break
+  return p > 0.5;
+}
+
+double Tournament::edge_weight(std::size_t i, std::size_t j) const {
+  const double p = probability(i, j);
+  return std::max(p, 1.0 - p);
+}
+
+std::size_t Tournament::out_degree(std::size_t i) const {
+  TOMMY_EXPECTS(i < n_);
+  std::size_t deg = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i && edge(i, j)) ++deg;
+  }
+  return deg;
+}
+
+bool Tournament::is_transitive() const {
+  std::vector<std::size_t> scores(n_);
+  for (std::size_t i = 0; i < n_; ++i) scores[i] = out_degree(i);
+  std::sort(scores.begin(), scores.end());
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (scores[i] != i) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Tournament::find_triangle() const {
+  // For every edge (i, j), look for k with j -> k and k -> i.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j || !edge(i, j)) continue;
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (k == i || k == j) continue;
+        if (edge(j, k) && edge(k, i)) return {i, j, k};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace tommy::graph

@@ -1,0 +1,61 @@
+// Probability tournament over messages (§3.4). Node i and node j are
+// connected by the directed edge carrying the larger of P(i before j) and
+// P(j before i); the paper's construction keeps exactly one edge per pair,
+// so the kept-edge digraph is a tournament. We store the full probability
+// matrix so batching can later read the confidence of any pair.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace tommy::graph {
+
+class Tournament {
+ public:
+  /// n-node tournament with all pairs initialized to indifference (0.5).
+  explicit Tournament(std::size_t n);
+
+  /// Builds from a pairwise preceding-probability callback; `precedes(i, j)`
+  /// must return P(i before j) for i != j. Only i < j pairs are queried;
+  /// the reverse direction is derived as the complement.
+  static Tournament from_pairwise(
+      std::size_t n, const std::function<double(std::size_t, std::size_t)>&
+                         preceding_probability);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Sets P(i before j) = p (and P(j before i) = 1 - p). p in [0, 1].
+  void set_probability(std::size_t i, std::size_t j, double p);
+
+  /// P(i before j). probability(i, j) + probability(j, i) == 1.
+  [[nodiscard]] double probability(std::size_t i, std::size_t j) const;
+
+  /// True iff the kept edge between i and j points i -> j, i.e.
+  /// P(i before j) > 0.5. Ties (exactly 0.5) break toward the lower index
+  /// so the kept-edge digraph is always a well-formed tournament.
+  [[nodiscard]] bool edge(std::size_t i, std::size_t j) const;
+
+  /// Weight of the kept edge between i and j: max(p_ij, 1 - p_ij).
+  [[nodiscard]] double edge_weight(std::size_t i, std::size_t j) const;
+
+  /// Out-degree of node i in the kept-edge digraph.
+  [[nodiscard]] std::size_t out_degree(std::size_t i) const;
+
+  /// A tournament is transitive iff its score (out-degree) sequence is a
+  /// permutation of {0, 1, ..., n-1} (classic characterization); this is
+  /// exactly the "transitive tournament" case of §3.4 where a unique
+  /// Hamiltonian path / topological order exists.
+  [[nodiscard]] bool is_transitive() const;
+
+  /// Finds a directed 3-cycle (i -> j -> k -> i) if one exists. Every
+  /// non-transitive tournament contains one. Returns empty vector if
+  /// transitive.
+  [[nodiscard]] std::vector<std::size_t> find_triangle() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> prob_;  // row-major n*n, prob_[i*n + j] = P(i before j)
+};
+
+}  // namespace tommy::graph

@@ -1,0 +1,51 @@
+#include "graph/transitivity.hpp"
+
+#include <algorithm>
+
+namespace tommy::graph {
+
+namespace {
+
+/// True iff the kept edges among {a, b, c} form a directed 3-cycle.
+bool is_cyclic_triple(const Tournament& t, std::size_t a, std::size_t b,
+                      std::size_t c) {
+  // A 3-node tournament is cyclic iff every node has out-degree 1 within
+  // the triple, i.e. it is NOT dominated: check both rotations.
+  const bool ab = t.edge(a, b);
+  const bool bc = t.edge(b, c);
+  const bool ca = t.edge(c, a);
+  if (ab && bc && ca) return true;
+  return !ab && !bc && !ca;  // the reverse rotation a<-b<-c<-a
+}
+
+double min_edge_in_triple(const Tournament& t, std::size_t a, std::size_t b,
+                          std::size_t c) {
+  return std::min({t.edge_weight(a, b), t.edge_weight(b, c),
+                   t.edge_weight(c, a)});
+}
+
+}  // namespace
+
+TransitivityReport analyze_transitivity(const Tournament& t) {
+  TransitivityReport report;
+  const std::size_t n = t.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      report.weakest_edge = std::min(report.weakest_edge, t.edge_weight(i, j));
+      for (std::size_t k = j + 1; k < n; ++k) {
+        ++report.triples;
+        if (is_cyclic_triple(t, i, j, k)) {
+          ++report.cyclic_triples;
+          report.worst_cycle_confidence =
+              std::max(report.worst_cycle_confidence,
+                       min_edge_in_triple(t, i, j, k));
+        }
+      }
+    }
+  }
+  if (n < 2) report.weakest_edge = 1.0;
+  return report;
+}
+
+}  // namespace tommy::graph

@@ -1,0 +1,44 @@
+// Characterization of the likely-happened-before relation (§5 "more
+// research is needed ... studying the probability distributions of clock
+// offsets to establish when —p→ can be safely treated as transitive").
+// This report quantifies HOW intransitive a tournament is, rather than
+// giving the boolean answer: which triples cycle, how confident the
+// cycles' weakest edges are (a cycle of near-0.5 edges is harmless — its
+// members end up in one batch anyway — while a confident cycle signals a
+// miscalibrated model), and the margin by which the relation could be
+// perturbed before ordering decisions change.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/tournament.hpp"
+
+namespace tommy::graph {
+
+struct TransitivityReport {
+  /// Number of 3-subsets inspected: C(n, 3).
+  std::size_t triples{0};
+  /// 3-subsets whose kept edges form a directed cycle.
+  std::size_t cyclic_triples{0};
+  /// Over all cyclic triples: the maximum of (minimum edge confidence in
+  /// the cycle). High values mean confident cycles — the dangerous kind.
+  /// 0 when no cycle exists.
+  double worst_cycle_confidence{0.0};
+  /// Smallest kept-edge weight over the whole tournament: how close the
+  /// least-decided pair is to a coin flip.
+  double weakest_edge{1.0};
+
+  [[nodiscard]] bool transitive() const { return cyclic_triples == 0; }
+  [[nodiscard]] double cyclic_fraction() const {
+    return triples == 0 ? 0.0
+                        : static_cast<double>(cyclic_triples) /
+                              static_cast<double>(triples);
+  }
+};
+
+/// Inspects every 3-subset: O(n³). Intended for diagnostics and batch
+/// sizes (hundreds of nodes), not for hot paths.
+[[nodiscard]] TransitivityReport analyze_transitivity(const Tournament& t);
+
+}  // namespace tommy::graph

@@ -1,0 +1,75 @@
+#include "metrics/batch_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tommy::metrics {
+
+BatchGranularity BatchGranularity::from_batch_sizes(
+    std::span<const std::size_t> sizes) {
+  BatchGranularity out;
+  out.batch_count = sizes.size();
+  std::size_t singles = 0;
+  for (std::size_t s : sizes) {
+    TOMMY_EXPECTS(s > 0);
+    out.message_count += s;
+    out.largest_batch = std::max(out.largest_batch, s);
+    if (s == 1) ++singles;
+  }
+  if (out.batch_count > 0) {
+    out.mean_batch_size = static_cast<double>(out.message_count) /
+                          static_cast<double>(out.batch_count);
+  }
+  if (out.message_count > 0) {
+    out.singleton_fraction =
+        static_cast<double>(singles) / static_cast<double>(out.message_count);
+  }
+  return out;
+}
+
+void ClientWinLedger::record(ClientId winner,
+                             std::span<const ClientId> participants) {
+  bool winner_participates = false;
+  for (ClientId c : participants) {
+    ++stats_[c].participations;
+    if (c == winner) winner_participates = true;
+  }
+  TOMMY_EXPECTS(winner_participates);
+  ++stats_[winner].wins;
+}
+
+std::uint64_t ClientWinLedger::wins(ClientId client) const {
+  const auto it = stats_.find(client);
+  return it == stats_.end() ? 0 : it->second.wins;
+}
+
+std::uint64_t ClientWinLedger::participations(ClientId client) const {
+  const auto it = stats_.find(client);
+  return it == stats_.end() ? 0 : it->second.participations;
+}
+
+double ClientWinLedger::win_rate(ClientId client) const {
+  const auto it = stats_.find(client);
+  if (it == stats_.end() || it->second.participations == 0) return 0.0;
+  return static_cast<double>(it->second.wins) /
+         static_cast<double>(it->second.participations);
+}
+
+double ClientWinLedger::disparity(std::uint64_t min_participations) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& [client, counts] : stats_) {
+    if (counts.participations < min_participations) continue;
+    const double rate = static_cast<double>(counts.wins) /
+                        static_cast<double>(counts.participations);
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  if (hi == 0.0) return 1.0;
+  if (lo == 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+}  // namespace tommy::metrics

@@ -1,0 +1,56 @@
+// Batch-granularity metrics (§3.4): "maximizing fairness amounts to
+// creating smaller batches". These quantify how far a sequencing is from
+// the ideal of singleton batches, and the long-run per-client fairness of
+// tie-breaking (§5's fair-total-order extension).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/summary_stats.hpp"
+
+namespace tommy::metrics {
+
+struct BatchGranularity {
+  std::size_t batch_count{0};
+  std::size_t message_count{0};
+  std::size_t largest_batch{0};
+  double mean_batch_size{0.0};
+  /// Fraction of messages that are alone in their batch (fully ordered).
+  double singleton_fraction{0.0};
+
+  [[nodiscard]] static BatchGranularity from_batch_sizes(
+      std::span<const std::size_t> sizes);
+};
+
+/// Long-run accounting of within-batch tie-break outcomes: how often each
+/// client's message was placed first in its batch. A fair random
+/// tie-breaker equalizes win rates over time.
+class ClientWinLedger {
+ public:
+  /// Records that `winner` took the first slot of a batch whose
+  /// participants are `participants` (each counted once per batch).
+  void record(ClientId winner, std::span<const ClientId> participants);
+
+  [[nodiscard]] std::uint64_t wins(ClientId client) const;
+  [[nodiscard]] std::uint64_t participations(ClientId client) const;
+  [[nodiscard]] double win_rate(ClientId client) const;
+
+  /// Max/min win-rate ratio across clients with >= `min_participations`;
+  /// 1.0 is perfectly fair, large values indicate systematic preference.
+  [[nodiscard]] double disparity(std::uint64_t min_participations = 1) const;
+
+  [[nodiscard]] std::size_t client_count() const { return stats_.size(); }
+
+ private:
+  struct Counts {
+    std::uint64_t wins{0};
+    std::uint64_t participations{0};
+  };
+  std::unordered_map<ClientId, Counts> stats_;
+};
+
+}  // namespace tommy::metrics

@@ -1,0 +1,104 @@
+#include "metrics/ras.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tommy::metrics {
+
+namespace {
+
+/// Fenwick tree over rank indices supporting prefix counts.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t idx) {  // idx in [0, n)
+    for (std::size_t i = idx + 1; i < tree_.size(); i += i & (~i + 1)) {
+      ++tree_[i];
+    }
+  }
+
+  /// Count of inserted values with index <= idx.
+  [[nodiscard]] std::uint64_t prefix(std::size_t idx) const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = idx + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+}  // namespace
+
+double RasBreakdown::normalized() const {
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(score) / static_cast<double>(pairs);
+}
+
+double RasBreakdown::kendall_tau_b() const {
+  if (pairs == 0) return 0.0;
+  // Ties exist only on the rank side (shared batches).
+  const double p = static_cast<double>(pairs);
+  const double tied = static_cast<double>(indifferent);
+  const double denom = std::sqrt((p - tied) * p);
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(score) / denom;
+}
+
+RasBreakdown rank_agreement(std::span<const RankedMessage> messages) {
+  RasBreakdown out;
+  const std::size_t n = messages.size();
+  if (n < 2) return out;
+  out.pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+
+  // Process messages in true-time order; for each one, classify the pairs
+  // it forms with everything already processed by comparing ranks.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return messages[a].true_time < messages[b].true_time;
+  });
+
+  // Compress ranks to dense indices.
+  std::vector<Rank> ranks(n);
+  for (std::size_t i = 0; i < n; ++i) ranks[i] = messages[i].rank;
+  std::vector<Rank> sorted_ranks = ranks;
+  std::sort(sorted_ranks.begin(), sorted_ranks.end());
+  sorted_ranks.erase(std::unique(sorted_ranks.begin(), sorted_ranks.end()),
+                     sorted_ranks.end());
+  const auto dense = [&](Rank r) {
+    return static_cast<std::size_t>(
+        std::lower_bound(sorted_ranks.begin(), sorted_ranks.end(), r) -
+        sorted_ranks.begin());
+  };
+
+  Fenwick below(sorted_ranks.size());
+  std::uint64_t processed = 0;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t idx = order[pos];
+    if (pos > 0) {
+      TOMMY_EXPECTS(messages[order[pos - 1]].true_time <
+                    messages[idx].true_time);  // distinct true times
+    }
+    const std::size_t r = dense(ranks[idx]);
+    // Earlier-true-time messages with strictly smaller rank: correct pairs.
+    const std::uint64_t leq = below.prefix(r);
+    const std::uint64_t lt = r == 0 ? 0 : below.prefix(r - 1);
+    const std::uint64_t eq = leq - lt;
+    out.correct += lt;
+    out.indifferent += eq;
+    out.incorrect += processed - leq;
+    below.add(r);
+    ++processed;
+  }
+
+  out.score = static_cast<std::int64_t>(out.correct) -
+              static_cast<std::int64_t>(out.incorrect);
+  TOMMY_ENSURES(out.correct + out.incorrect + out.indifferent == out.pairs);
+  return out;
+}
+
+}  // namespace tommy::metrics

@@ -1,0 +1,35 @@
+#include "metrics/summary_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace tommy::metrics {
+
+SummaryStats SummaryStats::from_samples(std::span<const double> xs) {
+  SummaryStats out;
+  out.count = xs.size();
+  if (xs.empty()) return out;
+
+  out.mean = math::mean(xs);
+  out.stddev = math::stddev(xs);
+  const auto [min_it, max_it] = std::minmax_element(xs.begin(), xs.end());
+  out.min = *min_it;
+  out.max = *max_it;
+  out.p50 = math::sample_quantile(xs, 0.50);
+  out.p90 = math::sample_quantile(xs, 0.90);
+  out.p99 = math::sample_quantile(xs, 0.99);
+  return out;
+}
+
+std::string SummaryStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev
+     << " min=" << min << " p50=" << p50 << " p90=" << p90 << " p99=" << p99
+     << " max=" << max;
+  return os.str();
+}
+
+}  // namespace tommy::metrics

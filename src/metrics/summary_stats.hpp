@@ -1,0 +1,24 @@
+// Descriptive statistics over scalar samples (latencies, batch sizes...).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace tommy::metrics {
+
+struct SummaryStats {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double p50{0.0};
+  double p90{0.0};
+  double p99{0.0};
+  double max{0.0};
+
+  [[nodiscard]] static SummaryStats from_samples(std::span<const double> xs);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tommy::metrics

@@ -1,0 +1,43 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tommy::net {
+
+DelayModel::DelayModel(Duration base, stats::DistributionPtr jitter, Rng rng)
+    : base_(base), jitter_(std::move(jitter)), rng_(rng) {
+  TOMMY_EXPECTS(base >= Duration::zero());
+}
+
+DelayModel DelayModel::fixed(Duration base) {
+  return DelayModel(base, nullptr, Rng(0));
+}
+
+Duration DelayModel::sample() {
+  if (jitter_ == nullptr) return base_;
+  const double extra = std::max(0.0, jitter_->sample(rng_));
+  return base_ + Duration(extra);
+}
+
+Link::Link(Simulation& sim, DelayModel delay)
+    : sim_(sim), delay_(std::move(delay)) {}
+
+void Link::send(std::function<void()> deliver) {
+  ++sent_;
+  sim_.schedule_after(delay_.sample(), std::move(deliver));
+}
+
+OrderedChannel::OrderedChannel(Simulation& sim, DelayModel delay)
+    : sim_(sim), delay_(std::move(delay)) {}
+
+void OrderedChannel::send(std::function<void()> deliver) {
+  ++sent_;
+  const TimePoint unordered = sim_.now() + delay_.sample();
+  const TimePoint when = std::max(unordered, last_delivery_);
+  last_delivery_ = when;
+  sim_.schedule_at(when, std::move(deliver));
+}
+
+}  // namespace tommy::net

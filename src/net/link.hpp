@@ -1,0 +1,72 @@
+// Network links. A Link delivers payloads after a randomly sampled
+// one-way delay (so later sends can arrive before earlier ones — the
+// network asynchrony of §3.5/Q2). An OrderedChannel layers per-sender FIFO
+// delivery on top, modelling a TCP connection: sampled delays still vary,
+// but delivery order matches send order.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/simulation.hpp"
+#include "stats/distribution.hpp"
+
+namespace tommy::net {
+
+/// One-way delay model shared by Link and OrderedChannel: a base
+/// propagation delay plus a random sample from `jitter` (clamped at zero so
+/// total delay never undercuts the base).
+class DelayModel {
+ public:
+  DelayModel(Duration base, stats::DistributionPtr jitter, Rng rng);
+
+  /// Base-only model (deterministic).
+  static DelayModel fixed(Duration base);
+
+  [[nodiscard]] Duration sample();
+  [[nodiscard]] Duration base() const { return base_; }
+
+ private:
+  Duration base_;
+  stats::DistributionPtr jitter_;  // may be null => no jitter
+  Rng rng_;
+};
+
+/// Unordered datagram-style link.
+class Link {
+ public:
+  Link(Simulation& sim, DelayModel delay);
+
+  /// Samples a delay and schedules `deliver` at now() + delay.
+  void send(std::function<void()> deliver);
+
+  [[nodiscard]] std::size_t sent_count() const { return sent_; }
+
+ private:
+  Simulation& sim_;
+  DelayModel delay_;
+  std::size_t sent_{0};
+};
+
+/// FIFO (per-channel) delivery: a message is delivered at
+/// max(now + sampled delay, previous delivery time), like bytes on a TCP
+/// stream. §3.5's completeness rule (Q2) relies on this property.
+class OrderedChannel {
+ public:
+  OrderedChannel(Simulation& sim, DelayModel delay);
+
+  void send(std::function<void()> deliver);
+
+  [[nodiscard]] std::size_t sent_count() const { return sent_; }
+  [[nodiscard]] TimePoint last_delivery_time() const { return last_delivery_; }
+
+ private:
+  Simulation& sim_;
+  DelayModel delay_;
+  TimePoint last_delivery_{TimePoint::epoch()};
+  std::size_t sent_{0};
+};
+
+}  // namespace tommy::net

@@ -1,0 +1,95 @@
+#include "net/messages.hpp"
+
+#include "common/check.hpp"
+#include "net/wire.hpp"
+
+namespace tommy::net {
+
+namespace {
+
+constexpr std::uint8_t kTagDistribution = 1;
+constexpr std::uint8_t kTagTimestamped = 2;
+constexpr std::uint8_t kTagHeartbeat = 3;
+constexpr std::uint8_t kTagBatch = 4;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const WireMessage& message) {
+  ByteWriter w;
+  if (const auto* d = std::get_if<DistributionAnnouncement>(&message)) {
+    w.u8(kTagDistribution);
+    w.u32(d->client.value());
+    const auto payload = d->summary.serialize();
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.raw(payload);
+  } else if (const auto* m = std::get_if<TimestampedMessage>(&message)) {
+    w.u8(kTagTimestamped);
+    w.u32(m->client.value());
+    w.u64(m->id.value());
+    w.f64(m->local_stamp.seconds());
+  } else if (const auto* h = std::get_if<Heartbeat>(&message)) {
+    w.u8(kTagHeartbeat);
+    w.u32(h->client.value());
+    w.f64(h->local_stamp.seconds());
+  } else if (const auto* b = std::get_if<BatchEmission>(&message)) {
+    w.u8(kTagBatch);
+    w.u64(b->rank);
+    w.u32(static_cast<std::uint32_t>(b->messages.size()));
+    for (MessageId id : b->messages) w.u64(id.value());
+  } else {
+    TOMMY_ASSERT(false);
+  }
+  return w.take();
+}
+
+std::optional<WireMessage> decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.u8();
+  if (!tag) return std::nullopt;
+
+  switch (*tag) {
+    case kTagDistribution: {
+      const auto client = r.u32();
+      const auto len = r.u32();
+      if (!client || !len) return std::nullopt;
+      const auto payload = r.raw(*len);
+      if (!payload || !r.exhausted()) return std::nullopt;
+      auto summary = stats::DistributionSummary::deserialize(*payload);
+      if (!summary) return std::nullopt;
+      return DistributionAnnouncement{ClientId(*client), std::move(*summary)};
+    }
+    case kTagTimestamped: {
+      const auto client = r.u32();
+      const auto id = r.u64();
+      const auto stamp = r.f64();
+      if (!client || !id || !stamp || !r.exhausted()) return std::nullopt;
+      return TimestampedMessage{ClientId(*client), MessageId(*id),
+                                TimePoint(*stamp)};
+    }
+    case kTagHeartbeat: {
+      const auto client = r.u32();
+      const auto stamp = r.f64();
+      if (!client || !stamp || !r.exhausted()) return std::nullopt;
+      return Heartbeat{ClientId(*client), TimePoint(*stamp)};
+    }
+    case kTagBatch: {
+      const auto rank = r.u64();
+      const auto count = r.u32();
+      if (!rank.has_value() || !count) return std::nullopt;
+      BatchEmission batch;
+      batch.rank = *rank;
+      batch.messages.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto id = r.u64();
+        if (!id) return std::nullopt;
+        batch.messages.emplace_back(*id);
+      }
+      if (!r.exhausted()) return std::nullopt;
+      return batch;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace tommy::net

@@ -1,0 +1,67 @@
+// The protocol messages of Figure 1: clients send their learned offset
+// distribution once, then a stream of timestamped messages and heartbeats;
+// the sequencer emits ordered batches upstream. Codec functions give each
+// a compact binary wire form (round-trip tested in tests/net).
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::net {
+
+/// Client -> sequencer: "my clock offset w.r.t. you is distributed as ...".
+struct DistributionAnnouncement {
+  ClientId client;
+  stats::DistributionSummary summary;
+
+  friend bool operator==(const DistributionAnnouncement&,
+                         const DistributionAnnouncement&) = default;
+};
+
+/// Client -> sequencer: an application message stamped with the client's
+/// local clock (T_i in the paper).
+struct TimestampedMessage {
+  ClientId client;
+  MessageId id;
+  TimePoint local_stamp;
+
+  friend bool operator==(const TimestampedMessage&,
+                         const TimestampedMessage&) = default;
+};
+
+/// Client -> sequencer: liveness + completeness signal carrying the
+/// client's current local clock (Q2 of §3.5: the sequencer may conclude
+/// everything stamped <= t has arrived once every client's high-water mark
+/// exceeds t).
+struct Heartbeat {
+  ClientId client;
+  TimePoint local_stamp;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Sequencer -> upstream application: one emitted batch. All contained
+/// messages share `rank`; ranks are dense from 0.
+struct BatchEmission {
+  Rank rank{0};
+  std::vector<MessageId> messages;
+
+  friend bool operator==(const BatchEmission&, const BatchEmission&) = default;
+};
+
+using WireMessage = std::variant<DistributionAnnouncement, TimestampedMessage,
+                                 Heartbeat, BatchEmission>;
+
+/// Serializes any protocol message (1-byte tag + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode(const WireMessage& message);
+
+/// Parses bytes from encode(); nullopt on malformed or truncated input.
+[[nodiscard]] std::optional<WireMessage> decode(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace tommy::net

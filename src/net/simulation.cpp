@@ -1,0 +1,48 @@
+#include "net/simulation.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace tommy::net {
+
+void Simulation::schedule_at(TimePoint t, std::function<void()> fn) {
+  TOMMY_EXPECTS(t >= now_);
+  TOMMY_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+void Simulation::schedule_after(Duration d, std::function<void()> fn) {
+  TOMMY_EXPECTS(d >= Duration::zero());
+  schedule_at(now_ + d, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::size_t Simulation::run_until(TimePoint t) {
+  TOMMY_EXPECTS(t >= now_);
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= t) {
+    step();
+    ++count;
+  }
+  now_ = t;
+  return count;
+}
+
+}  // namespace tommy::net

@@ -1,0 +1,64 @@
+// Discrete-event simulation engine. All network and clock behaviour in the
+// repo runs on this: events are closures scheduled at absolute simulated
+// times and executed in time order (FIFO among equal times, so runs are
+// fully deterministic given the RNG seeds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace tommy::net {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time. Starts at the epoch (0).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`; `t` must not be in the past.
+  void schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after a non-negative delay from now().
+  void schedule_after(Duration d, std::function<void()> fn);
+
+  /// Runs events until the queue drains. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= `t`, then advances the clock to `t`.
+  std::size_t run_until(TimePoint t);
+
+  /// Executes exactly one event if available; returns false if none.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t sequence;  // FIFO tie-break for equal times
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_{TimePoint::epoch()};
+  std::uint64_t next_sequence_{0};
+  std::size_t processed_{0};
+};
+
+}  // namespace tommy::net

@@ -1,0 +1,98 @@
+// Byte-level wire helpers: little-endian primitive encoding with bounds
+// checking on the read side. Kept deliberately simple (no varints, no
+// schema evolution) — the format is internal to one deployment.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tommy::net {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void raw(const std::vector<std::uint8_t>& data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (pos_ + 1 > bytes_.size()) return std::nullopt;
+    return bytes_[pos_++];
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> u32() {
+    if (pos_ + 4 > bytes_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    if (pos_ + 8 > bytes_.size()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::optional<double> f64() {
+    const auto bits = u64();
+    if (!bits) return std::nullopt;
+    double v;
+    std::memcpy(&v, &*bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> raw(
+      std::size_t count) {
+    if (pos_ + count > bytes_.size()) return std::nullopt;
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace tommy::net

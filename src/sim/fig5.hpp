@@ -1,0 +1,42 @@
+// The Figure 5 experiment, packaged so the bench prints it and the
+// integration tests assert its shape: 500 clients with seeded Gaussian
+// offset distributions, a Poisson message workload with a configurable
+// inter-message gap, offline sequencing, normalized RAS per sequencer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tommy::sim {
+
+struct Fig5Config {
+  std::size_t clients{500};
+  std::size_t messages{2000};
+  /// x-axis: clock deviation scale, microseconds.
+  double deviation_scale_us{0.0};
+  /// marker size: mean inter-message gap, microseconds.
+  double gap_us{1.0};
+  /// §3.4 threshold (paper uses 0.75).
+  double threshold{0.75};
+  std::uint64_t seed{1};
+};
+
+struct Fig5Point {
+  Fig5Config config;
+  double tommy_ras{0.0};
+  double truetime_ras{0.0};
+  double wfo_ras{0.0};
+  double fifo_ras{0.0};
+  double tommy_batches{0.0};
+  double truetime_batches{0.0};
+};
+
+/// Runs one sweep point (all four sequencers on identical messages).
+[[nodiscard]] Fig5Point run_fig5_point(const Fig5Config& config);
+
+/// CSV header/row helpers shared by the bench binary.
+[[nodiscard]] std::string fig5_csv_header();
+[[nodiscard]] std::string fig5_csv_row(const Fig5Point& point);
+
+}  // namespace tommy::sim

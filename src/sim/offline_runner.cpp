@@ -1,0 +1,86 @@
+#include "sim/offline_runner.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace tommy::sim {
+
+std::vector<ObservedMessage> materialize_messages(
+    const Population& population, const std::vector<GenEvent>& events,
+    const MaterializeConfig& config, Rng& rng) {
+  // Per-client RNG streams keep draws decorrelated and runs reproducible
+  // regardless of event interleaving.
+  std::unordered_map<ClientId, Rng> client_rngs;
+  for (const ClientSpec& c : population.clients()) {
+    client_rngs.emplace(c.id, rng.split());
+  }
+  Rng net_rng = rng.split();
+
+  std::vector<ObservedMessage> out;
+  out.reserve(events.size());
+  std::uint64_t next_id = 0;
+  for (const GenEvent& event : events) {
+    const stats::Distribution& f_theta = population.offset_of(event.client);
+    Rng& crng = client_rngs.at(event.client);
+    const double theta = f_theta.sample(crng);
+
+    ObservedMessage om;
+    om.true_time = event.true_time;
+    om.theta = theta;
+    om.message.id = MessageId(next_id++);
+    om.message.client = event.client;
+    // Local stamp: T = t_true − θ, so the sequencer-side model
+    // T* = T + θ recovers the true time exactly.
+    om.message.stamp = event.true_time - Duration(theta);
+    om.message.arrival =
+        config.mean_net_delay > Duration::zero()
+            ? event.true_time +
+                  Duration(net_rng.exponential(config.mean_net_delay.seconds()))
+            : event.true_time;
+    out.push_back(std::move(om));
+  }
+  return out;
+}
+
+std::vector<metrics::RankedMessage> rank_against_truth(
+    const core::SequencerResult& result,
+    const std::vector<ObservedMessage>& observed) {
+  std::unordered_map<MessageId, const ObservedMessage*> truth;
+  truth.reserve(observed.size());
+  for (const ObservedMessage& om : observed) {
+    truth.emplace(om.message.id, &om);
+  }
+
+  std::vector<metrics::RankedMessage> ranked;
+  ranked.reserve(observed.size());
+  for (const core::Batch& batch : result.batches) {
+    for (const core::Message& m : batch.messages) {
+      const auto it = truth.find(m.id);
+      TOMMY_EXPECTS(it != truth.end());
+      ranked.push_back(metrics::RankedMessage{
+          m.id, m.client, it->second->true_time, batch.rank});
+    }
+  }
+  TOMMY_ENSURES(ranked.size() == observed.size());
+  return ranked;
+}
+
+SequencerScore score_sequencer(core::Sequencer& sequencer,
+                               const std::vector<ObservedMessage>& observed) {
+  std::vector<core::Message> input;
+  input.reserve(observed.size());
+  for (const ObservedMessage& om : observed) input.push_back(om.message);
+
+  const core::SequencerResult result = sequencer.sequence(std::move(input));
+  const auto ranked = rank_against_truth(result, observed);
+
+  SequencerScore score;
+  score.sequencer = sequencer.name();
+  score.ras = metrics::rank_agreement(ranked);
+  const auto sizes = result.batch_sizes();
+  score.batches = metrics::BatchGranularity::from_batch_sizes(sizes);
+  return score;
+}
+
+}  // namespace tommy::sim

@@ -1,0 +1,57 @@
+// Offline experiment runner — the §4 evaluation loop:
+//   1. a workload decides when each client generates a message (ground
+//      truth, the omniscient observer of Definition 1);
+//   2. at generation the client draws θ ~ f_θ and stamps T = t_true − θ
+//      (so T* = T + θ = t_true exactly, matching the paper's model);
+//   3. messages (optionally) receive network arrival times for FIFO;
+//   4. each sequencer orders the full set; RAS compares its ranks with
+//      ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/sequencer.hpp"
+#include "metrics/batch_stats.hpp"
+#include "metrics/ras.hpp"
+#include "sim/population.hpp"
+#include "sim/workload.hpp"
+
+namespace tommy::sim {
+
+/// A generated message together with its ground truth.
+struct ObservedMessage {
+  core::Message message;
+  TimePoint true_time;
+  double theta;  // the offset actually drawn (evaluation only)
+};
+
+struct MaterializeConfig {
+  /// Mean one-way network delay for arrival stamps (exponential); zero
+  /// disables network delay (arrival == true time).
+  Duration mean_net_delay{Duration::zero()};
+};
+
+/// Turns workload events into stamped messages using the population's
+/// offset distributions.
+[[nodiscard]] std::vector<ObservedMessage> materialize_messages(
+    const Population& population, const std::vector<GenEvent>& events,
+    const MaterializeConfig& config, Rng& rng);
+
+/// Evaluation view: the messages a sequencer ranked, joined with truth.
+[[nodiscard]] std::vector<metrics::RankedMessage> rank_against_truth(
+    const core::SequencerResult& result,
+    const std::vector<ObservedMessage>& observed);
+
+struct SequencerScore {
+  std::string sequencer;
+  metrics::RasBreakdown ras;
+  metrics::BatchGranularity batches;
+};
+
+/// Runs one sequencer over the observed messages and scores it.
+[[nodiscard]] SequencerScore score_sequencer(
+    core::Sequencer& sequencer, const std::vector<ObservedMessage>& observed);
+
+}  // namespace tommy::sim

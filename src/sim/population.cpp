@@ -1,0 +1,97 @@
+#include "sim/population.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/mixture.hpp"
+
+namespace tommy::sim {
+
+Population::Population(std::vector<ClientSpec> clients)
+    : clients_(std::move(clients)) {
+  TOMMY_EXPECTS(!clients_.empty());
+  for (const ClientSpec& c : clients_) {
+    TOMMY_EXPECTS(c.offset != nullptr);
+  }
+}
+
+const stats::Distribution& Population::offset_of(ClientId id) const {
+  const auto it = std::find_if(
+      clients_.begin(), clients_.end(),
+      [id](const ClientSpec& c) { return c.id == id; });
+  TOMMY_EXPECTS(it != clients_.end());
+  return *it->offset;
+}
+
+std::vector<ClientId> Population::ids() const {
+  std::vector<ClientId> out;
+  out.reserve(clients_.size());
+  for (const ClientSpec& c : clients_) out.push_back(c.id);
+  return out;
+}
+
+void Population::seed_registry(core::ClientRegistry& registry) const {
+  for (const ClientSpec& c : clients_) {
+    registry.announce(c.id, c.offset->clone());
+  }
+}
+
+Population gaussian_population(std::size_t n, double deviation_scale,
+                               Rng& rng) {
+  TOMMY_EXPECTS(n >= 1);
+  TOMMY_EXPECTS(deviation_scale >= 0.0);
+  // A zero scale would make sigma degenerate; model "perfect" clocks with
+  // a vanishingly small spread instead.
+  const double scale = std::max(deviation_scale, 1e-12);
+
+  std::vector<ClientSpec> clients;
+  clients.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mu = rng.uniform(-scale, scale);
+    const double sigma = rng.uniform(0.5 * scale, 1.5 * scale);
+    clients.push_back(ClientSpec{
+        ClientId(static_cast<std::uint32_t>(k)),
+        std::make_unique<stats::Gaussian>(mu, sigma)});
+  }
+  return Population(std::move(clients));
+}
+
+Population gumbel_population(std::size_t n, double deviation_scale, Rng& rng) {
+  TOMMY_EXPECTS(n >= 1);
+  TOMMY_EXPECTS(deviation_scale > 0.0);
+  std::vector<ClientSpec> clients;
+  clients.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double location = rng.uniform(-deviation_scale, deviation_scale);
+    const double scale = rng.uniform(0.3 * deviation_scale, deviation_scale);
+    clients.push_back(ClientSpec{
+        ClientId(static_cast<std::uint32_t>(k)),
+        std::make_unique<stats::Gumbel>(location, scale)});
+  }
+  return Population(std::move(clients));
+}
+
+Population bimodal_population(std::size_t n, double deviation_scale,
+                              Rng& rng) {
+  TOMMY_EXPECTS(n >= 1);
+  TOMMY_EXPECTS(deviation_scale > 0.0);
+  std::vector<ClientSpec> clients;
+  clients.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double center = rng.uniform(-deviation_scale, deviation_scale);
+    const double separation = rng.uniform(1.0, 3.0) * deviation_scale;
+    const double sigma = rng.uniform(0.3, 0.8) * deviation_scale;
+    const double w = rng.uniform(0.3, 0.7);
+    auto mixture = std::make_unique<stats::Mixture>(stats::Mixture::of(
+        w, std::make_unique<stats::Gaussian>(center - separation / 2, sigma),
+        1.0 - w,
+        std::make_unique<stats::Gaussian>(center + separation / 2, sigma)));
+    clients.push_back(ClientSpec{ClientId(static_cast<std::uint32_t>(k)),
+                                 std::move(mixture)});
+  }
+  return Population(std::move(clients));
+}
+
+}  // namespace tommy::sim

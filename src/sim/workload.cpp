@@ -1,0 +1,77 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tommy::sim {
+
+std::vector<GenEvent> poisson_workload(const std::vector<ClientId>& clients,
+                                       std::size_t count, Duration mean_gap,
+                                       Rng& rng) {
+  TOMMY_EXPECTS(!clients.empty());
+  TOMMY_EXPECTS(mean_gap > Duration::zero());
+
+  std::vector<GenEvent> events;
+  events.reserve(count);
+  TimePoint t = TimePoint::epoch();
+  for (std::size_t k = 0; k < count; ++k) {
+    t += Duration(rng.exponential(mean_gap.seconds()));
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(clients.size()) - 1));
+    events.push_back(GenEvent{clients[pick], t});
+  }
+  return events;
+}
+
+std::vector<GenEvent> uniform_workload(const std::vector<ClientId>& clients,
+                                       std::size_t count, Duration gap) {
+  TOMMY_EXPECTS(!clients.empty());
+  TOMMY_EXPECTS(gap > Duration::zero());
+
+  std::vector<GenEvent> events;
+  events.reserve(count);
+  TimePoint t = TimePoint::epoch();
+  for (std::size_t k = 0; k < count; ++k) {
+    t += gap;
+    events.push_back(GenEvent{clients[k % clients.size()], t});
+  }
+  return events;
+}
+
+std::vector<GenEvent> burst_workload(const std::vector<ClientId>& clients,
+                                     std::size_t burst_count,
+                                     Duration burst_spacing,
+                                     Duration reaction_min,
+                                     Duration reaction_max, Rng& rng) {
+  TOMMY_EXPECTS(!clients.empty());
+  TOMMY_EXPECTS(burst_spacing > Duration::zero());
+  TOMMY_EXPECTS(Duration::zero() <= reaction_min &&
+                reaction_min < reaction_max);
+
+  std::vector<GenEvent> events;
+  events.reserve(burst_count * clients.size());
+  for (std::size_t b = 0; b < burst_count; ++b) {
+    // The market event is broadcast at the burst instant; every client
+    // reacts once with an independent reaction delay.
+    const TimePoint burst_at =
+        TimePoint::epoch() + burst_spacing * static_cast<double>(b + 1);
+    for (ClientId c : clients) {
+      const Duration reaction =
+          Duration(rng.uniform(reaction_min.seconds(), reaction_max.seconds()));
+      events.push_back(GenEvent{c, burst_at + reaction});
+    }
+  }
+  sort_events(events);
+  return events;
+}
+
+void sort_events(std::vector<GenEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const GenEvent& a, const GenEvent& b) {
+              if (a.true_time != b.true_time) return a.true_time < b.true_time;
+              return a.client < b.client;
+            });
+}
+
+}  // namespace tommy::sim

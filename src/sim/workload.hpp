@@ -1,0 +1,47 @@
+// Workload generators: when (in true/omniscient time) each client
+// generates a message. The auction-app burst workload models the paper's
+// motivating scenario — "millions of events by hundreds of clients
+// generated within a very small window of time upon some sensitive event".
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace tommy::sim {
+
+/// One ground-truth generation event.
+struct GenEvent {
+  ClientId client;
+  TimePoint true_time;
+};
+
+/// `count` events spread across `clients` with exponential inter-arrival
+/// gaps of mean `mean_gap` (global arrival process; clients drawn
+/// uniformly). This is the Fig. 5 workload — `mean_gap` is the
+/// "inter-messages gap" the marker size encodes.
+[[nodiscard]] std::vector<GenEvent> poisson_workload(
+    const std::vector<ClientId>& clients, std::size_t count,
+    Duration mean_gap, Rng& rng);
+
+/// Evenly spaced events with deterministic gap (round-robin clients) —
+/// the cleanest setting for threshold/latency ablations.
+[[nodiscard]] std::vector<GenEvent> uniform_workload(
+    const std::vector<ClientId>& clients, std::size_t count, Duration gap);
+
+/// Auction-app bursts: `burst_count` market events spaced `burst_spacing`
+/// apart; on each, every client responds once after a reaction delay
+/// ~ U(reaction_min, reaction_max). Events within a burst are tightly
+/// packed (fairness-critical), bursts are far apart.
+[[nodiscard]] std::vector<GenEvent> burst_workload(
+    const std::vector<ClientId>& clients, std::size_t burst_count,
+    Duration burst_spacing, Duration reaction_min, Duration reaction_max,
+    Rng& rng);
+
+/// Sorts by true time (all generators return sorted output already; use
+/// after merging workloads).
+void sort_events(std::vector<GenEvent>& events);
+
+}  // namespace tommy::sim

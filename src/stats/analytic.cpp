@@ -1,0 +1,290 @@
+#include "stats/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tommy::stats {
+
+namespace {
+
+// Euler–Mascheroni constant (Gumbel mean).
+constexpr double kEulerGamma = 0.5772156649015328606;
+
+// Regularized incomplete beta I_x(a, b) via the Lentz continued fraction
+// (Numerical Recipes `betacf`), needed for the Student-t CDF.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double reg_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log1p(-x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  TOMMY_EXPECTS(std::isfinite(lo) && std::isfinite(hi));
+  TOMMY_EXPECTS(lo < hi);
+}
+
+double Uniform::pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+DistributionPtr Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+std::string Uniform::describe() const {
+  std::ostringstream os;
+  os << "Uniform(lo=" << lo_ << ", hi=" << hi_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Laplace
+
+Laplace::Laplace(double location, double scale)
+    : location_(location), scale_(scale) {
+  TOMMY_EXPECTS(scale > 0.0);
+}
+
+double Laplace::pdf(double x) const {
+  return std::exp(-std::abs(x - location_) / scale_) / (2.0 * scale_);
+}
+
+double Laplace::cdf(double x) const {
+  if (x < location_) return 0.5 * std::exp((x - location_) / scale_);
+  return 1.0 - 0.5 * std::exp(-(x - location_) / scale_);
+}
+
+double Laplace::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  if (p < 0.5) return location_ + scale_ * std::log(2.0 * p);
+  return location_ - scale_ * std::log(2.0 * (1.0 - p));
+}
+
+DistributionPtr Laplace::clone() const {
+  return std::make_unique<Laplace>(*this);
+}
+
+std::string Laplace::describe() const {
+  std::ostringstream os;
+  os << "Laplace(location=" << location_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------- ShiftedExponential
+
+ShiftedExponential::ShiftedExponential(double location, double scale)
+    : location_(location), scale_(scale) {
+  TOMMY_EXPECTS(scale > 0.0);
+}
+
+double ShiftedExponential::pdf(double x) const {
+  if (x < location_) return 0.0;
+  return std::exp(-(x - location_) / scale_) / scale_;
+}
+
+double ShiftedExponential::cdf(double x) const {
+  if (x <= location_) return 0.0;
+  return 1.0 - std::exp(-(x - location_) / scale_);
+}
+
+double ShiftedExponential::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  return location_ - scale_ * std::log1p(-p);
+}
+
+Support ShiftedExponential::support() const {
+  return {location_, std::numeric_limits<double>::infinity()};
+}
+
+DistributionPtr ShiftedExponential::clone() const {
+  return std::make_unique<ShiftedExponential>(*this);
+}
+
+std::string ShiftedExponential::describe() const {
+  std::ostringstream os;
+  os << "ShiftedExponential(location=" << location_ << ", scale=" << scale_
+     << ")";
+  return os.str();
+}
+
+// ----------------------------------------------------------------- Gumbel
+
+Gumbel::Gumbel(double location, double scale)
+    : location_(location), scale_(scale) {
+  TOMMY_EXPECTS(scale > 0.0);
+}
+
+double Gumbel::pdf(double x) const {
+  const double z = (x - location_) / scale_;
+  return std::exp(-z - std::exp(-z)) / scale_;
+}
+
+double Gumbel::cdf(double x) const {
+  const double z = (x - location_) / scale_;
+  return std::exp(-std::exp(-z));
+}
+
+double Gumbel::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  return location_ - scale_ * std::log(-std::log(p));
+}
+
+double Gumbel::mean() const { return location_ + scale_ * kEulerGamma; }
+
+double Gumbel::variance() const {
+  return std::numbers::pi * std::numbers::pi / 6.0 * scale_ * scale_;
+}
+
+DistributionPtr Gumbel::clone() const {
+  return std::make_unique<Gumbel>(*this);
+}
+
+std::string Gumbel::describe() const {
+  std::ostringstream os;
+  os << "Gumbel(location=" << location_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- Logistic
+
+Logistic::Logistic(double location, double scale)
+    : location_(location), scale_(scale) {
+  TOMMY_EXPECTS(scale > 0.0);
+}
+
+double Logistic::pdf(double x) const {
+  const double z = (x - location_) / scale_;
+  const double e = std::exp(-std::abs(z));
+  const double denom = (1.0 + e) * (1.0 + e);
+  return e / (scale_ * denom);
+}
+
+double Logistic::cdf(double x) const {
+  const double z = (x - location_) / scale_;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+double Logistic::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  return location_ + scale_ * std::log(p / (1.0 - p));
+}
+
+double Logistic::variance() const {
+  return scale_ * scale_ * std::numbers::pi * std::numbers::pi / 3.0;
+}
+
+DistributionPtr Logistic::clone() const {
+  return std::make_unique<Logistic>(*this);
+}
+
+std::string Logistic::describe() const {
+  std::ostringstream os;
+  os << "Logistic(location=" << location_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- StudentT
+
+StudentT::StudentT(double df, double location, double scale)
+    : df_(df), location_(location), scale_(scale) {
+  TOMMY_EXPECTS(df > 2.0);  // finite variance required by the engine
+  TOMMY_EXPECTS(scale > 0.0);
+}
+
+double StudentT::pdf(double x) const {
+  const double z = (x - location_) / scale_;
+  const double ln_norm = std::lgamma((df_ + 1.0) / 2.0) -
+                         std::lgamma(df_ / 2.0) -
+                         0.5 * std::log(df_ * std::numbers::pi);
+  return std::exp(ln_norm -
+                  (df_ + 1.0) / 2.0 * std::log1p(z * z / df_)) /
+         scale_;
+}
+
+double StudentT::cdf(double x) const {
+  const double z = (x - location_) / scale_;
+  const double ib = reg_incomplete_beta(df_ / 2.0, 0.5, df_ / (df_ + z * z));
+  return z >= 0.0 ? 1.0 - 0.5 * ib : 0.5 * ib;
+}
+
+double StudentT::variance() const {
+  return scale_ * scale_ * df_ / (df_ - 2.0);
+}
+
+DistributionPtr StudentT::clone() const {
+  return std::make_unique<StudentT>(*this);
+}
+
+std::string StudentT::describe() const {
+  std::ostringstream os;
+  os << "StudentT(df=" << df_ << ", location=" << location_
+     << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,136 @@
+// Closed-form analytic distributions beyond the Gaussian. These model the
+// non-Gaussian clock-offset behaviours the paper calls out in §3.3:
+// long tails and skew (Gumbel, shifted exponential), heavy symmetric tails
+// (Laplace, logistic, Student-t), and bounded errors (uniform).
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+/// Uniform density on [lo, hi].
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] Support support() const override { return {lo_, hi_}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Laplace (double exponential): heavy symmetric tails around `location`.
+class Laplace final : public Distribution {
+ public:
+  Laplace(double location, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return location_; }
+  [[nodiscard]] double variance() const override {
+    return 2.0 * scale_ * scale_;
+  }
+  [[nodiscard]] Support support() const override { return Support{}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double location_;
+  double scale_;
+};
+
+/// Exponential shifted to start at `location`: one-sided skew, the shape of
+/// queueing-induced clock error (a probe can only be delayed, not sped up).
+class ShiftedExponential final : public Distribution {
+ public:
+  ShiftedExponential(double location, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return location_ + scale_; }
+  [[nodiscard]] double variance() const override { return scale_ * scale_; }
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double location_;
+  double scale_;
+};
+
+/// Gumbel (type-I extreme value): right-skewed with a long upper tail —
+/// the "Gaussian-like but long-tailed and skewed" shape reported for real
+/// clock offset data ([27] in the paper).
+class Gumbel final : public Distribution {
+ public:
+  Gumbel(double location, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override { return Support{}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double location_;
+  double scale_;
+};
+
+/// Logistic: symmetric, slightly heavier tails than Gaussian, closed-form
+/// CDF/quantile — a cheap stand-in when erf is too expensive.
+class Logistic final : public Distribution {
+ public:
+  Logistic(double location, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return location_; }
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override { return Support{}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double location_;
+  double scale_;
+};
+
+/// Student-t with location/scale; df > 2 so the variance is finite.
+/// Models rare large clock excursions (temperature events, §5).
+class StudentT final : public Distribution {
+ public:
+  StudentT(double df, double location, double scale);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override { return location_; }
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override { return Support{}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double df_;
+  double location_;
+  double scale_;
+};
+
+}  // namespace tommy::stats

@@ -1,0 +1,68 @@
+#include "stats/convolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "stats/fft.hpp"
+
+namespace tommy::stats {
+
+GridDensity convolve(const GridDensity& x, const GridDensity& y,
+                     ConvolutionMethod method) {
+  TOMMY_EXPECTS(math::approx_equal(x.dx(), y.dx(), 1e-9, 0.0));
+  const double dx = x.dx();
+
+  std::vector<double> raw;
+  switch (method) {
+    case ConvolutionMethod::kDirect:
+      raw = direct_convolve_real(x.values(), y.values());
+      break;
+    case ConvolutionMethod::kFft:
+      raw = fft_convolve_real(x.values(), y.values());
+      break;
+  }
+  // Discrete convolution approximates the integral up to a factor dx.
+  for (double& v : raw) v = std::max(v * dx, 0.0);
+
+  // Support of X + Y starts at the sum of the lower edges.
+  return GridDensity(x.lo() + y.lo(), dx, std::move(raw));
+}
+
+GridDensity difference_density(const GridDensity& theta_j,
+                               const GridDensity& theta_i,
+                               ConvolutionMethod method) {
+  return convolve(theta_j, theta_i.reflected(), method);
+}
+
+GridDensity difference_density(const Distribution& theta_j,
+                               const Distribution& theta_i,
+                               std::size_t points_hint,
+                               ConvolutionMethod method) {
+  TOMMY_EXPECTS(points_hint >= 8);
+
+  const Support sj = theta_j.effective_support();
+  const Support si = theta_i.effective_support();
+
+  // One shared spacing: resolve the narrower of the two supports with
+  // `points_hint` samples. Each grid then covers its own support with that
+  // exact spacing (its upper edge is extended to land on the grid), which
+  // keeps the two inputs convolvable without resampling.
+  const double narrow = std::min(sj.width(), si.width());
+  TOMMY_EXPECTS(narrow > 0.0);
+  const double dx = narrow / static_cast<double>(points_hint - 1);
+
+  const auto grid_for = [dx](const Distribution& d, const Support& s) {
+    const auto n =
+        static_cast<std::size_t>(std::ceil(s.width() / dx)) + 1;
+    const double hi = s.lo + dx * static_cast<double>(n - 1);
+    return GridDensity::from_distribution_on(d, s.lo, hi, n);
+  };
+
+  const GridDensity gj = grid_for(theta_j, sj);
+  const GridDensity gi = grid_for(theta_i, si);
+  return convolve(gj, gi.reflected(), method);
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,65 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tommy::stats {
+
+bool Support::is_bounded() const {
+  return std::isfinite(lo) && std::isfinite(hi);
+}
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double Distribution::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+
+  const Support sup = support();
+  double lo = sup.lo;
+  double hi = sup.hi;
+
+  // Establish a finite bracket around the central region, expanding
+  // geometrically until the CDF straddles p.
+  const double center = mean();
+  const double scale = std::max(stddev(), 1e-12);
+  if (!std::isfinite(lo)) {
+    lo = center - 8.0 * scale;
+    while (cdf(lo) > p) lo = center - 2.0 * (center - lo);
+  }
+  if (!std::isfinite(hi)) {
+    hi = center + 8.0 * scale;
+    while (cdf(hi) < p) hi = center + 2.0 * (hi - center);
+  }
+
+  // Bisection: robust against flat CDF regions, ~50 iterations reach the
+  // limit of double spacing on any practical range.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-15 * (1.0 + std::abs(lo));
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Distribution::sample(Rng& rng) const {
+  double u = rng.next_double();
+  // Keep u inside the open interval required by quantile().
+  u = std::min(std::max(u, 1e-16), 1.0 - 1e-16);
+  return quantile(u);
+}
+
+Support Distribution::effective_support(double eps) const {
+  TOMMY_EXPECTS(eps > 0.0 && eps < 0.5);
+  const Support sup = support();
+  Support out = sup;
+  if (!std::isfinite(sup.lo)) out.lo = quantile(eps);
+  if (!std::isfinite(sup.hi)) out.hi = quantile(1.0 - eps);
+  return out;
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,119 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tommy::stats {
+
+Empirical::Empirical(double lo, double hi, std::vector<double> bin_masses)
+    : lo_(lo), hi_(hi), masses_(std::move(bin_masses)) {
+  TOMMY_EXPECTS(std::isfinite(lo) && std::isfinite(hi) && lo < hi);
+  TOMMY_EXPECTS(!masses_.empty());
+  bin_width_ = (hi_ - lo_) / static_cast<double>(masses_.size());
+
+  double total = 0.0;
+  for (double m : masses_) {
+    TOMMY_EXPECTS(m >= 0.0);
+    total += m;
+  }
+  TOMMY_EXPECTS(total > 0.0);
+  for (double& m : masses_) m /= total;
+
+  cumulative_.resize(masses_.size() + 1, 0.0);
+  for (std::size_t k = 0; k < masses_.size(); ++k) {
+    cumulative_[k + 1] = cumulative_[k] + masses_[k];
+  }
+  cumulative_.back() = 1.0;  // kill rounding drift
+
+  compute_moments();
+}
+
+Empirical Empirical::from_samples(std::span<const double> samples,
+                                  std::size_t bin_count) {
+  TOMMY_EXPECTS(!samples.empty());
+  TOMMY_EXPECTS(bin_count >= 1);
+
+  auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  // Widen degenerate/tight ranges so all samples are interior.
+  const double pad = std::max((hi - lo) * 1e-3, 1e-12);
+  lo -= pad;
+  hi += pad;
+
+  std::vector<double> masses(bin_count, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bin_count);
+  for (double x : samples) {
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    idx = std::min(idx, bin_count - 1);
+    masses[idx] += 1.0;
+  }
+  return Empirical(lo, hi, std::move(masses));
+}
+
+void Empirical::compute_moments() {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t k = 0; k < masses_.size(); ++k) {
+    // Treat bin mass as uniform within the bin.
+    const double a = lo_ + static_cast<double>(k) * bin_width_;
+    const double b = a + bin_width_;
+    const double center = 0.5 * (a + b);
+    m1 += masses_[k] * center;
+    // E[X^2] over a uniform bin: center^2 + width^2/12.
+    m2 += masses_[k] * (center * center + bin_width_ * bin_width_ / 12.0);
+  }
+  mean_ = m1;
+  variance_ = std::max(0.0, m2 - m1 * m1);
+}
+
+double Empirical::pdf(double x) const {
+  if (x < lo_ || x >= hi_) return 0.0;
+  const auto idx = std::min(static_cast<std::size_t>((x - lo_) / bin_width_),
+                            masses_.size() - 1);
+  return masses_[idx] / bin_width_;
+}
+
+double Empirical::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double pos = (x - lo_) / bin_width_;
+  const auto idx =
+      std::min(static_cast<std::size_t>(pos), masses_.size() - 1);
+  const double frac = pos - static_cast<double>(idx);
+  return cumulative_[idx] + frac * masses_[idx];
+}
+
+double Empirical::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  // First bin whose cumulative upper bound reaches p.
+  const auto it =
+      std::lower_bound(cumulative_.begin() + 1, cumulative_.end(), p);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  const double within = masses_[idx] > 0.0
+                            ? (p - cumulative_[idx]) / masses_[idx]
+                            : 0.5;
+  return lo_ + (static_cast<double>(idx) + within) * bin_width_;
+}
+
+double Empirical::sample(Rng& rng) const {
+  double u = rng.next_double();
+  u = std::min(std::max(u, 1e-16), 1.0 - 1e-16);
+  return quantile(u);
+}
+
+DistributionPtr Empirical::clone() const {
+  return std::make_unique<Empirical>(*this);
+}
+
+std::string Empirical::describe() const {
+  std::ostringstream os;
+  os << "Empirical(lo=" << lo_ << ", hi=" << hi_ << ", bins=" << masses_.size()
+     << ")";
+  return os.str();
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,55 @@
+// Histogram-backed empirical distribution. This is the representation
+// clients ship to the sequencer when their clock-offset distribution has no
+// parametric form (§3.3, §5): equal-width bins over a finite range with a
+// density value per bin. The pdf is piecewise constant, the CDF piecewise
+// linear, and the quantile is its exact inverse.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+class Empirical final : public Distribution {
+ public:
+  /// Builds from equal-width bins on [lo, hi] with the given non-negative
+  /// per-bin masses (they are normalized to sum to 1). Requires at least
+  /// one strictly positive mass.
+  Empirical(double lo, double hi, std::vector<double> bin_masses);
+
+  /// Builds a histogram from raw offset samples with `bin_count` bins that
+  /// span [min(samples), max(samples)] (widened slightly so every sample
+  /// falls strictly inside).
+  [[nodiscard]] static Empirical from_samples(std::span<const double> samples,
+                                              std::size_t bin_count);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double variance() const override { return variance_; }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] Support support() const override { return {lo_, hi_}; }
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return bin_width_; }
+  [[nodiscard]] std::span<const double> bin_masses() const { return masses_; }
+
+ private:
+  void compute_moments();
+
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> masses_;      // normalized: sums to 1
+  std::vector<double> cumulative_;  // cumulative_[k] = mass of bins [0, k)
+  double mean_{0.0};
+  double variance_{0.0};
+};
+
+}  // namespace tommy::stats

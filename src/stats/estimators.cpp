@@ -1,0 +1,93 @@
+#include "stats/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace tommy::stats {
+
+namespace {
+
+double median_of(std::vector<double> xs) {
+  TOMMY_EXPECTS(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(),
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (xs[mid - 1] + hi);
+}
+
+}  // namespace
+
+Gaussian fit_gaussian(std::span<const double> samples) {
+  TOMMY_EXPECTS(samples.size() >= 2);
+  const double mu = math::mean(samples);
+  const double sigma = math::stddev(samples);
+  TOMMY_EXPECTS(sigma > 0.0);
+  return Gaussian(mu, sigma);
+}
+
+Gaussian fit_gaussian_robust(std::span<const double> samples) {
+  TOMMY_EXPECTS(samples.size() >= 2);
+  std::vector<double> xs(samples.begin(), samples.end());
+  const double med = median_of(xs);
+  std::vector<double> devs(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) devs[i] = std::abs(xs[i] - med);
+  const double mad = median_of(std::move(devs));
+  TOMMY_EXPECTS(mad > 0.0);
+  // 1.4826 makes MAD a consistent sigma estimator under Gaussian data.
+  return Gaussian(med, 1.4826 * mad);
+}
+
+Empirical fit_histogram(std::span<const double> samples,
+                        std::size_t bin_count) {
+  return Empirical::from_samples(samples, bin_count);
+}
+
+Empirical fit_histogram_auto(std::span<const double> samples,
+                             std::size_t min_bins, std::size_t max_bins) {
+  TOMMY_EXPECTS(!samples.empty());
+  TOMMY_EXPECTS(min_bins >= 1 && min_bins <= max_bins);
+
+  const double q1 = math::sample_quantile(samples, 0.25);
+  const double q3 = math::sample_quantile(samples, 0.75);
+  const double iqr = q3 - q1;
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  const double range = *max_it - *min_it;
+
+  std::size_t bins = min_bins;
+  if (iqr > 0.0 && range > 0.0) {
+    const double width =
+        2.0 * iqr / std::cbrt(static_cast<double>(samples.size()));
+    bins = static_cast<std::size_t>(std::ceil(range / width));
+  }
+  bins = std::clamp(bins, min_bins, max_bins);
+  return Empirical::from_samples(samples, bins);
+}
+
+double density_l1_error(const Distribution& fitted,
+                        const Distribution& reference, std::size_t points) {
+  TOMMY_EXPECTS(points >= 16);
+  const Support sf = fitted.effective_support();
+  const Support sr = reference.effective_support();
+  const double lo = std::min(sf.lo, sr.lo);
+  const double hi = std::max(sf.hi, sr.hi);
+  const double dx = (hi - lo) / static_cast<double>(points - 1);
+
+  std::vector<double> diff(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double x = lo + static_cast<double>(k) * dx;
+    diff[k] = std::abs(fitted.pdf(x) - reference.pdf(x));
+  }
+  return math::trapezoid(diff, dx);
+}
+
+}  // namespace tommy::stats

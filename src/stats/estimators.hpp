@@ -1,0 +1,43 @@
+// Offset-distribution estimators. §5 of the paper: "Any clock
+// synchronization protocol gives each client enough information to estimate
+// its offsets distribution." Clients feed raw offset samples (from sync
+// probes) into one of these estimators and ship the fitted distribution to
+// the sequencer.
+#pragma once
+
+#include <span>
+
+#include "stats/distribution.hpp"
+#include "stats/empirical.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::stats {
+
+/// Moment-matched Gaussian fit (sample mean, unbiased sample stddev).
+/// Requires >= 2 samples with nonzero spread.
+[[nodiscard]] Gaussian fit_gaussian(std::span<const double> samples);
+
+/// Robust Gaussian fit: median for location, 1.4826·MAD for scale —
+/// insensitive to the occasional wild probe (queueing spikes, §5's
+/// "extraordinary conditions"). Requires >= 2 samples with nonzero MAD.
+[[nodiscard]] Gaussian fit_gaussian_robust(std::span<const double> samples);
+
+/// Histogram fit with an explicit bin count.
+[[nodiscard]] Empirical fit_histogram(std::span<const double> samples,
+                                      std::size_t bin_count);
+
+/// Histogram fit choosing bins by the Freedman–Diaconis rule (clamped to
+/// [min_bins, max_bins]).
+[[nodiscard]] Empirical fit_histogram_auto(std::span<const double> samples,
+                                           std::size_t min_bins = 8,
+                                           std::size_t max_bins = 256);
+
+/// Integrated absolute error ∫|f̂ − f| between a fitted distribution and a
+/// reference, evaluated by trapezoid on the union of effective supports.
+/// Ranges over [0, 2]; 0 means identical densities. Used to quantify how
+/// much the "learned" path loses versus seeded ground truth (§4's caveat).
+[[nodiscard]] double density_l1_error(const Distribution& fitted,
+                                      const Distribution& reference,
+                                      std::size_t points = 2048);
+
+}  // namespace tommy::stats

@@ -1,0 +1,32 @@
+// Iterative radix-2 FFT. Self-contained (no external dependency) and used
+// by the convolution engine to realize the paper's §3.3 optimization:
+// "convolution in the time domain is multiplication in the frequency
+// domain", turning the O(n²) pairwise-density convolution into O(n log n).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tommy::stats {
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+void fft_forward(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/n normalization).
+void fft_inverse(std::vector<std::complex<double>>& data);
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// Linear convolution of two real sequences via zero-padded FFT; result
+/// length is a.size() + b.size() - 1.
+[[nodiscard]] std::vector<double> fft_convolve_real(
+    const std::vector<double>& a, const std::vector<double>& b);
+
+/// Reference O(n·m) direct linear convolution (same semantics); used as a
+/// correctness oracle and as the quadratic baseline in bench_convolution.
+[[nodiscard]] std::vector<double> direct_convolve_real(
+    const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace tommy::stats

@@ -1,0 +1,43 @@
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace tommy::stats {
+
+Gaussian::Gaussian(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  TOMMY_EXPECTS(sigma > 0.0);
+  TOMMY_EXPECTS(std::isfinite(mu) && std::isfinite(sigma));
+}
+
+double Gaussian::pdf(double x) const {
+  return math::normal_pdf((x - mu_) / sigma_) / sigma_;
+}
+
+double Gaussian::cdf(double x) const {
+  return math::normal_cdf((x - mu_) / sigma_);
+}
+
+double Gaussian::quantile(double p) const {
+  TOMMY_EXPECTS(p > 0.0 && p < 1.0);
+  return mu_ + sigma_ * math::normal_quantile(p);
+}
+
+double Gaussian::sample(Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+Support Gaussian::support() const { return Support{}; }
+
+DistributionPtr Gaussian::clone() const {
+  return std::make_unique<Gaussian>(*this);
+}
+
+std::string Gaussian::describe() const {
+  std::ostringstream os;
+  os << "Gaussian(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,35 @@
+// Gaussian (normal) distribution. The paper's primary clock-offset model:
+// Appendix A proves the likely-happened-before relation is transitive when
+// all offsets are Gaussian, and §3.2 gives the closed-form preceding
+// probability that GaussianPreceding (core) uses.
+#pragma once
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+class Gaussian final : public Distribution {
+ public:
+  /// Requires sigma > 0 (use a tiny sigma to approximate a perfect clock).
+  Gaussian(double mu, double sigma);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override { return mu_; }
+  [[nodiscard]] double variance() const override { return sigma_ * sigma_; }
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] bool is_gaussian() const override { return true; }
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace tommy::stats

@@ -1,0 +1,106 @@
+#include "stats/grid_density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace tommy::stats {
+
+GridDensity::GridDensity(double lo, double dx, std::vector<double> values)
+    : lo_(lo), dx_(dx), values_(std::move(values)) {
+  TOMMY_EXPECTS(std::isfinite(lo) && std::isfinite(dx) && dx > 0.0);
+  TOMMY_EXPECTS(values_.size() >= 2);
+  for (double& v : values_) v = std::max(v, 0.0);
+  const double mass = math::trapezoid(values_, dx_);
+  TOMMY_EXPECTS(mass > 0.0);
+  for (double& v : values_) v /= mass;
+  build_cdf();
+}
+
+GridDensity GridDensity::from_distribution(const Distribution& dist,
+                                           std::size_t points,
+                                           double tail_eps) {
+  const Support sup = dist.effective_support(tail_eps);
+  return from_distribution_on(dist, sup.lo, sup.hi, points);
+}
+
+GridDensity GridDensity::from_distribution_on(const Distribution& dist,
+                                              double lo, double hi,
+                                              std::size_t points) {
+  TOMMY_EXPECTS(points >= 2);
+  TOMMY_EXPECTS(lo < hi);
+  const double dx = (hi - lo) / static_cast<double>(points - 1);
+  std::vector<double> values(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    values[k] = dist.pdf(lo + static_cast<double>(k) * dx);
+  }
+  return GridDensity(lo, dx, std::move(values));
+}
+
+void GridDensity::build_cdf() {
+  cdf_ = math::cumulative_trapezoid(values_, dx_);
+  // Normalize away the last drop of quadrature error and clamp monotone.
+  const double total = cdf_.back();
+  TOMMY_ASSERT(total > 0.0);
+  for (double& c : cdf_) c = std::min(c / total, 1.0);
+  cdf_.back() = 1.0;
+}
+
+double GridDensity::pdf(double x) const {
+  if (x < lo_ || x > hi()) return 0.0;
+  const double pos = (x - lo_) / dx_;
+  const auto k = std::min(static_cast<std::size_t>(pos), values_.size() - 2);
+  const double frac = pos - static_cast<double>(k);
+  return values_[k] + frac * (values_[k + 1] - values_[k]);
+}
+
+double GridDensity::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi()) return 1.0;
+  const double pos = (x - lo_) / dx_;
+  const auto k = std::min(static_cast<std::size_t>(pos), values_.size() - 2);
+  const double frac = pos - static_cast<double>(k);
+  return math::clamp_probability(cdf_[k] + frac * (cdf_[k + 1] - cdf_[k]));
+}
+
+double GridDensity::quantile(double p) const {
+  TOMMY_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return lo_;
+  if (p >= 1.0) return hi();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
+  const auto k = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(it - cdf_.begin() - 1, 0));
+  const double c0 = cdf_[k];
+  const double c1 = cdf_[std::min(k + 1, cdf_.size() - 1)];
+  const double frac = (c1 > c0) ? (p - c0) / (c1 - c0) : 0.5;
+  return lo_ + (static_cast<double>(k) + frac) * dx_;
+}
+
+double GridDensity::tail_probability(double x) const { return 1.0 - cdf(x); }
+
+double GridDensity::mean() const {
+  std::vector<double> xw(values_.size());
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    xw[k] = (lo_ + static_cast<double>(k) * dx_) * values_[k];
+  }
+  return math::trapezoid(xw, dx_);
+}
+
+double GridDensity::variance() const {
+  const double m = mean();
+  std::vector<double> xw(values_.size());
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    const double x = lo_ + static_cast<double>(k) * dx_;
+    xw[k] = (x - m) * (x - m) * values_[k];
+  }
+  return math::trapezoid(xw, dx_);
+}
+
+GridDensity GridDensity::reflected() const {
+  std::vector<double> rev(values_.rbegin(), values_.rend());
+  return GridDensity(-hi(), dx_, std::move(rev));
+}
+
+}  // namespace tommy::stats

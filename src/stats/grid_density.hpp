@@ -1,0 +1,65 @@
+// A probability density discretized on a uniform grid, with an attached
+// cumulative function. This is the working representation inside the
+// numeric preceding-probability path: arbitrary client distributions are
+// sampled onto grids, convolved (FFT) into the Δθ density, and queried via
+// the interpolated CDF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+class GridDensity {
+ public:
+  /// Takes density samples `values` at points lo, lo+dx, ..., and
+  /// normalizes them so the trapezoid integral is 1. Requires >= 2 points
+  /// and positive total mass.
+  GridDensity(double lo, double dx, std::vector<double> values);
+
+  /// Samples `dist`'s pdf on `points` uniform points across its effective
+  /// support (or a caller-provided range).
+  [[nodiscard]] static GridDensity from_distribution(const Distribution& dist,
+                                                     std::size_t points,
+                                                     double tail_eps = 1e-9);
+  [[nodiscard]] static GridDensity from_distribution_on(
+      const Distribution& dist, double lo, double hi, std::size_t points);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const {
+    return lo_ + dx_ * static_cast<double>(values_.size() - 1);
+  }
+  [[nodiscard]] double dx() const { return dx_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Interpolated density at x (0 outside the grid).
+  [[nodiscard]] double pdf(double x) const;
+
+  /// Interpolated cumulative probability at x (clamped to [0, 1]).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Inverse CDF by binary search over the cumulative table.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// P(X > x) with the same interpolation as cdf().
+  [[nodiscard]] double tail_probability(double x) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  /// Density of -X: grid flipped about zero.
+  [[nodiscard]] GridDensity reflected() const;
+
+ private:
+  void build_cdf();
+
+  double lo_;
+  double dx_;
+  std::vector<double> values_;  // density samples, trapezoid-normalized
+  std::vector<double> cdf_;     // cdf_[k] = integral up to grid point k
+};
+
+}  // namespace tommy::stats

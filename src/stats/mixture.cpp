@@ -1,0 +1,100 @@
+#include "stats/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tommy::stats {
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  TOMMY_EXPECTS(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    TOMMY_EXPECTS(c.weight > 0.0);
+    TOMMY_EXPECTS(c.distribution != nullptr);
+    total += c.weight;
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double Mixture::pdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.distribution->pdf(x);
+  return acc;
+}
+
+double Mixture::cdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.distribution->cdf(x);
+  return acc;
+}
+
+double Mixture::mean() const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.distribution->mean();
+  return acc;
+}
+
+double Mixture::variance() const {
+  // Law of total variance: E[Var] + Var[E].
+  const double m = mean();
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    const double cm = c.distribution->mean();
+    acc += c.weight * (c.distribution->variance() + (cm - m) * (cm - m));
+  }
+  return acc;
+}
+
+double Mixture::sample(Rng& rng) const {
+  double u = rng.next_double();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.distribution->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().distribution->sample(rng);
+}
+
+Support Mixture::support() const {
+  Support out{std::numeric_limits<double>::infinity(),
+              -std::numeric_limits<double>::infinity()};
+  for (const auto& c : components_) {
+    const Support s = c.distribution->support();
+    out.lo = std::min(out.lo, s.lo);
+    out.hi = std::max(out.hi, s.hi);
+  }
+  return out;
+}
+
+DistributionPtr Mixture::clone() const {
+  std::vector<Component> copy;
+  copy.reserve(components_.size());
+  for (const auto& c : components_) {
+    copy.push_back({c.weight, c.distribution->clone()});
+  }
+  return std::make_unique<Mixture>(std::move(copy));
+}
+
+std::string Mixture::describe() const {
+  std::ostringstream os;
+  os << "Mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << components_[i].weight << "*" << components_[i].distribution->describe();
+  }
+  os << ")";
+  return os.str();
+}
+
+Mixture Mixture::of(double w1, DistributionPtr d1, double w2,
+                    DistributionPtr d2) {
+  std::vector<Component> cs;
+  cs.push_back({w1, std::move(d1)});
+  cs.push_back({w2, std::move(d2)});
+  return Mixture(std::move(cs));
+}
+
+}  // namespace tommy::stats

@@ -1,0 +1,52 @@
+// Finite mixture of component distributions. Mixtures are how we build the
+// deliberately "badly shaped" offset densities that make the
+// likely-happened-before relation intransitive (the non-transitive-dice
+// construction the paper cites [18]), and also model bimodal clock error
+// (e.g., a sync daemon that alternates between two paths).
+#pragma once
+
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    DistributionPtr distribution;
+  };
+
+  /// Requires at least one component; weights must be positive and are
+  /// normalized to sum to one.
+  explicit Mixture(std::vector<Component> components);
+
+  [[nodiscard]] double pdf(double x) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] DistributionPtr clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t component_count() const {
+    return components_.size();
+  }
+  [[nodiscard]] double weight(std::size_t k) const {
+    return components_[k].weight;
+  }
+  [[nodiscard]] const Distribution& component(std::size_t k) const {
+    return *components_[k].distribution;
+  }
+
+  /// Convenience: two-component mixture.
+  [[nodiscard]] static Mixture of(double w1, DistributionPtr d1, double w2,
+                                  DistributionPtr d2);
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace tommy::stats

@@ -1,0 +1,73 @@
+// DistributionSummary: the serializable description of a client's clock
+// offset distribution, i.e. exactly what "clients share their respective
+// distributions with the sequencer" (§3.3) puts on the wire. Two encodings
+// are supported — a Gaussian parameter pair (the common case, enables the
+// closed-form engine) and a histogram (arbitrary shapes) — plus a compact
+// binary wire format used by the net layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace tommy::stats {
+
+struct GaussianParams {
+  double mu{0.0};
+  double sigma{1.0};
+
+  friend bool operator==(const GaussianParams&, const GaussianParams&) =
+      default;
+};
+
+struct HistogramParams {
+  double lo{0.0};
+  double hi{1.0};
+  std::vector<double> bin_masses;
+
+  friend bool operator==(const HistogramParams&, const HistogramParams&) =
+      default;
+};
+
+class DistributionSummary {
+ public:
+  DistributionSummary() : payload_(GaussianParams{}) {}
+  explicit DistributionSummary(GaussianParams params);
+  explicit DistributionSummary(HistogramParams params);
+
+  /// Describes an arbitrary Distribution: exact parameters for a Gaussian,
+  /// otherwise a `bins`-bin histogram over the effective support.
+  [[nodiscard]] static DistributionSummary describe(const Distribution& dist,
+                                                    std::size_t bins = 128);
+
+  [[nodiscard]] bool is_gaussian() const;
+  [[nodiscard]] const GaussianParams* gaussian() const;
+  [[nodiscard]] const HistogramParams* histogram() const;
+
+  /// Reconstructs a Distribution object usable by the sequencer's engines.
+  [[nodiscard]] DistributionPtr materialize() const;
+
+  /// Compact binary encoding (little-endian doubles, u32 sizes).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses bytes produced by serialize(); nullopt on malformed input.
+  [[nodiscard]] static std::optional<DistributionSummary> deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Wire size in bytes of serialize()'s output.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  [[nodiscard]] std::string describe_text() const;
+
+  friend bool operator==(const DistributionSummary&,
+                         const DistributionSummary&) = default;
+
+ private:
+  std::variant<GaussianParams, HistogramParams> payload_;
+};
+
+}  // namespace tommy::stats

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/local_clock.hpp"
+#include "clock/offset_process.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "net/simulation.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::clock {
+namespace {
+
+using namespace tommy::literals;
+
+TEST(ConstantOffset, IsConstant) {
+  ConstantOffset p(0.5);
+  EXPECT_DOUBLE_EQ(p.offset_at(TimePoint(0.0)), 0.5);
+  EXPECT_DOUBLE_EQ(p.offset_at(TimePoint(100.0)), 0.5);
+}
+
+TEST(IidOffset, SamplesMatchDistributionMoments) {
+  IidOffset p(std::make_unique<stats::Gaussian>(2.0, 0.5), Rng(1));
+  std::vector<double> xs;
+  for (int k = 0; k < 20000; ++k) xs.push_back(p.offset_at(TimePoint(0.0)));
+  EXPECT_NEAR(math::mean(xs), 2.0, 0.02);
+  EXPECT_NEAR(math::stddev(xs), 0.5, 0.02);
+}
+
+TEST(IidOffset, IndependentAcrossReads) {
+  IidOffset p(std::make_unique<stats::Gaussian>(0.0, 1.0), Rng(2));
+  // Lag-1 autocorrelation of iid draws must be ~0.
+  std::vector<double> xs;
+  for (int k = 0; k < 20000; ++k) xs.push_back(p.offset_at(TimePoint(0.0)));
+  double num = 0.0;
+  double den = 0.0;
+  const double m = math::mean(xs);
+  for (std::size_t k = 1; k < xs.size(); ++k) {
+    num += (xs[k] - m) * (xs[k - 1] - m);
+  }
+  for (double x : xs) den += (x - m) * (x - m);
+  EXPECT_NEAR(num / den, 0.0, 0.03);
+}
+
+TEST(DriftOffset, GrowsLinearly) {
+  DriftOffset p(1.0, 40e-6, nullptr, Rng(3));  // 40 ppm
+  EXPECT_DOUBLE_EQ(p.offset_at(TimePoint(0.0)), 1.0);
+  EXPECT_NEAR(p.offset_at(TimePoint(100.0)), 1.0 + 4e-3, 1e-12);
+}
+
+TEST(RandomWalkOffset, VarianceGrowsLikeTime) {
+  // Var[θ(t) − θ(0)] = rate² · t across many independent walks.
+  const double rate = 0.1;
+  double sum_sq = 0.0;
+  const int walks = 4000;
+  for (int w = 0; w < walks; ++w) {
+    RandomWalkOffset p(0.0, rate, Rng(1000 + static_cast<std::uint64_t>(w)));
+    (void)p.offset_at(TimePoint(0.0));
+    const double end = p.offset_at(TimePoint(4.0));
+    sum_sq += end * end;
+  }
+  EXPECT_NEAR(sum_sq / walks, rate * rate * 4.0, 0.004);
+}
+
+TEST(RandomWalkOffset, MonotoneTimeRequired) {
+  RandomWalkOffset p(0.0, 1.0, Rng(5));
+  (void)p.offset_at(TimePoint(2.0));
+  EXPECT_DEATH((void)p.offset_at(TimePoint(1.0)), "precondition");
+}
+
+TEST(OuOffset, StationaryMomentsHold) {
+  // Sample the process far apart (>> tau) so draws are near-stationary.
+  OuOffset p(3.0, 0.5, 1_s, Rng(7));
+  std::vector<double> xs;
+  for (int k = 0; k < 5000; ++k) {
+    xs.push_back(p.offset_at(TimePoint(static_cast<double>(k) * 10.0)));
+  }
+  EXPECT_NEAR(math::mean(xs), 3.0, 0.05);
+  EXPECT_NEAR(math::stddev(xs), 0.5, 0.05);
+}
+
+TEST(OuOffset, RevertsTowardMean) {
+  // Conditional expectation after dt: mean + (x − mean)·exp(−dt/τ).
+  const int trials = 4000;
+  double sum = 0.0;
+  for (int k = 0; k < trials; ++k) {
+    OuOffset p(0.0, 1.0, 1_s, Rng(100 + static_cast<std::uint64_t>(k)));
+    const double x0 = p.offset_at(TimePoint(0.0));
+    const double x1 = p.offset_at(TimePoint(1.0));
+    sum += x1 - x0 * std::exp(-1.0);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+}
+
+TEST(LocalClock, ReadImplementsModelIdentity) {
+  // T = t_true − θ, so T + θ recovers true time exactly (the paper's
+  // T* = T + θ).
+  net::Simulation sim;
+  LocalClock clock(sim, std::make_unique<ConstantOffset>(0.25));
+  const TimePoint local = clock.read_at(TimePoint(10.0));
+  EXPECT_DOUBLE_EQ(local.seconds(), 9.75);
+  EXPECT_DOUBLE_EQ(local.seconds() + clock.last_offset(), 10.0);
+}
+
+TEST(LocalClock, ReadUsesSimulationNow) {
+  net::Simulation sim;
+  LocalClock clock(sim, std::make_unique<ConstantOffset>(1.0));
+  sim.schedule_at(TimePoint(5.0), [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(clock.read().seconds(), 4.0);
+}
+
+TEST(LocalClock, LastOffsetTracksEachRead) {
+  net::Simulation sim;
+  LocalClock clock(sim,
+                   std::make_unique<IidOffset>(
+                       std::make_unique<stats::Gaussian>(0.0, 1.0), Rng(11)));
+  for (int k = 0; k < 50; ++k) {
+    const TimePoint local = clock.read_at(TimePoint(static_cast<double>(k)));
+    EXPECT_DOUBLE_EQ(local.seconds() + clock.last_offset(),
+                     static_cast<double>(k));
+  }
+}
+
+}  // namespace
+}  // namespace tommy::clock

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "clock/learner.hpp"
+#include "clock/local_clock.hpp"
+#include "clock/sync.hpp"
+#include "common/math.hpp"
+#include "net/simulation.hpp"
+#include "stats/analytic.hpp"
+#include "stats/estimators.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::clock {
+namespace {
+
+using namespace tommy::literals;
+
+TEST(SyncSession, ExactWithSymmetricFixedDelays) {
+  net::Simulation sim;
+  LocalClock client_clock(sim, std::make_unique<ConstantOffset>(0.125));
+  SyncSession session(sim, client_clock,
+                      net::DelayModel::fixed(2_ms),
+                      net::DelayModel::fixed(2_ms));
+  session.schedule_probes(TimePoint(1.0), 10_ms, 5);
+  sim.run();
+
+  ASSERT_EQ(session.samples().size(), 5u);
+  for (const ProbeSample& s : session.samples()) {
+    // Symmetric delays cancel exactly: θ̂ = θ.
+    EXPECT_NEAR(s.offset_estimate, 0.125, 1e-12);
+    EXPECT_NEAR(s.rtt.seconds(), 4e-3, 1e-12);
+  }
+}
+
+TEST(SyncSession, AsymmetryBiasesByHalfTheDifference) {
+  net::Simulation sim;
+  LocalClock client_clock(sim, std::make_unique<ConstantOffset>(0.0));
+  SyncSession session(sim, client_clock,
+                      net::DelayModel::fixed(3_ms),   // to sequencer
+                      net::DelayModel::fixed(1_ms));  // back
+  session.schedule_probes(TimePoint(0.0), 5_ms, 3);
+  sim.run();
+
+  ASSERT_EQ(session.samples().size(), 3u);
+  for (const ProbeSample& s : session.samples()) {
+    // Classic NTP bias: (d1 − d2)/2 = 1 ms.
+    EXPECT_NEAR(s.offset_estimate, 1e-3, 1e-12);
+  }
+}
+
+TEST(SyncSession, JitteredProbesEstimateIidOffsetDistribution) {
+  net::Simulation sim;
+  // The client's offset distribution is what §5 wants learned: θ ~ N(50µs,
+  // (10µs)²), redrawn per read (iid model).
+  LocalClock client_clock(
+      sim, std::make_unique<IidOffset>(
+               std::make_unique<stats::Gaussian>(50e-6, 10e-6), Rng(3)));
+  SyncSession session(
+      sim, client_clock,
+      net::DelayModel(100_us,
+                      std::make_unique<stats::ShiftedExponential>(0.0, 10e-6),
+                      Rng(4)),
+      net::DelayModel(100_us,
+                      std::make_unique<stats::ShiftedExponential>(0.0, 10e-6),
+                      Rng(5)));
+  session.schedule_probes(TimePoint(0.0), 1_ms, 2000);
+  sim.run();
+
+  const auto estimates = session.offset_estimates();
+  ASSERT_EQ(estimates.size(), 2000u);
+  // t0 and t3 both carry an iid θ draw, and delay jitter adds (d2−d1)/2;
+  // the mean estimate must still center on E[θ].
+  EXPECT_NEAR(math::mean(estimates), 50e-6, 2e-6);
+}
+
+TEST(GaussianLearner, RecoversSeededParameters) {
+  GaussianLearner learner;
+  Rng rng(7);
+  for (int k = 0; k < 20000; ++k) learner.add_sample(rng.normal(2e-3, 5e-4));
+  const stats::DistributionSummary summary = learner.summarize();
+  ASSERT_TRUE(summary.is_gaussian());
+  EXPECT_NEAR(summary.gaussian()->mu, 2e-3, 2e-5);
+  EXPECT_NEAR(summary.gaussian()->sigma, 5e-4, 2e-5);
+}
+
+TEST(RobustGaussianLearner, SurvivesOutliers) {
+  RobustGaussianLearner learner;
+  Rng rng(8);
+  for (int k = 0; k < 5000; ++k) learner.add_sample(rng.normal(0.0, 1e-3));
+  for (int k = 0; k < 40; ++k) learner.add_sample(10.0);  // wild probes
+  const auto summary = learner.summarize();
+  ASSERT_TRUE(summary.is_gaussian());
+  EXPECT_NEAR(summary.gaussian()->sigma, 1e-3, 2e-4);
+}
+
+TEST(HistogramLearner, CapturesSkewAGaussianFitMisses) {
+  HistogramLearner learner;
+  Rng rng(9);
+  const stats::ShiftedExponential truth(0.0, 1.0);
+  std::vector<double> samples;
+  for (int k = 0; k < 30000; ++k) samples.push_back(truth.sample(rng));
+  learner.add_samples(samples);
+
+  const auto hist_dist = learner.summarize().materialize();
+  const stats::Gaussian gauss_fit = stats::fit_gaussian(samples);
+  EXPECT_LT(stats::density_l1_error(*hist_dist, truth),
+            stats::density_l1_error(gauss_fit, truth));
+}
+
+TEST(KdeLearner, SmoothsSmallSamplesIntoAUsableSummary) {
+  KdeLearner learner;
+  Rng rng(12);
+  for (int k = 0; k < 40; ++k) learner.add_sample(rng.normal(1e-3, 2e-4));
+  const auto summary = learner.summarize();
+  EXPECT_FALSE(summary.is_gaussian());  // ships as a histogram
+  const auto dist = summary.materialize();
+  EXPECT_NEAR(dist->mean(), 1e-3, 1e-4);
+  // KDE inflates spread by the bandwidth — it must still be in the right
+  // ballpark and usable for quantiles.
+  EXPECT_NEAR(dist->stddev(), 2e-4, 1.5e-4);
+  EXPECT_GT(dist->quantile(0.999), dist->quantile(0.5));
+}
+
+TEST(KdeLearner, WorksAtMinimumSampleCount) {
+  KdeLearner learner;
+  learner.add_samples({1e-3, 1.2e-3, 0.8e-3, 1.1e-3});
+  ASSERT_EQ(learner.sample_count(), learner.min_samples());
+  const auto dist = learner.summarize().materialize();
+  EXPECT_GT(dist->stddev(), 0.0);
+}
+
+TEST(Learners, SampleBookkeeping) {
+  GaussianLearner learner;
+  EXPECT_EQ(learner.sample_count(), 0u);
+  learner.add_sample(1.0);
+  learner.add_samples({2.0, 3.0});
+  EXPECT_EQ(learner.sample_count(), 3u);
+  EXPECT_EQ(learner.samples().size(), 3u);
+}
+
+TEST(LearnersDeathTest, SummarizeRequiresMinSamples) {
+  GaussianLearner learner;
+  learner.add_sample(1.0);
+  EXPECT_DEATH((void)learner.summarize(), "precondition");
+}
+
+TEST(EndToEnd, ProbesThroughLearnerMatchTrueDistribution) {
+  // The §5 loop in miniature: sync probes -> learner -> summary -> the
+  // distribution the sequencer would use.
+  net::Simulation sim;
+  const stats::Gaussian truth(20e-6, 5e-6);
+  LocalClock client_clock(
+      sim, std::make_unique<IidOffset>(truth.clone(), Rng(10)));
+  SyncSession session(sim, client_clock, net::DelayModel::fixed(50_us),
+                      net::DelayModel::fixed(50_us));
+  session.schedule_probes(TimePoint(0.0), 100_us, 4000);
+  sim.run();
+
+  GaussianLearner learner;
+  learner.add_samples(session.offset_estimates());
+  const auto learned = learner.summarize().materialize();
+  // Probe estimates average two iid θ draws, so the learned mean matches
+  // but the variance halves: σ̂² = σ²/2 under the iid read model.
+  EXPECT_NEAR(learned->mean(), 20e-6, 1e-6);
+  EXPECT_NEAR(learned->stddev(), 5e-6 / std::numbers::sqrt2, 5e-7);
+}
+
+}  // namespace
+}  // namespace tommy::clock

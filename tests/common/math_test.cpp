@@ -1,0 +1,119 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tommy::math {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, SymmetricAboutZero) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 4.4}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(NormalCdf, TailAccuracy) {
+  // erfc-based form keeps relative accuracy deep in the lower tail.
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450376946e-10, 1e-18);
+  EXPECT_GT(normal_cdf(-8.0), 0.0);
+  EXPECT_LT(normal_cdf(8.0), 1.0 + 1e-15);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-16);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p = 0.001; p < 0.9995; p += 0.007) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, ExtremeTails) {
+  EXPECT_NEAR(normal_cdf(normal_quantile(1e-9)), 1e-9, 1e-13);
+  EXPECT_NEAR(normal_cdf(normal_quantile(1.0 - 1e-9)), 1.0 - 1e-9, 1e-12);
+}
+
+TEST(NormalQuantile, MedianIsZero) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+}
+
+TEST(NormalQuantileDeathTest, RejectsOutOfRange) {
+  EXPECT_DEATH((void)normal_quantile(0.0), "precondition");
+  EXPECT_DEATH((void)normal_quantile(1.0), "precondition");
+}
+
+TEST(ClampProbability, ClampsBothSides) {
+  EXPECT_EQ(clamp_probability(-0.25), 0.0);
+  EXPECT_EQ(clamp_probability(1.25), 1.0);
+  EXPECT_EQ(clamp_probability(0.42), 0.42);
+}
+
+TEST(Lerp, InterpolatesAndHandlesDegenerate) {
+  EXPECT_NEAR(lerp(0.0, 0.0, 1.0, 10.0, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(lerp(2.0, 5.0, 2.0, 7.0, 2.0), 6.0, 1e-12);  // x0 == x1
+}
+
+TEST(Trapezoid, IntegratesLinearFunctionExactly) {
+  // f(x) = x on [0, 1] with 11 points -> exact 0.5.
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) y.push_back(i / 10.0);
+  EXPECT_NEAR(trapezoid(y, 0.1), 0.5, 1e-12);
+}
+
+TEST(Trapezoid, DegenerateInputs) {
+  EXPECT_EQ(trapezoid(std::vector<double>{}, 0.1), 0.0);
+  EXPECT_EQ(trapezoid(std::vector<double>{3.0}, 0.1), 0.0);
+}
+
+TEST(CumulativeTrapezoid, MatchesTotalAndIsMonotone) {
+  std::vector<double> y{1.0, 2.0, 4.0, 1.0, 0.5};
+  const auto cum = cumulative_trapezoid(y, 0.5);
+  ASSERT_EQ(cum.size(), y.size());
+  EXPECT_EQ(cum.front(), 0.0);
+  EXPECT_NEAR(cum.back(), trapezoid(y, 0.5), 1e-12);
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+}
+
+TEST(SampleStats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(mean(xs), 5.0, 1e-12);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStats, SingletonVarianceIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(SampleQuantile, InterpolatesSorted) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_NEAR(sample_quantile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(sample_quantile(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(sample_quantile(xs, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(sample_quantile(xs, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1 + 1e-10)));
+}
+
+}  // namespace
+}  // namespace tommy::math

@@ -1,0 +1,84 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tommy {
+namespace {
+
+using namespace tommy::literals;
+
+TEST(Duration, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Duration::from_micros(1.0).seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(Duration::from_millis(2.0).seconds(), 2e-3);
+  EXPECT_DOUBLE_EQ(Duration::from_nanos(5.0).seconds(), 5e-9);
+  EXPECT_DOUBLE_EQ(Duration(1.5).micros(), 1.5e6);
+  EXPECT_DOUBLE_EQ(Duration(1.5).millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(Duration(2e-9).nanos(), 2.0);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_DOUBLE_EQ((3_s).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ((1.5_ms).seconds(), 1.5e-3);
+  EXPECT_DOUBLE_EQ((20_us).seconds(), 20e-6);
+  EXPECT_DOUBLE_EQ((7_ns).seconds(), 7e-9);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(1_s + 500_ms, Duration(1.5));
+  EXPECT_EQ(1_s - 250_ms, Duration(0.75));
+  EXPECT_EQ(2.0 * (1_s), Duration(2.0));
+  EXPECT_EQ((1_s) * 2.0, Duration(2.0));
+  EXPECT_EQ((3_s) / 2.0, Duration(1.5));
+  EXPECT_DOUBLE_EQ((3_s) / (2_s), 1.5);
+  EXPECT_EQ(-(1_s), Duration(-1.0));
+
+  Duration d = 1_s;
+  d += 1_s;
+  EXPECT_EQ(d, 2_s);
+  d -= 500_ms;
+  EXPECT_EQ(d, Duration(1.5));
+  d *= 2.0;
+  EXPECT_EQ(d, 3_s);
+}
+
+TEST(Duration, ComparisonAndInfinity) {
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_TRUE((1_s).is_finite());
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_GT(Duration::infinity(), Duration(1e100));
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::epoch();
+  const TimePoint t1 = t0 + 2_s;
+  EXPECT_DOUBLE_EQ(t1.seconds(), 2.0);
+  EXPECT_EQ(t1 - t0, 2_s);
+  EXPECT_EQ(t1 - 500_ms, TimePoint(1.5));
+
+  TimePoint t = t0;
+  t += 1_s;
+  EXPECT_EQ(t, TimePoint(1.0));
+}
+
+TEST(TimePoint, OrderingAndInfiniteFuture) {
+  EXPECT_LT(TimePoint(1.0), TimePoint(2.0));
+  EXPECT_TRUE(TimePoint(5.0).is_finite());
+  EXPECT_FALSE(TimePoint::infinite_future().is_finite());
+  EXPECT_LT(TimePoint(1e300), TimePoint::infinite_future());
+}
+
+TEST(TimePoint, FromMicros) {
+  EXPECT_DOUBLE_EQ(TimePoint::from_micros(3.0).seconds(), 3e-6);
+}
+
+TEST(TimeFormatting, StreamsWithUnit) {
+  std::ostringstream os;
+  os << Duration(0.25) << " " << TimePoint(1.5);
+  EXPECT_EQ(os.str(), "0.25s 1.5s");
+}
+
+}  // namespace
+}  // namespace tommy

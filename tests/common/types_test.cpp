@@ -1,0 +1,45 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace tommy {
+namespace {
+
+TEST(TaggedId, DefaultIsZero) {
+  EXPECT_EQ(ClientId{}.value(), 0u);
+  EXPECT_EQ(MessageId{}.value(), 0u);
+}
+
+TEST(TaggedId, ComparisonsFollowValue) {
+  EXPECT_EQ(ClientId(3), ClientId(3));
+  EXPECT_NE(ClientId(3), ClientId(4));
+  EXPECT_LT(ClientId(3), ClientId(4));
+  EXPECT_GE(MessageId(9), MessageId(9));
+}
+
+TEST(TaggedId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ClientId, MessageId>);
+  static_assert(!std::is_same_v<ClientId, BatchId>);
+}
+
+TEST(TaggedId, Hashable) {
+  std::unordered_set<ClientId> set;
+  set.insert(ClientId(1));
+  set.insert(ClientId(2));
+  set.insert(ClientId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ClientId(2)));
+  EXPECT_FALSE(set.contains(ClientId(3)));
+}
+
+TEST(TaggedId, Streams) {
+  std::ostringstream os;
+  os << ClientId(42);
+  EXPECT_EQ(os.str(), "42");
+}
+
+}  // namespace
+}  // namespace tommy

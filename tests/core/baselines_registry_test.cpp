@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/client_registry.hpp"
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::core {
+namespace {
+
+Message msg(std::uint64_t id, std::uint32_t client, double stamp,
+            double arrival = 0.0) {
+  return Message{MessageId(id), ClientId(client), TimePoint(stamp),
+                 TimePoint(arrival)};
+}
+
+// --------------------------------------------------------- ClientRegistry
+
+TEST(ClientRegistry, AnnounceAndLookup) {
+  ClientRegistry registry;
+  EXPECT_FALSE(registry.contains(ClientId(1)));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(1.0, 2.0));
+  ASSERT_TRUE(registry.contains(ClientId(1)));
+  EXPECT_DOUBLE_EQ(registry.offset_distribution(ClientId(1)).mean(), 1.0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ClientRegistry, ReAnnounceReplaces) {
+  ClientRegistry registry;
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(1.0, 2.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(9.0, 1.0));
+  EXPECT_DOUBLE_EQ(registry.offset_distribution(ClientId(1)).mean(), 9.0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ClientRegistry, AnnounceFromSummaryMaterializes) {
+  ClientRegistry registry;
+  registry.announce(ClientId(2), stats::DistributionSummary(
+                                     stats::GaussianParams{0.5, 0.25}));
+  EXPECT_TRUE(registry.offset_distribution(ClientId(2)).is_gaussian());
+  EXPECT_DOUBLE_EQ(registry.offset_distribution(ClientId(2)).stddev(), 0.25);
+}
+
+TEST(ClientRegistry, AllGaussianFlag) {
+  ClientRegistry registry;
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  EXPECT_TRUE(registry.all_gaussian());
+  registry.announce(ClientId(2), std::make_unique<stats::Uniform>(-1.0, 1.0));
+  EXPECT_FALSE(registry.all_gaussian());
+}
+
+TEST(ClientRegistry, ClientsSorted) {
+  ClientRegistry registry;
+  registry.announce(ClientId(5), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  registry.announce(ClientId(3), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  EXPECT_EQ(registry.clients(),
+            (std::vector<ClientId>{ClientId(1), ClientId(3), ClientId(5)}));
+}
+
+TEST(ClientRegistryDeathTest, UnknownClientLookupDies) {
+  ClientRegistry registry;
+  EXPECT_DEATH((void)registry.offset_distribution(ClientId(7)),
+               "precondition");
+}
+
+// --------------------------------------------------------------- TrueTime
+
+class TrueTimeTest : public ::testing::Test {
+ protected:
+  TrueTimeTest() {
+    registry_.announce(ClientId(0),
+                       std::make_unique<stats::Gaussian>(0.0, 1e-3));
+    registry_.announce(ClientId(1),
+                       std::make_unique<stats::Gaussian>(0.0, 10e-3));
+  }
+  ClientRegistry registry_;
+};
+
+TEST_F(TrueTimeTest, DisjointIntervalsGetDistinctRanks) {
+  TrueTimeSequencer seq(registry_);
+  // 3σ = 3 ms for client 0; stamps 100 ms apart are clearly disjoint.
+  const auto result =
+      seq.sequence({msg(1, 0, 0.0), msg(2, 0, 0.1), msg(3, 0, 0.2)});
+  ASSERT_EQ(result.batches.size(), 3u);
+  EXPECT_EQ(result.batches[0].messages[0].id, MessageId(1));
+  EXPECT_EQ(result.batches[2].messages[0].id, MessageId(3));
+}
+
+TEST_F(TrueTimeTest, OverlappingIntervalsShareARank) {
+  TrueTimeSequencer seq(registry_);
+  // 2 ms apart with ±3 ms intervals: overlap -> same batch.
+  const auto result = seq.sequence({msg(1, 0, 0.0), msg(2, 0, 2e-3)});
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].messages.size(), 2u);
+}
+
+TEST_F(TrueTimeTest, OverlapIsTransitiveViaChaining) {
+  TrueTimeSequencer seq(registry_);
+  // a-b overlap, b-c overlap, a-c do not: all three must share a rank
+  // (connected component semantics).
+  const auto result =
+      seq.sequence({msg(1, 0, 0.0), msg(2, 0, 5e-3), msg(3, 0, 10e-3)});
+  ASSERT_EQ(result.batches.size(), 1u);
+  EXPECT_EQ(result.batches[0].messages.size(), 3u);
+}
+
+TEST_F(TrueTimeTest, WideClockWidensIntervals) {
+  TrueTimeSequencer seq(registry_);
+  // Client 1 has 3σ = 30 ms: messages 20 ms apart overlap through it.
+  const auto mixed = seq.sequence({msg(1, 1, 0.0), msg(2, 0, 0.02)});
+  EXPECT_EQ(mixed.batches.size(), 1u);
+  // The same stamps on the tight client alone would separate.
+  const auto tight = seq.sequence({msg(1, 0, 0.0), msg(2, 0, 0.02)});
+  EXPECT_EQ(tight.batches.size(), 2u);
+}
+
+TEST_F(TrueTimeTest, MeanCorrectionCanBeDisabled) {
+  ClientRegistry biased;
+  biased.announce(ClientId(0), std::make_unique<stats::Gaussian>(0.05, 1e-3));
+  biased.announce(ClientId(1), std::make_unique<stats::Gaussian>(-0.05, 1e-3));
+
+  // Corrected: stamps 0.0/0.01 become centers 0.05/−0.04 -> order flips.
+  TrueTimeSequencer corrected(biased, TrueTimeConfig{3.0, true});
+  const auto with_corr = corrected.sequence({msg(1, 0, 0.0), msg(2, 1, 0.01)});
+  ASSERT_EQ(with_corr.batches.size(), 2u);
+  EXPECT_EQ(with_corr.batches[0].messages[0].id, MessageId(2));
+
+  // Literal paper form [T−3σ, T+3σ]: raw stamps keep message 1 first.
+  TrueTimeSequencer literal(biased, TrueTimeConfig{3.0, false});
+  const auto without = literal.sequence({msg(1, 0, 0.0), msg(2, 1, 0.01)});
+  ASSERT_EQ(without.batches.size(), 2u);
+  EXPECT_EQ(without.batches[0].messages[0].id, MessageId(1));
+}
+
+// -------------------------------------------------------------- WFO/FIFO
+
+TEST(WfoSequencer, OrdersByRawStampWithSingletonBatches) {
+  WfoSequencer seq;
+  const auto result =
+      seq.sequence({msg(1, 0, 3.0), msg(2, 1, 1.0), msg(3, 0, 2.0)});
+  ASSERT_EQ(result.batches.size(), 3u);
+  EXPECT_EQ(result.batches[0].messages[0].id, MessageId(2));
+  EXPECT_EQ(result.batches[1].messages[0].id, MessageId(3));
+  EXPECT_EQ(result.batches[2].messages[0].id, MessageId(1));
+}
+
+TEST(WfoSequencer, StampTiesBreakById) {
+  WfoSequencer seq;
+  const auto result = seq.sequence({msg(9, 0, 1.0), msg(2, 1, 1.0)});
+  ASSERT_EQ(result.batches.size(), 2u);
+  EXPECT_EQ(result.batches[0].messages[0].id, MessageId(2));
+}
+
+TEST(FifoSequencer, OrdersByArrival) {
+  FifoSequencer seq;
+  const auto result = seq.sequence({msg(1, 0, 1.0, /*arrival=*/5.0),
+                                    msg(2, 1, 2.0, /*arrival=*/4.0),
+                                    msg(3, 0, 3.0, /*arrival=*/6.0)});
+  ASSERT_EQ(result.batches.size(), 3u);
+  EXPECT_EQ(result.batches[0].messages[0].id, MessageId(2));
+  EXPECT_EQ(result.batches[1].messages[0].id, MessageId(1));
+  EXPECT_EQ(result.batches[2].messages[0].id, MessageId(3));
+}
+
+TEST(Baselines, NamesAreStable) {
+  ClientRegistry registry;
+  EXPECT_EQ(TrueTimeSequencer(registry).name(), "truetime");
+  EXPECT_EQ(WfoSequencer().name(), "wfo");
+  EXPECT_EQ(FifoSequencer().name(), "fifo");
+}
+
+}  // namespace
+}  // namespace tommy::core

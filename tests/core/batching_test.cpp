@@ -1,0 +1,183 @@
+#include "core/batching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tommy::core {
+namespace {
+
+Message msg(std::uint64_t id) {
+  return Message{MessageId(id), ClientId(0), TimePoint(0.0)};
+}
+
+/// Probability table keyed by (id, id).
+class ProbTable {
+ public:
+  void set(std::uint64_t a, std::uint64_t b, double p) {
+    table_[{a, b}] = p;
+    table_[{b, a}] = 1.0 - p;
+  }
+  PairProbabilityFn fn() const {
+    return [this](const Message& x, const Message& y) {
+      return table_.at({x.id.value(), y.id.value()});
+    };
+  }
+
+ private:
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> table_;
+};
+
+TEST(BatchByThreshold, SplitsOnConfidentAdjacentPairs) {
+  ProbTable p;
+  p.set(0, 1, 0.9);   // boundary
+  p.set(1, 2, 0.6);   // no boundary
+  p.set(2, 3, 0.8);   // boundary
+  p.set(0, 2, 0.9);
+  p.set(0, 3, 0.95);
+  p.set(1, 3, 0.9);
+
+  const auto batches =
+      batch_by_threshold({msg(0), msg(1), msg(2), msg(3)}, p.fn(), 0.75);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].rank, 0u);
+  EXPECT_EQ(batches[1].rank, 1u);
+  EXPECT_EQ(batches[2].rank, 2u);
+  ASSERT_EQ(batches[0].messages.size(), 1u);
+  ASSERT_EQ(batches[1].messages.size(), 2u);
+  ASSERT_EQ(batches[2].messages.size(), 1u);
+  EXPECT_EQ(batches[0].messages[0].id, MessageId(0));
+  EXPECT_EQ(batches[1].messages[0].id, MessageId(1));
+  EXPECT_EQ(batches[1].messages[1].id, MessageId(2));
+  EXPECT_EQ(batches[2].messages[0].id, MessageId(3));
+}
+
+TEST(BatchByThreshold, SingleMessageSingleBatch) {
+  ProbTable p;
+  const auto batches = batch_by_threshold({msg(0)}, p.fn(), 0.75);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].messages.size(), 1u);
+}
+
+TEST(BatchByThreshold, EmptyInput) {
+  ProbTable p;
+  EXPECT_TRUE(batch_by_threshold({}, p.fn(), 0.75).empty());
+}
+
+TEST(BatchByThreshold, ThresholdExactlyAtBoundaryDoesNotSplit) {
+  ProbTable p;
+  p.set(0, 1, 0.75);  // strict inequality required
+  const auto batches = batch_by_threshold({msg(0), msg(1)}, p.fn(), 0.75);
+  EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(BatchByThreshold, ClosureRuleMergesThroughUncertainMember) {
+  // Appendix C shape: both adjacent pairs uncertain — one batch under
+  // either rule.
+  ProbTable p;
+  p.set(0, 1, 0.55);  // 1a vs 2: uncertain
+  p.set(0, 2, 0.99);  // 1a vs 1b: confident
+  p.set(1, 2, 0.55);  // 2 vs 1b: uncertain
+
+  const std::vector<Message> order{msg(0), msg(1), msg(2)};
+
+  const auto adjacent =
+      batch_by_threshold(order, p.fn(), 0.75, BatchRule::kAdjacent);
+  EXPECT_EQ(adjacent.size(), 1u);
+
+  const auto closure =
+      batch_by_threshold(order, p.fn(), 0.75, BatchRule::kClosure);
+  EXPECT_EQ(closure.size(), 1u);
+
+  // Adjacent pairs confident but a skip pair uncertain: the adjacent rule
+  // overconfidently cuts three batches (and its result violates
+  // min_cross_batch_probability > threshold); the closure rule keeps one.
+  ProbTable q;
+  q.set(0, 1, 0.9);   // adjacent: confident
+  q.set(1, 2, 0.9);   // adjacent: confident
+  q.set(0, 2, 0.55);  // skip pair: uncertain
+  const auto adj2 =
+      batch_by_threshold(order, q.fn(), 0.75, BatchRule::kAdjacent);
+  EXPECT_EQ(adj2.size(), 3u);
+  EXPECT_LE(min_cross_batch_probability(adj2, q.fn()), 0.75);
+  const auto closure2 =
+      batch_by_threshold(order, q.fn(), 0.75, BatchRule::kClosure);
+  EXPECT_EQ(closure2.size(), 1u);
+
+  // Uncertainty confined to the front: closure still refuses every cut
+  // that an uncertain pair crosses.
+  ProbTable r;
+  r.set(0, 1, 0.6);
+  r.set(1, 2, 0.9);
+  r.set(0, 2, 0.55);
+  const auto adj3 =
+      batch_by_threshold(order, r.fn(), 0.75, BatchRule::kAdjacent);
+  EXPECT_EQ(adj3.size(), 2u);  // cuts between 1 and 2 — overconfident
+  const auto closure3 =
+      batch_by_threshold(order, r.fn(), 0.75, BatchRule::kClosure);
+  EXPECT_EQ(closure3.size(), 1u);
+}
+
+TEST(BatchByThreshold, ClosureRuleGuaranteesCrossBatchConfidence) {
+  // Fully confident chain: closure and adjacent agree, and the guarantee
+  // min_cross_batch_probability > threshold holds.
+  ProbTable p;
+  p.set(0, 1, 0.9);
+  p.set(0, 2, 0.95);
+  p.set(1, 2, 0.85);
+  const std::vector<Message> order{msg(0), msg(1), msg(2)};
+  const auto closure =
+      batch_by_threshold(order, p.fn(), 0.75, BatchRule::kClosure);
+  EXPECT_EQ(closure.size(), 3u);
+  EXPECT_GT(min_cross_batch_probability(closure, p.fn()), 0.75);
+}
+
+TEST(BatchGroups, NeverSplitsAGroup) {
+  ProbTable p;
+  p.set(0, 1, 0.99);
+  p.set(0, 2, 0.99);
+  p.set(1, 2, 0.99);
+  std::vector<std::vector<Message>> groups;
+  groups.push_back({msg(0), msg(1)});  // a 2-cycle SCC, say
+  groups.push_back({msg(2)});
+  const auto batches = batch_groups_by_threshold(std::move(groups), p.fn(),
+                                                 0.75);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].messages.size(), 2u);
+  EXPECT_EQ(batches[1].messages.size(), 1u);
+}
+
+TEST(BatchGroups, MergesGroupsOnUncertainBoundary) {
+  ProbTable p;
+  p.set(1, 2, 0.6);  // boundary pair uncertain -> merge groups
+  std::vector<std::vector<Message>> groups;
+  groups.push_back({msg(0), msg(1)});
+  groups.push_back({msg(2), msg(3)});
+  const auto batches = batch_groups_by_threshold(std::move(groups), p.fn(),
+                                                 0.75);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].messages.size(), 4u);
+}
+
+TEST(MinCrossBatchProbability, FindsTheWeakestOrderedPair) {
+  ProbTable p;
+  p.set(0, 1, 0.9);
+  p.set(0, 2, 0.8);
+  p.set(1, 2, 0.65);
+
+  std::vector<Batch> batches(3);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    batches[k].rank = k;
+    batches[k].messages.push_back(msg(k));
+  }
+  EXPECT_DOUBLE_EQ(min_cross_batch_probability(batches, p.fn()), 0.65);
+}
+
+TEST(BatchByThresholdDeathTest, RejectsDegenerateThresholds) {
+  ProbTable p;
+  EXPECT_DEATH(batch_by_threshold({msg(0)}, p.fn(), 0.5), "precondition");
+  EXPECT_DEATH(batch_by_threshold({msg(0)}, p.fn(), 1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::core

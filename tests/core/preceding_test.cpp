@@ -1,0 +1,201 @@
+#include "core/preceding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::core {
+namespace {
+
+Message msg(std::uint64_t id, std::uint32_t client, double stamp_s) {
+  return Message{MessageId(id), ClientId(client), TimePoint(stamp_s)};
+}
+
+class PrecedingGaussian : public ::testing::Test {
+ protected:
+  PrecedingGaussian() {
+    registry_.announce(ClientId(0),
+                       std::make_unique<stats::Gaussian>(2.0, 3.0));
+    registry_.announce(ClientId(1),
+                       std::make_unique<stats::Gaussian>(-1.0, 4.0));
+  }
+  ClientRegistry registry_;
+};
+
+TEST_F(PrecedingGaussian, MatchesClosedForm) {
+  PrecedingEngine engine(registry_);
+  const Message i = msg(0, 0, 10.0);
+  const Message j = msg(1, 1, 12.0);
+  // p = Φ((T_j + μ_j − T_i − μ_i)/√(σ_i² + σ_j²)) = Φ(−1/5).
+  const double expected = math::normal_cdf((12.0 - 1.0 - 10.0 - 2.0) / 5.0);
+  EXPECT_NEAR(engine.preceding_probability(i, j), expected, 1e-12);
+}
+
+TEST_F(PrecedingGaussian, ComplementaryInBothDirections) {
+  PrecedingEngine engine(registry_);
+  const Message i = msg(0, 0, 1.0);
+  const Message j = msg(1, 1, 1.5);
+  const double p_ij = engine.preceding_probability(i, j);
+  const double p_ji = engine.preceding_probability(j, i);
+  EXPECT_NEAR(p_ij + p_ji, 1.0, 1e-12);
+}
+
+TEST_F(PrecedingGaussian, MatchesMonteCarlo) {
+  PrecedingEngine engine(registry_);
+  const Message i = msg(0, 0, 0.0);
+  const Message j = msg(1, 1, 1.0);
+  const double p = engine.preceding_probability(i, j);
+
+  Rng rng(77);
+  const stats::Gaussian ti(2.0, 3.0);   // θ_i
+  const stats::Gaussian tj(-1.0, 4.0);  // θ_j
+  int hits = 0;
+  const int n = 400000;
+  for (int k = 0; k < n; ++k) {
+    // T*_i < T*_j ⟺ T_i + θ_i < T_j + θ_j.
+    if (0.0 + ti.sample(rng) < 1.0 + tj.sample(rng)) ++hits;
+  }
+  EXPECT_NEAR(p, static_cast<double>(hits) / n, 3e-3);
+}
+
+TEST_F(PrecedingGaussian, NumericPathAgreesWithClosedForm) {
+  PrecedingConfig config;
+  config.force_numeric = true;
+  config.grid_points = 2048;
+  PrecedingEngine numeric(registry_, config);
+  PrecedingEngine closed(registry_);
+
+  for (double gap : {-8.0, -2.0, -0.5, 0.0, 0.5, 2.0, 8.0}) {
+    const Message i = msg(0, 0, 0.0);
+    const Message j = msg(1, 1, gap);
+    EXPECT_NEAR(numeric.preceding_probability(i, j),
+                closed.preceding_probability(i, j), 2e-3)
+        << "gap=" << gap;
+  }
+}
+
+TEST_F(PrecedingGaussian, DirectAndFftConvolutionAgree) {
+  PrecedingConfig fft_config;
+  fft_config.force_numeric = true;
+  fft_config.method = stats::ConvolutionMethod::kFft;
+  PrecedingConfig direct_config = fft_config;
+  direct_config.method = stats::ConvolutionMethod::kDirect;
+  direct_config.grid_points = 512;
+  fft_config.grid_points = 512;
+
+  PrecedingEngine fft(registry_, fft_config);
+  PrecedingEngine direct(registry_, direct_config);
+  const Message i = msg(0, 0, 0.0);
+  const Message j = msg(1, 1, 1.0);
+  EXPECT_NEAR(fft.preceding_probability(i, j),
+              direct.preceding_probability(i, j), 1e-9);
+}
+
+TEST_F(PrecedingGaussian, SameClientPairUsesIndependentDraws) {
+  // Two messages from one client: equal stamps -> exactly 1/2 (Δθ of two
+  // iid draws is symmetric about 0).
+  PrecedingEngine engine(registry_);
+  const Message a = msg(0, 0, 5.0);
+  const Message b = msg(1, 0, 5.0);
+  EXPECT_NEAR(engine.preceding_probability(a, b), 0.5, 1e-12);
+}
+
+TEST_F(PrecedingGaussian, LargeGapsSaturate) {
+  PrecedingEngine engine(registry_);
+  const Message early = msg(0, 0, 0.0);
+  const Message late = msg(1, 1, 1000.0);
+  EXPECT_GT(engine.preceding_probability(early, late), 0.999999);
+  EXPECT_LT(engine.preceding_probability(late, early), 1e-6);
+}
+
+TEST(PrecedingNumeric, CachesPerOrderedClientPair) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Uniform>(-1.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Uniform>(-2.0, 2.0));
+
+  PrecedingConfig config;
+  config.grid_points = 256;
+  PrecedingEngine engine(registry, config);
+  EXPECT_EQ(engine.cached_pairs(), 0u);
+
+  const Message i = msg(0, 0, 0.0);
+  const Message j = msg(1, 1, 0.1);
+  (void)engine.preceding_probability(i, j);
+  EXPECT_EQ(engine.cached_pairs(), 1u);
+  (void)engine.preceding_probability(i, j);
+  EXPECT_EQ(engine.cached_pairs(), 1u);  // hit, not a second entry
+  (void)engine.preceding_probability(j, i);
+  EXPECT_EQ(engine.cached_pairs(), 2u);  // reverse direction is its own key
+}
+
+TEST(PrecedingNumeric, UniformPairHasClosedFormCheck) {
+  // θ_i, θ_j ~ U(0, 1) iid: P(θ_j − θ_i > g) = (1−g)²/2 for g in [0, 1].
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Uniform>(0.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Uniform>(0.0, 1.0));
+  PrecedingConfig config;
+  config.grid_points = 2048;
+  PrecedingEngine engine(registry, config);
+
+  for (double g : {0.0, 0.25, 0.5, 0.75}) {
+    const Message i = msg(0, 0, g);   // T_i − T_j = g
+    const Message j = msg(1, 1, 0.0);
+    const double expected = (1.0 - g) * (1.0 - g) / 2.0;
+    EXPECT_NEAR(engine.preceding_probability(i, j), expected, 3e-3)
+        << "g=" << g;
+  }
+}
+
+TEST(SafeEmission, UsesOffsetQuantile) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(1.0, 2.0));
+  PrecedingEngine engine(registry);
+
+  const Message m = msg(0, 0, 10.0);
+  const TimePoint tf = engine.safe_emission_time(m, 0.999);
+  // T^F = T + Q_θ(0.999) = 10 + 1 + 2·Φ⁻¹(0.999).
+  EXPECT_NEAR(tf.seconds(), 11.0 + 2.0 * math::normal_quantile(0.999), 1e-9);
+  // And by construction P(T* < T^F) = 0.999.
+  const stats::Gaussian theta(1.0, 2.0);
+  EXPECT_NEAR(theta.cdf(tf.seconds() - 10.0), 0.999, 1e-9);
+}
+
+TEST(SafeEmission, MonotoneInPSafe) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  PrecedingEngine engine(registry);
+  const Message m = msg(0, 0, 0.0);
+  EXPECT_LT(engine.safe_emission_time(m, 0.9),
+            engine.safe_emission_time(m, 0.99));
+  EXPECT_LT(engine.safe_emission_time(m, 0.99),
+            engine.safe_emission_time(m, 0.9999));
+}
+
+TEST(CompletenessFrontier, ConservativeForUncertainClients) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 10.0));
+  PrecedingEngine engine(registry);
+
+  const TimePoint hw(100.0);
+  // frontier = hw + Q_θ(1 − p_safe); the noisier clock pushes further back.
+  const TimePoint tight = engine.completeness_frontier(ClientId(0), hw, 0.999);
+  const TimePoint loose = engine.completeness_frontier(ClientId(1), hw, 0.999);
+  EXPECT_LT(loose, tight);
+  EXPECT_LT(tight, hw);  // 1 − p_safe quantile is negative for zero-mean θ
+}
+
+TEST(CorrectedStamp, AddsMeanOffset) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(2.5, 1.0));
+  PrecedingEngine engine(registry);
+  EXPECT_DOUBLE_EQ(engine.corrected_stamp(msg(0, 0, 1.0)).seconds(), 3.5);
+}
+
+}  // namespace
+}  // namespace tommy::core

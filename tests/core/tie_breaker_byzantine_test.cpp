@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/byzantine.hpp"
+#include "core/tie_breaker.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::core {
+namespace {
+
+Message msg(std::uint64_t id, std::uint32_t client, double stamp,
+            double arrival = 0.0) {
+  return Message{MessageId(id), ClientId(client), TimePoint(stamp),
+                 TimePoint(arrival)};
+}
+
+// ----------------------------------------------------------- TieBreaker
+
+TEST(FairTieBreaker, OutputIsAPermutationOfTheBatch) {
+  FairTieBreaker breaker(1);
+  Batch batch;
+  batch.rank = 0;
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    batch.messages.push_back(msg(k, static_cast<std::uint32_t>(k), 0.0));
+  }
+  const auto ordered = breaker.total_order(batch);
+  ASSERT_EQ(ordered.size(), 6u);
+  std::set<std::uint64_t> ids;
+  for (const Message& m : ordered) ids.insert(m.id.value());
+  EXPECT_EQ(ids.size(), 6u);
+}
+
+TEST(FairTieBreaker, SingletonBatchesAreNotCounted) {
+  FairTieBreaker breaker(2);
+  Batch batch;
+  batch.rank = 0;
+  batch.messages.push_back(msg(1, 1, 0.0));
+  (void)breaker.total_order(batch);
+  EXPECT_EQ(breaker.ledger().participations(ClientId(1)), 0u);
+}
+
+TEST(FairTieBreaker, LongRunWinRatesEqualize) {
+  // §5: random tie-breaking gives stochastic fairness over time. Two
+  // clients tie in 4000 batches; win rates should approach 50/50.
+  FairTieBreaker breaker(3);
+  for (int round = 0; round < 4000; ++round) {
+    Batch batch;
+    batch.rank = static_cast<Rank>(round);
+    batch.messages.push_back(msg(2 * static_cast<std::uint64_t>(round), 1, 0.0));
+    batch.messages.push_back(
+        msg(2 * static_cast<std::uint64_t>(round) + 1, 2, 0.0));
+    (void)breaker.total_order(batch);
+  }
+  EXPECT_NEAR(breaker.ledger().win_rate(ClientId(1)), 0.5, 0.03);
+  EXPECT_NEAR(breaker.ledger().win_rate(ClientId(2)), 0.5, 0.03);
+  EXPECT_LT(breaker.ledger().disparity(), 1.15);
+}
+
+TEST(FairTieBreaker, FlattensSequencerResultInRankOrder) {
+  FairTieBreaker breaker(4);
+  SequencerResult result;
+  Batch b0;
+  b0.rank = 0;
+  b0.messages.push_back(msg(1, 1, 0.0));
+  Batch b1;
+  b1.rank = 1;
+  b1.messages.push_back(msg(2, 2, 0.0));
+  b1.messages.push_back(msg(3, 3, 0.0));
+  result.batches = {b0, b1};
+
+  const auto total = breaker.total_order(result);
+  ASSERT_EQ(total.size(), 3u);
+  EXPECT_EQ(total[0].id, MessageId(1));  // batch order preserved
+  EXPECT_TRUE(total[1].id == MessageId(2) || total[1].id == MessageId(3));
+}
+
+TEST(FairTieBreaker, DeterministicGivenSeed) {
+  Batch batch;
+  batch.rank = 0;
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    batch.messages.push_back(msg(k, static_cast<std::uint32_t>(k), 0.0));
+  }
+  FairTieBreaker a(42);
+  FairTieBreaker b(42);
+  const auto oa = a.total_order(batch);
+  const auto ob = b.total_order(batch);
+  for (std::size_t k = 0; k < oa.size(); ++k) EXPECT_EQ(oa[k].id, ob[k].id);
+}
+
+// ------------------------------------------------------------- Byzantine
+
+class ByzantineTest : public ::testing::Test {
+ protected:
+  ByzantineTest() {
+    // θ ~ N(0, 1 ms): residual = θ + delay should sit in roughly
+    // [−3.7 ms, +3.7 ms + max_delay].
+    registry_.announce(ClientId(0),
+                       std::make_unique<stats::Gaussian>(0.0, 1e-3));
+    config_.epsilon = 1e-4;
+    config_.max_plausible_delay = Duration::from_millis(10);
+  }
+  ClientRegistry registry_;
+  ByzantineConfig config_;
+};
+
+TEST_F(ByzantineTest, HonestResidualsPass) {
+  ByzantineGuard guard(registry_, config_);
+  // stamp 1.000, arrival 1.0015: residual 1.5 ms = plausible θ + delay.
+  EXPECT_EQ(guard.inspect(msg(1, 0, 1.0, 1.0015)), Plausibility::kPlausible);
+  EXPECT_EQ(guard.flagged_count(ClientId(0)), 0u);
+  EXPECT_EQ(guard.inspected_count(ClientId(0)), 1u);
+}
+
+TEST_F(ByzantineTest, BackdatedStampIsFlagged) {
+  ByzantineGuard guard(registry_, config_);
+  // Claims generation 100 ms before arrival: no plausible θ + delay ≤
+  // 3.7 + 10 ms explains a 100 ms residual.
+  EXPECT_EQ(guard.inspect(msg(1, 0, 1.0, 1.1)), Plausibility::kBackdated);
+  EXPECT_EQ(guard.flagged_count(ClientId(0)), 1u);
+}
+
+TEST_F(ByzantineTest, ForwardDatedStampIsFlagged) {
+  ByzantineGuard guard(registry_, config_);
+  // Stamp 20 ms in the arrival's future: θ would have to be < −20 ms.
+  EXPECT_EQ(guard.inspect(msg(1, 0, 1.02, 1.0)),
+            Plausibility::kForwardDated);
+}
+
+TEST_F(ByzantineTest, SuspicionScoreAccumulates) {
+  ByzantineGuard guard(registry_, config_);
+  for (int k = 0; k < 8; ++k) {
+    (void)guard.inspect(msg(static_cast<std::uint64_t>(k), 0, 1.0, 1.001));
+  }
+  for (int k = 0; k < 2; ++k) {
+    (void)guard.inspect(
+        msg(static_cast<std::uint64_t>(100 + k), 0, 1.0, 1.5));
+  }
+  EXPECT_NEAR(guard.suspicion_score(ClientId(0)), 0.2, 1e-12);
+  EXPECT_EQ(guard.suspects(0.1, 5).size(), 1u);
+  EXPECT_TRUE(guard.suspects(0.5, 5).empty());
+  EXPECT_TRUE(guard.suspects(0.1, 100).empty());  // not enough inspected
+}
+
+TEST_F(ByzantineTest, HonestHighVolumeClientStaysClean) {
+  ByzantineGuard guard(registry_, config_);
+  stats::Gaussian theta(0.0, 1e-3);
+  Rng rng(9);
+  for (int k = 0; k < 2000; ++k) {
+    const double offset = theta.sample(rng);
+    const double delay = rng.uniform(0.0, 5e-3);
+    // arrival − stamp = θ + delay by construction.
+    (void)guard.inspect(msg(static_cast<std::uint64_t>(k), 0, 1.0,
+                            1.0 + offset + delay));
+  }
+  // ε = 1e-4 per side: expect a handful of false flags at most.
+  EXPECT_LT(guard.suspicion_score(ClientId(0)), 0.005);
+}
+
+TEST(ByzantineConfigDeathTest, Validation) {
+  ClientRegistry registry;
+  ByzantineConfig bad;
+  bad.epsilon = 0.7;
+  EXPECT_DEATH(ByzantineGuard(registry, bad), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::core

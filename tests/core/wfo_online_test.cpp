@@ -1,0 +1,131 @@
+#include "core/wfo_online.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tommy::core {
+namespace {
+
+Message msg(std::uint64_t id, std::uint32_t client, double stamp) {
+  return Message{MessageId(id), ClientId(client), TimePoint(stamp)};
+}
+
+class WfoOnlineTest : public ::testing::Test {
+ protected:
+  WfoOnlineSequencer make(std::size_t clients = 2) {
+    std::vector<ClientId> ids;
+    for (std::uint32_t c = 0; c < clients; ++c) ids.emplace_back(c);
+    return WfoOnlineSequencer(ids);
+  }
+};
+
+TEST_F(WfoOnlineTest, WaitsForEveryClientBeforeReleasing) {
+  WfoOnlineSequencer seq = make();
+  seq.on_message(msg(1, 0, 1.0));
+  // Client 1 unheard: nothing can be released yet.
+  EXPECT_TRUE(seq.poll().empty());
+  EXPECT_EQ(seq.pending_count(), 1u);
+
+  seq.on_message(msg(2, 1, 2.0));
+  // Now every client has a message: the smaller stamp (1.0) releases;
+  // message 2 must wait until client 0 proves it has passed 2.0.
+  const auto released = seq.poll();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].messages[0].id, MessageId(1));
+  EXPECT_EQ(seq.pending_count(), 1u);
+}
+
+TEST_F(WfoOnlineTest, HeartbeatUnblocksIdleClient) {
+  WfoOnlineSequencer seq = make();
+  seq.on_message(msg(1, 0, 1.0));
+  EXPECT_TRUE(seq.poll().empty());
+  // Client 1 is idle but alive: its heartbeat stamped past 1.0 proves no
+  // earlier message can come (in-order channel).
+  seq.on_heartbeat(ClientId(1), TimePoint(1.5));
+  const auto released = seq.poll();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].messages[0].id, MessageId(1));
+}
+
+TEST_F(WfoOnlineTest, HeartbeatAtExactStampDoesNotUnblock) {
+  WfoOnlineSequencer seq = make();
+  seq.on_message(msg(1, 0, 1.0));
+  seq.on_heartbeat(ClientId(1), TimePoint(1.0));  // not strictly greater
+  EXPECT_TRUE(seq.poll().empty());
+}
+
+TEST_F(WfoOnlineTest, ReleasesInGlobalStampOrder) {
+  WfoOnlineSequencer seq = make(3);
+  seq.on_message(msg(1, 0, 3.0));
+  seq.on_message(msg(2, 1, 1.0));
+  seq.on_message(msg(3, 2, 2.0));
+  seq.on_message(msg(4, 1, 4.0));
+
+  // msg 2 (1.0) and msg 3 (2.0) release (everyone has a queued message
+  // when they are the minimum); msg 1 (3.0) is then blocked because
+  // client 2's queue drained and its high-water (2.0) has not passed 3.0.
+  const auto released = seq.poll();
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].messages[0].id, MessageId(2));
+  EXPECT_EQ(released[1].messages[0].id, MessageId(3));
+  for (std::size_t k = 0; k < released.size(); ++k) {
+    EXPECT_EQ(released[k].rank, k);
+  }
+
+  seq.on_heartbeat(ClientId(2), TimePoint(5.0));
+  seq.on_heartbeat(ClientId(0), TimePoint(5.0));
+  const auto tail = seq.poll();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].messages[0].id, MessageId(1));
+  EXPECT_EQ(tail[0].rank, 2u);
+  EXPECT_EQ(tail[1].messages[0].id, MessageId(4));
+  EXPECT_EQ(tail[1].rank, 3u);
+}
+
+TEST_F(WfoOnlineTest, PerClientFifoPreservedEvenWithStampRegression) {
+  WfoOnlineSequencer seq = make();
+  // Client 0's clock regresses between messages (noisy clock): WFO's
+  // assumption breaks; it must count the violation and keep arrival order
+  // within the client's queue.
+  seq.on_message(msg(1, 0, 2.0));
+  seq.on_message(msg(2, 0, 1.5));  // stamped earlier, arrived later
+  EXPECT_EQ(seq.monotonicity_violations(), 1u);
+
+  seq.on_heartbeat(ClientId(1), TimePoint(10.0));
+  const auto released = seq.poll();
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].messages[0].id, MessageId(1));  // arrival order
+  EXPECT_EQ(released[1].messages[0].id, MessageId(2));
+}
+
+TEST_F(WfoOnlineTest, FairWhenClocksArePerfect) {
+  // The Fig. 2 regime: with exact stamps and dense traffic from everyone,
+  // WFO's release order equals true generation order.
+  WfoOnlineSequencer seq = make(3);
+  std::uint64_t id = 0;
+  std::vector<MessageId> expected;
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      const double t = 0.01 * static_cast<double>(3 * round + c);
+      seq.on_message(msg(id, c, t));
+      expected.emplace_back(id);
+      ++id;
+    }
+  }
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    seq.on_heartbeat(ClientId(c), TimePoint(100.0));
+  }
+  const auto released = seq.poll();
+  ASSERT_EQ(released.size(), expected.size());
+  for (std::size_t k = 0; k < released.size(); ++k) {
+    EXPECT_EQ(released[k].messages[0].id, expected[k]);
+  }
+  EXPECT_EQ(seq.pending_count(), 0u);
+}
+
+TEST_F(WfoOnlineTest, UnknownClientDies) {
+  WfoOnlineSequencer seq = make();
+  EXPECT_DEATH(seq.on_message(msg(1, 9, 1.0)), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::core

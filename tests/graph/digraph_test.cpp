@@ -1,0 +1,139 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tommy::graph {
+namespace {
+
+TEST(Digraph, TopologicalSortOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto order = g.topological_sort();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+
+  std::vector<std::size_t> pos(4);
+  for (std::size_t k = 0; k < 4; ++k) pos[(*order)[k]] = k;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Digraph, TopologicalSortIsDeterministicLowestFirst) {
+  Digraph g(4);  // no edges: pure tie-break order
+  const auto order = g.topological_sort();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Digraph, CycleYieldsNullopt) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(g.topological_sort().has_value());
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, SelfLoopIsACycle) {
+  Digraph g(2);
+  g.add_edge(1, 1);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, EmptyGraphSorts) {
+  Digraph g(0);
+  const auto order = g.topological_sort();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const SccResult scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.components.size(), 1u);
+  EXPECT_EQ(scc.components[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Scc, DagGivesSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.components.size(), 4u);
+  for (const auto& comp : scc.components) EXPECT_EQ(comp.size(), 1u);
+}
+
+TEST(Scc, MixedGraph) {
+  // Two 2-cycles bridged by one edge: {0,1} -> {2,3}, plus a lone node 4.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccResult scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.components.size(), 3u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+  EXPECT_NE(scc.component_of[4], scc.component_of[0]);
+  EXPECT_NE(scc.component_of[4], scc.component_of[2]);
+}
+
+TEST(Condense, ProducesAcyclicDagWithSummedWeights) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);   // SCC {0,1}
+  g.add_edge(0, 2, 2.0);   // two cross edges into SCC {2,3}
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 2, 1.0);   // SCC {2,3}
+
+  const SccResult scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.components.size(), 2u);
+  const Digraph dag = condense(g, scc);
+  EXPECT_FALSE(dag.has_cycle());
+  EXPECT_EQ(dag.edge_count(), 1u);
+
+  const std::size_t from = scc.component_of[0];
+  const auto& edges = dag.out_edges(from);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(edges[0].weight, 5.0);  // 2.0 + 3.0 summed
+}
+
+TEST(Condense, TopologicalOrderRespectsCrossEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccResult scc = strongly_connected_components(g);
+  const Digraph dag = condense(g, scc);
+  const auto order = dag.topological_sort();
+  ASSERT_TRUE(order.has_value());
+  // The {0,1} component must precede the {2,3} component.
+  std::vector<std::size_t> pos(scc.components.size());
+  for (std::size_t k = 0; k < order->size(); ++k) pos[(*order)[k]] = k;
+  EXPECT_LT(pos[scc.component_of[0]], pos[scc.component_of[2]]);
+}
+
+TEST(DigraphDeathTest, RejectsOutOfRange) {
+  Digraph g(2);
+  EXPECT_DEATH(g.add_edge(0, 2), "precondition");
+  EXPECT_DEATH((void)g.out_edges(5), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::graph

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/feedback_arc.hpp"
+#include "graph/ordering.hpp"
+#include "graph/tournament.hpp"
+
+namespace tommy::graph {
+namespace {
+
+Tournament random_tournament(std::size_t n, Rng& rng) {
+  Tournament t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      t.set_probability(i, j, rng.uniform(0.05, 0.95));
+    }
+  }
+  return t;
+}
+
+Tournament transitive_with_order(const std::vector<std::size_t>& order) {
+  Tournament t(order.size());
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      t.set_probability(order[a], order[b], 0.95);
+    }
+  }
+  return t;
+}
+
+bool is_permutation_of_n(const std::vector<std::size_t>& order,
+                         std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (sorted[k] != k) return false;
+  }
+  return true;
+}
+
+bool consecutive_edges_hold(const Tournament& t,
+                            const std::vector<std::size_t>& path) {
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    if (!t.edge(path[k - 1], path[k])) return false;
+  }
+  return true;
+}
+
+TEST(HamiltonianPath, RecoversPlantedTransitiveOrder) {
+  const std::vector<std::size_t> planted{3, 0, 4, 1, 2};
+  const Tournament t = transitive_with_order(planted);
+  EXPECT_EQ(hamiltonian_path(t), planted);
+}
+
+TEST(HamiltonianPath, ConsecutiveEdgesAlwaysExist) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    const Tournament t = random_tournament(n, rng);
+    const auto path = hamiltonian_path(t);
+    EXPECT_TRUE(is_permutation_of_n(path, n));
+    EXPECT_TRUE(consecutive_edges_hold(t, path)) << "trial " << trial;
+  }
+}
+
+TEST(LinearExtension, OnlyThePlantedOrderSatisfiesAllPairs) {
+  const std::vector<std::size_t> planted{2, 0, 1};
+  const Tournament t = transitive_with_order(planted);
+  EXPECT_TRUE(is_linear_extension(t, planted));
+  EXPECT_FALSE(is_linear_extension(t, {0, 1, 2}));
+  EXPECT_FALSE(is_linear_extension(t, {1, 0, 2}));
+}
+
+TEST(BackwardEdges, CountAndWeightOnKnownCase) {
+  Tournament t(3);
+  t.set_probability(0, 1, 0.8);
+  t.set_probability(1, 2, 0.7);
+  t.set_probability(2, 0, 0.9);  // cycle
+  const std::vector<std::size_t> order{0, 1, 2};
+  EXPECT_EQ(backward_edge_count(t, order), 1u);  // 2 -> 0
+  EXPECT_DOUBLE_EQ(backward_edge_weight(t, order), 0.9);
+}
+
+TEST(ExactMinFas, ZeroCostOnTransitiveTournament) {
+  const std::vector<std::size_t> planted{1, 3, 0, 2};
+  const Tournament t = transitive_with_order(planted);
+  const FasOrdering fas = exact_min_fas(t);
+  EXPECT_EQ(fas.removed_count, 0u);
+  EXPECT_DOUBLE_EQ(fas.removed_weight, 0.0);
+  EXPECT_EQ(fas.order, planted);
+}
+
+TEST(ExactMinFas, ThreeCycleSacrificesWeakestEdge) {
+  Tournament t(3);
+  t.set_probability(0, 1, 0.9);
+  t.set_probability(1, 2, 0.8);
+  t.set_probability(2, 0, 0.6);  // weakest edge of the cycle
+  const FasOrdering fas = exact_min_fas(t);
+  EXPECT_EQ(fas.removed_count, 1u);
+  EXPECT_DOUBLE_EQ(fas.removed_weight, 0.6);
+  EXPECT_EQ(fas.order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ExactMinFas, MatchesBruteForceOnRandomTournaments) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 7));
+    const Tournament t = random_tournament(n, rng);
+
+    // Brute force over all permutations.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double best = std::numeric_limits<double>::infinity();
+    do {
+      best = std::min(best, backward_edge_weight(t, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    const FasOrdering fas = exact_min_fas(t);
+    EXPECT_NEAR(fas.removed_weight, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(GreedyFas, ZeroCostOnTransitiveTournament) {
+  const std::vector<std::size_t> planted{4, 2, 0, 3, 1};
+  const Tournament t = transitive_with_order(planted);
+  const FasOrdering fas = greedy_fas(t);
+  EXPECT_EQ(fas.removed_count, 0u);
+  EXPECT_EQ(fas.order, planted);
+}
+
+TEST(GreedyFas, NearOptimalOnRandomTournaments) {
+  Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 10));
+    const Tournament t = random_tournament(n, rng);
+    const FasOrdering exact = exact_min_fas(t);
+    const FasOrdering greedy = greedy_fas(t);
+    EXPECT_TRUE(is_permutation_of_n(greedy.order, n));
+    // The heuristic can never beat the exact optimum...
+    EXPECT_GE(greedy.removed_weight, exact.removed_weight - 1e-9);
+    // ...and stays within a modest constant factor on small tournaments
+    // (no worst-case guarantee exists for weighted ELS; 4x is a generous
+    // empirical envelope that catches real regressions).
+    EXPECT_LE(greedy.removed_weight, exact.removed_weight * 4.0 + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(StochasticFas, ProducesValidPermutations) {
+  Rng rng(17);
+  const Tournament t = random_tournament(9, rng);
+  Rng order_rng(18);
+  for (int k = 0; k < 10; ++k) {
+    const FasOrdering fas = stochastic_fas(t, order_rng);
+    EXPECT_TRUE(is_permutation_of_n(fas.order, 9));
+    EXPECT_EQ(fas.removed_count, backward_edge_count(t, fas.order));
+  }
+}
+
+TEST(StochasticFas, CycleEdgesEachLoseSometimes) {
+  // Symmetric 3-cycle: every rotation should appear across draws, so every
+  // edge is sacrificed in some rounds — the long-run fairness idea.
+  Tournament t(3);
+  t.set_probability(0, 1, 0.7);
+  t.set_probability(1, 2, 0.7);
+  t.set_probability(2, 0, 0.7);
+
+  Rng rng(19);
+  std::map<std::size_t, int> first_counts;
+  for (int k = 0; k < 3000; ++k) {
+    const FasOrdering fas = stochastic_fas(t, rng);
+    ++first_counts[fas.order.front()];
+  }
+  for (std::size_t node = 0; node < 3; ++node) {
+    EXPECT_GT(first_counts[node], 500) << "node " << node;
+  }
+}
+
+TEST(SampleStochasticOrder, RespectsStrongPreferences) {
+  // With p(0,1) ~ 1, node 0 should precede node 1 almost always.
+  Tournament t(2);
+  t.set_probability(0, 1, 0.99);
+  Rng rng(23);
+  int zero_first = 0;
+  for (int k = 0; k < 2000; ++k) {
+    if (sample_stochastic_order(t, rng).front() == 0) ++zero_first;
+  }
+  EXPECT_GT(zero_first, 1900);
+}
+
+}  // namespace
+}  // namespace tommy::graph

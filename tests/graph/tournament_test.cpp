@@ -1,0 +1,110 @@
+#include "graph/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tommy::graph {
+namespace {
+
+Tournament linear_chain(std::size_t n) {
+  // i -> j with p = 0.9 whenever i < j: the canonical transitive tournament.
+  Tournament t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      t.set_probability(i, j, 0.9);
+    }
+  }
+  return t;
+}
+
+Tournament three_cycle() {
+  Tournament t(3);
+  t.set_probability(0, 1, 0.8);
+  t.set_probability(1, 2, 0.7);
+  t.set_probability(2, 0, 0.6);  // closes the cycle
+  return t;
+}
+
+TEST(Tournament, ProbabilitiesAreComplementary) {
+  Tournament t(4);
+  t.set_probability(1, 3, 0.73);
+  EXPECT_DOUBLE_EQ(t.probability(1, 3), 0.73);
+  EXPECT_DOUBLE_EQ(t.probability(3, 1), 0.27);
+}
+
+TEST(Tournament, DefaultIsIndifference) {
+  const Tournament t(3);
+  EXPECT_DOUBLE_EQ(t.probability(0, 1), 0.5);
+  // Tie at exactly 0.5 breaks toward lower index.
+  EXPECT_TRUE(t.edge(0, 1));
+  EXPECT_FALSE(t.edge(1, 0));
+}
+
+TEST(Tournament, EdgeFollowsMajorityProbability) {
+  Tournament t(2);
+  t.set_probability(0, 1, 0.3);
+  EXPECT_FALSE(t.edge(0, 1));
+  EXPECT_TRUE(t.edge(1, 0));
+  EXPECT_DOUBLE_EQ(t.edge_weight(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(t.edge_weight(1, 0), 0.7);
+}
+
+TEST(Tournament, OutDegreeCountsKeptEdges) {
+  const Tournament t = linear_chain(5);
+  EXPECT_EQ(t.out_degree(0), 4u);
+  EXPECT_EQ(t.out_degree(2), 2u);
+  EXPECT_EQ(t.out_degree(4), 0u);
+}
+
+TEST(Tournament, TransitiveChainDetected) {
+  EXPECT_TRUE(linear_chain(2).is_transitive());
+  EXPECT_TRUE(linear_chain(7).is_transitive());
+  EXPECT_TRUE(linear_chain(1).is_transitive());
+}
+
+TEST(Tournament, CycleBreaksTransitivity) {
+  const Tournament t = three_cycle();
+  EXPECT_FALSE(t.is_transitive());
+  const auto tri = t.find_triangle();
+  ASSERT_EQ(tri.size(), 3u);
+  // Returned triple is an actual directed 3-cycle.
+  EXPECT_TRUE(t.edge(tri[0], tri[1]));
+  EXPECT_TRUE(t.edge(tri[1], tri[2]));
+  EXPECT_TRUE(t.edge(tri[2], tri[0]));
+}
+
+TEST(Tournament, TriangleAbsentInTransitive) {
+  EXPECT_TRUE(linear_chain(6).find_triangle().empty());
+}
+
+TEST(Tournament, EmbeddedCycleInLargerTournament) {
+  // 5 nodes, transitive except a 3-cycle among {1, 2, 3}.
+  Tournament t(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) t.set_probability(i, j, 0.9);
+  }
+  t.set_probability(3, 1, 0.8);  // back edge closes 1 -> 2 -> 3 -> 1
+  EXPECT_FALSE(t.is_transitive());
+  EXPECT_EQ(t.find_triangle().size(), 3u);
+}
+
+TEST(Tournament, FromPairwiseQueriesEachPairOnce) {
+  std::size_t calls = 0;
+  const Tournament t = Tournament::from_pairwise(
+      6, [&calls](std::size_t i, std::size_t j) {
+        ++calls;
+        return i < j ? 0.8 : 0.2;
+      });
+  EXPECT_EQ(calls, 15u);  // C(6,2)
+  EXPECT_TRUE(t.is_transitive());
+}
+
+TEST(TournamentDeathTest, RejectsBadArguments) {
+  Tournament t(3);
+  EXPECT_DEATH(t.set_probability(0, 0, 0.7), "precondition");
+  EXPECT_DEATH(t.set_probability(0, 3, 0.7), "precondition");
+  EXPECT_DEATH(t.set_probability(0, 1, 1.5), "precondition");
+  EXPECT_DEATH((void)t.probability(1, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::graph

@@ -1,0 +1,104 @@
+#include "graph/transitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tommy::graph {
+namespace {
+
+Tournament chain(std::size_t n, double p = 0.9) {
+  Tournament t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) t.set_probability(i, j, p);
+  }
+  return t;
+}
+
+TEST(TransitivityReport, TransitiveChainHasNoCycles) {
+  const TransitivityReport report = analyze_transitivity(chain(6));
+  EXPECT_EQ(report.triples, 20u);  // C(6,3)
+  EXPECT_EQ(report.cyclic_triples, 0u);
+  EXPECT_TRUE(report.transitive());
+  EXPECT_DOUBLE_EQ(report.cyclic_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(report.worst_cycle_confidence, 0.0);
+  EXPECT_DOUBLE_EQ(report.weakest_edge, 0.9);
+}
+
+TEST(TransitivityReport, PureThreeCycleIsFullyCyclic) {
+  Tournament t(3);
+  t.set_probability(0, 1, 0.8);
+  t.set_probability(1, 2, 0.7);
+  t.set_probability(2, 0, 0.6);
+  const TransitivityReport report = analyze_transitivity(t);
+  EXPECT_EQ(report.triples, 1u);
+  EXPECT_EQ(report.cyclic_triples, 1u);
+  EXPECT_FALSE(report.transitive());
+  EXPECT_DOUBLE_EQ(report.cyclic_fraction(), 1.0);
+  // Weakest edge of the (only) cycle is 0.6.
+  EXPECT_DOUBLE_EQ(report.worst_cycle_confidence, 0.6);
+  EXPECT_DOUBLE_EQ(report.weakest_edge, 0.6);
+}
+
+TEST(TransitivityReport, ReverseRotationCycleAlsoDetected) {
+  // Edges 1->0, 2->1, 0->2 — the other rotation.
+  Tournament t(3);
+  t.set_probability(1, 0, 0.8);
+  t.set_probability(2, 1, 0.8);
+  t.set_probability(0, 2, 0.8);
+  EXPECT_EQ(analyze_transitivity(t).cyclic_triples, 1u);
+}
+
+TEST(TransitivityReport, EmbeddedCycleCountsOnlyCyclicTriples) {
+  // 5-node transitive chain with one back edge creating cycles through
+  // nodes {1, 2, 3}.
+  Tournament t = chain(5);
+  t.set_probability(3, 1, 0.8);  // reverse 1 -> 3
+  const TransitivityReport report = analyze_transitivity(t);
+  EXPECT_EQ(report.triples, 10u);
+  // The only cyclic triple is {1, 2, 3}: 1->2->3->1.
+  EXPECT_EQ(report.cyclic_triples, 1u);
+  EXPECT_NEAR(report.cyclic_fraction(), 0.1, 1e-12);
+}
+
+TEST(TransitivityReport, ConfidentCycleIsWorseThanWeakCycle) {
+  // Two separate 3-cycles embedded in a 6-node tournament: one barely
+  // decided (0.52 edges), one confident (0.9 edges). The report's
+  // worst_cycle_confidence must reflect the confident one.
+  Tournament t = chain(6, 0.95);
+  // Weak cycle on {0,1,2}.
+  t.set_probability(0, 1, 0.52);
+  t.set_probability(1, 2, 0.52);
+  t.set_probability(2, 0, 0.52);
+  // Confident cycle on {3,4,5}.
+  t.set_probability(3, 4, 0.9);
+  t.set_probability(4, 5, 0.9);
+  t.set_probability(5, 3, 0.9);
+  const TransitivityReport report = analyze_transitivity(t);
+  EXPECT_EQ(report.cyclic_triples, 2u);
+  EXPECT_DOUBLE_EQ(report.worst_cycle_confidence, 0.9);
+  EXPECT_DOUBLE_EQ(report.weakest_edge, 0.52);
+}
+
+TEST(TransitivityReport, DegenerateSizes) {
+  EXPECT_TRUE(analyze_transitivity(Tournament(1)).transitive());
+  EXPECT_EQ(analyze_transitivity(Tournament(2)).triples, 0u);
+}
+
+TEST(TransitivityReport, AgreesWithIsTransitiveOnRandomTournaments) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(3, 14));
+    Tournament t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        t.set_probability(i, j, rng.uniform(0.05, 0.95));
+      }
+    }
+    EXPECT_EQ(analyze_transitivity(t).transitive(), t.is_transitive())
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tommy::graph

@@ -1,0 +1,241 @@
+// Cross-module integration tests: the full Figure-1 pipeline (sync probes
+// -> learners -> announcements over the wire -> sequencing), the Fig. 5
+// shape assertions, and the online end-to-end run.
+#include <gtest/gtest.h>
+
+#include "clock/learner.hpp"
+#include "clock/local_clock.hpp"
+#include "clock/sync.hpp"
+#include "core/baselines.hpp"
+#include "core/tommy_sequencer.hpp"
+#include "net/messages.hpp"
+#include "sim/fig5.hpp"
+#include "sim/offline_runner.hpp"
+#include "sim/online_runner.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy {
+namespace {
+
+using namespace tommy::literals;
+
+TEST(Fig5Shape, PerfectClocksBothSystemsAreFair) {
+  sim::Fig5Config config;
+  config.clients = 100;
+  config.messages = 400;
+  config.deviation_scale_us = 0.0;
+  config.gap_us = 5.0;
+  config.seed = 21;
+  const sim::Fig5Point point = sim::run_fig5_point(config);
+  EXPECT_GT(point.tommy_ras, 0.99);
+  EXPECT_GT(point.truetime_ras, 0.99);
+  EXPECT_GT(point.wfo_ras, 0.99);
+}
+
+TEST(Fig5Shape, TommyBeatsTrueTimeUnderClockNoise) {
+  // The headline claim: as clock errors grow relative to the gap,
+  // TrueTime collapses toward 0 (all-overlap) while Tommy keeps ordering.
+  sim::Fig5Config config;
+  config.clients = 100;
+  config.messages = 400;
+  config.deviation_scale_us = 40.0;
+  config.gap_us = 5.0;
+  config.seed = 22;
+  const sim::Fig5Point point = sim::run_fig5_point(config);
+  EXPECT_GT(point.tommy_ras, point.truetime_ras);
+  EXPECT_LT(point.truetime_ras, 0.1);
+  EXPECT_GT(point.tommy_ras, 0.2);
+}
+
+TEST(Fig5Shape, TrueTimeNeverGoesNegativeTommyCan) {
+  // TrueTime's conservatism floors its RAS at 0; Tommy's probabilistic
+  // commitments can lose pairs outright at extreme noise.
+  sim::Fig5Config config;
+  config.clients = 50;
+  config.messages = 300;
+  config.deviation_scale_us = 2000.0;  // σ ≫ gap
+  config.gap_us = 0.5;
+  config.seed = 23;
+  const sim::Fig5Point point = sim::run_fig5_point(config);
+  EXPECT_GE(point.truetime_ras, 0.0);
+  EXPECT_LT(point.truetime_ras, 0.05);
+}
+
+TEST(Fig5Shape, SmallerGapsHurtBothButTommyDegradesGracefully) {
+  sim::Fig5Config config;
+  config.clients = 100;
+  config.messages = 400;
+  config.deviation_scale_us = 20.0;
+  config.seed = 24;
+
+  config.gap_us = 50.0;
+  const auto wide = sim::run_fig5_point(config);
+  config.gap_us = 1.0;
+  const auto narrow = sim::run_fig5_point(config);
+
+  EXPECT_GT(wide.tommy_ras, narrow.tommy_ras);
+  EXPECT_GE(narrow.tommy_ras, narrow.truetime_ras - 1e-9);
+}
+
+TEST(Fig5Shape, WfoDegradesWithClockErrorWhileStayingPositive) {
+  // Fig. 2's regime claim: WFO (raw-timestamp order) is fair only while
+  // clock error ≪ gap. Note WFO's normalized RAS stays positive even at
+  // large σ — RAS counts ALL pairs and distant pairs survive noise — but
+  // it sheds score monotonically, and unlike Tommy it also eats −1s on
+  // the per-client bias μ it cannot correct (see EXPERIMENTS.md).
+  sim::Fig5Config config;
+  config.clients = 100;
+  config.messages = 400;
+  config.gap_us = 10.0;
+  config.seed = 25;
+
+  config.deviation_scale_us = 0.01;  // σ ≪ gap: WFO is fine
+  const auto clean = sim::run_fig5_point(config);
+  EXPECT_GT(clean.wfo_ras, 0.95);
+
+  config.deviation_scale_us = 100.0;  // σ ≫ gap: WFO commits to noise
+  const auto noisy = sim::run_fig5_point(config);
+  EXPECT_LT(noisy.wfo_ras, clean.wfo_ras - 0.02);
+}
+
+TEST(Fig5Shape, TommySweetSpotSeparatesWhereTrueTimeCannot) {
+  // The regime the paper's Figure 5 highlights: adjacent separations land
+  // between Tommy's ~0.95σ boundary scale (threshold 0.75) and
+  // TrueTime's ~6σ overlap scale. Tommy keeps ordering; TrueTime chains
+  // into giant batches.
+  sim::Fig5Config config;
+  config.clients = 100;
+  config.messages = 400;
+  config.gap_us = 10.0;
+  config.deviation_scale_us = 8.0;  // σ ≈ gap: TrueTime chains, Tommy cuts
+  config.seed = 26;
+  const auto point = sim::run_fig5_point(config);
+  EXPECT_GT(point.tommy_ras, point.truetime_ras + 0.1);
+  EXPECT_GT(point.tommy_ras, 0.8);
+}
+
+TEST(LearnedPipeline, SyncProbesToSequencerViaWireFormat) {
+  // Figure 1 end to end with LEARNED distributions: each client runs sync
+  // probes against the sequencer, fits a Gaussian, announces it over the
+  // wire; the sequencer then orders a burst fairly.
+  net::Simulation sim;
+  Rng rng(31);
+
+  struct ClientRig {
+    std::unique_ptr<clock::LocalClock> clk;
+    stats::Gaussian truth{0.0, 1.0};
+  };
+
+  core::ClientRegistry registry;
+  std::vector<ClientId> ids;
+  std::vector<std::unique_ptr<clock::LocalClock>> clocks;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const ClientId id(c);
+    ids.push_back(id);
+    const stats::Gaussian truth(rng.uniform(-200e-6, 200e-6),
+                                rng.uniform(20e-6, 80e-6));
+    auto clk = std::make_unique<clock::LocalClock>(
+        sim, std::make_unique<clock::IidOffset>(truth.clone(), rng.split()));
+
+    clock::SyncSession session(sim, *clk, net::DelayModel::fixed(50_us),
+                               net::DelayModel::fixed(50_us));
+    // Clients sync one after another on the shared simulation timeline, so
+    // each session starts at the simulation's current time.
+    session.schedule_probes(sim.now(), 200_us, 3000);
+    sim.run();
+
+    clock::GaussianLearner learner;
+    learner.add_samples(session.offset_estimates());
+
+    // Ship the announcement through the codec, as a real client would.
+    const auto bytes = net::encode(
+        net::DistributionAnnouncement{id, learner.summarize()});
+    const auto decoded = net::decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    const auto& ann = std::get<net::DistributionAnnouncement>(*decoded);
+    registry.announce(ann.client, ann.summary);
+
+    // Learned mean must be close to truth (variance shrinks by the probe
+    // averaging; see clock tests).
+    EXPECT_NEAR(registry.offset_distribution(id).mean(), truth.mean(), 5e-6);
+    clocks.push_back(std::move(clk));
+  }
+
+  // A burst of messages 400 µs apart (≫ residual error): the learned
+  // registry should order them perfectly.
+  std::vector<core::Message> messages;
+  const TimePoint base = sim.now() + 1_ms;
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    const TimePoint true_time = base + Duration::from_micros(400.0 * static_cast<double>(k));
+    const ClientId client = ids[k % ids.size()];
+    const TimePoint stamp = clocks[k % ids.size()]->read_at(true_time);
+    messages.push_back(core::Message{MessageId(k), client, stamp});
+  }
+
+  core::TommySequencer tommy(registry);
+  const auto result = tommy.sequence(messages);
+  std::vector<MessageId> flat;
+  for (const auto& batch : result.batches) {
+    for (const auto& m : batch.messages) flat.push_back(m.id);
+  }
+  ASSERT_EQ(flat.size(), 12u);
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    EXPECT_EQ(flat[k], MessageId(k)) << "position " << k;
+  }
+}
+
+TEST(OnlineEndToEnd, BurstWorkloadEmitsFairlyWithLowViolations) {
+  Rng rng(41);
+  const sim::Population pop = sim::gaussian_population(20, 50e-6, rng);
+  const auto events =
+      sim::burst_workload(pop.ids(), 3, 20_ms, 100_us, 2_ms, rng);
+
+  sim::OnlineRunConfig config;
+  config.sequencer.threshold = 0.75;
+  config.sequencer.p_safe = 0.995;
+  config.heartbeat_interval = 500_us;
+  config.poll_interval = 100_us;
+  config.drain = 100_ms;
+
+  const sim::OnlineRunResult result =
+      sim::run_online(pop, events, config, rng);
+
+  EXPECT_EQ(result.emitted_messages, events.size());
+  EXPECT_EQ(result.unemitted_messages, 0u);
+  // Fairness: ordering quality must be far above arbitrary (gap 100µs-2ms
+  // vs σ 50µs leaves most pairs orderable).
+  EXPECT_GT(result.ras.normalized(), 0.5);
+  // p_safe = 0.995 keeps confident late arrivals rare.
+  EXPECT_LT(static_cast<double>(result.fairness_violations),
+            0.05 * static_cast<double>(events.size()));
+  // Latency is bounded by p_safe quantiles + network + heartbeat lag:
+  // generously under 50 ms here.
+  EXPECT_LT(result.emission_latency.p99, 0.05);
+}
+
+TEST(OnlineEndToEnd, TighterPSafeReducesViolations) {
+  Rng rng(43);
+  const sim::Population pop = sim::gaussian_population(10, 200e-6, rng);
+  const auto events =
+      sim::poisson_workload(pop.ids(), 300, 150_us, rng);
+
+  sim::OnlineRunConfig lax;
+  lax.sequencer.p_safe = 0.7 + 1e-9;  // nearly reckless
+  lax.drain = 100_ms;
+  sim::OnlineRunConfig strict = lax;
+  strict.sequencer.p_safe = 0.9999;
+
+  Rng rng_a(44);
+  Rng rng_b(44);
+  const auto lax_result = sim::run_online(pop, events, lax, rng_a);
+  const auto strict_result = sim::run_online(pop, events, strict, rng_b);
+
+  EXPECT_LE(strict_result.fairness_violations,
+            lax_result.fairness_violations);
+  // The price: higher emission latency.
+  EXPECT_GT(strict_result.emission_latency.p50,
+            lax_result.emission_latency.p50);
+}
+
+}  // namespace
+}  // namespace tommy

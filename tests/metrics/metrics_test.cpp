@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/batch_stats.hpp"
+#include "metrics/ras.hpp"
+#include "metrics/summary_stats.hpp"
+
+namespace tommy::metrics {
+namespace {
+
+std::vector<RankedMessage> make_messages(
+    const std::vector<std::pair<double, Rank>>& rows) {
+  std::vector<RankedMessage> out;
+  std::uint64_t id = 0;
+  for (const auto& [true_time, rank] : rows) {
+    out.push_back(RankedMessage{MessageId(id), ClientId(0),
+                                TimePoint(true_time), rank});
+    ++id;
+  }
+  return out;
+}
+
+/// O(n²) reference implementation of §4's metric.
+RasBreakdown naive_ras(const std::vector<RankedMessage>& ms) {
+  RasBreakdown out;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    for (std::size_t j = i + 1; j < ms.size(); ++j) {
+      const auto& earlier = ms[i].true_time < ms[j].true_time ? ms[i] : ms[j];
+      const auto& later = ms[i].true_time < ms[j].true_time ? ms[j] : ms[i];
+      ++out.pairs;
+      if (earlier.rank < later.rank) {
+        ++out.correct;
+      } else if (earlier.rank > later.rank) {
+        ++out.incorrect;
+      } else {
+        ++out.indifferent;
+      }
+    }
+  }
+  out.score = static_cast<std::int64_t>(out.correct) -
+              static_cast<std::int64_t>(out.incorrect);
+  return out;
+}
+
+TEST(Ras, PerfectOrderScoresOne) {
+  const auto ms = make_messages({{1.0, 0}, {2.0, 1}, {3.0, 2}, {4.0, 3}});
+  const RasBreakdown ras = rank_agreement(ms);
+  EXPECT_EQ(ras.correct, 6u);
+  EXPECT_EQ(ras.incorrect, 0u);
+  EXPECT_EQ(ras.indifferent, 0u);
+  EXPECT_DOUBLE_EQ(ras.normalized(), 1.0);
+  EXPECT_DOUBLE_EQ(ras.kendall_tau_b(), 1.0);
+}
+
+TEST(Ras, ReversedOrderScoresMinusOne) {
+  const auto ms = make_messages({{1.0, 3}, {2.0, 2}, {3.0, 1}, {4.0, 0}});
+  const RasBreakdown ras = rank_agreement(ms);
+  EXPECT_EQ(ras.incorrect, 6u);
+  EXPECT_DOUBLE_EQ(ras.normalized(), -1.0);
+}
+
+TEST(Ras, SingleBatchIsAllIndifference) {
+  // TrueTime's conservative degenerate case: everything shares a rank.
+  const auto ms = make_messages({{1.0, 0}, {2.0, 0}, {3.0, 0}});
+  const RasBreakdown ras = rank_agreement(ms);
+  EXPECT_EQ(ras.indifferent, 3u);
+  EXPECT_DOUBLE_EQ(ras.normalized(), 0.0);
+}
+
+TEST(Ras, MixedHandComputedCase) {
+  // true times 1,2,3,4 with ranks 0,0,1,0:
+  //   (1,2) same rank -> 0; (1,3) 0<1 -> +1; (1,4) same -> 0
+  //   (2,3) +1; (2,4) same -> 0; (3,4) rank 1>0 -> −1
+  const auto ms = make_messages({{1.0, 0}, {2.0, 0}, {3.0, 1}, {4.0, 0}});
+  const RasBreakdown ras = rank_agreement(ms);
+  EXPECT_EQ(ras.correct, 2u);
+  EXPECT_EQ(ras.incorrect, 1u);
+  EXPECT_EQ(ras.indifferent, 3u);
+  EXPECT_EQ(ras.score, 1);
+  EXPECT_NEAR(ras.normalized(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Ras, InputOrderIsIrrelevant) {
+  auto ms = make_messages({{3.0, 1}, {1.0, 0}, {4.0, 2}, {2.0, 0}});
+  const RasBreakdown a = rank_agreement(ms);
+  std::reverse(ms.begin(), ms.end());
+  const RasBreakdown b = rank_agreement(ms);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(Ras, FenwickMatchesNaiveOnRandomData) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 200));
+    std::vector<RankedMessage> ms;
+    for (std::size_t k = 0; k < n; ++k) {
+      ms.push_back(RankedMessage{
+          MessageId(k), ClientId(0),
+          TimePoint(static_cast<double>(k) + rng.uniform(0.0, 0.5)),
+          static_cast<Rank>(rng.uniform_int(0, 20))});
+    }
+    const RasBreakdown fast = rank_agreement(ms);
+    const RasBreakdown slow = naive_ras(ms);
+    EXPECT_EQ(fast.score, slow.score) << "trial " << trial;
+    EXPECT_EQ(fast.correct, slow.correct);
+    EXPECT_EQ(fast.incorrect, slow.incorrect);
+    EXPECT_EQ(fast.indifferent, slow.indifferent);
+    EXPECT_EQ(fast.pairs, slow.pairs);
+  }
+}
+
+TEST(Ras, FewerThanTwoMessages) {
+  EXPECT_DOUBLE_EQ(rank_agreement({}).normalized(), 0.0);
+  const auto one = make_messages({{1.0, 0}});
+  EXPECT_EQ(rank_agreement(one).pairs, 0u);
+}
+
+TEST(BatchGranularity, ComputesAggregates) {
+  const std::vector<std::size_t> sizes{1, 1, 4, 2};
+  const BatchGranularity g = BatchGranularity::from_batch_sizes(sizes);
+  EXPECT_EQ(g.batch_count, 4u);
+  EXPECT_EQ(g.message_count, 8u);
+  EXPECT_EQ(g.largest_batch, 4u);
+  EXPECT_DOUBLE_EQ(g.mean_batch_size, 2.0);
+  EXPECT_DOUBLE_EQ(g.singleton_fraction, 0.25);
+}
+
+TEST(BatchGranularity, EmptyInput) {
+  const BatchGranularity g = BatchGranularity::from_batch_sizes({});
+  EXPECT_EQ(g.batch_count, 0u);
+  EXPECT_DOUBLE_EQ(g.mean_batch_size, 0.0);
+}
+
+TEST(ClientWinLedger, TracksWinsAndRates) {
+  ClientWinLedger ledger;
+  const std::vector<ClientId> both{ClientId(1), ClientId(2)};
+  ledger.record(ClientId(1), both);
+  ledger.record(ClientId(1), both);
+  ledger.record(ClientId(2), both);
+  EXPECT_EQ(ledger.wins(ClientId(1)), 2u);
+  EXPECT_EQ(ledger.wins(ClientId(2)), 1u);
+  EXPECT_EQ(ledger.participations(ClientId(1)), 3u);
+  EXPECT_NEAR(ledger.win_rate(ClientId(1)), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ledger.disparity(), 2.0, 1e-12);
+}
+
+TEST(ClientWinLedger, UnknownClientIsZero) {
+  ClientWinLedger ledger;
+  EXPECT_EQ(ledger.wins(ClientId(9)), 0u);
+  EXPECT_DOUBLE_EQ(ledger.win_rate(ClientId(9)), 0.0);
+}
+
+TEST(SummaryStats, ComputesOrderStatistics) {
+  std::vector<double> xs;
+  for (int k = 1; k <= 100; ++k) xs.push_back(static_cast<double>(k));
+  const SummaryStats s = SummaryStats::from_samples(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(SummaryStats, EmptyIsAllZero) {
+  const SummaryStats s = SummaryStats::from_samples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace tommy::metrics

@@ -1,0 +1,123 @@
+#include "net/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/wire.hpp"
+
+namespace tommy::net {
+namespace {
+
+TEST(Wire, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-1.5e-6);
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.f64(), -1.5e-6);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, ReaderRejectsTruncation) {
+  ByteWriter w;
+  w.u32(42);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.u32().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Codec, TimestampedMessageRoundTrip) {
+  const TimestampedMessage m{ClientId(7), MessageId(123456789),
+                             TimePoint(1.25e-3)};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<TimestampedMessage>(*decoded));
+  EXPECT_EQ(std::get<TimestampedMessage>(*decoded), m);
+}
+
+TEST(Codec, HeartbeatRoundTrip) {
+  const Heartbeat h{ClientId(9), TimePoint(42.5)};
+  const auto decoded = decode(encode(h));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<Heartbeat>(*decoded));
+  EXPECT_EQ(std::get<Heartbeat>(*decoded), h);
+}
+
+TEST(Codec, GaussianAnnouncementRoundTrip) {
+  const DistributionAnnouncement a{
+      ClientId(3),
+      stats::DistributionSummary(stats::GaussianParams{1e-5, 2e-6})};
+  const auto decoded = decode(encode(a));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<DistributionAnnouncement>(*decoded));
+  EXPECT_EQ(std::get<DistributionAnnouncement>(*decoded), a);
+}
+
+TEST(Codec, HistogramAnnouncementRoundTrip) {
+  const DistributionAnnouncement a{
+      ClientId(4), stats::DistributionSummary(stats::HistogramParams{
+                       -1e-3, 1e-3, {0.1, 0.2, 0.4, 0.2, 0.1}})};
+  const auto decoded = decode(encode(a));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<DistributionAnnouncement>(*decoded), a);
+}
+
+TEST(Codec, BatchEmissionRoundTrip) {
+  BatchEmission b;
+  b.rank = 17;
+  b.messages = {MessageId(1), MessageId(5), MessageId(9)};
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<BatchEmission>(*decoded));
+  EXPECT_EQ(std::get<BatchEmission>(*decoded), b);
+}
+
+TEST(Codec, EmptyBatchRoundTrip) {
+  BatchEmission b;
+  b.rank = 0;
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<BatchEmission>(*decoded).messages.empty());
+}
+
+TEST(Codec, RejectsMalformedInput) {
+  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_FALSE(decode({0xFF, 0x00}).has_value());  // unknown tag
+
+  // Truncated payloads of every type.
+  for (const WireMessage& m :
+       {WireMessage(TimestampedMessage{ClientId(1), MessageId(2),
+                                       TimePoint(3.0)}),
+        WireMessage(Heartbeat{ClientId(1), TimePoint(2.0)}),
+        WireMessage(BatchEmission{4, {MessageId(1)}})}) {
+    auto bytes = encode(m);
+    bytes.pop_back();
+    EXPECT_FALSE(decode(bytes).has_value());
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto bytes = encode(Heartbeat{ClientId(1), TimePoint(2.0)});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, BatchCountMismatchRejected) {
+  BatchEmission b;
+  b.rank = 1;
+  b.messages = {MessageId(1), MessageId(2)};
+  auto bytes = encode(b);
+  // Claim 3 messages but provide 2 (count field is at offset 9).
+  bytes[9] = 3;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace tommy::net

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/simulation.hpp"
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::net {
+namespace {
+
+using namespace tommy::literals;
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.schedule_at(TimePoint(3.0), [&] { log.push_back(3); });
+  sim.schedule_at(TimePoint(1.0), [&] { log.push_back(1); });
+  sim.schedule_at(TimePoint(2.0), [&] { log.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimesRunFifo) {
+  Simulation sim;
+  std::vector<int> log;
+  for (int k = 0; k < 5; ++k) {
+    sim.schedule_at(TimePoint(1.0), [&log, k] { log.push_back(k); });
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NowAdvancesWithEvents) {
+  Simulation sim;
+  TimePoint seen;
+  sim.schedule_at(TimePoint(2.5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint(2.5));
+  EXPECT_EQ(sim.now(), TimePoint(2.5));
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) sim.schedule_after(1_ms, chain);
+  };
+  sim.schedule_at(TimePoint::epoch(), chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_NEAR(sim.now().seconds(), 9e-3, 1e-12);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(TimePoint(t), [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(TimePoint(2.5));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), TimePoint(2.5));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, StepExecutesExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(TimePoint(1.0), [&] { ++count; });
+  sim.schedule_at(TimePoint(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationDeathTest, RejectsPastScheduling) {
+  Simulation sim;
+  sim.schedule_at(TimePoint(5.0), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(TimePoint(1.0), [] {}), "precondition");
+}
+
+TEST(DelayModel, FixedIsDeterministic) {
+  DelayModel d = DelayModel::fixed(3_ms);
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(d.sample(), 3_ms);
+}
+
+TEST(DelayModel, JitterNeverUndercutsBase) {
+  DelayModel d(1_ms, std::make_unique<stats::Gaussian>(0.0, 1e-3), Rng(3));
+  for (int k = 0; k < 1000; ++k) {
+    EXPECT_GE(d.sample(), 1_ms);
+  }
+}
+
+TEST(Link, DeliversAfterDelay) {
+  Simulation sim;
+  Link link(sim, DelayModel::fixed(2_ms));
+  TimePoint delivered_at;
+  sim.schedule_at(TimePoint(1.0), [&] {
+    link.send([&] { delivered_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(delivered_at.seconds(), 1.002, 1e-12);
+  EXPECT_EQ(link.sent_count(), 1u);
+}
+
+TEST(Link, RandomDelaysCanReorder) {
+  // An unordered link with huge jitter should deliver some pair out of
+  // send order.
+  Simulation sim;
+  Link link(sim, DelayModel(0_ms,
+                            std::make_unique<stats::Uniform>(0.0, 10e-3),
+                            Rng(7)));
+  std::vector<int> arrivals;
+  for (int k = 0; k < 50; ++k) {
+    sim.schedule_at(TimePoint(static_cast<double>(k) * 1e-4),
+                    [&, k] { link.send([&, k] { arrivals.push_back(k); }); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(OrderedChannel, NeverReordersDespiteJitter) {
+  Simulation sim;
+  OrderedChannel channel(
+      sim, DelayModel(0_ms, std::make_unique<stats::Uniform>(0.0, 10e-3),
+                      Rng(7)));
+  std::vector<int> arrivals;
+  for (int k = 0; k < 200; ++k) {
+    sim.schedule_at(TimePoint(static_cast<double>(k) * 1e-4), [&, k] {
+      channel.send([&, k] { arrivals.push_back(k); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(OrderedChannel, DelaysAtLeastBase) {
+  Simulation sim;
+  OrderedChannel channel(sim, DelayModel::fixed(5_ms));
+  TimePoint delivered;
+  sim.schedule_at(TimePoint(0.0),
+                  [&] { channel.send([&] { delivered = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(delivered, TimePoint(5e-3));
+  EXPECT_EQ(channel.last_delivery_time(), TimePoint(5e-3));
+}
+
+}  // namespace
+}  // namespace tommy::net

@@ -1,0 +1,100 @@
+#include "stats/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tommy::stats {
+namespace {
+
+TEST(Uniform, DensityIsFlatInsideZeroOutside) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(u.pdf(3.0), 0.25);
+  EXPECT_DOUBLE_EQ(u.pdf(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(u.pdf(6.1), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.cdf(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+  EXPECT_NEAR(u.variance(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(UniformDeathTest, RejectsEmptyInterval) {
+  EXPECT_DEATH(Uniform(3.0, 3.0), "precondition");
+}
+
+TEST(Laplace, CdfIsContinuousAtLocation) {
+  const Laplace l(1.0, 2.0);
+  EXPECT_NEAR(l.cdf(1.0 - 1e-12), 0.5, 1e-9);
+  EXPECT_NEAR(l.cdf(1.0 + 1e-12), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(l.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(l.variance(), 8.0);
+}
+
+TEST(Laplace, QuantileKinksAtMedian) {
+  const Laplace l(0.0, 1.0);
+  EXPECT_NEAR(l.quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(l.quantile(0.25), -std::log(2.0), 1e-12);
+  EXPECT_NEAR(l.quantile(0.75), std::log(2.0), 1e-12);
+}
+
+TEST(ShiftedExponential, SupportStartsAtLocation) {
+  const ShiftedExponential e(-1.0, 2.0);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_NEAR(e.pdf(-1.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(e.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(e.variance(), 4.0);
+  EXPECT_EQ(e.support().lo, -1.0);
+  EXPECT_FALSE(e.support().is_bounded());
+}
+
+TEST(ShiftedExponential, MemorylessCdf) {
+  const ShiftedExponential e(0.0, 1.0);
+  EXPECT_NEAR(e.cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(e.quantile(1.0 - std::exp(-2.0)), 2.0, 1e-9);
+}
+
+TEST(Gumbel, MeanUsesEulerGamma) {
+  const Gumbel g(1.0, 2.0);
+  EXPECT_NEAR(g.mean(), 1.0 + 2.0 * 0.5772156649015329, 1e-12);
+  EXPECT_NEAR(g.variance(),
+              std::numbers::pi * std::numbers::pi / 6.0 * 4.0, 1e-12);
+}
+
+TEST(Gumbel, CdfAtLocation) {
+  const Gumbel g(0.0, 1.0);
+  EXPECT_NEAR(g.cdf(0.0), std::exp(-1.0), 1e-12);
+  // Right skew: mass above the location exceeds mass below.
+  EXPECT_LT(g.cdf(0.0), 0.5);
+}
+
+TEST(Logistic, ClosedForms) {
+  const Logistic l(2.0, 0.5);
+  EXPECT_NEAR(l.cdf(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(l.quantile(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(l.quantile(l.cdf(3.1)), 3.1, 1e-9);
+  EXPECT_DOUBLE_EQ(l.mean(), 2.0);
+}
+
+TEST(StudentT, HeavierTailsThanGaussian) {
+  const StudentT t(3.0, 0.0, 1.0);
+  // t(3) tail beyond 3 is much fatter than the normal's.
+  EXPECT_GT(1.0 - t.cdf(3.0), 0.02);
+  EXPECT_NEAR(t.cdf(0.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(t.variance(), 3.0);  // scale²·ν/(ν−2)
+}
+
+TEST(StudentT, CdfMatchesKnownValue) {
+  // t(2) CDF at 1.0 is 0.7886751... (= 1/2 + 1/(2·sqrt(3)) · sqrt(3)/... )
+  const StudentT t(2.0 + 1e-9, 0.0, 1.0);  // df > 2 required
+  EXPECT_NEAR(t.cdf(1.0), 0.78867513, 1e-4);
+}
+
+TEST(StudentTDeathTest, RequiresFiniteVariance) {
+  EXPECT_DEATH(StudentT(2.0, 0.0, 1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::stats

@@ -1,0 +1,102 @@
+#include "stats/convolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/analytic.hpp"
+#include "stats/gaussian.hpp"
+
+namespace tommy::stats {
+namespace {
+
+TEST(Convolution, GaussianSumIsGaussian) {
+  // X ~ N(1, 2²), Y ~ N(-0.5, 1.5²); X+Y ~ N(0.5, 6.25).
+  const Gaussian x(1.0, 2.0);
+  const Gaussian y(-0.5, 1.5);
+  const GridDensity gx = GridDensity::from_distribution(x, 2048);
+  // The convolution requires equal grid spacing; lay y out on gx's dx.
+  const Support sy = y.effective_support();
+  const auto ny =
+      static_cast<std::size_t>(std::ceil(sy.width() / gx.dx())) + 1;
+  const GridDensity gy = GridDensity::from_distribution_on(
+      y, sy.lo, sy.lo + gx.dx() * static_cast<double>(ny - 1), ny);
+  const GridDensity sum = convolve(gx, gy);
+
+  const Gaussian expected(0.5, 2.5);
+  EXPECT_NEAR(sum.mean(), expected.mean(), 1e-3);
+  EXPECT_NEAR(std::sqrt(sum.variance()), expected.stddev(), 1e-2);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(sum.cdf(expected.quantile(q)), q, 5e-3) << "q=" << q;
+  }
+}
+
+TEST(Convolution, DirectAndFftAgree) {
+  const Gaussian x(0.0, 1.0);
+  const Uniform y(-2.0, 2.0);
+  const GridDensity gx = GridDensity::from_distribution(x, 512);
+  // Rebuild y on gx's spacing so the two grids are convolvable.
+  const auto ny = static_cast<std::size_t>(std::ceil(4.0 / gx.dx())) + 1;
+  const GridDensity gy = GridDensity::from_distribution_on(
+      y, -2.0, -2.0 + gx.dx() * static_cast<double>(ny - 1), ny);
+
+  const GridDensity fft = convolve(gx, gy, ConvolutionMethod::kFft);
+  const GridDensity direct = convolve(gx, gy, ConvolutionMethod::kDirect);
+  ASSERT_EQ(fft.size(), direct.size());
+  for (std::size_t k = 0; k < fft.size(); ++k) {
+    EXPECT_NEAR(fft.values()[k], direct.values()[k], 1e-8);
+  }
+}
+
+TEST(DifferenceDensity, GaussianMatchesClosedForm) {
+  // θ_j ~ N(3, 4), θ_i ~ N(1, 9): Δθ = θ_j − θ_i ~ N(2, 13).
+  const Gaussian theta_j(3.0, 2.0);
+  const Gaussian theta_i(1.0, 3.0);
+  const GridDensity delta = difference_density(theta_j, theta_i, 2048);
+
+  EXPECT_NEAR(delta.mean(), 2.0, 0.01);
+  EXPECT_NEAR(delta.variance(), 13.0, 0.1);
+
+  const Gaussian expected(2.0, std::sqrt(13.0));
+  for (double x : {-4.0, -1.0, 0.0, 2.0, 5.0, 8.0}) {
+    EXPECT_NEAR(delta.cdf(x), expected.cdf(x), 5e-3) << "x=" << x;
+  }
+}
+
+TEST(DifferenceDensity, TailProbabilityIsPrecedingProbability) {
+  // Same-parameter clients: P(Δθ > 0) must be 1/2 by symmetry.
+  const Gaussian theta(0.5, 1.0);
+  const GridDensity delta = difference_density(theta, theta, 1024);
+  EXPECT_NEAR(delta.tail_probability(0.0), 0.5, 5e-3);
+}
+
+TEST(DifferenceDensity, SkewedInputsKeepMeanDifference) {
+  const ShiftedExponential theta_j(0.0, 2.0);  // mean 2
+  const Gumbel theta_i(1.0, 0.5);              // mean 1 + 0.5γ
+  const GridDensity delta = difference_density(theta_j, theta_i, 2048);
+  const double expected_mean = 2.0 - (1.0 + 0.5 * 0.5772156649015329);
+  EXPECT_NEAR(delta.mean(), expected_mean, 0.02);
+}
+
+TEST(DifferenceDensity, AntisymmetricUnderSwap) {
+  const Gaussian a(1.0, 1.0);
+  const Uniform b(-1.0, 3.0);
+  const GridDensity ab = difference_density(a, b, 1024);  // a − b
+  const GridDensity ba = difference_density(b, a, 1024);  // b − a
+  for (double x : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    // P(a−b <= x) == P(b−a >= −x).
+    EXPECT_NEAR(ab.cdf(x), ba.tail_probability(-x), 1e-2) << "x=" << x;
+  }
+}
+
+TEST(Convolution, PreservesTotalMass) {
+  const Gaussian x(0.0, 1.0);
+  const Gaussian y(0.0, 2.0);
+  const GridDensity sum = difference_density(x, y, 1024);
+  // GridDensity normalizes; verify the CDF really reaches 1 smoothly.
+  EXPECT_NEAR(sum.cdf(sum.hi()), 1.0, 1e-12);
+  EXPECT_NEAR(sum.cdf(sum.lo()), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tommy::stats

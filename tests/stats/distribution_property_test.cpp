@@ -1,0 +1,185 @@
+// Parameterized property suite: every Distribution in the library must
+// satisfy the axioms the sequencer relies on (density normalization, CDF
+// monotonicity, quantile inversion, moment consistency, sampling
+// agreement). New distributions plug in by adding a factory row.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "stats/analytic.hpp"
+#include "stats/empirical.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/grid_density.hpp"
+#include "stats/kde.hpp"
+#include "stats/mixture.hpp"
+
+namespace tommy::stats {
+namespace {
+
+struct DistCase {
+  std::string name;
+  std::function<DistributionPtr()> make;
+  // Sampling-moment tolerances (heavier tails need looser bounds).
+  double mean_tol;
+  double var_rel_tol;
+};
+
+DistributionPtr make_mixture() {
+  return std::make_unique<Mixture>(
+      Mixture::of(0.4, std::make_unique<Gaussian>(-2.0, 0.5), 0.6,
+                  std::make_unique<Gaussian>(3.0, 1.5)));
+}
+
+DistributionPtr make_empirical() {
+  // Triangle-ish histogram on [-1, 3].
+  return std::make_unique<Empirical>(
+      -1.0, 3.0, std::vector<double>{1.0, 3.0, 5.0, 3.0, 1.0, 0.5});
+}
+
+DistributionPtr make_kde() {
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng.normal(1.0, 2.0));
+  return std::make_unique<KernelDensity>(samples);
+}
+
+const DistCase kCases[] = {
+    {"gaussian", [] { return std::make_unique<Gaussian>(2.0, 5.0); }, 0.1,
+     0.05},
+    {"gaussian_tiny_sigma",
+     [] { return std::make_unique<Gaussian>(-1e-6, 1e-7); }, 0.1, 0.05},
+    {"uniform", [] { return std::make_unique<Uniform>(-3.0, 7.0); }, 0.1,
+     0.05},
+    {"laplace", [] { return std::make_unique<Laplace>(1.0, 2.0); }, 0.1, 0.1},
+    {"shifted_exponential",
+     [] { return std::make_unique<ShiftedExponential>(-2.0, 1.5); }, 0.05,
+     0.1},
+    {"gumbel", [] { return std::make_unique<Gumbel>(0.5, 2.0); }, 0.1, 0.1},
+    {"logistic", [] { return std::make_unique<Logistic>(-1.0, 1.2); }, 0.1,
+     0.1},
+    {"student_t", [] { return std::make_unique<StudentT>(5.0, 2.0, 1.0); },
+     0.05, 0.25},
+    {"mixture", make_mixture, 0.1, 0.05},
+    {"empirical", make_empirical, 0.05, 0.05},
+    {"kde", make_kde, 0.1, 0.1},
+};
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, PdfIsNonNegative) {
+  const auto dist = GetParam().make();
+  const Support sup = dist->effective_support(1e-10);
+  for (int k = 0; k <= 200; ++k) {
+    const double x = sup.lo + (sup.hi - sup.lo) * k / 200.0;
+    EXPECT_GE(dist->pdf(x), 0.0) << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, PdfIntegratesToOne) {
+  const auto dist = GetParam().make();
+  const Support sup = dist->effective_support(1e-10);
+  const std::size_t n = 20001;
+  const double dx = (sup.hi - sup.lo) / static_cast<double>(n - 1);
+  std::vector<double> y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    y[k] = dist->pdf(sup.lo + static_cast<double>(k) * dx);
+  }
+  EXPECT_NEAR(math::trapezoid(y, dx), 1.0, 2e-3);
+}
+
+TEST_P(DistributionProperty, CdfIsMonotoneAndSpansUnit) {
+  const auto dist = GetParam().make();
+  const Support sup = dist->effective_support(1e-10);
+  double prev = -1.0;
+  for (int k = 0; k <= 300; ++k) {
+    const double x = sup.lo + (sup.hi - sup.lo) * k / 300.0;
+    const double c = dist->cdf(x);
+    EXPECT_GE(c, prev - 1e-12) << "x=" << x;
+    EXPECT_GE(c, -1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_LT(dist->cdf(sup.lo), 0.01);
+  EXPECT_GT(dist->cdf(sup.hi), 0.99);
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  const auto dist = GetParam().make();
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(dist->cdf(x), p, 5e-3) << "p=" << p;
+  }
+}
+
+TEST_P(DistributionProperty, MeanMatchesNumericIntegral) {
+  const auto dist = GetParam().make();
+  const Support sup = dist->effective_support(1e-10);
+  const std::size_t n = 20001;
+  const double dx = (sup.hi - sup.lo) / static_cast<double>(n - 1);
+  std::vector<double> xw(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double x = sup.lo + static_cast<double>(k) * dx;
+    xw[k] = x * dist->pdf(x);
+  }
+  const double scale = std::max(1.0, dist->stddev());
+  EXPECT_NEAR(math::trapezoid(xw, dx), dist->mean(), 0.01 * scale);
+}
+
+TEST_P(DistributionProperty, SampleMomentsMatch) {
+  const auto dist = GetParam().make();
+  Rng rng(4242);
+  const int n = 60000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist->sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  const double scale = std::max(dist->stddev(), 1e-9);
+  EXPECT_NEAR(mean, dist->mean(), GetParam().mean_tol * scale * 3.0);
+  EXPECT_NEAR(var, dist->variance(),
+              GetParam().var_rel_tol * dist->variance() * 3.0);
+}
+
+TEST_P(DistributionProperty, CloneIsEquivalent) {
+  const auto dist = GetParam().make();
+  const auto copy = dist->clone();
+  for (double p : {0.05, 0.3, 0.5, 0.8, 0.95}) {
+    EXPECT_DOUBLE_EQ(dist->quantile(p), copy->quantile(p));
+  }
+  EXPECT_DOUBLE_EQ(dist->mean(), copy->mean());
+  EXPECT_DOUBLE_EQ(dist->variance(), copy->variance());
+  EXPECT_EQ(dist->describe(), copy->describe());
+}
+
+TEST_P(DistributionProperty, EffectiveSupportCarriesTheMass) {
+  const auto dist = GetParam().make();
+  const Support sup = dist->effective_support(1e-6);
+  EXPECT_TRUE(sup.is_bounded());
+  EXPECT_GE(dist->cdf(sup.hi) - dist->cdf(sup.lo), 1.0 - 1e-5);
+}
+
+TEST_P(DistributionProperty, GridDensityTracksCdf) {
+  const auto dist = GetParam().make();
+  const GridDensity grid = GridDensity::from_distribution(*dist, 4096, 1e-9);
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(grid.cdf(x), p, 0.02) << GetParam().name << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionProperty,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace tommy::stats

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/empirical.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/mixture.hpp"
+
+namespace tommy::stats {
+namespace {
+
+// ------------------------------------------------------------- Empirical
+
+TEST(Empirical, NormalizesBinMasses) {
+  const Empirical e(0.0, 4.0, {2.0, 2.0, 2.0, 2.0});
+  EXPECT_NEAR(e.pdf(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(e.cdf(2.0), 0.5, 1e-12);
+}
+
+TEST(Empirical, PdfIsPiecewiseConstant) {
+  const Empirical e(0.0, 2.0, {1.0, 3.0});
+  EXPECT_NEAR(e.pdf(0.3), 0.25, 1e-12);
+  EXPECT_NEAR(e.pdf(0.9), 0.25, 1e-12);
+  EXPECT_NEAR(e.pdf(1.5), 0.75, 1e-12);
+  EXPECT_EQ(e.pdf(-0.1), 0.0);
+  EXPECT_EQ(e.pdf(2.0), 0.0);  // hi edge exclusive
+}
+
+TEST(Empirical, CdfPiecewiseLinearAndInvertible) {
+  const Empirical e(0.0, 2.0, {1.0, 3.0});
+  EXPECT_NEAR(e.cdf(0.5), 0.125, 1e-12);
+  EXPECT_NEAR(e.cdf(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(e.cdf(1.5), 0.625, 1e-12);
+  for (double p : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(e.cdf(e.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(Empirical, FromSamplesRecoversShape) {
+  Rng rng(7);
+  const Gaussian ref(5.0, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(ref.sample(rng));
+  const Empirical e = Empirical::from_samples(samples, 64);
+  EXPECT_NEAR(e.mean(), 5.0, 0.05);
+  EXPECT_NEAR(e.variance(), 4.0, 0.1);
+  EXPECT_NEAR(e.cdf(5.0), 0.5, 0.01);
+}
+
+TEST(Empirical, FromSamplesHandlesTightCluster) {
+  const std::vector<double> samples{1.0, 1.0, 1.0, 1.0};
+  const Empirical e = Empirical::from_samples(samples, 4);
+  EXPECT_NEAR(e.mean(), 1.0, 1e-3);
+  EXPECT_GT(e.pdf(1.0), 0.0);
+}
+
+TEST(Empirical, ZeroMassBinsAreSkippedByQuantile) {
+  const Empirical e(0.0, 3.0, {1.0, 0.0, 1.0});
+  // Median sits at a zero-mass stretch; quantile must stay inside support.
+  const double median = e.quantile(0.5);
+  EXPECT_GE(median, 0.0);
+  EXPECT_LE(median, 3.0);
+  EXPECT_NEAR(e.cdf(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(e.cdf(2.0), 0.5, 1e-12);
+}
+
+TEST(EmpiricalDeathTest, RejectsAllZeroMasses) {
+  EXPECT_DEATH(Empirical(0.0, 1.0, {0.0, 0.0}), "precondition");
+}
+
+// --------------------------------------------------------------- Mixture
+
+TEST(Mixture, NormalizesWeights) {
+  const Mixture m = Mixture::of(2.0, std::make_unique<Gaussian>(0.0, 1.0),
+                                6.0, std::make_unique<Gaussian>(10.0, 1.0));
+  EXPECT_NEAR(m.weight(0), 0.25, 1e-12);
+  EXPECT_NEAR(m.weight(1), 0.75, 1e-12);
+  EXPECT_NEAR(m.mean(), 7.5, 1e-12);
+}
+
+TEST(Mixture, LawOfTotalVariance) {
+  const Mixture m = Mixture::of(0.5, std::make_unique<Gaussian>(-1.0, 1.0),
+                                0.5, std::make_unique<Gaussian>(1.0, 1.0));
+  // Var = E[Var] + Var[E] = 1 + 1 = 2.
+  EXPECT_NEAR(m.variance(), 2.0, 1e-12);
+  EXPECT_NEAR(m.mean(), 0.0, 1e-12);
+}
+
+TEST(Mixture, PdfAndCdfAreWeightedSums) {
+  const Gaussian a(0.0, 1.0);
+  const Gaussian b(4.0, 2.0);
+  const Mixture m = Mixture::of(0.3, a.clone(), 0.7, b.clone());
+  for (double x : {-1.0, 0.0, 2.0, 4.0, 7.0}) {
+    EXPECT_NEAR(m.pdf(x), 0.3 * a.pdf(x) + 0.7 * b.pdf(x), 1e-12);
+    EXPECT_NEAR(m.cdf(x), 0.3 * a.cdf(x) + 0.7 * b.cdf(x), 1e-12);
+  }
+}
+
+TEST(Mixture, SamplesFromBothModes) {
+  const Mixture m = Mixture::of(0.5, std::make_unique<Gaussian>(-10.0, 0.5),
+                                0.5, std::make_unique<Gaussian>(10.0, 0.5));
+  Rng rng(11);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = m.sample(rng);
+    if (x < 0) {
+      ++low;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_NEAR(low, 1000, 120);
+  EXPECT_NEAR(high, 1000, 120);
+}
+
+TEST(Mixture, IsNotFlaggedGaussian) {
+  const Mixture m = Mixture::of(0.5, std::make_unique<Gaussian>(0.0, 1.0),
+                                0.5, std::make_unique<Gaussian>(0.0, 2.0));
+  EXPECT_FALSE(m.is_gaussian());
+}
+
+TEST(MixtureDeathTest, RejectsEmptyAndBadWeights) {
+  EXPECT_DEATH(Mixture(std::vector<Mixture::Component>{}), "precondition");
+  std::vector<Mixture::Component> bad;
+  bad.push_back({-1.0, std::make_unique<Gaussian>(0.0, 1.0)});
+  EXPECT_DEATH(Mixture(std::move(bad)), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::stats

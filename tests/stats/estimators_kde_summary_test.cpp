@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "stats/analytic.hpp"
+#include "stats/estimators.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/kde.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = d.sample(rng);
+  return out;
+}
+
+// ------------------------------------------------------------ Estimators
+
+TEST(FitGaussian, RecoversParameters) {
+  const Gaussian truth(3.0, 2.0);
+  const auto samples = draw(truth, 50000, 1);
+  const Gaussian fit = fit_gaussian(samples);
+  EXPECT_NEAR(fit.mu(), 3.0, 0.05);
+  EXPECT_NEAR(fit.sigma(), 2.0, 0.05);
+}
+
+TEST(FitGaussianRobust, IgnoresWildOutliers) {
+  const Gaussian truth(0.0, 1.0);
+  auto samples = draw(truth, 5000, 2);
+  // 1% of probes go wild (the §5 "abrupt temperature change" scenario).
+  for (int k = 0; k < 50; ++k) samples.push_back(1000.0);
+
+  const Gaussian naive = fit_gaussian(samples);
+  const Gaussian robust = fit_gaussian_robust(samples);
+  EXPECT_GT(naive.sigma(), 10.0);            // poisoned
+  EXPECT_NEAR(robust.sigma(), 1.0, 0.1);     // unaffected
+  EXPECT_NEAR(robust.mu(), 0.0, 0.1);
+}
+
+TEST(FitHistogram, MatchesSampleMass) {
+  const Uniform truth(-1.0, 1.0);
+  const auto samples = draw(truth, 20000, 3);
+  const Empirical fit = fit_histogram(samples, 32);
+  EXPECT_NEAR(fit.cdf(0.0), 0.5, 0.02);
+  EXPECT_NEAR(fit.mean(), 0.0, 0.02);
+}
+
+TEST(FitHistogramAuto, BinCountRespectsBounds) {
+  const Gaussian truth(0.0, 1.0);
+  const auto samples = draw(truth, 1000, 4);
+  const Empirical fit = fit_histogram_auto(samples, 8, 64);
+  EXPECT_GE(fit.bin_masses().size(), 8u);
+  EXPECT_LE(fit.bin_masses().size(), 64u);
+}
+
+TEST(DensityL1Error, ZeroForIdenticalAndLargeForDisjoint) {
+  const Gaussian a(0.0, 1.0);
+  const Gaussian b(0.0, 1.0);
+  EXPECT_NEAR(density_l1_error(a, b), 0.0, 1e-9);
+
+  const Gaussian far(100.0, 1.0);
+  EXPECT_NEAR(density_l1_error(a, far), 2.0, 0.01);
+}
+
+TEST(DensityL1Error, ShrinksWithMoreSamples) {
+  const Gaussian truth(1.0, 2.0);
+  const Empirical small = fit_histogram(draw(truth, 200, 5), 16);
+  const Empirical big = fit_histogram(draw(truth, 50000, 6), 64);
+  EXPECT_LT(density_l1_error(big, truth), density_l1_error(small, truth));
+}
+
+// ------------------------------------------------------------------- KDE
+
+TEST(KernelDensity, SmoothsToTruth) {
+  const Gaussian truth(0.0, 1.0);
+  const KernelDensity kde(draw(truth, 4000, 7));
+  EXPECT_NEAR(kde.mean(), 0.0, 0.06);
+  EXPECT_NEAR(kde.cdf(0.0), 0.5, 0.03);
+  EXPECT_LT(density_l1_error(kde, truth), 0.12);
+}
+
+TEST(KernelDensity, ExplicitBandwidthIsUsed) {
+  const std::vector<double> samples{0.0, 1.0, 2.0, 3.0};
+  const KernelDensity kde(samples, 0.5);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.5);
+  EXPECT_EQ(kde.sample_count(), 4u);
+}
+
+TEST(KernelDensityDeathTest, RejectsDegenerateSamples) {
+  EXPECT_DEATH(KernelDensity(std::vector<double>{1.0}), "precondition");
+  EXPECT_DEATH(KernelDensity(std::vector<double>{2.0, 2.0}), "precondition");
+}
+
+// --------------------------------------------------------------- Summary
+
+TEST(DistributionSummary, GaussianRoundTrip) {
+  const DistributionSummary s(GaussianParams{2.5, 0.75});
+  const auto bytes = s.serialize();
+  EXPECT_EQ(bytes.size(), s.wire_size());
+  const auto parsed = DistributionSummary::deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+  const auto dist = parsed->materialize();
+  EXPECT_TRUE(dist->is_gaussian());
+  EXPECT_DOUBLE_EQ(dist->mean(), 2.5);
+  EXPECT_DOUBLE_EQ(dist->stddev(), 0.75);
+}
+
+TEST(DistributionSummary, HistogramRoundTrip) {
+  const DistributionSummary s(
+      HistogramParams{-1.0, 1.0, {0.25, 0.5, 0.25}});
+  const auto bytes = s.serialize();
+  EXPECT_EQ(bytes.size(), s.wire_size());
+  const auto parsed = DistributionSummary::deserialize(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, s);
+  EXPECT_FALSE(parsed->materialize()->is_gaussian());
+}
+
+TEST(DistributionSummary, DescribeGaussianIsExact) {
+  const Gaussian g(1.0, 2.0);
+  const DistributionSummary s = DistributionSummary::describe(g);
+  ASSERT_TRUE(s.is_gaussian());
+  EXPECT_DOUBLE_EQ(s.gaussian()->mu, 1.0);
+  EXPECT_DOUBLE_EQ(s.gaussian()->sigma, 2.0);
+}
+
+TEST(DistributionSummary, DescribeNonGaussianPreservesShape) {
+  const Uniform u(0.0, 10.0);
+  const DistributionSummary s = DistributionSummary::describe(u, 64);
+  ASSERT_FALSE(s.is_gaussian());
+  const auto dist = s.materialize();
+  EXPECT_NEAR(dist->mean(), 5.0, 0.1);
+  EXPECT_NEAR(dist->cdf(5.0), 0.5, 0.02);
+}
+
+TEST(DistributionSummary, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(DistributionSummary::deserialize({}).has_value());
+  EXPECT_FALSE(DistributionSummary::deserialize({99}).has_value());
+  // Truncated Gaussian payload.
+  auto bytes = DistributionSummary(GaussianParams{0.0, 1.0}).serialize();
+  bytes.pop_back();
+  EXPECT_FALSE(DistributionSummary::deserialize(bytes).has_value());
+  // Trailing garbage.
+  bytes = DistributionSummary(GaussianParams{0.0, 1.0}).serialize();
+  bytes.push_back(0);
+  EXPECT_FALSE(DistributionSummary::deserialize(bytes).has_value());
+}
+
+TEST(DistributionSummary, DeserializeRejectsInvalidParameters) {
+  // sigma <= 0 on the wire.
+  auto bytes = DistributionSummary(GaussianParams{0.0, 1.0}).serialize();
+  // Overwrite sigma (bytes 9..16) with -1.0.
+  const double bad = -1.0;
+  std::uint64_t bits;
+  std::memcpy(&bits, &bad, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    bytes[9 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  EXPECT_FALSE(DistributionSummary::deserialize(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace tommy::stats

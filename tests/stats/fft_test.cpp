@@ -1,0 +1,122 @@
+#include "stats/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace tommy::stats {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft_forward(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  const int tone = 5;
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = std::cos(2.0 * std::numbers::pi * tone * static_cast<double>(k) /
+                       static_cast<double>(n));
+  }
+  fft_forward(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(data[k]);
+    if (k == tone || k == n - tone) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9) << "bin " << k;
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTrips) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(256);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft_forward(data);
+  fft_inverse(data);
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    EXPECT_NEAR(data[k].real(), original[k].real(), 1e-10);
+    EXPECT_NEAR(data[k].imag(), original[k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(17);
+  std::vector<std::complex<double>> data(128);
+  double time_energy = 0.0;
+  for (auto& v : data) {
+    v = {rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  fft_forward(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(Convolve, KnownSmallCase) {
+  // [1,2,3] * [4,5] = [4, 13, 22, 15]
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5};
+  const auto direct = direct_convolve_real(a, b);
+  ASSERT_EQ(direct.size(), 4u);
+  EXPECT_NEAR(direct[0], 4, 1e-12);
+  EXPECT_NEAR(direct[1], 13, 1e-12);
+  EXPECT_NEAR(direct[2], 22, 1e-12);
+  EXPECT_NEAR(direct[3], 15, 1e-12);
+}
+
+TEST(Convolve, FftMatchesDirectOnRandomInputs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto na = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    const auto nb = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    std::vector<double> a(na), b(nb);
+    for (auto& x : a) x = rng.uniform(-2, 2);
+    for (auto& x : b) x = rng.uniform(-2, 2);
+    const auto d = direct_convolve_real(a, b);
+    const auto f = fft_convolve_real(a, b);
+    ASSERT_EQ(d.size(), f.size());
+    for (std::size_t k = 0; k < d.size(); ++k) {
+      EXPECT_NEAR(d[k], f[k], 1e-9) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Convolve, CommutativeViaFft) {
+  const std::vector<double> a{0.5, 1.5, 0.25};
+  const std::vector<double> b{2.0, 0.0, 1.0, 3.0};
+  const auto ab = fft_convolve_real(a, b);
+  const auto ba = fft_convolve_real(b, a);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t k = 0; k < ab.size(); ++k) EXPECT_NEAR(ab[k], ba[k], 1e-10);
+}
+
+TEST(FftDeathTest, RequiresPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_DEATH(fft_forward(data), "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::stats

@@ -1,0 +1,66 @@
+#include "stats/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tommy::stats {
+namespace {
+
+TEST(Gaussian, MomentsAndFlags) {
+  const Gaussian g(2.5, 1.5);
+  EXPECT_DOUBLE_EQ(g.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(g.variance(), 2.25);
+  EXPECT_DOUBLE_EQ(g.stddev(), 1.5);
+  EXPECT_TRUE(g.is_gaussian());
+  EXPECT_EQ(g.mu(), 2.5);
+  EXPECT_EQ(g.sigma(), 1.5);
+}
+
+TEST(Gaussian, PdfPeaksAtMean) {
+  const Gaussian g(1.0, 2.0);
+  EXPECT_GT(g.pdf(1.0), g.pdf(0.0));
+  EXPECT_GT(g.pdf(1.0), g.pdf(2.0));
+  EXPECT_NEAR(g.pdf(0.0), g.pdf(2.0), 1e-15);  // symmetry
+}
+
+TEST(Gaussian, CdfStandardValues) {
+  const Gaussian g(0.0, 1.0);
+  EXPECT_NEAR(g.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.cdf(1.96), 0.975, 1e-3);
+}
+
+TEST(Gaussian, QuantileClosedFormInvertsCdf) {
+  const Gaussian g(-3.0, 0.25);
+  for (double p = 0.02; p < 0.99; p += 0.05) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(Gaussian, SupportIsUnbounded) {
+  const Gaussian g(0.0, 1.0);
+  EXPECT_FALSE(g.support().is_bounded());
+}
+
+TEST(Gaussian, DescribeMentionsParameters) {
+  const Gaussian g(2.0, 5.0);
+  EXPECT_EQ(g.describe(), "Gaussian(mu=2, sigma=5)");
+}
+
+TEST(GaussianDeathTest, RejectsNonPositiveSigma) {
+  EXPECT_DEATH(Gaussian(0.0, 0.0), "precondition");
+  EXPECT_DEATH(Gaussian(0.0, -1.0), "precondition");
+}
+
+TEST(Gaussian, SampleUsesBoxMullerNotQuantile) {
+  // Moments of direct sampling should match (this exercises the override).
+  const Gaussian g(10.0, 3.0);
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += g.sample(rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+}  // namespace
+}  // namespace tommy::stats

@@ -1,0 +1,95 @@
+#include "stats/grid_density.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/gaussian.hpp"
+
+namespace tommy::stats {
+namespace {
+
+TEST(GridDensity, NormalizesInputMass) {
+  // Unnormalized flat density becomes Uniform-like.
+  GridDensity g(0.0, 0.1, std::vector<double>(11, 7.0));
+  EXPECT_NEAR(g.cdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(g.cdf(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(g.pdf(0.5), 1.0, 1e-9);
+}
+
+TEST(GridDensity, ClampsNegativeInputValues) {
+  GridDensity g(0.0, 0.5, std::vector<double>{1.0, -5.0, 1.0});
+  EXPECT_GE(g.pdf(0.25), 0.0);
+  EXPECT_NEAR(g.cdf(g.hi()), 1.0, 1e-12);
+}
+
+TEST(GridDensity, PdfInterpolatesLinearly) {
+  GridDensity g(0.0, 1.0, std::vector<double>{0.0, 1.0, 0.0});
+  // Mass = 1 by construction (trapezoid = 1), so values stay as given.
+  EXPECT_NEAR(g.pdf(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(g.pdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(g.pdf(1.75), 0.25, 1e-12);
+  EXPECT_EQ(g.pdf(-0.1), 0.0);
+  EXPECT_EQ(g.pdf(2.1), 0.0);
+}
+
+TEST(GridDensity, CdfBoundariesAndMonotone) {
+  const Gaussian ref(0.0, 1.0);
+  const GridDensity g = GridDensity::from_distribution(ref, 1024);
+  EXPECT_EQ(g.cdf(g.lo() - 1.0), 0.0);
+  EXPECT_EQ(g.cdf(g.hi() + 1.0), 1.0);
+  double prev = -1.0;
+  for (double x = g.lo(); x <= g.hi(); x += 0.05) {
+    const double c = g.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(GridDensity, QuantileInvertsCdf) {
+  const Gaussian ref(2.0, 3.0);
+  const GridDensity g = GridDensity::from_distribution(ref, 4096);
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-6) << "p=" << p;
+  }
+  EXPECT_EQ(g.quantile(0.0), g.lo());
+  EXPECT_EQ(g.quantile(1.0), g.hi());
+}
+
+TEST(GridDensity, MomentsMatchSource) {
+  const Gaussian ref(-1.5, 0.8);
+  const GridDensity g = GridDensity::from_distribution(ref, 4096);
+  EXPECT_NEAR(g.mean(), -1.5, 1e-3);
+  EXPECT_NEAR(g.variance(), 0.64, 1e-3);
+}
+
+TEST(GridDensity, ReflectionNegatesSupportAndMean) {
+  const Gaussian ref(2.0, 1.0);
+  const GridDensity g = GridDensity::from_distribution(ref, 1024);
+  const GridDensity r = g.reflected();
+  EXPECT_NEAR(r.lo(), -g.hi(), 1e-12);
+  EXPECT_NEAR(r.hi(), -g.lo(), 1e-12);
+  EXPECT_NEAR(r.mean(), -2.0, 1e-2);
+  // Density matches pointwise under negation.
+  for (double x : {-3.5, -2.0, -1.0, 0.0}) {
+    EXPECT_NEAR(r.pdf(x), g.pdf(-x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(GridDensity, TailProbabilityComplementsCdf) {
+  const Gaussian ref(0.0, 1.0);
+  const GridDensity g = GridDensity::from_distribution(ref, 1024);
+  for (double x : {-2.0, -0.3, 0.0, 1.2}) {
+    EXPECT_NEAR(g.tail_probability(x) + g.cdf(x), 1.0, 1e-12);
+  }
+}
+
+TEST(GridDensityDeathTest, RejectsBadConstruction) {
+  EXPECT_DEATH(GridDensity(0.0, 0.0, std::vector<double>{1.0, 1.0}),
+               "precondition");
+  EXPECT_DEATH(GridDensity(0.0, 1.0, std::vector<double>{1.0}),
+               "precondition");
+  EXPECT_DEATH(GridDensity(0.0, 1.0, std::vector<double>{0.0, 0.0}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace tommy::stats

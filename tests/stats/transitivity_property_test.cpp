@@ -1,0 +1,136 @@
+// Appendix A property test: for Gaussian clock offsets the
+// likely-happened-before relation (p > 1/2) is transitive — and, by the
+// same argument, determined entirely by corrected means. Also verifies the
+// paper's converse worry: non-Gaussian (dice-like mixture) offsets can
+// produce genuine preference cycles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/client_registry.hpp"
+#include "core/preceding.hpp"
+#include "graph/tournament.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/mixture.hpp"
+#include "stats/analytic.hpp"
+
+namespace tommy {
+namespace {
+
+using core::ClientRegistry;
+using core::Message;
+using core::PrecedingConfig;
+using core::PrecedingEngine;
+
+/// Builds a random Gaussian scenario and returns its kept-edge tournament.
+graph::Tournament random_gaussian_tournament(std::size_t n, Rng& rng) {
+  ClientRegistry registry;
+  std::vector<Message> messages(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const ClientId client{static_cast<std::uint32_t>(k)};
+    registry.announce(client, std::make_unique<stats::Gaussian>(
+                                  rng.uniform(-50.0, 50.0),
+                                  rng.uniform(0.1, 30.0)));
+    messages[k] = Message{MessageId{k}, client,
+                          TimePoint(rng.uniform(-100.0, 100.0))};
+  }
+  PrecedingEngine engine(registry);
+  return graph::Tournament::from_pairwise(
+      n, [&](std::size_t i, std::size_t j) {
+        return engine.preceding_probability(messages[i], messages[j]);
+      });
+}
+
+class GaussianTransitivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaussianTransitivity, RandomGaussianTournamentsAreTransitive) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n =
+        static_cast<std::size_t>(rng.uniform_int(3, 12));
+    const graph::Tournament t = random_gaussian_tournament(n, rng);
+    EXPECT_TRUE(t.is_transitive()) << "seed=" << GetParam() << " n=" << n;
+    EXPECT_TRUE(t.find_triangle().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaussianTransitivity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(GaussianTransitivity, PreferenceFollowsCorrectedMeans) {
+  // Appendix A's eq. (2): P(A > B) > 1/2 iff μ_A > μ_B. In message terms:
+  // i precedes j with p > 1/2 iff T_i + μ_i < T_j + μ_j.
+  ClientRegistry registry;
+  registry.announce(ClientId{0}, std::make_unique<stats::Gaussian>(5.0, 2.0));
+  registry.announce(ClientId{1}, std::make_unique<stats::Gaussian>(-3.0, 9.0));
+  PrecedingEngine engine(registry);
+
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Message a{MessageId{0}, ClientId{0}, TimePoint(rng.uniform(-10, 10))};
+    const Message b{MessageId{1}, ClientId{1}, TimePoint(rng.uniform(-10, 10))};
+    const double corrected_a = a.stamp.seconds() + 5.0;
+    const double corrected_b = b.stamp.seconds() - 3.0;
+    const double p = engine.preceding_probability(a, b);
+    if (corrected_a < corrected_b) {
+      EXPECT_GT(p, 0.5);
+    } else if (corrected_a > corrected_b) {
+      EXPECT_LT(p, 0.5);
+    }
+  }
+}
+
+stats::DistributionPtr near_uniform(double lo, double hi) {
+  // Smooth stand-in for a die face range [lo, hi].
+  return std::make_unique<stats::Uniform>(lo, hi);
+}
+
+TEST(Intransitivity, DiceLikeMixturesCreateCycles) {
+  // Non-transitive dice (Efron-style): A beats B beats C beats A, realized
+  // as clock-offset mixtures with equal stamps. Face values become narrow
+  // uniform offset modes.
+  //   A = {2, 2, 4, 4, 9, 9},  B = {1, 1, 6, 6, 8, 8},  C = {3, 3, 5, 5, 7, 7}
+  const auto die = [](std::initializer_list<double> faces) {
+    std::vector<stats::Mixture::Component> parts;
+    for (double f : faces) {
+      parts.push_back({1.0, near_uniform(f - 0.05, f + 0.05)});
+    }
+    return std::make_unique<stats::Mixture>(std::move(parts));
+  };
+
+  ClientRegistry registry;
+  registry.announce(ClientId{0}, die({2, 4, 9}));
+  registry.announce(ClientId{1}, die({1, 6, 8}));
+  registry.announce(ClientId{2}, die({3, 5, 7}));
+
+  PrecedingConfig config;
+  config.grid_points = 512;
+  PrecedingEngine engine(registry, config);
+
+  // Equal stamps: ordering is decided purely by the offset distributions.
+  const Message a{MessageId{0}, ClientId{0}, TimePoint(0.0)};
+  const Message b{MessageId{1}, ClientId{1}, TimePoint(0.0)};
+  const Message c{MessageId{2}, ClientId{2}, TimePoint(0.0)};
+
+  // "i precedes j" ⇔ θ_j − θ_i > 0 likely ⇔ die j rolls higher than die i.
+  // With these dice A beats B beats C beats A with 5/9 each, so the
+  // *preceding* direction cycles the other way: P(a⇢b) = P(B > A) = 4/9.
+  const double p_ab = engine.preceding_probability(a, b);
+  const double p_bc = engine.preceding_probability(b, c);
+  const double p_ca = engine.preceding_probability(c, a);
+  EXPECT_NEAR(p_ab, 4.0 / 9.0, 0.02);
+  EXPECT_NEAR(p_bc, 4.0 / 9.0, 0.02);
+  EXPECT_NEAR(p_ca, 4.0 / 9.0, 0.02);
+
+  graph::Tournament t(3);
+  t.set_probability(0, 1, p_ab);
+  t.set_probability(1, 2, p_bc);
+  t.set_probability(2, 0, p_ca);
+  EXPECT_FALSE(t.is_transitive());
+  EXPECT_EQ(t.find_triangle().size(), 3u);
+}
+
+}  // namespace
+}  // namespace tommy
