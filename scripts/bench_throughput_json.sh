@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the throughput benchmark suite with JSON output so the perf
+# trajectory is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench_throughput_json.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR     build tree holding bench_throughput (default: ./build)
+#   BENCH_FILTER  optional --benchmark_filter regex (e.g. 'BM_Online.*')
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT="${1:-$ROOT/BENCH_throughput.json}"
+FILTER="${BENCH_FILTER:-}"
+
+if [[ ! -x "$BUILD_DIR/bench_throughput" ]]; then
+  echo "error: $BUILD_DIR/bench_throughput not built." >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench_throughput" \
+  ${FILTER:+--benchmark_filter="$FILTER"} \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote $OUT"

@@ -8,36 +8,59 @@ namespace tommy::core {
 
 void ClientRegistry::announce(ClientId client,
                               const stats::DistributionSummary& summary) {
-  table_[client] = summary.materialize();
+  announce(client, summary.materialize());
 }
 
 void ClientRegistry::announce(ClientId client,
                               stats::DistributionPtr distribution) {
   TOMMY_EXPECTS(distribution != nullptr);
-  table_[client] = std::move(distribution);
+  const auto it = index_.find(client);
+  if (it == index_.end()) {
+    const auto index = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{client, std::move(distribution)});
+    index_.emplace(client, index);
+  } else {
+    entries_[it->second].distribution = std::move(distribution);
+  }
+  ++generation_;
 }
 
 bool ClientRegistry::contains(ClientId client) const {
-  return table_.contains(client);
+  return index_.contains(client);
 }
 
 const stats::Distribution& ClientRegistry::offset_distribution(
     ClientId client) const {
-  const auto it = table_.find(client);
-  TOMMY_EXPECTS(it != table_.end());
-  return *it->second;
+  return *entries_[index_of(client)].distribution;
+}
+
+std::uint32_t ClientRegistry::index_of(ClientId client) const {
+  const auto it = index_.find(client);
+  TOMMY_EXPECTS(it != index_.end());
+  return it->second;
+}
+
+ClientId ClientRegistry::client_at(std::uint32_t index) const {
+  TOMMY_EXPECTS(index < entries_.size());
+  return entries_[index].client;
+}
+
+const stats::Distribution& ClientRegistry::distribution_at(
+    std::uint32_t index) const {
+  TOMMY_EXPECTS(index < entries_.size());
+  return *entries_[index].distribution;
 }
 
 bool ClientRegistry::all_gaussian() const {
-  return std::all_of(table_.begin(), table_.end(), [](const auto& entry) {
-    return entry.second->is_gaussian();
+  return std::all_of(entries_.begin(), entries_.end(), [](const Entry& entry) {
+    return entry.distribution->is_gaussian();
   });
 }
 
 std::vector<ClientId> ClientRegistry::clients() const {
   std::vector<ClientId> out;
-  out.reserve(table_.size());
-  for (const auto& [client, dist] : table_) out.push_back(client);
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.client);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -2,8 +2,15 @@
 // (Figure 1's "Learned Clock Offset Distributions" box). Clients announce
 // a DistributionSummary once (or re-announce to update); the registry
 // materializes and caches the Distribution objects the engines query.
+//
+// Every client additionally gets a small dense index (0, 1, 2, ...) that
+// is stable across re-announcements. Hot-path engines use these indices
+// to key flat arrays (per-client constants, per-pair critical gaps)
+// instead of hashing ClientIds per query. `generation()` increments on
+// every announce so engines can detect stale derived tables.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -29,16 +36,38 @@ class ClientRegistry {
   [[nodiscard]] const stats::Distribution& offset_distribution(
       ClientId client) const;
 
+  /// Dense index of `client` in [0, size()), assigned at first announce
+  /// and stable across re-announcements. Precondition: contains(client).
+  [[nodiscard]] std::uint32_t index_of(ClientId client) const;
+
+  /// Inverse of index_of. Precondition: index < size().
+  [[nodiscard]] ClientId client_at(std::uint32_t index) const;
+
+  /// Distribution by dense index. Precondition: index < size().
+  [[nodiscard]] const stats::Distribution& distribution_at(
+      std::uint32_t index) const;
+
+  /// Bumped on every announce (new client or replacement); lets engines
+  /// invalidate tables derived from the distributions.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
   /// True iff every registered distribution is exactly Gaussian — enables
   /// the closed-form engine and the transitivity guarantee of Appendix A.
   [[nodiscard]] bool all_gaussian() const;
 
-  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   [[nodiscard]] std::vector<ClientId> clients() const;
 
  private:
-  std::unordered_map<ClientId, stats::DistributionPtr> table_;
+  struct Entry {
+    ClientId client;
+    stats::DistributionPtr distribution;
+  };
+
+  std::vector<Entry> entries_;                          // dense, by index
+  std::unordered_map<ClientId, std::uint32_t> index_;   // id -> dense index
+  std::uint64_t generation_{0};
 };
 
 }  // namespace tommy::core

@@ -17,20 +17,73 @@ OnlineSequencer::OnlineSequencer(const ClientRegistry& registry,
   TOMMY_EXPECTS(config.threshold > 0.5 && config.threshold < 1.0);
   TOMMY_EXPECTS(config.p_safe > 0.5 && config.p_safe < 1.0);
   TOMMY_EXPECTS(!expected_clients_.empty());
+  clients_.reserve(expected_clients_.size());
   for (ClientId c : expected_clients_) {
     TOMMY_EXPECTS(registry_.contains(c));
-    clients_[c] = ClientState{};
+    const auto [it, inserted] = expected_index_.emplace(
+        c, static_cast<std::uint32_t>(clients_.size()));
+    if (!inserted) continue;  // duplicate expected client: one gate entry
+    ClientState state;
+    state.id = c;
+    state.cindex = registry_.index_of(c);
+    clients_.push_back(state);
+  }
+  if (!config_.reference_mode) {
+    engine_.prime(config_.threshold, config_.p_safe);
   }
 }
 
 void OnlineSequencer::note_alive(ClientId c, TimePoint local_stamp,
                                  TimePoint now) {
-  const auto it = clients_.find(c);
-  TOMMY_EXPECTS(it != clients_.end());  // unknown clients are a config error
-  ClientState& state = it->second;
+  const auto it = expected_index_.find(c);
+  TOMMY_EXPECTS(it != expected_index_.end());  // unknown clients are a
+                                               // config error
+  ClientState& state = clients_[it->second];
   state.high_water = std::max(state.high_water, local_stamp);
   state.last_heard = std::max(state.last_heard, now);
   state.heard = true;
+}
+
+void OnlineSequencer::refresh_entry(Buffered& entry) const {
+  entry.cindex = registry_.index_of(entry.msg.client);
+  if (config_.reference_mode) {
+    entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
+    entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+  } else {
+    entry.corrected = engine_.fast_corrected(entry.cindex, entry.msg.stamp);
+    entry.safe_time =
+        engine_.fast_safe_emission_time(entry.cindex, entry.msg.stamp);
+  }
+}
+
+OnlineSequencer::Buffered OnlineSequencer::make_entry(const Message& m) const {
+  Buffered entry;
+  entry.msg = m;
+  refresh_entry(entry);
+  return entry;
+}
+
+void OnlineSequencer::maybe_reprime() {
+  if (config_.reference_mode) return;
+  if (engine_.fast_ready(config_.threshold, config_.p_safe)) return;
+  engine_.prime(config_.threshold, config_.p_safe);
+  // Distributions changed under us: refresh every cached constant (buffer
+  // order is preserved — exactly like the naive path, which re-evaluates
+  // probabilities per query but never re-sorts what it already buffered).
+  // The refreshed corrected stamps may no longer be monotone in the
+  // stored order, which disables the windowed early exits until order is
+  // restored (see header).
+  for (Buffered& entry : buffer_) refresh_entry(entry);
+  for (Buffered& entry : last_emitted_) refresh_entry(entry);
+  buffer_sorted_ = std::is_sorted(
+      buffer_.begin(), buffer_.end(),
+      [](const Buffered& lhs, const Buffered& rhs) {
+        if (lhs.corrected != rhs.corrected) {
+          return lhs.corrected < rhs.corrected;
+        }
+        return lhs.msg.id < rhs.msg.id;
+      });
+  head_valid_ = false;
 }
 
 bool OnlineSequencer::confidently_after(const Message& later,
@@ -39,42 +92,132 @@ bool OnlineSequencer::confidently_after(const Message& later,
 }
 
 void OnlineSequencer::on_message(const Message& m) {
+  maybe_reprime();
   note_alive(m.client, m.stamp, m.arrival);
+
+  Buffered entry = make_entry(m);
 
   // Fairness-violation check: did this message confidently belong at or
   // before a rank we already emitted? (The safe-emission machinery makes
   // this rare — with frequency controlled by p_safe.)
-  for (const Message& emitted : last_emitted_) {
-    if (!confidently_after(m, emitted)) {
-      ++fairness_violations_;
-      break;
+  if (config_.reference_mode) {
+    for (const Buffered& emitted : last_emitted_) {
+      if (!confidently_after(m, emitted.msg)) {
+        ++fairness_violations_;
+        break;
+      }
+    }
+  } else {
+    for (const Buffered& emitted : last_emitted_) {
+      const double diff = entry.corrected - emitted.corrected;
+      if (!(diff > engine_.fast_critical_gap(emitted.cindex, entry.cindex))) {
+        ++fairness_violations_;
+        break;
+      }
     }
   }
 
-  // Insert keeping the buffer sorted by corrected stamp.
-  const TimePoint key = engine_.corrected_stamp(m);
+  if (config_.reference_mode) {
+    // The naive comparator: recomputes both sides' corrected stamps per
+    // comparison, exactly as the original implementation did.
+    const auto pos = std::lower_bound(
+        buffer_.begin(), buffer_.end(), entry,
+        [this](const Buffered& lhs, const Buffered& rhs) {
+          const TimePoint lk = engine_.corrected_stamp(lhs.msg);
+          const TimePoint rk = engine_.corrected_stamp(rhs.msg);
+          if (lk != rk) return lk < rk;
+          return lhs.msg.id < rhs.msg.id;
+        });
+    buffer_.insert(pos, std::move(entry));
+    return;
+  }
+  insert_fast(std::move(entry));
+}
+
+void OnlineSequencer::insert_fast(Buffered entry) {
   const auto pos = std::lower_bound(
-      buffer_.begin(), buffer_.end(), m,
-      [this, key](const Message& lhs, const Message& rhs) {
-        const TimePoint lk = engine_.corrected_stamp(lhs);
-        const TimePoint rk = engine_.corrected_stamp(rhs);
-        if (lk != rk) return lk < rk;
-        return lhs.id < rhs.id;
+      buffer_.begin(), buffer_.end(), entry,
+      [](const Buffered& lhs, const Buffered& rhs) {
+        if (lhs.corrected != rhs.corrected) {
+          return lhs.corrected < rhs.corrected;
+        }
+        return lhs.msg.id < rhs.msg.id;
       });
-  buffer_.insert(pos, m);
+  const auto idx = static_cast<std::size_t>(pos - buffer_.begin());
+
+  if (head_valid_) {
+    if (idx < head_size_) {
+      // Landed inside the head batch: positions (and possibly the cut)
+      // moved.
+      head_valid_ = false;
+    } else {
+      // Beyond the head. Inserts can only add uncertain pairs, never
+      // remove them, so earlier (blocked) cuts stay blocked and the cut at
+      // head_size_ survives iff the new entry is confidently after every
+      // head row. Check exactly, nearest row first; once the gap exceeds
+      // the global maximum critical gap no farther row can be uncertain —
+      // an early exit that is only valid while the buffer is sorted.
+      for (std::size_t i = head_size_; i-- > 0;) {
+        const double diff = entry.corrected - buffer_[i].corrected;
+        if (buffer_sorted_ && diff > engine_.fast_global_max_gap()) break;
+        if (!(diff >
+              engine_.fast_critical_gap(buffer_[i].cindex, entry.cindex))) {
+          head_valid_ = false;
+          break;
+        }
+      }
+    }
+  }
+  buffer_.insert(pos, std::move(entry));
 }
 
 void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
                                    TimePoint now) {
+  maybe_reprime();
   note_alive(c, local_stamp, now);
 }
 
-std::size_t OnlineSequencer::head_batch_size() const {
+void OnlineSequencer::recompute_head() const {
   TOMMY_ASSERT(!buffer_.empty());
   // Closure rule (see BatchRule::kClosure): the head batch ends at the
   // first position e such that no uncertain pair (i < e <= j) crosses it.
   // "reach" tracks the furthest uncertain partner of any absorbed row; any
   // candidate boundary at or before reach is blocked, so we jump past it.
+  // A row's uncertain partners all lie within its maximum critical gap
+  // (diff > Ḡ_i ⟹ diff > g*_{ij} ∀j), so each row's scan stops at its
+  // uncertainty window instead of running to the end of the buffer —
+  // valid only while the buffer is sorted by corrected stamp; after a
+  // mid-run re-announce broke the order the scan degrades to the full
+  // sweep (still constant work per pair) until the buffer drains.
+  const std::size_t n = buffer_.size();
+  std::size_t reach = 0;
+  std::size_t absorbed = 0;
+  std::size_t e = 1;
+  TimePoint safe(-std::numeric_limits<double>::infinity());
+  while (true) {
+    for (; absorbed < e; ++absorbed) {
+      const Buffered& row = buffer_[absorbed];
+      safe = std::max(safe, row.safe_time);
+      const double window = engine_.fast_max_gap_from(row.cindex);
+      for (std::size_t j = absorbed + 1; j < n; ++j) {
+        const double diff = buffer_[j].corrected - row.corrected;
+        if (buffer_sorted_ && diff > window) break;
+        if (!(diff >
+              engine_.fast_critical_gap(row.cindex, buffer_[j].cindex))) {
+          reach = std::max(reach, j);
+        }
+      }
+    }
+    if (reach < e) break;  // clean cut: head batch is buffer_[0..e)
+    e = reach + 1;
+  }
+  head_size_ = e;
+  head_safe_ = safe;
+  head_valid_ = true;
+}
+
+std::size_t OnlineSequencer::head_batch_size_naive() const {
+  TOMMY_ASSERT(!buffer_.empty());
   const std::size_t n = buffer_.size();
   std::size_t reach = 0;
   std::size_t absorbed = 0;
@@ -82,7 +225,7 @@ std::size_t OnlineSequencer::head_batch_size() const {
   while (e < n) {
     for (; absorbed < e; ++absorbed) {
       for (std::size_t j = absorbed + 1; j < n; ++j) {
-        if (!confidently_after(buffer_[j], buffer_[absorbed])) {
+        if (!confidently_after(buffer_[j].msg, buffer_[absorbed].msg)) {
           reach = std::max(reach, j);
         }
       }
@@ -93,18 +236,18 @@ std::size_t OnlineSequencer::head_batch_size() const {
   return n;
 }
 
-TimePoint OnlineSequencer::safe_time_for(std::size_t batch_size) const {
+TimePoint OnlineSequencer::safe_time_for_naive(std::size_t batch_size) const {
   TimePoint t_b = TimePoint(-std::numeric_limits<double>::infinity());
   for (std::size_t k = 0; k < batch_size; ++k) {
-    t_b = std::max(t_b, engine_.safe_emission_time(buffer_[k], config_.p_safe));
+    t_b = std::max(t_b,
+                   engine_.safe_emission_time(buffer_[k].msg, config_.p_safe));
   }
   return t_b;
 }
 
 bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
                                              TimePoint now) const {
-  for (ClientId c : expected_clients_) {
-    const ClientState& state = clients_.at(c);
+  for (const ClientState& state : clients_) {
     const bool timed_out =
         config_.client_silence_timeout.is_finite() &&
         (!state.heard ||
@@ -112,66 +255,101 @@ bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
     if (timed_out) continue;  // liveness guard: drop from the gate
     if (!state.heard) return false;
     const TimePoint frontier =
-        engine_.completeness_frontier(c, state.high_water, config_.p_safe);
+        engine_.fast_completeness_frontier(state.cindex, state.high_water);
     if (frontier < t_b) return false;
   }
   return true;
 }
 
-std::vector<EmissionRecord> OnlineSequencer::poll(TimePoint now) {
+bool OnlineSequencer::completeness_satisfied_naive(TimePoint t_b,
+                                                   TimePoint now) const {
+  for (const ClientState& state : clients_) {
+    const bool timed_out =
+        config_.client_silence_timeout.is_finite() &&
+        (!state.heard ||
+         now - state.last_heard > config_.client_silence_timeout);
+    if (timed_out) continue;  // liveness guard: drop from the gate
+    if (!state.heard) return false;
+    const TimePoint frontier =
+        engine_.completeness_frontier(state.id, state.high_water,
+                                      config_.p_safe);
+    if (frontier < t_b) return false;
+  }
+  return true;
+}
+
+void OnlineSequencer::emit_head(std::size_t size, TimePoint t_b, TimePoint now,
+                                std::vector<EmissionRecord>& out) {
+  EmissionRecord record;
+  record.batch.rank = next_rank_++;
+  record.batch.messages.reserve(size);
+  last_emitted_.clear();
+  last_emitted_.reserve(size);
+  for (std::size_t k = 0; k < size; ++k) {
+    record.batch.messages.push_back(buffer_[k].msg);
+    last_emitted_.push_back(buffer_[k]);
+  }
+  record.emitted_at = now;
+  record.safe_time = t_b;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+  if (buffer_.empty()) buffer_sorted_ = true;  // vacuously restored
+  head_valid_ = false;
+  out.push_back(std::move(record));
+}
+
+std::vector<EmissionRecord> OnlineSequencer::drain(TimePoint now,
+                                                   bool ignore_gates) {
   std::vector<EmissionRecord> emitted;
   while (!buffer_.empty()) {
-    const std::size_t size = head_batch_size();
-    const TimePoint t_b = safe_time_for(size);
-    if (now < t_b) break;
-    if (!completeness_satisfied(t_b, now)) break;
-
-    EmissionRecord record;
-    record.batch.rank = next_rank_++;
-    record.batch.messages.assign(
-        buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(size));
-    record.emitted_at = now;
-    record.safe_time = t_b;
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
-
-    last_emitted_ = record.batch.messages;
-    emitted.push_back(std::move(record));
+    std::size_t size;
+    TimePoint t_b;
+    if (config_.reference_mode) {
+      size = head_batch_size_naive();
+      t_b = safe_time_for_naive(size);
+    } else {
+      if (!head_valid_) recompute_head();
+      size = head_size_;
+      t_b = head_safe_;
+    }
+    if (!ignore_gates) {
+      if (now < t_b) break;
+      const bool complete = config_.reference_mode
+                                ? completeness_satisfied_naive(t_b, now)
+                                : completeness_satisfied(t_b, now);
+      if (!complete) break;
+    }
+    emit_head(size, t_b, now, emitted);
   }
   return emitted;
 }
 
+std::vector<EmissionRecord> OnlineSequencer::poll(TimePoint now) {
+  maybe_reprime();
+  return drain(now, /*ignore_gates=*/false);
+}
+
 std::vector<EmissionRecord> OnlineSequencer::flush(TimePoint now) {
-  std::vector<EmissionRecord> emitted;
-  while (!buffer_.empty()) {
-    const std::size_t size = head_batch_size();
-    EmissionRecord record;
-    record.batch.rank = next_rank_++;
-    record.batch.messages.assign(
-        buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(size));
-    record.emitted_at = now;
-    record.safe_time = safe_time_for(size);
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
-    last_emitted_ = record.batch.messages;
-    emitted.push_back(std::move(record));
-  }
-  return emitted;
+  maybe_reprime();
+  return drain(now, /*ignore_gates=*/true);
 }
 
 TimePoint OnlineSequencer::next_safe_time() const {
   if (buffer_.empty()) return TimePoint::infinite_future();
-  return safe_time_for(head_batch_size());
+  if (config_.reference_mode) {
+    return safe_time_for_naive(head_batch_size_naive());
+  }
+  if (!head_valid_) recompute_head();
+  return head_safe_;
 }
 
 std::vector<ClientId> OnlineSequencer::timed_out_clients(TimePoint now) const {
   std::vector<ClientId> out;
   if (!config_.client_silence_timeout.is_finite()) return out;
-  for (ClientId c : expected_clients_) {
-    const ClientState& state = clients_.at(c);
+  for (const ClientState& state : clients_) {
     if (!state.heard ||
         now - state.last_heard > config_.client_silence_timeout) {
-      out.push_back(c);
+      out.push_back(state.id);
     }
   }
   return out;

@@ -21,8 +21,41 @@
 // Arrivals that confidently belonged at or before an already-emitted rank
 // are counted as fairness violations (they are assigned to the next batch;
 // the p_safe knob controls how rare this is).
+//
+// ── Hot-path design (critical gaps + incremental closure) ───────────────
+//
+// The default (fast) implementation never evaluates a probability on the
+// hot path. Every buffered entry caches its corrected stamp, safe-emission
+// time and dense client index once at ingest; every "confidently after"
+// question is then a subtraction and a comparison against the engine's
+// precomputed per-client-pair critical gap (see preceding.hpp for the
+// derivation). The closure computation for the head batch maintains this
+// invariant between polls:
+//
+//   head_valid_ ⟹ head_size_ = |head batch under BatchRule::kClosure| and
+//   head_safe_  = max safe-emission time over that batch, for the buffer
+//   as it currently stands.
+//
+// The cached pair survives across inserts because the closure is monotone
+// under insertion beyond the head: new entries can never *unblock* an
+// earlier cut (uncertain pairs only accumulate), so an insert invalidates
+// the pair only when it (a) lands inside the current head batch, or
+// (b) forms an uncertain pair with some head row — detected exactly, by
+// scanning head rows nearest-first and stopping once the corrected-stamp
+// gap exceeds the engine's global maximum critical gap. Recomputation
+// itself is windowed the same way (a row's uncertain partners all lie
+// within its max critical gap), so a poll costs O(batch + uncertainty
+// window) instead of the naive O(n²) sweep, and the deque buffer makes
+// head emission O(batch) instead of an O(n) front erase.
+//
+// `OnlineConfig::reference_mode` retains the naive implementation —
+// from-scratch O(n²) closure per poll, per-query probability evaluation —
+// as the semantic reference; the randomized equivalence tests assert the
+// two modes emit bit-identical batch sequences.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +78,10 @@ struct OnlineConfig {
   /// not block on clients that may not exist; it re-enters the gate with
   /// its first message/heartbeat.
   Duration client_silence_timeout{Duration::infinity()};
+  /// Use the retained naive implementation (per-query probabilities,
+  /// from-scratch closure each poll). Slow; exists as the semantic
+  /// reference the equivalence tests compare the fast path against.
+  bool reference_mode{false};
   PrecedingConfig preceding{};
 };
 
@@ -99,30 +136,76 @@ class OnlineSequencer {
   [[nodiscard]] std::vector<ClientId> timed_out_clients(TimePoint now) const;
 
  private:
+  /// A buffered (or recently emitted) message with its per-ingest cached
+  /// constants: corrected stamp (the sort key), safe-emission time, and
+  /// the dense client index keying the engine's flat tables.
+  struct Buffered {
+    Message msg;
+    double corrected{0.0};
+    TimePoint safe_time{TimePoint::epoch()};
+    std::uint32_t cindex{0};
+  };
+
   struct ClientState {
+    ClientId id;
+    std::uint32_t cindex{0};
     TimePoint high_water{TimePoint(-std::numeric_limits<double>::infinity())};
     TimePoint last_heard{TimePoint(-std::numeric_limits<double>::infinity())};
     bool heard{false};
   };
 
   void note_alive(ClientId c, TimePoint local_stamp, TimePoint now);
+  void refresh_entry(Buffered& entry) const;
+  [[nodiscard]] Buffered make_entry(const Message& m) const;
+  /// Re-primes the engine and refreshes cached entry constants after a
+  /// registry re-announce (fast mode; takes effect at the next ingest or
+  /// poll). A re-announce can reorder corrected stamps relative to the
+  /// stored buffer order (which is preserved, exactly as in the naive
+  /// path, which never re-sorts either); `buffer_sorted_` records
+  /// whether the sortedness invariant still holds — the windowed early
+  /// exits in the scans below are only valid while it does, so they fall
+  /// back to full (still constant-per-pair) scans until the buffer
+  /// drains or a later refresh restores order.
+  void maybe_reprime();
+
+  // Fast path.
+  void insert_fast(Buffered entry);
+  void recompute_head() const;
+  [[nodiscard]] bool completeness_satisfied(TimePoint t_b, TimePoint now) const;
+
+  // Retained naive reference path.
   [[nodiscard]] bool confidently_after(const Message& later,
                                        const Message& earlier) const;
   /// Size of the head batch under the closure rule (BatchRule::kClosure).
-  [[nodiscard]] std::size_t head_batch_size() const;
-  [[nodiscard]] TimePoint safe_time_for(std::size_t batch_size) const;
-  [[nodiscard]] bool completeness_satisfied(TimePoint t_b, TimePoint now) const;
+  [[nodiscard]] std::size_t head_batch_size_naive() const;
+  [[nodiscard]] TimePoint safe_time_for_naive(std::size_t batch_size) const;
+  [[nodiscard]] bool completeness_satisfied_naive(TimePoint t_b,
+                                                  TimePoint now) const;
+
+  [[nodiscard]] std::vector<EmissionRecord> drain(TimePoint now,
+                                                  bool ignore_gates);
+  void emit_head(std::size_t size, TimePoint t_b, TimePoint now,
+                 std::vector<EmissionRecord>& out);
 
   const ClientRegistry& registry_;
   OnlineConfig config_;
   PrecedingEngine engine_;
   std::vector<ClientId> expected_clients_;
-  std::unordered_map<ClientId, ClientState> clients_;
+  std::vector<ClientState> clients_;  // parallel to expected_clients_
+  std::unordered_map<ClientId, std::uint32_t> expected_index_;
 
-  std::vector<Message> buffer_;  // sorted by (corrected stamp, id)
+  std::deque<Buffered> buffer_;  // sorted by (corrected stamp, id)
   Rank next_rank_{0};
-  std::vector<Message> last_emitted_;  // for violation detection
+  std::vector<Buffered> last_emitted_;  // for violation detection
   std::size_t fairness_violations_{0};
+
+  // Cached head-batch closure state (fast path); see file header.
+  mutable bool head_valid_{false};
+  mutable std::size_t head_size_{0};
+  mutable TimePoint head_safe_{
+      TimePoint(-std::numeric_limits<double>::infinity())};
+  // True while buffer_ is sorted by (corrected, id); see maybe_reprime().
+  bool buffer_sorted_{true};
 };
 
 }  // namespace tommy::core

@@ -1,6 +1,7 @@
 #include "core/preceding.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/math.hpp"
@@ -42,6 +43,13 @@ double PrecedingEngine::preceding_probability(const Message& i,
 
 const stats::GridDensity& PrecedingEngine::difference_density_for(
     ClientId from, ClientId to) const {
+  // A re-announce invalidates every cached Δθ density; dropping them here
+  // keeps the slow path and the lazily-filled critical gaps consistent
+  // with the current distributions (and with each other).
+  if (cache_generation_ != registry_.generation()) {
+    cache_.clear();
+    cache_generation_ = registry_.generation();
+  }
   const auto key = std::make_pair(from, to);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return *it->second;
@@ -73,6 +81,115 @@ TimePoint PrecedingEngine::completeness_frontier(ClientId client,
 TimePoint PrecedingEngine::corrected_stamp(const Message& m) const {
   const stats::Distribution& d = registry_.offset_distribution(m.client);
   return m.stamp + Duration(d.mean());
+}
+
+bool PrecedingEngine::fast_ready(double threshold, double p_safe) const {
+  return fast_.valid && fast_.threshold == threshold &&
+         fast_.p_safe == p_safe && fast_.generation == registry_.generation();
+}
+
+void PrecedingEngine::prime(double threshold, double p_safe) const {
+  TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+  TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
+  if (fast_ready(threshold, p_safe)) return;
+
+  FastTables t;
+  t.threshold = threshold;
+  t.p_safe = p_safe;
+  t.generation = registry_.generation();
+  t.n = registry_.size();
+  t.mean.resize(t.n);
+  t.safe_offset.resize(t.n);
+  t.frontier_offset.resize(t.n);
+  t.gaussian.resize(t.n);
+  t.variance.resize(t.n);
+  t.upper_width.resize(t.n);
+  t.lower_width.resize(t.n);
+  t.support_width.resize(t.n);
+  t.critical_gap.assign(t.n * t.n,
+                        std::numeric_limits<double>::quiet_NaN());
+  t.max_gap_from.assign(t.n, 0.0);
+
+  for (std::uint32_t c = 0; c < t.n; ++c) {
+    const stats::Distribution& d = registry_.distribution_at(c);
+    t.mean[c] = d.mean();
+    t.safe_offset[c] = d.quantile(p_safe);
+    t.frontier_offset[c] = d.quantile(1.0 - p_safe);
+    t.gaussian[c] =
+        static_cast<std::uint8_t>(!config_.force_numeric && d.is_gaussian());
+    t.variance[c] = d.variance();
+    // Same effective support the numeric Δθ grids are built on
+    // (stats::difference_density) — the basis of the row bounds below.
+    const stats::Support sup = d.effective_support();
+    t.upper_width[c] = sup.hi - t.mean[c];
+    t.lower_width[c] = t.mean[c] - sup.lo;
+    t.support_width[c] = sup.width();
+  }
+
+  // Gaussian pairs get exact critical gaps now (closed form, cheap).
+  // Numeric pairs stay NaN — filled on first query — but contribute a
+  // support bound to the row maxima so the windowed scans are sound
+  // before any convolution runs: the Δθ grid's lower edge is
+  // lo_j − hi_i − dx (difference_density extends the subtrahend grid's
+  // upper edge by at most one spacing dx to land on the grid), the grid
+  // quantile can never fall below that edge, so
+  //   g*_{ij} ≤ (μ_j − lo_j) + (hi_i − μ_i) + dx,
+  // with dx doubled here for floating-point headroom.
+  const double z = math::normal_quantile(threshold);
+  double global = 0.0;
+  for (std::uint32_t i = 0; i < t.n; ++i) {
+    double row_max = -std::numeric_limits<double>::infinity();
+    for (std::uint32_t j = 0; j < t.n; ++j) {
+      if (t.gaussian[i] && t.gaussian[j]) {
+        const double gap = z * std::sqrt(t.variance[i] + t.variance[j]);
+        t.critical_gap[i * t.n + j] = gap;
+        row_max = std::max(row_max, gap);
+      } else {
+        const double dx =
+            std::min(t.support_width[i], t.support_width[j]) /
+            static_cast<double>(config_.grid_points - 1);
+        const double bound =
+            t.lower_width[j] + t.upper_width[i] + 2.0 * dx;
+        row_max = std::max(row_max, bound);
+      }
+    }
+    t.max_gap_from[i] = row_max;
+    global = std::max(global, row_max);
+  }
+  t.global_max_gap = global;
+  t.valid = true;
+  fast_ = std::move(t);
+}
+
+double PrecedingEngine::numeric_critical_gap(std::uint32_t ci,
+                                             std::uint32_t cj) const {
+  // p(a, b) > threshold ⟺ T_a − T_b < q ⟺ c_b − c_a > (μ_j − μ_i) − q
+  // with q = tail_quantile_Δθ(threshold); see header derivation.
+  const ClientId id_i = registry_.client_at(ci);
+  const ClientId id_j = registry_.client_at(cj);
+  double q;
+  if (config_.cache_difference_densities) {
+    q = difference_density_for(id_i, id_j).tail_quantile(fast_.threshold);
+  } else {
+    const stats::GridDensity delta = stats::difference_density(
+        registry_.distribution_at(cj), registry_.distribution_at(ci),
+        config_.grid_points, config_.method);
+    q = delta.tail_quantile(fast_.threshold);
+  }
+  return (fast_.mean[cj] - fast_.mean[ci]) - q;
+}
+
+double PrecedingEngine::fast_critical_gap(std::uint32_t ci,
+                                          std::uint32_t cj) const {
+  TOMMY_ASSERT(fast_.valid && ci < fast_.n && cj < fast_.n);
+  double& slot = fast_.critical_gap[ci * fast_.n + cj];
+  if (std::isnan(slot)) {
+    slot = numeric_critical_gap(ci, cj);
+    // Tripwire for the Cantelli row bound: the exact gap must never exceed
+    // what the windowed scans assumed possible.
+    TOMMY_ASSERT(slot <= fast_.max_gap_from[ci]);
+  }
+  return slot;
 }
 
 }  // namespace tommy::core

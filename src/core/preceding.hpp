@@ -12,11 +12,54 @@
 //      p = P(Δθ > T_i − T_j) = 1 − F_Δθ(T_i − T_j).
 //    The per-ordered-client-pair Δθ CDF is cached, so the convolution cost
 //    is paid once per pair, not once per message pair.
+//
+// ── Critical-gap reduction (the constant-time fast path) ────────────────
+//
+// Online sequencing never needs the probability itself — only the
+// predicate `p(a, b) > threshold`. Both evaluation paths reduce that
+// predicate to one subtraction and one comparison against a per-client-
+// PAIR constant, the *critical gap* g*_{ij}, in corrected-stamp space.
+// Writing c_a = T_a + μ_i for the corrected stamp of a message from
+// client i (and c_b likewise for client j):
+//
+//  * Gaussian:  p = Φ((c_b − c_a) / s),  s = √(σ_i² + σ_j²), so with
+//    z = Φ⁻¹(threshold):
+//        p > threshold  ⟺  c_b − c_a > z·s  =: g*_{ij}.
+//  * Numeric:   p = tail_Δθ(T_a − T_b) with Δθ = θ_j − θ_i. With
+//    q = tail_quantile_Δθ(threshold) (the x where the interpolated tail
+//    CDF equals the threshold) and T_a − T_b = (c_a − c_b) + (μ_j − μ_i):
+//        p > threshold  ⟺  T_a − T_b < q
+//                       ⟺  c_b − c_a > (μ_j − μ_i) − q  =: g*_{ij}.
+//
+// prime(threshold, p_safe) materializes, keyed by the registry's dense
+// client indices into flat std::vectors (no hashing, no virtual dispatch
+// on the hot path):
+//   * per client: μ_c (corrected-stamp offset), Q_c(p_safe) (safe-emission
+//     offset, §3.5), and Q_c(1 − p_safe) (completeness-frontier offset);
+//   * per pair:   g*_{ij} — Gaussian pairs eagerly (closed form), numeric
+//     pairs lazily on first query (one convolution + one quantile, then a
+//     cached double);
+//   * per row i:  an upper bound Ḡ_i ≥ max_j g*_{ij}, exact for Gaussian
+//     pairs; for numeric pairs the Δθ grid's support gives a provable
+//     bound with no convolution: the grid for θ_j − θ_i lives on
+//     [lo_j − hi_i − dx, …] (effective supports, spacing dx), its
+//     quantile can never fall below that edge, hence
+//     g*_{ij} = (μ_j − μ_i) − q ≤ (μ_j − lo_j) + (hi_i − μ_i) + dx.
+//     So lazy numeric fill never blocks the windowed closure scans that
+//     rely on Ḡ_i.
+//
+// After priming, `confidently_preceding` is a subtraction and a compare;
+// the sequencer's corrected stamps, safe-emission times and completeness
+// frontiers are one addition each. The slow per-query API below remains
+// the semantic reference (the online sequencer's reference mode uses it
+// verbatim) and is what the equivalence property tests compare against.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "core/client_registry.hpp"
 #include "core/message.hpp"
@@ -66,6 +109,62 @@ class PrecedingEngine {
   /// corrected means).
   [[nodiscard]] TimePoint corrected_stamp(const Message& m) const;
 
+  // ── Constant-time fast path (critical-gap reduction, see file header).
+  // All fast_* accessors require a prior matching prime(); indices are the
+  // registry's dense client indices (ClientRegistry::index_of).
+
+  /// Builds (or refreshes) the flat constant tables for `threshold` /
+  /// `p_safe`. Idempotent and cheap when already primed for the same
+  /// parameters and registry generation. Logically const: the tables are
+  /// memoized derived state, exactly like the Δθ density cache.
+  void prime(double threshold, double p_safe) const;
+
+  /// True when the tables match (threshold, p_safe) and the registry has
+  /// not announced since they were built.
+  [[nodiscard]] bool fast_ready(double threshold, double p_safe) const;
+
+  /// Corrected stamp in seconds for a message of dense-index client `ci`
+  /// — identical arithmetic to corrected_stamp().
+  [[nodiscard]] double fast_corrected(std::uint32_t ci, TimePoint stamp) const {
+    return stamp.seconds() + fast_.mean[ci];
+  }
+
+  /// safe_emission_time() as one addition.
+  [[nodiscard]] TimePoint fast_safe_emission_time(std::uint32_t ci,
+                                                  TimePoint stamp) const {
+    return stamp + Duration(fast_.safe_offset[ci]);
+  }
+
+  /// completeness_frontier() as one addition.
+  [[nodiscard]] TimePoint fast_completeness_frontier(
+      std::uint32_t ci, TimePoint high_water_stamp) const {
+    return high_water_stamp + Duration(fast_.frontier_offset[ci]);
+  }
+
+  /// g*_{ij}; lazily fills numeric-path entries (one convolution once).
+  [[nodiscard]] double fast_critical_gap(std::uint32_t ci,
+                                         std::uint32_t cj) const;
+
+  /// `preceding_probability(a, b) > threshold` for corrected stamps
+  /// (c_a from client index ci, c_b from client index cj).
+  [[nodiscard]] bool fast_confidently_preceding(std::uint32_t ci,
+                                                double corrected_a,
+                                                std::uint32_t cj,
+                                                double corrected_b) const {
+    return corrected_b - corrected_a > fast_critical_gap(ci, cj);
+  }
+
+  /// Ḡ_i ≥ max_j g*_{ij}: if c_b − c_a > Ḡ_i then b is confidently after
+  /// a regardless of b's client. Drives the windowed closure scans.
+  [[nodiscard]] double fast_max_gap_from(std::uint32_t ci) const {
+    return fast_.max_gap_from[ci];
+  }
+
+  /// max_i Ḡ_i — the widest possible uncertainty window anywhere.
+  [[nodiscard]] double fast_global_max_gap() const {
+    return fast_.global_max_gap;
+  }
+
   /// Number of Δθ densities currently cached (numeric path telemetry).
   [[nodiscard]] std::size_t cached_pairs() const { return cache_.size(); }
 
@@ -75,21 +174,57 @@ class PrecedingEngine {
  private:
   [[nodiscard]] const stats::GridDensity& difference_density_for(
       ClientId from, ClientId to) const;
+  [[nodiscard]] double numeric_critical_gap(std::uint32_t ci,
+                                            std::uint32_t cj) const;
 
   const ClientRegistry& registry_;
   PrecedingConfig config_;
 
   struct PairHash {
     std::size_t operator()(const std::pair<ClientId, ClientId>& p) const {
-      return std::hash<ClientId>{}(p.first) * 1000003u ^
-             std::hash<ClientId>{}(p.second);
+      // splitmix64-style mix of the two 32-bit ids packed into one word;
+      // avoids the clustering a plain xor of std::hash values exhibits on
+      // dense id ranges.
+      std::uint64_t x = (static_cast<std::uint64_t>(p.first.value()) << 32) |
+                        static_cast<std::uint64_t>(p.second.value());
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
     }
   };
   // Keyed (i, j) -> density of θ_j − θ_i. Mutable: a logically-const query
-  // memoizes the expensive convolution.
+  // memoizes the expensive convolution. Cleared when the registry
+  // generation moves on (a re-announce makes every cached density stale).
   mutable std::unordered_map<std::pair<ClientId, ClientId>,
                              std::unique_ptr<stats::GridDensity>, PairHash>
       cache_;
+  mutable std::uint64_t cache_generation_{0};
+
+  // Flat constant tables for the fast path (see file header). Mutable for
+  // the same reason as cache_: memoized derived state behind const
+  // queries.
+  struct FastTables {
+    bool valid{false};
+    double threshold{0.0};
+    double p_safe{0.0};
+    std::uint64_t generation{0};  // registry generation at build time
+    std::size_t n{0};
+    std::vector<double> mean;             // [n]   E[θ_c]
+    std::vector<double> safe_offset;      // [n]   Q_c(p_safe)
+    std::vector<double> frontier_offset;  // [n]   Q_c(1 − p_safe)
+    std::vector<std::uint8_t> gaussian;   // [n]   closed form eligible
+    std::vector<double> variance;         // [n]   Var[θ_c]
+    std::vector<double> upper_width;      // [n]   eff-support hi − μ_c
+    std::vector<double> lower_width;      // [n]   μ_c − eff-support lo
+    std::vector<double> support_width;    // [n]   eff-support width
+    std::vector<double> critical_gap;     // [n·n] g*_{ij}; NaN = lazy
+    std::vector<double> max_gap_from;     // [n]   Ḡ_i ≥ max_j g*_{ij}
+    double global_max_gap{0.0};
+  };
+  mutable FastTables fast_;
 };
 
 }  // namespace tommy::core

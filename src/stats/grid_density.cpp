@@ -80,6 +80,11 @@ double GridDensity::quantile(double p) const {
 
 double GridDensity::tail_probability(double x) const { return 1.0 - cdf(x); }
 
+double GridDensity::tail_quantile(double p) const {
+  TOMMY_EXPECTS(p >= 0.0 && p <= 1.0);
+  return quantile(1.0 - p);
+}
+
 double GridDensity::mean() const {
   std::vector<double> xw(values_.size());
   for (std::size_t k = 0; k < values_.size(); ++k) {

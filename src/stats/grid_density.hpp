@@ -47,6 +47,14 @@ class GridDensity {
   /// P(X > x) with the same interpolation as cdf().
   [[nodiscard]] double tail_probability(double x) const;
 
+  /// Inverse of tail_probability under the same piecewise-linear CDF:
+  /// the x* with tail_probability(x*) = p, so that for p in (0, 1) and x
+  /// on a strictly increasing CDF segment,
+  ///   tail_probability(x) > p  ⟺  x < tail_quantile(p).
+  /// This is what lets a preceding-probability threshold test collapse to
+  /// a single cached gap comparison (the critical-gap reduction).
+  [[nodiscard]] double tail_quantile(double p) const;
+
   [[nodiscard]] double mean() const;
   [[nodiscard]] double variance() const;
 

@@ -1,0 +1,389 @@
+// Equivalence of the online sequencer's constant-time fast path with the
+// retained naive reference implementation (reference_mode): over
+// randomized scenarios — Gaussian and non-Gaussian populations, forced
+// numeric evaluation, heartbeats, silence timeouts, violation-inducing
+// low p_safe — both modes must emit the exact same EmissionRecord
+// sequence (ranks, members, order, emission and safe times) and count the
+// same fairness violations. This is the contract that lets the critical-
+// gap reduction and the incremental closure replace the O(n²)
+// probability sweeps on the hot path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/online_sequencer.hpp"
+#include "sim/offline_runner.hpp"
+#include "stats/gaussian.hpp"
+#include "sim/population.hpp"
+#include "sim/workload.hpp"
+
+namespace tommy::core {
+namespace {
+
+using namespace tommy::literals;
+
+struct Scenario {
+  sim::Population population;
+  std::vector<Message> messages;       // arrival-feasible input order
+  ClientRegistry registry;
+  std::vector<ClientId> expected;      // completeness-gate client set
+};
+
+enum class Shape { kGaussian, kGumbel, kBimodal };
+
+Scenario make_scenario(std::uint64_t seed, Shape shape, std::size_t clients,
+                       std::size_t count, bool silent_last_client) {
+  Rng rng(seed);
+  const double scale = rng.uniform(5e-6, 300e-6);
+  auto make_pop = [&]() {
+    switch (shape) {
+      case Shape::kGumbel:
+        return sim::gumbel_population(clients, scale, rng);
+      case Shape::kBimodal:
+        return sim::bimodal_population(clients, scale, rng);
+      case Shape::kGaussian:
+      default:
+        return sim::gaussian_population(clients, scale, rng);
+    }
+  };
+  Scenario s{make_pop(), {}, {}, {}};
+  s.expected = s.population.ids();
+
+  // Optionally keep the last client silent (never generates) to exercise
+  // the silence-timeout path identically in both modes.
+  std::vector<ClientId> speakers = s.expected;
+  if (silent_last_client) speakers.pop_back();
+
+  const double gap_us = rng.uniform(2.0, 60.0);
+  const auto events = sim::poisson_workload(
+      speakers, count, Duration::from_micros(gap_us), rng);
+  sim::MaterializeConfig mat;
+  mat.mean_net_delay = Duration::from_micros(rng.uniform(0.0, 40.0));
+  const auto observed =
+      sim::materialize_messages(s.population, events, mat, rng);
+  s.messages.reserve(observed.size());
+  for (const auto& om : observed) s.messages.push_back(om.message);
+  // FIFO channels deliver in arrival order.
+  std::stable_sort(s.messages.begin(), s.messages.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.arrival < b.arrival;
+                   });
+  s.population.seed_registry(s.registry);
+  return s;
+}
+
+struct DriveResult {
+  std::vector<EmissionRecord> records;
+  std::size_t violations{0};
+  Rank final_rank{0};
+  std::size_t pending_after_flush{0};
+  std::vector<double> next_safe_samples;
+  std::vector<std::vector<ClientId>> timeout_samples;
+};
+
+/// Feeds the scenario through `seq` on a deterministic schedule derived
+/// only from the input (so both modes see byte-identical calls):
+/// interleaved polls, periodic all-client heartbeats, a settling
+/// heartbeat+poll, then a flush of any remainder.
+DriveResult drive(OnlineSequencer& seq, const Scenario& s) {
+  DriveResult out;
+  auto append = [&](std::vector<EmissionRecord>&& recs) {
+    for (auto& r : recs) out.records.push_back(std::move(r));
+  };
+  TimePoint now(0.0);
+  std::size_t k = 0;
+  for (const Message& m : s.messages) {
+    now = std::max(now, m.arrival);
+    Message copy = m;
+    copy.arrival = now;
+    seq.on_message(copy);
+    ++k;
+    if (k % 13 == 0) {
+      for (ClientId c : s.expected) seq.on_heartbeat(c, now, now);
+    }
+    if (k % 7 == 0) append(seq.poll(now));
+    if (k % 29 == 0) {
+      out.next_safe_samples.push_back(seq.next_safe_time().seconds());
+      out.timeout_samples.push_back(seq.timed_out_clients(now));
+    }
+  }
+  for (ClientId c : s.expected) seq.on_heartbeat(c, now + 1_s, now + 1_ms);
+  append(seq.poll(now + 1_s));
+  append(seq.flush(now + 2_s));
+  out.pending_after_flush = seq.pending_count();
+  out.violations = seq.fairness_violations();
+  out.final_rank = seq.next_rank();
+  return out;
+}
+
+void expect_identical(const DriveResult& fast, const DriveResult& ref,
+                      const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(fast.records.size(), ref.records.size());
+  for (std::size_t r = 0; r < fast.records.size(); ++r) {
+    SCOPED_TRACE("record " + std::to_string(r));
+    const EmissionRecord& a = fast.records[r];
+    const EmissionRecord& b = ref.records[r];
+    EXPECT_EQ(a.batch.rank, b.batch.rank);
+    EXPECT_EQ(a.emitted_at.seconds(), b.emitted_at.seconds());
+    EXPECT_EQ(a.safe_time.seconds(), b.safe_time.seconds());
+    ASSERT_EQ(a.batch.messages.size(), b.batch.messages.size());
+    for (std::size_t m = 0; m < a.batch.messages.size(); ++m) {
+      EXPECT_EQ(a.batch.messages[m], b.batch.messages[m]);
+    }
+  }
+  EXPECT_EQ(fast.violations, ref.violations);
+  EXPECT_EQ(fast.final_rank, ref.final_rank);
+  EXPECT_EQ(fast.pending_after_flush, ref.pending_after_flush);
+  EXPECT_EQ(fast.next_safe_samples, ref.next_safe_samples);
+  ASSERT_EQ(fast.timeout_samples.size(), ref.timeout_samples.size());
+  for (std::size_t t = 0; t < fast.timeout_samples.size(); ++t) {
+    EXPECT_EQ(fast.timeout_samples[t], ref.timeout_samples[t]);
+  }
+}
+
+void run_equivalence(std::uint64_t seed, Shape shape, std::size_t clients,
+                     std::size_t count, OnlineConfig config,
+                     bool silent_last_client, const char* label) {
+  const Scenario s =
+      make_scenario(seed, shape, clients, count, silent_last_client);
+
+  OnlineConfig fast_config = config;
+  fast_config.reference_mode = false;
+  OnlineSequencer fast(s.registry, s.expected, fast_config);
+  const DriveResult fast_result = drive(fast, s);
+
+  OnlineConfig ref_config = config;
+  ref_config.reference_mode = true;
+  OnlineSequencer ref(s.registry, s.expected, ref_config);
+  const DriveResult ref_result = drive(ref, s);
+
+  // Sanity: the drive actually exercised emission, not just buffering.
+  EXPECT_FALSE(ref_result.records.empty());
+  expect_identical(fast_result, ref_result, label);
+}
+
+TEST(OnlineEquivalence, GaussianClosedForm) {
+  OnlineConfig config;
+  config.threshold = 0.75;
+  config.p_safe = 0.999;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    run_equivalence(seed, Shape::kGaussian, 8, 500, config, false,
+                    "gaussian");
+  }
+}
+
+TEST(OnlineEquivalence, GaussianForcedNumeric) {
+  OnlineConfig config;
+  config.threshold = 0.8;
+  config.p_safe = 0.99;
+  config.preceding.force_numeric = true;
+  config.preceding.grid_points = 256;
+  for (std::uint64_t seed : {7u, 13u}) {
+    run_equivalence(seed, Shape::kGaussian, 6, 300, config, false,
+                    "forced-numeric");
+  }
+}
+
+TEST(OnlineEquivalence, GumbelNumericPath) {
+  OnlineConfig config;
+  config.threshold = 0.7;
+  config.p_safe = 0.99;
+  config.preceding.grid_points = 256;
+  for (std::uint64_t seed : {5u, 17u}) {
+    run_equivalence(seed, Shape::kGumbel, 6, 300, config, false, "gumbel");
+  }
+}
+
+TEST(OnlineEquivalence, BimodalMixturePath) {
+  OnlineConfig config;
+  config.threshold = 0.75;
+  config.p_safe = 0.995;
+  config.preceding.grid_points = 256;
+  for (std::uint64_t seed : {3u, 9u}) {
+    run_equivalence(seed, Shape::kBimodal, 6, 300, config, false, "bimodal");
+  }
+}
+
+TEST(OnlineEquivalence, SilenceTimeoutWithSilentClient) {
+  OnlineConfig config;
+  config.threshold = 0.75;
+  config.p_safe = 0.99;
+  config.client_silence_timeout = 500_us;
+  for (std::uint64_t seed : {21u, 42u}) {
+    run_equivalence(seed, Shape::kGaussian, 7, 400, config, true,
+                    "silence-timeout");
+  }
+}
+
+TEST(OnlineEquivalence, ViolationInducingLowPSafe) {
+  // Aggressive emission makes late arrivals land behind emitted ranks, so
+  // the fairness-violation counters must also agree (and actually count).
+  OnlineConfig config;
+  config.threshold = 0.6;
+  config.p_safe = 0.51;
+  std::size_t total_violations = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Scenario s = make_scenario(seed, Shape::kGaussian, 8, 400, false);
+    OnlineConfig fast_config = config;
+    OnlineSequencer fast(s.registry, s.expected, fast_config);
+    const DriveResult fast_result = drive(fast, s);
+    OnlineConfig ref_config = config;
+    ref_config.reference_mode = true;
+    OnlineSequencer ref(s.registry, s.expected, ref_config);
+    const DriveResult ref_result = drive(ref, s);
+    expect_identical(fast_result, ref_result, "low-p-safe");
+    total_violations += fast_result.violations;
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(OnlineEquivalence, MidRunReannounceRefreshesConstants) {
+  // Re-announcing a distribution mid-run must take effect in the fast
+  // path exactly as it does in the reference path (constants refresh at
+  // the next ingest/poll; buffered order is preserved in both). Two
+  // regimes: a mild re-learn that keeps the buffer order intact, and a
+  // drastic mean shift (≫ every critical gap) landing on a deep backlog,
+  // which un-sorts the buffered corrected stamps and forces the fast
+  // path off its windowed scans.
+  struct Variant {
+    double new_mean;
+    double new_sigma;
+    std::size_t poll_every;
+    const char* label;
+  };
+  for (const Variant& v :
+       {Variant{20e-6, 120e-6, 7, "mild-shift"},
+        Variant{0.5, 120e-6, 61, "drastic-shift-deep-buffer"}}) {
+    Rng rng(99);
+    sim::Population population = sim::gaussian_population(6, 50e-6, rng);
+    const auto events =
+        sim::poisson_workload(population.ids(), 300, 10_us, rng);
+    const auto observed = sim::materialize_messages(
+        population, events, sim::MaterializeConfig{}, rng);
+
+    auto run = [&](bool reference_mode) {
+      ClientRegistry registry;
+      population.seed_registry(registry);
+      OnlineConfig config;
+      config.threshold = 0.75;
+      config.p_safe = 0.99;
+      config.reference_mode = reference_mode;
+      OnlineSequencer seq(registry, population.ids(), config);
+      DriveResult out;
+      TimePoint now(0.0);
+      std::size_t k = 0;
+      for (const auto& om : observed) {
+        now = std::max(now, om.message.arrival);
+        Message copy = om.message;
+        copy.arrival = now;
+        seq.on_message(copy);
+        if (++k == observed.size() / 2) {
+          // Halfway through, client 0's clock gets re-learned.
+          registry.announce(
+              population.ids().front(),
+              std::make_unique<stats::Gaussian>(v.new_mean, v.new_sigma));
+        }
+        if (k % v.poll_every == 0) {
+          for (ClientId c : population.ids()) seq.on_heartbeat(c, now, now);
+          for (auto& r : seq.poll(now)) out.records.push_back(std::move(r));
+        }
+      }
+      for (ClientId c : population.ids()) {
+        seq.on_heartbeat(c, now + 1_s, now + 1_ms);
+      }
+      for (auto& r : seq.poll(now + 1_s)) out.records.push_back(std::move(r));
+      for (auto& r : seq.flush(now + 2_s)) {
+        out.records.push_back(std::move(r));
+      }
+      out.violations = seq.fairness_violations();
+      out.final_rank = seq.next_rank();
+      out.pending_after_flush = seq.pending_count();
+      return out;
+    };
+
+    const DriveResult fast_result = run(false);
+    const DriveResult ref_result = run(true);
+    expect_identical(fast_result, ref_result, v.label);
+  }
+}
+
+TEST(OnlineEquivalence, NumericReannounceDropsStaleDensities) {
+  // On the numeric path a re-announce must also retire the cached Δθ
+  // densities: fresh means mixed with stale difference quantiles would
+  // break the critical-gap correspondence (and its row bounds). Drive a
+  // forced-numeric run with a drastic mid-run re-learn and require the
+  // modes to stay bit-identical.
+  Rng rng(1234);
+  sim::Population population = sim::gaussian_population(5, 60e-6, rng);
+  const auto events = sim::poisson_workload(population.ids(), 200, 12_us, rng);
+  const auto observed = sim::materialize_messages(
+      population, events, sim::MaterializeConfig{}, rng);
+
+  auto run = [&](bool reference_mode) {
+    ClientRegistry registry;
+    population.seed_registry(registry);
+    OnlineConfig config;
+    config.threshold = 0.75;
+    config.p_safe = 0.99;
+    config.reference_mode = reference_mode;
+    config.preceding.force_numeric = true;
+    config.preceding.grid_points = 128;
+    OnlineSequencer seq(registry, population.ids(), config);
+    DriveResult out;
+    TimePoint now(0.0);
+    std::size_t k = 0;
+    for (const auto& om : observed) {
+      now = std::max(now, om.message.arrival);
+      Message copy = om.message;
+      copy.arrival = now;
+      seq.on_message(copy);
+      if (++k == observed.size() / 2) {
+        registry.announce(population.ids().front(),
+                          std::make_unique<stats::Gaussian>(5e-3, 200e-6));
+      }
+      if (k % 17 == 0) {
+        for (ClientId c : population.ids()) seq.on_heartbeat(c, now, now);
+        for (auto& r : seq.poll(now)) out.records.push_back(std::move(r));
+      }
+    }
+    for (ClientId c : population.ids()) {
+      seq.on_heartbeat(c, now + 1_s, now + 1_ms);
+    }
+    for (auto& r : seq.poll(now + 1_s)) out.records.push_back(std::move(r));
+    for (auto& r : seq.flush(now + 2_s)) out.records.push_back(std::move(r));
+    out.violations = seq.fairness_violations();
+    out.final_rank = seq.next_rank();
+    out.pending_after_flush = seq.pending_count();
+    return out;
+  };
+
+  const DriveResult fast_result = run(false);
+  const DriveResult ref_result = run(true);
+  expect_identical(fast_result, ref_result, "numeric-reannounce");
+}
+
+TEST(OnlineEquivalence, DuplicateExpectedClientsCollapse) {
+  // The original unordered_map-backed constructor silently deduplicated
+  // repeated expected clients; the dense ClientState vector must do the
+  // same or the duplicate entry never hears anything and the
+  // completeness gate blocks every emission.
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(0.0, 1e-4));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1e-4));
+  OnlineConfig config;
+  config.p_safe = 0.99;
+  OnlineSequencer seq(registry, {ClientId(0), ClientId(0), ClientId(1)},
+                      config);
+  seq.on_message(Message{MessageId(1), ClientId(0), TimePoint(1.0),
+                         TimePoint(1.0)});
+  seq.on_heartbeat(ClientId(0), TimePoint(10.0), TimePoint(1.1));
+  seq.on_heartbeat(ClientId(1), TimePoint(10.0), TimePoint(1.1));
+  const auto emitted = seq.poll(TimePoint(5.0));
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].batch.messages.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tommy::core

@@ -197,5 +197,110 @@ TEST(CorrectedStamp, AddsMeanOffset) {
   EXPECT_DOUBLE_EQ(engine.corrected_stamp(msg(0, 0, 1.0)).seconds(), 3.5);
 }
 
+// ── Critical-gap fast path ─────────────────────────────────────────────
+
+class CriticalGapFixture : public ::testing::Test {
+ protected:
+  /// Sweeps stamp gaps (dense near the decision boundary) and asserts the
+  /// cached-constant predicate agrees with the full probability
+  /// evaluation for every ordered client pair.
+  void expect_predicates_agree(const ClientRegistry& registry,
+                               PrecedingConfig config, double threshold,
+                               double span) {
+    PrecedingEngine engine(registry, config);
+    engine.prime(threshold, 0.999);
+    const std::size_t n = registry.size();
+    Rng rng(4242);
+    for (std::uint32_t ci = 0; ci < n; ++ci) {
+      for (std::uint32_t cj = 0; cj < n; ++cj) {
+        const ClientId id_i = registry.client_at(ci);
+        const ClientId id_j = registry.client_at(cj);
+        const double crit = engine.fast_critical_gap(ci, cj);
+        EXPECT_LE(crit, engine.fast_max_gap_from(ci));
+        EXPECT_LE(crit, engine.fast_global_max_gap());
+        for (int k = 0; k < 200; ++k) {
+          // Half the samples hug the critical gap, half roam the span.
+          const double corrected_gap =
+              (k % 2 == 0) ? crit + rng.uniform(-0.02 * span, 0.02 * span)
+                           : rng.uniform(-span, span);
+          const Message a{MessageId(0), id_i, TimePoint(0.0)};
+          // Solve stamp_b from the corrected gap so both forms see the
+          // same geometry: c_b − c_a = stamp_b + μ_j − μ_i.
+          const double mu_i = registry.distribution_at(ci).mean();
+          const double mu_j = registry.distribution_at(cj).mean();
+          const Message b{MessageId(1), id_j,
+                          TimePoint(corrected_gap + mu_i - mu_j)};
+          const double ca = engine.fast_corrected(ci, a.stamp);
+          const double cb = engine.fast_corrected(cj, b.stamp);
+          const bool fast =
+              engine.fast_confidently_preceding(ci, ca, cj, cb);
+          const bool slow = engine.preceding_probability(a, b) > threshold;
+          EXPECT_EQ(fast, slow)
+              << "pair (" << ci << "," << cj << ") corrected gap "
+              << corrected_gap << " crit " << crit;
+        }
+      }
+    }
+  }
+};
+
+TEST_F(CriticalGapFixture, GaussianPredicateMatchesProbability) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(2.0, 3.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(-1.0, 4.0));
+  registry.announce(ClientId(2), std::make_unique<stats::Gaussian>(0.5, 0.2));
+  for (double threshold : {0.6, 0.75, 0.9, 0.99}) {
+    expect_predicates_agree(registry, PrecedingConfig{}, threshold, 40.0);
+  }
+}
+
+TEST_F(CriticalGapFixture, NumericPredicateMatchesProbability) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Uniform>(-1.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Uniform>(-0.5, 2.0));
+  registry.announce(ClientId(2), std::make_unique<stats::Gaussian>(0.0, 0.7));
+  PrecedingConfig config;
+  config.grid_points = 1024;
+  for (double threshold : {0.66, 0.8, 0.95}) {
+    expect_predicates_agree(registry, config, threshold, 8.0);
+  }
+}
+
+TEST_F(CriticalGapFixture, FastOffsetsMatchSlowQueries) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(1.0, 2.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Uniform>(-3.0, 5.0));
+  PrecedingEngine engine(registry);
+  const double p_safe = 0.999;
+  engine.prime(0.75, p_safe);
+  for (std::uint32_t c = 0; c < registry.size(); ++c) {
+    const ClientId id = registry.client_at(c);
+    const Message m{MessageId(7), id, TimePoint(42.0)};
+    EXPECT_EQ(engine.fast_corrected(c, m.stamp),
+              engine.corrected_stamp(m).seconds());
+    EXPECT_EQ(engine.fast_safe_emission_time(c, m.stamp).seconds(),
+              engine.safe_emission_time(m, p_safe).seconds());
+    EXPECT_EQ(engine.fast_completeness_frontier(c, TimePoint(42.0)).seconds(),
+              engine.completeness_frontier(id, TimePoint(42.0),
+                                           p_safe).seconds());
+  }
+}
+
+TEST_F(CriticalGapFixture, PrimeTracksRegistryGeneration) {
+  ClientRegistry registry;
+  registry.announce(ClientId(0), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1.0));
+  PrecedingEngine engine(registry);
+  engine.prime(0.75, 0.999);
+  EXPECT_TRUE(engine.fast_ready(0.75, 0.999));
+  EXPECT_FALSE(engine.fast_ready(0.8, 0.999));
+
+  const double before = engine.fast_critical_gap(0, 1);
+  registry.announce(ClientId(1), std::make_unique<stats::Gaussian>(0.0, 5.0));
+  EXPECT_FALSE(engine.fast_ready(0.75, 0.999));
+  engine.prime(0.75, 0.999);
+  EXPECT_GT(engine.fast_critical_gap(0, 1), before);
+}
+
 }  // namespace
 }  // namespace tommy::core
