@@ -1,10 +1,15 @@
 // Sequencer throughput: offline sequencing cost on the Gaussian fast path
 // versus the general tournament path, the baselines, and the online
-// sequencer's per-message cost.
+// ingest cost across its three surfaces — the legacy on_message entry
+// point (one hash per message), the Session handle (hash-free), and the
+// sharded FairOrderingService (sessions + sink emission, 1/2/4 shards).
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "core/baselines.hpp"
 #include "core/online_sequencer.hpp"
+#include "core/service.hpp"
 #include "core/tommy_sequencer.hpp"
 #include "sim/offline_runner.hpp"
 
@@ -140,6 +145,127 @@ void BM_OnlineSteadyStateDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_OnlineSteadyStateDrain)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_SessionIngestAndPoll(benchmark::State& state) {
+  // BM_OnlineIngestAndPoll through per-connection Session handles: the
+  // ingest hot path runs with zero hash lookups (the dense index and
+  // per-client offsets are cached in the handle at open).
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Workbench bench(50, count, Rng(5));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::OnlineConfig config;
+    config.p_safe = 0.999;
+    core::OnlineSequencer seq(bench.registry, bench.population.ids(), config);
+    std::vector<core::OnlineSequencer::Session> sessions;
+    sessions.reserve(bench.population.size());
+    for (ClientId c : bench.population.ids()) {
+      sessions.push_back(seq.open_session(c));
+    }
+    state.ResumeTiming();
+
+    TimePoint now(0.0);
+    for (const core::Message& m : bench.messages) {
+      now = std::max(now, m.arrival);
+      sessions[m.client.value()].submit(m.stamp, m.id, now);
+    }
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    benchmark::DoNotOptimize(seq.poll(now + 1_s));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SessionIngestAndPoll)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void BM_ServiceIngestAndPoll(benchmark::State& state) {
+  // The full service surface: burst ingest through sessions into a
+  // range-sharded FairOrderingService, drained through the emission sink
+  // (no intermediate vectors). range(0) = messages, range(1) = shards.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::uint32_t>(state.range(1));
+  Workbench bench(50, count, Rng(5));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ServiceConfig config;
+    config.with_p_safe(0.999).with_shards(shards);
+    core::FairOrderingService service(bench.registry, bench.population.ids(),
+                                      config);
+    std::vector<core::FairOrderingService::Session> sessions;
+    sessions.reserve(bench.population.size());
+    for (ClientId c : bench.population.ids()) {
+      sessions.push_back(service.open_session(c));
+    }
+    state.ResumeTiming();
+
+    TimePoint now(0.0);
+    for (const core::Message& m : bench.messages) {
+      now = std::max(now, m.arrival);
+      sessions[m.client.value()].submit(m.stamp, m.id, now);
+    }
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    std::size_t emitted = 0;
+    service.poll(now + 1_s, [&](core::EmissionRecord&& record,
+                                std::uint32_t) { emitted += record.batch.messages.size(); });
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServiceIngestAndPoll)
+    ->ArgsProduct({{4096, 16384, 65536}, {1, 2, 4}});
+
+void BM_ServiceSteadyStateDrain(benchmark::State& state) {
+  // Steady-state service shape: interleaved sessions ingest, heartbeats,
+  // frequent sink polls; multi-shard buffers stay at emission-lag depth.
+  // range(0) = messages, range(1) = shards.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::uint32_t>(state.range(1));
+  Workbench bench(50, count, Rng(7));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ServiceConfig config;
+    config.with_p_safe(0.999).with_shards(shards);
+    core::FairOrderingService service(bench.registry, bench.population.ids(),
+                                      config);
+    std::vector<core::FairOrderingService::Session> sessions;
+    sessions.reserve(bench.population.size());
+    for (ClientId c : bench.population.ids()) {
+      sessions.push_back(service.open_session(c));
+    }
+    state.ResumeTiming();
+
+    std::size_t emitted = 0;
+    auto sink = [&](core::EmissionRecord&& record, std::uint32_t) {
+      emitted += record.batch.messages.size();
+    };
+    TimePoint now(0.0);
+    std::size_t k = 0;
+    for (const core::Message& m : bench.messages) {
+      now = std::max(now, m.arrival);
+      sessions[m.client.value()].submit(m.stamp, m.id, now);
+      ++k;
+      if (k % 256 == 0) {
+        for (auto& session : sessions) session.heartbeat(now, now);
+      }
+      if (k % 64 == 0) service.poll(now, sink);
+    }
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    service.poll(now + 1_s, sink);
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServiceSteadyStateDrain)
+    ->ArgsProduct({{4096, 65536}, {1, 2, 4}});
 
 }  // namespace
 

@@ -7,11 +7,19 @@
 // We compare how often each sequencer awards the "trade" (first rank) to
 // the truly-first order, and each design's overall fairness.
 //
+// The closing section runs the same order flow through the *online*
+// front-end — a sharded FairOrderingService with one ingest Session per
+// trader — to show what the exchange actually deploys: region-aligned
+// shards whose completeness gates only wait on their own traders.
+//
 // Build & run:  ./build/examples/cloud_exchange
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "core/baselines.hpp"
+#include "core/service.hpp"
 #include "core/tommy_sequencer.hpp"
 #include "metrics/ras.hpp"
 #include "sim/offline_runner.hpp"
@@ -127,5 +135,93 @@ int main() {
       "\nTommy keeps fairness without equal-length wires (Fig. 4) or\n"
       "negligible clock error (Fig. 2): it batches what it cannot order\n"
       "confidently instead of guessing.\n");
+
+  // ── The online front-end the exchange deploys ─────────────────────────
+  // Each trader holds a Session into a FairOrderingService. With one
+  // shard the remote region's wide clocks gate every emission; sharding
+  // by client-id range puts the local region on shard 0 and the remote
+  // region on shard 1, so local order flow clears its (tight) safe-
+  // emission gates without waiting on remote uncertainty.
+  std::printf("\nonline front-end (sessions + sharded service):\n");
+  std::printf("  %-7s %10s %12s %17s %17s\n", "shards", "batches",
+              "violations", "mean batch (all)", "mean batch (loc)");
+
+  std::vector<sim::ObservedMessage> stream = observed;
+  std::sort(stream.begin(), stream.end(),
+            [](const sim::ObservedMessage& a, const sim::ObservedMessage& b) {
+              if (a.message.arrival != b.message.arrival) {
+                return a.message.arrival < b.message.arrival;
+              }
+              return a.message.id < b.message.id;
+            });
+
+  // Replay heartbeats lag their stamps behind sequencer time by more than
+  // the network-delay tail: a heartbeat stamped `now − lag` only claims
+  // the client's clock passed that instant, so it never vouches past
+  // orders still in flight (which run_online gets for free from its FIFO
+  // channels).
+  const Duration heartbeat_lag = 2_ms;
+
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    core::ServiceConfig service_config;
+    service_config.with_p_safe(0.999).with_shards(shards);
+    core::FairOrderingService service(registry, traders.ids(),
+                                      service_config);
+
+    std::vector<core::FairOrderingService::Session> sessions;
+    sessions.reserve(kTraders);
+    for (ClientId id : traders.ids()) {
+      sessions.push_back(service.open_session(id));
+    }
+
+    std::size_t batches = 0;
+    double batch_total = 0.0;
+    std::size_t local_batches = 0;
+    double local_batch_total = 0.0;
+    auto sink = [&](core::EmissionRecord&& record, std::uint32_t) {
+      ++batches;
+      batch_total += static_cast<double>(record.batch.messages.size());
+      const bool all_local = std::all_of(
+          record.batch.messages.begin(), record.batch.messages.end(),
+          [](const core::Message& m) {
+            return m.client.value() < kTraders / 2;
+          });
+      if (all_local) {
+        ++local_batches;
+        local_batch_total +=
+            static_cast<double>(record.batch.messages.size());
+      }
+    };
+
+    TimePoint now = TimePoint::epoch();
+    std::size_t k = 0;
+    for (const sim::ObservedMessage& om : stream) {
+      now = std::max(now, om.message.arrival);
+      sessions[om.message.client.value()].submit(om.message.stamp,
+                                                 om.message.id, now);
+      if (++k % 64 == 0) {
+        for (auto& session : sessions) {
+          session.heartbeat(now - heartbeat_lag, now);
+        }
+        service.poll(now, sink);
+      }
+    }
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    service.poll(now + 1_s, sink);
+
+    std::printf(
+        "  %-7u %10zu %12zu %17.1f %17.1f\n", shards, batches,
+        service.fairness_violations(),
+        batches > 0 ? batch_total / static_cast<double>(batches) : 0.0,
+        local_batches > 0
+            ? local_batch_total / static_cast<double>(local_batches)
+            : 0.0);
+  }
+  std::printf(
+      "sharding by id range aligns shards with regions: local-only\n"
+      "batches shrink to near-singletons because local order flow no\n"
+      "longer merges with remote traders' clock uncertainty.\n");
   return 0;
 }

@@ -8,12 +8,17 @@
 # Environment:
 #   BUILD_DIR     build tree holding bench_throughput (default: ./build)
 #   BENCH_FILTER  optional --benchmark_filter regex (e.g. 'BM_Online.*')
+#   BENCH_SMOKE   1 = small-size smoke run (CI): only the smallest size
+#                 of every series, minimal repetition time. Keeps the
+#                 bench binary exercised without burning CI minutes; do
+#                 NOT commit smoke output over the tracked JSON.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 OUT="${1:-$ROOT/BENCH_throughput.json}"
 FILTER="${BENCH_FILTER:-}"
+SMOKE="${BENCH_SMOKE:-0}"
 
 if [[ ! -x "$BUILD_DIR/bench_throughput" ]]; then
   echo "error: $BUILD_DIR/bench_throughput not built." >&2
@@ -21,8 +26,19 @@ if [[ ! -x "$BUILD_DIR/bench_throughput" ]]; then
   exit 1
 fi
 
+EXTRA_ARGS=()
+if [[ "$SMOKE" == "1" ]]; then
+  # Smallest arg of each single-size series, plus the smallest message
+  # count of every multi-shard series (all shard counts).
+  FILTER="${FILTER:-/(64|256|1024|4096/[124])$}"
+  # Plain-double form: accepted by every google-benchmark (the "0.05s"
+  # suffix form only exists from 1.8 on).
+  EXTRA_ARGS+=(--benchmark_min_time=0.05)
+fi
+
 "$BUILD_DIR/bench_throughput" \
   ${FILTER:+--benchmark_filter="$FILTER"} \
+  ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_format=console

@@ -7,41 +7,177 @@
 
 namespace tommy::core {
 
+namespace {
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+/// Adapts the vector-returning poll/flush overloads onto the sink drain.
+class VectorSink final : public EmissionSink {
+ public:
+  explicit VectorSink(std::vector<EmissionRecord>& out) : out_(out) {}
+  void on_emission(EmissionRecord&& record, std::uint32_t) override {
+    out_.push_back(std::move(record));
+  }
+
+ private:
+  std::vector<EmissionRecord>& out_;
+};
+
+std::shared_ptr<const PrecedingEngine> require_engine(
+    std::shared_ptr<const PrecedingEngine> engine) {
+  TOMMY_EXPECTS(engine != nullptr);
+  return engine;
+}
+
+}  // namespace
+
 OnlineSequencer::OnlineSequencer(const ClientRegistry& registry,
                                  std::vector<ClientId> expected_clients,
                                  OnlineConfig config)
-    : registry_(registry),
+    : engine_ptr_(std::make_shared<const PrecedingEngine>(registry,
+                                                          config.preceding)),
+      engine_(*engine_ptr_),
+      registry_(registry),
       config_(config),
-      engine_(registry, config.preceding),
       expected_clients_(std::move(expected_clients)) {
-  TOMMY_EXPECTS(config.threshold > 0.5 && config.threshold < 1.0);
-  TOMMY_EXPECTS(config.p_safe > 0.5 && config.p_safe < 1.0);
+  init_expected_clients();
+}
+
+OnlineSequencer::OnlineSequencer(std::shared_ptr<const PrecedingEngine> engine,
+                                 std::vector<ClientId> expected_clients,
+                                 OnlineConfig config)
+    : engine_ptr_(require_engine(std::move(engine))),
+      engine_(*engine_ptr_),
+      registry_(engine_ptr_->registry()),
+      config_(config),
+      expected_clients_(std::move(expected_clients)) {
+  // Every sequencer sharing an engine must agree on (threshold, p_safe):
+  // a mismatch would not be wrong, but each caller would re-prime the
+  // whole engine on every ingest/poll — a silent orders-of-magnitude
+  // slowdown. Catch it at construction instead.
+  TOMMY_EXPECTS(config_.reference_mode || !engine_.fast_primed() ||
+                engine_.fast_params_match(config_.threshold, config_.p_safe));
+  init_expected_clients();
+}
+
+void OnlineSequencer::init_expected_clients() {
+  TOMMY_EXPECTS(config_.threshold > 0.5 && config_.threshold < 1.0);
+  TOMMY_EXPECTS(config_.p_safe > 0.5 && config_.p_safe < 1.0);
   TOMMY_EXPECTS(!expected_clients_.empty());
   clients_.reserve(expected_clients_.size());
+  slot_by_cindex_.assign(registry_.size(), kNoSlot);
   for (ClientId c : expected_clients_) {
     TOMMY_EXPECTS(registry_.contains(c));
-    const auto [it, inserted] = expected_index_.emplace(
-        c, static_cast<std::uint32_t>(clients_.size()));
-    if (!inserted) continue;  // duplicate expected client: one gate entry
+    const std::uint32_t cindex = registry_.index_of(c);
+    if (slot_by_cindex_[cindex] != kNoSlot) {
+      continue;  // duplicate expected client: one gate entry
+    }
+    slot_by_cindex_[cindex] = static_cast<std::uint32_t>(clients_.size());
     ClientState state;
     state.id = c;
-    state.cindex = registry_.index_of(c);
+    state.cindex = cindex;
     clients_.push_back(state);
   }
   if (!config_.reference_mode) {
     engine_.prime(config_.threshold, config_.p_safe);
   }
+  session_table_.reserve(clients_.size());
+  for (const ClientState& state : clients_) {
+    Session session;
+    session.sequencer_ = this;
+    session.client_ = state.id;
+    session.cindex_ = state.cindex;
+    session.slot_ = slot_by_cindex_[state.cindex];
+    refresh_session(session);
+    session_table_.push_back(session);
+  }
 }
 
-void OnlineSequencer::note_alive(ClientId c, TimePoint local_stamp,
-                                 TimePoint now) {
-  const auto it = expected_index_.find(c);
-  TOMMY_EXPECTS(it != expected_index_.end());  // unknown clients are a
-                                               // config error
-  ClientState& state = clients_[it->second];
+std::uint32_t OnlineSequencer::slot_of(ClientId client) const {
+  // Unknown-to-the-registry clients die inside index_of; clients the
+  // registry knows but this sequencer does not expect die here. Both are
+  // configuration errors.
+  const std::uint32_t cindex = registry_.index_of(client);
+  TOMMY_EXPECTS(cindex < slot_by_cindex_.size() &&
+                slot_by_cindex_[cindex] != kNoSlot);
+  return slot_by_cindex_[cindex];
+}
+
+void OnlineSequencer::refresh_session(Session& session) const {
+  session.generation_ = registry_.generation();
+  if (config_.reference_mode) return;  // no cached constants to refresh
+  session.mean_offset_ = engine_.fast_mean(session.cindex_);
+  session.safe_offset_ = engine_.fast_safe_offset(session.cindex_);
+}
+
+OnlineSequencer::Session OnlineSequencer::open_session(ClientId client) {
+  maybe_reprime();  // a fresh handle starts from current tables
+  Session session = session_table_[slot_of(client)];
+  if (session.generation_ != registry_.generation()) {
+    refresh_session(session);
+  }
+  return session;
+}
+
+void OnlineSequencer::Session::submit(TimePoint stamp, MessageId id,
+                                      TimePoint now) {
+  TOMMY_EXPECTS(sequencer_ != nullptr);
+  sequencer_->session_submit(*this, stamp, id, now);
+}
+
+void OnlineSequencer::Session::heartbeat(TimePoint local_stamp,
+                                         TimePoint now) {
+  TOMMY_EXPECTS(sequencer_ != nullptr);
+  sequencer_->session_heartbeat(*this, local_stamp, now);
+}
+
+void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
+                                     MessageId id, TimePoint now) {
+  maybe_reprime();
+  TOMMY_EXPECTS(now >= last_arrival_);  // FIFO delivery contract
+  last_arrival_ = now;
+  if (!config_.reference_mode &&
+      session.generation_ != registry_.generation()) {
+    refresh_session(session);
+  }
+
+  ClientState& state = clients_[session.slot_];
+  state.high_water = std::max(state.high_water, stamp);
+  state.last_heard = std::max(state.last_heard, now);
+  state.heard = true;
+
+  Buffered entry;
+  entry.msg = Message{id, session.client_, stamp, now};
+  entry.cindex = session.cindex_;
+  if (config_.reference_mode) {
+    entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
+    entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+  } else {
+    // Same arithmetic as the engine's fast_corrected /
+    // fast_safe_emission_time, from the session's cached offsets.
+    entry.corrected = stamp.seconds() + session.mean_offset_;
+    entry.safe_time = stamp + Duration(session.safe_offset_);
+  }
+  ingest(std::move(entry));
+}
+
+void OnlineSequencer::session_heartbeat(Session& session,
+                                        TimePoint local_stamp, TimePoint now) {
+  maybe_reprime();
+  ClientState& state = clients_[session.slot_];
   state.high_water = std::max(state.high_water, local_stamp);
   state.last_heard = std::max(state.last_heard, now);
   state.heard = true;
+}
+
+void OnlineSequencer::on_message(const Message& m) {
+  // Thin wrapper: route through the internal session table (one hash).
+  session_submit(session_table_[slot_of(m.client)], m.stamp, m.id, m.arrival);
+}
+
+void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
+                                   TimePoint now) {
+  session_heartbeat(session_table_[slot_of(c)], local_stamp, now);
 }
 
 void OnlineSequencer::refresh_entry(Buffered& entry) const {
@@ -56,13 +192,6 @@ void OnlineSequencer::refresh_entry(Buffered& entry) const {
   }
 }
 
-OnlineSequencer::Buffered OnlineSequencer::make_entry(const Message& m) const {
-  Buffered entry;
-  entry.msg = m;
-  refresh_entry(entry);
-  return entry;
-}
-
 void OnlineSequencer::maybe_reprime() {
   if (config_.reference_mode) return;
   if (engine_.fast_ready(config_.threshold, config_.p_safe)) return;
@@ -72,7 +201,8 @@ void OnlineSequencer::maybe_reprime() {
   // probabilities per query but never re-sorts what it already buffered).
   // The refreshed corrected stamps may no longer be monotone in the
   // stored order, which disables the windowed early exits until order is
-  // restored (see header).
+  // restored (see header). Sessions refresh themselves lazily off the
+  // registry generation counter.
   for (Buffered& entry : buffer_) refresh_entry(entry);
   for (Buffered& entry : last_emitted_) refresh_entry(entry);
   buffer_sorted_ = std::is_sorted(
@@ -91,33 +221,17 @@ bool OnlineSequencer::confidently_after(const Message& later,
   return engine_.preceding_probability(earlier, later) > config_.threshold;
 }
 
-void OnlineSequencer::on_message(const Message& m) {
-  maybe_reprime();
-  note_alive(m.client, m.stamp, m.arrival);
-
-  Buffered entry = make_entry(m);
-
+void OnlineSequencer::ingest(Buffered entry) {
   // Fairness-violation check: did this message confidently belong at or
   // before a rank we already emitted? (The safe-emission machinery makes
   // this rare — with frequency controlled by p_safe.)
   if (config_.reference_mode) {
     for (const Buffered& emitted : last_emitted_) {
-      if (!confidently_after(m, emitted.msg)) {
+      if (!confidently_after(entry.msg, emitted.msg)) {
         ++fairness_violations_;
         break;
       }
     }
-  } else {
-    for (const Buffered& emitted : last_emitted_) {
-      const double diff = entry.corrected - emitted.corrected;
-      if (!(diff > engine_.fast_critical_gap(emitted.cindex, entry.cindex))) {
-        ++fairness_violations_;
-        break;
-      }
-    }
-  }
-
-  if (config_.reference_mode) {
     // The naive comparator: recomputes both sides' corrected stamps per
     // comparison, exactly as the original implementation did.
     const auto pos = std::lower_bound(
@@ -130,6 +244,13 @@ void OnlineSequencer::on_message(const Message& m) {
         });
     buffer_.insert(pos, std::move(entry));
     return;
+  }
+  for (const Buffered& emitted : last_emitted_) {
+    const double diff = entry.corrected - emitted.corrected;
+    if (!(diff > engine_.fast_critical_gap(emitted.cindex, entry.cindex))) {
+      ++fairness_violations_;
+      break;
+    }
   }
   insert_fast(std::move(entry));
 }
@@ -169,12 +290,6 @@ void OnlineSequencer::insert_fast(Buffered entry) {
     }
   }
   buffer_.insert(pos, std::move(entry));
-}
-
-void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
-                                   TimePoint now) {
-  maybe_reprime();
-  note_alive(c, local_stamp, now);
 }
 
 void OnlineSequencer::recompute_head() const {
@@ -278,8 +393,8 @@ bool OnlineSequencer::completeness_satisfied_naive(TimePoint t_b,
   return true;
 }
 
-void OnlineSequencer::emit_head(std::size_t size, TimePoint t_b, TimePoint now,
-                                std::vector<EmissionRecord>& out) {
+EmissionRecord OnlineSequencer::take_head(std::size_t size, TimePoint t_b,
+                                          TimePoint now) {
   EmissionRecord record;
   record.batch.rank = next_rank_++;
   record.batch.messages.reserve(size);
@@ -295,12 +410,13 @@ void OnlineSequencer::emit_head(std::size_t size, TimePoint t_b, TimePoint now,
                 buffer_.begin() + static_cast<std::ptrdiff_t>(size));
   if (buffer_.empty()) buffer_sorted_ = true;  // vacuously restored
   head_valid_ = false;
-  out.push_back(std::move(record));
+  return record;
 }
 
-std::vector<EmissionRecord> OnlineSequencer::drain(TimePoint now,
-                                                   bool ignore_gates) {
-  std::vector<EmissionRecord> emitted;
+std::size_t OnlineSequencer::drain(TimePoint now, bool ignore_gates,
+                                   EmissionSink& sink,
+                                   std::uint32_t shard_tag) {
+  std::size_t emitted = 0;
   while (!buffer_.empty()) {
     std::size_t size;
     TimePoint t_b;
@@ -319,19 +435,38 @@ std::vector<EmissionRecord> OnlineSequencer::drain(TimePoint now,
                                 : completeness_satisfied(t_b, now);
       if (!complete) break;
     }
-    emit_head(size, t_b, now, emitted);
+    sink.on_emission(take_head(size, t_b, now), shard_tag);
+    ++emitted;
   }
   return emitted;
 }
 
 std::vector<EmissionRecord> OnlineSequencer::poll(TimePoint now) {
+  std::vector<EmissionRecord> out;
+  VectorSink sink(out);
   maybe_reprime();
-  return drain(now, /*ignore_gates=*/false);
+  drain(now, /*ignore_gates=*/false, sink, 0);
+  return out;
+}
+
+std::size_t OnlineSequencer::poll(TimePoint now, EmissionSink& sink,
+                                  std::uint32_t shard_tag) {
+  maybe_reprime();
+  return drain(now, /*ignore_gates=*/false, sink, shard_tag);
 }
 
 std::vector<EmissionRecord> OnlineSequencer::flush(TimePoint now) {
+  std::vector<EmissionRecord> out;
+  VectorSink sink(out);
   maybe_reprime();
-  return drain(now, /*ignore_gates=*/true);
+  drain(now, /*ignore_gates=*/true, sink, 0);
+  return out;
+}
+
+std::size_t OnlineSequencer::flush(TimePoint now, EmissionSink& sink,
+                                   std::uint32_t shard_tag) {
+  maybe_reprime();
+  return drain(now, /*ignore_gates=*/true, sink, shard_tag);
 }
 
 TimePoint OnlineSequencer::next_safe_time() const {

@@ -22,6 +22,19 @@
 // are counted as fairness violations (they are assigned to the next batch;
 // the p_safe knob controls how rare this is).
 //
+// ── Ingest surface: sessions ────────────────────────────────────────────
+//
+// The hot ingest path is the per-connection `Session` handle returned by
+// `open_session(client)`. A session caches the client's registry dense
+// index, its completeness-gate slot, and the per-client corrected-stamp /
+// safe-emission offsets once at open, so `session.submit(...)` and
+// `session.heartbeat(...)` touch no hash map at all: the only per-message
+// work beyond the buffer insert is one generation-counter compare (which
+// detects registry re-announces and refreshes the cached offsets). The
+// original `on_message` / `on_heartbeat` entry points are retained as
+// thin wrappers over an internal session table; they cost one ClientId
+// hash per call for the table lookup. Prefer sessions in new code.
+//
 // ── Hot-path design (critical gaps + incremental closure) ───────────────
 //
 // The default (fast) implementation never evaluates a probability on the
@@ -51,13 +64,15 @@
 // `OnlineConfig::reference_mode` retains the naive implementation —
 // from-scratch O(n²) closure per poll, per-query probability evaluation —
 // as the semantic reference; the randomized equivalence tests assert the
-// two modes emit bit-identical batch sequences.
+// two modes emit bit-identical batch sequences (and that the session API
+// is bit-identical to the legacy entry points in both modes).
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/batching.hpp"
@@ -82,6 +97,9 @@ struct OnlineConfig {
   /// from-scratch closure each poll). Slow; exists as the semantic
   /// reference the equivalence tests compare the fast path against.
   bool reference_mode{false};
+  /// Engine configuration — only consulted when the sequencer builds its
+  /// own engine (the registry constructor). The shared-engine constructor
+  /// uses the engine's existing configuration instead.
   PrecedingConfig preceding{};
 };
 
@@ -92,31 +110,108 @@ struct EmissionRecord {
   TimePoint safe_time;   // the T_b that gated it
 };
 
+/// Consumer of emitted batches (the allocation-free alternative to the
+/// vector-returning poll/flush overloads): each record is handed over by
+/// rvalue exactly once, in rank order per shard. `shard` is the emitting
+/// shard's index when polled through a FairOrderingService; a bare
+/// OnlineSequencer always reports shard 0.
+class EmissionSink {
+ public:
+  virtual ~EmissionSink() = default;
+  virtual void on_emission(EmissionRecord&& record, std::uint32_t shard) = 0;
+};
+
 class OnlineSequencer {
  public:
+  /// Per-connection ingest handle; see the file header. Cheap to copy —
+  /// it is a pointer plus cached per-client constants. Valid as long as
+  /// the sequencer it came from is alive (the sequencer is pinned in
+  /// memory: it is neither copyable nor movable). A handle survives
+  /// registry re-announces of its client: the cached offsets refresh at
+  /// the next call via the registry generation counter.
+  class Session {
+   public:
+    Session() = default;
+
+    /// Ingests one message stamped `stamp` (the client's local clock at
+    /// generation) arriving at sequencer time `now`. Exactly equivalent
+    /// to on_message({id, client(), stamp, now}). `now` must be
+    /// non-decreasing across the owning sequencer's ingests (FIFO
+    /// channels deliver in order).
+    void submit(TimePoint stamp, MessageId id, TimePoint now);
+
+    /// Ingests a heartbeat carrying the client's local `local_stamp`.
+    void heartbeat(TimePoint local_stamp, TimePoint now);
+
+    [[nodiscard]] ClientId client() const { return client_; }
+
+   private:
+    friend class OnlineSequencer;
+
+    OnlineSequencer* sequencer_{nullptr};
+    ClientId client_{};
+    std::uint32_t cindex_{0};       // registry dense index
+    std::uint32_t slot_{0};         // completeness-gate slot
+    std::uint64_t generation_{0};   // registry generation of the offsets
+    double mean_offset_{0.0};       // E[θ]  (corrected = stamp + mean)
+    double safe_offset_{0.0};       // Q_θ(p_safe)
+  };
+
   /// `expected_clients` is the fixed, known client set (§3.5's assumption
-  /// for answering Q2). The registry must cover all of them.
+  /// for answering Q2). The registry must cover all of them. Builds a
+  /// private PrecedingEngine from `config.preceding`.
   OnlineSequencer(const ClientRegistry& registry,
                   std::vector<ClientId> expected_clients,
                   OnlineConfig config = {});
 
+  /// Shard constructor: runs against a caller-owned engine (and its
+  /// registry), so several sequencers can share one primed engine's flat
+  /// tables and Δθ caches — the FairOrderingService path.
+  /// `config.preceding` is ignored; the engine's own configuration rules.
+  OnlineSequencer(std::shared_ptr<const PrecedingEngine> engine,
+                  std::vector<ClientId> expected_clients,
+                  OnlineConfig config = {});
+
+  // Sessions cache a pointer to the sequencer; pin it in memory.
+  OnlineSequencer(const OnlineSequencer&) = delete;
+  OnlineSequencer& operator=(const OnlineSequencer&) = delete;
+
+  /// Opens an ingest handle for `client` (which must be one of the
+  /// expected clients — anything else is a precondition failure). May be
+  /// called repeatedly; handles are independent and all stay valid.
+  [[nodiscard]] Session open_session(ClientId client);
+
   /// Ingests a message; `m.arrival` must be the current sequencer time
   /// (non-decreasing across calls — FIFO channels deliver in order).
+  /// Deprecated in favour of Session::submit (one extra hash per call).
   void on_message(const Message& m);
 
   /// Ingests a heartbeat carrying client `c`'s local stamp.
+  /// Deprecated in favour of Session::heartbeat (one extra hash per call).
   void on_heartbeat(ClientId c, TimePoint local_stamp, TimePoint now);
 
   /// Attempts emissions at sequencer time `now`; returns every batch that
   /// became safe, in rank order.
   [[nodiscard]] std::vector<EmissionRecord> poll(TimePoint now);
 
+  /// Sink-style poll: hands each emitted batch to `sink` (tagged with
+  /// `shard_tag`) instead of accumulating a vector. Returns the number of
+  /// batches emitted.
+  std::size_t poll(TimePoint now, EmissionSink& sink,
+                   std::uint32_t shard_tag = 0);
+
   /// Shutdown path: emits everything still buffered as properly-batched
   /// ranks, ignoring the safe-emission and completeness gates. Use when
   /// the stream has provably ended (e.g. simulation teardown, market
   /// close); fairness w.r.t. still-in-flight messages is obviously not
-  /// guaranteed.
+  /// guaranteed. Ingest may continue afterwards: later arrivals simply
+  /// start the next batch (and are counted as violations if they
+  /// confidently belonged at an already-emitted rank).
   [[nodiscard]] std::vector<EmissionRecord> flush(TimePoint now);
+
+  /// Sink-style flush; returns the number of batches emitted.
+  std::size_t flush(TimePoint now, EmissionSink& sink,
+                    std::uint32_t shard_tag = 0);
 
   /// T_b of the current head batch (infinite future if buffer empty) —
   /// callers can schedule the next poll at this instant.
@@ -134,6 +229,8 @@ class OnlineSequencer {
   /// Clients currently excluded from the completeness gate by the
   /// silence timeout.
   [[nodiscard]] std::vector<ClientId> timed_out_clients(TimePoint now) const;
+
+  [[nodiscard]] const ClientRegistry& registry() const { return registry_; }
 
  private:
   /// A buffered (or recently emitted) message with its per-ingest cached
@@ -154,9 +251,23 @@ class OnlineSequencer {
     bool heard{false};
   };
 
-  void note_alive(ClientId c, TimePoint local_stamp, TimePoint now);
+  void init_expected_clients();
+  /// Completeness-gate slot of `client` — the one remaining hash on the
+  /// legacy entry points (registry id → dense index, then a flat array).
+  /// Precondition: `client` is an expected client.
+  [[nodiscard]] std::uint32_t slot_of(ClientId client) const;
+  /// Re-reads a session's cached per-client offsets from the engine's
+  /// flat tables (fast mode) and stamps it with the current registry
+  /// generation.
+  void refresh_session(Session& session) const;
+  /// The session-table ingest core both entry surfaces share.
+  void session_submit(Session& session, TimePoint stamp, MessageId id,
+                      TimePoint now);
+  void session_heartbeat(Session& session, TimePoint local_stamp,
+                         TimePoint now);
+  /// Violation accounting + ordered buffer insert (both modes).
+  void ingest(Buffered entry);
   void refresh_entry(Buffered& entry) const;
-  [[nodiscard]] Buffered make_entry(const Message& m) const;
   /// Re-primes the engine and refreshes cached entry constants after a
   /// registry re-announce (fast mode; takes effect at the next ingest or
   /// poll). A re-announce can reorder corrected stamps relative to the
@@ -182,22 +293,35 @@ class OnlineSequencer {
   [[nodiscard]] bool completeness_satisfied_naive(TimePoint t_b,
                                                   TimePoint now) const;
 
-  [[nodiscard]] std::vector<EmissionRecord> drain(TimePoint now,
-                                                  bool ignore_gates);
-  void emit_head(std::size_t size, TimePoint t_b, TimePoint now,
-                 std::vector<EmissionRecord>& out);
+  std::size_t drain(TimePoint now, bool ignore_gates, EmissionSink& sink,
+                    std::uint32_t shard_tag);
+  [[nodiscard]] EmissionRecord take_head(std::size_t size, TimePoint t_b,
+                                         TimePoint now);
 
+  // engine_ptr_ owns (or co-owns) the engine; engine_ is the stable
+  // reference the hot path uses. Declared in this order on purpose.
+  std::shared_ptr<const PrecedingEngine> engine_ptr_;
+  const PrecedingEngine& engine_;
   const ClientRegistry& registry_;
   OnlineConfig config_;
-  PrecedingEngine engine_;
   std::vector<ClientId> expected_clients_;
   std::vector<ClientState> clients_;  // parallel to expected_clients_
-  std::unordered_map<ClientId, std::uint32_t> expected_index_;
+  /// Registry dense index → completeness-gate slot (kNoSlot = not an
+  /// expected client). Dense replacement for the former
+  /// unordered_map<ClientId, uint32_t> — the registry already assigns
+  /// dense indices, so membership is one bounds check + one load.
+  std::vector<std::uint32_t> slot_by_cindex_;
+  /// Internal session table backing the legacy on_message/on_heartbeat
+  /// wrappers; parallel to clients_.
+  std::vector<Session> session_table_;
 
   std::deque<Buffered> buffer_;  // sorted by (corrected stamp, id)
   Rank next_rank_{0};
   std::vector<Buffered> last_emitted_;  // for violation detection
   std::size_t fairness_violations_{0};
+  /// Latest ingest arrival seen; enforces the FIFO-delivery contract
+  /// (`arrival`/`now` non-decreasing across message ingests).
+  TimePoint last_arrival_{TimePoint(-std::numeric_limits<double>::infinity())};
 
   // Cached head-batch closure state (fast path); see file header.
   mutable bool head_valid_{false};

@@ -57,6 +57,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -77,6 +78,13 @@ struct PrecedingConfig {
   bool force_numeric{false};
   /// Cache Δθ densities per ordered client pair.
   bool cache_difference_densities{true};
+  /// Maximum number of cached Δθ densities (ordered pairs) kept at once;
+  /// least-recently-used entries are evicted beyond it. 0 = unbounded
+  /// (the seed behaviour). The lazily-filled critical-gap *scalars* are
+  /// never evicted — only the O(grid_points) densities, which are the
+  /// unbounded-memory risk for large non-Gaussian client sets (the
+  /// worst case is n² densities of grid_points samples each).
+  std::size_t difference_cache_capacity{0};
 };
 
 class PrecedingEngine {
@@ -123,10 +131,32 @@ class PrecedingEngine {
   /// not announced since they were built.
   [[nodiscard]] bool fast_ready(double threshold, double p_safe) const;
 
+  /// True when prime() has run at all (any parameters). Lets sharing
+  /// callers detect a parameter mismatch before thrashing the tables.
+  [[nodiscard]] bool fast_primed() const { return fast_.valid; }
+
+  /// True when prime() last ran with exactly these parameters (registry
+  /// generation aside — a stale generation just means one cheap
+  /// re-prime, not thrashing).
+  [[nodiscard]] bool fast_params_match(double threshold,
+                                       double p_safe) const {
+    return fast_.valid && fast_.threshold == threshold &&
+           fast_.p_safe == p_safe;
+  }
+
   /// Corrected stamp in seconds for a message of dense-index client `ci`
   /// — identical arithmetic to corrected_stamp().
   [[nodiscard]] double fast_corrected(std::uint32_t ci, TimePoint stamp) const {
     return stamp.seconds() + fast_.mean[ci];
+  }
+
+  /// The per-client constants behind fast_corrected /
+  /// fast_safe_emission_time, for callers (sessions) that cache them.
+  [[nodiscard]] double fast_mean(std::uint32_t ci) const {
+    return fast_.mean[ci];
+  }
+  [[nodiscard]] double fast_safe_offset(std::uint32_t ci) const {
+    return fast_.safe_offset[ci];
   }
 
   /// safe_emission_time() as one addition.
@@ -195,12 +225,19 @@ class PrecedingEngine {
       return static_cast<std::size_t>(x);
     }
   };
+  using PairKey = std::pair<ClientId, ClientId>;
+  struct CachedDensity {
+    std::unique_ptr<stats::GridDensity> density;
+    // Position in lru_; only maintained when the cache is bounded.
+    std::list<PairKey>::iterator lru_position;
+  };
   // Keyed (i, j) -> density of θ_j − θ_i. Mutable: a logically-const query
   // memoizes the expensive convolution. Cleared when the registry
   // generation moves on (a re-announce makes every cached density stale).
-  mutable std::unordered_map<std::pair<ClientId, ClientId>,
-                             std::unique_ptr<stats::GridDensity>, PairHash>
-      cache_;
+  // When config_.difference_cache_capacity > 0, lru_ orders the keys most-
+  // recently-used first and the map is trimmed from the back on insert.
+  mutable std::unordered_map<PairKey, CachedDensity, PairHash> cache_;
+  mutable std::list<PairKey> lru_;
   mutable std::uint64_t cache_generation_{0};
 
   // Flat constant tables for the fast path (see file header). Mutable for

@@ -1,0 +1,156 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+RangeRouter::RangeRouter(ClientId lo, ClientId hi)
+    : lo_(lo.value()),
+      span_(static_cast<std::uint64_t>(hi.value()) - lo.value() + 1) {
+  TOMMY_EXPECTS(lo <= hi);
+}
+
+std::uint32_t RangeRouter::route(ClientId client,
+                                 std::uint32_t shard_count) const {
+  TOMMY_EXPECTS(shard_count > 0);
+  const std::uint64_t id = client.value();
+  if (id < lo_) return 0;
+  const std::uint64_t offset = id - lo_;
+  if (offset >= span_) return shard_count - 1;
+  // Equal-width ranges: shard = ⌊offset · n / span⌋ < n.
+  return static_cast<std::uint32_t>(offset * shard_count / span_);
+}
+
+std::uint32_t ModuloRouter::route(ClientId client,
+                                  std::uint32_t shard_count) const {
+  TOMMY_EXPECTS(shard_count > 0);
+  return client.value() % shard_count;
+}
+
+FairOrderingService::FairOrderingService(
+    const ClientRegistry& registry, std::vector<ClientId> expected_clients,
+    ServiceConfig config)
+    : router_(std::move(config.router)) {
+  TOMMY_EXPECTS(config.shard_count > 0);
+  TOMMY_EXPECTS(!expected_clients.empty());
+
+  if (!router_) {
+    ClientId lo = expected_clients.front();
+    ClientId hi = expected_clients.front();
+    for (ClientId c : expected_clients) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    router_ = std::make_shared<RangeRouter>(lo, hi);
+  }
+
+  // One engine for every shard, primed once; its derived tables are a
+  // function of the registry alone, so every shard reads the same data.
+  auto engine = std::make_shared<PrecedingEngine>(registry,
+                                                  config.online.preceding);
+  if (!config.online.reference_mode) {
+    engine->prime(config.online.threshold, config.online.p_safe);
+  }
+  engine_ = engine;
+
+  // Static partition: route once per expected client, preserving the
+  // caller's order within each shard (so a 1-shard service sees exactly
+  // the same expected-client vector as a bare sequencer would).
+  std::vector<std::vector<ClientId>> partition(config.shard_count);
+  for (ClientId c : expected_clients) {
+    const std::uint32_t s = router_->route(c, config.shard_count);
+    TOMMY_EXPECTS(s < config.shard_count);
+    if (shard_by_client_.emplace(c, s).second) {
+      partition[s].push_back(c);
+    }
+  }
+
+  shards_.resize(config.shard_count);
+  for (std::uint32_t s = 0; s < config.shard_count; ++s) {
+    if (partition[s].empty()) continue;  // unpopulated shard
+    shards_[s] = std::make_unique<OnlineSequencer>(
+        engine_, std::move(partition[s]), config.online);
+  }
+}
+
+FairOrderingService::Session FairOrderingService::open_session(
+    ClientId client) {
+  const std::uint32_t s = shard_of(client);
+  Session session;
+  session.inner_ = shards_[s]->open_session(client);
+  session.shard_ = s;
+  return session;
+}
+
+std::uint32_t FairOrderingService::shard_of(ClientId client) const {
+  const auto it = shard_by_client_.find(client);
+  TOMMY_EXPECTS(it != shard_by_client_.end());  // unknown clients are a
+                                                // config error
+  return it->second;
+}
+
+void FairOrderingService::submit(const Message& m) {
+  shards_[shard_of(m.client)]->on_message(m);
+}
+
+void FairOrderingService::heartbeat(ClientId client, TimePoint local_stamp,
+                                    TimePoint now) {
+  shards_[shard_of(client)]->on_heartbeat(client, local_stamp, now);
+}
+
+std::size_t FairOrderingService::poll(TimePoint now, EmissionSink& sink) {
+  std::size_t emitted = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]) continue;
+    emitted += shards_[s]->poll(now, sink, s);
+  }
+  return emitted;
+}
+
+std::size_t FairOrderingService::flush(TimePoint now, EmissionSink& sink) {
+  std::size_t emitted = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]) continue;
+    emitted += shards_[s]->flush(now, sink, s);
+  }
+  return emitted;
+}
+
+TimePoint FairOrderingService::next_safe_time() const {
+  TimePoint earliest = TimePoint::infinite_future();
+  for (const auto& shard : shards_) {
+    if (shard) earliest = std::min(earliest, shard->next_safe_time());
+  }
+  return earliest;
+}
+
+std::size_t FairOrderingService::pending_count() const {
+  std::size_t pending = 0;
+  for (const auto& shard : shards_) {
+    if (shard) pending += shard->pending_count();
+  }
+  return pending;
+}
+
+std::size_t FairOrderingService::fairness_violations() const {
+  std::size_t violations = 0;
+  for (const auto& shard : shards_) {
+    if (shard) violations += shard->fairness_violations();
+  }
+  return violations;
+}
+
+const OnlineSequencer& FairOrderingService::shard(std::uint32_t index) const {
+  TOMMY_EXPECTS(has_shard(index));
+  return *shards_[index];
+}
+
+OnlineSequencer& FairOrderingService::shard(std::uint32_t index) {
+  TOMMY_EXPECTS(has_shard(index));
+  return *shards_[index];
+}
+
+}  // namespace tommy::core

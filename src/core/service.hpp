@@ -1,0 +1,228 @@
+// FairOrderingService: the multi-shard front-end over the online
+// sequencer — the service boundary scalable fair-ordering deployments
+// need (key-range sharding over a shared primed engine, per-connection
+// sessions, sink-style emission).
+//
+// Layering (see docs/architecture.md):
+//
+//   Session ──► OnlineSequencer shard ──► FairOrderingService
+//
+//  * A `KeyRouter` statically partitions the expected client set across N
+//    shards (default: contiguous client-id ranges). Routing happens once
+//    per connection at open_session; the per-message path never consults
+//    the router.
+//  * Every shard is a full OnlineSequencer over its clients only: its
+//    completeness gate waits for its own clients, its ranks are dense
+//    within the shard, and its fairness guarantees hold shard-locally.
+//    Cross-shard ordering is intentionally not arbitrated — that is the
+//    price of horizontal scale, and the router exists precisely so that
+//    keys whose relative order matters can be routed to the same shard.
+//  * All shards share ONE PrecedingEngine, primed once: the flat
+//    critical-gap/offset tables and Δθ density cache are read-mostly
+//    derived state of the registry, identical for every shard, so
+//    sharing them makes shard count a memory no-op for the engine.
+//  * Emission is sink-style: poll(now, sink) walks the shards and hands
+//    each emitted batch to the sink exactly once (rvalue, no intermediate
+//    vectors), tagged with the emitting shard's index. A callback
+//    overload adapts any `fn(EmissionRecord&&, std::uint32_t)` invocable.
+//
+// A 1-shard service is bit-identical to a bare OnlineSequencer (the
+// randomized equivalence tests assert this), so the facade costs nothing
+// when sharding is not wanted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/online_sequencer.hpp"
+
+namespace tommy::core {
+
+/// Pluggable client → shard partition. Must be pure: the service calls it
+/// once per expected client at construction and caches the assignment, so
+/// a router that answered differently per call would silently misroute.
+class KeyRouter {
+ public:
+  virtual ~KeyRouter() = default;
+  /// Shard index in [0, shard_count) for `client`.
+  [[nodiscard]] virtual std::uint32_t route(ClientId client,
+                                            std::uint32_t shard_count) const
+      = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Default router: contiguous client-id ranges. The id span [lo, hi] is
+/// split into shard_count equal-width ranges; ids outside the span clamp
+/// to the first/last shard. Keeps id-adjacent clients (which usually means
+/// topology-adjacent: same region, same rack) on the same shard.
+class RangeRouter final : public KeyRouter {
+ public:
+  /// Routes over the inclusive id span [lo, hi].
+  RangeRouter(ClientId lo, ClientId hi);
+
+  [[nodiscard]] std::uint32_t route(ClientId client,
+                                    std::uint32_t shard_count) const override;
+  [[nodiscard]] std::string name() const override { return "range"; }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t span_;  // hi − lo + 1
+};
+
+/// Alternative router for sparse or adversarially clustered id spaces:
+/// client id modulo shard count.
+class ModuloRouter final : public KeyRouter {
+ public:
+  [[nodiscard]] std::uint32_t route(ClientId client,
+                                    std::uint32_t shard_count) const override;
+  [[nodiscard]] std::string name() const override { return "modulo"; }
+};
+
+/// Builder-style service configuration.
+struct ServiceConfig {
+  /// Per-shard sequencer configuration; `online.preceding` configures the
+  /// shared engine.
+  OnlineConfig online{};
+  std::uint32_t shard_count{1};
+  /// nullptr → RangeRouter over the expected clients' id span.
+  std::shared_ptr<const KeyRouter> router{};
+
+  ServiceConfig& with_online(OnlineConfig config) {
+    online = config;
+    return *this;
+  }
+  ServiceConfig& with_shards(std::uint32_t count) {
+    shard_count = count;
+    return *this;
+  }
+  ServiceConfig& with_router(std::shared_ptr<const KeyRouter> r) {
+    router = std::move(r);
+    return *this;
+  }
+  ServiceConfig& with_threshold(double threshold) {
+    online.threshold = threshold;
+    return *this;
+  }
+  ServiceConfig& with_p_safe(double p_safe) {
+    online.p_safe = p_safe;
+    return *this;
+  }
+};
+
+/// Adapts an invocable `fn(EmissionRecord&&, std::uint32_t shard)` to the
+/// EmissionSink interface without allocation or type erasure.
+template <typename F>
+class CallbackSink final : public EmissionSink {
+ public:
+  explicit CallbackSink(F& fn) : fn_(fn) {}
+  void on_emission(EmissionRecord&& record, std::uint32_t shard) override {
+    fn_(std::move(record), shard);
+  }
+
+ private:
+  F& fn_;
+};
+
+class FairOrderingService {
+ public:
+  /// Per-connection handle bound to its client's shard at open; submit and
+  /// heartbeat forward straight to the shard sequencer's session (no
+  /// routing, no hashing per message).
+  class Session {
+   public:
+    Session() = default;
+
+    void submit(TimePoint stamp, MessageId id, TimePoint now) {
+      inner_.submit(stamp, id, now);
+    }
+    void heartbeat(TimePoint local_stamp, TimePoint now) {
+      inner_.heartbeat(local_stamp, now);
+    }
+    [[nodiscard]] ClientId client() const { return inner_.client(); }
+    [[nodiscard]] std::uint32_t shard() const { return shard_; }
+
+   private:
+    friend class FairOrderingService;
+    OnlineSequencer::Session inner_;
+    std::uint32_t shard_{0};
+  };
+
+  /// The registry must cover every expected client and outlive the
+  /// service. Shards with no routed clients are simply absent (their
+  /// index stays valid; they emit nothing).
+  FairOrderingService(const ClientRegistry& registry,
+                      std::vector<ClientId> expected_clients,
+                      ServiceConfig config = {});
+
+  FairOrderingService(const FairOrderingService&) = delete;
+  FairOrderingService& operator=(const FairOrderingService&) = delete;
+
+  /// Opens an ingest handle for `client`; the one place routing happens.
+  [[nodiscard]] Session open_session(ClientId client);
+
+  /// Routed legacy-style ingest (one hash for the shard lookup plus the
+  /// shard's own table hash). Prefer sessions on hot paths.
+  void submit(const Message& m);
+  void heartbeat(ClientId client, TimePoint local_stamp, TimePoint now);
+
+  /// Drains every shard's safe batches into `sink` (shard-tagged, rank
+  /// order within each shard; shards are visited in index order). Returns
+  /// the number of batches emitted.
+  std::size_t poll(TimePoint now, EmissionSink& sink);
+  /// Callback overload: fn(EmissionRecord&&, std::uint32_t shard).
+  /// Constrained so EmissionSink implementations always take the sink
+  /// overload above instead of being wrapped (and failing to compile)
+  /// here.
+  template <typename F>
+    requires(!std::is_base_of_v<EmissionSink, std::remove_reference_t<F>>)
+  std::size_t poll(TimePoint now, F&& fn) {
+    CallbackSink<F> sink(fn);
+    return poll(now, static_cast<EmissionSink&>(sink));
+  }
+
+  /// Shutdown drain, ignoring the emission gates (see
+  /// OnlineSequencer::flush). Returns the number of batches emitted.
+  std::size_t flush(TimePoint now, EmissionSink& sink);
+  template <typename F>
+    requires(!std::is_base_of_v<EmissionSink, std::remove_reference_t<F>>)
+  std::size_t flush(TimePoint now, F&& fn) {
+    CallbackSink<F> sink(fn);
+    return flush(now, static_cast<EmissionSink&>(sink));
+  }
+
+  /// Earliest next_safe_time across shards (infinite future when all
+  /// buffers are empty) — the next instant a poll could emit.
+  [[nodiscard]] TimePoint next_safe_time() const;
+
+  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t fairness_violations() const;
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Shard assignment of `client` (hash lookup; cold path).
+  [[nodiscard]] std::uint32_t shard_of(ClientId client) const;
+  /// Direct access to a shard's sequencer (diagnostics, tests).
+  /// Precondition: the shard exists (some client routed to it).
+  [[nodiscard]] const OnlineSequencer& shard(std::uint32_t index) const;
+  [[nodiscard]] OnlineSequencer& shard(std::uint32_t index);
+  [[nodiscard]] bool has_shard(std::uint32_t index) const {
+    return index < shards_.size() && shards_[index] != nullptr;
+  }
+
+  [[nodiscard]] const PrecedingEngine& engine() const { return *engine_; }
+  [[nodiscard]] const KeyRouter& router() const { return *router_; }
+
+ private:
+  std::shared_ptr<const KeyRouter> router_;
+  std::shared_ptr<const PrecedingEngine> engine_;
+  std::vector<std::unique_ptr<OnlineSequencer>> shards_;
+  std::unordered_map<ClientId, std::uint32_t> shard_by_client_;
+};
+
+}  // namespace tommy::core

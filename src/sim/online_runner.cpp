@@ -17,6 +17,7 @@ namespace {
 struct ClientEndpoint {
   std::unique_ptr<clock::LocalClock> local_clock;
   std::unique_ptr<net::OrderedChannel> channel;
+  core::FairOrderingService::Session session;  // per-connection handle
 };
 
 net::DelayModel make_delay(const OnlineRunConfig& config, Rng& rng) {
@@ -40,10 +41,14 @@ OnlineRunResult run_online(const Population& population,
 
   core::ClientRegistry registry;
   population.seed_registry(registry);
-  core::OnlineSequencer sequencer(registry, population.ids(),
-                                  config.sequencer);
+  core::ServiceConfig service_config;
+  service_config.with_online(config.sequencer)
+      .with_shards(config.shard_count)
+      .with_router(config.router);
+  core::FairOrderingService service(registry, population.ids(),
+                                    service_config);
 
-  // Wire one clock + FIFO channel per client.
+  // Wire one clock + FIFO channel + ingest session per client.
   std::unordered_map<ClientId, ClientEndpoint> endpoints;
   for (const ClientSpec& spec : population.clients()) {
     ClientEndpoint ep;
@@ -52,6 +57,7 @@ OnlineRunResult run_online(const Population& population,
                                                 rng.split()));
     ep.channel =
         std::make_unique<net::OrderedChannel>(sim, make_delay(config, rng));
+    ep.session = service.open_session(spec.id);
     endpoints.emplace(spec.id, std::move(ep));
   }
 
@@ -68,13 +74,9 @@ OnlineRunResult run_online(const Population& population,
     truth.emplace(id, event.true_time);
     sim.schedule_at(event.true_time, [&, id, event] {
       ClientEndpoint& ep = endpoints.at(event.client);
-      core::Message m;
-      m.id = id;
-      m.client = event.client;
-      m.stamp = ep.local_clock->read();  // T = t_true − θ
-      ep.channel->send([&, m]() mutable {
-        m.arrival = sim.now();
-        sequencer.on_message(m);
+      const TimePoint stamp = ep.local_clock->read();  // T = t_true − θ
+      ep.channel->send([&ep, &sim, id, stamp] {
+        ep.session.submit(stamp, id, sim.now());
       });
     });
   }
@@ -87,45 +89,47 @@ OnlineRunResult run_online(const Population& population,
       sim.schedule_at(t, [&, client] {
         ClientEndpoint& ep = endpoints.at(client);
         const TimePoint stamp = ep.local_clock->read();
-        ep.channel->send([&, client, stamp] {
-          sequencer.on_heartbeat(client, stamp, sim.now());
+        ep.channel->send([&ep, &sim, stamp] {
+          ep.session.heartbeat(stamp, sim.now());
         });
       });
     }
   }
 
-  // Poll loop.
+  // Poll loop, consuming batches through the emission sink.
   OnlineRunResult result;
+  auto collect = [&result](core::EmissionRecord&& record,
+                           std::uint32_t shard) {
+    result.emissions.push_back(std::move(record));
+    result.emission_shards.push_back(shard);
+  };
   for (TimePoint t = TimePoint::epoch() + config.poll_interval; t <= horizon;
        t += config.poll_interval) {
-    sim.schedule_at(t, [&] {
-      auto emissions = sequencer.poll(sim.now());
-      for (auto& e : emissions) result.emissions.push_back(std::move(e));
-    });
+    sim.schedule_at(t, [&] { service.poll(sim.now(), collect); });
   }
 
   sim.run();
   // Final drain poll after all traffic has landed.
-  for (auto& e : sequencer.poll(sim.now())) {
-    result.emissions.push_back(std::move(e));
-  }
+  service.poll(sim.now(), collect);
 
-  // Score.
+  // Score. Ranks are assigned from the global emission sequence (equal to
+  // the per-shard rank for a 1-shard service).
   std::vector<metrics::RankedMessage> ranked;
   std::vector<double> latencies;
-  for (const core::EmissionRecord& record : result.emissions) {
+  for (std::size_t r = 0; r < result.emissions.size(); ++r) {
+    const core::EmissionRecord& record = result.emissions[r];
     for (const core::Message& m : record.batch.messages) {
       const TimePoint true_time = truth.at(m.id);
       ranked.push_back(metrics::RankedMessage{m.id, m.client, true_time,
-                                              record.batch.rank});
+                                              static_cast<Rank>(r)});
       latencies.push_back((record.emitted_at - true_time).seconds());
     }
   }
   result.emitted_messages = ranked.size();
-  result.unemitted_messages = sequencer.pending_count();
+  result.unemitted_messages = service.pending_count();
   result.ras = metrics::rank_agreement(ranked);
   result.emission_latency = metrics::SummaryStats::from_samples(latencies);
-  result.fairness_violations = sequencer.fairness_violations();
+  result.fairness_violations = service.fairness_violations();
   return result;
 }
 

@@ -7,12 +7,21 @@
 // same fairness violations. This is the contract that lets the critical-
 // gap reduction and the incremental closure replace the O(n²)
 // probability sweeps on the hot path.
+//
+// The same harness also proves the redesigned ingest/emission surfaces
+// are pure re-skins of that contract: driving through per-connection
+// Session handles must be bit-identical to the legacy
+// on_message/on_heartbeat entry points, and a 1-shard FairOrderingService
+// (sessions + emission sink) must be bit-identical to a bare
+// OnlineSequencer — in fast AND reference mode.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "core/online_sequencer.hpp"
+#include "core/service.hpp"
 #include "sim/offline_runner.hpp"
 #include "stats/gaussian.hpp"
 #include "sim/population.hpp"
@@ -143,6 +152,92 @@ void expect_identical(const DriveResult& fast, const DriveResult& ref,
   }
 }
 
+/// The same deterministic schedule as drive(), but through per-connection
+/// Session handles: sessions are opened once up front and every
+/// submit/heartbeat goes through them. Byte-identical inputs, different
+/// entry surface.
+DriveResult drive_sessions(OnlineSequencer& seq, const Scenario& s) {
+  std::unordered_map<ClientId, OnlineSequencer::Session> sessions;
+  for (ClientId c : s.expected) sessions.emplace(c, seq.open_session(c));
+  DriveResult out;
+  auto append = [&](std::vector<EmissionRecord>&& recs) {
+    for (auto& r : recs) out.records.push_back(std::move(r));
+  };
+  TimePoint now(0.0);
+  std::size_t k = 0;
+  for (const Message& m : s.messages) {
+    now = std::max(now, m.arrival);
+    sessions.at(m.client).submit(m.stamp, m.id, now);
+    ++k;
+    if (k % 13 == 0) {
+      for (ClientId c : s.expected) sessions.at(c).heartbeat(now, now);
+    }
+    if (k % 7 == 0) append(seq.poll(now));
+    if (k % 29 == 0) {
+      out.next_safe_samples.push_back(seq.next_safe_time().seconds());
+      out.timeout_samples.push_back(seq.timed_out_clients(now));
+    }
+  }
+  for (ClientId c : s.expected) {
+    sessions.at(c).heartbeat(now + 1_s, now + 1_ms);
+  }
+  append(seq.poll(now + 1_s));
+  append(seq.flush(now + 2_s));
+  out.pending_after_flush = seq.pending_count();
+  out.violations = seq.fairness_violations();
+  out.final_rank = seq.next_rank();
+  return out;
+}
+
+/// drive() against a FairOrderingService: service sessions for ingest,
+/// the emission sink for output. With one shard the collected stream must
+/// be bit-identical to the bare sequencer's.
+DriveResult drive_service(FairOrderingService& service, const Scenario& s) {
+  std::unordered_map<ClientId, FairOrderingService::Session> sessions;
+  for (ClientId c : s.expected) sessions.emplace(c, service.open_session(c));
+  DriveResult out;
+  auto collect = [&out](EmissionRecord&& record, std::uint32_t) {
+    out.records.push_back(std::move(record));
+  };
+  TimePoint now(0.0);
+  std::size_t k = 0;
+  for (const Message& m : s.messages) {
+    now = std::max(now, m.arrival);
+    sessions.at(m.client).submit(m.stamp, m.id, now);
+    ++k;
+    if (k % 13 == 0) {
+      for (ClientId c : s.expected) sessions.at(c).heartbeat(now, now);
+    }
+    if (k % 7 == 0) service.poll(now, collect);
+    if (k % 29 == 0) {
+      out.next_safe_samples.push_back(service.next_safe_time().seconds());
+      // timed_out_clients has no service-level aggregate; sample the
+      // shards in index order for the same deterministic view.
+      std::vector<ClientId> timed_out;
+      for (std::uint32_t sh = 0; sh < service.shard_count(); ++sh) {
+        if (!service.has_shard(sh)) continue;
+        for (ClientId c : service.shard(sh).timed_out_clients(now)) {
+          timed_out.push_back(c);
+        }
+      }
+      out.timeout_samples.push_back(std::move(timed_out));
+    }
+  }
+  for (ClientId c : s.expected) {
+    sessions.at(c).heartbeat(now + 1_s, now + 1_ms);
+  }
+  service.poll(now + 1_s, collect);
+  service.flush(now + 2_s, collect);
+  out.pending_after_flush = service.pending_count();
+  out.violations = service.fairness_violations();
+  Rank final_rank = 0;
+  for (std::uint32_t sh = 0; sh < service.shard_count(); ++sh) {
+    if (service.has_shard(sh)) final_rank += service.shard(sh).next_rank();
+  }
+  out.final_rank = final_rank;
+  return out;
+}
+
 void run_equivalence(std::uint64_t seed, Shape shape, std::size_t clients,
                      std::size_t count, OnlineConfig config,
                      bool silent_last_client, const char* label) {
@@ -162,6 +257,31 @@ void run_equivalence(std::uint64_t seed, Shape shape, std::size_t clients,
   // Sanity: the drive actually exercised emission, not just buffering.
   EXPECT_FALSE(ref_result.records.empty());
   expect_identical(fast_result, ref_result, label);
+}
+
+/// Asserts all three ingest surfaces agree bit-for-bit in `mode`:
+/// legacy entry points, session handles, and a 1-shard service.
+void run_surface_equivalence(std::uint64_t seed, Shape shape,
+                             std::size_t clients, std::size_t count,
+                             OnlineConfig config, bool reference_mode,
+                             const char* label) {
+  const Scenario s = make_scenario(seed, shape, clients, count, false);
+  OnlineConfig mode_config = config;
+  mode_config.reference_mode = reference_mode;
+
+  OnlineSequencer legacy(s.registry, s.expected, mode_config);
+  const DriveResult legacy_result = drive(legacy, s);
+  EXPECT_FALSE(legacy_result.records.empty());
+
+  OnlineSequencer sessioned(s.registry, s.expected, mode_config);
+  const DriveResult session_result = drive_sessions(sessioned, s);
+  expect_identical(session_result, legacy_result, label);
+
+  ServiceConfig service_config;
+  service_config.with_online(mode_config).with_shards(1);
+  FairOrderingService service(s.registry, s.expected, service_config);
+  const DriveResult service_result = drive_service(service, s);
+  expect_identical(service_result, legacy_result, label);
 }
 
 TEST(OnlineEquivalence, GaussianClosedForm) {
@@ -362,6 +482,119 @@ TEST(OnlineEquivalence, NumericReannounceDropsStaleDensities) {
   const DriveResult fast_result = run(false);
   const DriveResult ref_result = run(true);
   expect_identical(fast_result, ref_result, "numeric-reannounce");
+}
+
+TEST(OnlineEquivalence, SessionAndServiceSurfacesMatchLegacyFastMode) {
+  OnlineConfig config;
+  config.threshold = 0.75;
+  config.p_safe = 0.999;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    run_surface_equivalence(seed, Shape::kGaussian, 8, 500, config,
+                            /*reference_mode=*/false, "surfaces-fast");
+  }
+}
+
+TEST(OnlineEquivalence, SessionAndServiceSurfacesMatchLegacyReferenceMode) {
+  OnlineConfig config;
+  config.threshold = 0.75;
+  config.p_safe = 0.99;
+  for (std::uint64_t seed : {11u, 29u}) {
+    run_surface_equivalence(seed, Shape::kGaussian, 6, 250, config,
+                            /*reference_mode=*/true, "surfaces-reference");
+  }
+}
+
+TEST(OnlineEquivalence, SessionSurfaceMatchesLegacyNumericPath) {
+  OnlineConfig config;
+  config.threshold = 0.7;
+  config.p_safe = 0.99;
+  config.preceding.grid_points = 256;
+  run_surface_equivalence(17u, Shape::kGumbel, 6, 300, config,
+                          /*reference_mode=*/false, "surfaces-numeric");
+}
+
+TEST(OnlineEquivalence, SessionSurfaceMatchesLegacyWithViolations) {
+  // Low p_safe forces emissions past in-flight messages, so the session
+  // path's violation accounting must match the legacy path exactly too.
+  OnlineConfig config;
+  config.threshold = 0.6;
+  config.p_safe = 0.51;
+  for (std::uint64_t seed : {1u, 2u}) {
+    run_surface_equivalence(seed, Shape::kGaussian, 8, 400, config,
+                            /*reference_mode=*/false, "surfaces-violations");
+  }
+}
+
+TEST(OnlineEquivalence, SessionSurfaceMatchesLegacyAcrossReannounce) {
+  // A mid-run re-announce must refresh the session-cached offsets through
+  // the generation counter: drive the legacy surface and the session
+  // surface over the same stream with the same mid-run re-learn and
+  // require identical emissions.
+  Rng rng(77);
+  sim::Population population = sim::gaussian_population(6, 50e-6, rng);
+  const auto events = sim::poisson_workload(population.ids(), 300, 10_us, rng);
+  const auto observed = sim::materialize_messages(
+      population, events, sim::MaterializeConfig{}, rng);
+
+  auto run = [&](bool use_sessions) {
+    ClientRegistry registry;
+    population.seed_registry(registry);
+    OnlineConfig config;
+    config.threshold = 0.75;
+    config.p_safe = 0.99;
+    OnlineSequencer seq(registry, population.ids(), config);
+    std::unordered_map<ClientId, OnlineSequencer::Session> sessions;
+    if (use_sessions) {
+      for (ClientId c : population.ids()) {
+        sessions.emplace(c, seq.open_session(c));
+      }
+    }
+    DriveResult out;
+    TimePoint now(0.0);
+    std::size_t k = 0;
+    for (const auto& om : observed) {
+      now = std::max(now, om.message.arrival);
+      if (use_sessions) {
+        sessions.at(om.message.client)
+            .submit(om.message.stamp, om.message.id, now);
+      } else {
+        Message copy = om.message;
+        copy.arrival = now;
+        seq.on_message(copy);
+      }
+      if (++k == observed.size() / 2) {
+        registry.announce(population.ids().front(),
+                          std::make_unique<stats::Gaussian>(20e-6, 120e-6));
+      }
+      if (k % 7 == 0) {
+        for (ClientId c : population.ids()) {
+          if (use_sessions) {
+            sessions.at(c).heartbeat(now, now);
+          } else {
+            seq.on_heartbeat(c, now, now);
+          }
+        }
+        for (auto& r : seq.poll(now)) out.records.push_back(std::move(r));
+      }
+    }
+    for (ClientId c : population.ids()) {
+      if (use_sessions) {
+        sessions.at(c).heartbeat(now + 1_s, now + 1_ms);
+      } else {
+        seq.on_heartbeat(c, now + 1_s, now + 1_ms);
+      }
+    }
+    for (auto& r : seq.poll(now + 1_s)) out.records.push_back(std::move(r));
+    for (auto& r : seq.flush(now + 2_s)) out.records.push_back(std::move(r));
+    out.violations = seq.fairness_violations();
+    out.final_rank = seq.next_rank();
+    out.pending_after_flush = seq.pending_count();
+    return out;
+  };
+
+  const DriveResult session_result = run(true);
+  const DriveResult legacy_result = run(false);
+  expect_identical(session_result, legacy_result, "session-reannounce");
 }
 
 TEST(OnlineEquivalence, DuplicateExpectedClientsCollapse) {
