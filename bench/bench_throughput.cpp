@@ -1,10 +1,16 @@
 // Sequencer throughput: offline sequencing cost on the Gaussian fast path
 // versus the general tournament path, the baselines, and the online
-// ingest cost across its three surfaces — the legacy on_message entry
-// point (one hash per message), the Session handle (hash-free), and the
-// sharded FairOrderingService (sessions + sink emission, 1/2/4 shards).
+// ingest cost across its surfaces — the legacy on_message entry point
+// (one hash per message), the Session handle (hash-free), batched
+// session submits, and the sharded FairOrderingService (sessions + sink
+// emission, 1/2/4 shards) in both execution modes: inline (third arg 0)
+// and per-shard worker threads fed by SPSC rings (third arg 1, where
+// shard count buys real parallel ingest+closure on a multi-core host).
 #include <benchmark/benchmark.h>
 
+#include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baselines.hpp"
@@ -183,23 +189,99 @@ BENCHMARK(BM_SessionIngestAndPoll)
     ->Arg(16384)
     ->Arg(65536);
 
+void BM_SessionChunkedReplay(benchmark::State& state) {
+  // The queue-drain ingest shape (what the service's shard workers do
+  // with their SPSC rings): messages regrouped into per-session runs of
+  // up to 64, applied run by run. range(1) selects the application
+  // surface over the IDENTICAL run sequence — 0: a submit_relaxed call
+  // per message; 1: one submit_batch_relaxed per run, which hoists the
+  // re-prime check, the generation compare and the completeness-gate
+  // maintenance out of the per-message loop. The delta between the two
+  // is the pure per-call overhead the batched surface amortizes.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  Workbench bench(50, count, Rng(5));
+
+  // Pre-chunk the arrival-ordered stream into per-client runs.
+  std::vector<std::pair<std::size_t, std::vector<core::Submission>>> runs;
+  {
+    TimePoint now(0.0);
+    std::vector<std::vector<core::Submission>> pending(
+        bench.population.size());
+    std::size_t buffered = 0;
+    auto cut = [&] {
+      for (std::size_t c = 0; c < pending.size(); ++c) {
+        if (pending[c].empty()) continue;
+        runs.emplace_back(c, std::move(pending[c]));
+        pending[c] = {};
+      }
+      buffered = 0;
+    };
+    for (const core::Message& m : bench.messages) {
+      now = std::max(now, m.arrival);
+      pending[m.client.value()].push_back(
+          core::Submission{m.stamp, m.id, now});
+      if (++buffered == 64) cut();
+    }
+    cut();
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::OnlineConfig config;
+    config.p_safe = 0.999;
+    core::OnlineSequencer seq(bench.registry, bench.population.ids(), config);
+    std::vector<core::OnlineSequencer::Session> sessions;
+    sessions.reserve(bench.population.size());
+    for (ClientId c : bench.population.ids()) {
+      sessions.push_back(seq.open_session(c));
+    }
+    state.ResumeTiming();
+
+    TimePoint now(0.0);
+    for (const auto& [c, items] : runs) {
+      if (batched) {
+        sessions[c].submit_batch_relaxed(items);
+      } else {
+        for (const core::Submission& item : items) {
+          sessions[c].submit_relaxed(item.stamp, item.id, item.arrival);
+        }
+      }
+      now = std::max(now, items.back().arrival);
+    }
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    benchmark::DoNotOptimize(seq.poll(now + 1_s));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SessionChunkedReplay)
+    ->ArgsProduct({{4096, 16384, 65536}, {0, 1}});
+
 void BM_ServiceIngestAndPoll(benchmark::State& state) {
   // The full service surface: burst ingest through sessions into a
   // range-sharded FairOrderingService, drained through the emission sink
-  // (no intermediate vectors). range(0) = messages, range(1) = shards.
+  // (no intermediate vectors). range(0) = messages, range(1) = shards,
+  // range(2) = 1 for the threaded execution engine (per-shard workers +
+  // SPSC ingest rings; the producer enqueues while the workers run the
+  // buffer insert and incremental closure in parallel — the poll at the
+  // end synchronizes, so the timed region covers full completion).
   const auto count = static_cast<std::size_t>(state.range(0));
   const auto shards = static_cast<std::uint32_t>(state.range(1));
+  const bool threaded = state.range(2) != 0;
   Workbench bench(50, count, Rng(5));
   for (auto _ : state) {
     state.PauseTiming();
     core::ServiceConfig config;
-    config.with_p_safe(0.999).with_shards(shards);
-    core::FairOrderingService service(bench.registry, bench.population.ids(),
-                                      config);
+    config.with_p_safe(0.999).with_shards(shards).with_worker_threads(
+        threaded);
+    std::optional<core::FairOrderingService> service;
+    service.emplace(bench.registry, bench.population.ids(), config);
     std::vector<core::FairOrderingService::Session> sessions;
     sessions.reserve(bench.population.size());
     for (ClientId c : bench.population.ids()) {
-      sessions.push_back(service.open_session(c));
+      sessions.push_back(service->open_session(c));
     }
     state.ResumeTiming();
 
@@ -212,32 +294,44 @@ void BM_ServiceIngestAndPoll(benchmark::State& state) {
       session.heartbeat(now + 10_s, now + 1_ms);
     }
     std::size_t emitted = 0;
-    service.poll(now + 1_s, [&](core::EmissionRecord&& record,
-                                std::uint32_t) { emitted += record.batch.messages.size(); });
+    service->poll(now + 1_s, [&](core::EmissionRecord&& record,
+                                 std::uint32_t) { emitted += record.batch.messages.size(); });
     benchmark::DoNotOptimize(emitted);
+
+    // Teardown (worker stop + joins in threaded mode) outside the timed
+    // region, or shard scaling would be biased by per-iteration joins.
+    state.PauseTiming();
+    service.reset();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+// Real time, not producer CPU time: with worker threads the producer's
+// CPU column only covers the enqueue side, while the poll barrier makes
+// wall clock cover full completion — the honest scaling metric.
 BENCHMARK(BM_ServiceIngestAndPoll)
-    ->ArgsProduct({{4096, 16384, 65536}, {1, 2, 4}});
+    ->ArgsProduct({{4096, 16384, 65536}, {1, 2, 4}, {0, 1}})
+    ->UseRealTime();
 
 void BM_ServiceSteadyStateDrain(benchmark::State& state) {
   // Steady-state service shape: interleaved sessions ingest, heartbeats,
   // frequent sink polls; multi-shard buffers stay at emission-lag depth.
-  // range(0) = messages, range(1) = shards.
+  // range(0) = messages, range(1) = shards, range(2) = threaded engine.
   const auto count = static_cast<std::size_t>(state.range(0));
   const auto shards = static_cast<std::uint32_t>(state.range(1));
+  const bool threaded = state.range(2) != 0;
   Workbench bench(50, count, Rng(7));
   for (auto _ : state) {
     state.PauseTiming();
     core::ServiceConfig config;
-    config.with_p_safe(0.999).with_shards(shards);
-    core::FairOrderingService service(bench.registry, bench.population.ids(),
-                                      config);
+    config.with_p_safe(0.999).with_shards(shards).with_worker_threads(
+        threaded);
+    std::optional<core::FairOrderingService> service;
+    service.emplace(bench.registry, bench.population.ids(), config);
     std::vector<core::FairOrderingService::Session> sessions;
     sessions.reserve(bench.population.size());
     for (ClientId c : bench.population.ids()) {
-      sessions.push_back(service.open_session(c));
+      sessions.push_back(service->open_session(c));
     }
     state.ResumeTiming();
 
@@ -254,19 +348,45 @@ void BM_ServiceSteadyStateDrain(benchmark::State& state) {
       if (k % 256 == 0) {
         for (auto& session : sessions) session.heartbeat(now, now);
       }
-      if (k % 64 == 0) service.poll(now, sink);
+      if (k % 64 == 0) service->poll(now, sink);
     }
     for (auto& session : sessions) {
       session.heartbeat(now + 10_s, now + 1_ms);
     }
-    service.poll(now + 1_s, sink);
+    service->poll(now + 1_s, sink);
     benchmark::DoNotOptimize(emitted);
+
+    state.PauseTiming();  // teardown (worker joins) outside the clock
+    service.reset();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ServiceSteadyStateDrain)
-    ->ArgsProduct({{4096, 65536}, {1, 2, 4}});
+    ->ArgsProduct({{4096, 65536}, {1, 2, 4}, {0, 1}})
+    ->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef TOMMY_BUILD_TYPE
+#define TOMMY_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  // Provenance for the tracked BENCH_throughput.json: the library's build
+  // type (the stock "library_build_type" context reflects how
+  // libbenchmark itself was compiled, not this code) and the thread/shard
+  // grid the service benchmarks sweep.
+  benchmark::AddCustomContext("tommy_build_type", TOMMY_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("service_shard_configs", "1,2,4");
+  benchmark::AddCustomContext("service_worker_modes",
+                              "0=inline,1=per-shard worker threads");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

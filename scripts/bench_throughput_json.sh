@@ -2,11 +2,19 @@
 # Runs the throughput benchmark suite with JSON output so the perf
 # trajectory is tracked PR over PR.
 #
+# The tracked artifact must come from a Release build: the script checks
+# the build tree's CMAKE_BUILD_TYPE (configuring one if needed) and
+# refuses to run from anything else. The bench binary itself stamps the
+# JSON context with tommy_build_type, hardware_threads and the
+# thread/shard grid the service benchmarks sweep.
+#
 # Usage:
 #   scripts/bench_throughput_json.sh [output.json]
 #
 # Environment:
-#   BUILD_DIR     build tree holding bench_throughput (default: ./build)
+#   BUILD_DIR     build tree holding bench_throughput (default: ./build).
+#                 Created/reconfigured as Release if missing or not
+#                 Release.
 #   BENCH_FILTER  optional --benchmark_filter regex (e.g. 'BM_Online.*')
 #   BENCH_SMOKE   1 = small-size smoke run (CI): only the smallest size
 #                 of every series, minimal repetition time. Keeps the
@@ -20,17 +28,28 @@ OUT="${1:-$ROOT/BENCH_throughput.json}"
 FILTER="${BENCH_FILTER:-}"
 SMOKE="${BENCH_SMOKE:-0}"
 
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+if [[ "$(build_type)" != "Release" ]]; then
+  echo "configuring $BUILD_DIR as Release (found: '$(build_type)')" >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target bench_throughput -j "$(nproc)"
+
 if [[ ! -x "$BUILD_DIR/bench_throughput" ]]; then
-  echo "error: $BUILD_DIR/bench_throughput not built." >&2
-  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  echo "error: $BUILD_DIR/bench_throughput not built (is google-benchmark" \
+       "installed?)." >&2
   exit 1
 fi
 
 EXTRA_ARGS=()
 if [[ "$SMOKE" == "1" ]]; then
   # Smallest arg of each single-size series, plus the smallest message
-  # count of every multi-shard series (all shard counts).
-  FILTER="${FILTER:-/(64|256|1024|4096/[124])$}"
+  # count of every multi-shard / worker-mode series.
+  FILTER="${FILTER:-/(64|256|1024)\$|/4096(/[0-9]+)*(/real_time)?\$}"
   # Plain-double form: accepted by every google-benchmark (the "0.05s"
   # suffix form only exists from 1.8 on).
   EXTRA_ARGS+=(--benchmark_min_time=0.05)

@@ -1,0 +1,120 @@
+// Bounded single-producer/single-consumer ring buffer — the ingest lane
+// between a FairOrderingService session (producer: the caller's thread)
+// and its shard's worker thread (consumer).
+//
+// Classic Lamport queue with two refinements that matter at ingest rates:
+//
+//  * head and tail live on their own cache lines, so the producer's tail
+//    stores never invalidate the consumer's head line and vice versa
+//    (no false sharing on the index pair);
+//  * each side keeps a *cached* copy of the opposite index and only
+//    re-reads the shared atomic when the cached value makes the ring look
+//    full (producer) or empty (consumer). In steady state a push is one
+//    relaxed load, one store, one release store — no cross-core traffic
+//    beyond the slot itself.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// tail_; the consumer's acquire load of tail_ therefore observes the
+// fully-constructed element (and everything the producer did before the
+// push — the service's poll/flush commands rely on exactly this
+// happens-before edge). Symmetrically head_ is released by the consumer
+// and acquired by the producer so slots are reused only after the value
+// was moved out.
+//
+// Contract: exactly one thread calls try_push, exactly one thread calls
+// try_pop, for the lifetime of the ring. size()/empty() are approximate
+// when called from any other thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tommy {
+
+/// Destructive-interference granularity for the index padding. A fixed 64
+/// (true for every mainstream x86/ARM core) instead of
+/// std::hardware_destructive_interference_size, whose value shifts with
+/// -mtune and triggers -Winterference-size ABI warnings in headers.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (index masking instead of
+  /// modulo); the ring holds exactly that many elements.
+  explicit SpscRing(std::size_t capacity) {
+    TOMMY_EXPECTS(capacity > 0);
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (value untouched).
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {  // looks full: refresh the cache
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty (out untouched).
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {  // looks empty: refresh the cache
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Pops up to `max` elements into `out` (appending). Returns the count.
+  /// Consumer side; one acquire of tail_ amortized over the whole run.
+  std::size_t pop_bulk(std::vector<T>& out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t available = cached_tail_ - head;
+    if (available == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      available = cached_tail_ - head;
+      if (available == 0) return 0;
+    }
+    const std::size_t n = available < max ? available : max;
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(std::move(slots_[(head + k) & mask_]));
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate unless called from the consumer thread.
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::size_t mask_{0};
+  std::vector<T> slots_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};  // consumer
+  alignas(kCacheLineSize) std::size_t cached_tail_{0};        // consumer's
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};  // producer
+  alignas(kCacheLineSize) std::size_t cached_head_{0};        // producer's
+};
+
+}  // namespace tommy

@@ -10,16 +10,16 @@ namespace tommy::core {
 namespace {
 
 /// Valid boundary positions (in 1..n−1) under the closure rule: position e
-/// is a boundary candidate iff no pair (i < e <= j) has p(i, j) <=
-/// threshold. Computed with a difference array over "blocking" intervals.
+/// is a boundary candidate iff no pair (i < e <= j) is uncertain (fails
+/// the confidence predicate). Computed with a difference array over
+/// "blocking" intervals.
 std::vector<bool> closure_boundaries(const std::vector<Message>& ordered,
-                                     const PairProbabilityFn& probability,
-                                     double threshold) {
+                                     const PairConfidenceFn& confident) {
   const std::size_t n = ordered.size();
   std::vector<int> cover(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (probability(ordered[i], ordered[j]) <= threshold) {
+      if (!confident(ordered[i], ordered[j])) {
         // This uncertain pair blocks every boundary e with i < e <= j.
         ++cover[i + 1];
         --cover[j + 1];
@@ -54,29 +54,38 @@ std::vector<Batch> cut_at(std::vector<Message> ordered,
 
 }  // namespace
 
-std::vector<Batch> batch_by_threshold(std::vector<Message> ordered,
-                                      const PairProbabilityFn& probability,
-                                      double threshold, BatchRule rule) {
-  TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+std::vector<Batch> batch_by_confidence(std::vector<Message> ordered,
+                                       const PairConfidenceFn& confident,
+                                       BatchRule rule) {
   if (ordered.empty()) return {};
 
   const std::size_t n = ordered.size();
   std::vector<bool> boundary(n, false);
   if (rule == BatchRule::kAdjacent) {
     for (std::size_t k = 1; k < n; ++k) {
-      boundary[k] = probability(ordered[k - 1], ordered[k]) > threshold;
+      boundary[k] = confident(ordered[k - 1], ordered[k]);
     }
   } else {
-    boundary = closure_boundaries(ordered, probability, threshold);
+    boundary = closure_boundaries(ordered, confident);
   }
   return cut_at(std::move(ordered), boundary);
 }
 
-std::vector<Batch> batch_groups_by_threshold(
-    std::vector<std::vector<Message>> ordered_groups,
-    const PairProbabilityFn& probability, double threshold) {
+std::vector<Batch> batch_by_threshold(std::vector<Message> ordered,
+                                      const PairProbabilityFn& probability,
+                                      double threshold, BatchRule rule) {
   TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+  return batch_by_confidence(
+      std::move(ordered),
+      [&probability, threshold](const Message& a, const Message& b) {
+        return probability(a, b) > threshold;
+      },
+      rule);
+}
 
+std::vector<Batch> batch_groups_by_confidence(
+    std::vector<std::vector<Message>> ordered_groups,
+    const PairConfidenceFn& confident) {
   std::vector<Batch> batches;
   Batch current;
   current.rank = 0;
@@ -84,8 +93,7 @@ std::vector<Batch> batch_groups_by_threshold(
 
   for (auto& group : ordered_groups) {
     TOMMY_EXPECTS(!group.empty());
-    if (have_any &&
-        probability(current.messages.back(), group.front()) > threshold) {
+    if (have_any && confident(current.messages.back(), group.front())) {
       batches.push_back(std::move(current));
       current = Batch{};
       current.rank = batches.size();
@@ -95,6 +103,17 @@ std::vector<Batch> batch_groups_by_threshold(
   }
   if (have_any) batches.push_back(std::move(current));
   return batches;
+}
+
+std::vector<Batch> batch_groups_by_threshold(
+    std::vector<std::vector<Message>> ordered_groups,
+    const PairProbabilityFn& probability, double threshold) {
+  TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
+  return batch_groups_by_confidence(
+      std::move(ordered_groups),
+      [&probability, threshold](const Message& a, const Message& b) {
+        return probability(a, b) > threshold;
+      });
 }
 
 double min_cross_batch_probability(const std::vector<Batch>& batches,

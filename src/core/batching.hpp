@@ -15,6 +15,15 @@ namespace tommy::core {
 using PairProbabilityFn =
     std::function<double(const Message&, const Message&)>;
 
+/// The predicate form of the boundary question: "does a precede b with
+/// probability above the threshold?". Batching never needs the
+/// probability itself, only this answer — which the primed
+/// PrecedingEngine reduces to one subtraction and one compare against a
+/// per-client-pair critical gap (see preceding.hpp). Callers that do hold
+/// raw probabilities wrap them as `p(a, b) > threshold`.
+using PairConfidenceFn =
+    std::function<bool(const Message&, const Message&)>;
+
 /// How batch boundaries are decided along the linear order.
 enum class BatchRule {
   /// §3.4 / Appendix B: boundary between adjacent messages i, j iff
@@ -39,6 +48,13 @@ enum class BatchRule {
     std::vector<Message> ordered, const PairProbabilityFn& probability,
     double threshold, BatchRule rule = BatchRule::kAdjacent);
 
+/// Predicate form: `confident(a, b)` answers p(a, b) > threshold directly
+/// (no probability materialized). The probability overload above is this
+/// one with the wrapped comparison.
+[[nodiscard]] std::vector<Batch> batch_by_confidence(
+    std::vector<Message> ordered, const PairConfidenceFn& confident,
+    BatchRule rule = BatchRule::kAdjacent);
+
 /// Like batch_by_threshold but with pre-grouped messages that must never
 /// be split (the SCC-condensation cycle policy): boundaries are only
 /// considered between consecutive groups, judged on the boundary pair
@@ -46,6 +62,11 @@ enum class BatchRule {
 [[nodiscard]] std::vector<Batch> batch_groups_by_threshold(
     std::vector<std::vector<Message>> ordered_groups,
     const PairProbabilityFn& probability, double threshold);
+
+/// Predicate form of batch_groups_by_threshold.
+[[nodiscard]] std::vector<Batch> batch_groups_by_confidence(
+    std::vector<std::vector<Message>> ordered_groups,
+    const PairConfidenceFn& confident);
 
 /// Diagnostic: the minimum preceding probability across any pair that the
 /// batching claims to order (u in an earlier batch, v in a later batch).

@@ -10,6 +10,7 @@ namespace tommy::core {
 namespace {
 
 constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kNotInHeap = std::numeric_limits<std::uint32_t>::max();
 
 /// Adapts the vector-returning poll/flush overloads onto the sink drain.
 class VectorSink final : public EmissionSink {
@@ -81,6 +82,9 @@ void OnlineSequencer::init_expected_clients() {
   if (!config_.reference_mode) {
     engine_.prime(config_.threshold, config_.p_safe);
   }
+  unheard_count_ = clients_.size();
+  heap_.reserve(clients_.size());
+  heap_pos_.assign(clients_.size(), kNotInHeap);
   session_table_.reserve(clients_.size());
   for (const ClientState& state : clients_) {
     Session session;
@@ -122,7 +126,25 @@ OnlineSequencer::Session OnlineSequencer::open_session(ClientId client) {
 void OnlineSequencer::Session::submit(TimePoint stamp, MessageId id,
                                       TimePoint now) {
   TOMMY_EXPECTS(sequencer_ != nullptr);
-  sequencer_->session_submit(*this, stamp, id, now);
+  sequencer_->session_submit(*this, stamp, id, now, /*relaxed=*/false);
+}
+
+void OnlineSequencer::Session::submit_relaxed(TimePoint stamp, MessageId id,
+                                              TimePoint now) {
+  TOMMY_EXPECTS(sequencer_ != nullptr);
+  sequencer_->session_submit(*this, stamp, id, now, /*relaxed=*/true);
+}
+
+void OnlineSequencer::Session::submit_batch(
+    std::span<const Submission> items) {
+  TOMMY_EXPECTS(sequencer_ != nullptr);
+  sequencer_->session_submit_batch(*this, items, /*relaxed=*/false);
+}
+
+void OnlineSequencer::Session::submit_batch_relaxed(
+    std::span<const Submission> items) {
+  TOMMY_EXPECTS(sequencer_ != nullptr);
+  sequencer_->session_submit_batch(*this, items, /*relaxed=*/true);
 }
 
 void OnlineSequencer::Session::heartbeat(TimePoint local_stamp,
@@ -131,11 +153,37 @@ void OnlineSequencer::Session::heartbeat(TimePoint local_stamp,
   sequencer_->session_heartbeat(*this, local_stamp, now);
 }
 
+void OnlineSequencer::touch_client(ClientState& state) {
+  if (!state.heard) {
+    state.heard = true;
+    TOMMY_ASSERT(unheard_count_ > 0);
+    --unheard_count_;
+  }
+  if (config_.reference_mode) return;
+  const TimePoint frontier =
+      engine_.fast_completeness_frontier(state.cindex, state.high_water);
+  const auto slot = static_cast<std::uint32_t>(&state - clients_.data());
+  if (heap_pos_[slot] == kNotInHeap) {
+    // First word from this client, or its re-entry into the gate after a
+    // silence-timeout removal.
+    state.frontier = frontier;
+    heap_insert(slot);
+  } else if (frontier > state.frontier) {
+    // High water advanced: the frontier only grows, so the node can only
+    // move away from the root.
+    state.frontier = frontier;
+    heap_sift_down(heap_pos_[slot]);
+  }
+}
+
 void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
-                                     MessageId id, TimePoint now) {
+                                     MessageId id, TimePoint now,
+                                     bool relaxed) {
   maybe_reprime();
-  TOMMY_EXPECTS(now >= last_arrival_);  // FIFO delivery contract
-  last_arrival_ = now;
+  if (!relaxed) {
+    TOMMY_EXPECTS(now >= last_arrival_);  // FIFO delivery contract
+  }
+  last_arrival_ = std::max(last_arrival_, now);
   if (!config_.reference_mode &&
       session.generation_ != registry_.generation()) {
     refresh_session(session);
@@ -144,7 +192,7 @@ void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
   ClientState& state = clients_[session.slot_];
   state.high_water = std::max(state.high_water, stamp);
   state.last_heard = std::max(state.last_heard, now);
-  state.heard = true;
+  touch_client(state);
 
   Buffered entry;
   entry.msg = Message{id, session.client_, stamp, now};
@@ -161,18 +209,55 @@ void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
   ingest(std::move(entry));
 }
 
+void OnlineSequencer::session_submit_batch(Session& session,
+                                           std::span<const Submission> items,
+                                           bool relaxed) {
+  if (items.empty()) return;
+  maybe_reprime();
+  if (!config_.reference_mode &&
+      session.generation_ != registry_.generation()) {
+    refresh_session(session);
+  }
+
+  ClientState& state = clients_[session.slot_];
+  for (const Submission& item : items) {
+    if (!relaxed) {
+      TOMMY_EXPECTS(item.arrival >= last_arrival_);  // FIFO contract
+    }
+    last_arrival_ = std::max(last_arrival_, item.arrival);
+    state.high_water = std::max(state.high_water, item.stamp);
+    state.last_heard = std::max(state.last_heard, item.arrival);
+
+    Buffered entry;
+    entry.msg = Message{item.id, session.client_, item.stamp, item.arrival};
+    entry.cindex = session.cindex_;
+    if (config_.reference_mode) {
+      entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
+      entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+    } else {
+      entry.corrected = item.stamp.seconds() + session.mean_offset_;
+      entry.safe_time = item.stamp + Duration(session.safe_offset_);
+    }
+    ingest(std::move(entry));
+  }
+  // One completeness-state fix-up for the whole batch: gate checks only
+  // run at polls, so the intermediate per-item states are unobservable.
+  touch_client(state);
+}
+
 void OnlineSequencer::session_heartbeat(Session& session,
                                         TimePoint local_stamp, TimePoint now) {
   maybe_reprime();
   ClientState& state = clients_[session.slot_];
   state.high_water = std::max(state.high_water, local_stamp);
   state.last_heard = std::max(state.last_heard, now);
-  state.heard = true;
+  touch_client(state);
 }
 
 void OnlineSequencer::on_message(const Message& m) {
   // Thin wrapper: route through the internal session table (one hash).
-  session_submit(session_table_[slot_of(m.client)], m.stamp, m.id, m.arrival);
+  session_submit(session_table_[slot_of(m.client)], m.stamp, m.id, m.arrival,
+                 /*relaxed=*/false);
 }
 
 void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
@@ -205,6 +290,16 @@ void OnlineSequencer::maybe_reprime() {
   // registry generation counter.
   for (Buffered& entry : buffer_) refresh_entry(entry);
   for (Buffered& entry : last_emitted_) refresh_entry(entry);
+  // The frontier offsets moved too: recompute every heard client's cached
+  // frontier and rebuild the gate heap over all heard clients (clients
+  // previously dropped by the silence timeout re-enter here; the next
+  // gate check re-drops whoever is still silent).
+  for (ClientState& state : clients_) {
+    if (!state.heard) continue;
+    state.frontier =
+        engine_.fast_completeness_frontier(state.cindex, state.high_water);
+  }
+  heap_rebuild();
   buffer_sorted_ = std::is_sorted(
       buffer_.begin(), buffer_.end(),
       [](const Buffered& lhs, const Buffered& rhs) {
@@ -360,8 +455,90 @@ TimePoint OnlineSequencer::safe_time_for_naive(std::size_t batch_size) const {
   return t_b;
 }
 
-bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
-                                             TimePoint now) const {
+// ── Completeness min-frontier heap ──────────────────────────────────────
+//
+// The gate question "does every gate-active client's frontier clear T_b"
+// is a minimum query: min over active clients of (hw_c + Q_c(1 − p_safe))
+// >= T_b. The heap keeps that minimum at the root so an emission attempt
+// costs O(1) instead of a scan over every expected client; frontier
+// advances are O(log n) sift-downs (the frontier is monotone per client
+// between re-primes).
+//
+// The silence timeout is the subtle part: exclusion from the gate is a
+// function of the query's `now`, not of any ingest event. Timed-out roots
+// are REMOVED during the check and re-inserted by the client's next
+// message/heartbeat (touch_client). That removal is only sound while gate
+// queries move forward in time — a client silent at `now` is silent at
+// every later `now` until it speaks again, and speaking re-inserts it.
+// Queries that travel backwards (nothing forbids poll(5) after poll(7))
+// take the exact O(n) scan over the cached frontiers instead, so the heap
+// never serves a query its removals could have corrupted.
+
+void OnlineSequencer::heap_sift_up(std::size_t pos) const {
+  const std::uint32_t slot = heap_[pos];
+  const TimePoint key = clients_[slot].frontier;
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (clients_[heap_[parent]].frontier <= key) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos]] = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<std::uint32_t>(pos);
+}
+
+void OnlineSequencer::heap_sift_down(std::size_t pos) const {
+  const std::size_t n = heap_.size();
+  const std::uint32_t slot = heap_[pos];
+  const TimePoint key = clients_[slot].frontier;
+  while (true) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        clients_[heap_[child + 1]].frontier < clients_[heap_[child]].frontier) {
+      ++child;
+    }
+    if (key <= clients_[heap_[child]].frontier) break;
+    heap_[pos] = heap_[child];
+    heap_pos_[heap_[pos]] = static_cast<std::uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<std::uint32_t>(pos);
+}
+
+void OnlineSequencer::heap_insert(std::uint32_t slot) const {
+  TOMMY_ASSERT(heap_pos_[slot] == kNotInHeap);
+  heap_.push_back(slot);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void OnlineSequencer::heap_remove_top() const {
+  TOMMY_ASSERT(!heap_.empty());
+  heap_pos_[heap_.front()] = kNotInHeap;
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    heap_pos_[last] = 0;
+    heap_sift_down(0);
+  }
+}
+
+void OnlineSequencer::heap_rebuild() const {
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), kNotInHeap);
+  for (std::uint32_t slot = 0; slot < clients_.size(); ++slot) {
+    if (!clients_[slot].heard) continue;
+    heap_.push_back(slot);
+    heap_pos_[slot] = static_cast<std::uint32_t>(heap_.size() - 1);
+  }
+  for (std::size_t pos = heap_.size() / 2; pos-- > 0;) heap_sift_down(pos);
+}
+
+bool OnlineSequencer::completeness_scan(TimePoint t_b, TimePoint now) const {
+  // Reference semantics over the cached fast-mode frontiers.
   for (const ClientState& state : clients_) {
     const bool timed_out =
         config_.client_silence_timeout.is_finite() &&
@@ -369,10 +546,28 @@ bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
          now - state.last_heard > config_.client_silence_timeout);
     if (timed_out) continue;  // liveness guard: drop from the gate
     if (!state.heard) return false;
-    const TimePoint frontier =
-        engine_.fast_completeness_frontier(state.cindex, state.high_water);
-    if (frontier < t_b) return false;
+    if (state.frontier < t_b) return false;
   }
+  return true;
+}
+
+bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
+                                             TimePoint now) const {
+  const bool finite_timeout = config_.client_silence_timeout.is_finite();
+  if (!finite_timeout && unheard_count_ > 0) return false;
+  if (now < last_gate_now_) return completeness_scan(t_b, now);
+  last_gate_now_ = now;
+  while (!heap_.empty()) {
+    const ClientState& state = clients_[heap_.front()];
+    if (finite_timeout &&
+        now - state.last_heard > config_.client_silence_timeout) {
+      heap_remove_top();  // silent: drop from the gate until it speaks
+      continue;
+    }
+    return state.frontier >= t_b;  // the root IS the minimum frontier
+  }
+  // Every heard client is currently dropped by the timeout (and, with a
+  // finite timeout, unheard clients never gate): nothing blocks.
   return true;
 }
 

@@ -61,6 +61,16 @@
 // window) instead of the naive O(n²) sweep, and the deque buffer makes
 // head emission O(batch) instead of an O(n) front erase.
 //
+// The completeness gate (Q2) is a min-frontier heap rather than a scan:
+// every heard, gate-active client keeps one node keyed by its cached
+// frontier hw_c + Q_c(1 − p_safe), so an emission attempt peeks the root
+// (the minimum frontier) in O(1) and each high-water advance is an
+// O(log n) sift. Clients dropped by the silence timeout are removed at
+// the gate check and re-enter with their next message/heartbeat; because
+// that removal is only valid for forward-moving gate queries, a query
+// earlier than the latest one falls back to an exact scan over the
+// cached frontiers (see completeness_satisfied).
+//
 // `OnlineConfig::reference_mode` retains the naive implementation —
 // from-scratch O(n²) closure per poll, per-query probability evaluation —
 // as the semantic reference; the randomized equivalence tests assert the
@@ -73,6 +83,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/batching.hpp"
@@ -101,6 +112,14 @@ struct OnlineConfig {
   /// own engine (the registry constructor). The shared-engine constructor
   /// uses the engine's existing configuration instead.
   PrecedingConfig preceding{};
+};
+
+/// One element of a batched ingest (Session::submit_batch): the same
+/// (stamp, id, arrival) triple submit() takes, as data.
+struct Submission {
+  TimePoint stamp;   // client's local clock at generation
+  MessageId id;
+  TimePoint arrival; // sequencer clock at receipt (the `now` of submit)
 };
 
 /// One emitted batch plus emission metadata.
@@ -139,6 +158,27 @@ class OnlineSequencer {
     /// non-decreasing across the owning sequencer's ingests (FIFO
     /// channels deliver in order).
     void submit(TimePoint stamp, MessageId id, TimePoint now);
+
+    /// Batched submit: equivalent to calling submit(item...) for every
+    /// element in order, but the per-call overhead (re-prime check,
+    /// generation compare, completeness-state maintenance) is paid once
+    /// per batch instead of once per message. Arrivals must be
+    /// non-decreasing within the span and respect the sequencer-wide
+    /// FIFO contract like submit().
+    void submit_batch(std::span<const Submission> items);
+
+    /// Like submit/submit_batch but exempt from the cross-session FIFO
+    /// arrival check: `now` may be out of order w.r.t. OTHER sessions'
+    /// ingests (the sequencer tracks max arrival instead of asserting
+    /// monotonicity). For consumers that drain several per-session FIFO
+    /// queues in arbitrary order — the FairOrderingService shard workers
+    /// do exactly this. Emissions are unaffected: between two polls the
+    /// buffer contents, completeness state and violation counts are
+    /// ingest-order-independent (the buffer orders by corrected stamp,
+    /// gate state is max-merged, violations compare each entry against
+    /// the already-emitted set only).
+    void submit_relaxed(TimePoint stamp, MessageId id, TimePoint now);
+    void submit_batch_relaxed(std::span<const Submission> items);
 
     /// Ingests a heartbeat carrying the client's local `local_stamp`.
     void heartbeat(TimePoint local_stamp, TimePoint now);
@@ -248,6 +288,9 @@ class OnlineSequencer {
     std::uint32_t cindex{0};
     TimePoint high_water{TimePoint(-std::numeric_limits<double>::infinity())};
     TimePoint last_heard{TimePoint(-std::numeric_limits<double>::infinity())};
+    /// Cached completeness frontier hw + Q(1 − p_safe) (fast mode only;
+    /// refreshed on every high-water advance and on re-prime).
+    TimePoint frontier{TimePoint(-std::numeric_limits<double>::infinity())};
     bool heard{false};
   };
 
@@ -260,11 +303,19 @@ class OnlineSequencer {
   /// flat tables (fast mode) and stamps it with the current registry
   /// generation.
   void refresh_session(Session& session) const;
-  /// The session-table ingest core both entry surfaces share.
+  /// The session-table ingest core every entry surface shares. `relaxed`
+  /// skips the cross-session FIFO arrival assertion (see
+  /// Session::submit_relaxed) and tracks max arrival instead.
   void session_submit(Session& session, TimePoint stamp, MessageId id,
-                      TimePoint now);
+                      TimePoint now, bool relaxed);
+  void session_submit_batch(Session& session,
+                            std::span<const Submission> items, bool relaxed);
   void session_heartbeat(Session& session, TimePoint local_stamp,
                          TimePoint now);
+  /// Completeness-state maintenance after a client advanced its
+  /// high-water/last-heard (fast mode: refreshes the cached frontier and
+  /// fixes up the min-frontier heap).
+  void touch_client(ClientState& state);
   /// Violation accounting + ordered buffer insert (both modes).
   void ingest(Buffered entry);
   void refresh_entry(Buffered& entry) const;
@@ -283,6 +334,20 @@ class OnlineSequencer {
   void insert_fast(Buffered entry);
   void recompute_head() const;
   [[nodiscard]] bool completeness_satisfied(TimePoint t_b, TimePoint now) const;
+  /// Exact O(n) gate scan over the cached fast-mode frontiers; the
+  /// fallback for out-of-order gate queries (see completeness_satisfied).
+  [[nodiscard]] bool completeness_scan(TimePoint t_b, TimePoint now) const;
+
+  // Min-frontier heap (fast mode; see completeness_satisfied). An indexed
+  // binary min-heap over completeness-gate slots keyed by
+  // clients_[slot].frontier: every heard, not-timed-out client has
+  // exactly one node, so the gate is a peek at the root instead of a
+  // scan over every expected client.
+  void heap_sift_up(std::size_t pos) const;
+  void heap_sift_down(std::size_t pos) const;
+  void heap_insert(std::uint32_t slot) const;
+  void heap_remove_top() const;
+  void heap_rebuild() const;
 
   // Retained naive reference path.
   [[nodiscard]] bool confidently_after(const Message& later,
@@ -322,6 +387,21 @@ class OnlineSequencer {
   /// Latest ingest arrival seen; enforces the FIFO-delivery contract
   /// (`arrival`/`now` non-decreasing across message ingests).
   TimePoint last_arrival_{TimePoint(-std::numeric_limits<double>::infinity())};
+
+  // Completeness min-frontier heap (fast path). heap_ holds gate slots
+  // (indices into clients_) as a binary min-heap on the cached frontier;
+  // heap_pos_[slot] is the slot's position in heap_ (kNotInHeap when the
+  // client is unheard or currently dropped from the gate by the silence
+  // timeout — it re-enters with its next message/heartbeat). Mutable
+  // because the gate check removes timed-out roots; last_gate_now_
+  // records the latest gate-query time, the watermark below which the
+  // heap's removals cannot be trusted (queries that travel back in time
+  // fall back to the exact scan).
+  mutable std::vector<std::uint32_t> heap_;
+  mutable std::vector<std::uint32_t> heap_pos_;
+  std::size_t unheard_count_{0};
+  mutable TimePoint last_gate_now_{
+      TimePoint(-std::numeric_limits<double>::infinity())};
 
   // Cached head-batch closure state (fast path); see file header.
   mutable bool head_valid_{false};

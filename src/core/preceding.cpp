@@ -107,10 +107,21 @@ bool PrecedingEngine::fast_ready(double threshold, double p_safe) const {
          fast_.p_safe == p_safe && fast_.generation == registry_.generation();
 }
 
-void PrecedingEngine::prime(double threshold, double p_safe) const {
+void PrecedingEngine::prime(double threshold, double p_safe,
+                            bool prefill_pairs) const {
   TOMMY_EXPECTS(threshold > 0.5 && threshold < 1.0);
   TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
-  if (fast_ready(threshold, p_safe)) return;
+  if (fast_ready(threshold, p_safe) && (!prefill_pairs || fast_.prefilled)) {
+    return;
+  }
+  if (!fast_ready(threshold, p_safe)) {
+    build_fast_tables(threshold, p_safe);
+  }
+  if (prefill_pairs && !fast_.prefilled) prefill_critical_gaps();
+}
+
+void PrecedingEngine::build_fast_tables(double threshold,
+                                        double p_safe) const {
 
   FastTables t;
   t.threshold = threshold;
@@ -178,6 +189,27 @@ void PrecedingEngine::prime(double threshold, double p_safe) const {
   t.global_max_gap = global;
   t.valid = true;
   fast_ = std::move(t);
+}
+
+void PrecedingEngine::prefill_critical_gaps() const {
+  TOMMY_ASSERT(fast_.valid);
+  // Fill every lazy slot through the same path first queries would take
+  // (numeric pairs: one convolution + one quantile each; bounded Δθ
+  // caches may evict densities, but the gap scalars all land). Then
+  // tighten the row bounds to the exact maxima — the windowed closure
+  // scans shrink from the support bound to the true uncertainty window.
+  const std::size_t n = fast_.n;
+  double global = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double row_max = -std::numeric_limits<double>::infinity();
+    for (std::uint32_t j = 0; j < n; ++j) {
+      row_max = std::max(row_max, fast_critical_gap(i, j));
+    }
+    fast_.max_gap_from[i] = row_max;
+    global = std::max(global, row_max);
+  }
+  fast_.global_max_gap = global;
+  fast_.prefilled = true;
 }
 
 double PrecedingEngine::numeric_critical_gap(std::uint32_t ci,

@@ -125,11 +125,29 @@ class PrecedingEngine {
   /// `p_safe`. Idempotent and cheap when already primed for the same
   /// parameters and registry generation. Logically const: the tables are
   /// memoized derived state, exactly like the Δθ density cache.
-  void prime(double threshold, double p_safe) const;
+  ///
+  /// With `prefill_pairs` every critical-gap slot is filled eagerly
+  /// (numeric pairs pay their convolution + quantile here instead of on
+  /// first query) and the per-row maxima are tightened to the exact
+  /// values. After a prefilled prime the engine is IMMUTABLE under the
+  /// whole fast_* surface — no lazy slot writes, no density-cache
+  /// insertions — which is what lets N shard worker threads read one
+  /// shared engine with no synchronization (see docs/architecture.md,
+  /// "Threading model"). The default lazy fill remains for
+  /// single-threaded use, where first-query filling spreads the O(n²)
+  /// convolution cost over the warmup instead of the constructor.
+  void prime(double threshold, double p_safe,
+             bool prefill_pairs = false) const;
 
   /// True when the tables match (threshold, p_safe) and the registry has
   /// not announced since they were built.
   [[nodiscard]] bool fast_ready(double threshold, double p_safe) const;
+
+  /// True when the current tables were built with `prefill_pairs` (every
+  /// gap slot filled; fast_* queries mutate nothing).
+  [[nodiscard]] bool fast_prefilled() const {
+    return fast_.valid && fast_.prefilled;
+  }
 
   /// True when prime() has run at all (any parameters). Lets sharing
   /// callers detect a parameter mismatch before thrashing the tables.
@@ -206,6 +224,8 @@ class PrecedingEngine {
       ClientId from, ClientId to) const;
   [[nodiscard]] double numeric_critical_gap(std::uint32_t ci,
                                             std::uint32_t cj) const;
+  void build_fast_tables(double threshold, double p_safe) const;
+  void prefill_critical_gaps() const;
 
   const ClientRegistry& registry_;
   PrecedingConfig config_;
@@ -245,6 +265,7 @@ class PrecedingEngine {
   // queries.
   struct FastTables {
     bool valid{false};
+    bool prefilled{false};
     double threshold{0.0};
     double p_safe{0.0};
     std::uint64_t generation{0};  // registry generation at build time

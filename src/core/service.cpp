@@ -1,11 +1,281 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "common/check.hpp"
+#include "common/spsc_ring.hpp"
 
 namespace tommy::core {
+
+namespace {
+
+/// One ring element: a submit or a heartbeat, as data. The lane preserves
+/// per-session FIFO; cross-lane order is reconstructed nowhere (it does
+/// not matter — see Session::submit_relaxed in online_sequencer.hpp).
+struct IngestOp {
+  enum class Kind : std::uint8_t { kSubmit, kHeartbeat };
+  Kind kind{Kind::kSubmit};
+  TimePoint stamp{};    // submit: message stamp; heartbeat: local stamp
+  MessageId id{};       // submit only
+  TimePoint arrival{};  // sequencer clock (`now`)
+};
+
+/// Empty drain rounds a worker spins through before parking on its
+/// wake epoch. Parking costs a futex round trip on the next wake; the
+/// spin keeps bursty producers off that path.
+constexpr int kSpinRoundsBeforePark = 256;
+/// Ring ops a worker applies per lane per drain round (bounds the scratch
+/// buffer; fairness across a shard's lanes).
+constexpr std::size_t kDrainBudget = 256;
+
+}  // namespace
+
+// ── Threaded-mode plumbing ──────────────────────────────────────────────
+
+struct FairOrderingService::IngestLane {
+  SpscRing<IngestOp> ring;
+  ClientId client;
+  ShardWorker* worker;  // for the producer-side wake
+  /// Consumer-side shard session; opened BY THE WORKER when it adopts the
+  /// lane (open_session touches sequencer state, which belongs to the
+  /// worker thread in threaded mode).
+  OnlineSequencer::Session inner{};
+  bool adopted{false};
+
+  IngestLane(std::size_t capacity, ClientId c, ShardWorker* w)
+      : ring(capacity), client(c), worker(w) {}
+};
+
+struct FairOrderingService::ShardWorker {
+  OnlineSequencer* shard{nullptr};
+  std::uint32_t shard_index{0};
+
+  // Lane registry: producers register under the mutex and bump the
+  // version; the worker re-snapshots its lane cache when the version
+  // moves, so steady-state drains run lock-free over raw pointers.
+  std::mutex lanes_mutex;
+  std::vector<std::unique_ptr<IngestLane>> lanes;
+  std::atomic<std::uint64_t> lanes_version{0};
+  std::vector<IngestLane*> lane_cache;
+  std::uint64_t lane_cache_version{0};
+
+  // Wake protocol (eventcount): a producer that observes `sleeping` after
+  // its push bumps the epoch and notifies; the worker re-checks its rings
+  // between advertising sleep and waiting, with seq_cst fences closing
+  // the store/load race on both sides.
+  std::atomic<std::uint32_t> wake_epoch{0};
+  std::atomic<bool> sleeping{false};
+
+  // Command mailbox (poll/flush/barrier). The service serializes callers
+  // (Threading::control), so at most one command is in flight per worker:
+  // the caller writes the plain fields, then publishes with a release
+  // store of cmd_seq; the worker acknowledges with a release store of
+  // ack_seq after writing its plain reply fields.
+  enum class Cmd : std::uint8_t { kPoll, kFlush, kBarrier };
+  Cmd cmd{Cmd::kBarrier};
+  TimePoint cmd_now{};
+  std::atomic<std::uint64_t> cmd_seq{0};
+  std::atomic<std::uint64_t> ack_seq{0};
+  // Shard-state snapshots taken at every command ack. The service's
+  // threaded-mode accessors read ONLY these (under Threading::control,
+  // after the ack) — never the live sequencer, which the worker may
+  // already be mutating again for ops enqueued after the command.
+  TimePoint reported_next_safe{TimePoint::infinite_future()};
+  std::size_t reported_pending{0};
+  std::size_t reported_violations{0};
+
+  // Emission queue: the worker parks records here (in rank order); the
+  // polling thread swaps them out after the ack. A mutex, not a ring —
+  // it is touched once per emitted batch, not once per message.
+  std::mutex emissions_mutex;
+  std::vector<EmissionRecord> emissions;
+
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  // Worker-local scratch, reused across drain rounds.
+  std::vector<IngestOp> ops;
+  std::vector<Submission> batch;
+
+  void wake() {
+    wake_epoch.fetch_add(1, std::memory_order_release);
+    wake_epoch.notify_all();
+  }
+
+  /// Producer side: enqueue with backpressure (a full ring spins until
+  /// the worker catches up — bounded memory beats unbounded queues under
+  /// overload).
+  void push(IngestLane& lane, IngestOp op) {
+    while (!lane.ring.try_push(std::move(op))) {
+      wake();
+      std::this_thread::yield();
+    }
+    // Dekker handshake with the worker's park path: either this fence
+    // makes our push visible to its pre-park re-check, or we observe
+    // sleeping==true and wake it.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (sleeping.load(std::memory_order_relaxed)) wake();
+  }
+
+  void refresh_lane_cache() {
+    const std::uint64_t version =
+        lanes_version.load(std::memory_order_acquire);
+    if (version == lane_cache_version) return;
+    std::lock_guard<std::mutex> lock(lanes_mutex);
+    lane_cache.clear();
+    for (const auto& lane : lanes) lane_cache.push_back(lane.get());
+    lane_cache_version = lanes_version.load(std::memory_order_relaxed);
+    for (IngestLane* lane : lane_cache) {
+      if (!lane->adopted) {
+        lane->inner = shard->open_session(lane->client);
+        lane->adopted = true;
+      }
+    }
+  }
+
+  /// One drain round: applies up to kDrainBudget ops per lane. Runs of
+  /// consecutive submits apply through the batched (relaxed) session
+  /// surface. Returns whether anything was applied.
+  bool drain_round() {
+    refresh_lane_cache();
+    bool any = false;
+    for (IngestLane* lane : lane_cache) {
+      ops.clear();
+      if (lane->ring.pop_bulk(ops, kDrainBudget) == 0) continue;
+      any = true;
+      std::size_t i = 0;
+      const std::size_t n = ops.size();
+      while (i < n) {
+        if (ops[i].kind == IngestOp::Kind::kHeartbeat) {
+          lane->inner.heartbeat(ops[i].stamp, ops[i].arrival);
+          ++i;
+          continue;
+        }
+        batch.clear();
+        while (i < n && ops[i].kind == IngestOp::Kind::kSubmit) {
+          batch.push_back(Submission{ops[i].stamp, ops[i].id, ops[i].arrival});
+          ++i;
+        }
+        lane->inner.submit_batch_relaxed(
+            std::span<const Submission>(batch));
+      }
+    }
+    return any;
+  }
+
+  void drain_all() {
+    while (drain_round()) {
+    }
+  }
+
+  void run() {
+    std::uint64_t handled = 0;
+    int idle_rounds = 0;
+    // Parks emissions in the queue, shard-tagged later by the drain
+    // (records stay in rank order — the push order).
+    auto park = [this](EmissionRecord&& record, std::uint32_t) {
+      std::lock_guard<std::mutex> lock(emissions_mutex);
+      emissions.push_back(std::move(record));
+    };
+    CallbackSink<decltype(park)> sink(park);
+    while (true) {
+      const bool did_work = drain_round();
+      const std::uint64_t seq = cmd_seq.load(std::memory_order_acquire);
+      if (seq != handled) {
+        // A command partitions time: everything enqueued before the
+        // caller published it is visible (release/acquire on cmd_seq
+        // plus the ring tails), so drain to empty, then act at the
+        // caller's `now`.
+        drain_all();
+        switch (cmd) {
+          case Cmd::kPoll:
+            shard->poll(cmd_now, sink, shard_index);
+            break;
+          case Cmd::kFlush:
+            shard->flush(cmd_now, sink, shard_index);
+            break;
+          case Cmd::kBarrier:
+            break;
+        }
+        reported_next_safe = shard->next_safe_time();
+        reported_pending = shard->pending_count();
+        reported_violations = shard->fairness_violations();
+        handled = seq;
+        ack_seq.store(seq, std::memory_order_release);
+        ack_seq.notify_all();
+        idle_rounds = 0;
+        continue;
+      }
+      if (did_work) {
+        idle_rounds = 0;
+        continue;
+      }
+      if (stop.load(std::memory_order_acquire)) return;
+      if (++idle_rounds < kSpinRoundsBeforePark) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Park: advertise, fence, re-check for work that raced the
+      // advertisement, then wait on the epoch.
+      const std::uint32_t epoch = wake_epoch.load(std::memory_order_relaxed);
+      sleeping.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      bool pending = stop.load(std::memory_order_acquire) ||
+                     cmd_seq.load(std::memory_order_acquire) != handled;
+      if (!pending) {
+        refresh_lane_cache();
+        for (IngestLane* lane : lane_cache) {
+          if (!lane->ring.empty()) {
+            pending = true;
+            break;
+          }
+        }
+      }
+      if (!pending) wake_epoch.wait(epoch, std::memory_order_acquire);
+      sleeping.store(false, std::memory_order_relaxed);
+      idle_rounds = 0;
+    }
+  }
+};
+
+struct FairOrderingService::Threading {
+  /// Index-aligned with shards_; null where the shard is unpopulated.
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  /// Serializes poll/flush/quiesce/state accessors (producers never take
+  /// it — their path is the rings).
+  std::mutex control;
+
+  /// Publishes `cmd` to every populated worker, then waits for all acks;
+  /// on return every worker's reported_* snapshots are current (the ack's
+  /// release/acquire pair orders them). Caller must hold `control`.
+  void broadcast_and_await(ShardWorker::Cmd cmd, TimePoint now) {
+    for (auto& worker : workers) {
+      if (!worker) continue;
+      worker->cmd = cmd;
+      worker->cmd_now = now;
+      worker->cmd_seq.store(worker->cmd_seq.load(std::memory_order_relaxed)
+                                + 1,
+                            std::memory_order_release);
+      worker->wake();
+    }
+    for (auto& worker : workers) {
+      if (!worker) continue;
+      const std::uint64_t seq =
+          worker->cmd_seq.load(std::memory_order_relaxed);
+      std::uint64_t acked = worker->ack_seq.load(std::memory_order_acquire);
+      while (acked != seq) {
+        worker->ack_seq.wait(acked, std::memory_order_acquire);
+        acked = worker->ack_seq.load(std::memory_order_acquire);
+      }
+    }
+  }
+};
+
+// ── Routers ─────────────────────────────────────────────────────────────
 
 RangeRouter::RangeRouter(ClientId lo, ClientId hi)
     : lo_(lo.value()),
@@ -30,12 +300,20 @@ std::uint32_t ModuloRouter::route(ClientId client,
   return client.value() % shard_count;
 }
 
+// ── Service ─────────────────────────────────────────────────────────────
+
 FairOrderingService::FairOrderingService(
     const ClientRegistry& registry, std::vector<ClientId> expected_clients,
     ServiceConfig config)
-    : router_(std::move(config.router)) {
+    : router_(std::move(config.router)),
+      drain_policy_(config.drain_policy),
+      ingest_ring_capacity_(config.ingest_ring_capacity) {
   TOMMY_EXPECTS(config.shard_count > 0);
   TOMMY_EXPECTS(!expected_clients.empty());
+  // The naive reference path mutates engine caches per query; it has no
+  // thread-safe variant (and needs none — it exists for the equivalence
+  // suite).
+  TOMMY_EXPECTS(!(config.worker_threads && config.online.reference_mode));
 
   if (!router_) {
     ClientId lo = expected_clients.front();
@@ -49,10 +327,14 @@ FairOrderingService::FairOrderingService(
 
   // One engine for every shard, primed once; its derived tables are a
   // function of the registry alone, so every shard reads the same data.
+  // Worker threads additionally require the full critical-gap prefill:
+  // after it, no fast_* query writes anything, so N workers share the
+  // tables with no synchronization.
   auto engine = std::make_shared<PrecedingEngine>(registry,
                                                   config.online.preceding);
   if (!config.online.reference_mode) {
-    engine->prime(config.online.threshold, config.online.p_safe);
+    engine->prime(config.online.threshold, config.online.p_safe,
+                  /*prefill_pairs=*/config.worker_threads);
   }
   engine_ = engine;
 
@@ -74,15 +356,101 @@ FairOrderingService::FairOrderingService(
     shards_[s] = std::make_unique<OnlineSequencer>(
         engine_, std::move(partition[s]), config.online);
   }
+
+  if (config.worker_threads) {
+    threading_ = std::make_unique<Threading>();
+    threading_->workers.resize(shards_.size());
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s]) continue;
+      auto worker = std::make_unique<ShardWorker>();
+      worker->shard = shards_[s].get();
+      worker->shard_index = s;
+      worker->thread = std::thread([w = worker.get()] { w->run(); });
+      threading_->workers[s] = std::move(worker);
+    }
+  }
+}
+
+FairOrderingService::~FairOrderingService() {
+  if (!threading_) return;
+  for (auto& worker : threading_->workers) {
+    if (!worker) continue;
+    worker->stop.store(true, std::memory_order_release);
+    worker->wake();
+  }
+  for (auto& worker : threading_->workers) {
+    if (worker && worker->thread.joinable()) worker->thread.join();
+  }
 }
 
 FairOrderingService::Session FairOrderingService::open_session(
     ClientId client) {
   const std::uint32_t s = shard_of(client);
   Session session;
-  session.inner_ = shards_[s]->open_session(client);
+  session.client_ = client;
   session.shard_ = s;
+  if (threading_) {
+    ShardWorker& worker = *threading_->workers[s];
+    auto lane = std::make_unique<IngestLane>(ingest_ring_capacity_, client,
+                                             &worker);
+    session.lane_ = lane.get();
+    {
+      std::lock_guard<std::mutex> lock(worker.lanes_mutex);
+      worker.lanes.push_back(std::move(lane));
+      worker.lanes_version.fetch_add(1, std::memory_order_release);
+    }
+    worker.wake();  // adopt promptly (opens the shard-side session)
+  } else {
+    session.inner_ = shards_[s]->open_session(client);
+  }
   return session;
+}
+
+void FairOrderingService::Session::submit(TimePoint stamp, MessageId id,
+                                          TimePoint now) {
+  if (lane_ == nullptr) {
+    inner_.submit(stamp, id, now);
+    return;
+  }
+  IngestOp op;
+  op.kind = IngestOp::Kind::kSubmit;
+  op.stamp = stamp;
+  op.id = id;
+  op.arrival = now;
+  lane_->worker->push(*lane_, op);
+}
+
+void FairOrderingService::Session::submit_batch(
+    std::span<const Submission> items) {
+  if (lane_ == nullptr) {
+    // Relaxed on purpose, matching threaded mode: batches accumulated per
+    // session interleave arbitrarily with other sessions' arrivals by
+    // construction (see Session::submit_relaxed in online_sequencer.hpp
+    // for why that cannot change emissions).
+    inner_.submit_batch_relaxed(items);
+    return;
+  }
+  for (const Submission& item : items) {
+    IngestOp op;
+    op.kind = IngestOp::Kind::kSubmit;
+    op.stamp = item.stamp;
+    op.id = item.id;
+    op.arrival = item.arrival;
+    lane_->worker->push(*lane_, op);
+  }
+}
+
+void FairOrderingService::Session::heartbeat(TimePoint local_stamp,
+                                             TimePoint now) {
+  if (lane_ == nullptr) {
+    inner_.heartbeat(local_stamp, now);
+    return;
+  }
+  IngestOp op;
+  op.kind = IngestOp::Kind::kHeartbeat;
+  op.stamp = local_stamp;
+  op.arrival = now;
+  lane_->worker->push(*lane_, op);
 }
 
 std::uint32_t FairOrderingService::shard_of(ClientId client) const {
@@ -93,33 +461,143 @@ std::uint32_t FairOrderingService::shard_of(ClientId client) const {
 }
 
 void FairOrderingService::submit(const Message& m) {
+  TOMMY_EXPECTS(!threading_);  // threaded mode is session-only
   shards_[shard_of(m.client)]->on_message(m);
 }
 
 void FairOrderingService::heartbeat(ClientId client, TimePoint local_stamp,
                                     TimePoint now) {
+  TOMMY_EXPECTS(!threading_);  // threaded mode is session-only
   shards_[shard_of(client)]->on_heartbeat(client, local_stamp, now);
 }
 
-std::size_t FairOrderingService::poll(TimePoint now, EmissionSink& sink) {
-  std::size_t emitted = 0;
+std::size_t FairOrderingService::release_merged(TimePoint min_next_safe,
+                                                bool release_all,
+                                                EmissionSink& sink) {
+  std::stable_sort(holdback_.begin(), holdback_.end(),
+                   [](const auto& lhs, const auto& rhs) {
+                     if (lhs.first.safe_time != rhs.first.safe_time) {
+                       return lhs.first.safe_time < rhs.first.safe_time;
+                     }
+                     if (lhs.second != rhs.second) {
+                       return lhs.second < rhs.second;
+                     }
+                     return lhs.first.batch.rank < rhs.first.batch.rank;
+                   });
+  std::size_t released = 0;
+  for (; released < holdback_.size(); ++released) {
+    auto& [record, shard_tag] = holdback_[released];
+    // Strictly earlier than every shard's next pending batch. This is the
+    // best gate the shards can offer, not an absolute one — rank-blocked
+    // batches and stragglers landing on currently-empty shards can still
+    // emit behind records released here (both caveats documented on
+    // DrainPolicy, both bounded by the p_safe machinery).
+    if (!release_all && !(record.safe_time < min_next_safe)) break;
+    sink.on_emission(std::move(record), shard_tag);
+  }
+  holdback_.erase(holdback_.begin(),
+                  holdback_.begin() + static_cast<std::ptrdiff_t>(released));
+  return released;
+}
+
+std::size_t FairOrderingService::drain_sequential(TimePoint now,
+                                                  bool flush_all,
+                                                  EmissionSink& sink) {
+  if (drain_policy_ == DrainPolicy::kShardLocal) {
+    std::size_t emitted = 0;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s]) continue;
+      emitted += flush_all ? shards_[s]->flush(now, sink, s)
+                           : shards_[s]->poll(now, sink, s);
+    }
+    return emitted;
+  }
+  // Global merge: collect into the holdback, then release what the gate
+  // allows.
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     if (!shards_[s]) continue;
-    emitted += shards_[s]->poll(now, sink, s);
+    auto collect = [this, s](EmissionRecord&& record, std::uint32_t) {
+      holdback_.emplace_back(std::move(record), s);
+    };
+    CallbackSink<decltype(collect)> collector(collect);
+    if (flush_all) {
+      shards_[s]->flush(now, collector, s);
+    } else {
+      shards_[s]->poll(now, collector, s);
+    }
   }
-  return emitted;
+  TimePoint min_next = TimePoint::infinite_future();
+  for (const auto& shard : shards_) {
+    if (shard) min_next = std::min(min_next, shard->next_safe_time());
+  }
+  return release_merged(min_next, flush_all, sink);
+}
+
+std::size_t FairOrderingService::drain_threaded(TimePoint now, bool flush_all,
+                                                EmissionSink& sink) {
+  std::lock_guard<std::mutex> lock(threading_->control);
+  // Broadcast so all shards drain + emit concurrently, await the acks,
+  // then stream the queues in shard index order.
+  threading_->broadcast_and_await(flush_all ? ShardWorker::Cmd::kFlush
+                                            : ShardWorker::Cmd::kPoll,
+                                  now);
+  std::size_t delivered = 0;
+  TimePoint min_next = TimePoint::infinite_future();
+  for (std::uint32_t s = 0; s < threading_->workers.size(); ++s) {
+    ShardWorker* worker = threading_->workers[s].get();
+    if (!worker) continue;
+    min_next = std::min(min_next, worker->reported_next_safe);
+    std::vector<EmissionRecord> records;
+    {
+      std::lock_guard<std::mutex> queue_lock(worker->emissions_mutex);
+      records.swap(worker->emissions);
+    }
+    for (EmissionRecord& record : records) {
+      if (drain_policy_ == DrainPolicy::kShardLocal) {
+        sink.on_emission(std::move(record), s);
+        ++delivered;
+      } else {
+        holdback_.emplace_back(std::move(record), s);
+      }
+    }
+  }
+  if (drain_policy_ == DrainPolicy::kGlobalMerge) {
+    delivered += release_merged(min_next, flush_all, sink);
+  }
+  return delivered;
+}
+
+std::size_t FairOrderingService::poll(TimePoint now, EmissionSink& sink) {
+  if (threading_) return drain_threaded(now, /*flush_all=*/false, sink);
+  return drain_sequential(now, /*flush_all=*/false, sink);
 }
 
 std::size_t FairOrderingService::flush(TimePoint now, EmissionSink& sink) {
-  std::size_t emitted = 0;
-  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-    if (!shards_[s]) continue;
-    emitted += shards_[s]->flush(now, sink, s);
-  }
-  return emitted;
+  if (threading_) return drain_threaded(now, /*flush_all=*/true, sink);
+  return drain_sequential(now, /*flush_all=*/true, sink);
 }
 
+void FairOrderingService::quiesce() {
+  if (!threading_) return;
+  std::lock_guard<std::mutex> lock(threading_->control);
+  threading_->broadcast_and_await(ShardWorker::Cmd::kBarrier, TimePoint{});
+}
+
+// The threaded-mode accessors never touch live shard state: a producer
+// may enqueue right after the barrier ack and put the worker back to
+// mutating its sequencer, so they read the worker's ack-time snapshots
+// instead, entirely under the control mutex.
+
 TimePoint FairOrderingService::next_safe_time() const {
+  if (threading_) {
+    std::lock_guard<std::mutex> lock(threading_->control);
+    threading_->broadcast_and_await(ShardWorker::Cmd::kBarrier, TimePoint{});
+    TimePoint earliest = TimePoint::infinite_future();
+    for (const auto& worker : threading_->workers) {
+      if (worker) earliest = std::min(earliest, worker->reported_next_safe);
+    }
+    return earliest;
+  }
   TimePoint earliest = TimePoint::infinite_future();
   for (const auto& shard : shards_) {
     if (shard) earliest = std::min(earliest, shard->next_safe_time());
@@ -128,6 +606,15 @@ TimePoint FairOrderingService::next_safe_time() const {
 }
 
 std::size_t FairOrderingService::pending_count() const {
+  if (threading_) {
+    std::lock_guard<std::mutex> lock(threading_->control);
+    threading_->broadcast_and_await(ShardWorker::Cmd::kBarrier, TimePoint{});
+    std::size_t pending = 0;
+    for (const auto& worker : threading_->workers) {
+      if (worker) pending += worker->reported_pending;
+    }
+    return pending;
+  }
   std::size_t pending = 0;
   for (const auto& shard : shards_) {
     if (shard) pending += shard->pending_count();
@@ -136,11 +623,33 @@ std::size_t FairOrderingService::pending_count() const {
 }
 
 std::size_t FairOrderingService::fairness_violations() const {
+  if (threading_) {
+    std::lock_guard<std::mutex> lock(threading_->control);
+    threading_->broadcast_and_await(ShardWorker::Cmd::kBarrier, TimePoint{});
+    std::size_t violations = 0;
+    for (const auto& worker : threading_->workers) {
+      if (worker) violations += worker->reported_violations;
+    }
+    return violations;
+  }
   std::size_t violations = 0;
   for (const auto& shard : shards_) {
     if (shard) violations += shard->fairness_violations();
   }
   return violations;
+}
+
+std::size_t FairOrderingService::held_back_count() const {
+  auto count = [this] {
+    std::size_t messages = 0;
+    for (const auto& [record, shard] : holdback_) {
+      messages += record.batch.messages.size();
+    }
+    return messages;
+  };
+  if (!threading_) return count();
+  std::lock_guard<std::mutex> lock(threading_->control);
+  return count();
 }
 
 const OnlineSequencer& FairOrderingService::shard(std::uint32_t index) const {

@@ -1,7 +1,8 @@
 // FairOrderingService: the multi-shard front-end over the online
 // sequencer — the service boundary scalable fair-ordering deployments
 // need (key-range sharding over a shared primed engine, per-connection
-// sessions, sink-style emission).
+// sessions, sink-style emission, and an opt-in per-shard worker-thread
+// execution engine).
 //
 // Layering (see docs/architecture.md):
 //
@@ -14,25 +15,57 @@
 //  * Every shard is a full OnlineSequencer over its clients only: its
 //    completeness gate waits for its own clients, its ranks are dense
 //    within the shard, and its fairness guarantees hold shard-locally.
-//    Cross-shard ordering is intentionally not arbitrated — that is the
+//    Cross-shard ordering is not arbitrated by default — that is the
 //    price of horizontal scale, and the router exists precisely so that
 //    keys whose relative order matters can be routed to the same shard.
+//    `DrainPolicy::kGlobalMerge` offers a single merged stream for
+//    consumers that need one, gated on min(next_safe_time) across shards.
 //  * All shards share ONE PrecedingEngine, primed once: the flat
 //    critical-gap/offset tables and Δθ density cache are read-mostly
 //    derived state of the registry, identical for every shard, so
 //    sharing them makes shard count a memory no-op for the engine.
-//  * Emission is sink-style: poll(now, sink) walks the shards and hands
-//    each emitted batch to the sink exactly once (rvalue, no intermediate
-//    vectors), tagged with the emitting shard's index. A callback
-//    overload adapts any `fn(EmissionRecord&&, std::uint32_t)` invocable.
+//  * Emission is sink-style: poll(now, sink) hands each emitted batch to
+//    the sink exactly once (rvalue, no intermediate vectors), tagged with
+//    the emitting shard's index.
 //
-// A 1-shard service is bit-identical to a bare OnlineSequencer (the
-// randomized equivalence tests assert this), so the facade costs nothing
-// when sharding is not wanted.
+// ── Threaded mode (`ServiceConfig::worker_threads`) ─────────────────────
+//
+// With worker threads enabled each populated shard owns a dedicated
+// worker. Ingest becomes a wait-free handoff: every session owns a
+// bounded SPSC ring (producer: the session's caller thread; consumer: the
+// shard worker), submit/heartbeat enqueue a small op and return, and the
+// worker drains its rings — applying the ordered-buffer insert and the
+// incremental closure off the caller's critical path — so N shards ingest
+// on N cores instead of one. poll/flush become synchronous commands: the
+// worker finishes draining everything enqueued before the call, runs the
+// emission attempt at the caller's `now`, and parks the records in a
+// per-shard emission queue the caller then streams to the sink. Because
+// per-shard emission state depends only on the SET of messages ingested
+// before each poll (never on their interleaving), a threaded service's
+// per-shard emission sequences are bit-identical to the sequential
+// service's — the randomized equivalence tests assert exactly that.
+//
+// Threaded-mode contract (checked or documented):
+//  * sessions are the only ingest surface (the routed legacy
+//    submit/heartbeat entry points are a precondition failure);
+//  * one thread per session handle; different sessions may live on
+//    different threads freely (that is the point);
+//  * poll/flush/next_safe_time/pending_count/fairness_violations are
+//    serialized internally (any thread may call them);
+//  * the registry must not re-announce while workers run: the shared
+//    engine is primed WITH full critical-gap prefill at construction and
+//    is immutable afterwards (see PrecedingEngine::prime);
+//  * reference_mode is incompatible with worker_threads (the naive path
+//    mutates engine caches per query).
+//
+// A 1-shard sequential service is bit-identical to a bare OnlineSequencer
+// (the randomized equivalence tests assert this), so the facade costs
+// nothing when sharding is not wanted.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -83,6 +116,32 @@ class ModuloRouter final : public KeyRouter {
   [[nodiscard]] std::string name() const override { return "modulo"; }
 };
 
+/// How poll/flush hand multi-shard emissions to the sink.
+enum class DrainPolicy {
+  /// Shard-local order (the default, and the paper's model applied per
+  /// shard): each shard's records arrive in its own rank order, shards
+  /// visited in index order; cross-shard order is whatever the visit
+  /// order produces. Zero added latency.
+  kShardLocal,
+  /// One merged stream: records are held back and released in ascending
+  /// (safe_time T_b, shard, rank) order, a record leaving only once
+  /// min(next_safe_time) over all shards has passed its T_b — i.e. once
+  /// every shard's next pending batch is provably later. Consumers that
+  /// need one total stream trade emission latency (up to one batch per
+  /// shard is withheld) for it. flush() releases everything. Two caveats
+  /// bound the "total order" claim, both inherited from the per-shard
+  /// machinery rather than introduced by the merge: (a) a batch
+  /// rank-blocked behind a high-uncertainty batch on its own shard can
+  /// carry an earlier T_b than records already released (the same
+  /// reordering the per-shard stream itself exhibits w.r.t. T_b), and
+  /// (b) a shard with an empty buffer gates nothing (its next_safe_time
+  /// is infinite), so a straggler landing on it later — an arrival past
+  /// the p_safe margin, probability bounded by the same 1 − p_safe that
+  /// bounds fairness violations — can emit behind records it should have
+  /// preceded.
+  kGlobalMerge,
+};
+
 /// Builder-style service configuration.
 struct ServiceConfig {
   /// Per-shard sequencer configuration; `online.preceding` configures the
@@ -91,6 +150,14 @@ struct ServiceConfig {
   std::uint32_t shard_count{1};
   /// nullptr → RangeRouter over the expected clients' id span.
   std::shared_ptr<const KeyRouter> router{};
+  /// One worker thread per populated shard; see the file header.
+  /// Incompatible with `online.reference_mode`.
+  bool worker_threads{false};
+  DrainPolicy drain_policy{DrainPolicy::kShardLocal};
+  /// Per-session SPSC ingest ring capacity (threaded mode; rounded up to
+  /// a power of two). A full ring backpressures the producer (it spins
+  /// with yields until the worker catches up).
+  std::size_t ingest_ring_capacity{1024};
 
   ServiceConfig& with_online(OnlineConfig config) {
     online = config;
@@ -112,6 +179,14 @@ struct ServiceConfig {
     online.p_safe = p_safe;
     return *this;
   }
+  ServiceConfig& with_worker_threads(bool enabled = true) {
+    worker_threads = enabled;
+    return *this;
+  }
+  ServiceConfig& with_drain_policy(DrainPolicy policy) {
+    drain_policy = policy;
+    return *this;
+  }
 };
 
 /// Adapts an invocable `fn(EmissionRecord&&, std::uint32_t shard)` to the
@@ -129,50 +204,76 @@ class CallbackSink final : public EmissionSink {
 };
 
 class FairOrderingService {
+  // Threaded-mode internals, defined in service.cpp. Declared up front so
+  // the nested Session can hold a lane pointer.
+  struct IngestLane;
+  struct ShardWorker;
+  struct Threading;
+
  public:
-  /// Per-connection handle bound to its client's shard at open; submit and
-  /// heartbeat forward straight to the shard sequencer's session (no
-  /// routing, no hashing per message).
+  /// Per-connection handle bound to its client's shard at open. In
+  /// sequential mode submit/heartbeat forward straight to the shard
+  /// sequencer's session (no routing, no hashing per message); in
+  /// threaded mode they enqueue onto the session's SPSC ring and return
+  /// (the shard worker applies them). A session handle must be driven by
+  /// one thread at a time (it is the ring's single producer); distinct
+  /// sessions are free to live on distinct threads.
   class Session {
    public:
     Session() = default;
 
-    void submit(TimePoint stamp, MessageId id, TimePoint now) {
-      inner_.submit(stamp, id, now);
-    }
-    void heartbeat(TimePoint local_stamp, TimePoint now) {
-      inner_.heartbeat(local_stamp, now);
-    }
-    [[nodiscard]] ClientId client() const { return inner_.client(); }
+    void submit(TimePoint stamp, MessageId id, TimePoint now);
+    /// Batched submit; arrivals must be non-decreasing within the span
+    /// (per-session FIFO) but are exempt from the cross-session arrival
+    /// ordering submit() asserts — batches accumulated per session
+    /// interleave with other sessions' traffic by construction, and
+    /// per-shard emissions are ingest-order-independent between polls
+    /// (see OnlineSequencer::Session::submit_relaxed).
+    void submit_batch(std::span<const Submission> items);
+    void heartbeat(TimePoint local_stamp, TimePoint now);
+
+    [[nodiscard]] ClientId client() const { return client_; }
     [[nodiscard]] std::uint32_t shard() const { return shard_; }
 
    private:
     friend class FairOrderingService;
-    OnlineSequencer::Session inner_;
+
+    OnlineSequencer::Session inner_;  // sequential mode
+    IngestLane* lane_{nullptr};       // threaded mode (owned by the service)
+    ClientId client_{};
     std::uint32_t shard_{0};
   };
 
   /// The registry must cover every expected client and outlive the
   /// service. Shards with no routed clients are simply absent (their
-  /// index stays valid; they emit nothing).
+  /// index stays valid; they emit nothing). With worker_threads the
+  /// workers start here and stop in the destructor.
   FairOrderingService(const ClientRegistry& registry,
                       std::vector<ClientId> expected_clients,
                       ServiceConfig config = {});
+  ~FairOrderingService();
 
   FairOrderingService(const FairOrderingService&) = delete;
   FairOrderingService& operator=(const FairOrderingService&) = delete;
 
   /// Opens an ingest handle for `client`; the one place routing happens.
+  /// Thread-safe in threaded mode (sessions may be opened while traffic
+  /// flows).
   [[nodiscard]] Session open_session(ClientId client);
 
   /// Routed legacy-style ingest (one hash for the shard lookup plus the
-  /// shard's own table hash). Prefer sessions on hot paths.
+  /// shard's own table hash). Prefer sessions on hot paths. Sequential
+  /// mode only — a precondition failure under worker_threads.
   void submit(const Message& m);
   void heartbeat(ClientId client, TimePoint local_stamp, TimePoint now);
 
-  /// Drains every shard's safe batches into `sink` (shard-tagged, rank
-  /// order within each shard; shards are visited in index order). Returns
-  /// the number of batches emitted.
+  /// Drains every shard's safe batches into `sink` (shard-tagged; order
+  /// per the configured DrainPolicy). Returns the number of batches
+  /// handed to the sink by this call. In threaded mode this is a
+  /// synchronous command: every op enqueued (by this thread, or
+  /// happening-before this call) is applied first, the emission attempt
+  /// runs at exactly `now` on each worker, and the records stream to the
+  /// sink on the calling thread.
   std::size_t poll(TimePoint now, EmissionSink& sink);
   /// Callback overload: fn(EmissionRecord&&, std::uint32_t shard).
   /// Constrained so EmissionSink implementations always take the sink
@@ -186,7 +287,8 @@ class FairOrderingService {
   }
 
   /// Shutdown drain, ignoring the emission gates (see
-  /// OnlineSequencer::flush). Returns the number of batches emitted.
+  /// OnlineSequencer::flush). Under kGlobalMerge also releases every
+  /// held-back record. Returns the number of batches emitted.
   std::size_t flush(TimePoint now, EmissionSink& sink);
   template <typename F>
     requires(!std::is_base_of_v<EmissionSink, std::remove_reference_t<F>>)
@@ -195,12 +297,23 @@ class FairOrderingService {
     return flush(now, static_cast<EmissionSink&>(sink));
   }
 
+  /// Blocks until every ingest ring is drained and every worker idle
+  /// (no-op in sequential mode). After it returns, state accessors
+  /// reflect everything submitted before the call.
+  void quiesce();
+
   /// Earliest next_safe_time across shards (infinite future when all
-  /// buffers are empty) — the next instant a poll could emit.
+  /// buffers are empty) — the next instant a poll could emit. Threaded
+  /// mode: quiesces first. Does not account for records the global merge
+  /// is holding back (those are already emitted, merely withheld).
   [[nodiscard]] TimePoint next_safe_time() const;
 
   [[nodiscard]] std::size_t pending_count() const;
   [[nodiscard]] std::size_t fairness_violations() const;
+  /// Messages inside batches the global merge has emitted but not yet
+  /// released (always 0 under kShardLocal). Serialized like the other
+  /// accessors.
+  [[nodiscard]] std::size_t held_back_count() const;
 
   [[nodiscard]] std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
@@ -208,21 +321,44 @@ class FairOrderingService {
   /// Shard assignment of `client` (hash lookup; cold path).
   [[nodiscard]] std::uint32_t shard_of(ClientId client) const;
   /// Direct access to a shard's sequencer (diagnostics, tests).
-  /// Precondition: the shard exists (some client routed to it).
+  /// Precondition: the shard exists (some client routed to it). In
+  /// threaded mode, quiesce() first and do not touch concurrently with
+  /// live producers.
   [[nodiscard]] const OnlineSequencer& shard(std::uint32_t index) const;
   [[nodiscard]] OnlineSequencer& shard(std::uint32_t index);
   [[nodiscard]] bool has_shard(std::uint32_t index) const {
     return index < shards_.size() && shards_[index] != nullptr;
   }
+  [[nodiscard]] bool threaded() const { return threading_ != nullptr; }
 
   [[nodiscard]] const PrecedingEngine& engine() const { return *engine_; }
   [[nodiscard]] const KeyRouter& router() const { return *router_; }
 
  private:
+  /// Sequential-mode drain core (poll/flush share it).
+  std::size_t drain_sequential(TimePoint now, bool flush_all,
+                               EmissionSink& sink);
+  /// Threaded-mode drain core: broadcast the command, await acks, stream
+  /// the emission queues.
+  std::size_t drain_threaded(TimePoint now, bool flush_all,
+                             EmissionSink& sink);
+  /// Releases held-back records (kGlobalMerge) whose safe_time has been
+  /// passed by `min_next_safe`; everything when `release_all`.
+  std::size_t release_merged(TimePoint min_next_safe, bool release_all,
+                             EmissionSink& sink);
+
   std::shared_ptr<const KeyRouter> router_;
   std::shared_ptr<const PrecedingEngine> engine_;
   std::vector<std::unique_ptr<OnlineSequencer>> shards_;
   std::unordered_map<ClientId, std::uint32_t> shard_by_client_;
+  DrainPolicy drain_policy_{DrainPolicy::kShardLocal};
+  std::size_t ingest_ring_capacity_{1024};
+  /// kGlobalMerge holdback: emitted records not yet released, with their
+  /// shard tags. Kept sorted by (safe_time, shard, rank) at release.
+  std::vector<std::pair<EmissionRecord, std::uint32_t>> holdback_;
+  /// Threaded-mode state (workers, rings, mailboxes); null in sequential
+  /// mode.
+  std::unique_ptr<Threading> threading_;
 };
 
 }  // namespace tommy::core

@@ -10,6 +10,14 @@
 
 namespace tommy::core {
 
+namespace {
+
+/// prime() also materializes safe-emission/frontier offsets keyed on a
+/// p_safe; offline batching never reads them, so any valid value does.
+constexpr double kOfflinePrimePSafe = 0.999;
+
+}  // namespace
+
 TommySequencer::TommySequencer(const ClientRegistry& registry,
                                TommyConfig config)
     : registry_(registry),
@@ -19,9 +27,31 @@ TommySequencer::TommySequencer(const ClientRegistry& registry,
   TOMMY_EXPECTS(config.threshold > 0.5 && config.threshold < 1.0);
 }
 
+PairConfidenceFn TommySequencer::boundary_predicate() const {
+  if (config_.reference_thresholds) {
+    return [this](const Message& a, const Message& b) {
+      return engine_.preceding_probability(a, b) > config_.threshold;
+    };
+  }
+  // Primed path: the threshold decision is one subtraction against the
+  // per-pair critical gap, in corrected-stamp space (see preceding.hpp).
+  return [this](const Message& a, const Message& b) {
+    const std::uint32_t ci = registry_.index_of(a.client);
+    const std::uint32_t cj = registry_.index_of(b.client);
+    return engine_.fast_confidently_preceding(
+        ci, engine_.fast_corrected(ci, a.stamp), cj,
+        engine_.fast_corrected(cj, b.stamp));
+  };
+}
+
 SequencerResult TommySequencer::sequence(std::vector<Message> messages) {
   diagnostics_ = TommyDiagnostics{};
   if (messages.empty()) return {};
+  if (!config_.reference_thresholds) {
+    // Idempotent when already primed for this threshold and registry
+    // generation; re-announces between sequence() calls re-prime here.
+    engine_.prime(config_.threshold, kOfflinePrimePSafe);
+  }
 
   const bool fast = config_.gaussian_fast_path && registry_.all_gaussian() &&
                     !config_.preceding.force_numeric;
@@ -46,12 +76,9 @@ SequencerResult TommySequencer::sequence_fast_gaussian(
             });
 
   SequencerResult result;
-  result.batches = batch_by_threshold(
-      std::move(messages),
-      [this](const Message& a, const Message& b) {
-        return engine_.preceding_probability(a, b);
-      },
-      config_.threshold, config_.batch_rule);
+  result.batches = batch_by_confidence(std::move(messages),
+                                       boundary_predicate(),
+                                       config_.batch_rule);
   return result;
 }
 
@@ -68,9 +95,7 @@ SequencerResult TommySequencer::sequence_tournament(
     diagnostics_.transitivity = graph::analyze_transitivity(tournament);
   }
 
-  const auto probability_fn = [this](const Message& a, const Message& b) {
-    return engine_.preceding_probability(a, b);
-  };
+  const PairConfidenceFn confident = boundary_predicate();
 
   SequencerResult result;
   if (tournament.is_transitive()) {
@@ -79,9 +104,8 @@ SequencerResult TommySequencer::sequence_tournament(
     std::vector<Message> ordered;
     ordered.reserve(n);
     for (std::size_t idx : order) ordered.push_back(messages[idx]);
-    result.batches = batch_by_threshold(std::move(ordered), probability_fn,
-                                        config_.threshold,
-                                        config_.batch_rule);
+    result.batches = batch_by_confidence(std::move(ordered), confident,
+                                         config_.batch_rule);
     return result;
   }
 
@@ -114,9 +138,7 @@ SequencerResult TommySequencer::sequence_tournament(
       }
       groups.push_back(std::move(group));
     }
-    result.batches = batch_groups_by_threshold(std::move(groups),
-                                               probability_fn,
-                                               config_.threshold);
+    result.batches = batch_groups_by_confidence(std::move(groups), confident);
     return result;
   }
 
@@ -142,8 +164,8 @@ SequencerResult TommySequencer::sequence_tournament(
   std::vector<Message> ordered;
   ordered.reserve(n);
   for (std::size_t idx : fas.order) ordered.push_back(messages[idx]);
-  result.batches = batch_by_threshold(std::move(ordered), probability_fn,
-                                      config_.threshold, config_.batch_rule);
+  result.batches = batch_by_confidence(std::move(ordered), confident,
+                                       config_.batch_rule);
   return result;
 }
 

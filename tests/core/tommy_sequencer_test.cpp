@@ -238,5 +238,80 @@ TEST(TommyConfigDeathTest, RejectsBadThreshold) {
   EXPECT_DEATH(TommySequencer(registry, config), "precondition");
 }
 
+// ── Primed-threshold equivalence ────────────────────────────────────────
+// The default batching path answers "p(a, b) > threshold" from the
+// engine's primed critical-gap tables (one subtraction per pair);
+// reference_thresholds retains the raw per-pair probability evaluation.
+// Both must cut bit-identical batches on every ordering path.
+
+void expect_same_batches(const SequencerResult& primed,
+                         const SequencerResult& reference,
+                         const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(primed.batches.size(), reference.batches.size());
+  for (std::size_t b = 0; b < primed.batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    EXPECT_EQ(primed.batches[b].rank, reference.batches[b].rank);
+    ASSERT_EQ(primed.batches[b].messages.size(),
+              reference.batches[b].messages.size());
+    for (std::size_t m = 0; m < primed.batches[b].messages.size(); ++m) {
+      EXPECT_EQ(primed.batches[b].messages[m],
+                reference.batches[b].messages[m]);
+    }
+  }
+}
+
+void run_primed_equivalence(const ClientRegistry& registry,
+                            TommyConfig config,
+                            const std::vector<Message>& messages,
+                            const char* label) {
+  TommyConfig primed_config = config;
+  primed_config.reference_thresholds = false;
+  TommySequencer primed(registry, primed_config);
+
+  TommyConfig reference_config = config;
+  reference_config.reference_thresholds = true;
+  TommySequencer reference(registry, reference_config);
+
+  expect_same_batches(primed.sequence(messages), reference.sequence(messages),
+                      label);
+}
+
+TEST_F(TommyGaussian, PrimedThresholdsMatchReferenceOnGaussianPaths) {
+  Rng rng(91);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Message> messages;
+    for (std::uint64_t id = 0; id < 24; ++id) {
+      messages.push_back(msg(id, static_cast<std::uint32_t>(id % 3),
+                             rng.uniform(0.0, 0.03)));
+    }
+    for (BatchRule rule : {BatchRule::kAdjacent, BatchRule::kClosure}) {
+      TommyConfig config;
+      config.batch_rule = rule;
+      run_primed_equivalence(registry_, config, messages, "gaussian-fast");
+      config.gaussian_fast_path = false;  // tournament over the same input
+      run_primed_equivalence(registry_, config, messages,
+                             "gaussian-tournament");
+    }
+  }
+}
+
+TEST_F(TommyCyclic, PrimedThresholdsMatchReferenceOnNumericPaths) {
+  Rng rng(17);
+  for (CyclePolicy policy : {CyclePolicy::kCondense, CyclePolicy::kGreedyFas,
+                             CyclePolicy::kExactFas}) {
+    config_.cycle_policy = policy;
+    // The pure 3-cycle plus randomized surrounding traffic: exercises
+    // batch_groups (condense) and the post-FAS batching on the numeric
+    // critical-gap path.
+    auto messages = cycle_messages();
+    for (std::uint64_t id = 10; id < 22; ++id) {
+      messages.push_back(msg(id, static_cast<std::uint32_t>(id % 3),
+                             rng.uniform(-8.0, 8.0)));
+    }
+    run_primed_equivalence(registry_, config_, messages, "numeric-cyclic");
+  }
+}
+
 }  // namespace
 }  // namespace tommy::core
