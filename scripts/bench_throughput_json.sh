@@ -4,8 +4,12 @@
 #
 # The tracked artifact must come from a Release build: the script checks
 # the build tree's CMAKE_BUILD_TYPE (configuring one if needed) and
-# refuses to run from anything else. The bench binary itself stamps the
-# JSON context with tommy_build_type, hardware_threads and the
+# refuses to run from anything else. It also refuses to overwrite the
+# tracked JSON from a build tree whose cached CMAKE_CXX_FLAGS carry
+# sanitizer/coverage instrumentation (reconfiguring such a tree as
+# Release does NOT clear those cached flags, so a sanitized run would
+# silently pollute the perf trajectory). The bench binary itself stamps
+# the JSON context with tommy_build_type, hardware_threads and the
 # thread/shard grid the service benchmarks sweep.
 #
 # Usage:
@@ -32,6 +36,27 @@ build_type() {
   sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
     2>/dev/null || true
 }
+
+cxx_flags() {
+  sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+# Instrumented trees (-fsanitize / coverage) may never write the tracked
+# artifact — reconfiguring as Release below would not clear the cached
+# flags — so check before touching the tree at all.
+TRACKED="$ROOT/BENCH_throughput.json"
+case "$(cxx_flags)" in
+  *-fsanitize*|*-fprofile*|*--coverage*)
+    if [[ "$(readlink -m "$OUT")" == "$(readlink -m "$TRACKED")" ]]; then
+      echo "error: $BUILD_DIR is instrumented (CMAKE_CXX_FLAGS='$(cxx_flags)');" \
+           "refusing to overwrite the tracked $TRACKED. Point BUILD_DIR at a" \
+           "clean Release tree, or write elsewhere: $0 /tmp/bench.json" >&2
+      exit 1
+    fi
+    echo "warning: benching an instrumented tree (output: $OUT)" >&2
+    ;;
+esac
 
 if [[ "$(build_type)" != "Release" ]]; then
   echo "configuring $BUILD_DIR as Release (found: '$(build_type)')" >&2

@@ -6,23 +6,38 @@
 
 namespace tommy::core {
 
-void ClientRegistry::announce(ClientId client,
+bool ClientRegistry::announce(ClientId client,
                               const stats::DistributionSummary& summary) {
+  auto bytes = summary.serialize();
+  const auto it = index_.find(client);
+  if (it != index_.end() && entries_[it->second].summary_bytes == bytes) {
+    return false;  // identical re-announce: keep the generation stable
+  }
   announce(client, summary.materialize());
+  entries_[index_.at(client)].summary_bytes = std::move(bytes);
+  return true;
 }
 
-void ClientRegistry::announce(ClientId client,
+bool ClientRegistry::announce(ClientId client,
                               stats::DistributionPtr distribution) {
   TOMMY_EXPECTS(distribution != nullptr);
   const auto it = index_.find(client);
   if (it == index_.end()) {
     const auto index = static_cast<std::uint32_t>(entries_.size());
-    entries_.push_back(Entry{client, std::move(distribution)});
+    entries_.push_back(Entry{client, std::move(distribution), {}});
     index_.emplace(client, index);
   } else {
     entries_[it->second].distribution = std::move(distribution);
+    entries_[it->second].summary_bytes.clear();
   }
   ++generation_;
+  return true;
+}
+
+const std::vector<std::uint8_t>* ClientRegistry::announced_summary(
+    ClientId client) const {
+  const Entry& entry = entries_[index_of(client)];
+  return entry.summary_bytes.empty() ? nullptr : &entry.summary_bytes;
 }
 
 bool ClientRegistry::contains(ClientId client) const {

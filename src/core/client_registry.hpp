@@ -23,12 +23,17 @@ namespace tommy::core {
 
 class ClientRegistry {
  public:
-  /// Registers (or replaces) a client's offset distribution.
-  void announce(ClientId client, const stats::DistributionSummary& summary);
+  /// Registers (or replaces) a client's offset distribution. Idempotent:
+  /// re-announcing a summary whose wire form matches the one on record
+  /// changes nothing and does NOT bump the generation (so connection
+  /// handshakes that re-send a known distribution don't invalidate the
+  /// engines' derived tables). Returns whether the registry changed.
+  bool announce(ClientId client, const stats::DistributionSummary& summary);
 
   /// Registers a distribution object directly (simulation convenience —
-  /// §4 seeds clients with their true distributions this way).
-  void announce(ClientId client, stats::DistributionPtr distribution);
+  /// §4 seeds clients with their true distributions this way). Always
+  /// replaces (no wire form to compare); returns true.
+  bool announce(ClientId client, stats::DistributionPtr distribution);
 
   [[nodiscard]] bool contains(ClientId client) const;
 
@@ -47,8 +52,17 @@ class ClientRegistry {
   [[nodiscard]] const stats::Distribution& distribution_at(
       std::uint32_t index) const;
 
-  /// Bumped on every announce (new client or replacement); lets engines
-  /// invalidate tables derived from the distributions.
+  /// Serialized wire form of the summary `client` last announced, or
+  /// nullptr when the client was registered directly with a Distribution
+  /// object (no comparable wire form). Lets a wire front-end decide
+  /// whether an inbound announcement is a no-op re-send or a real change.
+  /// Precondition: contains(client).
+  [[nodiscard]] const std::vector<std::uint8_t>* announced_summary(
+      ClientId client) const;
+
+  /// Bumped on every announce that changed the registry (new client or
+  /// replacement; identical summary re-announces don't count); lets
+  /// engines invalidate tables derived from the distributions.
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   /// True iff every registered distribution is exactly Gaussian — enables
@@ -63,6 +77,9 @@ class ClientRegistry {
   struct Entry {
     ClientId client;
     stats::DistributionPtr distribution;
+    /// Wire form of the announcing summary; empty for direct
+    /// Distribution announces.
+    std::vector<std::uint8_t> summary_bytes;
   };
 
   std::vector<Entry> entries_;                          // dense, by index

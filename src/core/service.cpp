@@ -275,6 +275,18 @@ struct FairOrderingService::Threading {
   }
 };
 
+const char* to_string(OpenError error) {
+  switch (error) {
+    case OpenError::kNone:
+      return "none";
+    case OpenError::kUnknownClient:
+      return "unknown client";
+    case OpenError::kRegistryChanged:
+      return "registry changed after threaded prime";
+  }
+  return "unknown";
+}
+
 // ── Routers ─────────────────────────────────────────────────────────────
 
 RangeRouter::RangeRouter(ClientId lo, ClientId hi)
@@ -337,6 +349,7 @@ FairOrderingService::FairOrderingService(
                   /*prefill_pairs=*/config.worker_threads);
   }
   engine_ = engine;
+  primed_generation_ = registry.generation();
 
   // Static partition: route once per expected client, preserving the
   // caller's order within each shard (so a 1-shard service sees exactly
@@ -381,6 +394,27 @@ FairOrderingService::~FairOrderingService() {
   for (auto& worker : threading_->workers) {
     if (worker && worker->thread.joinable()) worker->thread.join();
   }
+}
+
+std::optional<FairOrderingService::Session>
+FairOrderingService::try_open_session(ClientId client, OpenError* error) {
+  auto report = [error](OpenError e) {
+    if (error != nullptr) *error = e;
+  };
+  if (!expects_client(client)) {
+    report(OpenError::kUnknownClient);
+    return std::nullopt;
+  }
+  // A re-announce after a prefilled prime would put the workers' lock-free
+  // table reads behind a mutating re-prime; refuse instead of racing. The
+  // sequential service re-primes lazily and safely, so only threaded mode
+  // checks.
+  if (threading_ && registry().generation() != primed_generation_) {
+    report(OpenError::kRegistryChanged);
+    return std::nullopt;
+  }
+  report(OpenError::kNone);
+  return open_session(client);
 }
 
 FairOrderingService::Session FairOrderingService::open_session(

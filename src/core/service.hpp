@@ -65,6 +65,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -189,6 +190,23 @@ struct ServiceConfig {
   }
 };
 
+/// Why `open_session` can fail when asked politely (try_open_session):
+/// a wire front-end cannot treat a peer-controlled client id as a
+/// precondition the way in-process callers do.
+enum class OpenError : std::uint8_t {
+  kNone,
+  /// The client is not in the service's expected set (routing is fixed at
+  /// construction; unknown peers have no shard).
+  kUnknownClient,
+  /// Threaded mode only: the registry re-announced after the shared
+  /// engine's prefilled prime, which the workers' lock-free reads cannot
+  /// tolerate (see the threaded-mode contract above). The service must be
+  /// rebuilt — or the announce avoided — before new sessions open.
+  kRegistryChanged,
+};
+
+[[nodiscard]] const char* to_string(OpenError error);
+
 /// Adapts an invocable `fn(EmissionRecord&&, std::uint32_t shard)` to the
 /// EmissionSink interface without allocation or type erasure.
 template <typename F>
@@ -258,8 +276,28 @@ class FairOrderingService {
 
   /// Opens an ingest handle for `client`; the one place routing happens.
   /// Thread-safe in threaded mode (sessions may be opened while traffic
-  /// flows).
+  /// flows). An unknown client is a precondition failure — external
+  /// callers with peer-controlled ids should use try_open_session.
   [[nodiscard]] Session open_session(ClientId client);
+
+  /// Non-aborting open_session for connection front-ends: returns nullopt
+  /// (and the reason via `error`) instead of failing a precondition on
+  /// unknown clients, and detects a registry that moved on after a
+  /// threaded prime (OpenError::kRegistryChanged).
+  [[nodiscard]] std::optional<Session> try_open_session(
+      ClientId client, OpenError* error = nullptr);
+
+  /// True iff `client` was in the expected set (i.e. has a shard).
+  [[nodiscard]] bool expects_client(ClientId client) const {
+    return shard_by_client_.contains(client);
+  }
+
+  /// Registry generation the shared engine was primed at (construction
+  /// time). In threaded mode the registry must still be at this
+  /// generation for ingest to be safe.
+  [[nodiscard]] std::uint64_t primed_generation() const {
+    return primed_generation_;
+  }
 
   /// Routed legacy-style ingest (one hash for the shard lookup plus the
   /// shard's own table hash). Prefer sessions on hot paths. Sequential
@@ -333,6 +371,9 @@ class FairOrderingService {
 
   [[nodiscard]] const PrecedingEngine& engine() const { return *engine_; }
   [[nodiscard]] const KeyRouter& router() const { return *router_; }
+  [[nodiscard]] const ClientRegistry& registry() const {
+    return engine_->registry();
+  }
 
  private:
   /// Sequential-mode drain core (poll/flush share it).
@@ -353,6 +394,7 @@ class FairOrderingService {
   std::unordered_map<ClientId, std::uint32_t> shard_by_client_;
   DrainPolicy drain_policy_{DrainPolicy::kShardLocal};
   std::size_t ingest_ring_capacity_{1024};
+  std::uint64_t primed_generation_{0};
   /// kGlobalMerge holdback: emitted records not yet released, with their
   /// shard tags. Kept sorted by (safe_time, shard, rank) at release.
   std::vector<std::pair<EmissionRecord, std::uint32_t>> holdback_;

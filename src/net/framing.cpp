@@ -1,0 +1,77 @@
+#include "net/framing.hpp"
+
+namespace tommy::net {
+
+namespace {
+
+constexpr std::size_t kLengthPrefixBytes = 4;
+
+/// Compaction threshold: once this much dead prefix accumulates (and it
+/// dominates the live bytes), slide the live suffix down so the buffer
+/// does not grow without bound on a long-lived connection.
+constexpr std::size_t kCompactThreshold = 4096;
+
+}  // namespace
+
+const char* to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone:
+      return "none";
+    case FrameError::kOversized:
+      return "oversized frame";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_frame(const WireMessage& message) {
+  return encode_frame(std::span<const std::uint8_t>(encode(message)));
+}
+
+void FrameDecoder::append(std::span<const std::uint8_t> bytes) {
+  if (error_ != FrameError::kNone) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
+  if (error_ != FrameError::kNone) return std::nullopt;
+  if (buffered_bytes() < kLengthPrefixBytes) return std::nullopt;
+
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer_[pos_ + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (length > max_frame_bytes_) {
+    error_ = FrameError::kOversized;
+    buffer_.clear();
+    pos_ = 0;
+    return std::nullopt;
+  }
+  if (buffered_bytes() < kLengthPrefixBytes + length) return std::nullopt;
+
+  const auto begin = buffer_.begin()
+                     + static_cast<std::ptrdiff_t>(pos_ + kLengthPrefixBytes);
+  std::vector<std::uint8_t> payload(begin,
+                                    begin + static_cast<std::ptrdiff_t>(length));
+  pos_ += kLengthPrefixBytes + length;
+
+  if (pos_ >= kCompactThreshold && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace tommy::net

@@ -1,0 +1,443 @@
+#include "net/frontend.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace tommy::net {
+
+namespace {
+
+/// Default arrival clock: monotonic wall-clock seconds since the first
+/// call (one shared origin per process, so all connections agree).
+TimePoint wall_clock_now() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return TimePoint(
+      std::chrono::duration<double>(clock::now() - origin).count());
+}
+
+FrontendConfig normalized(FrontendConfig config) {
+  if (!config.arrival_clock) {
+    config.arrival_clock = [](const WireMessage&) { return wall_clock_now(); };
+  }
+  if (config.read_chunk_bytes == 0) config.read_chunk_bytes = 1;
+  if (config.submit_batch_limit == 0) config.submit_batch_limit = 1;
+  return config;
+}
+
+// ── In-process pipe ─────────────────────────────────────────────────────
+
+/// One direction of the pipe: an unbounded byte queue with blocking
+/// reads. `closed` means the writer half-closed (reads drain, then EOF)
+/// or the stream was shut down (writes also fail).
+struct PipeDir {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> bytes;
+  bool closed{false};
+};
+
+class PipeEndpoint final : public ByteStream {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeDir> in, std::shared_ptr<PipeDir> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  std::optional<std::size_t> read_some(std::span<std::uint8_t> out) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->cv.wait(lock, [this] { return !in_->bytes.empty() || in_->closed; });
+    if (in_->bytes.empty()) return 0;  // closed and drained: EOF
+    const std::size_t n = std::min(out.size(), in_->bytes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = in_->bytes.front();
+      in_->bytes.pop_front();
+    }
+    return n;
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (out_->closed) return false;
+    out_->bytes.insert(out_->bytes.end(), bytes.begin(), bytes.end());
+    out_->cv.notify_all();
+    return true;
+  }
+
+  void close_write() override { close_dir(*out_); }
+
+  void shutdown() override {
+    close_dir(*in_);
+    close_dir(*out_);
+  }
+
+ private:
+  static void close_dir(PipeDir& dir) {
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    dir.closed = true;
+    dir.cv.notify_all();
+  }
+
+  std::shared_ptr<PipeDir> in_;
+  std::shared_ptr<PipeDir> out_;
+};
+
+// ── POSIX fd stream ─────────────────────────────────────────────────────
+
+class FdByteStream final : public ByteStream {
+ public:
+  explicit FdByteStream(int fd) : fd_(fd) { TOMMY_EXPECTS(fd >= 0); }
+
+  ~FdByteStream() override { ::close(fd_); }
+
+  std::optional<std::size_t> read_some(std::span<std::uint8_t> out) override {
+    while (true) {
+      const ssize_t n = ::read(fd_, out.data(), out.size());
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + written, bytes.size() - written);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void close_write() override { ::shutdown(fd_, SHUT_WR); }
+
+  void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<ByteStream>, std::shared_ptr<ByteStream>>
+make_pipe_pair() {
+  auto a_to_b = std::make_shared<PipeDir>();
+  auto b_to_a = std::make_shared<PipeDir>();
+  return {std::make_shared<PipeEndpoint>(b_to_a, a_to_b),
+          std::make_shared<PipeEndpoint>(a_to_b, b_to_a)};
+}
+
+std::pair<std::shared_ptr<ByteStream>, std::shared_ptr<ByteStream>>
+make_socketpair_streams() {
+  int fds[2];
+  TOMMY_EXPECTS(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  return {std::make_shared<FdByteStream>(fds[0]),
+          std::make_shared<FdByteStream>(fds[1])};
+}
+
+std::shared_ptr<ByteStream> make_fd_stream(int fd) {
+  return std::make_shared<FdByteStream>(fd);
+}
+
+const char* to_string(WireError error) {
+  switch (error) {
+    case WireError::kNone:
+      return "none";
+    case WireError::kOversizedFrame:
+      return "oversized frame";
+    case WireError::kMalformedMessage:
+      return "malformed message payload";
+    case WireError::kHandshakeExpected:
+      return "first frame must be a distribution announcement";
+    case WireError::kUnknownClient:
+      return "client not in the expected set";
+    case WireError::kClientMismatch:
+      return "frame names a different client than the handshake";
+    case WireError::kRegistryFrozen:
+      return "announcement would change a frozen registry";
+    case WireError::kBatchFromClient:
+      return "client sent a batch-emission frame";
+    case WireError::kStreamError:
+      return "byte stream transport error";
+  }
+  return "unknown";
+}
+
+// ── Connection ──────────────────────────────────────────────────────────
+
+Connection::Connection(core::ClientRegistry& registry,
+                       core::FairOrderingService& service,
+                       FrontendConfig config, std::mutex* ingest_mutex)
+    : registry_(registry),
+      service_(service),
+      config_(normalized(std::move(config))),
+      ingest_mutex_(ingest_mutex),
+      decoder_(config_.max_frame_bytes) {}
+
+bool Connection::on_bytes(std::span<const std::uint8_t> bytes) {
+  if (failed()) return false;
+  decoder_.append(bytes);
+  while (auto payload = decoder_.next()) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    auto message = decode(*payload);
+    if (!message) return fail(WireError::kMalformedMessage);
+    if (!dispatch(std::move(*message))) return false;
+  }
+  if (decoder_.error() != FrameError::kNone) {
+    return fail(WireError::kOversizedFrame);
+  }
+  apply_pending();
+  return true;
+}
+
+void Connection::mark_failed(WireError error) {
+  WireError expected = WireError::kNone;
+  error_.compare_exchange_strong(expected, error, std::memory_order_relaxed);
+}
+
+bool Connection::dispatch(WireMessage&& message) {
+  if (const auto* announcement =
+          std::get_if<DistributionAnnouncement>(&message)) {
+    return handle_announcement(*announcement);
+  }
+  if (!handshaken()) return fail(WireError::kHandshakeExpected);
+
+  if (const auto* msg = std::get_if<TimestampedMessage>(&message)) {
+    if (msg->client != client_) return fail(WireError::kClientMismatch);
+    pending_.push_back(core::Submission{msg->local_stamp, msg->id,
+                                        config_.arrival_clock(message)});
+    submits_in_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.size() >= config_.submit_batch_limit) apply_pending();
+    return true;
+  }
+  if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
+    if (heartbeat->client != client_) return fail(WireError::kClientMismatch);
+    // Apply buffered submits first so the session sees per-connection
+    // FIFO order.
+    apply_pending();
+    const TimePoint now = config_.arrival_clock(message);
+    std::unique_lock<std::mutex> lock;
+    if (ingest_mutex_ != nullptr) {
+      lock = std::unique_lock<std::mutex>(*ingest_mutex_);
+    }
+    session_.heartbeat(heartbeat->local_stamp, now);
+    heartbeats_in_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return fail(WireError::kBatchFromClient);
+}
+
+bool Connection::handle_announcement(
+    const DistributionAnnouncement& announcement) {
+  if (handshaken() && announcement.client != client_) {
+    return fail(WireError::kClientMismatch);
+  }
+  if (!service_.expects_client(announcement.client)) {
+    return fail(WireError::kUnknownClient);
+  }
+  // Order re-announce effects after everything already streamed.
+  apply_pending();
+  {
+    std::unique_lock<std::mutex> lock;
+    if (ingest_mutex_ != nullptr) {
+      lock = std::unique_lock<std::mutex>(*ingest_mutex_);
+    }
+    if (service_.threaded()) {
+      // The threaded service's engine is primed-and-immutable; only an
+      // announcement that provably changes nothing may pass. A client
+      // registered directly with a Distribution object has no wire form
+      // to compare — the registry stays the source of truth and the
+      // announcement is accepted as a liveness signal only.
+      const std::vector<std::uint8_t>* stored =
+          registry_.announced_summary(announcement.client);
+      if (stored != nullptr && *stored != announcement.summary.serialize()) {
+        return fail(WireError::kRegistryFrozen);
+      }
+    } else {
+      // Idempotent: an identical re-send changes nothing and keeps the
+      // generation stable.
+      registry_.announce(announcement.client, announcement.summary);
+    }
+    if (!handshaken()) {
+      core::OpenError open_error{};
+      auto session =
+          service_.try_open_session(announcement.client, &open_error);
+      if (!session) {
+        return fail(open_error == core::OpenError::kUnknownClient
+                        ? WireError::kUnknownClient
+                        : WireError::kRegistryFrozen);
+      }
+      session_ = *session;
+      client_ = announcement.client;
+      // Release pairs with handshaken()'s acquire: observers that see
+      // true may read client_.
+      handshaken_.store(true, std::memory_order_release);
+    }
+  }
+  return true;
+}
+
+void Connection::apply_pending() {
+  if (pending_.empty()) return;
+  std::unique_lock<std::mutex> lock;
+  if (ingest_mutex_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(*ingest_mutex_);
+  }
+  session_.submit_batch(std::span<const core::Submission>(pending_));
+  pending_.clear();
+}
+
+bool Connection::fail(WireError error) {
+  // The valid prefix still counts: every fully-decoded, in-protocol frame
+  // before the poison byte has the same effect as if the stream had ended
+  // cleanly there.
+  apply_pending();
+  mark_failed(error);
+  return false;
+}
+
+// ── FrameFrontend ───────────────────────────────────────────────────────
+
+FrameFrontend::FrameFrontend(core::ClientRegistry& registry,
+                             core::FairOrderingService& service,
+                             FrontendConfig config)
+    : registry_(registry),
+      service_(service),
+      config_(normalized(std::move(config))) {}
+
+FrameFrontend::~FrameFrontend() {
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& conn : conns_) conns.push_back(conn.get());
+  }
+  for (Conn* conn : conns) conn->stream->shutdown();
+  for (Conn* conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+std::uint64_t FrameFrontend::add_connection(
+    std::shared_ptr<ByteStream> stream) {
+  TOMMY_EXPECTS(stream != nullptr);
+  // Threaded services serialize nothing up front: each reader thread is
+  // its session ring's single producer. Sequential services get all
+  // ingest and polls serialized behind ingest_mutex_.
+  std::mutex* ingest_mutex = service_.threaded() ? nullptr : &ingest_mutex_;
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto id = static_cast<std::uint64_t>(conns_.size());
+  conns_.push_back(std::make_unique<Conn>(std::move(stream), registry_,
+                                          service_, config_, ingest_mutex));
+  Conn& conn = *conns_.back();
+  conn.reader = std::thread([this, &conn] { reader_loop(conn); });
+  return id;
+}
+
+void FrameFrontend::reader_loop(Conn& conn) {
+  std::vector<std::uint8_t> buffer(config_.read_chunk_bytes);
+  bool protocol_ok = true;
+  while (true) {
+    const auto n = conn.stream->read_some(buffer);
+    if (!n) {
+      conn.machine.mark_failed(WireError::kStreamError);
+      protocol_ok = false;
+      break;
+    }
+    if (*n == 0) break;  // EOF: peer finished cleanly
+    if (!conn.machine.on_bytes({buffer.data(), *n})) {
+      protocol_ok = false;
+      break;
+    }
+  }
+  // On failure, tear the transport down so the peer is not left writing
+  // into a connection nobody reads.
+  if (!protocol_ok) conn.stream->shutdown();
+  conn.done.store(true, std::memory_order_release);
+}
+
+std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
+  auto broadcast = [this](core::EmissionRecord&& record, std::uint32_t) {
+    BatchEmission wire;
+    wire.rank = record.batch.rank;
+    wire.messages.reserve(record.batch.messages.size());
+    for (const core::Message& m : record.batch.messages) {
+      wire.messages.push_back(m.id);
+    }
+    const auto frame = encode_frame(WireMessage(std::move(wire)));
+    // Snapshot, then write holding only the per-connection mutex: a peer
+    // that stopped reading can stall ITS write (until someone shuts its
+    // stream down), but must not wedge conns_mutex_ — add_connection,
+    // the accessors and the destructor's shutdown path all need it.
+    // conns_ is append-only with stable addresses, so the snapshot stays
+    // valid for the front-end's lifetime.
+    std::vector<Conn*> targets;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      targets.reserve(conns_.size());
+      for (auto& conn : conns_) targets.push_back(conn.get());
+    }
+    for (Conn* conn : targets) {
+      std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      if (!conn->write_ok) continue;
+      if (!conn->stream->write_all(frame)) conn->write_ok = false;
+    }
+  };
+  std::unique_lock<std::mutex> lock;
+  if (!service_.threaded()) lock = std::unique_lock<std::mutex>(ingest_mutex_);
+  return flush_all ? service_.flush(now, broadcast)
+                   : service_.poll(now, broadcast);
+}
+
+std::size_t FrameFrontend::pump(TimePoint now) {
+  return drain(now, /*flush_all=*/false);
+}
+
+std::size_t FrameFrontend::pump_flush(TimePoint now) {
+  return drain(now, /*flush_all=*/true);
+}
+
+void FrameFrontend::join_readers() {
+  std::vector<Conn*> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& conn : conns_) conns.push_back(conn.get());
+  }
+  for (Conn* conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+std::size_t FrameFrontend::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return conns_.size();
+}
+
+bool FrameFrontend::connection_done(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  TOMMY_EXPECTS(id < conns_.size());
+  return conns_[id]->done.load(std::memory_order_acquire);
+}
+
+WireError FrameFrontend::connection_error(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  TOMMY_EXPECTS(id < conns_.size());
+  return conns_[id]->machine.error();
+}
+
+const Connection& FrameFrontend::connection(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  TOMMY_EXPECTS(id < conns_.size());
+  return conns_[id]->machine;
+}
+
+}  // namespace tommy::net

@@ -1,0 +1,300 @@
+// The wire front-end: turns the byte streams of Figure 1's deployment —
+// clients sending distribution announcements, timestamped messages and
+// heartbeats over the network — into FairOrderingService session calls,
+// and streams emitted batches back as frames. This is the layer that
+// makes the ordering core externally drivable; everything below it
+// (framing, messages) is bytes, everything above it (service, shards,
+// engine) is in-process calls.
+//
+// Layering (docs/architecture.md "Wire front-end"):
+//
+//   ByteStream ──► reader thread ──► FrameDecoder ──► Connection
+//        ▲                                               │ session
+//        │            encoded BatchEmission frames       ▼
+//   peer ◀──────────── pump(now) broadcast ◀──── FairOrderingService
+//
+//  * `ByteStream` abstracts the byte source/sink: an in-process pipe for
+//    tests and simulations (deterministic, no sockets) and a POSIX
+//    fd-backed implementation for socketpairs/TCP (the example).
+//  * `Connection` is the per-peer protocol state machine, thread-free and
+//    testable in isolation: it runs the handshake (first frame must be a
+//    DistributionAnnouncement; the client must be expected, the registry
+//    is updated or verified) and then feeds decoded TimestampedMessage /
+//    Heartbeat frames into the service session, batching runs of submits
+//    through the relaxed batch path. Every protocol violation is a typed
+//    WireError, never a crash.
+//  * `FrameFrontend` owns one reader thread per connection (the thread is
+//    the session's single SPSC producer in threaded mode — exactly the
+//    shape the ROADMAP called for) plus the outbound writer path:
+//    `pump(now)` polls the service and broadcasts each emitted batch as
+//    one BatchEmission frame to every live connection.
+//
+// Arrival stamping: wire messages carry the client's local stamp but not
+// the sequencer-clock arrival (`now`) the online machinery needs; the
+// front-end stamps each inbound message via `FrontendConfig::
+// arrival_clock`. Production uses the default (monotonic wall clock);
+// tests and simulations install a deterministic function of the message
+// so a frame-driven run is bit-identical to a direct-drive run.
+//
+// Concurrency: with a threaded service, readers are lock-free producers
+// onto their session rings and need no front-end serialization. With a
+// sequential service, the front-end serializes all ingest and polls
+// behind one mutex (the readers still take the blocking reads off the
+// caller's thread; they just apply one at a time).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/service.hpp"
+#include "net/framing.hpp"
+#include "net/messages.hpp"
+
+namespace tommy::net {
+
+/// Blocking byte source/sink a connection reads from and writes to.
+/// Implementations must allow one concurrent reader plus one concurrent
+/// writer (full-duplex); they need not support multiple readers.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Blocks until at least one byte is available, then reads up to
+  /// out.size() of them. Returns the count (> 0), 0 on clean EOF (peer
+  /// closed its write side), or nullopt on a transport error.
+  [[nodiscard]] virtual std::optional<std::size_t> read_some(
+      std::span<std::uint8_t> out) = 0;
+
+  /// Writes all of `bytes` (blocking). False on a transport error or a
+  /// peer that went away.
+  [[nodiscard]] virtual bool write_all(std::span<const std::uint8_t> bytes)
+      = 0;
+
+  /// Half-close: ends this endpoint's outbound direction. The peer's
+  /// reads drain what was written, then see EOF; this endpoint can still
+  /// read.
+  virtual void close_write() = 0;
+
+  /// Full shutdown: unblocks any pending read/write on BOTH endpoints
+  /// (pending and future reads drain buffered bytes, then EOF; writes
+  /// fail). Used to tear a connection down from another thread.
+  virtual void shutdown() = 0;
+};
+
+/// In-process full-duplex pipe (unbounded buffers, condition-variable
+/// blocking): two ByteStream endpoints for tests and simulations. Bytes
+/// written on one end come out of the other exactly as written, in
+/// whatever chunk sizes the reader asks for — so a test controls
+/// fragmentation and coalescing precisely by how it writes.
+[[nodiscard]] std::pair<std::shared_ptr<ByteStream>,
+                        std::shared_ptr<ByteStream>>
+make_pipe_pair();
+
+/// POSIX fd-backed pair over socketpair(AF_UNIX, SOCK_STREAM) — the real
+/// kernel transport for the end-to-end example (and any future TCP
+/// acceptor: FdByteStream works on any stream socket fd).
+[[nodiscard]] std::pair<std::shared_ptr<ByteStream>,
+                        std::shared_ptr<ByteStream>>
+make_socketpair_streams();
+
+/// Takes ownership of an open stream-socket fd and exposes it as a
+/// ByteStream.
+[[nodiscard]] std::shared_ptr<ByteStream> make_fd_stream(int fd);
+
+/// Typed per-connection protocol errors. Once a connection fails, further
+/// bytes are ignored (a byte stream has no resync point).
+enum class WireError : std::uint8_t {
+  kNone,
+  /// Framing: length prefix exceeded FrontendConfig::max_frame_bytes.
+  kOversizedFrame,
+  /// A complete frame's payload failed WireMessage decode.
+  kMalformedMessage,
+  /// First frame was not a DistributionAnnouncement.
+  kHandshakeExpected,
+  /// Announced client is not in the service's expected set.
+  kUnknownClient,
+  /// A frame named a different client than the handshake bound.
+  kClientMismatch,
+  /// The announcement would change a registry a threaded service primed
+  /// against (immutable while workers run; see docs/architecture.md).
+  kRegistryFrozen,
+  /// Client sent a sequencer→client BatchEmission frame.
+  kBatchFromClient,
+  /// The underlying ByteStream reported a transport error.
+  kStreamError,
+};
+
+[[nodiscard]] const char* to_string(WireError error);
+
+struct FrontendConfig {
+  /// Stamps each inbound message with its sequencer-clock arrival (the
+  /// `now` of the session call). Default (null): monotonic wall clock,
+  /// seconds since process start. Tests/simulations install a
+  /// deterministic function of the message (e.g. stamp + modeled delay)
+  /// so frame-driven runs replay bit-identically.
+  std::function<TimePoint(const WireMessage&)> arrival_clock{};
+  /// Frame payload cap (oversized frames poison the connection).
+  std::size_t max_frame_bytes{kDefaultMaxFrameBytes};
+  /// Reader-thread read chunk size.
+  std::size_t read_chunk_bytes{4096};
+  /// Submissions buffered per connection before a forced apply (runs of
+  /// decoded submits apply through the relaxed batch path in chunks of at
+  /// most this).
+  std::size_t submit_batch_limit{512};
+};
+
+/// Per-peer protocol state machine: incremental frame decode, handshake,
+/// dispatch into a service session. Thread-free — feed it bytes in any
+/// chunking via on_bytes() and it applies complete frames as they
+/// materialize; FrameFrontend wraps it with a reader thread. The error
+/// state and counters are atomics so another thread may observe them
+/// while bytes flow.
+class Connection {
+ public:
+  /// `ingest_mutex` serializes session calls and registry updates against
+  /// other connections and polls; pass nullptr when the service is
+  /// threaded (sessions are their own single-producer lanes) or when only
+  /// one thread drives everything.
+  Connection(core::ClientRegistry& registry,
+             core::FairOrderingService& service, FrontendConfig config,
+             std::mutex* ingest_mutex = nullptr);
+
+  /// Feeds raw stream bytes; decodes and applies every frame that
+  /// completes. Returns false once the connection is failed (the caller
+  /// should stop feeding and tear the stream down).
+  bool on_bytes(std::span<const std::uint8_t> bytes);
+
+  /// External failure injection (the reader thread reports transport
+  /// errors here). No-op if already failed.
+  void mark_failed(WireError error);
+
+  [[nodiscard]] bool failed() const {
+    return error_.load(std::memory_order_relaxed) != WireError::kNone;
+  }
+  [[nodiscard]] WireError error() const {
+    return error_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool handshaken() const {
+    return handshaken_.load(std::memory_order_acquire);
+  }
+  /// Valid once handshaken() is true (the acquire load above orders the
+  /// read, from any thread).
+  [[nodiscard]] ClientId client() const { return client_; }
+
+  [[nodiscard]] std::uint64_t frames_in() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t submits_in() const {
+    return submits_in_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t heartbeats_in() const {
+    return heartbeats_in_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool dispatch(WireMessage&& message);
+  bool handle_announcement(const DistributionAnnouncement& announcement);
+  /// Applies buffered submissions through the relaxed batch path.
+  void apply_pending();
+  /// Applies the valid prefix, then poisons the connection.
+  bool fail(WireError error);
+
+  core::ClientRegistry& registry_;
+  core::FairOrderingService& service_;
+  FrontendConfig config_;
+  std::mutex* ingest_mutex_;
+
+  FrameDecoder decoder_;
+  core::FairOrderingService::Session session_;
+  ClientId client_{};
+  std::vector<core::Submission> pending_;
+
+  std::atomic<WireError> error_{WireError::kNone};
+  std::atomic<bool> handshaken_{false};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> submits_in_{0};
+  std::atomic<std::uint64_t> heartbeats_in_{0};
+};
+
+/// Socket-facing adapter over a FairOrderingService: one reader thread
+/// per adopted ByteStream feeding that connection's session, plus the
+/// outbound broadcast of emitted batches. See the file header.
+class FrameFrontend {
+ public:
+  /// `registry` must be the registry `service` was built on (handshake
+  /// announcements go to it); both must outlive the front-end.
+  FrameFrontend(core::ClientRegistry& registry,
+                core::FairOrderingService& service,
+                FrontendConfig config = {});
+
+  /// Shuts every stream down and joins the readers.
+  ~FrameFrontend();
+
+  FrameFrontend(const FrameFrontend&) = delete;
+  FrameFrontend& operator=(const FrameFrontend&) = delete;
+
+  /// Adopts `stream` and spawns its reader thread. Returns the connection
+  /// id used by the introspection accessors.
+  std::uint64_t add_connection(std::shared_ptr<ByteStream> stream);
+
+  /// Polls the service at `now` and broadcasts every emitted batch as an
+  /// encoded BatchEmission frame to every connection whose writes still
+  /// succeed. Returns the number of batches emitted. One pump/flush at a
+  /// time (callers serialize; the service's own poll contract).
+  std::size_t pump(TimePoint now);
+
+  /// flush() counterpart of pump (shutdown drain, gates ignored).
+  std::size_t pump_flush(TimePoint now);
+
+  /// Joins every reader thread. Callers arrange EOF first (peers
+  /// close_write / streams shut down), otherwise this blocks; after it
+  /// returns, everything the peers sent has been applied to the service
+  /// (threaded mode: enqueued — a subsequent poll/quiesce drains it).
+  void join_readers();
+
+  [[nodiscard]] std::size_t connection_count() const;
+  /// Reader-thread exit flag (EOF, error, or protocol failure).
+  [[nodiscard]] bool connection_done(std::uint64_t id) const;
+  [[nodiscard]] WireError connection_error(std::uint64_t id) const;
+  /// The state machine itself (counters any time; client() once
+  /// handshaken).
+  [[nodiscard]] const Connection& connection(std::uint64_t id) const;
+
+ private:
+  struct Conn {
+    std::shared_ptr<ByteStream> stream;
+    Connection machine;
+    std::thread reader;
+    std::atomic<bool> done{false};
+    std::mutex write_mutex;
+    bool write_ok{true};
+
+    Conn(std::shared_ptr<ByteStream> s, core::ClientRegistry& registry,
+         core::FairOrderingService& service, FrontendConfig config,
+         std::mutex* ingest_mutex)
+        : stream(std::move(s)),
+          machine(registry, service, std::move(config), ingest_mutex) {}
+  };
+
+  void reader_loop(Conn& conn);
+  std::size_t drain(TimePoint now, bool flush_all);
+
+  core::ClientRegistry& registry_;
+  core::FairOrderingService& service_;
+  FrontendConfig config_;
+
+  /// Serializes sequential-mode ingest/polls (unused when threaded).
+  std::mutex ingest_mutex_;
+  mutable std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace tommy::net

@@ -14,6 +14,7 @@
 #include "sim/population.hpp"
 #include "sim/workload.hpp"
 #include "stats/gaussian.hpp"
+#include "stats/summary.hpp"
 
 namespace tommy::core {
 namespace {
@@ -515,6 +516,75 @@ TEST(FairOrderingServiceTest, SharedEngineIsPrimedOnceAndReallyShared) {
     // Every shard sees the whole registry through the one engine.
     EXPECT_EQ(&service.shard(s).registry(), &registry);
   }
+}
+
+// ── Connection-front-end hooks (try_open_session & friends) ─────────────
+
+TEST(FairOrderingServiceTest, ExpectsClientReflectsTheExpectedSet) {
+  const ClientRegistry registry = make_registry(4);
+  FairOrderingService service(registry, ids(3), {});  // client 3 not expected
+  EXPECT_TRUE(service.expects_client(ClientId(0)));
+  EXPECT_TRUE(service.expects_client(ClientId(2)));
+  EXPECT_FALSE(service.expects_client(ClientId(3)));
+  EXPECT_FALSE(service.expects_client(ClientId(99)));
+}
+
+TEST(FairOrderingServiceTest, TryOpenSessionReportsUnknownClients) {
+  const ClientRegistry registry = make_registry(2);
+  FairOrderingService service(registry, ids(2), {});
+
+  OpenError error{};
+  auto session = service.try_open_session(ClientId(7), &error);
+  EXPECT_FALSE(session.has_value());
+  EXPECT_EQ(error, OpenError::kUnknownClient);
+
+  session = service.try_open_session(ClientId(1), &error);
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(error, OpenError::kNone);
+  session->submit(TimePoint(1.0), MessageId(5), TimePoint(1.01));
+  EXPECT_EQ(service.pending_count(), 1u);
+}
+
+TEST(FairOrderingServiceTest, TryOpenSessionDetectsAMovedRegistryWhenThreaded) {
+  ClientRegistry registry = make_registry(2);
+  ServiceConfig config;
+  config.with_worker_threads().with_p_safe(0.99);
+  FairOrderingService service(registry, ids(2), config);
+  EXPECT_EQ(service.primed_generation(), registry.generation());
+
+  // An identical re-announce is generation-stable: sessions still open.
+  // (make_registry announces Distribution objects directly, so announce a
+  // comparable summary form first.)
+  registry.announce(ClientId(0),
+                    stats::DistributionSummary(stats::GaussianParams{0.0, kSigma}));
+  const std::uint64_t moved = registry.generation();
+  EXPECT_NE(moved, service.primed_generation());
+
+  OpenError error{};
+  const auto session = service.try_open_session(ClientId(0), &error);
+  EXPECT_FALSE(session.has_value());
+  EXPECT_EQ(error, OpenError::kRegistryChanged);
+}
+
+TEST(ClientRegistryTest, IdenticalSummaryReannounceKeepsGenerationStable) {
+  ClientRegistry registry;
+  const stats::DistributionSummary summary(stats::GaussianParams{1e-4, 2e-3});
+  EXPECT_TRUE(registry.announce(ClientId(1), summary));
+  const std::uint64_t generation = registry.generation();
+  ASSERT_NE(registry.announced_summary(ClientId(1)), nullptr);
+
+  EXPECT_FALSE(registry.announce(ClientId(1), summary));  // no-op re-send
+  EXPECT_EQ(registry.generation(), generation);
+
+  const stats::DistributionSummary changed(stats::GaussianParams{2e-4, 2e-3});
+  EXPECT_TRUE(registry.announce(ClientId(1), changed));
+  EXPECT_EQ(registry.generation(), generation + 1);
+
+  // Direct Distribution announces always replace and clear the wire form.
+  EXPECT_TRUE(registry.announce(
+      ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1e-3)));
+  EXPECT_EQ(registry.announced_summary(ClientId(1)), nullptr);
+  EXPECT_EQ(registry.generation(), generation + 2);
 }
 
 }  // namespace

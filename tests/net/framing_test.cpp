@@ -1,0 +1,206 @@
+// Incremental frame codec: partial reads at every split point, coalesced
+// frames, byte trickles, zero-length payloads, the oversized-frame poison
+// path, and buffer compaction on long-lived streams.
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+/// A frame stream with one payload of every protocol message type (plus
+/// an empty one): the canonical input the split-point tests dissect.
+struct FrameFixture {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::uint8_t> stream;
+
+  FrameFixture() {
+    payloads.push_back(encode(DistributionAnnouncement{
+        ClientId(3), stats::DistributionSummary(
+                         stats::GaussianParams{1e-5, 2e-6})}));
+    payloads.push_back(encode(
+        TimestampedMessage{ClientId(7), MessageId(42), TimePoint(1.5)}));
+    payloads.push_back(encode(Heartbeat{ClientId(7), TimePoint(2.0)}));
+    payloads.push_back(
+        encode(BatchEmission{9, {MessageId(1), MessageId(2)}}));
+    payloads.push_back({});  // zero-length payload frames are legal
+    for (const auto& payload : payloads) {
+      const auto frame = encode_frame(std::span<const std::uint8_t>(payload));
+      stream.insert(stream.end(), frame.begin(), frame.end());
+    }
+  }
+};
+
+std::vector<std::vector<std::uint8_t>> pull_all(FrameDecoder& decoder) {
+  std::vector<std::vector<std::uint8_t>> out;
+  while (auto payload = decoder.next()) out.push_back(std::move(*payload));
+  return out;
+}
+
+TEST(Framing, SingleFrameRoundTrip) {
+  const auto payload = bytes_of({1, 2, 3, 4, 5});
+  const auto frame = encode_frame(std::span<const std::uint8_t>(payload));
+  ASSERT_EQ(frame.size(), 4 + payload.size());
+
+  FrameDecoder decoder;
+  decoder.append(frame);
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Framing, CoalescedFramesDecodeInOrder) {
+  const FrameFixture fixture;
+  FrameDecoder decoder;
+  decoder.append(fixture.stream);  // one append, every frame at once
+  EXPECT_EQ(pull_all(decoder), fixture.payloads);
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+}
+
+// The satellite torture: the stream split into two appends at EVERY
+// possible point must yield the identical payload sequence, with nothing
+// emitted early.
+TEST(Framing, EverySplitPointYieldsTheSameFrames) {
+  const FrameFixture fixture;
+  for (std::size_t split = 0; split <= fixture.stream.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.append(
+        std::span<const std::uint8_t>(fixture.stream.data(), split));
+    auto frames = pull_all(decoder);
+    decoder.append(std::span<const std::uint8_t>(
+        fixture.stream.data() + split, fixture.stream.size() - split));
+    for (auto& frame : pull_all(decoder)) frames.push_back(std::move(frame));
+    EXPECT_EQ(frames, fixture.payloads) << "split at " << split;
+    EXPECT_EQ(decoder.error(), FrameError::kNone);
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(Framing, ByteAtATimeTrickle) {
+  const FrameFixture fixture;
+  FrameDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::uint8_t byte : fixture.stream) {
+    decoder.append(std::span<const std::uint8_t>(&byte, 1));
+    for (auto& frame : pull_all(decoder)) frames.push_back(std::move(frame));
+  }
+  EXPECT_EQ(frames, fixture.payloads);
+}
+
+TEST(Framing, RandomFragmentationMatches) {
+  const FrameFixture fixture;
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    FrameDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::size_t offset = 0;
+    while (offset < fixture.stream.size()) {
+      const auto chunk = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(fixture.stream.size() - offset)));
+      decoder.append(std::span<const std::uint8_t>(
+          fixture.stream.data() + offset, chunk));
+      offset += chunk;
+      for (auto& frame : pull_all(decoder)) {
+        frames.push_back(std::move(frame));
+      }
+    }
+    EXPECT_EQ(frames, fixture.payloads) << "round " << round;
+  }
+}
+
+TEST(Framing, NeedsAllLengthBytesBeforeDeciding) {
+  FrameDecoder decoder;
+  decoder.append(bytes_of({5, 0, 0}));  // 3 of the 4 length bytes
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+  decoder.append(bytes_of({0}));
+  EXPECT_FALSE(decoder.next().has_value());  // header complete, payload not
+  decoder.append(bytes_of({1, 2, 3, 4, 5}));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, bytes_of({1, 2, 3, 4, 5}));
+}
+
+TEST(Framing, OversizedLengthPoisonsTheDecoder) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.append(bytes_of({17, 0, 0, 0}));  // length 17 > cap 16
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kOversized);
+  // Poisoned: later (well-formed) bytes are ignored, no frame ever comes.
+  decoder.append(encode_frame(std::span<const std::uint8_t>()));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.error(), FrameError::kOversized);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Framing, MaxSizedFrameIsAccepted) {
+  FrameDecoder decoder(/*max_frame_bytes=*/8);
+  const std::vector<std::uint8_t> payload(8, 0xAA);
+  decoder.append(encode_frame(std::span<const std::uint8_t>(payload)));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+}
+
+// Long-lived connection: thousands of frames through one decoder (with
+// interleaved appends) exercise the internal buffer compaction without
+// changing observable behaviour.
+TEST(Framing, LongStreamDoesNotDropOrReorderFrames) {
+  FrameDecoder decoder;
+  Rng rng(7);
+  std::vector<std::uint8_t> carry;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (int round = 0; round < 400; ++round) {
+    // A burst of frames whose payloads encode their sequence number.
+    std::vector<std::uint8_t> burst = std::move(carry);
+    carry.clear();
+    const int frames = static_cast<int>(rng.uniform_int(1, 8));
+    for (int f = 0; f < frames; ++f) {
+      std::vector<std::uint8_t> payload(8);
+      for (int i = 0; i < 8; ++i) {
+        payload[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(sent >> (8 * i));
+      }
+      ++sent;
+      const auto frame = encode_frame(std::span<const std::uint8_t>(payload));
+      burst.insert(burst.end(), frame.begin(), frame.end());
+    }
+    // Hold back a random suffix for the next round (partial frame).
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(burst.size())));
+    carry.assign(burst.begin() + static_cast<std::ptrdiff_t>(keep),
+                 burst.end());
+    decoder.append(std::span<const std::uint8_t>(burst.data(), keep));
+    while (auto payload = decoder.next()) {
+      ASSERT_EQ(payload->size(), 8u);
+      std::uint64_t value = 0;
+      for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>((*payload)[static_cast<std::size_t>(i)])
+                 << (8 * i);
+      }
+      EXPECT_EQ(value, received);
+      ++received;
+    }
+  }
+  decoder.append(carry);
+  while (auto payload = decoder.next()) ++received;
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(decoder.error(), FrameError::kNone);
+}
+
+}  // namespace
+}  // namespace tommy::net

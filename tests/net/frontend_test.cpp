@@ -1,0 +1,626 @@
+// Wire front-end: ByteStream pipes, the Connection handshake/dispatch
+// state machine (typed error paths, partial-read torture), the
+// frames-in == direct-session-calls-in equivalence (bit-identical
+// emission streams, sequential and threaded engines, deliberately
+// fragmented and coalesced reads), and the outbound BatchEmission
+// broadcast — including over a real socketpair.
+#include "net/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <variant>
+
+#include "common/rng.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::net {
+namespace {
+
+using core::ClientRegistry;
+using core::FairOrderingService;
+using core::ServiceConfig;
+using tommy::literals::operator""_ms;
+
+constexpr Duration kWireDelay = Duration(0.5e-3);
+
+/// Deterministic arrival clock: every run (framed or direct) stamps a
+/// message's sequencer-clock arrival as its local stamp plus a fixed wire
+/// delay, so emission streams are replayable bit-for-bit.
+TimePoint modeled_arrival(const WireMessage& message) {
+  if (const auto* msg = std::get_if<TimestampedMessage>(&message)) {
+    return msg->local_stamp + kWireDelay;
+  }
+  if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
+    return heartbeat->local_stamp + kWireDelay;
+  }
+  ADD_FAILURE() << "arrival requested for a non-ingest message";
+  return TimePoint::epoch();
+}
+
+FrontendConfig test_config() {
+  FrontendConfig config;
+  config.arrival_clock = modeled_arrival;
+  return config;
+}
+
+stats::DistributionSummary summary_for(std::uint32_t client) {
+  return stats::DistributionSummary(
+      stats::GaussianParams{1e-4 * client, 1e-3});
+}
+
+/// Registry announced via summaries (so announced_summary() has wire
+/// bytes to compare against handshake re-sends).
+ClientRegistry make_registry(std::uint32_t n) {
+  ClientRegistry registry;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    registry.announce(ClientId(c), summary_for(c));
+  }
+  return registry;
+}
+
+std::vector<ClientId> ids(std::uint32_t n) {
+  std::vector<ClientId> out;
+  for (std::uint32_t c = 0; c < n; ++c) out.push_back(ClientId(c));
+  return out;
+}
+
+std::vector<std::uint8_t> announce_frame(std::uint32_t client) {
+  return encode_frame(
+      WireMessage(DistributionAnnouncement{ClientId(client),
+                                           summary_for(client)}));
+}
+
+std::vector<std::uint8_t> message_frame(std::uint32_t client,
+                                        std::uint64_t id, double stamp) {
+  return encode_frame(WireMessage(TimestampedMessage{
+      ClientId(client), MessageId(id), TimePoint(stamp)}));
+}
+
+std::vector<std::uint8_t> heartbeat_frame(std::uint32_t client,
+                                          double stamp) {
+  return encode_frame(
+      WireMessage(Heartbeat{ClientId(client), TimePoint(stamp)}));
+}
+
+// ── Captured emissions (the equivalence currency) ───────────────────────
+
+struct CapturedMessage {
+  std::uint64_t id;
+  std::uint32_t client;
+  double stamp;
+  double arrival;
+
+  friend bool operator==(const CapturedMessage&, const CapturedMessage&)
+      = default;
+};
+
+struct CapturedBatch {
+  std::uint32_t shard;
+  Rank rank;
+  double emitted_at;
+  double safe_time;
+  std::vector<CapturedMessage> messages;
+
+  friend bool operator==(const CapturedBatch&, const CapturedBatch&)
+      = default;
+};
+
+CapturedBatch capture(const core::EmissionRecord& record,
+                      std::uint32_t shard) {
+  CapturedBatch batch;
+  batch.shard = shard;
+  batch.rank = record.batch.rank;
+  batch.emitted_at = record.emitted_at.seconds();
+  batch.safe_time = record.safe_time.seconds();
+  for (const core::Message& m : record.batch.messages) {
+    batch.messages.push_back(CapturedMessage{m.id.value(), m.client.value(),
+                                             m.stamp.seconds(),
+                                             m.arrival.seconds()});
+  }
+  return batch;
+}
+
+// ── Workload ────────────────────────────────────────────────────────────
+
+struct Event {
+  bool is_heartbeat;
+  std::uint64_t id;      // messages only
+  TimePoint stamp;
+};
+
+/// Per-client event sequences: stamps advance with jitter, a heartbeat
+/// every few messages, and a trailing heartbeat that pushes the
+/// completeness frontier past everything.
+std::vector<std::vector<Event>> make_workload(std::uint32_t clients,
+                                              int per_client,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Event>> events(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    Rng client_rng = rng.split();
+    double stamp = 1.0 + 1e-4 * c;
+    for (int k = 0; k < per_client; ++k) {
+      stamp += client_rng.uniform(0.5e-3, 3e-3);
+      events[c].push_back(Event{false, 1000ULL * c + static_cast<std::uint64_t>(k),
+                                TimePoint(stamp)});
+      if (k % 5 == 4) {
+        events[c].push_back(Event{true, 0, TimePoint(stamp + 0.1e-3)});
+      }
+    }
+    events[c].push_back(Event{true, 0, TimePoint(stamp + 50e-3)});
+  }
+  return events;
+}
+
+std::vector<TimePoint> poll_schedule() {
+  // Mid-stream polls plus a generous end-of-world poll before the flush.
+  return {TimePoint(1.05), TimePoint(1.2), TimePoint(1.5), TimePoint(2.5)};
+}
+
+/// Reference run: the same workload through direct session calls.
+std::vector<CapturedBatch> run_direct(
+    const std::vector<std::vector<Event>>& workload, ServiceConfig config) {
+  ClientRegistry registry =
+      make_registry(static_cast<std::uint32_t>(workload.size()));
+  FairOrderingService service(
+      registry, ids(static_cast<std::uint32_t>(workload.size())), config);
+
+  for (std::uint32_t c = 0; c < workload.size(); ++c) {
+    auto session = service.open_session(ClientId(c));
+    std::vector<core::Submission> batch;
+    for (const Event& event : workload[c]) {
+      if (event.is_heartbeat) {
+        session.submit_batch(std::span<const core::Submission>(batch));
+        batch.clear();
+        session.heartbeat(event.stamp, event.stamp + kWireDelay);
+      } else {
+        batch.push_back(core::Submission{event.stamp, MessageId(event.id),
+                                         event.stamp + kWireDelay});
+      }
+    }
+    session.submit_batch(std::span<const core::Submission>(batch));
+  }
+
+  std::vector<CapturedBatch> out;
+  auto sink = [&out](core::EmissionRecord&& record, std::uint32_t shard) {
+    out.push_back(capture(record, shard));
+  };
+  for (TimePoint t : poll_schedule()) service.poll(t, sink);
+  service.flush(TimePoint(3.0), sink);
+  return out;
+}
+
+/// Frame run: the same workload encoded as wire frames, written through
+/// in-process pipes in random fragments (sometimes coalescing several
+/// frames into one write, sometimes splitting one frame across many).
+std::vector<CapturedBatch> run_framed(
+    const std::vector<std::vector<Event>>& workload, ServiceConfig config,
+    std::uint64_t fragment_seed) {
+  ClientRegistry registry =
+      make_registry(static_cast<std::uint32_t>(workload.size()));
+  FairOrderingService service(
+      registry, ids(static_cast<std::uint32_t>(workload.size())), config);
+  FrameFrontend frontend(registry, service, test_config());
+
+  // Per-client byte image: handshake announcement, then the event frames.
+  Rng rng(fragment_seed);
+  std::vector<std::thread> writers;
+  std::vector<std::shared_ptr<ByteStream>> client_ends;
+  for (std::uint32_t c = 0; c < workload.size(); ++c) {
+    auto [server_end, client_end] = make_pipe_pair();
+    frontend.add_connection(server_end);
+    client_ends.push_back(client_end);
+
+    std::vector<std::uint8_t> bytes = announce_frame(c);
+    for (const Event& event : workload[c]) {
+      const auto frame =
+          event.is_heartbeat
+              ? heartbeat_frame(c, event.stamp.seconds())
+              : message_frame(c, event.id, event.stamp.seconds());
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+    }
+
+    // Concurrent writers with independent random chunkings: partial and
+    // coalesced reads on every connection.
+    Rng writer_rng = rng.split();
+    writers.emplace_back([bytes = std::move(bytes),
+                          stream = client_end.get(),
+                          writer_rng]() mutable {
+      std::size_t offset = 0;
+      while (offset < bytes.size()) {
+        const auto chunk = static_cast<std::size_t>(writer_rng.uniform_int(
+            1, std::min<std::int64_t>(
+                   97, static_cast<std::int64_t>(bytes.size() - offset))));
+        ASSERT_TRUE(stream->write_all(std::span<const std::uint8_t>(
+            bytes.data() + offset, chunk)));
+        offset += chunk;
+      }
+      stream->close_write();
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  frontend.join_readers();
+
+  for (std::uint32_t c = 0; c < workload.size(); ++c) {
+    EXPECT_EQ(frontend.connection_error(c), WireError::kNone);
+    EXPECT_TRUE(frontend.connection(c).handshaken());
+  }
+
+  std::vector<CapturedBatch> out;
+  auto sink = [&out](core::EmissionRecord&& record, std::uint32_t shard) {
+    out.push_back(capture(record, shard));
+  };
+  for (TimePoint t : poll_schedule()) service.poll(t, sink);
+  service.flush(TimePoint(3.0), sink);
+  return out;
+}
+
+// ── ByteStream pipes ────────────────────────────────────────────────────
+
+TEST(InProcessPipe, TransportsBytesAndSignalsEof) {
+  auto [a, b] = make_pipe_pair();
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(a->write_all(payload));
+  a->close_write();
+
+  std::vector<std::uint8_t> got;
+  std::uint8_t buf[3];
+  while (true) {
+    const auto n = b->read_some(std::span<std::uint8_t>(buf, sizeof(buf)));
+    ASSERT_TRUE(n.has_value());
+    if (*n == 0) break;
+    got.insert(got.end(), buf, buf + *n);
+  }
+  EXPECT_EQ(got, payload);
+  // Full duplex: the other direction still works after the half-close.
+  ASSERT_TRUE(b->write_all(payload));
+}
+
+TEST(InProcessPipe, ShutdownUnblocksAPendingRead) {
+  auto [a, b] = make_pipe_pair();
+  std::thread reader([&b] {
+    std::uint8_t buf[8];
+    const auto n = b->read_some(std::span<std::uint8_t>(buf, sizeof(buf)));
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);  // EOF, not an error
+  });
+  b->shutdown();
+  reader.join();
+  EXPECT_FALSE(a->write_all(std::vector<std::uint8_t>{1}));
+}
+
+// ── Connection state machine (thread-free) ──────────────────────────────
+
+struct ConnectionFixture {
+  ClientRegistry registry = make_registry(4);
+  ServiceConfig config;
+  FairOrderingService service;
+  Connection connection;
+
+  explicit ConnectionFixture(ServiceConfig service_config = {})
+      : config(service_config),
+        service(registry, ids(4), config),
+        connection(registry, service, test_config()) {}
+};
+
+TEST(Connection, HandshakeThenMessagesFlow) {
+  ConnectionFixture fx;
+  EXPECT_FALSE(fx.connection.handshaken());
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_TRUE(fx.connection.handshaken());
+  EXPECT_EQ(fx.connection.client(), ClientId(1));
+
+  ASSERT_TRUE(fx.connection.on_bytes(message_frame(1, 7, 1.001)));
+  ASSERT_TRUE(fx.connection.on_bytes(heartbeat_frame(1, 1.002)));
+  EXPECT_EQ(fx.connection.frames_in(), 3u);
+  EXPECT_EQ(fx.connection.submits_in(), 1u);
+  EXPECT_EQ(fx.connection.heartbeats_in(), 1u);
+  EXPECT_EQ(fx.service.pending_count(), 1u);
+}
+
+TEST(Connection, HandshakeSurvivesEveryByteSplit) {
+  const auto handshake = announce_frame(2);
+  const auto message = message_frame(2, 9, 1.5);
+  for (std::size_t split = 0; split <= handshake.size(); ++split) {
+    ConnectionFixture fx;
+    ASSERT_TRUE(fx.connection.on_bytes(std::span<const std::uint8_t>(
+        handshake.data(), split)));
+    EXPECT_EQ(fx.connection.handshaken(), split == handshake.size());
+    ASSERT_TRUE(fx.connection.on_bytes(std::span<const std::uint8_t>(
+        handshake.data() + split, handshake.size() - split)));
+    EXPECT_TRUE(fx.connection.handshaken());
+    // A message split across two reads lands exactly once.
+    const std::size_t half = message.size() / 2;
+    ASSERT_TRUE(fx.connection.on_bytes(
+        std::span<const std::uint8_t>(message.data(), half)));
+    EXPECT_EQ(fx.connection.submits_in(), 0u);
+    ASSERT_TRUE(fx.connection.on_bytes(std::span<const std::uint8_t>(
+        message.data() + half, message.size() - half)));
+    EXPECT_EQ(fx.connection.submits_in(), 1u);
+    EXPECT_EQ(fx.service.pending_count(), 1u);
+  }
+}
+
+TEST(Connection, FirstFrameMustBeAnnouncement) {
+  ConnectionFixture fx;
+  EXPECT_FALSE(fx.connection.on_bytes(message_frame(1, 7, 1.0)));
+  EXPECT_EQ(fx.connection.error(), WireError::kHandshakeExpected);
+  // Poisoned: even a valid handshake is ignored now.
+  EXPECT_FALSE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_FALSE(fx.connection.handshaken());
+}
+
+TEST(Connection, UnknownClientIsATypedError) {
+  ConnectionFixture fx;
+  EXPECT_FALSE(fx.connection.on_bytes(announce_frame(77)));
+  EXPECT_EQ(fx.connection.error(), WireError::kUnknownClient);
+}
+
+TEST(Connection, DataFrameForAnotherClientIsRejected) {
+  ConnectionFixture fx;
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_FALSE(fx.connection.on_bytes(message_frame(2, 7, 1.0)));
+  EXPECT_EQ(fx.connection.error(), WireError::kClientMismatch);
+}
+
+TEST(Connection, HeartbeatForAnotherClientIsRejected) {
+  ConnectionFixture fx;
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_FALSE(fx.connection.on_bytes(heartbeat_frame(3, 1.0)));
+  EXPECT_EQ(fx.connection.error(), WireError::kClientMismatch);
+}
+
+TEST(Connection, BatchEmissionFromClientIsRejected) {
+  ConnectionFixture fx;
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_FALSE(fx.connection.on_bytes(
+      encode_frame(WireMessage(BatchEmission{0, {MessageId(1)}}))));
+  EXPECT_EQ(fx.connection.error(), WireError::kBatchFromClient);
+}
+
+TEST(Connection, MalformedPayloadIsRejected) {
+  ConnectionFixture fx;
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  const std::vector<std::uint8_t> garbage = {0xFF, 0x13, 0x37};
+  EXPECT_FALSE(fx.connection.on_bytes(
+      encode_frame(std::span<const std::uint8_t>(garbage))));
+  EXPECT_EQ(fx.connection.error(), WireError::kMalformedMessage);
+}
+
+TEST(Connection, OversizedFrameIsRejected) {
+  ClientRegistry registry = make_registry(4);
+  FairOrderingService service(registry, ids(4), {});
+  FrontendConfig config = test_config();
+  config.max_frame_bytes = 8;
+  Connection connection(registry, service, config);
+  EXPECT_FALSE(connection.on_bytes(announce_frame(1)));  // summary > 8 bytes
+  EXPECT_EQ(connection.error(), WireError::kOversizedFrame);
+}
+
+TEST(Connection, ValidPrefixBeforeAPoisonByteStillCounts) {
+  ConnectionFixture fx;
+  std::vector<std::uint8_t> bytes = announce_frame(1);
+  const auto good = message_frame(1, 7, 1.001);
+  const auto bad = message_frame(2, 8, 1.002);  // wrong client
+  bytes.insert(bytes.end(), good.begin(), good.end());
+  bytes.insert(bytes.end(), bad.begin(), bad.end());
+  EXPECT_FALSE(fx.connection.on_bytes(bytes));
+  EXPECT_EQ(fx.connection.error(), WireError::kClientMismatch);
+  // The in-protocol prefix (handshake + one message) was applied.
+  EXPECT_TRUE(fx.connection.handshaken());
+  EXPECT_EQ(fx.service.pending_count(), 1u);
+}
+
+TEST(Connection, IdenticalReannounceIsIdempotent) {
+  ConnectionFixture fx;
+  const std::uint64_t generation = fx.registry.generation();
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  EXPECT_EQ(fx.registry.generation(), generation);  // wire form matched
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));  // mid-stream
+  EXPECT_EQ(fx.registry.generation(), generation);
+}
+
+TEST(Connection, ChangedReannounceUpdatesASequentialRegistry) {
+  ConnectionFixture fx;
+  ASSERT_TRUE(fx.connection.on_bytes(announce_frame(1)));
+  const std::uint64_t generation = fx.registry.generation();
+  const auto changed = encode_frame(WireMessage(DistributionAnnouncement{
+      ClientId(1),
+      stats::DistributionSummary(stats::GaussianParams{5e-4, 2e-3})}));
+  ASSERT_TRUE(fx.connection.on_bytes(changed));
+  EXPECT_EQ(fx.registry.generation(), generation + 1);
+  // Ingest still works against the re-primed engine.
+  ASSERT_TRUE(fx.connection.on_bytes(message_frame(1, 7, 1.001)));
+  EXPECT_EQ(fx.service.pending_count(), 1u);
+}
+
+TEST(Connection, ChangedAnnounceAgainstAThreadedServiceIsFrozen) {
+  ClientRegistry registry = make_registry(4);
+  ServiceConfig config;
+  config.with_worker_threads();
+  FairOrderingService service(registry, ids(4), config);
+  Connection connection(registry, service, test_config());
+  // Identical announce: fine (generation untouched).
+  ASSERT_TRUE(connection.on_bytes(announce_frame(1)));
+  // Different distribution: would re-prime the immutable engine.
+  const auto changed = encode_frame(WireMessage(DistributionAnnouncement{
+      ClientId(1),
+      stats::DistributionSummary(stats::GaussianParams{5e-4, 2e-3})}));
+  EXPECT_FALSE(connection.on_bytes(changed));
+  EXPECT_EQ(connection.error(), WireError::kRegistryFrozen);
+  EXPECT_EQ(registry.generation(), 4u);  // one announce per client, no more
+}
+
+// ── End-to-end equivalence (the acceptance criterion) ───────────────────
+
+void expect_equivalent(const std::vector<CapturedBatch>& direct,
+                       const std::vector<CapturedBatch>& framed) {
+  ASSERT_EQ(direct.size(), framed.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], framed[i]) << "batch " << i;
+  }
+}
+
+TEST(FrameFrontend, FramedEqualsDirectSequentialSingleShard) {
+  const auto workload = make_workload(4, 40, /*seed=*/11);
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  const auto direct = run_direct(workload, config);
+  EXPECT_FALSE(direct.empty());
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    expect_equivalent(direct, run_framed(workload, config, seed));
+  }
+}
+
+TEST(FrameFrontend, FramedEqualsDirectSequentialSharded) {
+  const auto workload = make_workload(6, 30, /*seed=*/5);
+  ServiceConfig config;
+  config.with_shards(3).with_p_safe(0.99);
+  const auto direct = run_direct(workload, config);
+  EXPECT_FALSE(direct.empty());
+  expect_equivalent(direct, run_framed(workload, config, /*seed=*/17));
+}
+
+TEST(FrameFrontend, FramedEqualsDirectThreaded) {
+  const auto workload = make_workload(6, 30, /*seed=*/23);
+  ServiceConfig config;
+  config.with_shards(2).with_p_safe(0.99).with_worker_threads();
+  // The threaded service's per-shard streams are themselves bit-identical
+  // to the sequential ones, so compare against the SEQUENTIAL direct
+  // drive: frames → rings → workers must not change emissions either.
+  ServiceConfig direct_config;
+  direct_config.with_shards(2).with_p_safe(0.99);
+  const auto direct = run_direct(workload, direct_config);
+  EXPECT_FALSE(direct.empty());
+  for (std::uint64_t seed : {7ULL, 8ULL}) {
+    expect_equivalent(direct, run_framed(workload, config, seed));
+  }
+}
+
+TEST(FrameFrontend, FramedEqualsDirectThreadedGlobalMerge) {
+  const auto workload = make_workload(4, 25, /*seed=*/31);
+  ServiceConfig threaded;
+  threaded.with_shards(2).with_p_safe(0.99).with_worker_threads()
+      .with_drain_policy(core::DrainPolicy::kGlobalMerge);
+  ServiceConfig sequential;
+  sequential.with_shards(2).with_p_safe(0.99).with_drain_policy(
+      core::DrainPolicy::kGlobalMerge);
+  const auto direct = run_direct(workload, sequential);
+  EXPECT_FALSE(direct.empty());
+  expect_equivalent(direct, run_framed(workload, threaded, /*seed=*/41));
+}
+
+// ── Outbound: emissions come back as frames ─────────────────────────────
+
+TEST(FrameFrontend, BroadcastsEmittedBatchesAsFrames) {
+  ClientRegistry registry = make_registry(2);
+  ServiceConfig service_config;
+  service_config.with_p_safe(0.99);
+  FairOrderingService service(registry, ids(2), service_config);
+  FrameFrontend frontend(registry, service, test_config());
+
+  auto [server0, client0] = make_pipe_pair();
+  auto [server1, client1] = make_pipe_pair();
+  frontend.add_connection(server0);
+  frontend.add_connection(server1);
+
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    auto& client = c == 0 ? client0 : client1;
+    std::vector<std::uint8_t> bytes = announce_frame(c);
+    for (int k = 0; k < 5; ++k) {
+      const auto frame =
+          message_frame(c, 10 * c + static_cast<std::uint64_t>(k),
+                        1.0 + 1e-3 * k);
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+    }
+    const auto tail = heartbeat_frame(c, 1.2);
+    bytes.insert(bytes.end(), tail.begin(), tail.end());
+    ASSERT_TRUE(client->write_all(bytes));
+    client->close_write();
+  }
+  frontend.join_readers();
+
+  const std::size_t emitted = frontend.pump(TimePoint(2.0))
+                              + frontend.pump_flush(TimePoint(2.0));
+  ASSERT_GT(emitted, 0u);
+
+  // Both clients receive the identical broadcast stream.
+  for (auto& client : {client0, client1}) {
+    FrameDecoder decoder;
+    std::vector<BatchEmission> batches;
+    std::uint8_t buf[256];
+    while (batches.size() < emitted) {
+      const auto n =
+          client->read_some(std::span<std::uint8_t>(buf, sizeof(buf)));
+      ASSERT_TRUE(n.has_value());
+      ASSERT_GT(*n, 0u);
+      decoder.append(std::span<const std::uint8_t>(buf, *n));
+      while (auto payload = decoder.next()) {
+        const auto message = decode(*payload);
+        ASSERT_TRUE(message.has_value());
+        ASSERT_TRUE(std::holds_alternative<BatchEmission>(*message));
+        batches.push_back(std::get<BatchEmission>(*message));
+      }
+    }
+    ASSERT_EQ(batches.size(), emitted);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      EXPECT_EQ(batches[i].rank, i);  // single shard: dense ranks
+      total += batches[i].messages.size();
+    }
+    EXPECT_EQ(total, 10u);  // every submitted message came back exactly once
+  }
+}
+
+// ── Real kernel transport ───────────────────────────────────────────────
+
+TEST(FrameFrontend, WorksOverASocketpair) {
+  ClientRegistry registry = make_registry(2);
+  ServiceConfig service_config;
+  service_config.with_p_safe(0.99).with_worker_threads();
+  FairOrderingService service(registry, ids(2), service_config);
+  FrameFrontend frontend(registry, service, test_config());
+
+  auto [server_end, client_end] = make_socketpair_streams();
+  frontend.add_connection(server_end);
+
+  std::vector<std::uint8_t> bytes = announce_frame(0);
+  for (int k = 0; k < 8; ++k) {
+    const auto frame =
+        message_frame(0, static_cast<std::uint64_t>(k), 1.0 + 1e-3 * k);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  const auto tail = heartbeat_frame(0, 1.1);
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+  ASSERT_TRUE(client_end->write_all(bytes));
+  client_end->close_write();
+  frontend.join_readers();
+  ASSERT_EQ(frontend.connection_error(0), WireError::kNone);
+
+  const std::size_t emitted = frontend.pump_flush(TimePoint(2.0));
+  ASSERT_GT(emitted, 0u);
+
+  FrameDecoder decoder;
+  std::vector<BatchEmission> batches;
+  std::uint8_t buf[512];
+  while (batches.size() < emitted) {
+    const auto n =
+        client_end->read_some(std::span<std::uint8_t>(buf, sizeof(buf)));
+    ASSERT_TRUE(n.has_value());
+    ASSERT_GT(*n, 0u);
+    decoder.append(std::span<const std::uint8_t>(buf, *n));
+    while (auto payload = decoder.next()) {
+      const auto message = decode(*payload);
+      ASSERT_TRUE(message.has_value());
+      batches.push_back(std::get<BatchEmission>(*message));
+    }
+  }
+  std::size_t total = 0;
+  for (const BatchEmission& batch : batches) total += batch.messages.size();
+  EXPECT_EQ(total, 8u);
+}
+
+}  // namespace
+}  // namespace tommy::net

@@ -109,6 +109,41 @@ TEST(Codec, RejectsTrailingGarbage) {
   EXPECT_FALSE(decode(bytes).has_value());
 }
 
+// Exhaustive truncation torture, one sample per codec (both announcement
+// encodings, a populated and an empty batch): at EVERY possible split
+// point of the encoded buffer, the prefix must decode to "not a message"
+// (nullopt) — never crash, never mis-parse as a shorter valid message.
+// This is the property the framing layer's incremental decoder leans on.
+TEST(Codec, EveryPrefixOfEveryCodecIsRejected) {
+  const std::vector<WireMessage> samples = {
+      WireMessage(DistributionAnnouncement{
+          ClientId(3),
+          stats::DistributionSummary(stats::GaussianParams{1e-5, 2e-6})}),
+      WireMessage(DistributionAnnouncement{
+          ClientId(4), stats::DistributionSummary(stats::HistogramParams{
+                           -1e-3, 1e-3, {0.1, 0.2, 0.4, 0.2, 0.1}})}),
+      WireMessage(
+          TimestampedMessage{ClientId(1), MessageId(2), TimePoint(3.0)}),
+      WireMessage(Heartbeat{ClientId(1), TimePoint(2.0)}),
+      WireMessage(BatchEmission{
+          4, {MessageId(1), MessageId(7), MessageId(1ULL << 60)}}),
+      WireMessage(BatchEmission{0, {}}),
+  };
+  for (std::size_t sample = 0; sample < samples.size(); ++sample) {
+    const auto bytes = encode(samples[sample]);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                             bytes.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_FALSE(decode(prefix).has_value())
+          << "sample " << sample << " mis-parsed at prefix length " << len
+          << "/" << bytes.size();
+    }
+    const auto full = decode(bytes);
+    ASSERT_TRUE(full.has_value()) << "sample " << sample;
+    EXPECT_EQ(*full, samples[sample]);
+  }
+}
+
 TEST(Codec, BatchCountMismatchRejected) {
   BatchEmission b;
   b.rank = 1;
