@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Multi-process throughput benchmark: N client PROCESSES blast the wire
+# protocol at ONE FrameServer process-half over a Unix-domain socket, and
+# the measured ingest rate is merged into the tracked benchmark JSON as
+# the MP_UnixServerIngest family — the first benchmark in the repo whose
+# numbers cross a real kernel socket boundary instead of a function call.
+#
+# The merge REPLACES any existing MP_* entries in the target JSON and
+# leaves every other family untouched, so the tracked artifact is
+# regenerated as:
+#
+#   scripts/bench_throughput_json.sh        # in-process families
+#   scripts/bench_multiproc.sh              # + the multi-process family
+#
+# Usage:
+#   scripts/bench_multiproc.sh [target.json]   (default: BENCH_throughput.json)
+#
+# Environment:
+#   BUILD_DIR      build tree holding example_wire_replay (default ./build;
+#                  configured/built as Release if needed, same policy as
+#                  bench_throughput_json.sh)
+#   MP_CLIENTS     client process count        (default 4)
+#   MP_MESSAGES    messages per client         (default 50000)
+#   MP_THREADS     1 = threaded service        (default 0)
+#   MP_SHARDS      shard count                 (default 1)
+#   BENCH_SMOKE    1 = small sizes for CI      (2 clients x 5000 msgs)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+TARGET="${1:-$ROOT/BENCH_throughput.json}"
+CLIENTS="${MP_CLIENTS:-4}"
+MESSAGES="${MP_MESSAGES:-50000}"
+THREADS="${MP_THREADS:-0}"
+SHARDS="${MP_SHARDS:-1}"
+
+if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
+  CLIENTS=2
+  MESSAGES=5000
+fi
+
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+cxx_flags() {
+  sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+# Same provenance rule as bench_throughput_json.sh: instrumented trees
+# never write the tracked artifact.
+TRACKED="$ROOT/BENCH_throughput.json"
+case "$(cxx_flags)" in
+  *-fsanitize*|*-fprofile*|*--coverage*)
+    if [[ "$(readlink -m "$TARGET")" == "$(readlink -m "$TRACKED")" ]]; then
+      echo "error: $BUILD_DIR is instrumented; refusing to touch $TRACKED." >&2
+      exit 1
+    fi
+    echo "warning: benching an instrumented tree (target: $TARGET)" >&2
+    ;;
+esac
+
+if [[ "$(build_type)" != "Release" ]]; then
+  echo "configuring $BUILD_DIR as Release (found: '$(build_type)')" >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target example_wire_replay -j "$(nproc)"
+
+BIN="$BUILD_DIR/example_wire_replay"
+SOCK="$(mktemp -u /tmp/tommy_mp_XXXXXX.sock)"
+OUT="$(mktemp /tmp/tommy_mp_XXXXXX.json)"
+SERVER_PID=""
+# Kill the background server too: a failing client aborts the script at
+# its `wait`, and an orphaned server would otherwise serve a deadline out
+# against deleted temp paths.
+trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$SOCK" "$OUT"' EXIT
+
+EXPECT=$((CLIENTS * MESSAGES))
+SERVE_ARGS=(serve --unix "$SOCK" --clients "$CLIENTS"
+            --expect-submits "$EXPECT" --shards "$SHARDS" --json "$OUT")
+if [[ "$THREADS" == "1" ]]; then SERVE_ARGS+=(--threads); fi
+
+"$BIN" "${SERVE_ARGS[@]}" &
+SERVER_PID=$!
+
+CLIENT_PIDS=()
+for ((i = 0; i < CLIENTS; i++)); do
+  "$BIN" blast --unix "$SOCK" --client "$i" --messages "$MESSAGES" &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+wait "$SERVER_PID"
+
+# Merge: replace MP_* entries in the target (creating it with the run's
+# context if absent), keep everything else.
+python3 - "$TARGET" "$OUT" <<'EOF'
+import json
+import sys
+
+target_path, run_path = sys.argv[1], sys.argv[2]
+with open(run_path) as f:
+    run = json.load(f)
+try:
+    with open(target_path) as f:
+        target = json.load(f)
+except FileNotFoundError:
+    target = {"context": run["context"], "benchmarks": []}
+
+kept = [b for b in target.get("benchmarks", [])
+        if not b["name"].startswith("MP_")]
+target["benchmarks"] = kept + run["benchmarks"]
+with open(target_path, "w") as f:
+    json.dump(target, f, indent=1)
+    f.write("\n")
+names = [b["name"] for b in run["benchmarks"]]
+print(f"merged {names} into {target_path}")
+EOF

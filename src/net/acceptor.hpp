@@ -1,0 +1,136 @@
+// The listening half of the wire front-end: a FrameServer owns a TCP or
+// Unix-domain listening socket, runs an accept loop on its own thread,
+// wraps every accepted fd via make_fd_stream, and registers it with an
+// embedded FrameFrontend — turning the adopt-fds-by-hand front-end of
+// PR 4 into a real server that remote client processes connect to.
+//
+//   listen fd ──► accept thread ──► make_fd_stream ──► FrameFrontend
+//                                                       (reader thread
+//                                                        per connection)
+//
+// Lifecycle: the accept loop multiplexes the listening socket against an
+// internal wake pipe with poll(2), so stop() never races a blocking
+// accept — it writes the wake byte, joins the accept thread, closes the
+// listening socket (and unlinks a Unix socket path), then stops the
+// front-end (shutting every connection stream down and joining every
+// reader). stop() is idempotent and runs from the destructor.
+//
+// Connection lifetime is the front-end's EofPolicy (ServerConfig defaults
+// it to kRemove: a peer that stops sending is reaped, its id recycled);
+// pump(now) broadcasts emissions and reaps dead connections first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/frontend.hpp"
+
+namespace tommy::net {
+
+struct ServerConfig {
+  FrontendConfig frontend{};
+  /// listen(2) backlog.
+  int backlog{128};
+  /// Applied over frontend.eof_policy: servers default to removal (a
+  /// disconnected peer is gone), where the bare front-end defaults to
+  /// linger (in-process subscriber semantics).
+  EofPolicy eof_policy{EofPolicy::kRemove};
+};
+
+/// A listening fair-ordering server over a FrameFrontend. One listening
+/// socket per instance — call exactly one of listen_tcp / listen_unix,
+/// once. The registry/service must outlive the server.
+class FrameServer {
+ public:
+  FrameServer(core::ClientRegistry& registry,
+              core::FairOrderingService& service, ServerConfig config = {});
+
+  /// stop()s.
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the outcome from
+  /// port()), listens, and starts the accept thread. False on bind /
+  /// listen failure (errno preserved).
+  [[nodiscard]] bool listen_tcp(std::uint16_t port);
+
+  /// Binds a Unix-domain stream socket at `path` (unlinking a stale
+  /// socket file first), listens, and starts the accept thread.
+  [[nodiscard]] bool listen_unix(const std::string& path);
+
+  /// Bound TCP port (valid after a successful listen_tcp).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Bound Unix socket path (valid after a successful listen_unix).
+  [[nodiscard]] const std::string& unix_path() const { return unix_path_; }
+
+  /// Accepting connections (between a successful listen_* and stop()).
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting (joins the accept thread, closes the listening
+  /// socket, unlinks a Unix path) and stops the front-end (shuts every
+  /// connection down, joins every reader). Idempotent.
+  void stop();
+
+  /// Blocks until at least `n` connections have been accepted over the
+  /// server's lifetime, or `timeout_ms` elapsed. True if reached.
+  [[nodiscard]] bool wait_for_accepted(std::uint64_t n, int timeout_ms);
+
+  /// Connections ever accepted.
+  [[nodiscard]] std::uint64_t accepted_total() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+
+  /// Broadcast-pump forwarders (reap + poll/flush + broadcast).
+  std::size_t pump(TimePoint now) { return frontend_.pump(now); }
+  std::size_t pump_flush(TimePoint now) { return frontend_.pump_flush(now); }
+
+  [[nodiscard]] FrameFrontend& frontend() { return frontend_; }
+  [[nodiscard]] const FrameFrontend& frontend() const { return frontend_; }
+
+ private:
+  [[nodiscard]] bool start(int listen_fd);
+  void accept_loop();
+
+  FrameFrontend frontend_;
+  ServerConfig config_;
+
+  int listen_fd_{-1};
+  int wake_fds_[2]{-1, -1};  // self-pipe: [read, write]
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::uint16_t port_{0};
+  std::string unix_path_{};
+
+  std::mutex accepted_mutex_;
+  std::condition_variable accepted_cv_;
+};
+
+/// Connects to a FrameServer listening on 127.0.0.1:`port` (numeric IPv4
+/// only — this is a test/bench/replay client, not a resolver). nullptr on
+/// failure.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port);
+
+/// Connects to a Unix-domain FrameServer at `path`. nullptr on failure.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
+    const std::string& path);
+
+/// connect_unix (when `unix_path` is nonempty) or connect_tcp, with a
+/// retry budget: a server mid-bind or mid-accept-burst can transiently
+/// refuse, and every client-side driver (replay, blast, soak harness)
+/// wants the same patience. ~2 ms between attempts; nullptr once the
+/// budget is exhausted.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_retry(
+    const std::string& unix_path, std::uint16_t tcp_port,
+    int attempts = 500);
+
+}  // namespace tommy::net

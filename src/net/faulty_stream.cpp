@@ -1,0 +1,131 @@
+#include "net/faulty_stream.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace tommy::net {
+
+FaultyByteStream::FaultyByteStream(std::shared_ptr<ByteStream> inner,
+                                   FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  TOMMY_EXPECTS(inner_ != nullptr);
+}
+
+std::size_t FaultyByteStream::next_chunk(
+    const std::vector<std::size_t>& chunks, bool cycle, std::size_t& cursor) {
+  if (chunks.empty()) return FaultPlan::kNever;
+  if (cursor >= chunks.size()) {
+    if (!cycle) return FaultPlan::kNever;
+    cursor = 0;
+  }
+  return std::max<std::size_t>(chunks[cursor++], 1);
+}
+
+void FaultyByteStream::on_cut() {
+  if (plan_.shutdown_inner_on_cut) inner_->shutdown();
+}
+
+std::optional<std::size_t> FaultyByteStream::read_some(
+    std::span<std::uint8_t> out) {
+  std::size_t cap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.reads++;
+    if (delivered_ >= plan_.cut_read_after) {
+      // Past the cut: report it (again) without touching the inner
+      // stream — its state after shutdown is not part of the plan.
+      stats_.read_cut = true;
+      if (plan_.cut_is_error) return std::nullopt;
+      return 0;
+    }
+    if (plan_.retry_every_reads != 0
+        && stats_.reads % plan_.retry_every_reads == 0) {
+      // EAGAIN-style: a no-progress attempt the caller never observes
+      // (the blocking contract requires progress), but which re-slices
+      // the read exactly where a nonblocking retry loop would.
+      stats_.injected_retries++;
+      std::this_thread::yield();
+    }
+    cap = next_chunk(plan_.read_chunks, plan_.read_chunks_cycle,
+                     read_cursor_);
+    cap = std::min<std::size_t>(
+        cap, static_cast<std::size_t>(plan_.cut_read_after - delivered_));
+  }
+  const std::size_t want = std::min(out.size(), cap);
+  const auto n = inner_->read_some(out.first(want));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!n) return n;
+  delivered_ += *n;
+  stats_.bytes_read += *n;
+  if (*n > 0 && delivered_ >= plan_.cut_read_after) {
+    // This read crossed (or landed exactly on) the cut boundary: the
+    // caller still receives the prefix, every later read reports the
+    // cut, and the inner stream is torn down so the peer notices.
+    stats_.read_cut = true;
+    on_cut();
+  }
+  return n;
+}
+
+bool FaultyByteStream::write_all(std::span<const std::uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.writes++;
+  }
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    std::size_t chunk;
+    bool cut = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (written_ >= plan_.cut_write_after) {
+        stats_.write_cut = true;
+        return false;
+      }
+      chunk = next_chunk(plan_.write_chunks, plan_.write_chunks_cycle,
+                         write_cursor_);
+      chunk = std::min(chunk, bytes.size() - offset);
+      const auto allowed =
+          static_cast<std::size_t>(plan_.cut_write_after - written_);
+      if (chunk >= allowed) {
+        chunk = allowed;
+        cut = true;  // this chunk reaches the cut: forward it, then fail
+      }
+    }
+    const bool ok =
+        chunk == 0 || inner_->write_all(bytes.subspan(offset, chunk));
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.inner_writes += chunk > 0 ? 1 : 0;
+    if (!ok) return false;
+    written_ += chunk;
+    stats_.bytes_written += chunk;
+    offset += chunk;
+    if (cut) {
+      stats_.write_cut = true;
+      on_cut();
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaultyByteStream::close_write() { inner_->close_write(); }
+
+void FaultyByteStream::shutdown() { inner_->shutdown(); }
+
+FaultStats FaultyByteStream::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<ByteStream> make_chunked_stream(
+    std::shared_ptr<ByteStream> inner, std::size_t chunk) {
+  FaultPlan plan;
+  plan.read_chunks = {chunk};
+  plan.read_chunks_cycle = true;
+  return std::make_shared<FaultyByteStream>(std::move(inner), plan);
+}
+
+}  // namespace tommy::net

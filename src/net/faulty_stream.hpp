@@ -1,0 +1,118 @@
+// Deterministic transport-fault injection: FaultyByteStream wraps any
+// ByteStream and mangles its delivery WITHOUT changing the bytes — short
+// reads on an explicit chunk schedule, writes split into many small
+// transport writes, EAGAIN-style zero-progress retry attempts, and hard
+// cuts (mid-frame disconnects) at chosen byte offsets in either
+// direction. The soak tests build their messy-network evidence on this
+// decorator, so it is itself under test (tests/net/faulty_stream_test.cpp
+// proves every schedule honours its plan byte-for-byte before anything
+// else relies on it).
+//
+// All fault schedules are explicit data (FaultPlan) — no hidden RNG — so
+// a failing soak run is reproducible from the plan alone.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "net/frontend.hpp"
+
+namespace tommy::net {
+
+/// A deterministic schedule of transport faults. Defaults are all "no
+/// fault": a default FaultPlan makes FaultyByteStream a transparent
+/// pass-through.
+struct FaultPlan {
+  static constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+  /// Per-read caps on how many bytes one read_some may return, consumed
+  /// in order; after the schedule is exhausted, `read_chunks_cycle`
+  /// repeats it from the start, otherwise reads are uncapped. A cap of 0
+  /// is meaningless (read_some must make progress) and is treated as 1.
+  std::vector<std::size_t> read_chunks{};
+  bool read_chunks_cycle{false};
+
+  /// Write splitting: each write_all is forwarded as a run of inner
+  /// write_all calls of at most these sizes (same consume/cycle rules).
+  /// Splitting changes packetization, never content — the peer's decoder
+  /// must not care.
+  std::vector<std::size_t> write_chunks{};
+  bool write_chunks_cycle{false};
+
+  /// Hard cut after exactly this many bytes have been delivered to the
+  /// reader: the read that would cross the boundary is truncated to it,
+  /// and every later read reports the cut (error, or clean EOF when
+  /// `cut_is_error` is false).
+  std::size_t cut_read_after{kNever};
+
+  /// Hard cut after exactly this many bytes have been written through:
+  /// the crossing write forwards the allowed prefix — a torn frame on
+  /// the peer's wire — then fails; every later write fails immediately.
+  std::size_t cut_write_after{kNever};
+
+  /// Whether a read-side cut surfaces as a transport error (nullopt) or
+  /// a clean EOF (0). Write-side cuts always surface as write failure.
+  bool cut_is_error{true};
+
+  /// When a cut fires, also shutdown() the inner stream so the real peer
+  /// observes the disconnect (mid-frame from its perspective).
+  bool shutdown_inner_on_cut{true};
+
+  /// Every Nth read first performs an EAGAIN-style no-progress attempt
+  /// (recorded in stats, then retried internally) — the decorator stays
+  /// within ByteStream's blocking contract while exercising the retry
+  /// cadence a nonblocking transport would produce. 0 = never.
+  std::size_t retry_every_reads{0};
+};
+
+/// Counters a test can assert the plan actually fired.
+struct FaultStats {
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+  std::uint64_t inner_writes{0};
+  std::uint64_t bytes_read{0};
+  std::uint64_t bytes_written{0};
+  std::uint64_t injected_retries{0};
+  bool read_cut{false};
+  bool write_cut{false};
+};
+
+/// ByteStream decorator applying a FaultPlan to an inner stream. Like
+/// every ByteStream it supports one concurrent reader plus one concurrent
+/// writer; read-side and write-side fault state are independent.
+class FaultyByteStream final : public ByteStream {
+ public:
+  FaultyByteStream(std::shared_ptr<ByteStream> inner, FaultPlan plan);
+
+  [[nodiscard]] std::optional<std::size_t> read_some(
+      std::span<std::uint8_t> out) override;
+  [[nodiscard]] bool write_all(std::span<const std::uint8_t> bytes) override;
+  void close_write() override;
+  void shutdown() override;
+
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  [[nodiscard]] std::size_t next_chunk(const std::vector<std::size_t>& chunks,
+                                       bool cycle, std::size_t& cursor);
+  void on_cut();
+
+  std::shared_ptr<ByteStream> inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;  // guards cursors + stats (cheap; fault path)
+  std::size_t read_cursor_{0};
+  std::size_t write_cursor_{0};
+  std::uint64_t delivered_{0};
+  std::uint64_t written_{0};
+  FaultStats stats_;
+};
+
+/// Convenience: wrap `inner` so every read returns at most `chunk` bytes
+/// (the classic short-read torture).
+[[nodiscard]] std::shared_ptr<ByteStream> make_chunked_stream(
+    std::shared_ptr<ByteStream> inner, std::size_t chunk);
+
+}  // namespace tommy::net

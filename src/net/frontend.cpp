@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -107,8 +108,11 @@ class FdByteStream final : public ByteStream {
   bool write_all(std::span<const std::uint8_t> bytes) override {
     std::size_t written = 0;
     while (written < bytes.size()) {
-      const ssize_t n =
-          ::write(fd_, bytes.data() + written, bytes.size() - written);
+      // send + MSG_NOSIGNAL, not write: a peer that vanished mid-stream
+      // (a stopped server, a killed client) must surface as a failed
+      // write, not a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd_, bytes.data() + written,
+                               bytes.size() - written, MSG_NOSIGNAL);
       if (n > 0) {
         written += static_cast<std::size_t>(n);
         continue;
@@ -315,31 +319,33 @@ FrameFrontend::FrameFrontend(core::ClientRegistry& registry,
       service_(service),
       config_(normalized(std::move(config))) {}
 
-FrameFrontend::~FrameFrontend() {
-  std::vector<Conn*> conns;
-  {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (auto& conn : conns_) conns.push_back(conn.get());
-  }
-  for (Conn* conn : conns) conn->stream->shutdown();
-  for (Conn* conn : conns) {
-    if (conn->reader.joinable()) conn->reader.join();
-  }
-}
+FrameFrontend::~FrameFrontend() { stop(); }
 
 std::uint64_t FrameFrontend::add_connection(
     std::shared_ptr<ByteStream> stream) {
   TOMMY_EXPECTS(stream != nullptr);
+  reap();
   // Threaded services serialize nothing up front: each reader thread is
   // its session ring's single producer. Sequential services get all
   // ingest and polls serialized behind ingest_mutex_.
   std::mutex* ingest_mutex = service_.threaded() ? nullptr : &ingest_mutex_;
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  const auto id = static_cast<std::uint64_t>(conns_.size());
-  conns_.push_back(std::make_unique<Conn>(std::move(stream), registry_,
-                                          service_, config_, ingest_mutex));
-  Conn& conn = *conns_.back();
-  conn.reader = std::thread([this, &conn] { reader_loop(conn); });
+  std::uint64_t id;
+  if (free_ids_.empty()) {
+    id = next_id_++;
+  } else {
+    // Smallest recycled id first keeps the live id space dense.
+    auto smallest = std::min_element(free_ids_.begin(), free_ids_.end());
+    id = *smallest;
+    *smallest = free_ids_.back();
+    free_ids_.pop_back();
+  }
+  auto conn = std::make_shared<Conn>(std::move(stream), registry_, service_,
+                                     config_, ingest_mutex);
+  Conn& ref = *conn;
+  conns_.emplace(id, std::move(conn));
+  retired_.accepted++;  // folded into totals() as "ever adopted"
+  ref.reader = std::thread([this, &ref] { reader_loop(ref); });
   return id;
 }
 
@@ -353,7 +359,13 @@ void FrameFrontend::reader_loop(Conn& conn) {
       protocol_ok = false;
       break;
     }
-    if (*n == 0) break;  // EOF: peer finished cleanly
+    if (*n == 0) {  // EOF: peer finished cleanly
+      conn.clean_eof.store(true, std::memory_order_relaxed);
+      break;
+    }
+    conn.bytes_in.fetch_add(*n, std::memory_order_relaxed);
+    conn.last_activity.store(wall_clock_now().seconds(),
+                             std::memory_order_relaxed);
     if (!conn.machine.on_bytes({buffer.data(), *n})) {
       protocol_ok = false;
       break;
@@ -365,7 +377,115 @@ void FrameFrontend::reader_loop(Conn& conn) {
   conn.done.store(true, std::memory_order_release);
 }
 
+bool FrameFrontend::reapable(const Conn& conn) const {
+  if (!conn.done.load(std::memory_order_acquire)) return false;
+  if (conn.machine.failed()) return true;
+  if (config_.eof_policy == EofPolicy::kRemove) return true;
+  // kLinger: keep serving broadcasts until a write fails.
+  return !conn.write_ok.load(std::memory_order_acquire);
+}
+
+FrontendTotals FrameFrontend::counters_of(const Conn& conn) {
+  FrontendTotals t;
+  t.frames_in = conn.machine.frames_in();
+  t.submits_in = conn.machine.submits_in();
+  t.heartbeats_in = conn.machine.heartbeats_in();
+  t.frames_out = conn.frames_out.load(std::memory_order_relaxed);
+  t.bytes_in = conn.bytes_in.load(std::memory_order_relaxed);
+  t.bytes_out = conn.bytes_out.load(std::memory_order_relaxed);
+  return t;
+}
+
+FrameFrontend::Retiring FrameFrontend::unlink_locked(
+    std::shared_ptr<Conn> conn) {
+  // Fold a snapshot the instant the connection leaves the table, so a
+  // concurrent totals() never sees the counters dip while the reader is
+  // being joined; retire() adds the residual later.
+  Retiring retiring;
+  retiring.snapshot = counters_of(*conn);
+  retiring.conn = std::move(conn);
+  retired_.removed++;
+  retired_.frames_in += retiring.snapshot.frames_in;
+  retired_.submits_in += retiring.snapshot.submits_in;
+  retired_.heartbeats_in += retiring.snapshot.heartbeats_in;
+  retired_.frames_out += retiring.snapshot.frames_out;
+  retired_.bytes_in += retiring.snapshot.bytes_in;
+  retired_.bytes_out += retiring.snapshot.bytes_out;
+  return retiring;
+}
+
+void FrameFrontend::retire(std::vector<Retiring>&& removed) {
+  for (const auto& r : removed) r.conn->stream->shutdown();
+  for (const auto& r : removed) {
+    std::lock_guard<std::mutex> join_lock(r.conn->join_mutex);
+    if (r.conn->reader.joinable()) r.conn->reader.join();
+  }
+  if (removed.empty()) return;
+  for (const auto& r : removed) {
+    // Serialize against an in-flight broadcast: its counter increments
+    // happen under write_mutex, and the stream is already shut down, so
+    // after this lock the counters are final. Fold only what the
+    // snapshot missed.
+    std::lock_guard<std::mutex> write_lock(r.conn->write_mutex);
+    const FrontendTotals final_counts = counters_of(*r.conn);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    retired_.frames_in += final_counts.frames_in - r.snapshot.frames_in;
+    retired_.submits_in += final_counts.submits_in - r.snapshot.submits_in;
+    retired_.heartbeats_in +=
+        final_counts.heartbeats_in - r.snapshot.heartbeats_in;
+    retired_.frames_out += final_counts.frames_out - r.snapshot.frames_out;
+    retired_.bytes_in += final_counts.bytes_in - r.snapshot.bytes_in;
+    retired_.bytes_out += final_counts.bytes_out - r.snapshot.bytes_out;
+  }
+}
+
+std::size_t FrameFrontend::remove_if_locked(bool force) {
+  // Phase 1 (under conns_mutex_): pull removable entries out of the
+  // table, recycle their ids, and fold counter snapshots into retired_.
+  // Phase 2 (lock dropped): shut streams down and join readers — joins
+  // must never run under the table lock (the dying reader might be
+  // blocked in a broadcast writer's shadow, and accessors need the lock
+  // to stay responsive).
+  std::vector<Retiring> removed;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (force || reapable(*it->second)) {
+        free_ids_.push_back(it->first);
+        removed.push_back(unlink_locked(std::move(it->second)));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const std::size_t count = removed.size();
+  retire(std::move(removed));
+  return count;
+}
+
+std::size_t FrameFrontend::reap() { return remove_if_locked(/*force=*/false); }
+
+bool FrameFrontend::close_connection(std::uint64_t id) {
+  std::vector<Retiring> removed;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return false;  // a concurrent reap won
+    free_ids_.push_back(id);
+    removed.push_back(unlink_locked(std::move(it->second)));
+    conns_.erase(it);
+  }
+  retire(std::move(removed));
+  return true;
+}
+
+void FrameFrontend::stop() { remove_if_locked(/*force=*/true); }
+
 std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
+  // Dead peers leave before the broadcast: a removed connection must
+  // neither receive frames nor stall a write.
+  reap();
   auto broadcast = [this](core::EmissionRecord&& record, std::uint32_t) {
     BatchEmission wire;
     wire.rank = record.batch.rank;
@@ -377,19 +497,26 @@ std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
     // Snapshot, then write holding only the per-connection mutex: a peer
     // that stopped reading can stall ITS write (until someone shuts its
     // stream down), but must not wedge conns_mutex_ — add_connection,
-    // the accessors and the destructor's shutdown path all need it.
-    // conns_ is append-only with stable addresses, so the snapshot stays
-    // valid for the front-end's lifetime.
-    std::vector<Conn*> targets;
+    // the accessors and the teardown path all need it. The shared_ptr
+    // snapshot keeps each Conn alive even if a concurrent reap drops it
+    // from the table mid-broadcast.
+    std::vector<std::shared_ptr<Conn>> targets;
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       targets.reserve(conns_.size());
-      for (auto& conn : conns_) targets.push_back(conn.get());
+      for (auto& [id, conn] : conns_) targets.push_back(conn);
     }
-    for (Conn* conn : targets) {
+    for (const auto& conn : targets) {
       std::lock_guard<std::mutex> write_lock(conn->write_mutex);
-      if (!conn->write_ok) continue;
-      if (!conn->stream->write_all(frame)) conn->write_ok = false;
+      if (!conn->write_ok.load(std::memory_order_relaxed)) continue;
+      if (conn->stream->write_all(frame)) {
+        conn->frames_out.fetch_add(1, std::memory_order_relaxed);
+        conn->bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+        conn->last_activity.store(wall_clock_now().seconds(),
+                                  std::memory_order_relaxed);
+      } else {
+        conn->write_ok.store(false, std::memory_order_release);
+      }
     }
   };
   std::unique_lock<std::mutex> lock;
@@ -407,37 +534,92 @@ std::size_t FrameFrontend::pump_flush(TimePoint now) {
 }
 
 void FrameFrontend::join_readers() {
-  std::vector<Conn*> conns;
+  std::vector<std::shared_ptr<Conn>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (auto& conn : conns_) conns.push_back(conn.get());
+    for (auto& [id, conn] : conns_) conns.push_back(conn);
   }
-  for (Conn* conn : conns) {
+  for (const auto& conn : conns) {
+    // join_mutex: a concurrent reap may be joining this same reader.
+    std::lock_guard<std::mutex> join_lock(conn->join_mutex);
     if (conn->reader.joinable()) conn->reader.join();
   }
 }
 
 std::size_t FrameFrontend::connection_count() const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
+  std::size_t live = 0;
+  for (const auto& [id, conn] : conns_) {
+    if (!reapable(*conn)) ++live;
+  }
+  return live;
+}
+
+std::size_t FrameFrontend::tracked_connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
   return conns_.size();
 }
 
+bool FrameFrontend::has_connection(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return conns_.contains(id);
+}
+
+namespace {
+
+template <typename Map>
+auto& conn_at(const Map& conns, std::uint64_t id) {
+  auto it = conns.find(id);
+  TOMMY_EXPECTS(it != conns.end());
+  return *it->second;
+}
+
+}  // namespace
+
 bool FrameFrontend::connection_done(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  TOMMY_EXPECTS(id < conns_.size());
-  return conns_[id]->done.load(std::memory_order_acquire);
+  return conn_at(conns_, id).done.load(std::memory_order_acquire);
 }
 
 WireError FrameFrontend::connection_error(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  TOMMY_EXPECTS(id < conns_.size());
-  return conns_[id]->machine.error();
+  return conn_at(conns_, id).machine.error();
+}
+
+ConnectionStats FrameFrontend::connection_stats(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const Conn& conn = conn_at(conns_, id);
+  ConnectionStats stats;
+  stats.frames_in = conn.machine.frames_in();
+  stats.submits_in = conn.machine.submits_in();
+  stats.heartbeats_in = conn.machine.heartbeats_in();
+  stats.frames_out = conn.frames_out.load(std::memory_order_relaxed);
+  stats.bytes_in = conn.bytes_in.load(std::memory_order_relaxed);
+  stats.bytes_out = conn.bytes_out.load(std::memory_order_relaxed);
+  stats.last_activity = conn.last_activity.load(std::memory_order_relaxed);
+  stats.done = conn.done.load(std::memory_order_acquire);
+  stats.clean_eof = conn.clean_eof.load(std::memory_order_relaxed);
+  stats.error = conn.machine.error();
+  return stats;
+}
+
+FrontendTotals FrameFrontend::totals() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  FrontendTotals totals = retired_;
+  for (const auto& [id, conn] : conns_) {
+    totals.frames_in += conn->machine.frames_in();
+    totals.submits_in += conn->machine.submits_in();
+    totals.heartbeats_in += conn->machine.heartbeats_in();
+    totals.frames_out += conn->frames_out.load(std::memory_order_relaxed);
+    totals.bytes_in += conn->bytes_in.load(std::memory_order_relaxed);
+    totals.bytes_out += conn->bytes_out.load(std::memory_order_relaxed);
+  }
+  return totals;
 }
 
 const Connection& FrameFrontend::connection(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  TOMMY_EXPECTS(id < conns_.size());
-  return conns_[id]->machine;
+  return conn_at(conns_, id).machine;
 }
 
 }  // namespace tommy::net

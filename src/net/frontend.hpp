@@ -51,6 +51,7 @@
 #include <optional>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -134,6 +135,20 @@ enum class WireError : std::uint8_t {
 
 [[nodiscard]] const char* to_string(WireError error);
 
+/// What a clean read-side EOF means for a connection's lifetime.
+enum class EofPolicy : std::uint8_t {
+  /// Subscriber semantics (the historical default): a peer that
+  /// half-closes its write side stays registered and keeps receiving
+  /// broadcast frames until a write to it fails or it is removed
+  /// explicitly. In-process demos and the broadcast tests rely on this.
+  kLinger,
+  /// Server semantics: a peer that stops sending is gone — the
+  /// connection becomes reapable as soon as its reader exits, and the
+  /// next reap point (pump, add_connection, or an explicit reap()) tears
+  /// the stream down and recycles the id. FrameServer defaults to this.
+  kRemove,
+};
+
 struct FrontendConfig {
   /// Stamps each inbound message with its sequencer-clock arrival (the
   /// `now` of the session call). Default (null): monotonic wall clock,
@@ -149,6 +164,46 @@ struct FrontendConfig {
   /// decoded submits apply through the relaxed batch path in chunks of at
   /// most this).
   std::size_t submit_batch_limit{512};
+  /// Connection lifetime after a clean read-side EOF (see EofPolicy).
+  /// Failed connections (protocol or transport errors) are always
+  /// reapable regardless of this policy, as are connections whose
+  /// broadcast writes failed.
+  EofPolicy eof_policy{EofPolicy::kLinger};
+};
+
+/// Point-in-time counters for one connection (connection_stats()).
+/// Counter updates are relaxed atomics: each value is exact once the
+/// connection's reader has exited, monotonic while it runs.
+struct ConnectionStats {
+  std::uint64_t frames_in{0};
+  std::uint64_t submits_in{0};
+  std::uint64_t heartbeats_in{0};
+  /// Outbound BatchEmission frames this connection was actually sent.
+  std::uint64_t frames_out{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t bytes_out{0};
+  /// Seconds (monotonic, process origin) of the last successful read or
+  /// broadcast write; 0 until the first I/O.
+  double last_activity{0.0};
+  /// Reader thread exited (EOF, transport error, or protocol failure).
+  bool done{false};
+  /// Reader saw a clean EOF (peer half-closed) rather than an error.
+  bool clean_eof{false};
+  WireError error{WireError::kNone};
+};
+
+/// Lifetime-aggregate counters across all connections a front-end ever
+/// adopted — removed connections fold their final counters in here, so
+/// totals survive reaping (what a server's metrics endpoint wants).
+struct FrontendTotals {
+  std::uint64_t accepted{0};
+  std::uint64_t removed{0};
+  std::uint64_t frames_in{0};
+  std::uint64_t submits_in{0};
+  std::uint64_t heartbeats_in{0};
+  std::uint64_t frames_out{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t bytes_out{0};
 };
 
 /// Per-peer protocol state machine: incremental frame decode, handshake,
@@ -242,28 +297,76 @@ class FrameFrontend {
   FrameFrontend& operator=(const FrameFrontend&) = delete;
 
   /// Adopts `stream` and spawns its reader thread. Returns the connection
-  /// id used by the introspection accessors.
+  /// id used by the introspection accessors. Ids of removed connections
+  /// are recycled (smallest free id first), so a long-lived server's id
+  /// space stays as dense as its live connection set. Opportunistically
+  /// reaps dead connections first.
+  ///
+  /// Id lifetime is POSIX-fd-like: an id is valid until its connection
+  /// is removed, after which it may name a DIFFERENT later connection.
+  /// Callers that cache ids across reap points (pump/add_connection, or
+  /// any thread calling reap()) must tolerate close_connection(id)
+  /// returning false and must not assume a cached id still names the
+  /// same peer; the per-id accessors are for ids the caller knows are
+  /// live (they fail their precondition on removed ids). Aggregate
+  /// surfaces (totals(), connection_count()) are always race-free.
   std::uint64_t add_connection(std::shared_ptr<ByteStream> stream);
 
   /// Polls the service at `now` and broadcasts every emitted batch as an
   /// encoded BatchEmission frame to every connection whose writes still
   /// succeed. Returns the number of batches emitted. One pump/flush at a
-  /// time (callers serialize; the service's own poll contract).
+  /// time (callers serialize; the service's own poll contract). Reaps
+  /// dead connections first, so a removed peer never receives (or
+  /// stalls) a broadcast.
   std::size_t pump(TimePoint now);
 
   /// flush() counterpart of pump (shutdown drain, gates ignored).
   std::size_t pump_flush(TimePoint now);
 
-  /// Joins every reader thread. Callers arrange EOF first (peers
-  /// close_write / streams shut down), otherwise this blocks; after it
-  /// returns, everything the peers sent has been applied to the service
-  /// (threaded mode: enqueued — a subsequent poll/quiesce drains it).
+  /// Removes every dead connection: reader exited AND (it failed, its
+  /// broadcast writes failed, or the EOF policy is kRemove). The stream
+  /// is shut down, the reader joined, the final counters folded into
+  /// totals(), and the id recycled. Returns the number removed. Runs
+  /// automatically at add_connection and pump; callers that neither add
+  /// nor pump can call it directly.
+  std::size_t reap();
+
+  /// Forcibly removes one connection: shuts the stream down (unblocking
+  /// its reader), joins the reader, folds its counters into totals(),
+  /// and recycles the id. False if the id is not registered — under
+  /// EofPolicy::kRemove a concurrent reap may win the race for any id
+  /// the caller just looked up, so a missing id is an outcome, not an
+  /// error.
+  bool close_connection(std::uint64_t id);
+
+  /// Shuts every stream down, joins every reader, and removes every
+  /// connection regardless of policy. The front-end is reusable
+  /// afterwards (a fresh add_connection starts from a clean table). The
+  /// destructor runs this.
+  void stop();
+
+  /// Joins every reader thread without removing anything. Callers
+  /// arrange EOF first (peers close_write / streams shut down), otherwise
+  /// this blocks; after it returns, everything the peers sent has been
+  /// applied to the service (threaded mode: enqueued — a subsequent
+  /// poll/quiesce drains it).
   void join_readers();
 
+  /// Live connections: registered, and not merely awaiting reap. (A
+  /// lingering half-closed subscriber under EofPolicy::kLinger counts —
+  /// it is still being served broadcasts.)
   [[nodiscard]] std::size_t connection_count() const;
+  /// Registered connections including dead ones not yet reaped — the
+  /// number actually held in the table (the churn regression bound).
+  [[nodiscard]] std::size_t tracked_connection_count() const;
+  [[nodiscard]] bool has_connection(std::uint64_t id) const;
   /// Reader-thread exit flag (EOF, error, or protocol failure).
   [[nodiscard]] bool connection_done(std::uint64_t id) const;
   [[nodiscard]] WireError connection_error(std::uint64_t id) const;
+  /// Point-in-time counters for a registered connection.
+  [[nodiscard]] ConnectionStats connection_stats(std::uint64_t id) const;
+  /// Lifetime aggregates (live + removed connections).
+  [[nodiscard]] FrontendTotals totals() const;
   /// The state machine itself (counters any time; client() once
   /// handshaken).
   [[nodiscard]] const Connection& connection(std::uint64_t id) const;
@@ -272,10 +375,24 @@ class FrameFrontend {
   struct Conn {
     std::shared_ptr<ByteStream> stream;
     Connection machine;
+    /// Serializes joins of `reader`: retire() (reap/close/stop paths)
+    /// and join_readers() can race on the same connection, and two
+    /// threads joining one std::thread is UB. Leaf lock — never held
+    /// while taking conns_mutex_ or write_mutex.
+    std::mutex join_mutex;
     std::thread reader;
     std::atomic<bool> done{false};
+    std::atomic<bool> clean_eof{false};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<double> last_activity{0.0};
     std::mutex write_mutex;
-    bool write_ok{true};
+    /// Atomic, not mutex-guarded: reapable() and connection_count() read
+    /// it while holding conns_mutex_, and must never wait on a broadcast
+    /// stalled in write_all (which holds write_mutex). Writes happen
+    /// under write_mutex; the atomic store just publishes them.
+    std::atomic<bool> write_ok{true};
 
     Conn(std::shared_ptr<ByteStream> s, core::ClientRegistry& registry,
          core::FairOrderingService& service, FrontendConfig config,
@@ -284,8 +401,31 @@ class FrameFrontend {
           machine(registry, service, std::move(config), ingest_mutex) {}
   };
 
+  /// A connection pulled out of the table but not yet fully torn down.
+  /// `snapshot` is what was already folded into retired_ at unlink time
+  /// — retire() adds only the residual the reader produced while dying,
+  /// so totals() never dips below its last observed value.
+  struct Retiring {
+    std::shared_ptr<Conn> conn;
+    FrontendTotals snapshot;
+  };
+
   void reader_loop(Conn& conn);
   std::size_t drain(TimePoint now, bool flush_all);
+  /// True once `conn` can be removed (reader exited and nothing is left
+  /// to serve it). Lock-free on the connection itself — callers hold
+  /// conns_mutex_, and this must never wait on a stalled broadcast.
+  [[nodiscard]] bool reapable(const Conn& conn) const;
+  /// Point-in-time counter sums of one connection.
+  [[nodiscard]] static FrontendTotals counters_of(const Conn& conn);
+  /// Accounts a connection leaving the table (conns_mutex_ held): folds
+  /// a counter snapshot into retired_ and bumps the removed count.
+  [[nodiscard]] Retiring unlink_locked(std::shared_ptr<Conn> conn);
+  /// Tears down + joins a batch of unlinked connections (outside
+  /// conns_mutex_ — joins must not hold the table lock) and folds the
+  /// counter residuals.
+  void retire(std::vector<Retiring>&& removed);
+  std::size_t remove_if_locked(bool force);
 
   core::ClientRegistry& registry_;
   core::FairOrderingService& service_;
@@ -294,7 +434,15 @@ class FrameFrontend {
   /// Serializes sequential-mode ingest/polls (unused when threaded).
   std::mutex ingest_mutex_;
   mutable std::mutex conns_mutex_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  /// Registered connections by id. shared_ptr: broadcast and reap hold
+  /// references while not holding conns_mutex_.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  /// Recycled ids, served smallest-first on add_connection.
+  std::vector<std::uint64_t> free_ids_;
+  std::uint64_t next_id_{0};
+  /// Counters of removed connections (guarded by conns_mutex_); totals()
+  /// adds the live table on top.
+  FrontendTotals retired_;
 };
 
 }  // namespace tommy::net

@@ -1,0 +1,227 @@
+#include "sim/wire_replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.hpp"
+#include "net/acceptor.hpp"
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+
+namespace tommy::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'W', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::uint32_t WireTrace::connection_count() const {
+  // 64-bit accumulate: connection == UINT32_MAX must not wrap to 0.
+  std::uint64_t count = 0;
+  for (const WireTraceEvent& event : events) {
+    count = std::max<std::uint64_t>(count,
+                                    std::uint64_t{event.connection} + 1);
+  }
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, ~std::uint32_t{0}));
+}
+
+std::uint64_t WireTrace::total_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const WireTraceEvent& event : events) bytes += event.bytes.size();
+  return bytes;
+}
+
+bool WireTrace::save(const std::string& path) const {
+  net::ByteWriter w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kVersion);
+  w.u64(events.size());
+  for (const WireTraceEvent& event : events) {
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u32(event.connection);
+    w.f64(event.at);
+    if (event.kind == WireTraceEvent::Kind::kSend) {
+      w.u32(static_cast<std::uint32_t>(event.bytes.size()));
+      w.raw(event.bytes);
+    }
+  }
+  const auto bytes = w.take();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+std::optional<WireTrace> WireTrace::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[4096];
+  while (true) {
+    const std::size_t n = std::fread(buffer, 1, sizeof(buffer), file);
+    bytes.insert(bytes.end(), buffer, buffer + n);
+    if (n < sizeof(buffer)) break;
+  }
+  const bool read_ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!read_ok) return std::nullopt;
+
+  net::ByteReader r(bytes);
+  for (char c : kMagic) {
+    const auto got = r.u8();
+    if (!got || *got != static_cast<std::uint8_t>(c)) return std::nullopt;
+  }
+  const auto version = r.u32();
+  if (!version || *version != kVersion) return std::nullopt;
+  const auto count = r.u64();
+  if (!count) return std::nullopt;
+
+  WireTrace trace;
+  trace.events.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(*count, 1u << 20)));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    WireTraceEvent event;
+    const auto kind = r.u8();
+    const auto connection = r.u32();
+    const auto at = r.f64();
+    if (!kind || !connection || !at) return std::nullopt;
+    if (*connection >= kMaxTraceConnections) return std::nullopt;
+    if (*kind < static_cast<std::uint8_t>(WireTraceEvent::Kind::kConnect)
+        || *kind > static_cast<std::uint8_t>(
+               WireTraceEvent::Kind::kDisconnect)) {
+      return std::nullopt;
+    }
+    event.kind = static_cast<WireTraceEvent::Kind>(*kind);
+    event.connection = *connection;
+    event.at = *at;
+    if (event.kind == WireTraceEvent::Kind::kSend) {
+      const auto len = r.u32();
+      if (!len) return std::nullopt;
+      auto payload = r.raw(*len);
+      if (!payload) return std::nullopt;
+      event.bytes = std::move(*payload);
+    }
+    trace.events.push_back(std::move(event));
+  }
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage
+  return trace;
+}
+
+void WireTraceRecorder::connect(std::uint32_t connection, double at) {
+  trace_.events.push_back(
+      WireTraceEvent{WireTraceEvent::Kind::kConnect, connection, at, {}});
+}
+
+void WireTraceRecorder::send(std::uint32_t connection, double at,
+                             std::vector<std::uint8_t> frame) {
+  trace_.events.push_back(WireTraceEvent{WireTraceEvent::Kind::kSend,
+                                         connection, at, std::move(frame)});
+}
+
+void WireTraceRecorder::send(std::uint32_t connection, double at,
+                             const net::WireMessage& message) {
+  send(connection, at, net::encode_frame(message));
+}
+
+void WireTraceRecorder::disconnect(std::uint32_t connection, double at) {
+  trace_.events.push_back(
+      WireTraceEvent{WireTraceEvent::Kind::kDisconnect, connection, at, {}});
+}
+
+std::optional<ReplayStats> replay(const WireTrace& trace,
+                                  const ReplayTarget& target,
+                                  ReplayOptions options) {
+  TOMMY_EXPECTS(target.unix_path.empty() != (target.tcp_port == 0));
+  TOMMY_EXPECTS(options.speed >= 0.0);
+  // One thread per logical connection; recorder-built traces that defeat
+  // the load-time bound are a programming error here.
+  TOMMY_EXPECTS(trace.connection_count() <= kMaxTraceConnections);
+
+  // Split the flat trace into per-connection event sequences; each
+  // replays on its own thread (a logical connection is serial; distinct
+  // connections are concurrent, exactly like real client processes).
+  std::vector<std::vector<const WireTraceEvent*>> per_conn(
+      trace.connection_count());
+  for (const WireTraceEvent& event : trace.events) {
+    per_conn[event.connection].push_back(&event);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double trace_origin =
+      trace.events.empty() ? 0.0 : trace.events.front().at;
+
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> bytes{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(per_conn.size());
+  for (const auto& events : per_conn) {
+    if (events.empty()) continue;  // sparse index: nothing to replay
+    threads.emplace_back([&, events_ptr = &events] {
+      std::shared_ptr<net::ByteStream> stream;
+      for (const WireTraceEvent* event : *events_ptr) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        if (options.speed > 0.0) {
+          const double wall_offset =
+              (event->at - trace_origin) / options.speed;
+          std::this_thread::sleep_until(
+              wall_start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(wall_offset)));
+        }
+        switch (event->kind) {
+          case WireTraceEvent::Kind::kConnect:
+            if (stream != nullptr) stream->close_write();
+            stream = net::connect_retry(target.unix_path, target.tcp_port,
+                                        options.connect_retries);
+            if (stream == nullptr) {
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            connections.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case WireTraceEvent::Kind::kSend:
+            if (stream == nullptr
+                || !stream->write_all(std::span<const std::uint8_t>(
+                       event->bytes))) {
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            frames.fetch_add(1, std::memory_order_relaxed);
+            bytes.fetch_add(event->bytes.size(), std::memory_order_relaxed);
+            break;
+          case WireTraceEvent::Kind::kDisconnect:
+            if (stream != nullptr) {
+              stream->close_write();
+              stream.reset();
+            }
+            break;
+        }
+      }
+      if (stream != nullptr) stream->close_write();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (failed.load(std::memory_order_relaxed)) return std::nullopt;
+  ReplayStats stats;
+  stats.connections = connections.load(std::memory_order_relaxed);
+  stats.frames = frames.load(std::memory_order_relaxed);
+  stats.bytes = bytes.load(std::memory_order_relaxed);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                    - wall_start)
+          .count();
+  return stats;
+}
+
+}  // namespace tommy::sim

@@ -1,0 +1,132 @@
+// Wire-trace record & replay: capture a client-side workload — which
+// logical connection opened when, which frames it wrote, when it
+// disconnected — as a flat event trace, persist it to a file, and replay
+// it against a live FrameServer at a configurable speed (0 = as fast as
+// the transport takes bytes, 1 = trace time, k = k× trace time).
+//
+// The trace records BYTES, not session calls: a replayed run exercises
+// the full server path (accept → read → decode → handshake → session)
+// with exactly the frames of the recorded run. Because the front-end's
+// deterministic arrival clock stamps arrivals as a pure function of each
+// message, a replay's emission stream is bit-identical to the recorded
+// run's at ANY speed — which is what makes traces useful as portable
+// regression workloads and load generators (the round-trip test pins
+// this).
+//
+// File format (little-endian, net/wire.hpp primitives):
+//
+//   "TMWR" u32-version(1) u64-event-count
+//   per event: u8 kind (1=connect, 2=send, 3=disconnect)
+//              u32 connection   (logical index; reconnects reuse it)
+//              f64 at           (seconds on the trace clock)
+//              u32 byte-count   (kSend only)  bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/messages.hpp"
+
+namespace tommy::sim {
+
+/// Cap on logical connection indexes: replay spawns one thread per
+/// populated logical connection, so a trace naming absurd indexes is
+/// rejected at load (corrupt or hostile file) and asserted against in
+/// replay(). 4096 concurrent client stand-ins is already well past any
+/// workload the bench scripts generate.
+inline constexpr std::uint32_t kMaxTraceConnections = 4096;
+
+struct WireTraceEvent {
+  enum class Kind : std::uint8_t {
+    kConnect = 1,
+    kSend = 2,
+    kDisconnect = 3,
+  };
+
+  Kind kind{Kind::kConnect};
+  /// Logical connection index. A kConnect after a kDisconnect on the
+  /// same index models a reconnect.
+  std::uint32_t connection{0};
+  /// Seconds on the trace clock (non-decreasing per connection).
+  double at{0.0};
+  /// kSend: the raw frame bytes written to the stream.
+  std::vector<std::uint8_t> bytes{};
+
+  friend bool operator==(const WireTraceEvent&, const WireTraceEvent&)
+      = default;
+};
+
+struct WireTrace {
+  std::vector<WireTraceEvent> events;
+
+  /// Highest connection index + 1 (0 for an empty trace).
+  [[nodiscard]] std::uint32_t connection_count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Writes the trace to `path` (atomically enough for tests: truncate +
+  /// write). False on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const;
+  /// Parses a trace file; nullopt on I/O failure or a malformed file
+  /// (bad magic/version, truncation).
+  [[nodiscard]] static std::optional<WireTrace> load(const std::string& path);
+
+  friend bool operator==(const WireTrace&, const WireTrace&) = default;
+};
+
+/// Append-style trace builder keeping per-connection time monotonic.
+class WireTraceRecorder {
+ public:
+  /// Opens (or reopens) logical connection `connection` at trace time
+  /// `at`.
+  void connect(std::uint32_t connection, double at);
+  /// Records one frame of raw bytes written on `connection`.
+  void send(std::uint32_t connection, double at,
+            std::vector<std::uint8_t> frame);
+  /// Records one encoded protocol message as a frame.
+  void send(std::uint32_t connection, double at,
+            const net::WireMessage& message);
+  void disconnect(std::uint32_t connection, double at);
+
+  [[nodiscard]] const WireTrace& trace() const { return trace_; }
+  [[nodiscard]] WireTrace take() { return std::move(trace_); }
+
+ private:
+  WireTrace trace_;
+};
+
+/// Where replay connects. Set exactly one of unix_path / tcp_port.
+struct ReplayTarget {
+  std::string unix_path{};
+  std::uint16_t tcp_port{0};
+};
+
+struct ReplayOptions {
+  /// Trace seconds elapsing per wall second: 1 = real time, 2 = twice as
+  /// fast (a 10 s trace replays in 5 s), 0 = no pacing at all (as fast
+  /// as the transport accepts bytes).
+  double speed{0.0};
+  /// Per-connection connect retry budget (a server mid-accept-burst can
+  /// transiently refuse).
+  int connect_retries{50};
+};
+
+struct ReplayStats {
+  std::uint64_t connections{0};
+  std::uint64_t frames{0};
+  std::uint64_t bytes{0};
+  double wall_seconds{0.0};
+
+  friend bool operator==(const ReplayStats&, const ReplayStats&) = default;
+};
+
+/// Replays `trace` against a live server: one thread per logical
+/// connection, events in trace order, sleeps scaled by options.speed.
+/// nullopt if any connection could not be established or any write
+/// failed (a replay is a correctness tool; partial delivery is failure).
+[[nodiscard]] std::optional<ReplayStats> replay(const WireTrace& trace,
+                                                const ReplayTarget& target,
+                                                ReplayOptions options = {});
+
+}  // namespace tommy::sim

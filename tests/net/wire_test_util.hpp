@@ -1,0 +1,243 @@
+// Shared helpers for the server-facing net suites (acceptor, soak,
+// replay): deterministic workloads, the captured-emission currency the
+// equivalence tests compare, the direct-session reference run, and
+// throwaway socket endpoints. Kept header-only and test-local — this is
+// harness code, not library surface.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/framing.hpp"
+#include "net/frontend.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/summary.hpp"
+
+namespace tommy::net::testing {
+
+constexpr Duration kWireDelay = Duration(0.5e-3);
+
+/// Deterministic arrival clock: a pure function of the message, so any
+/// transport timing (fast replay, slow replay, reconnects) produces the
+/// same session calls — the precondition for bit-identical equivalence.
+inline TimePoint modeled_arrival(const WireMessage& message) {
+  if (const auto* msg = std::get_if<TimestampedMessage>(&message)) {
+    return msg->local_stamp + kWireDelay;
+  }
+  if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
+    return heartbeat->local_stamp + kWireDelay;
+  }
+  ADD_FAILURE() << "arrival requested for a non-ingest message";
+  return TimePoint::epoch();
+}
+
+inline FrontendConfig test_frontend_config() {
+  FrontendConfig config;
+  config.arrival_clock = modeled_arrival;
+  return config;
+}
+
+inline stats::DistributionSummary summary_for(std::uint32_t client) {
+  return stats::DistributionSummary(
+      stats::GaussianParams{1e-4 * client, 1e-3});
+}
+
+inline core::ClientRegistry make_registry(std::uint32_t n) {
+  core::ClientRegistry registry;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    registry.announce(ClientId(c), summary_for(c));
+  }
+  return registry;
+}
+
+inline std::vector<ClientId> ids(std::uint32_t n) {
+  std::vector<ClientId> out;
+  for (std::uint32_t c = 0; c < n; ++c) out.push_back(ClientId(c));
+  return out;
+}
+
+inline std::vector<std::uint8_t> announce_frame(std::uint32_t client) {
+  return encode_frame(WireMessage(
+      DistributionAnnouncement{ClientId(client), summary_for(client)}));
+}
+
+inline std::vector<std::uint8_t> message_frame(std::uint32_t client,
+                                               std::uint64_t id,
+                                               double stamp) {
+  return encode_frame(WireMessage(TimestampedMessage{
+      ClientId(client), MessageId(id), TimePoint(stamp)}));
+}
+
+inline std::vector<std::uint8_t> heartbeat_frame(std::uint32_t client,
+                                                 double stamp) {
+  return encode_frame(
+      WireMessage(Heartbeat{ClientId(client), TimePoint(stamp)}));
+}
+
+// ── Captured emissions (the equivalence currency) ───────────────────────
+
+struct CapturedMessage {
+  std::uint64_t id;
+  std::uint32_t client;
+  double stamp;
+  double arrival;
+
+  friend bool operator==(const CapturedMessage&, const CapturedMessage&)
+      = default;
+};
+
+struct CapturedBatch {
+  std::uint32_t shard;
+  Rank rank;
+  double emitted_at;
+  double safe_time;
+  std::vector<CapturedMessage> messages;
+
+  friend bool operator==(const CapturedBatch&, const CapturedBatch&)
+      = default;
+};
+
+inline CapturedBatch capture(const core::EmissionRecord& record,
+                             std::uint32_t shard) {
+  CapturedBatch batch;
+  batch.shard = shard;
+  batch.rank = record.batch.rank;
+  batch.emitted_at = record.emitted_at.seconds();
+  batch.safe_time = record.safe_time.seconds();
+  for (const core::Message& m : record.batch.messages) {
+    batch.messages.push_back(CapturedMessage{m.id.value(), m.client.value(),
+                                             m.stamp.seconds(),
+                                             m.arrival.seconds()});
+  }
+  return batch;
+}
+
+// ── Workload ────────────────────────────────────────────────────────────
+
+struct Event {
+  bool is_heartbeat;
+  std::uint64_t id;  // messages only
+  TimePoint stamp;
+};
+
+/// Per-client event sequences: stamps advance with jitter, a heartbeat
+/// every few messages, and a trailing heartbeat that pushes the
+/// completeness frontier past everything.
+inline std::vector<std::vector<Event>> make_workload(std::uint32_t clients,
+                                                     int per_client,
+                                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Event>> events(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    Rng client_rng = rng.split();
+    double stamp = 1.0 + 1e-4 * c;
+    for (int k = 0; k < per_client; ++k) {
+      stamp += client_rng.uniform(0.5e-3, 3e-3);
+      events[c].push_back(Event{
+          false, 1000ULL * c + static_cast<std::uint64_t>(k),
+          TimePoint(stamp)});
+      if (k % 5 == 4) {
+        events[c].push_back(Event{true, 0, TimePoint(stamp + 0.1e-3)});
+      }
+    }
+    events[c].push_back(Event{true, 0, TimePoint(stamp + 50e-3)});
+  }
+  return events;
+}
+
+inline std::vector<std::uint8_t> event_frame(std::uint32_t client,
+                                             const Event& event) {
+  return event.is_heartbeat
+             ? heartbeat_frame(client, event.stamp.seconds())
+             : message_frame(client, event.id, event.stamp.seconds());
+}
+
+inline std::vector<TimePoint> poll_schedule() {
+  return {TimePoint(1.05), TimePoint(1.2), TimePoint(1.5), TimePoint(2.5)};
+}
+
+/// Reference run: the workload through direct session calls.
+inline std::vector<CapturedBatch> run_direct(
+    const std::vector<std::vector<Event>>& workload,
+    core::ServiceConfig config) {
+  core::ClientRegistry registry =
+      make_registry(static_cast<std::uint32_t>(workload.size()));
+  core::FairOrderingService service(
+      registry, ids(static_cast<std::uint32_t>(workload.size())), config);
+
+  for (std::uint32_t c = 0; c < workload.size(); ++c) {
+    auto session = service.open_session(ClientId(c));
+    std::vector<core::Submission> batch;
+    for (const Event& event : workload[c]) {
+      if (event.is_heartbeat) {
+        session.submit_batch(std::span<const core::Submission>(batch));
+        batch.clear();
+        session.heartbeat(event.stamp, event.stamp + kWireDelay);
+      } else {
+        batch.push_back(core::Submission{event.stamp, MessageId(event.id),
+                                         event.stamp + kWireDelay});
+      }
+    }
+    session.submit_batch(std::span<const core::Submission>(batch));
+  }
+
+  std::vector<CapturedBatch> out;
+  auto sink = [&out](core::EmissionRecord&& record, std::uint32_t shard) {
+    out.push_back(capture(record, shard));
+  };
+  for (TimePoint t : poll_schedule()) service.poll(t, sink);
+  service.flush(TimePoint(3.0), sink);
+  return out;
+}
+
+/// Drains a service into captured batches on the shared poll schedule.
+inline std::vector<CapturedBatch> drain_captured(
+    core::FairOrderingService& service) {
+  std::vector<CapturedBatch> out;
+  auto sink = [&out](core::EmissionRecord&& record, std::uint32_t shard) {
+    out.push_back(capture(record, shard));
+  };
+  for (TimePoint t : poll_schedule()) service.poll(t, sink);
+  service.flush(TimePoint(3.0), sink);
+  return out;
+}
+
+inline void expect_equivalent(const std::vector<CapturedBatch>& direct,
+                              const std::vector<CapturedBatch>& other) {
+  ASSERT_EQ(direct.size(), other.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], other[i]) << "batch " << i;
+  }
+}
+
+// ── Throwaway endpoints ─────────────────────────────────────────────────
+
+/// A fresh abstract-enough Unix socket path under /tmp (pid + counter:
+/// parallel ctest binaries never collide, and sun_path stays short).
+inline std::string fresh_unix_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/tommy_srv_" + std::to_string(::getpid()) + "_"
+         + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// Spin-waits (with sleeps) until `predicate` holds or ~5 s elapsed.
+template <typename Predicate>
+bool eventually(Predicate predicate, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now()
+                        + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+}  // namespace tommy::net::testing
