@@ -1,78 +1,135 @@
 #include "core/client_registry.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/check.hpp"
 
 namespace tommy::core {
 
+ClientRegistry::ClientRegistry(ClientRegistry&& other) noexcept
+    : entries_(std::move(other.entries_)),
+      index_(std::move(other.index_)),
+      generation_(other.generation_.load(std::memory_order_relaxed)) {}
+
+ClientRegistry& ClientRegistry::operator=(ClientRegistry&& other) noexcept {
+  if (this != &other) {
+    entries_ = std::move(other.entries_);
+    index_ = std::move(other.index_);
+    generation_.store(other.generation_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 bool ClientRegistry::announce(ClientId client,
                               const stats::DistributionSummary& summary) {
   auto bytes = summary.serialize();
+  std::unique_lock lock(mutex_);
   const auto it = index_.find(client);
   if (it != index_.end() && entries_[it->second].summary_bytes == bytes) {
     return false;  // identical re-announce: keep the generation stable
   }
-  announce(client, summary.materialize());
+  announce_locked(client, summary.materialize());
   entries_[index_.at(client)].summary_bytes = std::move(bytes);
   return true;
 }
 
 bool ClientRegistry::announce(ClientId client,
                               stats::DistributionPtr distribution) {
+  std::unique_lock lock(mutex_);
+  return announce_locked(client, std::move(distribution));
+}
+
+bool ClientRegistry::announce_locked(ClientId client,
+                                     stats::DistributionPtr distribution) {
   TOMMY_EXPECTS(distribution != nullptr);
+  SharedDistribution shared(std::move(distribution));
   const auto it = index_.find(client);
   if (it == index_.end()) {
     const auto index = static_cast<std::uint32_t>(entries_.size());
-    entries_.push_back(Entry{client, std::move(distribution), {}});
+    entries_.push_back(Entry{client, std::move(shared), {}});
     index_.emplace(client, index);
   } else {
-    entries_[it->second].distribution = std::move(distribution);
+    entries_[it->second].distribution = std::move(shared);
     entries_[it->second].summary_bytes.clear();
   }
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
-const std::vector<std::uint8_t>* ClientRegistry::announced_summary(
+std::optional<std::vector<std::uint8_t>> ClientRegistry::announced_summary(
     ClientId client) const {
-  const Entry& entry = entries_[index_of(client)];
-  return entry.summary_bytes.empty() ? nullptr : &entry.summary_bytes;
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(client);
+  TOMMY_EXPECTS(it != index_.end());
+  const Entry& entry = entries_[it->second];
+  if (entry.summary_bytes.empty()) return std::nullopt;
+  return entry.summary_bytes;
 }
 
 bool ClientRegistry::contains(ClientId client) const {
+  std::shared_lock lock(mutex_);
   return index_.contains(client);
 }
 
 const stats::Distribution& ClientRegistry::offset_distribution(
     ClientId client) const {
-  return *entries_[index_of(client)].distribution;
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(client);
+  TOMMY_EXPECTS(it != index_.end());
+  return *entries_[it->second].distribution;
+}
+
+ClientRegistry::SharedDistribution ClientRegistry::offset_distribution_ptr(
+    ClientId client) const {
+  std::shared_lock lock(mutex_);
+  const auto it = index_.find(client);
+  TOMMY_EXPECTS(it != index_.end());
+  return entries_[it->second].distribution;
 }
 
 std::uint32_t ClientRegistry::index_of(ClientId client) const {
+  std::shared_lock lock(mutex_);
   const auto it = index_.find(client);
   TOMMY_EXPECTS(it != index_.end());
   return it->second;
 }
 
 ClientId ClientRegistry::client_at(std::uint32_t index) const {
+  std::shared_lock lock(mutex_);
   TOMMY_EXPECTS(index < entries_.size());
   return entries_[index].client;
 }
 
 const stats::Distribution& ClientRegistry::distribution_at(
     std::uint32_t index) const {
+  std::shared_lock lock(mutex_);
   TOMMY_EXPECTS(index < entries_.size());
   return *entries_[index].distribution;
 }
 
+ClientRegistry::SharedDistribution ClientRegistry::distribution_ptr_at(
+    std::uint32_t index) const {
+  std::shared_lock lock(mutex_);
+  TOMMY_EXPECTS(index < entries_.size());
+  return entries_[index].distribution;
+}
+
 bool ClientRegistry::all_gaussian() const {
+  std::shared_lock lock(mutex_);
   return std::all_of(entries_.begin(), entries_.end(), [](const Entry& entry) {
     return entry.distribution->is_gaussian();
   });
 }
 
+std::size_t ClientRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
 std::vector<ClientId> ClientRegistry::clients() const {
+  std::shared_lock lock(mutex_);
   std::vector<ClientId> out;
   out.reserve(entries_.size());
   for (const Entry& entry : entries_) out.push_back(entry.client);

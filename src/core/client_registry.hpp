@@ -8,10 +8,21 @@
 // to key flat arrays (per-client constants, per-pair critical gaps)
 // instead of hashing ClientIds per query. `generation()` increments on
 // every announce so engines can detect stale derived tables.
+//
+// Thread safety: all members are safe to call concurrently. Announces
+// take an exclusive lock; lookups take a shared lock. The reference-
+// returning accessors (`offset_distribution`, `distribution_at`) hand
+// out references that stay valid only until the next replacing announce
+// for that client — callers that may race with announces (the reconfig
+// primer, live engines) must use the `shared_ptr`-returning variants,
+// which keep the distribution alive across a replacement.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +34,15 @@ namespace tommy::core {
 
 class ClientRegistry {
  public:
+  using SharedDistribution = std::shared_ptr<const stats::Distribution>;
+
+  ClientRegistry() = default;
+  // Moves are NOT concurrency-safe (the lock does not move with the
+  // object); they exist so factory helpers can return by value before
+  // any threads share the registry.
+  ClientRegistry(ClientRegistry&& other) noexcept;
+  ClientRegistry& operator=(ClientRegistry&& other) noexcept;
+
   /// Registers (or replaces) a client's offset distribution. Idempotent:
   /// re-announcing a summary whose wire form matches the one on record
   /// changes nothing and does NOT bump the generation (so connection
@@ -38,7 +58,14 @@ class ClientRegistry {
   [[nodiscard]] bool contains(ClientId client) const;
 
   /// Offset distribution f_θ for `client`. Precondition: contains(client).
+  /// The reference is valid until the next replacing announce for this
+  /// client; use offset_distribution_ptr when announces may race.
   [[nodiscard]] const stats::Distribution& offset_distribution(
+      ClientId client) const;
+
+  /// Shared-ownership handle to f_θ for `client`: stays valid across a
+  /// concurrent re-announce. Precondition: contains(client).
+  [[nodiscard]] SharedDistribution offset_distribution_ptr(
       ClientId client) const;
 
   /// Dense index of `client` in [0, size()), assigned at first announce
@@ -48,43 +75,54 @@ class ClientRegistry {
   /// Inverse of index_of. Precondition: index < size().
   [[nodiscard]] ClientId client_at(std::uint32_t index) const;
 
-  /// Distribution by dense index. Precondition: index < size().
+  /// Distribution by dense index. Precondition: index < size(). Same
+  /// lifetime caveat as offset_distribution.
   [[nodiscard]] const stats::Distribution& distribution_at(
       std::uint32_t index) const;
 
-  /// Serialized wire form of the summary `client` last announced, or
-  /// nullptr when the client was registered directly with a Distribution
-  /// object (no comparable wire form). Lets a wire front-end decide
-  /// whether an inbound announcement is a no-op re-send or a real change.
+  /// Shared-ownership handle by dense index. Precondition: index < size().
+  [[nodiscard]] SharedDistribution distribution_ptr_at(
+      std::uint32_t index) const;
+
+  /// Serialized wire form of the summary `client` last announced (a
+  /// copy — safe across concurrent re-announces), or nullopt when the
+  /// client was registered directly with a Distribution object (no
+  /// comparable wire form). Lets a wire front-end decide whether an
+  /// inbound announcement is a no-op re-send or a real change.
   /// Precondition: contains(client).
-  [[nodiscard]] const std::vector<std::uint8_t>* announced_summary(
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> announced_summary(
       ClientId client) const;
 
   /// Bumped on every announce that changed the registry (new client or
   /// replacement; identical summary re-announces don't count); lets
   /// engines invalidate tables derived from the distributions.
-  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// True iff every registered distribution is exactly Gaussian — enables
   /// the closed-form engine and the transitivity guarantee of Appendix A.
   [[nodiscard]] bool all_gaussian() const;
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] std::vector<ClientId> clients() const;
 
  private:
   struct Entry {
     ClientId client;
-    stats::DistributionPtr distribution;
+    SharedDistribution distribution;
     /// Wire form of the announcing summary; empty for direct
     /// Distribution announces.
     std::vector<std::uint8_t> summary_bytes;
   };
 
+  bool announce_locked(ClientId client, stats::DistributionPtr distribution);
+
+  mutable std::shared_mutex mutex_;
   std::vector<Entry> entries_;                          // dense, by index
   std::unordered_map<ClientId, std::uint32_t> index_;   // id -> dense index
-  std::uint64_t generation_{0};
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace tommy::core

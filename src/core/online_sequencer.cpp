@@ -37,7 +37,7 @@ OnlineSequencer::OnlineSequencer(const ClientRegistry& registry,
                                  OnlineConfig config)
     : engine_ptr_(std::make_shared<const PrecedingEngine>(registry,
                                                           config.preceding)),
-      engine_(*engine_ptr_),
+      engine_(engine_ptr_.get()),
       registry_(registry),
       config_(config),
       expected_clients_(std::move(expected_clients)) {
@@ -46,18 +46,25 @@ OnlineSequencer::OnlineSequencer(const ClientRegistry& registry,
 
 OnlineSequencer::OnlineSequencer(std::shared_ptr<const PrecedingEngine> engine,
                                  std::vector<ClientId> expected_clients,
-                                 OnlineConfig config)
+                                 OnlineConfig config, bool pinned)
     : engine_ptr_(require_engine(std::move(engine))),
-      engine_(*engine_ptr_),
+      engine_(engine_ptr_.get()),
       registry_(engine_ptr_->registry()),
       config_(config),
+      pinned_(pinned),
       expected_clients_(std::move(expected_clients)) {
   // Every sequencer sharing an engine must agree on (threshold, p_safe):
   // a mismatch would not be wrong, but each caller would re-prime the
   // whole engine on every ingest/poll — a silent orders-of-magnitude
   // slowdown. Catch it at construction instead.
-  TOMMY_EXPECTS(config_.reference_mode || !engine_.fast_primed() ||
-                engine_.fast_params_match(config_.threshold, config_.p_safe));
+  TOMMY_EXPECTS(config_.reference_mode || !engine_->fast_primed() ||
+                engine_->fast_params_match(config_.threshold, config_.p_safe));
+  // Pinned mode relies on the engine being a finished, immutable epoch:
+  // prefilled tables, matching parameters, no lazy fills ever.
+  TOMMY_EXPECTS(!pinned_ ||
+                (!config_.reference_mode && engine_->fast_prefilled() &&
+                 engine_->fast_params_match(config_.threshold,
+                                            config_.p_safe)));
   init_expected_clients();
 }
 
@@ -80,7 +87,7 @@ void OnlineSequencer::init_expected_clients() {
     clients_.push_back(state);
   }
   if (!config_.reference_mode) {
-    engine_.prime(config_.threshold, config_.p_safe);
+    engine_->prime(config_.threshold, config_.p_safe);
   }
   unheard_count_ = clients_.size();
   heap_.reserve(clients_.size());
@@ -97,6 +104,35 @@ void OnlineSequencer::init_expected_clients() {
   }
 }
 
+void OnlineSequencer::register_client(ClientId client) {
+  TOMMY_EXPECTS(registry_.contains(client));
+  const std::uint32_t cindex = registry_.index_of(client);
+  if (cindex >= slot_by_cindex_.size()) {
+    slot_by_cindex_.resize(registry_.size(), kNoSlot);
+  }
+  if (slot_by_cindex_[cindex] != kNoSlot) return;  // already expected
+  const auto slot = static_cast<std::uint32_t>(clients_.size());
+  slot_by_cindex_[cindex] = slot;
+  expected_clients_.push_back(client);
+  ClientState state;
+  state.id = client;
+  state.cindex = cindex;
+  clients_.push_back(state);
+  ++unheard_count_;
+  heap_pos_.push_back(kNotInHeap);
+  Session session;
+  session.sequencer_ = this;
+  session.client_ = client;
+  session.cindex_ = cindex;
+  session.slot_ = slot;
+  refresh_session(session);
+  session_table_.push_back(session);
+}
+
+std::uint64_t OnlineSequencer::current_generation() const {
+  return pinned_ ? engine_->fast_generation() : registry_.generation();
+}
+
 std::uint32_t OnlineSequencer::slot_of(ClientId client) const {
   // Unknown-to-the-registry clients die inside index_of; clients the
   // registry knows but this sequencer does not expect die here. Both are
@@ -108,16 +144,16 @@ std::uint32_t OnlineSequencer::slot_of(ClientId client) const {
 }
 
 void OnlineSequencer::refresh_session(Session& session) const {
-  session.generation_ = registry_.generation();
+  session.generation_ = current_generation();
   if (config_.reference_mode) return;  // no cached constants to refresh
-  session.mean_offset_ = engine_.fast_mean(session.cindex_);
-  session.safe_offset_ = engine_.fast_safe_offset(session.cindex_);
+  session.mean_offset_ = engine_->fast_mean(session.cindex_);
+  session.safe_offset_ = engine_->fast_safe_offset(session.cindex_);
 }
 
 OnlineSequencer::Session OnlineSequencer::open_session(ClientId client) {
   maybe_reprime();  // a fresh handle starts from current tables
   Session session = session_table_[slot_of(client)];
-  if (session.generation_ != registry_.generation()) {
+  if (session.generation_ != current_generation()) {
     refresh_session(session);
   }
   return session;
@@ -154,6 +190,7 @@ void OnlineSequencer::Session::heartbeat(TimePoint local_stamp,
 }
 
 void OnlineSequencer::touch_client(ClientState& state) {
+  state.departed = false;  // hearing from a retired client revives it
   if (!state.heard) {
     state.heard = true;
     TOMMY_ASSERT(unheard_count_ > 0);
@@ -161,7 +198,7 @@ void OnlineSequencer::touch_client(ClientState& state) {
   }
   if (config_.reference_mode) return;
   const TimePoint frontier =
-      engine_.fast_completeness_frontier(state.cindex, state.high_water);
+      engine_->fast_completeness_frontier(state.cindex, state.high_water);
   const auto slot = static_cast<std::uint32_t>(&state - clients_.data());
   if (heap_pos_[slot] == kNotInHeap) {
     // First word from this client, or its re-entry into the gate after a
@@ -185,7 +222,7 @@ void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
   }
   last_arrival_ = std::max(last_arrival_, now);
   if (!config_.reference_mode &&
-      session.generation_ != registry_.generation()) {
+      session.generation_ != current_generation()) {
     refresh_session(session);
   }
 
@@ -198,8 +235,8 @@ void OnlineSequencer::session_submit(Session& session, TimePoint stamp,
   entry.msg = Message{id, session.client_, stamp, now};
   entry.cindex = session.cindex_;
   if (config_.reference_mode) {
-    entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
-    entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+    entry.corrected = engine_->corrected_stamp(entry.msg).seconds();
+    entry.safe_time = engine_->safe_emission_time(entry.msg, config_.p_safe);
   } else {
     // Same arithmetic as the engine's fast_corrected /
     // fast_safe_emission_time, from the session's cached offsets.
@@ -215,7 +252,7 @@ void OnlineSequencer::session_submit_batch(Session& session,
   if (items.empty()) return;
   maybe_reprime();
   if (!config_.reference_mode &&
-      session.generation_ != registry_.generation()) {
+      session.generation_ != current_generation()) {
     refresh_session(session);
   }
 
@@ -232,8 +269,8 @@ void OnlineSequencer::session_submit_batch(Session& session,
     entry.msg = Message{item.id, session.client_, item.stamp, item.arrival};
     entry.cindex = session.cindex_;
     if (config_.reference_mode) {
-      entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
-      entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+      entry.corrected = engine_->corrected_stamp(entry.msg).seconds();
+      entry.safe_time = engine_->safe_emission_time(entry.msg, config_.p_safe);
     } else {
       entry.corrected = item.stamp.seconds() + session.mean_offset_;
       entry.safe_time = item.stamp + Duration(session.safe_offset_);
@@ -268,26 +305,31 @@ void OnlineSequencer::on_heartbeat(ClientId c, TimePoint local_stamp,
 void OnlineSequencer::refresh_entry(Buffered& entry) const {
   entry.cindex = registry_.index_of(entry.msg.client);
   if (config_.reference_mode) {
-    entry.corrected = engine_.corrected_stamp(entry.msg).seconds();
-    entry.safe_time = engine_.safe_emission_time(entry.msg, config_.p_safe);
+    entry.corrected = engine_->corrected_stamp(entry.msg).seconds();
+    entry.safe_time = engine_->safe_emission_time(entry.msg, config_.p_safe);
   } else {
-    entry.corrected = engine_.fast_corrected(entry.cindex, entry.msg.stamp);
+    entry.corrected = engine_->fast_corrected(entry.cindex, entry.msg.stamp);
     entry.safe_time =
-        engine_.fast_safe_emission_time(entry.cindex, entry.msg.stamp);
+        engine_->fast_safe_emission_time(entry.cindex, entry.msg.stamp);
   }
 }
 
 void OnlineSequencer::maybe_reprime() {
   if (config_.reference_mode) return;
-  if (engine_.fast_ready(config_.threshold, config_.p_safe)) return;
-  engine_.prime(config_.threshold, config_.p_safe);
+  if (pinned_) return;  // epoch-pinned: announces wait for rebind_engine
+  if (engine_->fast_ready(config_.threshold, config_.p_safe)) return;
+  engine_->prime(config_.threshold, config_.p_safe);
+  refresh_epoch_state();
+}
+
+void OnlineSequencer::refresh_epoch_state() {
   // Distributions changed under us: refresh every cached constant (buffer
   // order is preserved — exactly like the naive path, which re-evaluates
   // probabilities per query but never re-sorts what it already buffered).
   // The refreshed corrected stamps may no longer be monotone in the
   // stored order, which disables the windowed early exits until order is
   // restored (see header). Sessions refresh themselves lazily off the
-  // registry generation counter.
+  // generation counter.
   for (Buffered& entry : buffer_) refresh_entry(entry);
   for (Buffered& entry : last_emitted_) refresh_entry(entry);
   // The frontier offsets moved too: recompute every heard client's cached
@@ -297,7 +339,7 @@ void OnlineSequencer::maybe_reprime() {
   for (ClientState& state : clients_) {
     if (!state.heard) continue;
     state.frontier =
-        engine_.fast_completeness_frontier(state.cindex, state.high_water);
+        engine_->fast_completeness_frontier(state.cindex, state.high_water);
   }
   heap_rebuild();
   buffer_sorted_ = std::is_sorted(
@@ -311,9 +353,52 @@ void OnlineSequencer::maybe_reprime() {
   head_valid_ = false;
 }
 
+void OnlineSequencer::rebind_engine(
+    std::shared_ptr<const PrecedingEngine> engine,
+    std::span<const ClientId> new_clients) {
+  TOMMY_EXPECTS(engine != nullptr);
+  TOMMY_EXPECTS(&engine->registry() == &registry_);
+  if (!config_.reference_mode) {
+    // The new epoch must be a finished table set for our parameters; in
+    // pinned mode it must additionally be prefilled (workers read it
+    // lock-free).
+    TOMMY_EXPECTS(engine->fast_primed() &&
+                  engine->fast_params_match(config_.threshold,
+                                            config_.p_safe));
+    TOMMY_EXPECTS(!pinned_ || engine->fast_prefilled());
+  }
+  engine_ptr_ = std::move(engine);
+  engine_ = engine_ptr_.get();
+  for (ClientId client : new_clients) register_client(client);
+  if (config_.reference_mode) return;  // per-query evaluation: no caches
+  refresh_epoch_state();
+}
+
+void OnlineSequencer::retire_client(ClientId client) {
+  ClientState& state = clients_[slot_of(client)];
+  if (state.departed) return;
+  state.departed = true;
+  if (!state.heard) {
+    // A client that departs without ever speaking stops gating Q2 the
+    // same way a heard-then-departed one does.
+    state.heard = true;
+    TOMMY_ASSERT(unheard_count_ > 0);
+    --unheard_count_;
+    return;  // never touched, so never in the heap
+  }
+  if (!config_.reference_mode) {
+    const std::uint32_t slot = slot_of(client);
+    if (heap_pos_[slot] != kNotInHeap) heap_remove_at(heap_pos_[slot]);
+  }
+}
+
+bool OnlineSequencer::is_departed(ClientId client) const {
+  return clients_[slot_of(client)].departed;
+}
+
 bool OnlineSequencer::confidently_after(const Message& later,
                                         const Message& earlier) const {
-  return engine_.preceding_probability(earlier, later) > config_.threshold;
+  return engine_->preceding_probability(earlier, later) > config_.threshold;
 }
 
 void OnlineSequencer::ingest(Buffered entry) {
@@ -332,8 +417,8 @@ void OnlineSequencer::ingest(Buffered entry) {
     const auto pos = std::lower_bound(
         buffer_.begin(), buffer_.end(), entry,
         [this](const Buffered& lhs, const Buffered& rhs) {
-          const TimePoint lk = engine_.corrected_stamp(lhs.msg);
-          const TimePoint rk = engine_.corrected_stamp(rhs.msg);
+          const TimePoint lk = engine_->corrected_stamp(lhs.msg);
+          const TimePoint rk = engine_->corrected_stamp(rhs.msg);
           if (lk != rk) return lk < rk;
           return lhs.msg.id < rhs.msg.id;
         });
@@ -342,7 +427,7 @@ void OnlineSequencer::ingest(Buffered entry) {
   }
   for (const Buffered& emitted : last_emitted_) {
     const double diff = entry.corrected - emitted.corrected;
-    if (!(diff > engine_.fast_critical_gap(emitted.cindex, entry.cindex))) {
+    if (!(diff > engine_->fast_critical_gap(emitted.cindex, entry.cindex))) {
       ++fairness_violations_;
       break;
     }
@@ -375,9 +460,9 @@ void OnlineSequencer::insert_fast(Buffered entry) {
       // an early exit that is only valid while the buffer is sorted.
       for (std::size_t i = head_size_; i-- > 0;) {
         const double diff = entry.corrected - buffer_[i].corrected;
-        if (buffer_sorted_ && diff > engine_.fast_global_max_gap()) break;
+        if (buffer_sorted_ && diff > engine_->fast_global_max_gap()) break;
         if (!(diff >
-              engine_.fast_critical_gap(buffer_[i].cindex, entry.cindex))) {
+              engine_->fast_critical_gap(buffer_[i].cindex, entry.cindex))) {
           head_valid_ = false;
           break;
         }
@@ -408,12 +493,12 @@ void OnlineSequencer::recompute_head() const {
     for (; absorbed < e; ++absorbed) {
       const Buffered& row = buffer_[absorbed];
       safe = std::max(safe, row.safe_time);
-      const double window = engine_.fast_max_gap_from(row.cindex);
+      const double window = engine_->fast_max_gap_from(row.cindex);
       for (std::size_t j = absorbed + 1; j < n; ++j) {
         const double diff = buffer_[j].corrected - row.corrected;
         if (buffer_sorted_ && diff > window) break;
         if (!(diff >
-              engine_.fast_critical_gap(row.cindex, buffer_[j].cindex))) {
+              engine_->fast_critical_gap(row.cindex, buffer_[j].cindex))) {
           reach = std::max(reach, j);
         }
       }
@@ -450,7 +535,7 @@ TimePoint OnlineSequencer::safe_time_for_naive(std::size_t batch_size) const {
   TimePoint t_b = TimePoint(-std::numeric_limits<double>::infinity());
   for (std::size_t k = 0; k < batch_size; ++k) {
     t_b = std::max(t_b,
-                   engine_.safe_emission_time(buffer_[k].msg, config_.p_safe));
+                   engine_->safe_emission_time(buffer_[k].msg, config_.p_safe));
   }
   return t_b;
 }
@@ -526,11 +611,24 @@ void OnlineSequencer::heap_remove_top() const {
   }
 }
 
+void OnlineSequencer::heap_remove_at(std::size_t pos) const {
+  TOMMY_ASSERT(pos < heap_.size());
+  heap_pos_[heap_[pos]] = kNotInHeap;
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail node
+  heap_[pos] = last;
+  heap_pos_[last] = static_cast<std::uint32_t>(pos);
+  // The moved node may violate either direction; only one sift acts.
+  heap_sift_down(pos);
+  heap_sift_up(heap_pos_[last]);
+}
+
 void OnlineSequencer::heap_rebuild() const {
   heap_.clear();
   std::fill(heap_pos_.begin(), heap_pos_.end(), kNotInHeap);
   for (std::uint32_t slot = 0; slot < clients_.size(); ++slot) {
-    if (!clients_[slot].heard) continue;
+    if (!clients_[slot].heard || clients_[slot].departed) continue;
     heap_.push_back(slot);
     heap_pos_[slot] = static_cast<std::uint32_t>(heap_.size() - 1);
   }
@@ -540,6 +638,7 @@ void OnlineSequencer::heap_rebuild() const {
 bool OnlineSequencer::completeness_scan(TimePoint t_b, TimePoint now) const {
   // Reference semantics over the cached fast-mode frontiers.
   for (const ClientState& state : clients_) {
+    if (state.departed) continue;  // explicit departure: out of the gate
     const bool timed_out =
         config_.client_silence_timeout.is_finite() &&
         (!state.heard ||
@@ -574,6 +673,7 @@ bool OnlineSequencer::completeness_satisfied(TimePoint t_b,
 bool OnlineSequencer::completeness_satisfied_naive(TimePoint t_b,
                                                    TimePoint now) const {
   for (const ClientState& state : clients_) {
+    if (state.departed) continue;  // explicit departure: out of the gate
     const bool timed_out =
         config_.client_silence_timeout.is_finite() &&
         (!state.heard ||
@@ -581,7 +681,7 @@ bool OnlineSequencer::completeness_satisfied_naive(TimePoint t_b,
     if (timed_out) continue;  // liveness guard: drop from the gate
     if (!state.heard) return false;
     const TimePoint frontier =
-        engine_.completeness_frontier(state.id, state.high_water,
+        engine_->completeness_frontier(state.id, state.high_water,
                                       config_.p_safe);
     if (frontier < t_b) return false;
   }
@@ -677,6 +777,7 @@ std::vector<ClientId> OnlineSequencer::timed_out_clients(TimePoint now) const {
   std::vector<ClientId> out;
   if (!config_.client_silence_timeout.is_finite()) return out;
   for (const ClientState& state : clients_) {
+    if (state.departed) continue;  // departed, not timed out
     if (!state.heard ||
         now - state.last_heard > config_.client_silence_timeout) {
       out.push_back(state.id);

@@ -208,9 +208,17 @@ class OnlineSequencer {
   /// registry), so several sequencers can share one primed engine's flat
   /// tables and Δθ caches — the FairOrderingService path.
   /// `config.preceding` is ignored; the engine's own configuration rules.
+  ///
+  /// With `pinned` the sequencer treats the engine as an immutable epoch:
+  /// it never re-primes, and sessions revalidate against the engine's
+  /// fast_generation() instead of the live registry generation, so a
+  /// concurrent registry announce cannot perturb a running shard. The
+  /// engine must be prefill-primed for (config.threshold, config.p_safe);
+  /// moving to a newer epoch is an explicit rebind_engine() call. This is
+  /// the worker-thread mode of the FairOrderingService.
   OnlineSequencer(std::shared_ptr<const PrecedingEngine> engine,
                   std::vector<ClientId> expected_clients,
-                  OnlineConfig config = {});
+                  OnlineConfig config = {}, bool pinned = false);
 
   // Sessions cache a pointer to the sequencer; pin it in memory.
   OnlineSequencer(const OnlineSequencer&) = delete;
@@ -270,7 +278,32 @@ class OnlineSequencer {
   /// silence timeout.
   [[nodiscard]] std::vector<ClientId> timed_out_clients(TimePoint now) const;
 
+  /// Installs a new engine epoch: swaps the engine handle, registers any
+  /// newly-expected clients (growing the completeness gate), and
+  /// refreshes every cached constant — buffered entries, emitted-set
+  /// entries, client frontiers, the gate heap — exactly as a re-prime
+  /// would. Sessions refresh themselves lazily at their next call via the
+  /// generation compare. The caller must guarantee no concurrent use of
+  /// this sequencer (in the threaded service the owning worker runs this
+  /// between drains); in pinned mode the new engine must be
+  /// prefill-primed for this sequencer's (threshold, p_safe).
+  void rebind_engine(std::shared_ptr<const PrecedingEngine> engine,
+                     std::span<const ClientId> new_clients);
+
+  /// Marks `client` as departed: it is removed from the completeness-gate
+  /// frontier immediately (instead of stalling emissions until the
+  /// silence timeout — or forever, with an infinite timeout). Already-
+  /// buffered messages from the client still emit normally. A later
+  /// message or heartbeat revives the client into the gate. Idempotent.
+  void retire_client(ClientId client);
+
+  /// True while `client` is marked departed (see retire_client).
+  [[nodiscard]] bool is_departed(ClientId client) const;
+
   [[nodiscard]] const ClientRegistry& registry() const { return registry_; }
+
+  /// The engine epoch this sequencer currently runs against.
+  [[nodiscard]] const PrecedingEngine& engine() const { return *engine_; }
 
  private:
   /// A buffered (or recently emitted) message with its per-ingest cached
@@ -292,13 +325,24 @@ class OnlineSequencer {
     /// refreshed on every high-water advance and on re-prime).
     TimePoint frontier{TimePoint(-std::numeric_limits<double>::infinity())};
     bool heard{false};
+    /// Departed clients (retire_client) are excluded from the
+    /// completeness gate until they speak again.
+    bool departed{false};
   };
 
   void init_expected_clients();
+  /// Adds one client to the expected set mid-life (rebind_engine): grows
+  /// slot_by_cindex_ / clients_ / heap_pos_ / session_table_. No-op for
+  /// clients already expected.
+  void register_client(ClientId client);
   /// Completeness-gate slot of `client` — the one remaining hash on the
   /// legacy entry points (registry id → dense index, then a flat array).
   /// Precondition: `client` is an expected client.
   [[nodiscard]] std::uint32_t slot_of(ClientId client) const;
+  /// The generation sessions revalidate against: the live registry
+  /// generation normally, the engine's build generation when pinned (so
+  /// announces only take effect at an explicit rebind).
+  [[nodiscard]] std::uint64_t current_generation() const;
   /// Re-reads a session's cached per-client offsets from the engine's
   /// flat tables (fast mode) and stamps it with the current registry
   /// generation.
@@ -329,6 +373,10 @@ class OnlineSequencer {
   /// back to full (still constant-per-pair) scans until the buffer
   /// drains or a later refresh restores order.
   void maybe_reprime();
+  /// The shared tail of maybe_reprime() and rebind_engine(): refreshes
+  /// every cached constant derived from the engine tables (buffer,
+  /// emitted set, client frontiers, gate heap, sortedness, head cache).
+  void refresh_epoch_state();
 
   // Fast path.
   void insert_fast(Buffered entry);
@@ -347,6 +395,9 @@ class OnlineSequencer {
   void heap_sift_down(std::size_t pos) const;
   void heap_insert(std::uint32_t slot) const;
   void heap_remove_top() const;
+  /// General positional removal (retire_client needs to pull a node that
+  /// is not the root).
+  void heap_remove_at(std::size_t pos) const;
   void heap_rebuild() const;
 
   // Retained naive reference path.
@@ -363,12 +414,15 @@ class OnlineSequencer {
   [[nodiscard]] EmissionRecord take_head(std::size_t size, TimePoint t_b,
                                          TimePoint now);
 
-  // engine_ptr_ owns (or co-owns) the engine; engine_ is the stable
-  // reference the hot path uses. Declared in this order on purpose.
+  // engine_ptr_ owns (or co-owns) the engine; engine_ is the raw pointer
+  // the hot path dereferences (re-seated only by rebind_engine, never
+  // null). Declared in this order on purpose.
   std::shared_ptr<const PrecedingEngine> engine_ptr_;
-  const PrecedingEngine& engine_;
+  const PrecedingEngine* engine_;
   const ClientRegistry& registry_;
   OnlineConfig config_;
+  /// Epoch-pinned mode (see the shared-engine constructor).
+  bool pinned_{false};
   std::vector<ClientId> expected_clients_;
   std::vector<ClientState> clients_;  // parallel to expected_clients_
   /// Registry dense index → completeness-gate slot (kNoSlot = not an

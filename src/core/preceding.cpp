@@ -16,15 +16,18 @@ PrecedingEngine::PrecedingEngine(const ClientRegistry& registry,
 
 double PrecedingEngine::preceding_probability(const Message& i,
                                               const Message& j) const {
-  const stats::Distribution& di = registry_.offset_distribution(i.client);
-  const stats::Distribution& dj = registry_.offset_distribution(j.client);
+  // Shared-ownership handles: a concurrent re-announce may replace the
+  // registry entry mid-query, but these keep the sampled distributions
+  // alive (and mutually consistent) for the duration of the computation.
+  const auto di = registry_.offset_distribution_ptr(i.client);
+  const auto dj = registry_.offset_distribution_ptr(j.client);
 
-  if (!config_.force_numeric && di.is_gaussian() && dj.is_gaussian()) {
+  if (!config_.force_numeric && di->is_gaussian() && dj->is_gaussian()) {
     // Closed form: T*_i − T*_j is Gaussian with mean
     // (T_i + μ_i) − (T_j + μ_j) and variance σ_i² + σ_j².
-    const double mean_diff = (j.stamp.seconds() + dj.mean()) -
-                             (i.stamp.seconds() + di.mean());
-    const double spread = std::sqrt(di.variance() + dj.variance());
+    const double mean_diff = (j.stamp.seconds() + dj->mean()) -
+                             (i.stamp.seconds() + di->mean());
+    const double spread = std::sqrt(di->variance() + dj->variance());
     TOMMY_ASSERT(spread > 0.0);
     return math::normal_cdf(mean_diff / spread);
   }
@@ -37,7 +40,7 @@ double PrecedingEngine::preceding_probability(const Message& i,
     return math::clamp_probability(delta.tail_probability(gap));
   }
   const stats::GridDensity delta =
-      stats::difference_density(dj, di, config_.grid_points, config_.method);
+      stats::difference_density(*dj, *di, config_.grid_points, config_.method);
   return math::clamp_probability(delta.tail_probability(gap));
 }
 
@@ -61,10 +64,10 @@ const stats::GridDensity& PrecedingEngine::difference_density_for(
     return *it->second.density;
   }
 
-  const stats::Distribution& di = registry_.offset_distribution(from);
-  const stats::Distribution& dj = registry_.offset_distribution(to);
+  const auto di = registry_.offset_distribution_ptr(from);
+  const auto dj = registry_.offset_distribution_ptr(to);
   auto density = std::make_unique<stats::GridDensity>(stats::difference_density(
-      dj, di, config_.grid_points, config_.method));
+      *dj, *di, config_.grid_points, config_.method));
   CachedDensity entry;
   entry.density = std::move(density);
   if (capacity > 0) {
@@ -85,21 +88,21 @@ const stats::GridDensity& PrecedingEngine::difference_density_for(
 TimePoint PrecedingEngine::safe_emission_time(const Message& m,
                                               double p_safe) const {
   TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
-  const stats::Distribution& d = registry_.offset_distribution(m.client);
-  return m.stamp + Duration(d.quantile(p_safe));
+  const auto d = registry_.offset_distribution_ptr(m.client);
+  return m.stamp + Duration(d->quantile(p_safe));
 }
 
 TimePoint PrecedingEngine::completeness_frontier(ClientId client,
                                                  TimePoint high_water_stamp,
                                                  double p_safe) const {
   TOMMY_EXPECTS(p_safe > 0.0 && p_safe < 1.0);
-  const stats::Distribution& d = registry_.offset_distribution(client);
-  return high_water_stamp + Duration(d.quantile(1.0 - p_safe));
+  const auto d = registry_.offset_distribution_ptr(client);
+  return high_water_stamp + Duration(d->quantile(1.0 - p_safe));
 }
 
 TimePoint PrecedingEngine::corrected_stamp(const Message& m) const {
-  const stats::Distribution& d = registry_.offset_distribution(m.client);
-  return m.stamp + Duration(d.mean());
+  const auto d = registry_.offset_distribution_ptr(m.client);
+  return m.stamp + Duration(d->mean());
 }
 
 bool PrecedingEngine::fast_ready(double threshold, double p_safe) const {
@@ -141,16 +144,16 @@ void PrecedingEngine::build_fast_tables(double threshold,
   t.max_gap_from.assign(t.n, 0.0);
 
   for (std::uint32_t c = 0; c < t.n; ++c) {
-    const stats::Distribution& d = registry_.distribution_at(c);
-    t.mean[c] = d.mean();
-    t.safe_offset[c] = d.quantile(p_safe);
-    t.frontier_offset[c] = d.quantile(1.0 - p_safe);
+    const auto d = registry_.distribution_ptr_at(c);
+    t.mean[c] = d->mean();
+    t.safe_offset[c] = d->quantile(p_safe);
+    t.frontier_offset[c] = d->quantile(1.0 - p_safe);
     t.gaussian[c] =
-        static_cast<std::uint8_t>(!config_.force_numeric && d.is_gaussian());
-    t.variance[c] = d.variance();
+        static_cast<std::uint8_t>(!config_.force_numeric && d->is_gaussian());
+    t.variance[c] = d->variance();
     // Same effective support the numeric Δθ grids are built on
     // (stats::difference_density) — the basis of the row bounds below.
-    const stats::Support sup = d.effective_support();
+    const stats::Support sup = d->effective_support();
     t.upper_width[c] = sup.hi - t.mean[c];
     t.lower_width[c] = t.mean[c] - sup.lo;
     t.support_width[c] = sup.width();
@@ -222,9 +225,10 @@ double PrecedingEngine::numeric_critical_gap(std::uint32_t ci,
   if (config_.cache_difference_densities) {
     q = difference_density_for(id_i, id_j).tail_quantile(fast_.threshold);
   } else {
+    const auto dist_j = registry_.distribution_ptr_at(cj);
+    const auto dist_i = registry_.distribution_ptr_at(ci);
     const stats::GridDensity delta = stats::difference_density(
-        registry_.distribution_at(cj), registry_.distribution_at(ci),
-        config_.grid_points, config_.method);
+        *dist_j, *dist_i, config_.grid_points, config_.method);
     q = delta.tail_quantile(fast_.threshold);
   }
   return (fast_.mean[cj] - fast_.mean[ci]) - q;

@@ -153,6 +153,15 @@ class PrecedingEngine {
   /// callers detect a parameter mismatch before thrashing the tables.
   [[nodiscard]] bool fast_primed() const { return fast_.valid; }
 
+  /// Registry generation the current fast tables were built at (0 when
+  /// never primed) — the epoch identity of a primed engine. Sessions
+  /// pinned to a shared prefilled engine revalidate against this instead
+  /// of the live registry generation, so a concurrent announce cannot
+  /// perturb them until an explicit rebind installs a fresher engine.
+  [[nodiscard]] std::uint64_t fast_generation() const {
+    return fast_.generation;
+  }
+
   /// True when prime() last ran with exactly these parameters (registry
   /// generation aside — a stale generation just means one cheap
   /// re-prime, not thrashing).

@@ -13,11 +13,12 @@ namespace tommy::core {
 
 namespace {
 
-/// One ring element: a submit or a heartbeat, as data. The lane preserves
-/// per-session FIFO; cross-lane order is reconstructed nowhere (it does
-/// not matter — see Session::submit_relaxed in online_sequencer.hpp).
+/// One ring element: a submit, a heartbeat, or a retirement, as data. The
+/// lane preserves per-session FIFO; cross-lane order is reconstructed
+/// nowhere (it does not matter — see Session::submit_relaxed in
+/// online_sequencer.hpp).
 struct IngestOp {
-  enum class Kind : std::uint8_t { kSubmit, kHeartbeat };
+  enum class Kind : std::uint8_t { kSubmit, kHeartbeat, kRetire };
   Kind kind{Kind::kSubmit};
   TimePoint stamp{};    // submit: message stamp; heartbeat: local stamp
   MessageId id{};       // submit only
@@ -70,14 +71,20 @@ struct FairOrderingService::ShardWorker {
   std::atomic<std::uint32_t> wake_epoch{0};
   std::atomic<bool> sleeping{false};
 
-  // Command mailbox (poll/flush/barrier). The service serializes callers
-  // (Threading::control), so at most one command is in flight per worker:
-  // the caller writes the plain fields, then publishes with a release
-  // store of cmd_seq; the worker acknowledges with a release store of
-  // ack_seq after writing its plain reply fields.
-  enum class Cmd : std::uint8_t { kPoll, kFlush, kBarrier };
+  // Command mailbox (poll/flush/barrier/rebind). The service serializes
+  // callers (Threading::control), so at most one command is in flight per
+  // worker: the caller writes the plain fields, then publishes with a
+  // release store of cmd_seq; the worker acknowledges with a release
+  // store of ack_seq after writing its plain reply fields.
+  enum class Cmd : std::uint8_t { kPoll, kFlush, kBarrier, kRebind };
   Cmd cmd{Cmd::kBarrier};
   TimePoint cmd_now{};
+  // kRebind payload: the staged epoch's engine, plus clients newly routed
+  // to this shard. Written by the installer before publishing cmd_seq;
+  // consumed (and cleared) by the worker at its quiesce point, so the
+  // rebind touches sequencer state only on the owning thread.
+  std::shared_ptr<const PrecedingEngine> rebind_target;
+  std::vector<ClientId> rebind_clients;
   std::atomic<std::uint64_t> cmd_seq{0};
   std::atomic<std::uint64_t> ack_seq{0};
   // Shard-state snapshots taken at every command ack. The service's
@@ -137,38 +144,78 @@ struct FairOrderingService::ShardWorker {
     }
   }
 
-  /// One drain round: applies up to kDrainBudget ops per lane. Runs of
+  /// Pops up to `max` ops from `lane` and applies them. Runs of
   /// consecutive submits apply through the batched (relaxed) session
-  /// surface. Returns whether anything was applied.
-  bool drain_round() {
+  /// surface. Returns the number of ops applied (0: lane was empty).
+  std::size_t drain_lane(IngestLane* lane, std::size_t max) {
+    ops.clear();
+    const std::size_t got = lane->ring.pop_bulk(ops, max);
+    if (got == 0) return 0;
+    std::size_t i = 0;
+    const std::size_t n = ops.size();
+    while (i < n) {
+      if (ops[i].kind == IngestOp::Kind::kHeartbeat) {
+        lane->inner.heartbeat(ops[i].stamp, ops[i].arrival);
+        ++i;
+        continue;
+      }
+      if (ops[i].kind == IngestOp::Kind::kRetire) {
+        // FIFO through the lane: everything the departing session
+        // enqueued before closing has already been applied above.
+        shard->retire_client(lane->client);
+        ++i;
+        continue;
+      }
+      batch.clear();
+      while (i < n && ops[i].kind == IngestOp::Kind::kSubmit) {
+        batch.push_back(Submission{ops[i].stamp, ops[i].id, ops[i].arrival});
+        ++i;
+      }
+      lane->inner.submit_batch_relaxed(std::span<const Submission>(batch));
+    }
+    return got;
+  }
+
+  /// One drain round: applies up to kDrainBudget ops per lane. Returns
+  /// whether anything was applied. Bails between lanes when a command
+  /// lands (`handled` is the last acknowledged cmd_seq): a full round is
+  /// up to lanes × kDrainBudget ops, and per-op cost degrades with
+  /// buffer depth, so checking only between rounds lets a backlogged
+  /// shard keep a poll or an epoch swap waiting for the whole round.
+  /// Bailing early is safe — the command prologue (drain_visible)
+  /// re-covers whatever this round left in the rings.
+  bool drain_round(std::uint64_t handled) {
     refresh_lane_cache();
     bool any = false;
     for (IngestLane* lane : lane_cache) {
-      ops.clear();
-      if (lane->ring.pop_bulk(ops, kDrainBudget) == 0) continue;
-      any = true;
-      std::size_t i = 0;
-      const std::size_t n = ops.size();
-      while (i < n) {
-        if (ops[i].kind == IngestOp::Kind::kHeartbeat) {
-          lane->inner.heartbeat(ops[i].stamp, ops[i].arrival);
-          ++i;
-          continue;
-        }
-        batch.clear();
-        while (i < n && ops[i].kind == IngestOp::Kind::kSubmit) {
-          batch.push_back(Submission{ops[i].stamp, ops[i].id, ops[i].arrival});
-          ++i;
-        }
-        lane->inner.submit_batch_relaxed(
-            std::span<const Submission>(batch));
-      }
+      if (cmd_seq.load(std::memory_order_acquire) != handled) break;
+      if (drain_lane(lane, kDrainBudget) != 0) any = true;
     }
     return any;
   }
 
-  void drain_all() {
-    while (drain_round()) {
+  /// Command prologue: applies everything enqueued before the caller
+  /// published the command. All such ops are visible at entry (release/
+  /// acquire on cmd_seq plus the ring tails) and FIT in the rings, so
+  /// popping at most capacity() ops per lane covers them. Bounded by
+  /// construction: looping drain_round() to an all-rings-empty instant
+  /// instead would let producers that keep pushing during the pass defer
+  /// a poll or an epoch swap indefinitely (observed as multi-second
+  /// reconfigure() latency under sustained ingest on small hosts). Ops
+  /// that race in behind the per-lane budget are applied after the
+  /// command acts — indistinguishable from arriving a moment later; for
+  /// kRebind that is exactly the live-reconfig contract (post-boundary
+  /// ops sequence under the new epoch, revalidated by generation).
+  void drain_visible() {
+    refresh_lane_cache();
+    for (IngestLane* lane : lane_cache) {
+      std::size_t budget = lane->ring.capacity();
+      while (budget > 0) {
+        const std::size_t got =
+            drain_lane(lane, budget < kDrainBudget ? budget : kDrainBudget);
+        if (got == 0) break;
+        budget -= got;
+      }
     }
   }
 
@@ -183,14 +230,14 @@ struct FairOrderingService::ShardWorker {
     };
     CallbackSink<decltype(park)> sink(park);
     while (true) {
-      const bool did_work = drain_round();
+      const bool did_work = drain_round(handled);
       const std::uint64_t seq = cmd_seq.load(std::memory_order_acquire);
       if (seq != handled) {
         // A command partitions time: everything enqueued before the
         // caller published it is visible (release/acquire on cmd_seq
-        // plus the ring tails), so drain to empty, then act at the
+        // plus the ring tails), so apply exactly that, then act at the
         // caller's `now`.
-        drain_all();
+        drain_visible();
         switch (cmd) {
           case Cmd::kPoll:
             shard->poll(cmd_now, sink, shard_index);
@@ -199,6 +246,16 @@ struct FairOrderingService::ShardWorker {
             shard->flush(cmd_now, sink, shard_index);
             break;
           case Cmd::kBarrier:
+            break;
+          case Cmd::kRebind:
+            // The quiesce point of the epoch swap: every pre-command op
+            // is applied (the drain_visible above) and the worker is the
+            // only thread that touches sequencer state, so the shard
+            // rebinds to the staged engine with no op in flight. Ops
+            // enqueued after the command sequence under the new epoch.
+            shard->rebind_engine(std::move(rebind_target), rebind_clients);
+            rebind_target.reset();
+            rebind_clients.clear();
             break;
         }
         reported_next_safe = shard->next_safe_time();
@@ -282,7 +339,7 @@ const char* to_string(OpenError error) {
     case OpenError::kUnknownClient:
       return "unknown client";
     case OpenError::kRegistryChanged:
-      return "registry changed after threaded prime";
+      return "reconfig pending; retry after install";
   }
   return "unknown";
 }
@@ -317,7 +374,10 @@ std::uint32_t ModuloRouter::route(ClientId client,
 FairOrderingService::FairOrderingService(
     const ClientRegistry& registry, std::vector<ClientId> expected_clients,
     ServiceConfig config)
-    : router_(std::move(config.router)),
+    : registry_(registry),
+      router_(std::move(config.router)),
+      online_config_(config.online),
+      prefill_engines_(config.worker_threads),
       drain_policy_(config.drain_policy),
       ingest_ring_capacity_(config.ingest_ring_capacity) {
   TOMMY_EXPECTS(config.shard_count > 0);
@@ -366,8 +426,11 @@ FairOrderingService::FairOrderingService(
   shards_.resize(config.shard_count);
   for (std::uint32_t s = 0; s < config.shard_count; ++s) {
     if (partition[s].empty()) continue;  // unpopulated shard
+    // Threaded shards are pinned: they never re-prime the shared engine
+    // (workers read it lock-free); epoch swaps go through rebind_engine.
     shards_[s] = std::make_unique<OnlineSequencer>(
-        engine_, std::move(partition[s]), config.online);
+        engine_, std::move(partition[s]), config.online,
+        /*pinned=*/config.worker_threads);
   }
 
   if (config.worker_threads) {
@@ -385,6 +448,7 @@ FairOrderingService::FairOrderingService(
 }
 
 FairOrderingService::~FairOrderingService() {
+  join_primer();
   if (!threading_) return;
   for (auto& worker : threading_->workers) {
     if (!worker) continue;
@@ -401,20 +465,26 @@ FairOrderingService::try_open_session(ClientId client, OpenError* error) {
   auto report = [error](OpenError e) {
     if (error != nullptr) *error = e;
   };
-  if (!expects_client(client)) {
-    report(OpenError::kUnknownClient);
-    return std::nullopt;
+  // Known clients always open: a re-announce no longer freezes the
+  // service — sessions revalidate their cached offsets by generation, and
+  // the epoch swap happens at a quiesce point behind them.
+  if (expects_client(client)) {
+    report(OpenError::kNone);
+    return open_session(client);
   }
-  // A re-announce after a prefilled prime would put the workers' lock-free
-  // table reads behind a mutating re-prime; refuse instead of racing. The
-  // sequential service re-primes lazily and safely, so only threaded mode
-  // checks.
-  if (threading_ && registry().generation() != primed_generation_) {
-    report(OpenError::kRegistryChanged);
-    return std::nullopt;
+  // Unknown here, but queued to join at the next install: tell the caller
+  // to retry once the reconfig lands (wire front-ends surface this as
+  // ReconfigPending).
+  {
+    std::lock_guard<std::mutex> lock(reconfig_.mutex);
+    const auto& pending = reconfig_.pending_clients;
+    if (std::find(pending.begin(), pending.end(), client) != pending.end()) {
+      report(OpenError::kRegistryChanged);
+      return std::nullopt;
+    }
   }
-  report(OpenError::kNone);
-  return open_session(client);
+  report(OpenError::kUnknownClient);
+  return std::nullopt;
 }
 
 FairOrderingService::Session FairOrderingService::open_session(
@@ -488,10 +558,26 @@ void FairOrderingService::Session::heartbeat(TimePoint local_stamp,
 }
 
 std::uint32_t FairOrderingService::shard_of(ClientId client) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
   const auto it = shard_by_client_.find(client);
   TOMMY_EXPECTS(it != shard_by_client_.end());  // unknown clients are a
                                                 // config error
   return it->second;
+}
+
+bool FairOrderingService::expects_client(ClientId client) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return shard_by_client_.contains(client);
+}
+
+bool FairOrderingService::has_shard(std::uint32_t index) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return index < shards_.size() && shards_[index] != nullptr;
+}
+
+const PrecedingEngine& FairOrderingService::engine() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  return *engine_;
 }
 
 void FairOrderingService::submit(const Message& m) {
@@ -684,6 +770,183 @@ std::size_t FairOrderingService::held_back_count() const {
   if (!threading_) return count();
   std::lock_guard<std::mutex> lock(threading_->control);
   return count();
+}
+
+// ── Live reconfiguration ────────────────────────────────────────────────
+
+void FairOrderingService::expect_client(ClientId client) {
+  TOMMY_EXPECTS(registry_.contains(client));  // announce first, then join
+  if (expects_client(client)) return;
+  std::lock_guard<std::mutex> lock(reconfig_.mutex);
+  auto& pending = reconfig_.pending_clients;
+  if (std::find(pending.begin(), pending.end(), client) == pending.end()) {
+    pending.push_back(client);
+  }
+}
+
+bool FairOrderingService::reconfig_pending() const {
+  if (registry_.generation() != primed_generation()) return true;
+  std::lock_guard<std::mutex> lock(reconfig_.mutex);
+  return !reconfig_.pending_clients.empty();
+}
+
+void FairOrderingService::join_primer() {
+  std::thread primer;
+  {
+    std::lock_guard<std::mutex> lock(reconfig_.mutex);
+    primer.swap(reconfig_.primer);
+  }
+  if (primer.joinable()) primer.join();
+}
+
+void FairOrderingService::start_prime_locked() {
+  TOMMY_ASSERT(!reconfig_.priming);
+  // The previous primer (if any) already left its critical section
+  // (priming is false), so joining the handle under the mutex is safe.
+  if (reconfig_.primer.joinable()) reconfig_.primer.join();
+  reconfig_.priming = true;
+  reconfig_.ready.store(false, std::memory_order_release);
+  reconfig_.staged.reset();
+  reconfig_.primer = std::thread([this] {
+    // Prime against a moving registry: build_fast_tables records the
+    // generation at build START, so a prime torn by a concurrent
+    // announce reads as stale here and simply goes again.
+    auto engine = std::make_shared<PrecedingEngine>(
+        registry_, online_config_.preceding);
+    do {
+      engine->prime(online_config_.threshold, online_config_.p_safe,
+                    prefill_engines_);
+    } while (engine->fast_generation() != registry_.generation());
+    std::lock_guard<std::mutex> lock(reconfig_.mutex);
+    reconfig_.staged = std::move(engine);
+    reconfig_.priming = false;
+    reconfig_.ready.store(true, std::memory_order_release);
+  });
+}
+
+std::uint64_t FairOrderingService::request_reconfig() {
+  const std::uint64_t target = registry_.generation();
+  std::lock_guard<std::mutex> lock(reconfig_.mutex);
+  if (reconfig_.pending_clients.empty() && target == primed_generation()) {
+    return target;  // caught up; nothing to stage
+  }
+  if (!reconfig_.priming &&
+      !reconfig_.ready.load(std::memory_order_acquire)) {
+    start_prime_locked();
+  }
+  return target;
+}
+
+bool FairOrderingService::try_install_reconfig() {
+  std::shared_ptr<const PrecedingEngine> staged;
+  std::vector<ClientId> joins;
+  {
+    std::lock_guard<std::mutex> lock(reconfig_.mutex);
+    if (!reconfig_.ready.load(std::memory_order_acquire)) return false;
+    // Exactly-once handoff: whoever clears `ready` owns the install.
+    reconfig_.ready.store(false, std::memory_order_relaxed);
+    staged = std::move(reconfig_.staged);
+    reconfig_.staged.reset();
+    if (staged->fast_generation() != registry_.generation()) {
+      // An announce landed after the prime finished: stage again.
+      start_prime_locked();
+      return false;
+    }
+    joins = std::move(reconfig_.pending_clients);
+    reconfig_.pending_clients.clear();
+  }
+  install_staged(std::move(staged), std::move(joins));
+  return true;
+}
+
+void FairOrderingService::install_staged(
+    std::shared_ptr<const PrecedingEngine> staged,
+    std::vector<ClientId> joins) {
+  const auto shard_total = static_cast<std::uint32_t>(shards_.size());
+  // Route the joining clients. Install is effectively single-threaded —
+  // the staged handoff admits one installer at a time, and only
+  // installers write the topology — so the unlocked read here races
+  // nothing.
+  std::vector<std::vector<ClientId>> added(shard_total);
+  std::vector<std::pair<ClientId, std::uint32_t>> new_routes;
+  for (ClientId c : joins) {
+    if (shard_by_client_.contains(c)) continue;  // lost a re-queue race
+    const std::uint32_t s = router_->route(c, shard_total);
+    TOMMY_EXPECTS(s < shard_total);
+    added[s].push_back(c);
+    new_routes.emplace_back(c, s);
+  }
+
+  if (threading_) {
+    // Quiesce + swap: under the control lock no poll/flush interleaves;
+    // every worker drains its rings to empty, then rebinds its shard to
+    // the staged engine on its own thread (Cmd::kRebind).
+    std::lock_guard<std::mutex> control(threading_->control);
+    for (auto& worker : threading_->workers) {
+      if (!worker) continue;
+      worker->rebind_target = staged;
+      worker->rebind_clients = std::move(added[worker->shard_index]);
+    }
+    threading_->broadcast_and_await(ShardWorker::Cmd::kRebind, TimePoint{});
+    // Publish: first-time-populated shards get a sequencer and a worker,
+    // then routes/engine/generation/epoch flip in one unique-lock
+    // section. Readers see the old epoch or the new one, never a mix.
+    std::unique_lock<std::shared_mutex> topo(topology_mutex_);
+    for (std::uint32_t s = 0; s < shard_total; ++s) {
+      if (added[s].empty() || shards_[s]) continue;
+      shards_[s] = std::make_unique<OnlineSequencer>(
+          staged, added[s], online_config_, /*pinned=*/true);
+      auto worker = std::make_unique<ShardWorker>();
+      worker->shard = shards_[s].get();
+      worker->shard_index = s;
+      worker->thread = std::thread([w = worker.get()] { w->run(); });
+      threading_->workers[s] = std::move(worker);
+    }
+    engine_ = staged;
+    for (const auto& [c, s] : new_routes) shard_by_client_.emplace(c, s);
+    primed_generation_.store(staged->fast_generation(),
+                             std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  // Sequential: rebind in place. Callers serialize reconfiguration with
+  // ingest exactly as they serialize poll/flush.
+  std::unique_lock<std::shared_mutex> topo(topology_mutex_);
+  for (std::uint32_t s = 0; s < shard_total; ++s) {
+    if (shards_[s]) {
+      shards_[s]->rebind_engine(staged, added[s]);
+    } else if (!added[s].empty()) {
+      shards_[s] = std::make_unique<OnlineSequencer>(
+          staged, added[s], online_config_, /*pinned=*/false);
+    }
+  }
+  engine_ = staged;
+  for (const auto& [c, s] : new_routes) shard_by_client_.emplace(c, s);
+  primed_generation_.store(staged->fast_generation(),
+                           std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void FairOrderingService::reconfigure() {
+  while (reconfig_pending()) {
+    request_reconfig();
+    join_primer();  // wait for the staged engine
+    try_install_reconfig();
+  }
+}
+
+void FairOrderingService::close_session(Session& session) {
+  if (threading_) {
+    TOMMY_EXPECTS(session.lane_ != nullptr);
+    IngestOp op;
+    op.kind = IngestOp::Kind::kRetire;
+    session.lane_->worker->push(*session.lane_, op);
+    session.lane_ = nullptr;  // the handle is dead from here on
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+  shards_[session.shard_]->retire_client(session.client_);
 }
 
 const OnlineSequencer& FairOrderingService::shard(std::uint32_t index) const {

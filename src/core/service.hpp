@@ -52,22 +52,61 @@
 //    different threads freely (that is the point);
 //  * poll/flush/next_safe_time/pending_count/fairness_violations are
 //    serialized internally (any thread may call them);
-//  * the registry must not re-announce while workers run: the shared
-//    engine is primed WITH full critical-gap prefill at construction and
-//    is immutable afterwards (see PrecedingEngine::prime);
+//  * engine immutability is epoch-scoped: within one epoch the shared
+//    engine is primed WITH full critical-gap prefill and never mutates
+//    (workers read it lock-free); a registry re-announce starts a NEW
+//    epoch — a fresh engine is primed off-thread (request_reconfig) and
+//    atomically installed at a per-shard quiesce point
+//    (try_install_reconfig), in-flight sessions revalidating by
+//    generation instead of erroring (see "Live reconfiguration" below);
 //  * reference_mode is incompatible with worker_threads (the naive path
 //    mutates engine caches per query).
 //
 // A 1-shard sequential service is bit-identical to a bare OnlineSequencer
 // (the randomized equivalence tests assert this), so the facade costs
 // nothing when sharding is not wanted.
+//
+// ── Live reconfiguration (RCU-style epoch swap) ─────────────────────────
+//
+// The service can absorb registry churn — re-announced summaries and
+// joining clients — without a restart and without dropping traffic:
+//
+//   announce / expect_client ─► request_reconfig ─► [prime off-thread]
+//        ─► try_install_reconfig ─► quiesce + swap ─► resume
+//
+//  * request_reconfig starts (or notes, if one is running) a primer
+//    thread that builds a brand-new PrecedingEngine against the updated
+//    registry and primes its critical-gap tables — all off the ingest
+//    path; the live epoch keeps serving from the old engine meanwhile.
+//    A torn prime (an announce landing mid-build) is detected via the
+//    generation recorded at build start and simply re-primed.
+//  * try_install_reconfig is the quiesce point: under the control lock
+//    every worker applies every op enqueued before the install command
+//    (a bounded pass — sustained ingest cannot defer the swap) and
+//    rebinds its shard to the staged engine on its own thread
+//    (Cmd::kRebind); shards populated
+//    for the first time get sequencers + workers; then the new topology
+//    (routes, engine, primed generation, epoch counter) is published
+//    under the topology lock. Sessions opened in the old epoch stay
+//    valid — they revalidate by generation on next use.
+//  * reconfigure() is the blocking convenience loop (prime + install
+//    until the service has caught up with the registry); tests and
+//    sequential oracles use it for deterministic epoch boundaries.
+//  * close_session / retirement: a departed client is removed from its
+//    shard's completeness-gate frontier (FIFO-ordered through its ingest
+//    lane in threaded mode) so the gate stops waiting for it; a later
+//    submit from the same client revives it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -195,13 +234,13 @@ struct ServiceConfig {
 /// precondition the way in-process callers do.
 enum class OpenError : std::uint8_t {
   kNone,
-  /// The client is not in the service's expected set (routing is fixed at
-  /// construction; unknown peers have no shard).
+  /// The client is not in the service's expected set and no reconfig is
+  /// pending that would add it (unknown peers have no shard).
   kUnknownClient,
-  /// Threaded mode only: the registry re-announced after the shared
-  /// engine's prefilled prime, which the workers' lock-free reads cannot
-  /// tolerate (see the threaded-mode contract above). The service must be
-  /// rebuilt — or the announce avoided — before new sessions open.
+  /// The client is queued to join at the next reconfig install
+  /// (expect_client + request_reconfig) but the new epoch has not been
+  /// installed yet. Retry after the install — the wire front-end maps
+  /// this to a ReconfigPending response.
   kRegistryChanged,
 };
 
@@ -287,17 +326,56 @@ class FairOrderingService {
   [[nodiscard]] std::optional<Session> try_open_session(
       ClientId client, OpenError* error = nullptr);
 
-  /// True iff `client` was in the expected set (i.e. has a shard).
-  [[nodiscard]] bool expects_client(ClientId client) const {
-    return shard_by_client_.contains(client);
+  /// True iff `client` currently has a shard (expected at construction or
+  /// added by a reconfig install). Thread-safe.
+  [[nodiscard]] bool expects_client(ClientId client) const;
+
+  /// Registry generation the live epoch's engine was primed at. Moves
+  /// forward at each reconfig install; sessions revalidate against it.
+  [[nodiscard]] std::uint64_t primed_generation() const {
+    return primed_generation_.load(std::memory_order_acquire);
   }
 
-  /// Registry generation the shared engine was primed at (construction
-  /// time). In threaded mode the registry must still be at this
-  /// generation for ingest to be safe.
-  [[nodiscard]] std::uint64_t primed_generation() const {
-    return primed_generation_;
+  // ── Live reconfiguration ────────────────────────────────────────────
+  // See the file-header section. All of these are thread-safe.
+
+  /// Queues `client` (which must already be announced in the registry)
+  /// to join the service at the next reconfig install. Idempotent; a
+  /// no-op for clients that already have a shard.
+  void expect_client(ClientId client);
+
+  /// True iff an install is outstanding: the registry generation has
+  /// moved past the live epoch's, or clients are queued to join.
+  [[nodiscard]] bool reconfig_pending() const;
+
+  /// Starts priming a new epoch off-thread if one is needed and no primer
+  /// is already running. Returns the registry generation the reconfig is
+  /// targeting (callers can poll primed_generation() against it).
+  std::uint64_t request_reconfig();
+
+  /// Installs the staged epoch if the primer has finished: quiesces every
+  /// worker, rebinds shards to the new engine, publishes the new
+  /// topology. Returns true on install; false when nothing was staged,
+  /// the stage was torn (a re-prime is kicked off), or no reconfig is
+  /// pending.
+  bool try_install_reconfig();
+
+  /// Blocking convenience: prime + install until the service has caught
+  /// up with the registry and no joins are queued. Deterministic epoch
+  /// boundary for tests and sequential oracles.
+  void reconfigure();
+
+  /// Monotone count of installed epochs (0 = the constructed epoch).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
   }
+
+  /// Retires the session's client from its shard's completeness gate: the
+  /// gate stops waiting for the client immediately (FIFO-ordered through
+  /// the session's ingest lane in threaded mode, so ops already enqueued
+  /// land first). The handle must not be used afterwards; a later
+  /// open_session + submit for the same client revives it.
+  void close_session(Session& session);
 
   /// Routed legacy-style ingest (one hash for the shard lookup plus the
   /// shard's own table hash). Prefer sessions on hot paths. Sequential
@@ -335,9 +413,10 @@ class FairOrderingService {
     return flush(now, static_cast<EmissionSink&>(sink));
   }
 
-  /// Blocks until every ingest ring is drained and every worker idle
-  /// (no-op in sequential mode). After it returns, state accessors
-  /// reflect everything submitted before the call.
+  /// Barrier: blocks until every worker has applied every op enqueued
+  /// before the call (no-op in sequential mode). After it returns, state
+  /// accessors reflect everything submitted before the call; ops racing
+  /// in from concurrent producers may still be in flight.
   void quiesce();
 
   /// Earliest next_safe_time across shards (infinite future when all
@@ -356,7 +435,7 @@ class FairOrderingService {
   [[nodiscard]] std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
   }
-  /// Shard assignment of `client` (hash lookup; cold path).
+  /// Shard assignment of `client` (hash lookup; cold path). Thread-safe.
   [[nodiscard]] std::uint32_t shard_of(ClientId client) const;
   /// Direct access to a shard's sequencer (diagnostics, tests).
   /// Precondition: the shard exists (some client routed to it). In
@@ -364,16 +443,14 @@ class FairOrderingService {
   /// live producers.
   [[nodiscard]] const OnlineSequencer& shard(std::uint32_t index) const;
   [[nodiscard]] OnlineSequencer& shard(std::uint32_t index);
-  [[nodiscard]] bool has_shard(std::uint32_t index) const {
-    return index < shards_.size() && shards_[index] != nullptr;
-  }
+  [[nodiscard]] bool has_shard(std::uint32_t index) const;
   [[nodiscard]] bool threaded() const { return threading_ != nullptr; }
 
-  [[nodiscard]] const PrecedingEngine& engine() const { return *engine_; }
+  /// The live epoch's engine. Do not hold the reference across a reconfig
+  /// install (the epoch swap retires it).
+  [[nodiscard]] const PrecedingEngine& engine() const;
   [[nodiscard]] const KeyRouter& router() const { return *router_; }
-  [[nodiscard]] const ClientRegistry& registry() const {
-    return engine_->registry();
-  }
+  [[nodiscard]] const ClientRegistry& registry() const { return registry_; }
 
  private:
   /// Sequential-mode drain core (poll/flush share it).
@@ -388,13 +465,47 @@ class FairOrderingService {
   std::size_t release_merged(TimePoint min_next_safe, bool release_all,
                              EmissionSink& sink);
 
+  /// Launches the off-thread primer. Requires reconfig_.mutex held and no
+  /// primer currently running (reconfig_.priming false).
+  void start_prime_locked();
+  /// Quiesce + swap: rebinds every shard (worker-side in threaded mode),
+  /// creates shards/workers for first-time-populated partitions, then
+  /// publishes routes, engine, generation, and epoch.
+  void install_staged(std::shared_ptr<const PrecedingEngine> staged,
+                      std::vector<ClientId> joins);
+  /// Steals and joins the primer thread (never call holding
+  /// reconfig_.mutex while the primer may still want it).
+  void join_primer();
+
+  /// Off-thread prime state for the next epoch.
+  struct Reconfig {
+    mutable std::mutex mutex;
+    std::thread primer;
+    /// Staged engine, handed off exactly once to the installer that
+    /// clears `ready`.
+    std::shared_ptr<const PrecedingEngine> staged;
+    /// Announced clients awaiting a shard at the next install.
+    std::vector<ClientId> pending_clients;
+    bool priming{false};
+    std::atomic<bool> ready{false};
+  };
+
+  const ClientRegistry& registry_;
   std::shared_ptr<const KeyRouter> router_;
+  OnlineConfig online_config_{};
+  bool prefill_engines_{false};  // == threaded(); primers match it
+  /// Guards the published topology: shard_by_client_, shards_ slot
+  /// pointers, engine_. Readers (expects_client, shard_of, open paths)
+  /// take it shared; only install_staged takes it unique.
+  mutable std::shared_mutex topology_mutex_;
   std::shared_ptr<const PrecedingEngine> engine_;
   std::vector<std::unique_ptr<OnlineSequencer>> shards_;
   std::unordered_map<ClientId, std::uint32_t> shard_by_client_;
   DrainPolicy drain_policy_{DrainPolicy::kShardLocal};
   std::size_t ingest_ring_capacity_{1024};
-  std::uint64_t primed_generation_{0};
+  std::atomic<std::uint64_t> primed_generation_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  Reconfig reconfig_;
   /// kGlobalMerge holdback: emitted records not yet released, with their
   /// shard tags. Kept sorted by (safe_time, shard, rank) at release.
   std::vector<std::pair<EmissionRecord, std::uint32_t>> holdback_;

@@ -9,9 +9,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
+#include <variant>
 
 #include "common/check.hpp"
 
@@ -209,14 +212,77 @@ std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port) {
   return make_fd_stream(fd);
 }
 
+std::chrono::microseconds RetryPolicy::delay_for(int attempt) const {
+  double scaled = static_cast<double>(base_delay.count());
+  for (int i = 0; i < attempt; ++i) {
+    scaled *= multiplier;
+    if (scaled >= static_cast<double>(max_delay.count())) {
+      return max_delay;
+    }
+  }
+  const auto micros = static_cast<std::int64_t>(scaled);
+  return std::min(std::chrono::microseconds(micros), max_delay);
+}
+
+void RetryPolicy::wait(int attempt) const {
+  const auto delay = delay_for(attempt);
+  if (sleep) {
+    sleep(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
 std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,
                                           std::uint16_t tcp_port,
-                                          int attempts) {
+                                          const RetryPolicy& policy) {
   for (int attempt = 0;; ++attempt) {
     auto stream = unix_path.empty() ? connect_tcp(tcp_port)
                                     : connect_unix(unix_path);
-    if (stream != nullptr || attempt + 1 >= attempts) return stream;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (stream != nullptr || attempt + 1 >= policy.attempts) return stream;
+    policy.wait(attempt);
+  }
+}
+
+std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,
+                                          std::uint16_t tcp_port,
+                                          int attempts) {
+  RetryPolicy policy;
+  policy.attempts = attempts;
+  return connect_retry(unix_path, tcp_port, policy);
+}
+
+HandshakeResult perform_handshake(ByteStream& stream,
+                                  const DistributionAnnouncement& announcement,
+                                  const RetryPolicy& policy) {
+  const auto frame = encode_frame(WireMessage(announcement));
+  FrameDecoder decoder(kDefaultMaxFrameBytes);
+  std::vector<std::uint8_t> buffer(4096);
+  if (!stream.write_all(frame)) return HandshakeResult::kStreamClosed;
+  for (int attempt = 0;; ++attempt) {
+    // Read until the server answers this announce (skipping broadcast
+    // BatchEmission frames that interleave).
+    for (;;) {
+      if (auto payload = decoder.next()) {
+        auto message = decode(*payload);
+        if (!message) return HandshakeResult::kStreamClosed;
+        if (std::holds_alternative<HandshakeAck>(*message)) {
+          return HandshakeResult::kAccepted;
+        }
+        if (std::holds_alternative<ReconfigPending>(*message)) break;
+        continue;  // a broadcast; keep reading
+      }
+      if (decoder.error() != FrameError::kNone) {
+        return HandshakeResult::kStreamClosed;
+      }
+      const auto n = stream.read_some(buffer);
+      if (!n || *n == 0) return HandshakeResult::kStreamClosed;
+      decoder.append({buffer.data(), *n});
+    }
+    // ReconfigPending: back off, then re-announce.
+    if (attempt + 1 >= policy.attempts) return HandshakeResult::kPending;
+    policy.wait(attempt);
+    if (!stream.write_all(frame)) return HandshakeResult::kStreamClosed;
   }
 }
 

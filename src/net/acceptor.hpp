@@ -21,8 +21,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -124,13 +126,58 @@ class FrameServer {
 [[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
     const std::string& path);
 
+/// Bounded retry-with-backoff budget for client-side connects and the
+/// join handshake. Attempt k (0-based) sleeps
+///   min(base_delay · multiplier^k, max_delay)
+/// before attempt k+1. `sleep` is injectable so tests drive the schedule
+/// deterministically (record the delays instead of sleeping); null means
+/// std::this_thread::sleep_for.
+struct RetryPolicy {
+  int attempts{500};
+  std::chrono::microseconds base_delay{2000};
+  double multiplier{1.0};
+  std::chrono::microseconds max_delay{50000};
+  std::function<void(std::chrono::microseconds)> sleep{};
+
+  /// The delay between attempt `attempt` and the next one.
+  [[nodiscard]] std::chrono::microseconds delay_for(int attempt) const;
+  /// delay_for, through `sleep` (or the default sleeper).
+  void wait(int attempt) const;
+};
+
 /// connect_unix (when `unix_path` is nonempty) or connect_tcp, with a
 /// retry budget: a server mid-bind or mid-accept-burst can transiently
-/// refuse, and every client-side driver (replay, blast, soak harness)
-/// wants the same patience. ~2 ms between attempts; nullptr once the
+/// refuse (ECONNREFUSED, missing socket file), and every client-side
+/// driver (replay, blast, soak harness) wants the same patience — no
+/// client should fail on the first refused connect. nullptr once the
 /// budget is exhausted.
 [[nodiscard]] std::shared_ptr<ByteStream> connect_retry(
     const std::string& unix_path, std::uint16_t tcp_port,
+    const RetryPolicy& policy);
+
+/// Back-compat overload: flat ~2 ms between `attempts` tries.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_retry(
+    const std::string& unix_path, std::uint16_t tcp_port,
     int attempts = 500);
+
+/// Outcome of the client-side join handshake (perform_handshake).
+enum class HandshakeResult : std::uint8_t {
+  /// HandshakeAck received: the session is live on the server.
+  kAccepted,
+  /// The retry budget ran out while the join was still ReconfigPending.
+  kPending,
+  /// EOF, transport error, or an undecodable frame mid-handshake.
+  kStreamClosed,
+};
+
+/// Client side of the join flow (a server whose FrontendConfig has
+/// accept_new_clients): writes `announcement`, reads the server's
+/// response, and re-announces on ReconfigPending under `policy`'s backoff
+/// schedule until a HandshakeAck lands. BatchEmission broadcasts that
+/// interleave are skipped. Blocking; drive it from the thread that owns
+/// the stream's read side.
+[[nodiscard]] HandshakeResult perform_handshake(
+    ByteStream& stream, const DistributionAnnouncement& announcement,
+    const RetryPolicy& policy = {});
 
 }  // namespace tommy::net

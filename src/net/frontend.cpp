@@ -246,7 +246,8 @@ bool Connection::handle_announcement(
   if (handshaken() && announcement.client != client_) {
     return fail(WireError::kClientMismatch);
   }
-  if (!service_.expects_client(announcement.client)) {
+  const bool known = service_.expects_client(announcement.client);
+  if (!known && !config_.accept_new_clients) {
     return fail(WireError::kUnknownClient);
   }
   // Order re-announce effects after everything already streamed.
@@ -256,39 +257,65 @@ bool Connection::handle_announcement(
     if (ingest_mutex_ != nullptr) {
       lock = std::unique_lock<std::mutex>(*ingest_mutex_);
     }
-    if (service_.threaded()) {
-      // The threaded service's engine is primed-and-immutable; only an
-      // announcement that provably changes nothing may pass. A client
-      // registered directly with a Distribution object has no wire form
-      // to compare — the registry stays the source of truth and the
-      // announcement is accepted as a liveness signal only.
-      const std::vector<std::uint8_t>* stored =
-          registry_.announced_summary(announcement.client);
-      if (stored != nullptr && *stored != announcement.summary.serialize()) {
-        return fail(WireError::kRegistryFrozen);
-      }
-    } else {
-      // Idempotent: an identical re-send changes nothing and keeps the
-      // generation stable.
-      registry_.announce(announcement.client, announcement.summary);
+    // Idempotent: an identical re-send changes nothing and keeps the
+    // generation stable. A changed summary bumps it — and no longer
+    // freezes a threaded service: the epoch-swap machinery below primes
+    // a fresh engine off-thread and installs it at a quiesce point while
+    // in-flight sessions keep running against the old epoch.
+    registry_.announce(announcement.client, announcement.summary);
+    if (!known) service_.expect_client(announcement.client);
+    if (service_.reconfig_pending()) {
+      // Prime off-thread, install opportunistically. Threaded installs
+      // quiesce the workers internally; sequential installs are already
+      // serialized by ingest_mutex_. A not-yet-staged prime just returns
+      // false here — a later announce retry (or pump) installs it.
+      service_.request_reconfig();
+      service_.try_install_reconfig();
     }
     if (!handshaken()) {
       core::OpenError open_error{};
       auto session =
           service_.try_open_session(announcement.client, &open_error);
-      if (!session) {
-        return fail(open_error == core::OpenError::kUnknownClient
-                        ? WireError::kUnknownClient
-                        : WireError::kRegistryFrozen);
+      if (session) {
+        session_ = *session;
+        client_ = announcement.client;
+        // Release pairs with handshaken()'s acquire: observers that see
+        // true may read client_.
+        handshaken_.store(true, std::memory_order_release);
+        if (reconfig_waiting_ || config_.accept_new_clients) {
+          // Close the join loop: every join-flow handshake gets an ack
+          // (perform_handshake blocks on it), whether or not the peer
+          // was first told ReconfigPending. Legacy servers
+          // (accept_new_clients off) stay silent.
+          reconfig_waiting_ = false;
+          queue_outbound(HandshakeAck{service_.primed_generation()});
+        }
+      } else if (open_error == core::OpenError::kRegistryChanged) {
+        // Queued to join, epoch not installed yet: tell the peer to
+        // retry its announce instead of poisoning the stream.
+        reconfig_waiting_ = true;
+        queue_outbound(ReconfigPending{registry_.generation()});
+      } else {
+        return fail(WireError::kUnknownClient);
       }
-      session_ = *session;
-      client_ = announcement.client;
-      // Release pairs with handshaken()'s acquire: observers that see
-      // true may read client_.
-      handshaken_.store(true, std::memory_order_release);
     }
   }
   return true;
+}
+
+void Connection::queue_outbound(const WireMessage& message) {
+  outbound_.push_back(encode_frame(message));
+}
+
+void Connection::on_peer_eof() {
+  if (!handshaken() || failed()) return;
+  // FIFO: everything the peer streamed lands before its departure does.
+  apply_pending();
+  std::unique_lock<std::mutex> lock;
+  if (ingest_mutex_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(*ingest_mutex_);
+  }
+  service_.close_session(session_);
 }
 
 void Connection::apply_pending() {
@@ -361,12 +388,17 @@ void FrameFrontend::reader_loop(Conn& conn) {
     }
     if (*n == 0) {  // EOF: peer finished cleanly
       conn.clean_eof.store(true, std::memory_order_relaxed);
+      if (config_.retire_on_eof) conn.machine.on_peer_eof();
       break;
     }
     conn.bytes_in.fetch_add(*n, std::memory_order_relaxed);
     conn.last_activity.store(wall_clock_now().seconds(),
                              std::memory_order_relaxed);
-    if (!conn.machine.on_bytes({buffer.data(), *n})) {
+    const bool ok = conn.machine.on_bytes({buffer.data(), *n});
+    // Reconfig responses the machine queued while dispatching (a failed
+    // machine queues nothing further, but what it queued still goes out).
+    flush_outbound(conn);
+    if (!ok) {
       protocol_ok = false;
       break;
     }
@@ -375,6 +407,21 @@ void FrameFrontend::reader_loop(Conn& conn) {
   // into a connection nobody reads.
   if (!protocol_ok) conn.stream->shutdown();
   conn.done.store(true, std::memory_order_release);
+}
+
+void FrameFrontend::flush_outbound(Conn& conn) {
+  for (const auto& frame : conn.machine.take_outbound()) {
+    std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+    if (!conn.write_ok.load(std::memory_order_relaxed)) return;
+    if (conn.stream->write_all(frame)) {
+      conn.frames_out.fetch_add(1, std::memory_order_relaxed);
+      conn.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+      conn.last_activity.store(wall_clock_now().seconds(),
+                               std::memory_order_relaxed);
+    } else {
+      conn.write_ok.store(false, std::memory_order_release);
+    }
+  }
 }
 
 bool FrameFrontend::reapable(const Conn& conn) const {
@@ -519,10 +566,21 @@ std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
       }
     }
   };
+  core::CallbackSink<decltype(broadcast)> sink(broadcast);
+  return drain_locked(now, flush_all, sink);
+}
+
+std::size_t FrameFrontend::drain_locked(TimePoint now, bool flush_all,
+                                        core::EmissionSink& sink) {
   std::unique_lock<std::mutex> lock;
   if (!service_.threaded()) lock = std::unique_lock<std::mutex>(ingest_mutex_);
-  return flush_all ? service_.flush(now, broadcast)
-                   : service_.poll(now, broadcast);
+  // Liveness for reconfigs nobody retries (a handshaken client's mutated
+  // re-announce): each pump gives a staged epoch a chance to install.
+  if (service_.reconfig_pending()) {
+    service_.request_reconfig();
+    service_.try_install_reconfig();
+  }
+  return flush_all ? service_.flush(now, sink) : service_.poll(now, sink);
 }
 
 std::size_t FrameFrontend::pump(TimePoint now) {
@@ -531,6 +589,25 @@ std::size_t FrameFrontend::pump(TimePoint now) {
 
 std::size_t FrameFrontend::pump_flush(TimePoint now) {
   return drain(now, /*flush_all=*/true);
+}
+
+std::size_t FrameFrontend::pump_into(TimePoint now, core::EmissionSink& sink) {
+  return drain_locked(now, /*flush_all=*/false, sink);
+}
+
+std::size_t FrameFrontend::pump_flush_into(TimePoint now,
+                                           core::EmissionSink& sink) {
+  return drain_locked(now, /*flush_all=*/true, sink);
+}
+
+void FrameFrontend::reconfigure() {
+  // Readers block on the ingest lock for the duration of the swap in
+  // sequential mode — exactly the serialization the sequential service
+  // requires. The primer thread never touches this lock, so the
+  // blocking join inside service_.reconfigure() cannot deadlock.
+  std::unique_lock<std::mutex> lock;
+  if (!service_.threaded()) lock = std::unique_lock<std::mutex>(ingest_mutex_);
+  service_.reconfigure();
 }
 
 void FrameFrontend::join_readers() {

@@ -124,10 +124,13 @@ enum class WireError : std::uint8_t {
   kUnknownClient,
   /// A frame named a different client than the handshake bound.
   kClientMismatch,
-  /// The announcement would change a registry a threaded service primed
-  /// against (immutable while workers run; see docs/architecture.md).
+  /// Historical: an announcement that would change a threaded service's
+  /// primed registry used to poison the connection. Live reconfiguration
+  /// made that path an epoch swap instead, so this is no longer produced
+  /// by the handshake; it remains for callers that stored it.
   kRegistryFrozen,
-  /// Client sent a sequencer→client BatchEmission frame.
+  /// Client sent a sequencer→client frame (BatchEmission, ReconfigPending
+  /// or HandshakeAck).
   kBatchFromClient,
   /// The underlying ByteStream reported a transport error.
   kStreamError,
@@ -169,6 +172,19 @@ struct FrontendConfig {
   /// reapable regardless of this policy, as are connections whose
   /// broadcast writes failed.
   EofPolicy eof_policy{EofPolicy::kLinger};
+  /// Handshake announcements from clients the service does not yet expect
+  /// are queued as joins (expect_client + request_reconfig) and answered
+  /// with a ReconfigPending frame instead of poisoning the connection
+  /// with kUnknownClient; the peer retries its announce until the epoch
+  /// installs and a HandshakeAck arrives. Off by default — legacy streams
+  /// keep the strict expected-set handshake.
+  bool accept_new_clients{false};
+  /// A clean read-side EOF on a handshaken connection retires the client
+  /// from its shard's completeness gate (FairOrderingService::
+  /// close_session): the gate stops waiting for a departed peer instead
+  /// of stalling until the silence timeout. Off by default — lingering
+  /// subscribers and reconnecting soak clients must keep gating.
+  bool retire_on_eof{false};
 };
 
 /// Point-in-time counters for one connection (connection_stats()).
@@ -254,9 +270,25 @@ class Connection {
     return heartbeats_in_.load(std::memory_order_relaxed);
   }
 
+  /// Frames the machine wants written to the peer (ReconfigPending /
+  /// HandshakeAck, already frame-encoded), in order. Owned by the reader
+  /// thread: only it dispatches frames and only it may drain this.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> take_outbound() {
+    return std::exchange(outbound_, {});
+  }
+  /// True while the peer has been told ReconfigPending and the machine is
+  /// waiting for its retry announce. Reader-thread state.
+  [[nodiscard]] bool reconfig_waiting() const { return reconfig_waiting_; }
+
+  /// Clean-EOF hook (FrontendConfig::retire_on_eof): retires the
+  /// handshaken client from its shard's completeness gate, after applying
+  /// everything the peer streamed. Called by the reader thread only.
+  void on_peer_eof();
+
  private:
   bool dispatch(WireMessage&& message);
   bool handle_announcement(const DistributionAnnouncement& announcement);
+  void queue_outbound(const WireMessage& message);
   /// Applies buffered submissions through the relaxed batch path.
   void apply_pending();
   /// Applies the valid prefix, then poisons the connection.
@@ -271,6 +303,10 @@ class Connection {
   core::FairOrderingService::Session session_;
   ClientId client_{};
   std::vector<core::Submission> pending_;
+  /// Encoded frames awaiting the reader thread's write-back
+  /// (take_outbound); reader-thread-only, no lock.
+  std::vector<std::vector<std::uint8_t>> outbound_;
+  bool reconfig_waiting_{false};
 
   std::atomic<WireError> error_{WireError::kNone};
   std::atomic<bool> handshaken_{false};
@@ -322,6 +358,40 @@ class FrameFrontend {
 
   /// flush() counterpart of pump (shutdown drain, gates ignored).
   std::size_t pump_flush(TimePoint now);
+
+  /// pump() for embedders that consume emissions in-process: polls the
+  /// service at `now` into `sink` instead of broadcasting. Takes the
+  /// same sequential-mode ingest lock as pump(), so it is race-free
+  /// against live reader threads — calling service_.poll() directly
+  /// while readers run is NOT (the sequential service is externally
+  /// synchronized, and this front-end's ingest lock is that
+  /// synchronization). Same one-drain-at-a-time contract and staged-
+  /// epoch install nudge as pump(). Does not broadcast or reap.
+  std::size_t pump_into(TimePoint now, core::EmissionSink& sink);
+  template <typename F>
+    requires(!std::is_base_of_v<core::EmissionSink,
+                                std::remove_reference_t<F>>)
+  std::size_t pump_into(TimePoint now, F&& fn) {
+    core::CallbackSink<F> sink(fn);
+    return pump_into(now, static_cast<core::EmissionSink&>(sink));
+  }
+
+  /// flush() counterpart of pump_into (shutdown drain, gates ignored).
+  std::size_t pump_flush_into(TimePoint now, core::EmissionSink& sink);
+  template <typename F>
+    requires(!std::is_base_of_v<core::EmissionSink,
+                                std::remove_reference_t<F>>)
+  std::size_t pump_flush_into(TimePoint now, F&& fn) {
+    core::CallbackSink<F> sink(fn);
+    return pump_flush_into(now, static_cast<core::EmissionSink&>(sink));
+  }
+
+  /// Drives any pending reconfiguration to completion (blocking —
+  /// joins the primer) under the same serialization as the wire
+  /// handlers. The safe way to force an epoch swap from outside while
+  /// reader threads are live; a direct service_.reconfigure() is only
+  /// safe against a threaded service.
+  void reconfigure();
 
   /// Removes every dead connection: reader exited AND (it failed, its
   /// broadcast writes failed, or the EOF policy is kRemove). The stream
@@ -411,7 +481,15 @@ class FrameFrontend {
   };
 
   void reader_loop(Conn& conn);
+  /// Writes the machine's queued ReconfigPending/HandshakeAck frames to
+  /// the peer (reader thread; shares write_mutex with broadcasts).
+  void flush_outbound(Conn& conn);
   std::size_t drain(TimePoint now, bool flush_all);
+  /// The locked core shared by pump/pump_flush (broadcast sink) and
+  /// pump_into/pump_flush_into (caller sink): sequential-mode ingest
+  /// lock, staged-epoch install nudge, then one service drain.
+  std::size_t drain_locked(TimePoint now, bool flush_all,
+                           core::EmissionSink& sink);
   /// True once `conn` can be removed (reader exited and nothing is left
   /// to serve it). Lock-free on the connection itself — callers hold
   /// conns_mutex_, and this must never wait on a stalled broadcast.

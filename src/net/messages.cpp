@@ -11,6 +11,8 @@ constexpr std::uint8_t kTagDistribution = 1;
 constexpr std::uint8_t kTagTimestamped = 2;
 constexpr std::uint8_t kTagHeartbeat = 3;
 constexpr std::uint8_t kTagBatch = 4;
+constexpr std::uint8_t kTagReconfigPending = 5;
+constexpr std::uint8_t kTagHandshakeAck = 6;
 
 }  // namespace
 
@@ -36,6 +38,12 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
     w.u64(b->rank);
     w.u32(static_cast<std::uint32_t>(b->messages.size()));
     for (MessageId id : b->messages) w.u64(id.value());
+  } else if (const auto* p = std::get_if<ReconfigPending>(&message)) {
+    w.u8(kTagReconfigPending);
+    w.u64(p->generation);
+  } else if (const auto* a = std::get_if<HandshakeAck>(&message)) {
+    w.u8(kTagHandshakeAck);
+    w.u64(a->generation);
   } else {
     TOMMY_ASSERT(false);
   }
@@ -86,6 +94,16 @@ std::optional<WireMessage> decode(const std::vector<std::uint8_t>& bytes) {
       }
       if (!r.exhausted()) return std::nullopt;
       return batch;
+    }
+    case kTagReconfigPending: {
+      const auto generation = r.u64();
+      if (!generation || !r.exhausted()) return std::nullopt;
+      return ReconfigPending{*generation};
+    }
+    case kTagHandshakeAck: {
+      const auto generation = r.u64();
+      if (!generation || !r.exhausted()) return std::nullopt;
+      return HandshakeAck{*generation};
     }
     default:
       return std::nullopt;

@@ -54,8 +54,31 @@ struct BatchEmission {
   friend bool operator==(const BatchEmission&, const BatchEmission&) = default;
 };
 
+/// Sequencer -> client: the handshake announce was accepted as a join,
+/// but the epoch that includes the client has not been installed yet.
+/// `generation` is the registry generation the pending reconfig targets;
+/// the client re-sends its announcement (bounded retry) until the install
+/// lands and a HandshakeAck arrives. Sent only on connections in the
+/// reconfig flow — legacy streams never see this frame.
+struct ReconfigPending {
+  std::uint64_t generation{0};
+
+  friend bool operator==(const ReconfigPending&,
+                         const ReconfigPending&) = default;
+};
+
+/// Sequencer -> client: the handshake (or join retry) completed against
+/// the epoch primed at `generation`; the session is live. Sent only on
+/// connections that previously received ReconfigPending.
+struct HandshakeAck {
+  std::uint64_t generation{0};
+
+  friend bool operator==(const HandshakeAck&, const HandshakeAck&) = default;
+};
+
 using WireMessage = std::variant<DistributionAnnouncement, TimestampedMessage,
-                                 Heartbeat, BatchEmission>;
+                                 Heartbeat, BatchEmission, ReconfigPending,
+                                 HandshakeAck>;
 
 /// Serializes any protocol message (1-byte tag + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode(const WireMessage& message);

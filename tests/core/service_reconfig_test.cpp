@@ -1,0 +1,377 @@
+// Live reconfiguration at the service layer (the RCU-style epoch swap):
+// request/prime/install catching the registry generation up, clients
+// joining a running service without a restart, close_session retiring a
+// departed client from the completeness gate, first-time shard
+// population under an install, and — the core guarantee — a service that
+// reconfigures mid-stream staying bit-identical to a sequential oracle
+// performing the same reconfigs at the same workload boundaries.
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace tommy::core {
+namespace {
+
+constexpr double kSigma = 1e-3;
+constexpr Duration kDelay = Duration(0.5e-3);
+
+ClientRegistry make_registry(std::uint32_t n) {
+  ClientRegistry registry;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    registry.announce(ClientId(c),
+                      std::make_unique<stats::Gaussian>(1e-4 * c, kSigma));
+  }
+  return registry;
+}
+
+std::vector<ClientId> ids(std::uint32_t n) {
+  std::vector<ClientId> out;
+  for (std::uint32_t c = 0; c < n; ++c) out.push_back(ClientId(c));
+  return out;
+}
+
+// ── Captured emissions (local equivalence currency) ─────────────────────
+
+struct CapturedMessage {
+  std::uint64_t id;
+  std::uint32_t client;
+  double stamp;
+  double arrival;
+
+  friend bool operator==(const CapturedMessage&, const CapturedMessage&)
+      = default;
+};
+
+struct CapturedBatch {
+  std::uint32_t shard;
+  Rank rank;
+  double emitted_at;
+  std::vector<CapturedMessage> messages;
+
+  friend bool operator==(const CapturedBatch&, const CapturedBatch&)
+      = default;
+};
+
+struct Capture {
+  std::vector<CapturedBatch> batches;
+
+  auto sink() {
+    return [this](EmissionRecord&& record, std::uint32_t shard) {
+      CapturedBatch batch;
+      batch.shard = shard;
+      batch.rank = record.batch.rank;
+      batch.emitted_at = record.emitted_at.seconds();
+      for (const Message& m : record.batch.messages) {
+        batch.messages.push_back(CapturedMessage{
+            m.id.value(), m.client.value(), m.stamp.seconds(),
+            m.arrival.seconds()});
+      }
+      batches.push_back(std::move(batch));
+    };
+  }
+
+  [[nodiscard]] std::size_t message_count() const {
+    std::size_t n = 0;
+    for (const CapturedBatch& b : batches) n += b.messages.size();
+    return n;
+  }
+};
+
+// ── Canned phase workload ───────────────────────────────────────────────
+
+/// Feeds `per_client` messages for each session, stamps advancing from
+/// `base`, each client's run flushed by a heartbeat (run_direct's batch +
+/// heartbeat shape — submit_batch is exempt from the cross-session
+/// arrival-order assertion).
+void feed_phase(std::vector<FairOrderingService::Session>& sessions,
+                double base, int per_client, std::uint64_t id_base,
+                double trailing_heartbeat) {
+  for (std::uint32_t c = 0; c < sessions.size(); ++c) {
+    std::vector<Submission> batch;
+    double stamp = base + 1e-5 * c;
+    for (int k = 0; k < per_client; ++k) {
+      stamp += 1.3e-3;
+      batch.push_back(Submission{
+          TimePoint(stamp),
+          MessageId(id_base + 1000ULL * c + static_cast<std::uint64_t>(k)),
+          TimePoint(stamp) + kDelay});
+    }
+    sessions[c].submit_batch(std::span<const Submission>(batch));
+    sessions[c].heartbeat(TimePoint(trailing_heartbeat),
+                          TimePoint(trailing_heartbeat) + kDelay);
+  }
+}
+
+// ── Install mechanics ───────────────────────────────────────────────────
+
+void expect_install_catches_up(ServiceConfig config) {
+  ClientRegistry registry = make_registry(4);
+  FairOrderingService service(registry, ids(4), config);
+  const std::uint64_t g0 = registry.generation();
+  EXPECT_EQ(service.primed_generation(), g0);
+  EXPECT_FALSE(service.reconfig_pending());
+  EXPECT_EQ(service.epoch(), 0u);
+
+  // A moved registry makes the service stale; an explicit reconfigure
+  // primes a fresh engine off-thread and installs it.
+  registry.announce(ClientId(1),
+                    std::make_unique<stats::Gaussian>(5e-4, 2e-3));
+  EXPECT_TRUE(service.reconfig_pending());
+  EXPECT_EQ(service.request_reconfig(), registry.generation());
+  service.reconfigure();
+  EXPECT_FALSE(service.reconfig_pending());
+  EXPECT_EQ(service.primed_generation(), registry.generation());
+  EXPECT_GE(service.epoch(), 1u);
+
+  // Sessions opened against the new epoch carry traffic.
+  auto session = service.open_session(ClientId(1));
+  session.submit(TimePoint(1.0), MessageId(7), TimePoint(1.0) + kDelay);
+  session.heartbeat(TimePoint(1.5), TimePoint(1.5) + kDelay);
+  service.quiesce();
+  EXPECT_GE(service.pending_count(), 1u);
+}
+
+TEST(ServiceReconfig, SequentialInstallCatchesTheGenerationUp) {
+  ServiceConfig config;
+  config.with_shards(2).with_p_safe(0.99);
+  expect_install_catches_up(config);
+}
+
+TEST(ServiceReconfig, ThreadedInstallCatchesTheGenerationUp) {
+  ServiceConfig config;
+  config.with_shards(2).with_p_safe(0.99).with_worker_threads();
+  expect_install_catches_up(config);
+}
+
+TEST(ServiceReconfig, RepeatedReconfigureIsIdempotent) {
+  ClientRegistry registry = make_registry(2);
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  FairOrderingService service(registry, ids(2), config);
+  service.reconfigure();  // nothing pending: no-op
+  const std::uint64_t epoch0 = service.epoch();
+  registry.announce(ClientId(0),
+                    std::make_unique<stats::Gaussian>(3e-4, kSigma));
+  service.reconfigure();
+  const std::uint64_t epoch1 = service.epoch();
+  EXPECT_GT(epoch1, epoch0);
+  service.reconfigure();  // caught up: no further swap
+  EXPECT_EQ(service.epoch(), epoch1);
+}
+
+// ── Joins without restart ───────────────────────────────────────────────
+
+void expect_join_without_restart(ServiceConfig config) {
+  ClientRegistry registry = make_registry(2);
+  FairOrderingService service(registry, ids(2), config);
+
+  // Not announced, not expected: unknown.
+  OpenError error = OpenError::kNone;
+  EXPECT_FALSE(service.try_open_session(ClientId(2), &error).has_value());
+  EXPECT_EQ(error, OpenError::kUnknownClient);
+
+  // Announced + expected but not yet installed: pending join.
+  registry.announce(ClientId(2),
+                    std::make_unique<stats::Gaussian>(2e-4, kSigma));
+  service.expect_client(ClientId(2));
+  EXPECT_FALSE(service.try_open_session(ClientId(2), &error).has_value());
+  EXPECT_EQ(error, OpenError::kRegistryChanged);
+  EXPECT_TRUE(service.reconfig_pending());
+
+  service.reconfigure();
+  EXPECT_TRUE(service.expects_client(ClientId(2)));
+  auto joined = service.try_open_session(ClientId(2), &error);
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(error, OpenError::kNone);
+
+  // The joined service's emissions are bit-identical to a service built
+  // with all three clients from scratch (same registry content, same
+  // dense indices: the join announce landed after 0 and 1).
+  std::vector<FairOrderingService::Session> sessions;
+  sessions.push_back(service.open_session(ClientId(0)));
+  sessions.push_back(service.open_session(ClientId(1)));
+  sessions.push_back(std::move(*joined));
+  feed_phase(sessions, 1.0, 8, 0, 1.2);
+  service.quiesce();
+  Capture live;
+  {
+    auto sink = live.sink();
+    service.poll(TimePoint(1.05), sink);
+    service.flush(TimePoint(2.0), sink);
+  }
+
+  ClientRegistry fresh_registry = make_registry(3);
+  FairOrderingService fresh(fresh_registry, ids(3), config);
+  std::vector<FairOrderingService::Session> fresh_sessions;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    fresh_sessions.push_back(fresh.open_session(ClientId(c)));
+  }
+  feed_phase(fresh_sessions, 1.0, 8, 0, 1.2);
+  fresh.quiesce();
+  Capture scratch;
+  {
+    auto sink = scratch.sink();
+    fresh.poll(TimePoint(1.05), sink);
+    fresh.flush(TimePoint(2.0), sink);
+  }
+
+  ASSERT_GT(scratch.message_count(), 0u);
+  EXPECT_EQ(live.batches, scratch.batches);
+}
+
+TEST(ServiceReconfig, SequentialClientJoinsWithoutRestart) {
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  expect_join_without_restart(config);
+}
+
+TEST(ServiceReconfig, ThreadedClientJoinsWithoutRestart) {
+  ServiceConfig config;
+  config.with_p_safe(0.99).with_worker_threads();
+  expect_join_without_restart(config);
+}
+
+TEST(ServiceReconfig, InstallPopulatesAPreviouslyEmptyShard) {
+  // Client 0 is alone on shard 0 (modulo routing); client 1's join must
+  // create shard 1's sequencer — and, threaded, its worker — at install.
+  ClientRegistry registry = make_registry(1);
+  ServiceConfig config;
+  config.with_shards(2)
+      .with_router(std::make_shared<ModuloRouter>())
+      .with_p_safe(0.99)
+      .with_worker_threads();
+  FairOrderingService service(registry, ids(1), config);
+  EXPECT_FALSE(service.has_shard(1));
+
+  registry.announce(ClientId(1),
+                    std::make_unique<stats::Gaussian>(1e-4, kSigma));
+  service.expect_client(ClientId(1));
+  service.reconfigure();
+  EXPECT_TRUE(service.has_shard(1));
+  EXPECT_EQ(service.shard_of(ClientId(1)), 1u);
+
+  auto session = service.open_session(ClientId(1));
+  session.submit(TimePoint(1.0), MessageId(42), TimePoint(1.0) + kDelay);
+  session.heartbeat(TimePoint(1.4), TimePoint(1.4) + kDelay);
+  service.quiesce();
+  Capture out;
+  {
+    auto sink = out.sink();
+    service.flush(TimePoint(2.0), sink);
+  }
+  ASSERT_EQ(out.message_count(), 1u);
+  EXPECT_EQ(out.batches[0].shard, 1u);
+  EXPECT_EQ(out.batches[0].messages[0].id, 42u);
+}
+
+// ── Retirement via close_session ────────────────────────────────────────
+
+void expect_retirement_unblocks_the_gate(ServiceConfig config) {
+  ClientRegistry registry = make_registry(2);
+  FairOrderingService service(registry, ids(2), config);
+  auto speaking = service.open_session(ClientId(0));
+  auto silent = service.open_session(ClientId(1));
+
+  speaking.submit(TimePoint(1.0), MessageId(1), TimePoint(1.0) + kDelay);
+  speaking.heartbeat(TimePoint(1.5), TimePoint(1.5) + kDelay);
+  service.quiesce();
+
+  Capture out;
+  {
+    auto sink = out.sink();
+    service.poll(TimePoint(2.0), sink);
+  }
+  // The silent client has never been heard: the completeness gate holds
+  // everything back.
+  EXPECT_EQ(out.message_count(), 0u);
+
+  // Retiring it removes it from the frontier immediately.
+  service.close_session(silent);
+  service.quiesce();
+  {
+    auto sink = out.sink();
+    service.poll(TimePoint(2.1), sink);
+  }
+  EXPECT_EQ(out.message_count(), 1u);
+}
+
+TEST(ServiceReconfig, SequentialCloseSessionRetiresTheClientFromTheGate) {
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  expect_retirement_unblocks_the_gate(config);
+}
+
+TEST(ServiceReconfig, ThreadedCloseSessionRetiresTheClientFromTheGate) {
+  ServiceConfig config;
+  config.with_p_safe(0.99).with_worker_threads();
+  expect_retirement_unblocks_the_gate(config);
+}
+
+// ── Mid-stream equivalence ──────────────────────────────────────────────
+
+/// Half the workload, then a mutating re-announce + epoch swap while the
+/// original sessions stay open, then the other half. Every config runs
+/// the exact same call sequence, so captures must match bit-for-bit.
+std::vector<CapturedBatch> run_with_midstream_reconfig(ServiceConfig config) {
+  ClientRegistry registry = make_registry(4);
+  FairOrderingService service(registry, ids(4), config);
+  std::vector<FairOrderingService::Session> sessions;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    sessions.push_back(service.open_session(ClientId(c)));
+  }
+
+  feed_phase(sessions, 1.0, 10, 0, 1.02);
+  service.quiesce();
+  Capture out;
+  {
+    auto sink = out.sink();
+    service.poll(TimePoint(1.01), sink);
+  }
+
+  registry.announce(ClientId(2),
+                    std::make_unique<stats::Gaussian>(7e-4, 2e-3));
+  service.reconfigure();
+
+  // The pre-swap session handles keep running against the new epoch
+  // (revalidated by generation, not erroring).
+  feed_phase(sessions, 1.02, 10, 100000, 1.2);
+  service.quiesce();
+  {
+    auto sink = out.sink();
+    service.poll(TimePoint(1.04), sink);
+    service.poll(TimePoint(1.1), sink);
+    service.flush(TimePoint(2.0), sink);
+  }
+  return out.batches;
+}
+
+TEST(ServiceReconfig, MidStreamSwapMatchesTheSequentialOracle) {
+  ServiceConfig sequential;
+  sequential.with_shards(2).with_p_safe(0.99);
+  const auto oracle = run_with_midstream_reconfig(sequential);
+  ASSERT_FALSE(oracle.empty());
+
+  ServiceConfig threaded;
+  threaded.with_shards(2).with_p_safe(0.99).with_worker_threads();
+  EXPECT_EQ(run_with_midstream_reconfig(threaded), oracle);
+
+  ServiceConfig merged;
+  merged.with_shards(2).with_p_safe(0.99).with_worker_threads()
+      .with_drain_policy(DrainPolicy::kGlobalMerge);
+  const auto merged_run = run_with_midstream_reconfig(merged);
+  ServiceConfig merged_oracle;
+  merged_oracle.with_shards(2).with_p_safe(0.99).with_drain_policy(
+      DrainPolicy::kGlobalMerge);
+  EXPECT_EQ(merged_run, run_with_midstream_reconfig(merged_oracle));
+}
+
+}  // namespace
+}  // namespace tommy::core

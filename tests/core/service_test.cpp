@@ -545,25 +545,33 @@ TEST(FairOrderingServiceTest, TryOpenSessionReportsUnknownClients) {
   EXPECT_EQ(service.pending_count(), 1u);
 }
 
-TEST(FairOrderingServiceTest, TryOpenSessionDetectsAMovedRegistryWhenThreaded) {
+TEST(FairOrderingServiceTest, MovedRegistryKeepsSessionsOpenAndReconfigures) {
   ClientRegistry registry = make_registry(2);
   ServiceConfig config;
   config.with_worker_threads().with_p_safe(0.99);
   FairOrderingService service(registry, ids(2), config);
   EXPECT_EQ(service.primed_generation(), registry.generation());
+  EXPECT_FALSE(service.reconfig_pending());
 
-  // An identical re-announce is generation-stable: sessions still open.
-  // (make_registry announces Distribution objects directly, so announce a
-  // comparable summary form first.)
+  // A changed re-announce no longer freezes the threaded service: known
+  // clients keep opening sessions against the live epoch while the
+  // reconfig is outstanding.
   registry.announce(ClientId(0),
                     stats::DistributionSummary(stats::GaussianParams{0.0, kSigma}));
   const std::uint64_t moved = registry.generation();
   EXPECT_NE(moved, service.primed_generation());
+  EXPECT_TRUE(service.reconfig_pending());
 
   OpenError error{};
   const auto session = service.try_open_session(ClientId(0), &error);
-  EXPECT_FALSE(session.has_value());
-  EXPECT_EQ(error, OpenError::kRegistryChanged);
+  EXPECT_TRUE(session.has_value());
+  EXPECT_EQ(error, OpenError::kNone);
+
+  // The blocking convenience loop installs the new epoch.
+  service.reconfigure();
+  EXPECT_EQ(service.primed_generation(), moved);
+  EXPECT_FALSE(service.reconfig_pending());
+  EXPECT_GE(service.epoch(), 1u);
 }
 
 TEST(ClientRegistryTest, IdenticalSummaryReannounceKeepsGenerationStable) {
@@ -571,7 +579,7 @@ TEST(ClientRegistryTest, IdenticalSummaryReannounceKeepsGenerationStable) {
   const stats::DistributionSummary summary(stats::GaussianParams{1e-4, 2e-3});
   EXPECT_TRUE(registry.announce(ClientId(1), summary));
   const std::uint64_t generation = registry.generation();
-  ASSERT_NE(registry.announced_summary(ClientId(1)), nullptr);
+  ASSERT_TRUE(registry.announced_summary(ClientId(1)).has_value());
 
   EXPECT_FALSE(registry.announce(ClientId(1), summary));  // no-op re-send
   EXPECT_EQ(registry.generation(), generation);
@@ -583,7 +591,7 @@ TEST(ClientRegistryTest, IdenticalSummaryReannounceKeepsGenerationStable) {
   // Direct Distribution announces always replace and clear the wire form.
   EXPECT_TRUE(registry.announce(
       ClientId(1), std::make_unique<stats::Gaussian>(0.0, 1e-3)));
-  EXPECT_EQ(registry.announced_summary(ClientId(1)), nullptr);
+  EXPECT_EQ(registry.announced_summary(ClientId(1)), std::nullopt);
   EXPECT_EQ(registry.generation(), generation + 2);
 }
 

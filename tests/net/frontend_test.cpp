@@ -436,7 +436,7 @@ TEST(Connection, ChangedReannounceUpdatesASequentialRegistry) {
   EXPECT_EQ(fx.service.pending_count(), 1u);
 }
 
-TEST(Connection, ChangedAnnounceAgainstAThreadedServiceIsFrozen) {
+TEST(Connection, ChangedAnnounceAgainstAThreadedServiceStartsAReconfig) {
   ClientRegistry registry = make_registry(4);
   ServiceConfig config;
   config.with_worker_threads();
@@ -444,13 +444,23 @@ TEST(Connection, ChangedAnnounceAgainstAThreadedServiceIsFrozen) {
   Connection connection(registry, service, test_config());
   // Identical announce: fine (generation untouched).
   ASSERT_TRUE(connection.on_bytes(announce_frame(1)));
-  // Different distribution: would re-prime the immutable engine.
+  EXPECT_FALSE(service.reconfig_pending());
+  // Different distribution: no longer poisons the stream — the registry
+  // moves, a reconfig is requested, and the connection keeps streaming
+  // against the old epoch until the install.
   const auto changed = encode_frame(WireMessage(DistributionAnnouncement{
       ClientId(1),
       stats::DistributionSummary(stats::GaussianParams{5e-4, 2e-3})}));
-  EXPECT_FALSE(connection.on_bytes(changed));
-  EXPECT_EQ(connection.error(), WireError::kRegistryFrozen);
-  EXPECT_EQ(registry.generation(), 4u);  // one announce per client, no more
+  EXPECT_TRUE(connection.on_bytes(changed));
+  EXPECT_EQ(connection.error(), WireError::kNone);
+  EXPECT_EQ(registry.generation(), 5u);  // the change landed
+  ASSERT_TRUE(connection.on_bytes(message_frame(1, 7, 1.001)));
+  service.quiesce();
+  EXPECT_EQ(service.pending_count(), 1u);
+  // The epoch catches up (the announce already requested the prime).
+  service.reconfigure();
+  EXPECT_EQ(service.primed_generation(), registry.generation());
+  EXPECT_FALSE(service.reconfig_pending());
 }
 
 // ── End-to-end equivalence (the acceptance criterion) ───────────────────

@@ -87,6 +87,22 @@ TEST(Codec, EmptyBatchRoundTrip) {
   EXPECT_TRUE(std::get<BatchEmission>(*decoded).messages.empty());
 }
 
+TEST(Codec, ReconfigPendingRoundTrip) {
+  const ReconfigPending p{0xDEADBEEFCAFEULL};
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<ReconfigPending>(*decoded));
+  EXPECT_EQ(std::get<ReconfigPending>(*decoded), p);
+}
+
+TEST(Codec, HandshakeAckRoundTrip) {
+  const HandshakeAck a{42};
+  const auto decoded = decode(encode(a));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<HandshakeAck>(*decoded));
+  EXPECT_EQ(std::get<HandshakeAck>(*decoded), a);
+}
+
 TEST(Codec, RejectsMalformedInput) {
   EXPECT_FALSE(decode({}).has_value());
   EXPECT_FALSE(decode({0xFF, 0x00}).has_value());  // unknown tag
@@ -96,7 +112,9 @@ TEST(Codec, RejectsMalformedInput) {
        {WireMessage(TimestampedMessage{ClientId(1), MessageId(2),
                                        TimePoint(3.0)}),
         WireMessage(Heartbeat{ClientId(1), TimePoint(2.0)}),
-        WireMessage(BatchEmission{4, {MessageId(1)}})}) {
+        WireMessage(BatchEmission{4, {MessageId(1)}}),
+        WireMessage(ReconfigPending{9}),
+        WireMessage(HandshakeAck{11})}) {
     auto bytes = encode(m);
     bytes.pop_back();
     EXPECT_FALSE(decode(bytes).has_value());
@@ -128,6 +146,8 @@ TEST(Codec, EveryPrefixOfEveryCodecIsRejected) {
       WireMessage(BatchEmission{
           4, {MessageId(1), MessageId(7), MessageId(1ULL << 60)}}),
       WireMessage(BatchEmission{0, {}}),
+      WireMessage(ReconfigPending{1ULL << 40}),
+      WireMessage(HandshakeAck{3}),
   };
   for (std::size_t sample = 0; sample < samples.size(); ++sample) {
     const auto bytes = encode(samples[sample]);
