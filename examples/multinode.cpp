@@ -1,0 +1,568 @@
+// Multi-node fair ordering: shard nodes + safe-time gossip + merge tier.
+//
+//   ./build/example_multinode                       # self-contained demo
+//   ./build/example_multinode shard --node 0 --nodes 2 --clients 6
+//        --messages 5000 --uplink-prefix /tmp/mn_up
+//   ./build/example_multinode merge --nodes 2 --clients 6 --messages 5000
+//        --uplink-prefix /tmp/mn_up [--json out.json]
+//   ./build/example_multinode router --listen /tmp/mn_router.sock
+//        --nodes 2 --ingest-prefix /tmp/mn_in
+//
+// The demo stands the whole topology up in one process — N shard nodes,
+// a router, a merge node, and real client connections over Unix sockets
+// — and checks the merged release stream bit for bit against the
+// single-process DrainPolicy::kGlobalMerge oracle over the same
+// workload. `shard` + `merge` are the two halves of
+// scripts/bench_multinode.sh (N shard processes streaming uplinks into
+// one merge process, which reports MN_MergeIngest throughput).
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/merge_node.hpp"
+#include "dist/shard_node.hpp"
+#include "dist/topology.hpp"
+#include "net/acceptor.hpp"
+#include "stats/gaussian.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace tommy;
+
+constexpr Duration kWireDelay = Duration(0.5e-3);
+
+stats::DistributionSummary summary_for(std::uint32_t client) {
+  return stats::DistributionSummary(
+      stats::GaussianParams{1e-4 * client, 1e-3});
+}
+
+core::ClientRegistry make_registry(std::uint32_t clients) {
+  core::ClientRegistry registry;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    registry.announce(ClientId(c), summary_for(c));
+  }
+  return registry;
+}
+
+std::vector<ClientId> ids(std::uint32_t clients) {
+  std::vector<ClientId> out;
+  for (std::uint32_t c = 0; c < clients; ++c) out.push_back(ClientId(c));
+  return out;
+}
+
+/// Deterministic arrival clock (stamp + fixed delay): every process in
+/// the deployment derives the same arrival for the same frame, which is
+/// what makes the distributed run comparable to the oracle.
+net::FrontendConfig modeled_frontend() {
+  net::FrontendConfig config;
+  config.arrival_clock = [](const net::WireMessage& m) {
+    if (const auto* msg = std::get_if<net::TimestampedMessage>(&m)) {
+      return msg->local_stamp + kWireDelay;
+    }
+    return std::get<net::Heartbeat>(m).local_stamp + kWireDelay;
+  };
+  return config;
+}
+
+struct WorkloadEvent {
+  bool is_heartbeat;
+  std::uint64_t id;
+  double stamp;
+};
+
+/// Pure function of (clients, per_client, seed): every process that
+/// computes the workload computes the same one.
+std::vector<std::vector<WorkloadEvent>> make_workload(std::uint32_t clients,
+                                                      int per_client,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<WorkloadEvent>> events(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    Rng client_rng = rng.split();
+    double stamp = 1.0 + 1e-4 * c;
+    for (int k = 0; k < per_client; ++k) {
+      stamp += client_rng.uniform(0.5e-3, 3e-3);
+      events[c].push_back(WorkloadEvent{
+          false, 1000000ULL * c + static_cast<std::uint64_t>(k), stamp});
+      if (k % 5 == 4) {
+        events[c].push_back(WorkloadEvent{true, 0, stamp + 0.1e-3});
+      }
+    }
+    events[c].push_back(WorkloadEvent{true, 0, stamp + 50e-3});
+  }
+  return events;
+}
+
+/// Drives one client's workload straight into its session (the shard
+/// bench path: ingest without the wire, so the uplink+merge tier is what
+/// gets measured).
+void drive_session(core::FairOrderingService& service, std::uint32_t client,
+                   const std::vector<WorkloadEvent>& events) {
+  auto session = service.open_session(ClientId(client));
+  std::vector<core::Submission> batch;
+  for (const WorkloadEvent& event : events) {
+    if (event.is_heartbeat) {
+      session.submit_batch(std::span<const core::Submission>(batch));
+      batch.clear();
+      session.heartbeat(TimePoint(event.stamp),
+                        TimePoint(event.stamp) + kWireDelay);
+    } else {
+      batch.push_back(core::Submission{TimePoint(event.stamp),
+                                       MessageId(event.id),
+                                       TimePoint(event.stamp) + kWireDelay});
+    }
+  }
+  session.submit_batch(std::span<const core::Submission>(batch));
+}
+
+/// Flat digest of one ordered record — shard/node tag, rank, gate times,
+/// and every message field. Two streams are bit-identical iff their
+/// digests are equal.
+void digest_batch(std::vector<double>& digest, std::uint32_t node,
+                  std::uint64_t rank, double safe_time, double emitted_at) {
+  digest.push_back(static_cast<double>(node));
+  digest.push_back(static_cast<double>(rank));
+  digest.push_back(safe_time);
+  digest.push_back(emitted_at);
+}
+
+void digest_message(std::vector<double>& digest, std::uint64_t id,
+                    std::uint32_t client, double stamp, double arrival) {
+  digest.push_back(static_cast<double>(id));
+  digest.push_back(static_cast<double>(client));
+  digest.push_back(stamp);
+  digest.push_back(arrival);
+}
+
+std::vector<TimePoint> poll_schedule() {
+  return {TimePoint(1.05), TimePoint(1.2), TimePoint(1.5), TimePoint(2.5)};
+}
+
+// ── flag helpers ────────────────────────────────────────────────────────
+
+struct Args {
+  std::uint32_t nodes{2};
+  std::uint32_t node{0};
+  std::uint32_t clients{6};
+  int messages{12};
+  std::uint64_t seed{42};
+  std::string uplink_prefix;
+  std::string ingest_prefix;
+  std::string listen;
+  std::string json;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = ++i < argc ? argv[i] : nullptr;
+    if (value == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    if (flag == "--nodes") args.nodes = static_cast<std::uint32_t>(std::atoi(value));
+    else if (flag == "--node") args.node = static_cast<std::uint32_t>(std::atoi(value));
+    else if (flag == "--clients") args.clients = static_cast<std::uint32_t>(std::atoi(value));
+    else if (flag == "--messages") args.messages = std::atoi(value);
+    else if (flag == "--seed") args.seed = static_cast<std::uint64_t>(std::atoll(value));
+    else if (flag == "--uplink-prefix") args.uplink_prefix = value;
+    else if (flag == "--ingest-prefix") args.ingest_prefix = value;
+    else if (flag == "--listen") args.listen = value;
+    else if (flag == "--json") args.json = value;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string indexed_path(const std::string& prefix, std::uint32_t index) {
+  return prefix + "_" + std::to_string(index) + ".sock";
+}
+
+// ── shard: one node of the bench deployment ─────────────────────────────
+
+int run_shard(const Args& args) {
+  if (args.uplink_prefix.empty() || args.node >= args.nodes) {
+    std::fprintf(stderr,
+                 "usage: multinode shard --node I --nodes N --uplink-prefix P "
+                 "[--clients C --messages M --seed S]\n");
+    return 2;
+  }
+  auto registry = make_registry(args.clients);
+  dist::Topology topology(std::vector<dist::NodeEndpoints>(args.nodes),
+                          ids(args.clients));
+  dist::ShardNodeConfig config;
+  config.node = args.node;
+  config.frontend = modeled_frontend();
+  dist::ShardNode node(registry, topology.partition(args.node), config);
+  if (!node.listen_uplink_unix(indexed_path(args.uplink_prefix, args.node))) {
+    std::fprintf(stderr, "shard %u: uplink listen failed\n", args.node);
+    return 1;
+  }
+
+  // Wait for the merge subscriber before streaming, so the bench clock
+  // over on the merge side covers the whole uplink volume.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (node.subscriber_count() == 0) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "shard %u: no merge subscriber\n", args.node);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto workload =
+      make_workload(args.clients, args.messages, args.seed);
+  for (ClientId c : topology.partition(args.node)) {
+    drive_session(node.service(), c.value(), workload[c.value()]);
+  }
+  node.pump_flush(TimePoint(1e9));
+  std::fprintf(stderr, "shard %u: published %zu frames\n", args.node,
+               node.frames_retained());
+  node.stop();
+  return 0;
+}
+
+// ── merge: the global tier, reporting ingest throughput ─────────────────
+
+int run_merge(const Args& args) {
+  if (args.uplink_prefix.empty()) {
+    std::fprintf(stderr,
+                 "usage: multinode merge --nodes N --uplink-prefix P "
+                 "[--clients C --messages M --json OUT]\n");
+    return 2;
+  }
+  dist::MergeConfig config;
+  config.retry.attempts = 5000;  // shard processes may still be binding
+  dist::MergeNode merge(args.nodes, config);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    if (!merge.connect_unix(n, indexed_path(args.uplink_prefix, n))) {
+      std::fprintf(stderr, "merge: cannot reach shard %u uplink\n", n);
+      return 1;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Drain until every shard's uplink closed (the shard processes exit
+  // once they have flushed), then open the gate fully.
+  auto any_connected = [&] {
+    for (std::uint32_t n = 0; n < args.nodes; ++n) {
+      if (merge.peer(n).connected) return true;
+    }
+    return false;
+  };
+  while (any_connected()) {
+    merge.release();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  merge.release();
+  merge.flush();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t messages = 0;
+  const auto released = merge.released();
+  for (const net::OrderedBatch& batch : released) {
+    messages += batch.messages.size();
+  }
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    const auto stats = merge.peer(n);
+    if (stats.error != dist::MergeError::kNone) {
+      std::fprintf(stderr, "merge: shard %u uplink error: %s\n", n,
+                   dist::to_string(stats.error));
+      return 1;
+    }
+  }
+  const std::uint64_t expected = static_cast<std::uint64_t>(args.messages)
+                                 * args.clients;
+  if (messages != expected) {
+    std::fprintf(stderr,
+                 "merge: released %llu messages, expected %llu\n",
+                 static_cast<unsigned long long>(messages),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  const double items_per_second =
+      static_cast<double>(messages) / wall_seconds;
+  std::printf(
+      "merged %zu batches / %llu messages from %u shard uplinks in %.3f s "
+      "= %.0f msg/s\n",
+      released.size(), static_cast<unsigned long long>(messages), args.nodes,
+      wall_seconds, items_per_second);
+
+  if (!args.json.empty()) {
+    std::FILE* out = std::fopen(args.json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json.c_str());
+      return 1;
+    }
+    // google-benchmark-shaped entry so bench_multinode.sh can merge it
+    // into BENCH_throughput.json and CI can track the family.
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"context\": {\"hardware_threads\": %u, \"nodes\": %u},\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"MN_MergeIngest/nodes:%u/messages:%llu\",\n"
+        "     \"run_name\": \"MN_MergeIngest/nodes:%u/messages:%llu\","
+        " \"run_type\": \"iteration\", \"repetitions\": 1,"
+        " \"repetition_index\": 0, \"threads\": 1, \"iterations\": 1,\n"
+        "     \"real_time\": %.6f, \"cpu_time\": %.6f,"
+        " \"time_unit\": \"ms\", \"items_per_second\": %.1f}\n"
+        "  ]\n"
+        "}\n",
+        std::thread::hardware_concurrency(), args.nodes, args.nodes,
+        static_cast<unsigned long long>(expected), args.nodes,
+        static_cast<unsigned long long>(expected), wall_seconds * 1e3,
+        wall_seconds * 1e3, items_per_second);
+    std::fclose(out);
+  }
+  merge.stop();
+  return 0;
+}
+
+// ── router: the thin relay tier as its own process ──────────────────────
+
+volatile std::sig_atomic_t g_stop = 0;
+
+int run_router(const Args& args) {
+  if (args.listen.empty() || args.ingest_prefix.empty()) {
+    std::fprintf(stderr,
+                 "usage: multinode router --listen PATH --nodes N "
+                 "--ingest-prefix P [--clients C]\n");
+    return 2;
+  }
+  std::vector<dist::NodeEndpoints> endpoints(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    endpoints[n].ingest.unix_path = indexed_path(args.ingest_prefix, n);
+  }
+  dist::RouterNode router(
+      dist::Topology(std::move(endpoints), ids(args.clients)));
+  if (!router.listen_unix(args.listen)) {
+    std::fprintf(stderr, "router: listen failed on %s\n",
+                 args.listen.c_str());
+    return 1;
+  }
+  std::printf("routing %s -> %u shard ingest endpoints\n",
+              args.listen.c_str(), args.nodes);
+  std::fflush(stdout);
+  std::signal(SIGINT, [](int) { g_stop = 1; });
+  std::signal(SIGTERM, [](int) { g_stop = 1; });
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  router.stop();
+  return 0;
+}
+
+// ── demo: the full topology in one process, checked against the oracle ──
+
+int run_demo(const Args& args) {
+  std::printf("=== multi-node demo: %u shard nodes + router + merge ===\n\n",
+              args.nodes);
+  const auto workload =
+      make_workload(args.clients, args.messages, args.seed);
+
+  // The oracle: one process, N shards, globally merged drain.
+  std::vector<double> oracle;
+  {
+    auto registry = make_registry(args.clients);
+    core::FairOrderingService service(
+        registry, ids(args.clients),
+        core::ServiceConfig{}
+            .with_shards(args.nodes)
+            .with_drain_policy(core::DrainPolicy::kGlobalMerge));
+    for (std::uint32_t c = 0; c < args.clients; ++c) {
+      drive_session(service, c, workload[c]);
+    }
+    auto sink = [&oracle](core::EmissionRecord&& record,
+                          std::uint32_t shard) {
+      digest_batch(oracle, shard, record.batch.rank,
+                   record.safe_time.seconds(), record.emitted_at.seconds());
+      for (const core::Message& m : record.batch.messages) {
+        digest_message(oracle, m.id.value(), m.client.value(),
+                       m.stamp.seconds(), m.arrival.seconds());
+      }
+    };
+    for (TimePoint t : poll_schedule()) service.poll(t, sink);
+    service.flush(TimePoint(3.0), sink);
+  }
+
+  // The deployment: shard nodes, router, merge, real sockets.
+  const std::string prefix =
+      "/tmp/tommy_mn_demo_" + std::to_string(::getpid());
+  std::vector<dist::NodeEndpoints> endpoints(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    endpoints[n].ingest.unix_path = indexed_path(prefix + "_in", n);
+    endpoints[n].uplink.unix_path = indexed_path(prefix + "_up", n);
+  }
+  dist::Topology topology(endpoints, ids(args.clients));
+
+  std::vector<core::ClientRegistry> registries(args.nodes);
+  std::vector<std::unique_ptr<dist::ShardNode>> nodes(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    registries[n] = make_registry(args.clients);
+    dist::ShardNodeConfig config;
+    config.node = n;
+    config.frontend = modeled_frontend();
+    nodes[n] = std::make_unique<dist::ShardNode>(
+        registries[n], topology.partition(n), config);
+    if (!nodes[n]->listen_ingest_unix(endpoints[n].ingest.unix_path)
+        || !nodes[n]->listen_uplink_unix(endpoints[n].uplink.unix_path)) {
+      std::fprintf(stderr, "shard %u: listen failed\n", n);
+      return 1;
+    }
+  }
+  dist::RouterNode router(topology);
+  const std::string router_path = prefix + "_router.sock";
+  if (!router.listen_unix(router_path)) return 1;
+  dist::MergeNode merge(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    if (!merge.connect_unix(n, endpoints[n].uplink.unix_path)) {
+      std::fprintf(stderr, "merge: uplink %u unreachable\n", n);
+      return 1;
+    }
+  }
+
+  // Real clients through the router: announce, handshake, stream, EOF.
+  std::vector<std::shared_ptr<net::ByteStream>> held_open(args.clients);
+  std::vector<std::thread> clients;
+  std::atomic<int> client_failures{0};
+  for (std::uint32_t c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto stream = net::connect_unix(router_path, net::RetryPolicy{});
+      if (stream == nullptr
+          || net::perform_handshake(
+                 *stream,
+                 net::DistributionAnnouncement{ClientId(c), summary_for(c)})
+                 != net::HandshakeResult::kAccepted) {
+        client_failures.fetch_add(1);
+        return;
+      }
+      std::vector<std::uint8_t> bytes;
+      for (const WorkloadEvent& event : workload[c]) {
+        std::vector<std::uint8_t> frame;
+        if (event.is_heartbeat) {
+          frame = net::encode_frame(net::WireMessage(
+              net::Heartbeat{ClientId(c), TimePoint(event.stamp)}));
+        } else {
+          frame = net::encode_frame(net::WireMessage(net::TimestampedMessage{
+              ClientId(c), MessageId(event.id), TimePoint(event.stamp)}));
+        }
+        bytes.insert(bytes.end(), frame.begin(), frame.end());
+      }
+      if (!stream->write_all(bytes)) {
+        client_failures.fetch_add(1);
+        return;
+      }
+      stream->close_write();
+      held_open[c] = std::move(stream);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (client_failures.load() != 0) {
+    std::fprintf(stderr, "client connections failed\n");
+    return 1;
+  }
+
+  // Barrier: every node ingested its whole partition (the oracle sees
+  // all ingest before its first poll; so must the deployment).
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    std::uint64_t submits = 0;
+    std::uint64_t heartbeats = 0;
+    for (ClientId c : topology.partition(n)) {
+      for (const WorkloadEvent& e : workload[c.value()]) {
+        (e.is_heartbeat ? heartbeats : submits)++;
+      }
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (true) {
+      const auto totals = nodes[n]->server().frontend().totals();
+      if (totals.submits_in == submits
+          && totals.heartbeats_in == heartbeats) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "shard %u: ingest incomplete\n", n);
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Pump the shared schedule; gossip gates each round's release.
+  std::uint64_t announces = 0;
+  auto schedule = poll_schedule();
+  schedule.push_back(TimePoint(3.0));
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const bool last = round + 1 == schedule.size();
+    for (std::uint32_t n = 0; n < args.nodes; ++n) {
+      if (last) {
+        nodes[n]->pump_flush(schedule[round]);
+      } else {
+        nodes[n]->pump(schedule[round]);
+      }
+    }
+    ++announces;
+    for (std::uint32_t n = 0; n < args.nodes; ++n) {
+      if (!merge.wait_for_announces(n, announces, 10000)) {
+        std::fprintf(stderr, "shard %u: gossip missing\n", n);
+        return 1;
+      }
+    }
+    merge.release();
+  }
+  merge.flush();
+
+  std::vector<double> distributed;
+  for (const net::OrderedBatch& batch : merge.released()) {
+    digest_batch(distributed, batch.node, batch.rank,
+                 batch.safe_time.seconds(), batch.emitted_at.seconds());
+    for (const net::OrderedBatch::Entry& entry : batch.messages) {
+      digest_message(distributed, entry.id.value(), entry.client.value(),
+                     entry.stamp.seconds(), entry.arrival.seconds());
+    }
+  }
+
+  const bool identical = distributed == oracle;
+  std::printf(
+      "%u clients -> router -> %u shard nodes -> merge: released %zu "
+      "batches, %s the single-process global-merge oracle\n",
+      args.clients, args.nodes, merge.released().size(),
+      identical ? "BIT-IDENTICAL to" : "DIVERGED from");
+
+  merge.stop();
+  router.stop();
+  for (auto& node : nodes) node->stop();
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  const std::string mode = argc > 1 ? argv[1] : "demo";
+  if (!parse_args(argc, argv, args)) return 2;
+  if (mode == "demo") return run_demo(args);
+  if (mode == "shard") return run_shard(args);
+  if (mode == "merge") return run_merge(args);
+  if (mode == "router") return run_router(args);
+  std::fprintf(stderr, "unknown mode '%s' (demo|shard|merge|router)\n",
+               mode.c_str());
+  return 2;
+}

@@ -346,11 +346,13 @@ int run_serve(const Args& args) {
 }
 
 int run_blast(const Args& args) {
-  // The server may still be binding: retry with a generous budget.
-  auto wire =
-      net::connect_retry(args.unix_path,
-                         static_cast<std::uint16_t>(args.tcp_port),
-                         /*attempts=*/2500);
+  // The server may still be binding: retry with a generous budget under
+  // the shared backoff policy (flat 2 ms, same schedule every client
+  // driver uses).
+  net::RetryPolicy retry;
+  retry.attempts = 2500;
+  auto wire = net::connect_retry(
+      args.unix_path, static_cast<std::uint16_t>(args.tcp_port), retry);
   if (wire == nullptr) {
     std::fprintf(stderr, "client %u: cannot connect\n", args.client);
     return 1;

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Multi-node throughput benchmark: one merge PROCESS subscribes to N
+# shard-node PROCESSES over Unix-domain uplink sockets, each shard
+# streams its partition's ordered batches + safe-time gossip, and the
+# measured merge-tier ingest rate lands in the tracked benchmark JSON as
+# the MN_MergeIngest family — the cross-NODE counterpart of
+# bench_multiproc.sh's cross-process MP_ family.
+#
+# The merge REPLACES any existing MN_* entries in the target JSON and
+# leaves every other family untouched, so the tracked artifact is
+# regenerated as:
+#
+#   scripts/bench_throughput_json.sh        # in-process families
+#   scripts/bench_multiproc.sh              # + the multi-process family
+#   scripts/bench_multinode.sh              # + the multi-node family
+#
+# Usage:
+#   scripts/bench_multinode.sh [target.json]   (default: BENCH_throughput.json)
+#
+# Environment:
+#   BUILD_DIR      build tree holding example_multinode (default ./build;
+#                  configured/built as Release if needed, same policy as
+#                  the sibling bench scripts)
+#   MN_NODES       shard node counts to sweep   (default "1 2 4")
+#   MN_CLIENTS     total client count           (default 8)
+#   MN_MESSAGES    messages per client          (default 20000)
+#   BENCH_SMOKE    1 = small sizes for CI       (4 clients x 2000 msgs)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+TARGET="${1:-$ROOT/BENCH_throughput.json}"
+NODES_SWEEP="${MN_NODES:-1 2 4}"
+CLIENTS="${MN_CLIENTS:-8}"
+MESSAGES="${MN_MESSAGES:-20000}"
+
+if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
+  CLIENTS=4
+  MESSAGES=2000
+fi
+
+build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+cxx_flags() {
+  sed -n 's/^CMAKE_CXX_FLAGS:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" \
+    2>/dev/null || true
+}
+
+# Same provenance rule as the sibling bench scripts: instrumented trees
+# never write the tracked artifact.
+TRACKED="$ROOT/BENCH_throughput.json"
+case "$(cxx_flags)" in
+  *-fsanitize*|*-fprofile*|*--coverage*)
+    if [[ "$(readlink -m "$TARGET")" == "$(readlink -m "$TRACKED")" ]]; then
+      echo "error: $BUILD_DIR is instrumented; refusing to touch $TRACKED." >&2
+      exit 1
+    fi
+    echo "warning: benching an instrumented tree (target: $TARGET)" >&2
+    ;;
+esac
+
+if [[ "$(build_type)" != "Release" ]]; then
+  echo "configuring $BUILD_DIR as Release (found: '$(build_type)')" >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" --target example_multinode -j "$(nproc)"
+
+BIN="$BUILD_DIR/example_multinode"
+PREFIX="$(mktemp -u /tmp/tommy_mn_XXXXXX)"
+OUTS=()
+SHARD_PIDS=()
+MERGE_PID=""
+# Kill stragglers on abort: an orphaned merge would wait out its connect
+# budget against deleted socket paths.
+trap '[[ -n "$MERGE_PID" ]] && kill "$MERGE_PID" 2>/dev/null;
+      for pid in "${SHARD_PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done;
+      rm -f "${PREFIX}"_*.sock "${OUTS[@]:-}"' EXIT
+
+for N in $NODES_SWEEP; do
+  OUT="$(mktemp /tmp/tommy_mn_XXXXXX.json)"
+  OUTS+=("$OUT")
+  rm -f "${PREFIX}"_*.sock
+
+  "$BIN" merge --nodes "$N" --clients "$CLIENTS" --messages "$MESSAGES" \
+      --uplink-prefix "$PREFIX" --json "$OUT" &
+  MERGE_PID=$!
+
+  SHARD_PIDS=()
+  for ((i = 0; i < N; i++)); do
+    "$BIN" shard --node "$i" --nodes "$N" --clients "$CLIENTS" \
+        --messages "$MESSAGES" --uplink-prefix "$PREFIX" &
+    SHARD_PIDS+=($!)
+  done
+  for pid in "${SHARD_PIDS[@]}"; do wait "$pid"; done
+  wait "$MERGE_PID"
+  MERGE_PID=""
+  SHARD_PIDS=()
+done
+
+# Merge: replace MN_* entries in the target (creating it with the first
+# run's context if absent), keep everything else.
+python3 - "$TARGET" "${OUTS[@]}" <<'EOF'
+import json
+import sys
+
+target_path, run_paths = sys.argv[1], sys.argv[2:]
+runs = []
+for path in run_paths:
+    with open(path) as f:
+        runs.append(json.load(f))
+try:
+    with open(target_path) as f:
+        target = json.load(f)
+except FileNotFoundError:
+    target = {"context": runs[0]["context"], "benchmarks": []}
+
+kept = [b for b in target.get("benchmarks", [])
+        if not b["name"].startswith("MN_")]
+fresh = [b for run in runs for b in run["benchmarks"]]
+target["benchmarks"] = kept + fresh
+with open(target_path, "w") as f:
+    json.dump(target, f, indent=1)
+    f.write("\n")
+names = [b["name"] for b in fresh]
+print(f"merged {names} into {target_path}")
+EOF

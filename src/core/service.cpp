@@ -725,6 +725,18 @@ TimePoint FairOrderingService::next_safe_time() const {
   return earliest;
 }
 
+TimePoint FairOrderingService::next_safe_time(std::uint32_t shard) const {
+  TOMMY_EXPECTS(shard < shards_.size());
+  if (threading_) {
+    std::lock_guard<std::mutex> lock(threading_->control);
+    threading_->broadcast_and_await(ShardWorker::Cmd::kBarrier, TimePoint{});
+    const auto& worker = threading_->workers[shard];
+    return worker ? worker->reported_next_safe : TimePoint::infinite_future();
+  }
+  const auto& seq = shards_[shard];
+  return seq ? seq->next_safe_time() : TimePoint::infinite_future();
+}
+
 std::size_t FairOrderingService::pending_count() const {
   if (threading_) {
     std::lock_guard<std::mutex> lock(threading_->control);

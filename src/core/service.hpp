@@ -425,6 +425,15 @@ class FairOrderingService {
   /// is holding back (those are already emitted, merely withheld).
   [[nodiscard]] TimePoint next_safe_time() const;
 
+  /// One shard's own frontier — the same value the aggregate minimizes
+  /// over, without the min: what a distributed shard node lifts onto the
+  /// wire as its SafeTimeAnnounce, leaving the merge tier to recompute
+  /// min over its live peers. Infinite future for an absent (never
+  /// populated) shard — an empty buffer gates nothing, exactly as in the
+  /// in-process merge. Precondition: `shard` < shard_count(). Threaded
+  /// mode: quiesces first, then reads the ack-time snapshot.
+  [[nodiscard]] TimePoint next_safe_time(std::uint32_t shard) const;
+
   [[nodiscard]] std::size_t pending_count() const;
   [[nodiscard]] std::size_t fairness_violations() const;
   /// Messages inside batches the global merge has emitted but not yet

@@ -1,0 +1,261 @@
+#include "dist/merge_node.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+#include "net/framing.hpp"
+#include "net/frontend.hpp"
+
+namespace tommy::dist {
+
+const char* to_string(MergeError error) {
+  switch (error) {
+    case MergeError::kNone:
+      return "none";
+    case MergeError::kRankGap:
+      return "rank gap";
+    case MergeError::kMalformedFrame:
+      return "malformed frame";
+    case MergeError::kUnexpectedFrame:
+      return "unexpected frame";
+    case MergeError::kStreamError:
+      return "stream error";
+  }
+  return "unknown";
+}
+
+MergeNode::MergeNode(std::uint32_t node_count, MergeConfig config)
+    : config_(std::move(config)), peers_(node_count) {
+  TOMMY_EXPECTS(node_count > 0);
+}
+
+MergeNode::~MergeNode() { stop(); }
+
+bool MergeNode::connect_unix(std::uint32_t node, const std::string& path) {
+  auto stream = net::connect_unix(path, config_.retry);
+  if (stream == nullptr) return false;
+  attach(node, std::move(stream));
+  return true;
+}
+
+bool MergeNode::connect_tcp(std::uint32_t node, std::uint16_t port) {
+  auto stream = net::connect_tcp(port, config_.retry);
+  if (stream == nullptr) return false;
+  attach(node, std::move(stream));
+  return true;
+}
+
+void MergeNode::attach(std::uint32_t node,
+                       std::shared_ptr<net::ByteStream> stream) {
+  TOMMY_EXPECTS(node < peers_.size());
+  std::thread old_reader;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Peer& peer = peers_[node];
+    TOMMY_EXPECTS(!peer.connected);
+    old_reader = std::move(peer.reader);
+    if (peer.stream) peer.stream->shutdown();
+  }
+  if (old_reader.joinable()) old_reader.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Peer& peer = peers_[node];
+  peer.stream = stream;
+  peer.connected = true;
+  peer.error = MergeError::kNone;
+  // Unheard until the replayed announces land: the frontier pins the
+  // gate at −infinity, never speculating past this peer.
+  peer.next_safe = TimePoint(-std::numeric_limits<double>::infinity());
+  peer.reader = std::thread(
+      [this, node, stream = std::move(stream)]() mutable {
+        reader_loop(node, std::move(stream));
+      });
+}
+
+void MergeNode::reader_loop(std::uint32_t node,
+                            std::shared_ptr<net::ByteStream> stream) {
+  net::FrameDecoder decoder(config_.max_frame_bytes);
+  std::vector<std::uint8_t> buffer(4096);
+  for (;;) {
+    const auto n = stream->read_some(buffer);
+    if (!n.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fail_locked(node, MergeError::kStreamError);
+      cv_.notify_all();
+      return;
+    }
+    if (*n == 0) {
+      // Clean EOF (node stopped or is restarting): back to blocking
+      // until a reconnect re-establishes the frontier.
+      std::lock_guard<std::mutex> lock(mutex_);
+      Peer& peer = peers_[node];
+      peer.connected = false;
+      peer.next_safe = TimePoint(-std::numeric_limits<double>::infinity());
+      cv_.notify_all();
+      return;
+    }
+    decoder.append(std::span<const std::uint8_t>(buffer.data(), *n));
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (auto payload = decoder.next()) {
+      auto message = net::decode(*payload);
+      if (!message.has_value()) {
+        fail_locked(node, MergeError::kMalformedFrame);
+        cv_.notify_all();
+        return;
+      }
+      handle_locked(node, std::move(*message));
+      if (peers_[node].error != MergeError::kNone) {
+        cv_.notify_all();
+        return;
+      }
+    }
+    if (decoder.error() != net::FrameError::kNone) {
+      fail_locked(node, MergeError::kMalformedFrame);
+      cv_.notify_all();
+      return;
+    }
+    cv_.notify_all();
+  }
+}
+
+void MergeNode::handle_locked(std::uint32_t node, net::WireMessage&& message) {
+  Peer& peer = peers_[node];
+  if (auto* batch = std::get_if<net::OrderedBatch>(&message)) {
+    if (batch->epoch < peer.epoch) {
+      ++peer.stale;
+      return;
+    }
+    peer.epoch = batch->epoch;
+    if (batch->rank < peer.accepted) {
+      // Replayed prefix of a restarted incarnation — bit-identical to
+      // what was already accepted (determinism), so dropping loses
+      // nothing.
+      ++peer.duplicates;
+      return;
+    }
+    if (batch->rank > peer.accepted) {
+      fail_locked(node, MergeError::kRankGap);
+      return;
+    }
+    ++peer.accepted;
+    holdback_.push_back(std::move(*batch));
+    return;
+  }
+  if (auto* announce = std::get_if<net::SafeTimeAnnounce>(&message)) {
+    if (announce->epoch < peer.epoch) {
+      ++peer.stale;
+      return;
+    }
+    peer.epoch = announce->epoch;
+    peer.next_safe = announce->next_safe_time;
+    ++peer.announces;
+    return;
+  }
+  fail_locked(node, MergeError::kUnexpectedFrame);
+}
+
+void MergeNode::fail_locked(std::uint32_t node, MergeError error) {
+  Peer& peer = peers_[node];
+  if (peer.error == MergeError::kNone) peer.error = error;
+  peer.connected = false;
+  peer.next_safe = TimePoint(-std::numeric_limits<double>::infinity());
+  if (peer.stream) peer.stream->shutdown();
+}
+
+TimePoint MergeNode::gate_locked() const {
+  TimePoint gate = TimePoint::infinite_future();
+  for (const Peer& peer : peers_) {
+    gate = std::min(gate, peer.next_safe);
+  }
+  return gate;
+}
+
+std::size_t MergeNode::release_locked(TimePoint gate, bool release_all) {
+  std::stable_sort(holdback_.begin(), holdback_.end(),
+                   [](const net::OrderedBatch& lhs,
+                      const net::OrderedBatch& rhs) {
+                     if (lhs.safe_time != rhs.safe_time) {
+                       return lhs.safe_time < rhs.safe_time;
+                     }
+                     if (lhs.node != rhs.node) return lhs.node < rhs.node;
+                     return lhs.rank < rhs.rank;
+                   });
+  std::size_t released = 0;
+  for (; released < holdback_.size(); ++released) {
+    if (!release_all && !(holdback_[released].safe_time < gate)) break;
+    released_.push_back(std::move(holdback_[released]));
+  }
+  holdback_.erase(holdback_.begin(),
+                  holdback_.begin() + static_cast<std::ptrdiff_t>(released));
+  return released;
+}
+
+std::size_t MergeNode::release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return release_locked(gate_locked(), /*release_all=*/false);
+}
+
+std::size_t MergeNode::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return release_locked(TimePoint::infinite_future(), /*release_all=*/true);
+}
+
+std::vector<net::OrderedBatch> MergeNode::released() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return released_;
+}
+
+std::size_t MergeNode::released_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return released_.size();
+}
+
+std::size_t MergeNode::held_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return holdback_.size();
+}
+
+TimePoint MergeNode::gate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gate_locked();
+}
+
+MergePeerStats MergeNode::peer(std::uint32_t node) const {
+  TOMMY_EXPECTS(node < peers_.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Peer& peer = peers_[node];
+  MergePeerStats stats;
+  stats.connected = peer.connected;
+  stats.epoch = peer.epoch;
+  stats.accepted = peer.accepted;
+  stats.duplicates = peer.duplicates;
+  stats.stale = peer.stale;
+  stats.announces = peer.announces;
+  stats.next_safe = peer.next_safe;
+  stats.error = peer.error;
+  return stats;
+}
+
+bool MergeNode::wait_for_announces(std::uint32_t node, std::uint64_t n,
+                                   int timeout_ms) {
+  TOMMY_EXPECTS(node < peers_.size());
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return peers_[node].announces >= n; });
+}
+
+void MergeNode::stop() {
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Peer& peer : peers_) {
+      if (peer.stream) peer.stream->shutdown();
+      if (peer.reader.joinable()) readers.push_back(std::move(peer.reader));
+    }
+  }
+  for (std::thread& reader : readers) reader.join();
+}
+
+}  // namespace tommy::dist

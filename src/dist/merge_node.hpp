@@ -1,0 +1,171 @@
+// The merge tier: subscribes to N shard-node uplinks as a frame client,
+// runs the cross-node holdback, and releases the one global stream —
+// records leaving in ascending (safe_time T_b, node, rank) order, a
+// record released only once min(next_safe_time) over the peer frontiers
+// has strictly passed its T_b. This is FairOrderingService::
+// release_merged lifted across processes: the same comparator, the same
+// strict gate, the same two caveats (rank-blocked batches, empty-shard
+// stragglers) bounding the total-order claim.
+//
+// Frontier rule (liveness under faults): every configured peer always
+// contributes to the gate. A peer contributes −infinity — blocking all
+// release — until its connection is live AND it has announced at least
+// once; its contribution reverts to −infinity the moment its connection
+// dies. The merge never speculates past a silent peer: releasing less is
+// only latency, releasing past an unheard frontier is a reorder. Blocked
+// records drain as soon as the restarted node reconnects and its
+// replayed announces re-establish (then advance) the frontier.
+//
+// Restart/resume: a shard node restarts as a new incarnation (epoch + 1)
+// and, because emission is deterministic, re-emits the SAME OrderedBatch
+// stream rank for rank. The merge therefore keys duplicate-drop on the
+// per-node dense rank alone, monotone ACROSS epochs: ranks below the
+// accepted count are the replayed prefix (dropped — already held or
+// released, bit-identical by determinism), the rank equal to it resumes
+// the stream, and a rank above it is a protocol violation (kRankGap —
+// FIFO uplinks plus replay-from-zero make gaps impossible, so a gap
+// means a non-deterministic or misconfigured node). Epochs are tracked
+// to reject stale frames defensively and for observability.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/acceptor.hpp"
+
+namespace tommy::dist {
+
+/// Typed per-peer protocol errors at the merge.
+enum class MergeError : std::uint8_t {
+  kNone,
+  /// An OrderedBatch skipped ahead of the next expected rank.
+  kRankGap,
+  /// Framing failed (oversized) or a payload failed WireMessage decode.
+  kMalformedFrame,
+  /// A frame kind that does not belong on an uplink (anything other than
+  /// OrderedBatch / SafeTimeAnnounce).
+  kUnexpectedFrame,
+  /// The underlying stream reported a transport error.
+  kStreamError,
+};
+
+[[nodiscard]] const char* to_string(MergeError error);
+
+struct MergeConfig {
+  std::size_t max_frame_bytes{net::kDefaultMaxFrameBytes};
+  /// Backoff budget for connect_unix / connect_tcp dials.
+  net::RetryPolicy retry{};
+};
+
+/// Point-in-time view of one peer slot.
+struct MergePeerStats {
+  bool connected{false};
+  std::uint64_t epoch{0};
+  /// Batches accepted into the holdback (== next expected rank).
+  std::uint64_t accepted{0};
+  /// Replayed-prefix batches dropped.
+  std::uint64_t duplicates{0};
+  /// Frames dropped for carrying an epoch below the adopted one.
+  std::uint64_t stale{0};
+  /// SafeTimeAnnounce frames applied.
+  std::uint64_t announces{0};
+  TimePoint next_safe{};
+  MergeError error{MergeError::kNone};
+};
+
+class MergeNode {
+ public:
+  explicit MergeNode(std::uint32_t node_count, MergeConfig config = {});
+
+  /// stop()s.
+  ~MergeNode();
+
+  MergeNode(const MergeNode&) = delete;
+  MergeNode& operator=(const MergeNode&) = delete;
+
+  /// Dials peer `node`'s uplink under the config retry budget and
+  /// attaches the stream. False if the dial failed. Reconnect after a
+  /// node restart is the same call again — the peer slot must be
+  /// disconnected (its old reader joined here).
+  [[nodiscard]] bool connect_unix(std::uint32_t node,
+                                  const std::string& path);
+  [[nodiscard]] bool connect_tcp(std::uint32_t node, std::uint16_t port);
+
+  /// Attaches an already-open uplink stream to peer slot `node` and
+  /// spawns its reader. Precondition: the slot is not currently
+  /// connected.
+  void attach(std::uint32_t node, std::shared_ptr<net::ByteStream> stream);
+
+  /// Releases every held record the gate allows (strictly below
+  /// min(next_safe) over the peer frontiers), in (safe_time, node, rank)
+  /// order, appending to the released log. Returns the number released.
+  std::size_t release();
+
+  /// Releases everything held regardless of the gate (shutdown drain —
+  /// call once every uplink has delivered its final frames).
+  std::size_t flush();
+
+  /// The global output stream so far (copy; grows monotonically — index
+  /// i is release position i forever).
+  [[nodiscard]] std::vector<net::OrderedBatch> released() const;
+  [[nodiscard]] std::size_t released_count() const;
+  /// Records held back awaiting the gate.
+  [[nodiscard]] std::size_t held_count() const;
+  /// Current gate: min over peer frontiers (−infinity while any peer is
+  /// down or unheard).
+  [[nodiscard]] TimePoint gate() const;
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(peers_.size());
+  }
+  [[nodiscard]] MergePeerStats peer(std::uint32_t node) const;
+
+  /// Blocks until peer `node` has applied at least `n` announces, or
+  /// `timeout_ms` elapsed. True if reached. (FIFO uplinks mean an
+  /// applied announce implies every batch published before it has been
+  /// applied too — the soak's synchronization point.)
+  [[nodiscard]] bool wait_for_announces(std::uint32_t node, std::uint64_t n,
+                                        int timeout_ms);
+
+  /// Shuts every peer stream down and joins every reader. Idempotent.
+  void stop();
+
+ private:
+  struct Peer {
+    std::shared_ptr<net::ByteStream> stream;
+    std::thread reader;
+    bool connected{false};
+    std::uint64_t epoch{0};
+    std::uint64_t accepted{0};
+    std::uint64_t duplicates{0};
+    std::uint64_t stale{0};
+    std::uint64_t announces{0};
+    TimePoint next_safe{-std::numeric_limits<double>::infinity()};
+    MergeError error{MergeError::kNone};
+  };
+
+  void reader_loop(std::uint32_t node, std::shared_ptr<net::ByteStream> stream);
+  /// Applies one decoded uplink frame (mutex_ held by caller).
+  void handle_locked(std::uint32_t node, net::WireMessage&& message);
+  void fail_locked(std::uint32_t node, MergeError error);
+  [[nodiscard]] TimePoint gate_locked() const;
+  std::size_t release_locked(TimePoint gate, bool release_all);
+
+  MergeConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Peer> peers_;
+  /// Held-back records, re-sorted by (safe_time, node, rank) at each
+  /// release — exactly release_merged's holdback.
+  std::vector<net::OrderedBatch> holdback_;
+  std::vector<net::OrderedBatch> released_;
+};
+
+}  // namespace tommy::dist

@@ -1,0 +1,137 @@
+#include "dist/shard_node.hpp"
+
+#include <utility>
+
+#include "net/framing.hpp"
+
+namespace tommy::dist {
+
+namespace {
+
+core::ServiceConfig service_config_for(const ShardNodeConfig& config) {
+  core::ServiceConfig service;
+  service.online = config.online;
+  // One shard, sequential: the node IS the shard; cross-shard arbitration
+  // lives at the merge tier.
+  service.shard_count = 1;
+  return service;
+}
+
+net::ServerConfig server_config_for(const ShardNodeConfig& config) {
+  net::ServerConfig server;
+  server.frontend = config.frontend;
+  server.frontend.accept_new_clients = true;
+  server.backlog = config.backlog;
+  return server;
+}
+
+}  // namespace
+
+ShardNode::ShardNode(core::ClientRegistry& registry,
+                     std::vector<ClientId> expected, ShardNodeConfig config)
+    : config_(std::move(config)),
+      service_(registry, std::move(expected), service_config_for(config_)),
+      server_(registry, service_, server_config_for(config_)),
+      uplink_(
+          [this](std::shared_ptr<net::ByteStream> stream) {
+            subscribe(std::move(stream));
+          },
+          config_.backlog) {}
+
+ShardNode::~ShardNode() { stop(); }
+
+std::size_t ShardNode::pump(TimePoint now) {
+  return pump_impl(now, /*flush_all=*/false);
+}
+
+std::size_t ShardNode::pump_flush(TimePoint now) {
+  return pump_impl(now, /*flush_all=*/true);
+}
+
+std::size_t ShardNode::pump_impl(TimePoint now, bool flush_all) {
+  std::vector<core::EmissionRecord> records;
+  auto collect = [&records](core::EmissionRecord&& record, std::uint32_t) {
+    records.push_back(std::move(record));
+  };
+  core::CallbackSink<decltype(collect)> sink(collect);
+  TimePoint next_safe = TimePoint::infinite_future();
+  const std::size_t emitted =
+      flush_all ? server_.frontend().pump_flush_into(now, sink, &next_safe)
+                : server_.frontend().pump_into(now, sink, &next_safe);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(records.size() + 1);
+  for (core::EmissionRecord& record : records) {
+    net::OrderedBatch batch;
+    batch.node = config_.node;
+    batch.epoch = config_.epoch;
+    batch.rank = record.batch.rank;
+    batch.safe_time = record.safe_time;
+    batch.emitted_at = record.emitted_at;
+    batch.messages.reserve(record.batch.messages.size());
+    for (const core::Message& m : record.batch.messages) {
+      batch.messages.push_back(
+          net::OrderedBatch::Entry{m.client, m.id, m.stamp, m.arrival});
+    }
+    frames.push_back(net::encode_frame(net::WireMessage(std::move(batch))));
+  }
+  frames.push_back(net::encode_frame(net::WireMessage(
+      net::SafeTimeAnnounce{config_.node, config_.epoch, next_safe})));
+  publish(std::move(frames));
+  return emitted;
+}
+
+void ShardNode::publish(std::vector<std::vector<std::uint8_t>>&& frames) {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  for (std::vector<std::uint8_t>& frame : frames) {
+    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+      if ((*it)->write_all(frame)) {
+        ++it;
+      } else {
+        (*it)->shutdown();
+        it = subscribers_.erase(it);
+      }
+    }
+    retained_.push_back(std::move(frame));
+  }
+  ++announces_;
+}
+
+void ShardNode::subscribe(std::shared_ptr<net::ByteStream> stream) {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  // Replay the full retained backlog first, under the same lock a
+  // concurrent pump would need — the subscriber's FIFO view starts at
+  // frame 0 with no gap and no interleaving.
+  for (const std::vector<std::uint8_t>& frame : retained_) {
+    if (!stream->write_all(frame)) {
+      stream->shutdown();
+      return;
+    }
+  }
+  subscribers_.push_back(std::move(stream));
+}
+
+void ShardNode::stop() {
+  uplink_.stop();
+  server_.stop();
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  for (const auto& stream : subscribers_) stream->shutdown();
+  subscribers_.clear();
+}
+
+std::size_t ShardNode::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  return subscribers_.size();
+}
+
+std::size_t ShardNode::frames_retained() const {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  return retained_.size();
+}
+
+std::uint64_t ShardNode::announces_published() const {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  return announces_;
+}
+
+}  // namespace tommy::dist

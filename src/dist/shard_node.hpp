@@ -1,0 +1,147 @@
+// One shard of the distributed fair-ordering deployment: a sequential
+// FairOrderingService over this node's client partition, fronted by a
+// FrameServer for ingest, plus an uplink tier that lifts the service's
+// emissions and safe-time frontier onto the wire for the merge node.
+//
+//   clients ──► ingest (FrameServer) ──► FairOrderingService (1 shard)
+//                                              │ pump(now)
+//                                              ▼
+//               uplink (StreamAcceptor) ◀── OrderedBatch* + one
+//               subscribers, retained replay    SafeTimeAnnounce
+//
+// Determinism contract (what makes the topology provably equivalent to
+// the single-process kGlobalMerge oracle):
+//  * The node primes its engine over the FULL registry — identical
+//    derived tables to the oracle's shared engine — while expecting only
+//    its partition; emissions are then a pure function of (ingest set,
+//    poll schedule) exactly as in-process.
+//  * Every pump appends one SafeTimeAnnounce carrying the post-drain
+//    next_safe_time read under the SAME lock acquisition as the poll
+//    (FrameFrontend::pump_into's next_safe_after out-param) — the
+//    frontier the merge gates on is never stale relative to the batches
+//    that precede it on the FIFO uplink.
+//  * OrderedBatch ranks are the service's own dense per-shard ranks, so
+//    a restarted incarnation (epoch + 1) that replays the same ingest
+//    re-emits bit-identical frames rank for rank — the merge drops the
+//    replayed prefix as duplicates and resumes where the dead
+//    incarnation stopped.
+//
+// The uplink retains every frame it ever broadcast (in order) and
+// replays the backlog to each new subscriber, so a merge node that
+// connects late — or reconnects after this node restarts — observes the
+// same FIFO stream as one connected from the start. Retention is
+// per-incarnation state: it dies with the process, which is exactly
+// right, because a restarted node rebuilds the stream by replaying
+// ingest, not by remembering frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+#include "net/acceptor.hpp"
+
+namespace tommy::dist {
+
+struct ShardNodeConfig {
+  /// This node's index in the topology (the merge's peer slot, and the
+  /// shard tag the oracle comparison keys on).
+  std::uint32_t node{0};
+  /// Incarnation counter: bump on every restart of the same node index.
+  /// Stamped into every uplink frame; the merge uses it to tell a
+  /// replayed prefix from the stream of a live incarnation.
+  std::uint64_t epoch{0};
+  /// Per-shard sequencer configuration (threshold, p_safe, preceding).
+  core::OnlineConfig online{};
+  /// Ingest front-end configuration (arrival_clock etc.).
+  /// accept_new_clients is forced on: shard nodes answer the PR 6 join
+  /// handshake with a HandshakeAck so perform_handshake completes — an
+  /// expected client's identical re-announce is idempotent in the
+  /// registry, so service state stays oracle-equivalent.
+  net::FrontendConfig frontend{};
+  /// listen(2) backlog for both sockets.
+  int backlog{128};
+};
+
+class ShardNode {
+ public:
+  /// `registry` must be the FULL deployment registry (all clients on all
+  /// nodes — see the determinism contract above) and must outlive the
+  /// node. `expected` is this node's partition (Topology::partition).
+  ShardNode(core::ClientRegistry& registry, std::vector<ClientId> expected,
+            ShardNodeConfig config = {});
+
+  /// stop()s.
+  ~ShardNode();
+
+  ShardNode(const ShardNode&) = delete;
+  ShardNode& operator=(const ShardNode&) = delete;
+
+  [[nodiscard]] bool listen_ingest_unix(const std::string& path) {
+    return server_.listen_unix(path);
+  }
+  [[nodiscard]] bool listen_ingest_tcp(std::uint16_t port) {
+    return server_.listen_tcp(port);
+  }
+  [[nodiscard]] bool listen_uplink_unix(const std::string& path) {
+    return uplink_.listen_unix(path);
+  }
+  [[nodiscard]] bool listen_uplink_tcp(std::uint16_t port) {
+    return uplink_.listen_tcp(port);
+  }
+
+  /// Polls the service at `now`, publishes each emitted batch as one
+  /// OrderedBatch frame followed by one SafeTimeAnnounce carrying the
+  /// post-drain frontier, and broadcasts to every uplink subscriber
+  /// (dead subscribers are dropped). Returns the number of batches
+  /// emitted. One pump at a time — same contract as the front-end's.
+  std::size_t pump(TimePoint now);
+
+  /// flush() counterpart (shutdown drain, gates ignored; the trailing
+  /// announce carries an infinite frontier).
+  std::size_t pump_flush(TimePoint now);
+
+  /// Stops both acceptors, the ingest front-end, and every uplink
+  /// subscriber stream. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint32_t node() const { return config_.node; }
+  [[nodiscard]] std::uint64_t epoch() const { return config_.epoch; }
+
+  [[nodiscard]] net::FrameServer& server() { return server_; }
+  [[nodiscard]] const net::FrameServer& server() const { return server_; }
+  [[nodiscard]] core::FairOrderingService& service() { return service_; }
+  [[nodiscard]] net::StreamAcceptor& uplink() { return uplink_; }
+
+  /// Uplink subscribers currently attached (post-replay, writes still
+  /// succeeding).
+  [[nodiscard]] std::size_t subscriber_count() const;
+  /// Frames ever broadcast (== the retained replay backlog length).
+  [[nodiscard]] std::size_t frames_retained() const;
+  /// SafeTimeAnnounce frames ever published (one per pump).
+  [[nodiscard]] std::uint64_t announces_published() const;
+
+ private:
+  std::size_t pump_impl(TimePoint now, bool flush_all);
+  /// Appends `frames` to the retained backlog and writes them to every
+  /// subscriber, dropping subscribers whose writes fail.
+  void publish(std::vector<std::vector<std::uint8_t>>&& frames);
+  void subscribe(std::shared_ptr<net::ByteStream> stream);
+
+  ShardNodeConfig config_;
+  core::FairOrderingService service_;
+  net::FrameServer server_;
+  net::StreamAcceptor uplink_;
+
+  /// Guards the retained backlog and subscriber set (accept thread vs
+  /// pump thread).
+  mutable std::mutex uplink_mutex_;
+  std::vector<std::vector<std::uint8_t>> retained_;
+  std::vector<std::shared_ptr<net::ByteStream>> subscribers_;
+  std::uint64_t announces_{0};
+};
+
+}  // namespace tommy::dist

@@ -34,23 +34,46 @@ void set_nodelay(int fd) {
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// Connect errnos a retry can actually outwait: the server racing its
+/// bind/listen (ECONNREFUSED, and ENOENT for a Unix socket file not yet
+/// on disk), a backlog overflow dropping the attempt (ECONNRESET /
+/// ETIMEDOUT / EAGAIN), or a signal. Anything else — EACCES, address
+/// errors, fd exhaustion on OUR side — will fail identically on every
+/// attempt and surfaces immediately.
+bool connect_errno_transient(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET
+         || err == ETIMEDOUT || err == EAGAIN || err == EINTR
+         || err == ECONNABORTED;
+}
+
+template <typename ConnectOnce>
+std::shared_ptr<ByteStream> connect_with_retry(ConnectOnce&& connect_once,
+                                               const RetryPolicy& policy) {
+  for (int attempt = 0;; ++attempt) {
+    auto stream = connect_once();
+    if (stream != nullptr) return stream;
+    if (!connect_errno_transient(errno) || attempt + 1 >= policy.attempts) {
+      return nullptr;
+    }
+    const int saved = errno;
+    policy.wait(attempt);
+    errno = saved;
+  }
+}
+
 }  // namespace
 
-FrameServer::FrameServer(core::ClientRegistry& registry,
-                         core::FairOrderingService& service,
-                         ServerConfig config)
-    : frontend_(registry, service,
-                [&config] {
-                  FrontendConfig frontend = config.frontend;
-                  frontend.eof_policy = config.eof_policy;
-                  return frontend;
-                }()),
-      config_(std::move(config)) {}
+// ── StreamAcceptor ──────────────────────────────────────────────────────
 
-FrameServer::~FrameServer() { stop(); }
+StreamAcceptor::StreamAcceptor(OnStream on_stream, int backlog)
+    : on_stream_(std::move(on_stream)), backlog_(backlog) {
+  TOMMY_EXPECTS(on_stream_ != nullptr);
+}
 
-bool FrameServer::listen_tcp(std::uint16_t port) {
-  TOMMY_EXPECTS(listen_fd_ < 0);  // one listen_* per server, once
+StreamAcceptor::~StreamAcceptor() { stop(); }
+
+bool StreamAcceptor::listen_tcp(std::uint16_t port) {
+  TOMMY_EXPECTS(listen_fd_ < 0);  // one listen_* per acceptor, once
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
   int one = 1;
@@ -61,7 +84,7 @@ bool FrameServer::listen_tcp(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0
-      || ::listen(fd, config_.backlog) != 0) {
+      || ::listen(fd, backlog_) != 0) {
     const int saved = errno;
     close_fd(fd);
     errno = saved;
@@ -80,7 +103,7 @@ bool FrameServer::listen_tcp(std::uint16_t port) {
   return start(fd);
 }
 
-bool FrameServer::listen_unix(const std::string& path) {
+bool StreamAcceptor::listen_unix(const std::string& path) {
   TOMMY_EXPECTS(listen_fd_ < 0);
   sockaddr_un addr{};
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -93,7 +116,7 @@ bool FrameServer::listen_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   (void)::unlink(path.c_str());  // stale socket file from a dead server
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0
-      || ::listen(fd, config_.backlog) != 0) {
+      || ::listen(fd, backlog_) != 0) {
     const int saved = errno;
     close_fd(fd);
     errno = saved;
@@ -103,7 +126,7 @@ bool FrameServer::listen_unix(const std::string& path) {
   return start(fd);
 }
 
-bool FrameServer::start(int listen_fd) {
+bool StreamAcceptor::start(int listen_fd) {
   // Nonblocking listen fd: a connection poll() reported can be gone by
   // the time accept() runs (peer RST in the backlog); a blocking accept
   // would then wedge the loop past stop()'s wake byte. Accepted fds do
@@ -129,7 +152,7 @@ bool FrameServer::start(int listen_fd) {
   return true;
 }
 
-void FrameServer::accept_loop() {
+void StreamAcceptor::accept_loop() {
   while (running_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, /*timeout=*/-1);
@@ -158,7 +181,7 @@ void FrameServer::accept_loop() {
       break;
     }
     set_nodelay(fd);
-    frontend_.add_connection(make_fd_stream(fd));
+    on_stream_(make_fd_stream(fd));
     {
       std::lock_guard<std::mutex> lock(accepted_mutex_);
       accepted_.fetch_add(1, std::memory_order_release);
@@ -168,7 +191,7 @@ void FrameServer::accept_loop() {
   running_.store(false, std::memory_order_release);
 }
 
-void FrameServer::stop() {
+void StreamAcceptor::stop() {
   if (accept_thread_.joinable()) {
     running_.store(false, std::memory_order_release);
     const std::uint8_t byte = 0;
@@ -182,17 +205,50 @@ void FrameServer::stop() {
   close_fd(wake_fds_[1]);
   wake_fds_[0] = wake_fds_[1] = -1;
   if (!unix_path_.empty()) (void)::unlink(unix_path_.c_str());
-  // Connections last: a reader mid-dispatch finishes its current frame,
-  // then sees its shutdown stream and exits; stop() joins them all.
-  frontend_.stop();
 }
 
-bool FrameServer::wait_for_accepted(std::uint64_t n, int timeout_ms) {
+bool StreamAcceptor::wait_for_accepted(std::uint64_t n, int timeout_ms) {
   std::unique_lock<std::mutex> lock(accepted_mutex_);
   return accepted_cv_.wait_for(
       lock, std::chrono::milliseconds(timeout_ms),
       [this, n] { return accepted_.load(std::memory_order_acquire) >= n; });
 }
+
+// ── FrameServer ─────────────────────────────────────────────────────────
+
+FrameServer::FrameServer(core::ClientRegistry& registry,
+                         core::FairOrderingService& service,
+                         ServerConfig config)
+    : frontend_(registry, service,
+                [&config] {
+                  FrontendConfig frontend = config.frontend;
+                  frontend.eof_policy = config.eof_policy;
+                  return frontend;
+                }()),
+      acceptor_(
+          [this](std::shared_ptr<ByteStream> stream) {
+            frontend_.add_connection(std::move(stream));
+          },
+          config.backlog) {}
+
+FrameServer::~FrameServer() { stop(); }
+
+bool FrameServer::listen_tcp(std::uint16_t port) {
+  return acceptor_.listen_tcp(port);
+}
+
+bool FrameServer::listen_unix(const std::string& path) {
+  return acceptor_.listen_unix(path);
+}
+
+void FrameServer::stop() {
+  acceptor_.stop();
+  // Connections last: a reader mid-dispatch finishes its current frame,
+  // then sees its shutdown stream and exits; stop() joins them all.
+  frontend_.stop();
+}
+
+// ── Client-side connects ────────────────────────────────────────────────
 
 std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -210,6 +266,36 @@ std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port) {
   }
   set_nodelay(fd);
   return make_fd_stream(fd);
+}
+
+std::shared_ptr<ByteStream> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return nullptr;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr))
+      != 0) {
+    const int saved = errno;
+    close_fd(fd);
+    errno = saved;
+    return nullptr;
+  }
+  return make_fd_stream(fd);
+}
+
+std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port,
+                                        const RetryPolicy& policy) {
+  return connect_with_retry([port] { return connect_tcp(port); }, policy);
+}
+
+std::shared_ptr<ByteStream> connect_unix(const std::string& path,
+                                         const RetryPolicy& policy) {
+  return connect_with_retry([&path] { return connect_unix(path); }, policy);
 }
 
 std::chrono::microseconds RetryPolicy::delay_for(int attempt) const {
@@ -236,12 +322,8 @@ void RetryPolicy::wait(int attempt) const {
 std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,
                                           std::uint16_t tcp_port,
                                           const RetryPolicy& policy) {
-  for (int attempt = 0;; ++attempt) {
-    auto stream = unix_path.empty() ? connect_tcp(tcp_port)
-                                    : connect_unix(unix_path);
-    if (stream != nullptr || attempt + 1 >= policy.attempts) return stream;
-    policy.wait(attempt);
-  }
+  return unix_path.empty() ? connect_tcp(tcp_port, policy)
+                           : connect_unix(unix_path, policy);
 }
 
 std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,
@@ -284,26 +366,6 @@ HandshakeResult perform_handshake(ByteStream& stream,
     policy.wait(attempt);
     if (!stream.write_all(frame)) return HandshakeResult::kStreamClosed;
   }
-}
-
-std::shared_ptr<ByteStream> connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    errno = ENAMETOOLONG;
-    return nullptr;
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr))
-      != 0) {
-    const int saved = errno;
-    close_fd(fd);
-    errno = saved;
-    return nullptr;
-  }
-  return make_fd_stream(fd);
 }
 
 }  // namespace tommy::net

@@ -1,19 +1,27 @@
-// The listening half of the wire front-end: a FrameServer owns a TCP or
-// Unix-domain listening socket, runs an accept loop on its own thread,
-// wraps every accepted fd via make_fd_stream, and registers it with an
-// embedded FrameFrontend — turning the adopt-fds-by-hand front-end of
-// PR 4 into a real server that remote client processes connect to.
+// The listening half of the wire front-end, in two layers:
 //
-//   listen fd ──► accept thread ──► make_fd_stream ──► FrameFrontend
-//                                                       (reader thread
-//                                                        per connection)
+//  * `StreamAcceptor` is the transport-level acceptor: it owns a TCP or
+//    Unix-domain listening socket, runs an accept loop on its own thread,
+//    wraps every accepted fd via make_fd_stream, and hands the stream to
+//    a caller-supplied callback. It knows nothing about frames or
+//    services — the dist layer reuses it verbatim for shard-node uplinks
+//    and the key router.
+//  * `FrameServer` composes a StreamAcceptor with an embedded
+//    FrameFrontend: every accepted stream becomes a protocol connection
+//    (reader thread, handshake, session) — the real server remote client
+//    processes connect to.
+//
+//   listen fd ──► accept thread ──► make_fd_stream ──► on_stream(...)
+//                                                       (FrameServer:
+//                                                        add_connection)
 //
 // Lifecycle: the accept loop multiplexes the listening socket against an
 // internal wake pipe with poll(2), so stop() never races a blocking
 // accept — it writes the wake byte, joins the accept thread, closes the
-// listening socket (and unlinks a Unix socket path), then stops the
-// front-end (shutting every connection stream down and joining every
-// reader). stop() is idempotent and runs from the destructor.
+// listening socket (and unlinks a Unix socket path). stop() is
+// idempotent and runs from the destructor. FrameServer::stop()
+// additionally stops the front-end (shutting every connection stream
+// down and joining every reader).
 //
 // Connection lifetime is the front-end's EofPolicy (ServerConfig defaults
 // it to kRemove: a peer that stops sending is reaped, its id recycled);
@@ -33,6 +41,75 @@
 #include "net/frontend.hpp"
 
 namespace tommy::net {
+
+/// Transport-level acceptor: one listening socket, one accept thread,
+/// every accepted fd delivered to `on_stream` as a ByteStream (from the
+/// accept thread — the callback must not block indefinitely). One
+/// listening socket per instance: call exactly one of listen_tcp /
+/// listen_unix, once.
+class StreamAcceptor {
+ public:
+  using OnStream = std::function<void(std::shared_ptr<ByteStream>)>;
+
+  explicit StreamAcceptor(OnStream on_stream, int backlog = 128);
+
+  /// stop()s.
+  ~StreamAcceptor();
+
+  StreamAcceptor(const StreamAcceptor&) = delete;
+  StreamAcceptor& operator=(const StreamAcceptor&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the outcome from
+  /// port()), listens, and starts the accept thread. False on bind /
+  /// listen failure (errno preserved).
+  [[nodiscard]] bool listen_tcp(std::uint16_t port);
+
+  /// Binds a Unix-domain stream socket at `path` (unlinking a stale
+  /// socket file first), listens, and starts the accept thread.
+  [[nodiscard]] bool listen_unix(const std::string& path);
+
+  /// Bound TCP port (valid after a successful listen_tcp).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Bound Unix socket path (valid after a successful listen_unix).
+  [[nodiscard]] const std::string& unix_path() const { return unix_path_; }
+
+  /// Accepting connections (between a successful listen_* and stop()).
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting: joins the accept thread, closes the listening
+  /// socket, unlinks a Unix path. Streams already handed to the callback
+  /// are untouched (their owner tears them down). Idempotent.
+  void stop();
+
+  /// Blocks until at least `n` connections have been accepted over the
+  /// acceptor's lifetime, or `timeout_ms` elapsed. True if reached.
+  [[nodiscard]] bool wait_for_accepted(std::uint64_t n, int timeout_ms);
+
+  /// Connections ever accepted.
+  [[nodiscard]] std::uint64_t accepted_total() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  [[nodiscard]] bool start(int listen_fd);
+  void accept_loop();
+
+  OnStream on_stream_;
+  int backlog_;
+
+  int listen_fd_{-1};
+  int wake_fds_[2]{-1, -1};  // self-pipe: [read, write]
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::uint16_t port_{0};
+  std::string unix_path_{};
+
+  std::mutex accepted_mutex_;
+  std::condition_variable accepted_cv_;
+};
 
 struct ServerConfig {
   FrontendConfig frontend{};
@@ -68,14 +145,14 @@ class FrameServer {
   [[nodiscard]] bool listen_unix(const std::string& path);
 
   /// Bound TCP port (valid after a successful listen_tcp).
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return acceptor_.port(); }
   /// Bound Unix socket path (valid after a successful listen_unix).
-  [[nodiscard]] const std::string& unix_path() const { return unix_path_; }
+  [[nodiscard]] const std::string& unix_path() const {
+    return acceptor_.unix_path();
+  }
 
   /// Accepting connections (between a successful listen_* and stop()).
-  [[nodiscard]] bool running() const {
-    return running_.load(std::memory_order_acquire);
-  }
+  [[nodiscard]] bool running() const { return acceptor_.running(); }
 
   /// Stops accepting (joins the accept thread, closes the listening
   /// socket, unlinks a Unix path) and stops the front-end (shuts every
@@ -84,11 +161,13 @@ class FrameServer {
 
   /// Blocks until at least `n` connections have been accepted over the
   /// server's lifetime, or `timeout_ms` elapsed. True if reached.
-  [[nodiscard]] bool wait_for_accepted(std::uint64_t n, int timeout_ms);
+  [[nodiscard]] bool wait_for_accepted(std::uint64_t n, int timeout_ms) {
+    return acceptor_.wait_for_accepted(n, timeout_ms);
+  }
 
   /// Connections ever accepted.
   [[nodiscard]] std::uint64_t accepted_total() const {
-    return accepted_.load(std::memory_order_acquire);
+    return acceptor_.accepted_total();
   }
 
   /// Broadcast-pump forwarders (reap + poll/flush + broadcast).
@@ -99,32 +178,9 @@ class FrameServer {
   [[nodiscard]] const FrameFrontend& frontend() const { return frontend_; }
 
  private:
-  [[nodiscard]] bool start(int listen_fd);
-  void accept_loop();
-
   FrameFrontend frontend_;
-  ServerConfig config_;
-
-  int listen_fd_{-1};
-  int wake_fds_[2]{-1, -1};  // self-pipe: [read, write]
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> accepted_{0};
-  std::uint16_t port_{0};
-  std::string unix_path_{};
-
-  std::mutex accepted_mutex_;
-  std::condition_variable accepted_cv_;
+  StreamAcceptor acceptor_;
 };
-
-/// Connects to a FrameServer listening on 127.0.0.1:`port` (numeric IPv4
-/// only — this is a test/bench/replay client, not a resolver). nullptr on
-/// failure.
-[[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port);
-
-/// Connects to a Unix-domain FrameServer at `path`. nullptr on failure.
-[[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
-    const std::string& path);
 
 /// Bounded retry-with-backoff budget for client-side connects and the
 /// join handshake. Attempt k (0-based) sleeps
@@ -144,6 +200,29 @@ struct RetryPolicy {
   /// delay_for, through `sleep` (or the default sleeper).
   void wait(int attempt) const;
 };
+
+/// Connects to a FrameServer listening on 127.0.0.1:`port` (numeric IPv4
+/// only — this is a test/bench/replay client, not a resolver). nullptr on
+/// failure.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port);
+
+/// Connects to a Unix-domain FrameServer at `path`. nullptr on failure.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
+    const std::string& path);
+
+/// connect_tcp with a retry budget for TRANSIENT failures only — the
+/// multi-process startup race: a server mid-bind (or draining an accept
+/// burst) refuses with ECONNREFUSED/ECONNRESET/ETIMEDOUT, and the client
+/// backs off under `policy` instead of failing its first attempt.
+/// Non-transient failures (EACCES, ENETUNREACH, bad fd limits) return
+/// nullptr immediately with errno preserved — retrying cannot fix them.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(
+    std::uint16_t port, const RetryPolicy& policy);
+
+/// connect_unix with the same transient-only retry budget. ENOENT (the
+/// server has not bound its socket file yet) counts as transient.
+[[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
+    const std::string& path, const RetryPolicy& policy);
 
 /// connect_unix (when `unix_path` is nonempty) or connect_tcp, with a
 /// retry budget: a server mid-bind or mid-accept-burst can transiently

@@ -571,7 +571,8 @@ std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
 }
 
 std::size_t FrameFrontend::drain_locked(TimePoint now, bool flush_all,
-                                        core::EmissionSink& sink) {
+                                        core::EmissionSink& sink,
+                                        TimePoint* next_safe_after) {
   std::unique_lock<std::mutex> lock;
   if (!service_.threaded()) lock = std::unique_lock<std::mutex>(ingest_mutex_);
   // Liveness for reconfigs nobody retries (a handshaken client's mutated
@@ -580,7 +581,10 @@ std::size_t FrameFrontend::drain_locked(TimePoint now, bool flush_all,
     service_.request_reconfig();
     service_.try_install_reconfig();
   }
-  return flush_all ? service_.flush(now, sink) : service_.poll(now, sink);
+  const std::size_t emitted =
+      flush_all ? service_.flush(now, sink) : service_.poll(now, sink);
+  if (next_safe_after != nullptr) *next_safe_after = service_.next_safe_time();
+  return emitted;
 }
 
 std::size_t FrameFrontend::pump(TimePoint now) {
@@ -598,6 +602,17 @@ std::size_t FrameFrontend::pump_into(TimePoint now, core::EmissionSink& sink) {
 std::size_t FrameFrontend::pump_flush_into(TimePoint now,
                                            core::EmissionSink& sink) {
   return drain_locked(now, /*flush_all=*/true, sink);
+}
+
+std::size_t FrameFrontend::pump_into(TimePoint now, core::EmissionSink& sink,
+                                     TimePoint* next_safe_after) {
+  return drain_locked(now, /*flush_all=*/false, sink, next_safe_after);
+}
+
+std::size_t FrameFrontend::pump_flush_into(TimePoint now,
+                                           core::EmissionSink& sink,
+                                           TimePoint* next_safe_after) {
+  return drain_locked(now, /*flush_all=*/true, sink, next_safe_after);
 }
 
 void FrameFrontend::reconfigure() {
@@ -697,6 +712,187 @@ FrontendTotals FrameFrontend::totals() const {
 const Connection& FrameFrontend::connection(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
   return conn_at(conns_, id).machine;
+}
+
+RelaySet::RelaySet(DialFn dial, std::size_t max_frame_bytes)
+    : dial_(std::move(dial)), max_frame_bytes_(max_frame_bytes) {
+  TOMMY_EXPECTS(dial_ != nullptr);
+}
+
+RelaySet::~RelaySet() { stop(); }
+
+void RelaySet::adopt(std::shared_ptr<ByteStream> downstream) {
+  std::vector<std::shared_ptr<Relay>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      downstream->shutdown();
+      return;
+    }
+    for (auto it = relays_.begin(); it != relays_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = relays_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto relay = std::make_shared<Relay>();
+    relay->down = std::move(downstream);
+    relays_.push_back(relay);
+    ++adopted_;
+    relay->forward = std::thread([this, relay] { forward_loop(*relay); });
+  }
+  // Joins happen outside the lock; a done relay's thread is already past
+  // its last instruction, so these joins return immediately.
+  for (auto& relay : finished) {
+    if (relay->forward.joinable()) relay->forward.join();
+  }
+}
+
+void RelaySet::stop() {
+  std::vector<std::shared_ptr<Relay>> relays;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    relays.swap(relays_);
+  }
+  for (auto& relay : relays) {
+    relay->down->shutdown();
+    std::shared_ptr<ByteStream> up;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      up = relay->up;
+    }
+    if (up != nullptr) up->shutdown();
+  }
+  for (auto& relay : relays) {
+    if (relay->forward.joinable()) relay->forward.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopping_ = false;
+}
+
+std::size_t RelaySet::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& relay : relays_) {
+    if (!relay->done.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+std::uint64_t RelaySet::adopted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return adopted_;
+}
+
+void RelaySet::forward_loop(Relay& relay) {
+  std::vector<std::uint8_t> buffer(4096);
+  // Every raw byte read before the upstream exists — the handshake frame
+  // plus anything the client coalesced behind it. Replayed verbatim once
+  // the dial lands, so the upstream sees exactly the byte stream the
+  // client wrote.
+  std::vector<std::uint8_t> preamble;
+  FrameDecoder decoder(max_frame_bytes_);
+  std::optional<DistributionAnnouncement> announcement;
+  while (!announcement) {
+    const auto n = relay.down->read_some(buffer);
+    if (!n.has_value() || *n == 0) {
+      handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+      relay.down->shutdown();
+      relay.done.store(true, std::memory_order_release);
+      return;
+    }
+    preamble.insert(preamble.end(), buffer.begin(),
+                    buffer.begin() + static_cast<std::ptrdiff_t>(*n));
+    decoder.append(std::span<const std::uint8_t>(buffer.data(), *n));
+    if (auto payload = decoder.next()) {
+      auto message = decode(*payload);
+      if (!message.has_value()
+          || !std::holds_alternative<DistributionAnnouncement>(*message)) {
+        handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+        relay.down->shutdown();
+        relay.done.store(true, std::memory_order_release);
+        return;
+      }
+      announcement = std::get<DistributionAnnouncement>(std::move(*message));
+    } else if (decoder.error() != FrameError::kNone) {
+      handshake_failures_.fetch_add(1, std::memory_order_relaxed);
+      relay.down->shutdown();
+      relay.done.store(true, std::memory_order_release);
+      return;
+    }
+  }
+
+  std::shared_ptr<ByteStream> up = dial_(*announcement);
+  if (up == nullptr) {
+    dial_failures_.fetch_add(1, std::memory_order_relaxed);
+    relay.down->shutdown();
+    relay.done.store(true, std::memory_order_release);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    relay.up = up;
+    if (stopping_) {
+      up->shutdown();
+      relay.down->shutdown();
+      relay.done.store(true, std::memory_order_release);
+      return;
+    }
+  }
+
+  bool ok = up->write_all(preamble);
+  std::thread backward;
+  if (ok) {
+    backward = std::thread([&relay, up] {
+      std::vector<std::uint8_t> back(4096);
+      for (;;) {
+        const auto n = up->read_some(back);
+        if (!n.has_value()) {
+          // Upstream transport error (node killed): tear the downstream
+          // down so the client reconnects through the router.
+          relay.down->shutdown();
+          return;
+        }
+        if (*n == 0) {
+          // Clean upstream EOF: propagate the half-close; the client
+          // reads what was sent, then EOF.
+          relay.down->close_write();
+          return;
+        }
+        if (!relay.down->write_all(
+                std::span<const std::uint8_t>(back.data(), *n))) {
+          up->shutdown();
+          return;
+        }
+      }
+    });
+  }
+  while (ok) {
+    const auto n = relay.down->read_some(buffer);
+    if (!n.has_value()) {
+      ok = false;
+      break;
+    }
+    if (*n == 0) {
+      // Client half-closed (close_write after its last frame): propagate
+      // so the upstream node sees the same clean EOF.
+      up->close_write();
+      break;
+    }
+    if (!up->write_all(std::span<const std::uint8_t>(buffer.data(), *n))) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    relay.down->shutdown();
+    up->shutdown();
+  }
+  if (backward.joinable()) backward.join();
+  relay.done.store(true, std::memory_order_release);
 }
 
 }  // namespace tommy::net

@@ -386,6 +386,22 @@ class FrameFrontend {
     return pump_flush_into(now, static_cast<core::EmissionSink&>(sink));
   }
 
+  /// pump_into that additionally reports the service's next_safe_time
+  /// AFTER the drain, read under the SAME sequential-mode ingest lock
+  /// acquisition as the poll itself. This is what a shard node's
+  /// SafeTimeAnnounce must carry: the post-poll gate position with no
+  /// ingest interleaved between poll and read (two separate lock
+  /// acquisitions would let a straggler land in between, and the
+  /// announced frontier would describe neither the pre- nor the
+  /// post-poll state).
+  std::size_t pump_into(TimePoint now, core::EmissionSink& sink,
+                        TimePoint* next_safe_after);
+  /// flush() counterpart (after a flush the buffers are empty, so the
+  /// reported frontier is infinite_future unless ingest raced in —
+  /// which the lock excludes for sequential services).
+  std::size_t pump_flush_into(TimePoint now, core::EmissionSink& sink,
+                              TimePoint* next_safe_after);
+
   /// Drives any pending reconfiguration to completion (blocking —
   /// joins the primer) under the same serialization as the wire
   /// handlers. The safe way to force an epoch swap from outside while
@@ -487,9 +503,12 @@ class FrameFrontend {
   std::size_t drain(TimePoint now, bool flush_all);
   /// The locked core shared by pump/pump_flush (broadcast sink) and
   /// pump_into/pump_flush_into (caller sink): sequential-mode ingest
-  /// lock, staged-epoch install nudge, then one service drain.
+  /// lock, staged-epoch install nudge, then one service drain. When
+  /// `next_safe_after` is non-null the post-drain next_safe_time is
+  /// read before the lock drops.
   std::size_t drain_locked(TimePoint now, bool flush_all,
-                           core::EmissionSink& sink);
+                           core::EmissionSink& sink,
+                           TimePoint* next_safe_after = nullptr);
   /// True once `conn` can be removed (reader exited and nothing is left
   /// to serve it). Lock-free on the connection itself — callers hold
   /// conns_mutex_, and this must never wait on a stalled broadcast.
@@ -521,6 +540,87 @@ class FrameFrontend {
   /// Counters of removed connections (guarded by conns_mutex_); totals()
   /// adds the live table on top.
   FrontendTotals retired_;
+};
+
+/// Client-side multi-upstream connection set — the router tier's working
+/// half. A RelaySet adopts downstream byte streams (accepted by a
+/// StreamAcceptor), sniffs each one's handshake (the first complete
+/// frame must be a DistributionAnnouncement, exactly the Connection
+/// contract), asks a caller-supplied dial function for the matching
+/// upstream — that closure owns the routing decision AND the connect
+/// RetryPolicy, so a node mid-restart is re-dialed with backoff — and
+/// then splices the two streams raw in both directions (no re-framing:
+/// the relay adds no protocol state beyond the sniffed handshake, so
+/// clients keep the PR 6 handshake flow unchanged end to end).
+///
+/// Fault model: if the upstream dies (node kill), the downstream is torn
+/// down too — the client observes a dead connection, reconnects through
+/// the router, and replays, which re-routes it to the restarted node.
+/// Holding client traffic at the relay would turn the router into a
+/// stateful buffer; dropping keeps it thin and pushes recovery onto the
+/// retry machinery the clients already have.
+class RelaySet {
+ public:
+  /// Picks and dials the upstream for a downstream that announced
+  /// `announcement`. nullptr rejects the downstream (it is dropped).
+  /// Called on the relay's own thread; bounded connect retries belong
+  /// inside the closure.
+  using DialFn = std::function<std::shared_ptr<ByteStream>(
+      const DistributionAnnouncement& announcement)>;
+
+  explicit RelaySet(DialFn dial,
+                    std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// stop()s.
+  ~RelaySet();
+
+  RelaySet(const RelaySet&) = delete;
+  RelaySet& operator=(const RelaySet&) = delete;
+
+  /// Adopts a downstream stream and spawns its relay (handshake sniff,
+  /// dial, bidirectional splice). Opportunistically reaps finished
+  /// relays first.
+  void adopt(std::shared_ptr<ByteStream> downstream);
+
+  /// Shuts every relay's streams down and joins every relay thread.
+  /// Reusable afterwards. The destructor runs this.
+  void stop();
+
+  /// Relays whose threads are still running.
+  [[nodiscard]] std::size_t active_count() const;
+  /// Downstreams ever adopted.
+  [[nodiscard]] std::uint64_t adopted_total() const;
+  /// Downstreams dropped because the dial function returned nullptr.
+  [[nodiscard]] std::uint64_t dial_failures() const {
+    return dial_failures_.load(std::memory_order_relaxed);
+  }
+  /// Downstreams dropped before a complete, well-formed announcement
+  /// (EOF mid-handshake, a malformed frame, or a non-announcement first
+  /// frame).
+  [[nodiscard]] std::uint64_t handshake_failures() const {
+    return handshake_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Relay {
+    std::shared_ptr<ByteStream> down;
+    /// Set (under the set's mutex) once the dial succeeds; stop() shuts
+    /// it down alongside `down`.
+    std::shared_ptr<ByteStream> up;
+    std::thread forward;
+    std::atomic<bool> done{false};
+  };
+
+  void forward_loop(Relay& relay);
+
+  DialFn dial_;
+  std::size_t max_frame_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Relay>> relays_;
+  std::uint64_t adopted_{0};
+  bool stopping_{false};
+  std::atomic<std::uint64_t> dial_failures_{0};
+  std::atomic<std::uint64_t> handshake_failures_{0};
 };
 
 }  // namespace tommy::net

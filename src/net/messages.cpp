@@ -13,6 +13,8 @@ constexpr std::uint8_t kTagHeartbeat = 3;
 constexpr std::uint8_t kTagBatch = 4;
 constexpr std::uint8_t kTagReconfigPending = 5;
 constexpr std::uint8_t kTagHandshakeAck = 6;
+constexpr std::uint8_t kTagSafeTimeAnnounce = 7;
+constexpr std::uint8_t kTagOrderedBatch = 8;
 
 }  // namespace
 
@@ -44,6 +46,25 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
   } else if (const auto* a = std::get_if<HandshakeAck>(&message)) {
     w.u8(kTagHandshakeAck);
     w.u64(a->generation);
+  } else if (const auto* s = std::get_if<SafeTimeAnnounce>(&message)) {
+    w.u8(kTagSafeTimeAnnounce);
+    w.u32(s->node);
+    w.u64(s->epoch);
+    w.f64(s->next_safe_time.seconds());
+  } else if (const auto* o = std::get_if<OrderedBatch>(&message)) {
+    w.u8(kTagOrderedBatch);
+    w.u32(o->node);
+    w.u64(o->epoch);
+    w.u64(o->rank);
+    w.f64(o->safe_time.seconds());
+    w.f64(o->emitted_at.seconds());
+    w.u32(static_cast<std::uint32_t>(o->messages.size()));
+    for (const OrderedBatch::Entry& e : o->messages) {
+      w.u32(e.client.value());
+      w.u64(e.id.value());
+      w.f64(e.stamp.seconds());
+      w.f64(e.arrival.seconds());
+    }
   } else {
     TOMMY_ASSERT(false);
   }
@@ -104,6 +125,46 @@ std::optional<WireMessage> decode(const std::vector<std::uint8_t>& bytes) {
       const auto generation = r.u64();
       if (!generation || !r.exhausted()) return std::nullopt;
       return HandshakeAck{*generation};
+    }
+    case kTagSafeTimeAnnounce: {
+      const auto node = r.u32();
+      const auto epoch = r.u64();
+      const auto next_safe = r.f64();
+      if (!node || !epoch || !next_safe || !r.exhausted()) {
+        return std::nullopt;
+      }
+      return SafeTimeAnnounce{*node, *epoch, TimePoint(*next_safe)};
+    }
+    case kTagOrderedBatch: {
+      const auto node = r.u32();
+      const auto epoch = r.u64();
+      const auto rank = r.u64();
+      const auto safe_time = r.f64();
+      const auto emitted_at = r.f64();
+      const auto count = r.u32();
+      if (!node || !epoch || !rank.has_value() || !safe_time || !emitted_at
+          || !count) {
+        return std::nullopt;
+      }
+      OrderedBatch batch;
+      batch.node = *node;
+      batch.epoch = *epoch;
+      batch.rank = *rank;
+      batch.safe_time = TimePoint(*safe_time);
+      batch.emitted_at = TimePoint(*emitted_at);
+      batch.messages.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto client = r.u32();
+        const auto id = r.u64();
+        const auto stamp = r.f64();
+        const auto arrival = r.f64();
+        if (!client || !id || !stamp || !arrival) return std::nullopt;
+        batch.messages.push_back(OrderedBatch::Entry{
+            ClientId(*client), MessageId(*id), TimePoint(*stamp),
+            TimePoint(*arrival)});
+      }
+      if (!r.exhausted()) return std::nullopt;
+      return batch;
     }
     default:
       return std::nullopt;

@@ -76,9 +76,56 @@ struct HandshakeAck {
   friend bool operator==(const HandshakeAck&, const HandshakeAck&) = default;
 };
 
+/// Shard node -> merge tier: safe-time gossip. The node promises (to the
+/// same probabilistic degree the in-process kGlobalMerge holdback
+/// promises — see DrainPolicy::kGlobalMerge's caveats) that its next
+/// emitted batch will carry safe_time >= next_safe_time; the merge node
+/// gates its cross-node release on min(next_safe_time) over peers.
+/// `epoch` is the node's incarnation number: a restarted node announces
+/// with a higher epoch, telling the merge to reset its per-node rank
+/// expectations (the restart/resume protocol in docs/architecture.md).
+struct SafeTimeAnnounce {
+  std::uint32_t node{0};
+  std::uint64_t epoch{0};
+  TimePoint next_safe_time{};
+
+  friend bool operator==(const SafeTimeAnnounce&,
+                         const SafeTimeAnnounce&) = default;
+};
+
+/// Shard node -> merge tier: one emitted batch with full ordering
+/// metadata. Unlike BatchEmission (sequencer -> subscriber, ids only),
+/// the merge tier re-orders across nodes and re-emits, so each record
+/// carries everything an EmissionRecord holds: the gating safe time T_b,
+/// the emission instant, and per-message client/stamp/arrival — enough
+/// for the released global stream to be bit-comparable to a
+/// single-process kGlobalMerge drain. `rank` is dense from 0 per
+/// (node, epoch); the merge detects drops as rank gaps and replayed
+/// frames (a node re-serving its retained stream to a reconnecting
+/// subscriber) as already-accepted ranks.
+struct OrderedBatch {
+  struct Entry {
+    ClientId client;
+    MessageId id;
+    TimePoint stamp;
+    TimePoint arrival;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  std::uint32_t node{0};
+  std::uint64_t epoch{0};
+  Rank rank{0};
+  TimePoint safe_time{};
+  TimePoint emitted_at{};
+  std::vector<Entry> messages;
+
+  friend bool operator==(const OrderedBatch&, const OrderedBatch&) = default;
+};
+
 using WireMessage = std::variant<DistributionAnnouncement, TimestampedMessage,
                                  Heartbeat, BatchEmission, ReconfigPending,
-                                 HandshakeAck>;
+                                 HandshakeAck, SafeTimeAnnounce, OrderedBatch>;
 
 /// Serializes any protocol message (1-byte tag + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode(const WireMessage& message);

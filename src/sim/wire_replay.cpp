@@ -59,9 +59,44 @@ bool WireTrace::save(const std::string& path) const {
   return std::fclose(file) == 0 && ok;
 }
 
+const char* to_string(TraceError error) {
+  switch (error) {
+    case TraceError::kNone:
+      return "none";
+    case TraceError::kIoError:
+      return "I/O error";
+    case TraceError::kBadMagic:
+      return "bad magic";
+    case TraceError::kBadVersion:
+      return "unsupported version";
+    case TraceError::kTruncated:
+      return "truncated";
+    case TraceError::kBadEventKind:
+      return "unknown event kind";
+    case TraceError::kConnectionOutOfRange:
+      return "connection index out of range";
+    case TraceError::kTrailingGarbage:
+      return "trailing garbage";
+  }
+  return "unknown";
+}
+
 std::optional<WireTrace> WireTrace::load(const std::string& path) {
+  TraceError error = TraceError::kNone;
+  return load(path, &error);
+}
+
+std::optional<WireTrace> WireTrace::load(const std::string& path,
+                                         TraceError* error) {
+  TOMMY_EXPECTS(error != nullptr);
+  const auto fail = [error](TraceError reason) -> std::optional<WireTrace> {
+    *error = reason;
+    return std::nullopt;
+  };
+  *error = TraceError::kNone;
+
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
+  if (file == nullptr) return fail(TraceError::kIoError);
   std::vector<std::uint8_t> bytes;
   std::uint8_t buffer[4096];
   while (true) {
@@ -71,17 +106,21 @@ std::optional<WireTrace> WireTrace::load(const std::string& path) {
   }
   const bool read_ok = std::ferror(file) == 0;
   std::fclose(file);
-  if (!read_ok) return std::nullopt;
+  if (!read_ok) return fail(TraceError::kIoError);
 
   net::ByteReader r(bytes);
   for (char c : kMagic) {
     const auto got = r.u8();
-    if (!got || *got != static_cast<std::uint8_t>(c)) return std::nullopt;
+    if (!got) return fail(TraceError::kTruncated);
+    if (*got != static_cast<std::uint8_t>(c)) {
+      return fail(TraceError::kBadMagic);
+    }
   }
   const auto version = r.u32();
-  if (!version || *version != kVersion) return std::nullopt;
+  if (!version) return fail(TraceError::kTruncated);
+  if (*version != kVersion) return fail(TraceError::kBadVersion);
   const auto count = r.u64();
-  if (!count) return std::nullopt;
+  if (!count) return fail(TraceError::kTruncated);
 
   WireTrace trace;
   trace.events.reserve(static_cast<std::size_t>(
@@ -91,26 +130,28 @@ std::optional<WireTrace> WireTrace::load(const std::string& path) {
     const auto kind = r.u8();
     const auto connection = r.u32();
     const auto at = r.f64();
-    if (!kind || !connection || !at) return std::nullopt;
-    if (*connection >= kMaxTraceConnections) return std::nullopt;
+    if (!kind || !connection || !at) return fail(TraceError::kTruncated);
+    if (*connection >= kMaxTraceConnections) {
+      return fail(TraceError::kConnectionOutOfRange);
+    }
     if (*kind < static_cast<std::uint8_t>(WireTraceEvent::Kind::kConnect)
         || *kind > static_cast<std::uint8_t>(
                WireTraceEvent::Kind::kDisconnect)) {
-      return std::nullopt;
+      return fail(TraceError::kBadEventKind);
     }
     event.kind = static_cast<WireTraceEvent::Kind>(*kind);
     event.connection = *connection;
     event.at = *at;
     if (event.kind == WireTraceEvent::Kind::kSend) {
       const auto len = r.u32();
-      if (!len) return std::nullopt;
+      if (!len) return fail(TraceError::kTruncated);
       auto payload = r.raw(*len);
-      if (!payload) return std::nullopt;
+      if (!payload) return fail(TraceError::kTruncated);
       event.bytes = std::move(*payload);
     }
     trace.events.push_back(std::move(event));
   }
-  if (!r.exhausted()) return std::nullopt;  // trailing garbage
+  if (!r.exhausted()) return fail(TraceError::kTrailingGarbage);
   return trace;
 }
 

@@ -58,6 +58,32 @@ struct WireTraceEvent {
       = default;
 };
 
+/// Why a trace file failed to load. A bare nullopt told callers nothing
+/// — in particular, a trace whose event kind byte is from a NEWER format
+/// (or plain corrupt) looked identical to a missing file; with the typed
+/// error a tool can say "this trace was written by a newer recorder"
+/// instead of silently dropping the workload.
+enum class TraceError : std::uint8_t {
+  kNone,
+  /// open(2)/read failure.
+  kIoError,
+  /// The file does not start with "TMWR".
+  kBadMagic,
+  /// Magic matched but the version is not the one this reader speaks.
+  kBadVersion,
+  /// The file ended mid-header or mid-event.
+  kTruncated,
+  /// An event kind byte outside the known range (a newer or corrupt
+  /// trace; there is no resync point after one).
+  kBadEventKind,
+  /// An event named a connection index ≥ kMaxTraceConnections.
+  kConnectionOutOfRange,
+  /// Bytes remained after the declared event count.
+  kTrailingGarbage,
+};
+
+[[nodiscard]] const char* to_string(TraceError error);
+
 struct WireTrace {
   std::vector<WireTraceEvent> events;
 
@@ -71,6 +97,10 @@ struct WireTrace {
   /// Parses a trace file; nullopt on I/O failure or a malformed file
   /// (bad magic/version, truncation).
   [[nodiscard]] static std::optional<WireTrace> load(const std::string& path);
+  /// load with the failure reason reported through `error` (kNone on
+  /// success; `error` must be non-null).
+  [[nodiscard]] static std::optional<WireTrace> load(const std::string& path,
+                                                     TraceError* error);
 
   friend bool operator==(const WireTrace&, const WireTrace&) = default;
 };

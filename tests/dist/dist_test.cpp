@@ -1,0 +1,370 @@
+// Unit coverage for the dist tier's moving parts in isolation — the
+// topology partition identity, the merge node's per-peer protocol state
+// machine (duplicates, gaps, epochs, the frontier gate), and the relay
+// splice — over in-process pipes; the end-to-end topology proof lives in
+// multinode_soak_test.cpp.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+#include "dist/merge_node.hpp"
+#include "dist/shard_node.hpp"
+#include "dist/topology.hpp"
+#include "net/framing.hpp"
+#include "../net/wire_test_util.hpp"
+
+namespace tommy::dist {
+namespace {
+
+using namespace tommy::net::testing;
+using net::ByteStream;
+using net::DistributionAnnouncement;
+using net::OrderedBatch;
+using net::SafeTimeAnnounce;
+using net::WireMessage;
+using net::encode_frame;
+using net::make_pipe_pair;
+
+// ── Topology ────────────────────────────────────────────────────────────
+
+TEST(Topology, DefaultPartitionMatchesOracleService) {
+  // The whole equivalence story rests on this identity: Topology's
+  // default client→node map must equal the shard map a shard_count = N
+  // service builds over the same clients.
+  for (std::uint32_t nodes : {1u, 2u, 3u, 4u}) {
+    const std::uint32_t clients = 7;
+    core::ClientRegistry registry = make_registry(clients);
+    core::FairOrderingService service(
+        registry, ids(clients), core::ServiceConfig{}.with_shards(nodes));
+    Topology topology(std::vector<NodeEndpoints>(nodes), ids(clients));
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      EXPECT_EQ(topology.node_for(ClientId(c)), service.shard_of(ClientId(c)))
+          << "client " << c << " with " << nodes << " nodes";
+    }
+  }
+}
+
+TEST(Topology, PartitionsPreserveClientOrderAndCoverEveryClient) {
+  const std::uint32_t clients = 9;
+  Topology topology(std::vector<NodeEndpoints>(3), ids(clients));
+  std::size_t covered = 0;
+  const auto parts = topology.partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    EXPECT_EQ(parts[node], topology.partition(node));
+    for (std::size_t i = 1; i < parts[node].size(); ++i) {
+      EXPECT_LT(parts[node][i - 1].value(), parts[node][i].value());
+    }
+    for (ClientId c : parts[node]) {
+      EXPECT_EQ(topology.node_for(c), node);
+    }
+    covered += parts[node].size();
+  }
+  EXPECT_EQ(covered, clients);
+}
+
+// ── MergeNode protocol state machine ────────────────────────────────────
+
+OrderedBatch make_batch(std::uint32_t node, std::uint64_t epoch, Rank rank,
+                        double safe_time) {
+  OrderedBatch batch;
+  batch.node = node;
+  batch.epoch = epoch;
+  batch.rank = rank;
+  batch.safe_time = TimePoint(safe_time);
+  batch.emitted_at = TimePoint(safe_time + 0.25);
+  batch.messages = {OrderedBatch::Entry{
+      ClientId(node), MessageId(rank), TimePoint(safe_time - 0.5),
+      TimePoint(safe_time - 0.25)}};
+  return batch;
+}
+
+std::vector<std::uint8_t> announce_of(std::uint32_t node, std::uint64_t epoch,
+                                      double next_safe) {
+  return encode_frame(
+      WireMessage(SafeTimeAnnounce{node, epoch, TimePoint(next_safe)}));
+}
+
+struct MergeHarness {
+  MergeNode merge;
+  std::vector<std::shared_ptr<ByteStream>> uplinks;
+
+  explicit MergeHarness(std::uint32_t nodes) : merge(nodes) {
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      auto [node_end, merge_end] = make_pipe_pair();
+      merge.attach(n, merge_end);
+      uplinks.push_back(node_end);
+    }
+  }
+
+  void send(std::uint32_t node, const std::vector<std::uint8_t>& frame) {
+    ASSERT_TRUE(uplinks[node]->write_all(frame));
+  }
+
+  void sync(std::uint32_t node, std::uint64_t epoch) {
+    // A trailing announce with an unmistakable frontier doubles as a
+    // FIFO barrier: once applied, everything sent before it has been
+    // handled too.
+    const std::uint64_t target = merge.peer(node).announces + 1;
+    send(node, announce_of(node, epoch, 1e9));
+    ASSERT_TRUE(merge.wait_for_announces(node, target, 5000));
+  }
+};
+
+TEST(MergeNode, AcceptsDenseRanksAndDropsReplayedPrefix) {
+  MergeHarness h(1);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 1, 2.0))));
+  // A restarted incarnation replays rank 0 and 1, then continues with 2.
+  h.send(0, encode_frame(WireMessage(make_batch(0, 1, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 1, 1, 2.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 1, 2, 3.0))));
+  h.sync(0, 1);
+
+  const MergePeerStats stats = h.merge.peer(0);
+  EXPECT_EQ(stats.error, MergeError::kNone);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(h.merge.held_count(), 3u);
+}
+
+TEST(MergeNode, RankGapIsATypedProtocolError) {
+  MergeHarness h(1);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 2, 3.0))));
+  ASSERT_TRUE(eventually(
+      [&] { return h.merge.peer(0).error == MergeError::kRankGap; }));
+  const MergePeerStats stats = h.merge.peer(0);
+  EXPECT_FALSE(stats.connected);
+  EXPECT_EQ(stats.accepted, 1u);
+  // A failed peer pins the gate: nothing releases past a broken stream.
+  EXPECT_EQ(h.merge.release(), 0u);
+}
+
+TEST(MergeNode, StaleEpochFramesAreDropped) {
+  MergeHarness h(1);
+  h.send(0, announce_of(0, 2, 5.0));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 1, 0, 1.0))));
+  h.send(0, announce_of(0, 1, 9.0));
+  h.sync(0, 2);
+  const MergePeerStats stats = h.merge.peer(0);
+  EXPECT_EQ(stats.error, MergeError::kNone);
+  EXPECT_EQ(stats.epoch, 2u);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.stale, 2u);
+  // The stale announce must not have moved the frontier.
+  EXPECT_EQ(stats.next_safe, TimePoint(1e9));
+}
+
+TEST(MergeNode, UnexpectedFrameKindIsATypedError) {
+  MergeHarness h(1);
+  h.send(0, encode_frame(WireMessage(net::Heartbeat{ClientId(1),
+                                                    TimePoint(1.0)})));
+  ASSERT_TRUE(eventually(
+      [&] { return h.merge.peer(0).error == MergeError::kUnexpectedFrame; }));
+}
+
+TEST(MergeNode, SilentPeerPinsTheGate) {
+  MergeHarness h(2);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.sync(0, 0);
+  // Peer 1 has never announced: the gate is −infinity, nothing moves.
+  EXPECT_EQ(h.merge.gate(),
+            TimePoint(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(h.merge.release(), 0u);
+  // Peer 1 speaks: the gate jumps to min(1e9, 3.0) and the held record
+  // (safe_time 1.0 < 3.0) releases.
+  h.send(1, announce_of(1, 0, 3.0));
+  ASSERT_TRUE(h.merge.wait_for_announces(1, 1, 5000));
+  EXPECT_EQ(h.merge.gate(), TimePoint(3.0));
+  EXPECT_EQ(h.merge.release(), 1u);
+  EXPECT_EQ(h.merge.released_count(), 1u);
+}
+
+TEST(MergeNode, DisconnectedPeerRevertsToBlocking) {
+  MergeHarness h(2);
+  h.sync(0, 0);
+  h.send(1, announce_of(1, 0, 3.0));
+  ASSERT_TRUE(h.merge.wait_for_announces(1, 1, 5000));
+  EXPECT_EQ(h.merge.gate(), TimePoint(3.0));
+  // Peer 1 goes away: its frontier promise dies with the connection.
+  h.uplinks[1]->close_write();
+  ASSERT_TRUE(eventually([&] { return !h.merge.peer(1).connected; }));
+  EXPECT_EQ(h.merge.gate(),
+            TimePoint(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(h.merge.release(), 0u);
+}
+
+TEST(MergeNode, ReleasesInSafeTimeNodeRankOrder) {
+  MergeHarness h(2);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 2.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 1, 4.0))));
+  h.send(1, encode_frame(WireMessage(make_batch(1, 0, 0, 1.0))));
+  h.send(1, encode_frame(WireMessage(make_batch(1, 0, 1, 2.0))));
+  h.sync(0, 0);
+  h.sync(1, 0);
+  // Gate is far out: everything releases, in (safe_time, node, rank)
+  // order — the tie at safe_time 2.0 breaks on node index.
+  EXPECT_EQ(h.merge.release(), 4u);
+  const auto released = h.merge.released();
+  ASSERT_EQ(released.size(), 4u);
+  EXPECT_EQ(released[0].node, 1u);
+  EXPECT_EQ(released[0].rank, 0u);
+  EXPECT_EQ(released[1].node, 0u);  // safe_time 2.0 tie: node 0 first
+  EXPECT_EQ(released[1].rank, 0u);
+  EXPECT_EQ(released[2].node, 1u);
+  EXPECT_EQ(released[2].rank, 1u);
+  EXPECT_EQ(released[3].node, 0u);
+  EXPECT_EQ(released[3].rank, 1u);
+}
+
+TEST(MergeNode, StrictGateHoldsRecordAtExactFrontier) {
+  MergeHarness h(1);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 2.0))));
+  h.send(0, announce_of(0, 0, 2.0));
+  ASSERT_TRUE(h.merge.wait_for_announces(0, 1, 5000));
+  // release_merged's gate is strict: safe_time < frontier, not <=.
+  EXPECT_EQ(h.merge.release(), 0u);
+  EXPECT_EQ(h.merge.held_count(), 1u);
+  // flush ignores the gate.
+  EXPECT_EQ(h.merge.flush(), 1u);
+  EXPECT_EQ(h.merge.held_count(), 0u);
+}
+
+// ── RelaySet (over in-process pipes) ────────────────────────────────────
+
+TEST(RelaySet, SplicesHandshakeAndTrafficBothWays) {
+  auto [relay_up_end, upstream_end] = make_pipe_pair();
+  net::RelaySet relays(
+      [&, up = relay_up_end](const DistributionAnnouncement& announcement)
+          -> std::shared_ptr<ByteStream> {
+        EXPECT_EQ(announcement.client, ClientId(2));
+        return up;
+      });
+  auto [client_end, relay_down_end] = make_pipe_pair();
+  relays.adopt(relay_down_end);
+
+  // Client writes its announce plus a coalesced message frame.
+  auto bytes = announce_frame(2);
+  const auto extra = message_frame(2, 7, 1.0);
+  bytes.insert(bytes.end(), extra.begin(), extra.end());
+  ASSERT_TRUE(client_end->write_all(bytes));
+
+  // The upstream must observe the exact byte stream the client wrote.
+  std::vector<std::uint8_t> got;
+  std::vector<std::uint8_t> chunk(4096);
+  while (got.size() < bytes.size()) {
+    const auto n = upstream_end->read_some(chunk);
+    ASSERT_TRUE(n.has_value());
+    ASSERT_GT(*n, 0u);
+    got.insert(got.end(), chunk.begin(),
+               chunk.begin() + static_cast<std::ptrdiff_t>(*n));
+  }
+  EXPECT_EQ(got, bytes);
+
+  // Backward direction: upstream frames reach the client.
+  const auto ack = encode_frame(WireMessage(net::HandshakeAck{1}));
+  ASSERT_TRUE(upstream_end->write_all(ack));
+  std::vector<std::uint8_t> back(ack.size());
+  std::size_t read = 0;
+  while (read < back.size()) {
+    const auto n = client_end->read_some(
+        std::span<std::uint8_t>(back.data() + read, back.size() - read));
+    ASSERT_TRUE(n.has_value());
+    ASSERT_GT(*n, 0u);
+    read += *n;
+  }
+  EXPECT_EQ(back, ack);
+
+  EXPECT_EQ(relays.adopted_total(), 1u);
+  EXPECT_EQ(relays.handshake_failures(), 0u);
+  relays.stop();
+}
+
+TEST(RelaySet, DropsDownstreamWhoseFirstFrameIsNotAnAnnouncement) {
+  net::RelaySet relays([](const DistributionAnnouncement&)
+                           -> std::shared_ptr<ByteStream> {
+    ADD_FAILURE() << "dial must not run without a handshake";
+    return nullptr;
+  });
+  auto [client_end, relay_down_end] = make_pipe_pair();
+  relays.adopt(relay_down_end);
+  ASSERT_TRUE(client_end->write_all(message_frame(1, 1, 1.0)));
+  ASSERT_TRUE(eventually([&] { return relays.handshake_failures() == 1; }));
+  // The downstream is torn down: reads drain to EOF.
+  std::vector<std::uint8_t> chunk(16);
+  const auto n = client_end->read_some(chunk);
+  EXPECT_TRUE(!n.has_value() || *n == 0);
+  relays.stop();
+}
+
+TEST(RelaySet, CountsDialFailuresAndDropsTheDownstream) {
+  net::RelaySet relays([](const DistributionAnnouncement&)
+                           -> std::shared_ptr<ByteStream> { return nullptr; });
+  auto [client_end, relay_down_end] = make_pipe_pair();
+  relays.adopt(relay_down_end);
+  ASSERT_TRUE(client_end->write_all(announce_frame(1)));
+  ASSERT_TRUE(eventually([&] { return relays.dial_failures() == 1; }));
+  EXPECT_EQ(relays.handshake_failures(), 0u);
+  relays.stop();
+}
+
+TEST(RelaySet, UpstreamDeathTearsTheDownstreamDown) {
+  auto [relay_up_end, upstream_end] = make_pipe_pair();
+  net::RelaySet relays(
+      [up = relay_up_end](const DistributionAnnouncement&) { return up; });
+  auto [client_end, relay_down_end] = make_pipe_pair();
+  relays.adopt(relay_down_end);
+  ASSERT_TRUE(client_end->write_all(announce_frame(1)));
+  // Wait until the splice is up (upstream saw the handshake), then kill
+  // the upstream: the client's connection must die too, so it
+  // reconnects instead of writing into a void.
+  std::vector<std::uint8_t> chunk(4096);
+  ASSERT_TRUE(upstream_end->read_some(chunk).has_value());
+  upstream_end->shutdown();
+  ASSERT_TRUE(eventually([&] {
+    const auto n = client_end->read_some(chunk);
+    return !n.has_value() || *n == 0;
+  }));
+  relays.stop();
+}
+
+// ── ShardNode uplink basics ─────────────────────────────────────────────
+
+TEST(ShardNode, LateSubscriberReplaysTheFullRetainedStream) {
+  const std::uint32_t clients = 2;
+  core::ClientRegistry registry = make_registry(clients);
+  ShardNodeConfig config;
+  config.node = 0;
+  config.frontend = test_frontend_config();
+  ShardNode node(registry, ids(clients), config);
+  const std::string uplink_path = fresh_unix_path();
+  ASSERT_TRUE(node.listen_uplink_unix(uplink_path));
+
+  // Drive ingest directly through the service (in-process), then pump.
+  {
+    auto session = node.service().open_session(ClientId(0));
+    session.submit(TimePoint(1.0), MessageId(1), TimePoint(1.0005));
+    session.heartbeat(TimePoint(1.2), TimePoint(1.2005));
+    auto other = node.service().open_session(ClientId(1));
+    other.heartbeat(TimePoint(1.2), TimePoint(1.2005));
+  }
+  node.pump(TimePoint(2.0));
+  EXPECT_EQ(node.announces_published(), 1u);
+  const std::size_t retained = node.frames_retained();
+  EXPECT_GE(retained, 2u);  // ≥1 batch + 1 announce
+
+  // A merge connecting AFTER the pump must still see everything.
+  MergeNode merge(1);
+  ASSERT_TRUE(merge.connect_unix(0, uplink_path));
+  ASSERT_TRUE(merge.wait_for_announces(0, 1, 5000));
+  EXPECT_EQ(merge.peer(0).accepted, retained - 1);
+  EXPECT_EQ(merge.flush(), retained - 1);
+  merge.stop();
+  node.stop();
+}
+
+}  // namespace
+}  // namespace tommy::dist

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <thread>
 
 #include "wire_test_util.hpp"
@@ -431,6 +432,94 @@ TEST(FrameFrontendLifecycle, LingerKeepsServingUntilWritesFail) {
   EXPECT_FALSE(frontend.has_connection(id_a));
   EXPECT_EQ(frontend.tracked_connection_count(), 1u);  // B lives on
   frontend.stop();
+}
+
+// ── Connect retry (bounded transient backoff) ───────────────────────────
+
+/// A RetryPolicy whose sleeps are recorded instead of slept, so the
+/// backoff schedule is observable and the tests run in microseconds.
+struct RecordedRetry {
+  RetryPolicy policy;
+  std::vector<std::chrono::microseconds> slept;
+
+  explicit RecordedRetry(int attempts) {
+    policy.attempts = attempts;
+    policy.sleep = [this](std::chrono::microseconds d) {
+      slept.push_back(d);
+    };
+  }
+};
+
+TEST(ConnectRetry, DelayScheduleIsExponentialWithCap) {
+  RetryPolicy policy;
+  policy.base_delay = std::chrono::microseconds(100);
+  policy.multiplier = 2.0;
+  policy.max_delay = std::chrono::microseconds(500);
+  EXPECT_EQ(policy.delay_for(0), std::chrono::microseconds(100));
+  EXPECT_EQ(policy.delay_for(1), std::chrono::microseconds(200));
+  EXPECT_EQ(policy.delay_for(2), std::chrono::microseconds(400));
+  EXPECT_EQ(policy.delay_for(3), std::chrono::microseconds(500));  // capped
+  EXPECT_EQ(policy.delay_for(10), std::chrono::microseconds(500));
+}
+
+TEST(ConnectRetry, UnixConnectSurvivesTheServerStartupRace) {
+  // The socket file does not exist yet (ENOENT — transient for unix):
+  // the server comes up from inside the retry's first backoff, exactly
+  // the multi-process startup race the policy exists for.
+  const std::string path = fresh_unix_path();
+  ClientRegistry registry = make_registry(1);
+  FairOrderingService service(registry, ids(1), ServiceConfig{});
+  FrameServer server(registry, service, test_server_config());
+
+  RecordedRetry retry(/*attempts=*/10);
+  auto base_sleep = retry.policy.sleep;
+  retry.policy.sleep = [&](std::chrono::microseconds d) {
+    if (retry.slept.empty()) {
+      ASSERT_TRUE(server.listen_unix(path));
+    }
+    base_sleep(d);
+  };
+  auto stream = connect_unix(path, retry.policy);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_GE(retry.slept.size(), 1u);
+  server.stop();
+}
+
+TEST(ConnectRetry, NonTransientUnixFailureDoesNotRetry) {
+  // A path component that is a regular file fails with ENOTDIR — no
+  // amount of waiting fixes that, so the policy must not burn attempts.
+  const std::string file = fresh_unix_path();
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  RecordedRetry retry(/*attempts=*/10);
+  EXPECT_EQ(connect_unix(file + "/sub.sock", retry.policy), nullptr);
+  EXPECT_TRUE(retry.slept.empty());
+  std::remove(file.c_str());
+}
+
+TEST(ConnectRetry, RefusedTcpConnectExhaustsExactlyTheBudget) {
+  // Grab a port the kernel just released: connecting to it refuses
+  // (transient class), so the client backs off between each of its 3
+  // attempts — 2 recorded sleeps — then reports failure.
+  std::uint16_t dead_port;
+  {
+    ClientRegistry registry = make_registry(1);
+    FairOrderingService service(registry, ids(1), ServiceConfig{});
+    FrameServer server(registry, service, test_server_config());
+    ASSERT_TRUE(server.listen_tcp(0));
+    dead_port = server.port();
+    server.stop();
+  }
+  RecordedRetry retry(/*attempts=*/3);
+  EXPECT_EQ(connect_tcp(dead_port, retry.policy), nullptr);
+  EXPECT_EQ(retry.slept.size(), 2u);
+}
+
+TEST(ConnectRetry, MissingUnixSocketExhaustsExactlyTheBudget) {
+  RecordedRetry retry(/*attempts=*/4);
+  EXPECT_EQ(connect_unix(fresh_unix_path(), retry.policy), nullptr);
+  EXPECT_EQ(retry.slept.size(), 3u);
 }
 
 }  // namespace

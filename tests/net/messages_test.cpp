@@ -103,6 +103,65 @@ TEST(Codec, HandshakeAckRoundTrip) {
   EXPECT_EQ(std::get<HandshakeAck>(*decoded), a);
 }
 
+TEST(Codec, SafeTimeAnnounceRoundTrip) {
+  const SafeTimeAnnounce s{3, 7, TimePoint(1.0625)};
+  const auto decoded = decode(encode(s));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<SafeTimeAnnounce>(*decoded));
+  EXPECT_EQ(std::get<SafeTimeAnnounce>(*decoded), s);
+}
+
+TEST(Codec, SafeTimeAnnounceInfiniteFrontierRoundTrip) {
+  // An idle shard's frontier is infinite; the f64 codec must carry it.
+  const SafeTimeAnnounce s{0, 0, TimePoint::infinite_future()};
+  const auto decoded = decode(encode(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SafeTimeAnnounce>(*decoded), s);
+}
+
+TEST(Codec, OrderedBatchRoundTrip) {
+  OrderedBatch b;
+  b.node = 2;
+  b.epoch = 5;
+  b.rank = 40;
+  b.safe_time = TimePoint(1.5e-3);
+  b.emitted_at = TimePoint(2.25);
+  b.messages = {
+      OrderedBatch::Entry{ClientId(1), MessageId(10), TimePoint(1.0),
+                          TimePoint(1.0005)},
+      OrderedBatch::Entry{ClientId(3), MessageId(1ULL << 60),
+                          TimePoint(1.0001), TimePoint(1.0006)},
+  };
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<OrderedBatch>(*decoded));
+  EXPECT_EQ(std::get<OrderedBatch>(*decoded), b);
+}
+
+TEST(Codec, EmptyOrderedBatchRoundTrip) {
+  OrderedBatch b;
+  b.node = 0;
+  b.epoch = 0;
+  b.rank = 0;
+  b.safe_time = TimePoint(0.5);
+  b.emitted_at = TimePoint(0.75);
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<OrderedBatch>(*decoded).messages.empty());
+}
+
+TEST(Codec, OrderedBatchCountMismatchRejected) {
+  OrderedBatch b;
+  b.rank = 1;
+  b.messages = {OrderedBatch::Entry{ClientId(1), MessageId(2),
+                                    TimePoint(3.0), TimePoint(4.0)}};
+  auto bytes = encode(b);
+  // Count field sits after tag(1) + node(4) + epoch(8) + rank(8) +
+  // safe_time(8) + emitted_at(8) = offset 37; claim 2 entries, provide 1.
+  bytes[37] = 2;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
 TEST(Codec, RejectsMalformedInput) {
   EXPECT_FALSE(decode({}).has_value());
   EXPECT_FALSE(decode({0xFF, 0x00}).has_value());  // unknown tag
@@ -114,7 +173,16 @@ TEST(Codec, RejectsMalformedInput) {
         WireMessage(Heartbeat{ClientId(1), TimePoint(2.0)}),
         WireMessage(BatchEmission{4, {MessageId(1)}}),
         WireMessage(ReconfigPending{9}),
-        WireMessage(HandshakeAck{11})}) {
+        WireMessage(HandshakeAck{11}),
+        WireMessage(SafeTimeAnnounce{1, 2, TimePoint(3.0)}),
+        WireMessage(OrderedBatch{
+            1,
+            2,
+            3,
+            TimePoint(4.0),
+            TimePoint(5.0),
+            {OrderedBatch::Entry{ClientId(6), MessageId(7), TimePoint(8.0),
+                                 TimePoint(9.0)}}})}) {
     auto bytes = encode(m);
     bytes.pop_back();
     EXPECT_FALSE(decode(bytes).has_value());
@@ -148,6 +216,18 @@ TEST(Codec, EveryPrefixOfEveryCodecIsRejected) {
       WireMessage(BatchEmission{0, {}}),
       WireMessage(ReconfigPending{1ULL << 40}),
       WireMessage(HandshakeAck{3}),
+      WireMessage(SafeTimeAnnounce{9, 1ULL << 33, TimePoint(1.25)}),
+      WireMessage(OrderedBatch{
+          2,
+          1,
+          17,
+          TimePoint(1.5e-3),
+          TimePoint(2.25),
+          {OrderedBatch::Entry{ClientId(1), MessageId(10), TimePoint(1.0),
+                               TimePoint(1.0005)},
+           OrderedBatch::Entry{ClientId(3), MessageId(1ULL << 60),
+                               TimePoint(1.0001), TimePoint(1.0006)}}}),
+      WireMessage(OrderedBatch{0, 0, 0, TimePoint(0.5), TimePoint(0.75), {}}),
   };
   for (std::size_t sample = 0; sample < samples.size(); ++sample) {
     const auto bytes = encode(samples[sample]);

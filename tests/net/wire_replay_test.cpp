@@ -209,5 +209,111 @@ TEST(WireReplay, ReplayedEmissionsAreBitIdenticalToTheRecordedRun) {
   }
 }
 
+// ── Typed load errors & dist-frame traces ───────────────────────────────
+
+std::vector<std::uint8_t> file_bytes(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  if (f == nullptr) return bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    bytes.push_back(static_cast<std::uint8_t>(c));
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TraceError load_error(const std::string& path) {
+  TraceError error = TraceError::kNone;
+  const auto trace = WireTrace::load(path, &error);
+  EXPECT_EQ(trace.has_value(), error == TraceError::kNone);
+  return error;
+}
+
+TEST(WireTrace, DistFramesRoundTripThroughATraceFile) {
+  // The uplink protocol's frames (SafeTimeAnnounce, OrderedBatch) are
+  // recordable wire traffic like any other — a merge-side capture must
+  // survive the save/load round trip byte for byte.
+  WireTraceRecorder recorder;
+  recorder.connect(0, 1.0);
+  recorder.send(0, 1.05,
+                net::WireMessage(net::SafeTimeAnnounce{2, 1, TimePoint(1.04)}));
+  net::OrderedBatch batch;
+  batch.node = 2;
+  batch.epoch = 1;
+  batch.rank = 3;
+  batch.safe_time = TimePoint(1.03);
+  batch.emitted_at = TimePoint(1.05);
+  batch.messages = {net::OrderedBatch::Entry{
+      ClientId(4), MessageId(44), TimePoint(1.0), TimePoint(1.0005)}};
+  recorder.send(0, 1.06, net::WireMessage(batch));
+  recorder.disconnect(0, 1.1);
+  const WireTrace trace = recorder.take();
+
+  const std::string path = fresh_trace_path();
+  ASSERT_TRUE(trace.save(path));
+  ASSERT_EQ(load_error(path), TraceError::kNone);
+  const auto loaded = WireTrace::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, trace);
+  std::remove(path.c_str());
+}
+
+TEST(WireTrace, LoadReportsEveryFailureClassByName) {
+  const std::string path = fresh_trace_path();
+  EXPECT_EQ(load_error(path), TraceError::kIoError);  // missing file
+
+  write_file(path, {'N', 'O', 'P', 'E'});
+  EXPECT_EQ(load_error(path), TraceError::kBadMagic);
+  write_file(path, {'T', 'M'});
+  EXPECT_EQ(load_error(path), TraceError::kTruncated);  // mid-magic
+
+  // A small valid file to mutate. Layout: magic(4) version(4) count(8)
+  // then per event kind(1) connection(4) at(8) [len(4) bytes].
+  const auto workload = make_workload(1, 3, /*seed=*/9);
+  ASSERT_TRUE(record_workload(workload).save(path));
+  const std::vector<std::uint8_t> good = file_bytes(path);
+  ASSERT_EQ(load_error(path), TraceError::kNone);
+
+  auto mutated = good;
+  mutated[4] = 0xFE;  // version little-endian low byte
+  write_file(path, mutated);
+  EXPECT_EQ(load_error(path), TraceError::kBadVersion);
+
+  mutated = good;
+  mutated[16] = 0x7F;  // first event's kind byte
+  write_file(path, mutated);
+  EXPECT_EQ(load_error(path), TraceError::kBadEventKind);
+
+  mutated = good;
+  mutated.resize(good.size() - 3);  // ends mid-event
+  write_file(path, mutated);
+  EXPECT_EQ(load_error(path), TraceError::kTruncated);
+
+  mutated = good;
+  mutated.push_back(0xAA);
+  write_file(path, mutated);
+  EXPECT_EQ(load_error(path), TraceError::kTrailingGarbage);
+
+  WireTrace absurd;
+  absurd.events.push_back(WireTraceEvent{WireTraceEvent::Kind::kConnect,
+                                         kMaxTraceConnections, 1.0, {}});
+  ASSERT_TRUE(absurd.save(path));
+  EXPECT_EQ(load_error(path), TraceError::kConnectionOutOfRange);
+
+  EXPECT_STREQ(to_string(TraceError::kBadVersion), "unsupported version");
+  EXPECT_STREQ(to_string(TraceError::kNone), "none");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace tommy::sim
