@@ -1,10 +1,12 @@
 // Multi-node fair ordering: shard nodes + safe-time gossip + merge tier.
 //
 //   ./build/example_multinode                       # self-contained demo
+//   ./build/example_multinode failover              # replicated merge demo
 //   ./build/example_multinode shard --node 0 --nodes 2 --clients 6
-//        --messages 5000 --uplink-prefix /tmp/mn_up
+//        --messages 5000 --uplink-prefix /tmp/mn_up [--wait-subscribers W]
 //   ./build/example_multinode merge --nodes 2 --clients 6 --messages 5000
-//        --uplink-prefix /tmp/mn_up [--json out.json]
+//        --uplink-prefix /tmp/mn_up [--json out.json] [--standbys K]
+//        [--downlink PATH]
 //   ./build/example_multinode router --listen /tmp/mn_router.sock
 //        --nodes 2 --ingest-prefix /tmp/mn_in
 //
@@ -12,9 +14,14 @@
 // a router, a merge node, and real client connections over Unix sockets
 // — and checks the merged release stream bit for bit against the
 // single-process DrainPolicy::kGlobalMerge oracle over the same
-// workload. `shard` + `merge` are the two halves of
+// workload. The failover demo replicates the merge tier (primary + hot
+// standby + MergeSubscriber), kills the primary mid-schedule, and checks
+// that the subscriber's spliced stream still matches the oracle bit for
+// bit. `shard` + `merge` are the two halves of
 // scripts/bench_multinode.sh (N shard processes streaming uplinks into
-// one merge process, which reports MN_MergeIngest throughput).
+// one merge process, which reports MN_MergeIngest throughput;
+// --wait-subscribers / --standbys measure the cost of a standby replica
+// on the same uplinks).
 #include <unistd.h>
 
 #include <chrono>
@@ -29,6 +36,7 @@
 
 #include "common/rng.hpp"
 #include "dist/merge_node.hpp"
+#include "dist/merge_subscriber.hpp"
 #include "dist/shard_node.hpp"
 #include "dist/topology.hpp"
 #include "net/acceptor.hpp"
@@ -148,6 +156,15 @@ std::vector<TimePoint> poll_schedule() {
   return {TimePoint(1.05), TimePoint(1.2), TimePoint(1.5), TimePoint(2.5)};
 }
 
+// The failover demo pumps a denser schedule so the first frontier
+// releases only part of the workload — the primary dies with work still
+// held back, and the standby serves genuinely new batches after the
+// watermark splice (not just the replayed prefix).
+std::vector<TimePoint> failover_schedule() {
+  return {TimePoint(1.01), TimePoint(1.03), TimePoint(1.05),
+          TimePoint(1.2), TimePoint(2.5)};
+}
+
 // ── flag helpers ────────────────────────────────────────────────────────
 
 struct Args {
@@ -156,10 +173,13 @@ struct Args {
   std::uint32_t clients{6};
   int messages{12};
   std::uint64_t seed{42};
+  std::uint32_t wait_subscribers{1};
+  std::uint32_t standbys{0};
   std::string uplink_prefix;
   std::string ingest_prefix;
   std::string listen;
   std::string json;
+  std::string downlink;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -175,10 +195,13 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (flag == "--clients") args.clients = static_cast<std::uint32_t>(std::atoi(value));
     else if (flag == "--messages") args.messages = std::atoi(value);
     else if (flag == "--seed") args.seed = static_cast<std::uint64_t>(std::atoll(value));
+    else if (flag == "--wait-subscribers") args.wait_subscribers = static_cast<std::uint32_t>(std::atoi(value));
+    else if (flag == "--standbys") args.standbys = static_cast<std::uint32_t>(std::atoi(value));
     else if (flag == "--uplink-prefix") args.uplink_prefix = value;
     else if (flag == "--ingest-prefix") args.ingest_prefix = value;
     else if (flag == "--listen") args.listen = value;
     else if (flag == "--json") args.json = value;
+    else if (flag == "--downlink") args.downlink = value;
     else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -212,13 +235,16 @@ int run_shard(const Args& args) {
     return 1;
   }
 
-  // Wait for the merge subscriber before streaming, so the bench clock
-  // over on the merge side covers the whole uplink volume.
+  // Wait for every merge subscriber (primary + standbys) before
+  // streaming, so the bench clock over on the merge side covers the
+  // whole uplink volume.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(60);
-  while (node.subscriber_count() == 0) {
+  while (node.subscriber_count() < args.wait_subscribers) {
     if (std::chrono::steady_clock::now() > deadline) {
-      std::fprintf(stderr, "shard %u: no merge subscriber\n", args.node);
+      std::fprintf(stderr, "shard %u: %zu/%u merge subscribers\n",
+                   args.node, node.subscriber_count(),
+                   args.wait_subscribers);
       return 1;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -248,6 +274,12 @@ int run_merge(const Args& args) {
   dist::MergeConfig config;
   config.retry.attempts = 5000;  // shard processes may still be binding
   dist::MergeNode merge(args.nodes, config);
+  if (!args.downlink.empty()
+      && !merge.listen_downlink_unix(args.downlink)) {
+    std::fprintf(stderr, "merge: downlink listen failed on %s\n",
+                 args.downlink.c_str());
+    return 1;
+  }
   for (std::uint32_t n = 0; n < args.nodes; ++n) {
     if (!merge.connect_unix(n, indexed_path(args.uplink_prefix, n))) {
       std::fprintf(stderr, "merge: cannot reach shard %u uplink\n", n);
@@ -299,10 +331,10 @@ int run_merge(const Args& args) {
   const double items_per_second =
       static_cast<double>(messages) / wall_seconds;
   std::printf(
-      "merged %zu batches / %llu messages from %u shard uplinks in %.3f s "
-      "= %.0f msg/s\n",
+      "merged %zu batches / %llu messages from %u shard uplinks "
+      "(%u standby replicas attached) in %.3f s = %.0f msg/s\n",
       released.size(), static_cast<unsigned long long>(messages), args.nodes,
-      wall_seconds, items_per_second);
+      args.standbys, wall_seconds, items_per_second);
 
   if (!args.json.empty()) {
     std::FILE* out = std::fopen(args.json.c_str(), "w");
@@ -311,24 +343,30 @@ int run_merge(const Args& args) {
       return 1;
     }
     // google-benchmark-shaped entry so bench_multinode.sh can merge it
-    // into BENCH_throughput.json and CI can track the family.
+    // into BENCH_throughput.json and CI can track the family. The
+    // standby-attached variant gets its own name so the baseline row's
+    // history stays comparable.
+    std::string name = "MN_MergeIngest/nodes:" + std::to_string(args.nodes);
+    if (args.standbys > 0) {
+      name += "/standbys:" + std::to_string(args.standbys);
+    }
+    name += "/messages:" + std::to_string(expected);
     std::fprintf(
         out,
         "{\n"
         "  \"context\": {\"hardware_threads\": %u, \"nodes\": %u},\n"
         "  \"benchmarks\": [\n"
-        "    {\"name\": \"MN_MergeIngest/nodes:%u/messages:%llu\",\n"
-        "     \"run_name\": \"MN_MergeIngest/nodes:%u/messages:%llu\","
+        "    {\"name\": \"%s\",\n"
+        "     \"run_name\": \"%s\","
         " \"run_type\": \"iteration\", \"repetitions\": 1,"
         " \"repetition_index\": 0, \"threads\": 1, \"iterations\": 1,\n"
         "     \"real_time\": %.6f, \"cpu_time\": %.6f,"
         " \"time_unit\": \"ms\", \"items_per_second\": %.1f}\n"
         "  ]\n"
         "}\n",
-        std::thread::hardware_concurrency(), args.nodes, args.nodes,
-        static_cast<unsigned long long>(expected), args.nodes,
-        static_cast<unsigned long long>(expected), wall_seconds * 1e3,
-        wall_seconds * 1e3, items_per_second);
+        std::thread::hardware_concurrency(), args.nodes, name.c_str(),
+        name.c_str(), wall_seconds * 1e3, wall_seconds * 1e3,
+        items_per_second);
     std::fclose(out);
   }
   merge.stop();
@@ -552,6 +590,167 @@ int run_demo(const Args& args) {
   return identical ? 0 : 1;
 }
 
+// ── failover: replicated merge tier, primary killed mid-schedule ────────
+
+int run_failover_demo(const Args& args) {
+  std::printf(
+      "=== merge failover demo: %u shards -> primary + standby merge, "
+      "primary killed mid-run ===\n\n",
+      args.nodes);
+  const auto workload =
+      make_workload(args.clients, args.messages, args.seed);
+
+  // The oracle: one process, N shards, globally merged drain.
+  std::vector<double> oracle;
+  std::size_t oracle_batches = 0;
+  {
+    auto registry = make_registry(args.clients);
+    core::FairOrderingService service(
+        registry, ids(args.clients),
+        core::ServiceConfig{}
+            .with_shards(args.nodes)
+            .with_drain_policy(core::DrainPolicy::kGlobalMerge));
+    for (std::uint32_t c = 0; c < args.clients; ++c) {
+      drive_session(service, c, workload[c]);
+    }
+    auto sink = [&](core::EmissionRecord&& record, std::uint32_t shard) {
+      ++oracle_batches;
+      digest_batch(oracle, shard, record.batch.rank,
+                   record.safe_time.seconds(), record.emitted_at.seconds());
+      for (const core::Message& m : record.batch.messages) {
+        digest_message(oracle, m.id.value(), m.client.value(),
+                       m.stamp.seconds(), m.arrival.seconds());
+      }
+    };
+    for (TimePoint t : failover_schedule()) service.poll(t, sink);
+    service.flush(TimePoint(3.0), sink);
+  }
+
+  // Shard tier, ingest driven in-process (the wire ingest path is the
+  // plain demo's subject; here the merge tier is what fails over).
+  const std::string prefix =
+      "/tmp/tommy_mn_failover_" + std::to_string(::getpid());
+  std::vector<dist::NodeEndpoints> endpoints(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    endpoints[n].uplink.unix_path = indexed_path(prefix + "_up", n);
+  }
+  dist::Topology topology(endpoints, ids(args.clients));
+  std::vector<core::ClientRegistry> registries(args.nodes);
+  std::vector<std::unique_ptr<dist::ShardNode>> nodes(args.nodes);
+  for (std::uint32_t n = 0; n < args.nodes; ++n) {
+    registries[n] = make_registry(args.clients);
+    dist::ShardNodeConfig config;
+    config.node = n;
+    config.frontend = modeled_frontend();
+    nodes[n] = std::make_unique<dist::ShardNode>(
+        registries[n], topology.partition(n), config);
+    if (!nodes[n]->listen_uplink_unix(endpoints[n].uplink.unix_path)) {
+      std::fprintf(stderr, "shard %u: uplink listen failed\n", n);
+      return 1;
+    }
+    for (ClientId c : topology.partition(n)) {
+      drive_session(nodes[n]->service(), c.value(), workload[c.value()]);
+    }
+  }
+
+  // Primary + hot standby over the same uplinks, each with a downlink.
+  const std::string primary_downlink = prefix + "_primary.sock";
+  const std::string standby_downlink = prefix + "_standby.sock";
+  auto start_merge = [&](const std::string& downlink)
+      -> std::unique_ptr<dist::MergeNode> {
+    auto merge = std::make_unique<dist::MergeNode>(args.nodes);
+    if (!merge->listen_downlink_unix(downlink)) return nullptr;
+    for (std::uint32_t n = 0; n < args.nodes; ++n) {
+      if (!merge->connect_unix(n, endpoints[n].uplink.unix_path)) {
+        return nullptr;
+      }
+    }
+    return merge;
+  };
+  auto primary = start_merge(primary_downlink);
+  auto standby = start_merge(standby_downlink);
+  if (primary == nullptr || standby == nullptr) {
+    std::fprintf(stderr, "merge replica startup failed\n");
+    return 1;
+  }
+
+  dist::MergeSubscriberConfig subscriber_config;
+  subscriber_config.endpoints = {
+      dist::NodeAddress{primary_downlink, 0},
+      dist::NodeAddress{standby_downlink, 0}};
+  dist::MergeSubscriber subscriber(subscriber_config);
+  subscriber.start();
+
+  // Pump the shared schedule; kill the primary after the first round.
+  auto schedule = failover_schedule();
+  schedule.push_back(TimePoint(3.0));
+  std::uint64_t announces = 0;
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const bool last = round + 1 == schedule.size();
+    for (std::uint32_t n = 0; n < args.nodes; ++n) {
+      if (last) {
+        nodes[n]->pump_flush(schedule[round]);
+      } else {
+        nodes[n]->pump(schedule[round]);
+      }
+    }
+    ++announces;
+    for (dist::MergeNode* merge :
+         {primary.get(), standby.get()}) {
+      if (merge == nullptr) continue;
+      for (std::uint32_t n = 0; n < args.nodes; ++n) {
+        if (!merge->wait_for_announces(n, announces, 10000)) {
+          std::fprintf(stderr, "shard %u: gossip missing\n", n);
+          return 1;
+        }
+      }
+      merge->release();
+    }
+    if (round == 0) {
+      const auto watermark = primary->watermark();
+      std::printf(
+          "round %zu: killing the primary at watermark %llu "
+          "(safe_time %.6f)\n",
+          round, static_cast<unsigned long long>(watermark.released),
+          watermark.safe_time.seconds());
+      primary.reset();  // downlink dies mid-stream; the subscriber cuts over
+    }
+  }
+  standby->flush();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (subscriber.released_count() < oracle_batches) {
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<double> spliced;
+  for (const net::OrderedBatch& batch : subscriber.released()) {
+    digest_batch(spliced, batch.node, batch.rank,
+                 batch.safe_time.seconds(), batch.emitted_at.seconds());
+    for (const net::OrderedBatch::Entry& entry : batch.messages) {
+      digest_message(spliced, entry.id.value(), entry.client.value(),
+                     entry.stamp.seconds(), entry.arrival.seconds());
+    }
+  }
+  const auto stats = subscriber.stats();
+  const bool identical = spliced == oracle
+                         && stats.error == dist::SubscriberError::kNone;
+  std::printf(
+      "subscriber: %zu batches across %llu cutover(s), %llu replayed "
+      "duplicates dropped at the watermark, %s the global-merge oracle\n",
+      subscriber.released_count(),
+      static_cast<unsigned long long>(stats.cutovers),
+      static_cast<unsigned long long>(stats.duplicates),
+      identical ? "BIT-IDENTICAL to" : "DIVERGED from");
+
+  subscriber.stop();
+  standby->stop();
+  for (auto& node : nodes) node->stop();
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -559,10 +758,12 @@ int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "demo";
   if (!parse_args(argc, argv, args)) return 2;
   if (mode == "demo") return run_demo(args);
+  if (mode == "failover") return run_failover_demo(args);
   if (mode == "shard") return run_shard(args);
   if (mode == "merge") return run_merge(args);
   if (mode == "router") return run_router(args);
-  std::fprintf(stderr, "unknown mode '%s' (demo|shard|merge|router)\n",
+  std::fprintf(stderr,
+               "unknown mode '%s' (demo|failover|shard|merge|router)\n",
                mode.c_str());
   return 2;
 }

@@ -73,32 +73,60 @@ PREFIX="$(mktemp -u /tmp/tommy_mn_XXXXXX)"
 OUTS=()
 SHARD_PIDS=()
 MERGE_PID=""
+STANDBY_PID=""
 # Kill stragglers on abort: an orphaned merge would wait out its connect
 # budget against deleted socket paths.
 trap '[[ -n "$MERGE_PID" ]] && kill "$MERGE_PID" 2>/dev/null;
+      [[ -n "$STANDBY_PID" ]] && kill "$STANDBY_PID" 2>/dev/null;
       for pid in "${SHARD_PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done;
       rm -f "${PREFIX}"_*.sock "${OUTS[@]:-}"' EXIT
 
-for N in $NODES_SWEEP; do
-  OUT="$(mktemp /tmp/tommy_mn_XXXXXX.json)"
-  OUTS+=("$OUT")
+# One measured sweep row: N shards into one reporting merge, plus
+# STANDBYS extra merge replicas subscribed to the same uplinks (the
+# shards hold their streams until every replica is attached).
+run_row() {
+  local N="$1" STANDBYS="$2" OUT="$3"
   rm -f "${PREFIX}"_*.sock
 
   "$BIN" merge --nodes "$N" --clients "$CLIENTS" --messages "$MESSAGES" \
-      --uplink-prefix "$PREFIX" --json "$OUT" &
+      --uplink-prefix "$PREFIX" --json "$OUT" --standbys "$STANDBYS" &
   MERGE_PID=$!
+
+  STANDBY_PID=""
+  if ((STANDBYS > 0)); then
+    "$BIN" merge --nodes "$N" --clients "$CLIENTS" --messages "$MESSAGES" \
+        --uplink-prefix "$PREFIX" &
+    STANDBY_PID=$!
+  fi
 
   SHARD_PIDS=()
   for ((i = 0; i < N; i++)); do
     "$BIN" shard --node "$i" --nodes "$N" --clients "$CLIENTS" \
-        --messages "$MESSAGES" --uplink-prefix "$PREFIX" &
+        --messages "$MESSAGES" --uplink-prefix "$PREFIX" \
+        --wait-subscribers "$((1 + STANDBYS))" &
     SHARD_PIDS+=($!)
   done
   for pid in "${SHARD_PIDS[@]}"; do wait "$pid"; done
   wait "$MERGE_PID"
   MERGE_PID=""
+  if [[ -n "$STANDBY_PID" ]]; then
+    wait "$STANDBY_PID"
+    STANDBY_PID=""
+  fi
   SHARD_PIDS=()
+}
+
+for N in $NODES_SWEEP; do
+  OUT="$(mktemp /tmp/tommy_mn_XXXXXX.json)"
+  OUTS+=("$OUT")
+  run_row "$N" 0 "$OUT"
 done
+
+# The replication-cost row: same 2-shard deployment with one hot-standby
+# merge attached to the same uplinks (MN_MergeIngest/…/standbys:1).
+OUT="$(mktemp /tmp/tommy_mn_XXXXXX.json)"
+OUTS+=("$OUT")
+run_row 2 1 "$OUT"
 
 # Merge: replace MN_* entries in the target (creating it with the first
 # run's context if absent), keep everything else.

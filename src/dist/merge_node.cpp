@@ -23,13 +23,38 @@ const char* to_string(MergeError error) {
       return "unexpected frame";
     case MergeError::kStreamError:
       return "stream error";
+    case MergeError::kReplayTruncated:
+      return "replay truncated";
+  }
+  return "unknown";
+}
+
+const char* to_string(MergePeerState state) {
+  switch (state) {
+    case MergePeerState::kNeverHeard:
+      return "never heard";
+    case MergePeerState::kLive:
+      return "live";
+    case MergePeerState::kPeerStalled:
+      return "stalled";
+    case MergePeerState::kDisconnected:
+      return "disconnected";
   }
   return "unknown";
 }
 
 MergeNode::MergeNode(std::uint32_t node_count, MergeConfig config)
-    : config_(std::move(config)), peers_(node_count) {
+    : config_(std::move(config)),
+      peers_(node_count),
+      downlink_(
+          [this](std::shared_ptr<net::ByteStream> stream) {
+            subscribe_downlink(std::move(stream));
+          },
+          config_.backlog) {
   TOMMY_EXPECTS(node_count > 0);
+  if (config_.staleness_budget.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 MergeNode::~MergeNode() { stop(); }
@@ -122,6 +147,10 @@ void MergeNode::reader_loop(std::uint32_t node,
 
 void MergeNode::handle_locked(std::uint32_t node, net::WireMessage&& message) {
   Peer& peer = peers_[node];
+  // Any decodable frame is a liveness signal, whatever its fate below.
+  peer.heard = true;
+  peer.stalled = false;
+  peer.last_heard = std::chrono::steady_clock::now();
   if (auto* batch = std::get_if<net::OrderedBatch>(&message)) {
     if (batch->epoch < peer.epoch) {
       ++peer.stale;
@@ -153,6 +182,12 @@ void MergeNode::handle_locked(std::uint32_t node, net::WireMessage&& message) {
     ++peer.announces;
     return;
   }
+  if (std::get_if<net::ReplayTruncated>(&message) != nullptr) {
+    // The shard's retention cap dropped history this subscription
+    // needed: a typed refusal, never a silent gap.
+    fail_locked(node, MergeError::kReplayTruncated);
+    return;
+  }
   fail_locked(node, MergeError::kUnexpectedFrame);
 }
 
@@ -160,6 +195,7 @@ void MergeNode::fail_locked(std::uint32_t node, MergeError error) {
   Peer& peer = peers_[node];
   if (peer.error == MergeError::kNone) peer.error = error;
   peer.connected = false;
+  peer.stalled = false;
   peer.next_safe = TimePoint(-std::numeric_limits<double>::infinity());
   if (peer.stream) peer.stream->shutdown();
 }
@@ -182,6 +218,7 @@ std::size_t MergeNode::release_locked(TimePoint gate, bool release_all) {
                      if (lhs.node != rhs.node) return lhs.node < rhs.node;
                      return lhs.rank < rhs.rank;
                    });
+  const std::size_t before = released_.size();
   std::size_t released = 0;
   for (; released < holdback_.size(); ++released) {
     if (!release_all && !(holdback_[released].safe_time < gate)) break;
@@ -189,7 +226,87 @@ std::size_t MergeNode::release_locked(TimePoint gate, bool release_all) {
   }
   holdback_.erase(holdback_.begin(),
                   holdback_.begin() + static_cast<std::ptrdiff_t>(released));
+  if (released > 0) publish_released_locked(before);
   return released;
+}
+
+net::MergeWatermark MergeNode::watermark_locked() const {
+  net::MergeWatermark watermark;
+  watermark.released = released_.size();
+  if (!released_.empty()) {
+    const net::OrderedBatch& last = released_.back();
+    watermark.node = last.node;
+    watermark.rank = last.rank;
+    watermark.safe_time = last.safe_time;
+  }
+  return watermark;
+}
+
+void MergeNode::publish_released_locked(std::size_t from) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(released_.size() - from + 1);
+  for (std::size_t i = from; i < released_.size(); ++i) {
+    frames.push_back(net::encode_frame(net::WireMessage(released_[i])));
+  }
+  // One watermark per release round: the barrier a downstream consumer
+  // checkpoints on ("everything up to this cursor has been delivered").
+  frames.push_back(
+      net::encode_frame(net::WireMessage(watermark_locked())));
+  for (std::vector<std::uint8_t>& frame : frames) {
+    for (auto it = downlink_subscribers_.begin();
+         it != downlink_subscribers_.end();) {
+      if ((*it)->write_all(frame)) {
+        ++it;
+      } else {
+        (*it)->shutdown();
+        it = downlink_subscribers_.erase(it);
+      }
+    }
+    downlink_retained_.push_back(std::move(frame));
+  }
+}
+
+void MergeNode::subscribe_downlink(std::shared_ptr<net::ByteStream> stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Replay the full released backlog under the same lock a concurrent
+  // release would need: the subscriber's FIFO view starts at release
+  // position 0 with no gap and no interleaving.
+  for (const std::vector<std::uint8_t>& frame : downlink_retained_) {
+    if (!stream->write_all(frame)) {
+      stream->shutdown();
+      return;
+    }
+  }
+  // A fresh watermark even when nothing has been released yet — the
+  // attach barrier a consumer can synchronize on.
+  if (!stream->write_all(
+          net::encode_frame(net::WireMessage(watermark_locked())))) {
+    stream->shutdown();
+    return;
+  }
+  downlink_subscribers_.push_back(std::move(stream));
+}
+
+void MergeNode::watchdog_loop() {
+  const auto interval = config_.watchdog_interval.count() > 0
+                            ? config_.watchdog_interval
+                            : std::max(config_.staleness_budget / 4,
+                                       std::chrono::milliseconds(1));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, interval, [this] { return stopping_; });
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (Peer& peer : peers_) {
+      if (peer.connected && peer.heard && !peer.stalled
+          && now - peer.last_heard > config_.staleness_budget) {
+        // Surface only: the peer keeps its last announced frontier and
+        // the gate stays pinned there — stalling is never license to
+        // speculate past an unheard frontier.
+        peer.stalled = true;
+      }
+    }
+  }
 }
 
 std::size_t MergeNode::release() {
@@ -222,6 +339,16 @@ TimePoint MergeNode::gate() const {
   return gate_locked();
 }
 
+net::MergeWatermark MergeNode::watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_locked();
+}
+
+std::size_t MergeNode::downlink_subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return downlink_subscribers_.size();
+}
+
 MergePeerStats MergeNode::peer(std::uint32_t node) const {
   TOMMY_EXPECTS(node < peers_.size());
   std::lock_guard<std::mutex> lock(mutex_);
@@ -235,6 +362,22 @@ MergePeerStats MergeNode::peer(std::uint32_t node) const {
   stats.announces = peer.announces;
   stats.next_safe = peer.next_safe;
   stats.error = peer.error;
+  stats.stalled = peer.stalled;
+  if (!peer.connected) {
+    stats.state = MergePeerState::kDisconnected;
+  } else if (!peer.heard) {
+    stats.state = MergePeerState::kNeverHeard;
+  } else if (peer.stalled) {
+    stats.state = MergePeerState::kPeerStalled;
+  } else {
+    stats.state = MergePeerState::kLive;
+  }
+  if (peer.heard) {
+    stats.since_heard_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - peer.last_heard)
+            .count();
+  }
   return stats;
 }
 
@@ -247,14 +390,22 @@ bool MergeNode::wait_for_announces(std::uint32_t node, std::uint64_t n,
 }
 
 void MergeNode::stop() {
+  downlink_.stop();
+  std::thread watchdog;
   std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    cv_.notify_all();
     for (Peer& peer : peers_) {
       if (peer.stream) peer.stream->shutdown();
       if (peer.reader.joinable()) readers.push_back(std::move(peer.reader));
     }
+    for (const auto& stream : downlink_subscribers_) stream->shutdown();
+    downlink_subscribers_.clear();
+    watchdog = std::move(watchdog_);
   }
+  if (watchdog.joinable()) watchdog.join();
   for (std::thread& reader : readers) reader.join();
 }
 

@@ -26,8 +26,21 @@
 // FIFO uplinks plus replay-from-zero make gaps impossible, so a gap
 // means a non-deterministic or misconfigured node). Epochs are tracked
 // to reject stale frames defensively and for observability.
+// Replication (hot standby + cutover): because the holdback is
+// deterministic, any number of MergeNodes subscribed to the same shard
+// uplinks release IDENTICAL streams (late-subscriber replay delivers full
+// history on attach). Each merge therefore also acts as a publisher: a
+// *downlink* acceptor re-broadcasts every released OrderedBatch plus a
+// MergeWatermark cursor — (released count, safe_time, node, rank of the
+// last released record) — and replays its full released backlog to each
+// new downlink subscriber. A downstream consumer (MergeSubscriber) that
+// remembers its watermark can resume from any replica, dropping the
+// replayed prefix at the watermark: gap-free and duplicate-free, because
+// the release cursor sequence is strictly ascending and identical on
+// every replica.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
@@ -39,6 +52,7 @@
 
 #include "common/time.hpp"
 #include "net/acceptor.hpp"
+#include "net/messages.hpp"
 
 namespace tommy::dist {
 
@@ -50,10 +64,14 @@ enum class MergeError : std::uint8_t {
   /// Framing failed (oversized) or a payload failed WireMessage decode.
   kMalformedFrame,
   /// A frame kind that does not belong on an uplink (anything other than
-  /// OrderedBatch / SafeTimeAnnounce).
+  /// OrderedBatch / SafeTimeAnnounce / ReplayTruncated).
   kUnexpectedFrame,
   /// The underlying stream reported a transport error.
   kStreamError,
+  /// The peer's retention cap truncated the replay this subscription
+  /// needed (typed ReplayTruncated frame) — attaching would have
+  /// silently skipped history.
+  kReplayTruncated,
 };
 
 [[nodiscard]] const char* to_string(MergeError error);
@@ -62,7 +80,34 @@ struct MergeConfig {
   std::size_t max_frame_bytes{net::kDefaultMaxFrameBytes};
   /// Backoff budget for connect_unix / connect_tcp dials.
   net::RetryPolicy retry{};
+  /// listen(2) backlog for the downlink socket.
+  int backlog{128};
+  /// Stall watchdog: a connected peer silent for longer than this is
+  /// flagged `stalled` in its stats (observability ONLY — a stalled
+  /// peer keeps its last announced frontier, the gate never speculates
+  /// past it). Zero disables the watchdog thread.
+  std::chrono::milliseconds staleness_budget{0};
+  /// Watchdog poll cadence; zero derives staleness_budget / 4 (min 1ms).
+  std::chrono::milliseconds watchdog_interval{0};
 };
+
+/// Typed liveness verdict for one peer slot. Observability ONLY in
+/// every state: the release gate holds a disconnected/never-heard peer
+/// at −infinity and a stalled peer at its last announced frontier — no
+/// state is ever license to speculate past what the peer said.
+enum class MergePeerState : std::uint8_t {
+  /// Stream up, no frame decoded yet (gate at −infinity).
+  kNeverHeard,
+  /// Stream up, heard within the staleness budget.
+  kLive,
+  /// Stream up but silent past the staleness budget (watchdog verdict;
+  /// gate pinned at the peer's last frontier until it speaks).
+  kPeerStalled,
+  /// Stream gone or never dialed (gate back at −infinity).
+  kDisconnected,
+};
+
+[[nodiscard]] const char* to_string(MergePeerState state);
 
 /// Point-in-time view of one peer slot.
 struct MergePeerStats {
@@ -78,6 +123,15 @@ struct MergePeerStats {
   std::uint64_t announces{0};
   TimePoint next_safe{};
   MergeError error{MergeError::kNone};
+  /// Typed liveness verdict (kPeerStalled == `stalled` below).
+  MergePeerState state{MergePeerState::kDisconnected};
+  /// Watchdog verdict: connected but silent past the staleness budget
+  /// (the gate is pinned at this peer's last frontier and nothing will
+  /// move until it speaks).
+  bool stalled{false};
+  /// Seconds since the last frame from this peer (+infinity if it has
+  /// never been heard from).
+  double since_heard_seconds{std::numeric_limits<double>::infinity()};
 };
 
 class MergeNode {
@@ -102,6 +156,25 @@ class MergeNode {
   /// spawns its reader. Precondition: the slot is not currently
   /// connected.
   void attach(std::uint32_t node, std::shared_ptr<net::ByteStream> stream);
+
+  /// Downlink: the released stream re-published for downstream
+  /// consumers (MergeSubscriber). Every new subscriber gets the full
+  /// released backlog replayed, then a fresh MergeWatermark, then live
+  /// releases as they happen — the same late-subscriber contract the
+  /// shard uplinks give this node.
+  [[nodiscard]] bool listen_downlink_unix(const std::string& path) {
+    return downlink_.listen_unix(path);
+  }
+  [[nodiscard]] bool listen_downlink_tcp(std::uint16_t port) {
+    return downlink_.listen_tcp(port);
+  }
+  [[nodiscard]] net::StreamAcceptor& downlink() { return downlink_; }
+  [[nodiscard]] std::size_t downlink_subscriber_count() const;
+
+  /// The release watermark: how many records have been released and the
+  /// (safe_time, node, rank) cursor of the last one (released == 0 is
+  /// the empty watermark).
+  [[nodiscard]] net::MergeWatermark watermark() const;
 
   /// Releases every held record the gate allows (strictly below
   /// min(next_safe) over the peer frontiers), in (safe_time, node, rank)
@@ -149,6 +222,9 @@ class MergeNode {
     std::uint64_t announces{0};
     TimePoint next_safe{-std::numeric_limits<double>::infinity()};
     MergeError error{MergeError::kNone};
+    bool heard{false};
+    bool stalled{false};
+    std::chrono::steady_clock::time_point last_heard{};
   };
 
   void reader_loop(std::uint32_t node, std::shared_ptr<net::ByteStream> stream);
@@ -157,6 +233,13 @@ class MergeNode {
   void fail_locked(std::uint32_t node, MergeError error);
   [[nodiscard]] TimePoint gate_locked() const;
   std::size_t release_locked(TimePoint gate, bool release_all);
+  [[nodiscard]] net::MergeWatermark watermark_locked() const;
+  /// Broadcasts the tail of released_ starting at `from` plus one
+  /// watermark frame to every downlink subscriber, retaining the frames
+  /// for replay (mutex_ held by caller).
+  void publish_released_locked(std::size_t from);
+  void subscribe_downlink(std::shared_ptr<net::ByteStream> stream);
+  void watchdog_loop();
 
   MergeConfig config_;
   mutable std::mutex mutex_;
@@ -166,6 +249,15 @@ class MergeNode {
   /// release — exactly release_merged's holdback.
   std::vector<net::OrderedBatch> holdback_;
   std::vector<net::OrderedBatch> released_;
+
+  net::StreamAcceptor downlink_;
+  std::vector<std::shared_ptr<net::ByteStream>> downlink_subscribers_;
+  /// Encoded released frames (+ their watermark barriers) in broadcast
+  /// order — the replay backlog for late downlink subscribers.
+  std::vector<std::vector<std::uint8_t>> downlink_retained_;
+
+  std::thread watchdog_;
+  bool stopping_{false};
 };
 
 }  // namespace tommy::dist

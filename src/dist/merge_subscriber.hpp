@@ -1,0 +1,133 @@
+// The downstream half of merge replication: a client that consumes the
+// released global stream from a MergeNode downlink and survives the
+// merge dying. Configured with an endpoint list (primary first, then
+// standbys), it dials the first reachable endpoint, consumes OrderedBatch
+// + MergeWatermark frames, and on stream death dials the next endpoint in
+// the cycle and RESUMES FROM ITS WATERMARK: the attach replay delivers
+// the standby's full released backlog, and every record whose
+// (safe_time, node, rank) cursor is at or below the watermark held at
+// attach is dropped as a replayed duplicate. Because all replicas release
+// the identical, strictly-ascending cursor sequence (the holdback is
+// deterministic), the spliced stream is gap-free and duplicate-free —
+// bit-identical to what one immortal merge would have released.
+//
+// Protocol errors are terminal and typed: a record that lands between
+// the attach watermark and the current cursor (kOrderViolation) can only
+// mean a non-deterministic or misconfigured replica, and cutting over
+// from corrupt data would launder it into the output stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/topology.hpp"
+#include "net/acceptor.hpp"
+#include "net/messages.hpp"
+
+namespace tommy::dist {
+
+/// Typed terminal errors at the subscriber.
+enum class SubscriberError : std::uint8_t {
+  kNone,
+  /// A record arrived above the attach watermark but at or below the
+  /// current cursor: replicas disagree on the release order.
+  kOrderViolation,
+  /// Framing failed (oversized) or a payload failed WireMessage decode.
+  kMalformedFrame,
+  /// A frame kind that does not belong on a downlink (anything other
+  /// than OrderedBatch / MergeWatermark).
+  kUnexpectedFrame,
+};
+
+[[nodiscard]] const char* to_string(SubscriberError error);
+
+struct MergeSubscriberConfig {
+  /// Downlink endpoints in preference order: [0] is the primary, the
+  /// rest are hot standbys. Cutover cycles through the list, so a
+  /// restarted primary is retried after the last standby.
+  std::vector<NodeAddress> endpoints;
+  /// Backoff budget for each individual dial attempt during cutover.
+  net::RetryPolicy retry{};
+  std::size_t max_frame_bytes{net::kDefaultMaxFrameBytes};
+};
+
+struct MergeSubscriberStats {
+  bool connected{false};
+  /// Index into config.endpoints of the current (or last) attachment.
+  std::uint32_t endpoint{0};
+  /// Successful re-attachments after the initial one.
+  std::uint64_t cutovers{0};
+  /// Replayed records dropped at the watermark across cutovers.
+  std::uint64_t duplicates{0};
+  /// MergeWatermark frames applied (replayed barriers included).
+  std::uint64_t watermarks{0};
+  /// Watermark frames carrying a cursor behind our own (replays).
+  std::uint64_t stale_watermarks{0};
+  /// Dial rounds that exhausted their retry budget.
+  std::uint64_t failed_dials{0};
+  SubscriberError error{SubscriberError::kNone};
+};
+
+class MergeSubscriber {
+ public:
+  explicit MergeSubscriber(MergeSubscriberConfig config);
+
+  /// stop()s.
+  ~MergeSubscriber();
+
+  MergeSubscriber(const MergeSubscriber&) = delete;
+  MergeSubscriber& operator=(const MergeSubscriber&) = delete;
+
+  /// Spawns the consumer thread (dial, consume, cut over — forever
+  /// until stop() or a typed protocol error). Call once.
+  void start();
+
+  /// Shuts the current stream down and joins the consumer. Idempotent.
+  void stop();
+
+  /// The consumed global stream so far (copy; grows monotonically —
+  /// index i is release position i forever, across cutovers).
+  [[nodiscard]] std::vector<net::OrderedBatch> released() const;
+  [[nodiscard]] std::size_t released_count() const;
+
+  /// Our watermark: released count + cursor of the last consumed record.
+  [[nodiscard]] net::MergeWatermark watermark() const;
+
+  [[nodiscard]] MergeSubscriberStats stats() const;
+
+  /// Blocks until at least `n` records have been consumed, or
+  /// `timeout_ms` elapsed. True if reached.
+  [[nodiscard]] bool wait_for_released(std::size_t n, int timeout_ms);
+  /// Blocks until at least `n` watermark frames have been applied (the
+  /// attach barrier counts), or `timeout_ms` elapsed. True if reached.
+  [[nodiscard]] bool wait_for_watermarks(std::uint64_t n, int timeout_ms);
+
+ private:
+  void run();
+  /// Consumes one connection until EOF / transport error / typed
+  /// protocol error / stop. Returns false on a terminal typed error.
+  [[nodiscard]] bool consume(const std::shared_ptr<net::ByteStream>& stream);
+  [[nodiscard]] bool handle_locked(net::WireMessage&& message);
+
+  MergeSubscriberConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread consumer_;
+  bool started_{false};
+  bool stopping_{false};
+
+  std::shared_ptr<net::ByteStream> stream_;
+  std::vector<net::OrderedBatch> released_;
+  /// Cursor of the last accepted record (valid iff !released_.empty()).
+  net::MergeWatermark cursor_{};
+  /// Cursor held when the current connection attached: everything at or
+  /// below it is the replica's replayed prefix.
+  net::MergeWatermark attach_cursor_{};
+  MergeSubscriberStats stats_;
+};
+
+}  // namespace tommy::dist

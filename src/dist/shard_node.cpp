@@ -1,7 +1,9 @@
 #include "dist/shard_node.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "common/check.hpp"
 #include "net/framing.hpp"
 
 namespace tommy::dist {
@@ -48,7 +50,60 @@ std::size_t ShardNode::pump_flush(TimePoint now) {
   return pump_impl(now, /*flush_all=*/true);
 }
 
+TimePoint ShardNode::pump_now() const {
+  if (config_.pump_clock) return config_.pump_clock();
+  return TimePoint(std::chrono::duration<double>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count());
+}
+
+void ShardNode::start_pump() {
+  TOMMY_EXPECTS(config_.pump_interval.count() > 0);
+  std::lock_guard<std::mutex> lock(pump_mutex_);
+  TOMMY_EXPECTS(!pump_running_);
+  pump_running_ = true;
+  pump_stopping_ = false;
+  pump_thread_ = std::thread([this] { pump_loop(); });
+}
+
+void ShardNode::pump_loop() {
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  while (!pump_stopping_) {
+    pump_cv_.wait_for(lock, config_.pump_interval,
+                      [this] { return pump_stopping_; });
+    if (pump_stopping_) return;
+    lock.unlock();
+    pump(pump_now());
+    lock.lock();
+  }
+}
+
+void ShardNode::stop_pump() {
+  std::thread pump_thread;
+  {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    if (!pump_running_) return;
+    pump_stopping_ = true;
+    pump_cv_.notify_all();
+    pump_thread = std::move(pump_thread_);
+  }
+  if (pump_thread.joinable()) pump_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    pump_running_ = false;
+  }
+  // The thread is gone, so this flush cannot race it — held batches and
+  // one infinite-frontier announce drain to the uplink.
+  if (config_.flush_on_stop) pump_flush(pump_now());
+}
+
+bool ShardNode::pump_running() const {
+  std::lock_guard<std::mutex> lock(pump_mutex_);
+  return pump_running_;
+}
+
 std::size_t ShardNode::pump_impl(TimePoint now, bool flush_all) {
+  std::lock_guard<std::mutex> pump_lock(pump_call_mutex_);
   std::vector<core::EmissionRecord> records;
   auto collect = [&records](core::EmissionRecord&& record, std::uint32_t) {
     records.push_back(std::move(record));
@@ -93,12 +148,31 @@ void ShardNode::publish(std::vector<std::vector<std::uint8_t>>&& frames) {
       }
     }
     retained_.push_back(std::move(frame));
+    // Sliding-window retention: attached subscribers already consumed
+    // the truncated frames, and later subscribers are refused (below) —
+    // the FIFO-from-zero replay contract is never silently broken.
+    if (config_.replay_retention_cap > 0
+        && retained_.size() > config_.replay_retention_cap) {
+      retained_.pop_front();
+      ++truncated_;
+    }
   }
   ++announces_;
 }
 
 void ShardNode::subscribe(std::shared_ptr<net::ByteStream> stream) {
   std::lock_guard<std::mutex> lock(uplink_mutex_);
+  // A subscriber attaching after truncation cannot be given the frames
+  // the rank dedup needs (FIFO replay from rank zero): refuse with a
+  // typed frame instead of handing it a stream with a silent gap.
+  if (truncated_ > 0) {
+    const std::vector<std::uint8_t> refusal = net::encode_frame(
+        net::WireMessage(net::ReplayTruncated{config_.node, config_.epoch,
+                                              truncated_}));
+    (void)stream->write_all(refusal);
+    stream->shutdown();
+    return;
+  }
   // Replay the full retained backlog first, under the same lock a
   // concurrent pump would need — the subscriber's FIFO view starts at
   // frame 0 with no gap and no interleaving.
@@ -112,6 +186,7 @@ void ShardNode::subscribe(std::shared_ptr<net::ByteStream> stream) {
 }
 
 void ShardNode::stop() {
+  stop_pump();
   uplink_.stop();
   server_.stop();
   std::lock_guard<std::mutex> lock(uplink_mutex_);
@@ -127,6 +202,11 @@ std::size_t ShardNode::subscriber_count() const {
 std::size_t ShardNode::frames_retained() const {
   std::lock_guard<std::mutex> lock(uplink_mutex_);
   return retained_.size();
+}
+
+std::uint64_t ShardNode::frames_truncated() const {
+  std::lock_guard<std::mutex> lock(uplink_mutex_);
+  return truncated_;
 }
 
 std::uint64_t ShardNode::announces_published() const {

@@ -32,13 +32,30 @@
 // same FIFO stream as one connected from the start. Retention is
 // per-incarnation state: it dies with the process, which is exactly
 // right, because a restarted node rebuilds the stream by replaying
-// ingest, not by remembering frames.
+// ingest, not by remembering frames. Retention can be CAPPED
+// (replay_retention_cap): the backlog becomes a sliding window and a
+// subscriber arriving after frames have been truncated is refused with a
+// typed ReplayTruncated frame — never a silent gap, because a merge that
+// missed the truncated prefix would violate the FIFO-from-zero contract
+// the rank dedup depends on. Live subscribers are unaffected (they
+// already consumed the truncated frames).
+//
+// Self-clocking: start_pump() spawns an internal pump thread driving
+// pump(clock()) every pump_interval — the node keeps emitting and
+// announcing (advancing the merge frontier) without an external driver.
+// stop_pump() stops it cleanly and, by default, performs one final
+// pump_flush so held batches drain on shutdown.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/service.hpp"
@@ -64,6 +81,19 @@ struct ShardNodeConfig {
   net::FrontendConfig frontend{};
   /// listen(2) backlog for both sockets.
   int backlog{128};
+  /// Cap on the retained uplink replay backlog, in frames (0 =
+  /// unbounded). Past the cap the oldest frames are truncated and any
+  /// LATER subscriber is refused with a typed ReplayTruncated frame.
+  std::size_t replay_retention_cap{0};
+  /// Cadence of the internal pump thread (start_pump). Zero means
+  /// start_pump is a programming error — drive pump(now) externally.
+  std::chrono::microseconds pump_interval{0};
+  /// Clock the pump thread stamps polls with; defaults to wall-clock
+  /// seconds (std::chrono::system_clock). Injectable for tests.
+  std::function<TimePoint()> pump_clock{};
+  /// stop_pump() ends with one pump_flush(clock()) so held batches and a
+  /// final infinite-frontier announce drain to the uplink.
+  bool flush_on_stop{true};
 };
 
 class ShardNode {
@@ -104,8 +134,19 @@ class ShardNode {
   /// announce carries an infinite frontier).
   std::size_t pump_flush(TimePoint now);
 
-  /// Stops both acceptors, the ingest front-end, and every uplink
-  /// subscriber stream. Idempotent.
+  /// Spawns the self-clocking pump thread: pump(clock()) every
+  /// config.pump_interval until stop_pump(). Requires a nonzero
+  /// interval. Call once (stop_pump first to restart).
+  void start_pump();
+
+  /// Stops the pump thread and joins it; if config.flush_on_stop, ends
+  /// with one pump_flush(clock()) so the uplink drains. Idempotent.
+  void stop_pump();
+
+  [[nodiscard]] bool pump_running() const;
+
+  /// Stops the pump thread, both acceptors, the ingest front-end, and
+  /// every uplink subscriber stream. Idempotent.
   void stop();
 
   [[nodiscard]] std::uint32_t node() const { return config_.node; }
@@ -119,17 +160,23 @@ class ShardNode {
   /// Uplink subscribers currently attached (post-replay, writes still
   /// succeeding).
   [[nodiscard]] std::size_t subscriber_count() const;
-  /// Frames ever broadcast (== the retained replay backlog length).
+  /// Frames currently retained for replay (== frames ever broadcast,
+  /// until the retention cap starts truncating).
   [[nodiscard]] std::size_t frames_retained() const;
+  /// Frames truncated from the replay backlog by the retention cap.
+  [[nodiscard]] std::uint64_t frames_truncated() const;
   /// SafeTimeAnnounce frames ever published (one per pump).
   [[nodiscard]] std::uint64_t announces_published() const;
 
  private:
   std::size_t pump_impl(TimePoint now, bool flush_all);
-  /// Appends `frames` to the retained backlog and writes them to every
-  /// subscriber, dropping subscribers whose writes fail.
+  /// Appends `frames` to the retained backlog (truncating past the
+  /// retention cap) and writes them to every subscriber, dropping
+  /// subscribers whose writes fail.
   void publish(std::vector<std::vector<std::uint8_t>>&& frames);
   void subscribe(std::shared_ptr<net::ByteStream> stream);
+  void pump_loop();
+  [[nodiscard]] TimePoint pump_now() const;
 
   ShardNodeConfig config_;
   core::FairOrderingService service_;
@@ -139,9 +186,19 @@ class ShardNode {
   /// Guards the retained backlog and subscriber set (accept thread vs
   /// pump thread).
   mutable std::mutex uplink_mutex_;
-  std::vector<std::vector<std::uint8_t>> retained_;
+  std::deque<std::vector<std::uint8_t>> retained_;
   std::vector<std::shared_ptr<net::ByteStream>> subscribers_;
   std::uint64_t announces_{0};
+  std::uint64_t truncated_{0};
+
+  /// Serializes pump_impl callers (manual pump vs pump thread).
+  std::mutex pump_call_mutex_;
+  /// Guards the pump thread's lifecycle flags.
+  mutable std::mutex pump_mutex_;
+  std::condition_variable pump_cv_;
+  std::thread pump_thread_;
+  bool pump_running_{false};
+  bool pump_stopping_{false};
 };
 
 }  // namespace tommy::dist

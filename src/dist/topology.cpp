@@ -85,10 +85,12 @@ std::shared_ptr<net::ByteStream> RouterNode::dial(
     const net::DistributionAnnouncement& announcement) {
   const std::uint32_t node = topology_.node_for(announcement.client);
   const NodeAddress& address = topology_.endpoints(node).ingest;
-  if (!address.unix_path.empty()) {
-    return net::connect_unix(address.unix_path, config_.retry);
-  }
-  return net::connect_tcp(address.tcp_port, config_.retry);
+  // One transport-agnostic dial path with the transient-failure retry
+  // budget: a shard node mid-restart (socket file briefly gone, listener
+  // mid-bind) refuses transiently, and the relay should outwait it
+  // rather than fail the client's first frame.
+  return net::connect_retry(address.unix_path, address.tcp_port,
+                            config_.retry);
 }
 
 }  // namespace tommy::dist

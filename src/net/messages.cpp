@@ -15,6 +15,8 @@ constexpr std::uint8_t kTagReconfigPending = 5;
 constexpr std::uint8_t kTagHandshakeAck = 6;
 constexpr std::uint8_t kTagSafeTimeAnnounce = 7;
 constexpr std::uint8_t kTagOrderedBatch = 8;
+constexpr std::uint8_t kTagMergeWatermark = 9;
+constexpr std::uint8_t kTagReplayTruncated = 10;
 
 }  // namespace
 
@@ -65,6 +67,17 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
       w.f64(e.stamp.seconds());
       w.f64(e.arrival.seconds());
     }
+  } else if (const auto* wm = std::get_if<MergeWatermark>(&message)) {
+    w.u8(kTagMergeWatermark);
+    w.u64(wm->released);
+    w.u32(wm->node);
+    w.u64(wm->rank);
+    w.f64(wm->safe_time.seconds());
+  } else if (const auto* t = std::get_if<ReplayTruncated>(&message)) {
+    w.u8(kTagReplayTruncated);
+    w.u32(t->node);
+    w.u64(t->epoch);
+    w.u64(t->truncated);
   } else {
     TOMMY_ASSERT(false);
   }
@@ -165,6 +178,27 @@ std::optional<WireMessage> decode(const std::vector<std::uint8_t>& bytes) {
       }
       if (!r.exhausted()) return std::nullopt;
       return batch;
+    }
+    case kTagMergeWatermark: {
+      const auto released = r.u64();
+      const auto node = r.u32();
+      const auto rank = r.u64();
+      const auto safe_time = r.f64();
+      if (!released.has_value() || !node.has_value() || !rank.has_value()
+          || !safe_time || !r.exhausted()) {
+        return std::nullopt;
+      }
+      return MergeWatermark{*released, *node, *rank, TimePoint(*safe_time)};
+    }
+    case kTagReplayTruncated: {
+      const auto node = r.u32();
+      const auto epoch = r.u64();
+      const auto truncated = r.u64();
+      if (!node.has_value() || !epoch || !truncated.has_value()
+          || !r.exhausted()) {
+        return std::nullopt;
+      }
+      return ReplayTruncated{*node, *epoch, *truncated};
     }
     default:
       return std::nullopt;

@@ -123,9 +123,43 @@ struct OrderedBatch {
   friend bool operator==(const OrderedBatch&, const OrderedBatch&) = default;
 };
 
+/// Merge tier -> downstream subscribers: the release watermark — how many
+/// records the merge has released so far and the (safe_time, node, rank)
+/// cursor of the last one. Because the cross-node holdback is
+/// deterministic, every replica releasing from the same uplinks walks the
+/// SAME ascending cursor sequence; a downstream consumer that remembers
+/// its watermark can therefore resume from any replica, dropping replayed
+/// records with cursor <= watermark — gap-free and duplicate-free.
+/// `released == 0` is the empty watermark (nothing released yet; the
+/// cursor fields are meaningless and encoded as zeros).
+struct MergeWatermark {
+  std::uint64_t released{0};
+  std::uint32_t node{0};
+  Rank rank{0};
+  TimePoint safe_time{};
+
+  friend bool operator==(const MergeWatermark&,
+                         const MergeWatermark&) = default;
+};
+
+/// Shard node -> uplink subscriber: the replay a new subscriber needs has
+/// been truncated (the node's retention cap dropped `truncated` frames),
+/// so attaching now would silently skip history. The node sends this one
+/// frame and closes instead — the subscriber surfaces a typed error
+/// rather than merging a gapped stream.
+struct ReplayTruncated {
+  std::uint32_t node{0};
+  std::uint64_t epoch{0};
+  std::uint64_t truncated{0};
+
+  friend bool operator==(const ReplayTruncated&,
+                         const ReplayTruncated&) = default;
+};
+
 using WireMessage = std::variant<DistributionAnnouncement, TimestampedMessage,
                                  Heartbeat, BatchEmission, ReconfigPending,
-                                 HandshakeAck, SafeTimeAnnounce, OrderedBatch>;
+                                 HandshakeAck, SafeTimeAnnounce, OrderedBatch,
+                                 MergeWatermark, ReplayTruncated>;
 
 /// Serializes any protocol message (1-byte tag + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode(const WireMessage& message);

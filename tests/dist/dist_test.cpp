@@ -5,10 +5,16 @@
 // multinode_soak_test.cpp.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
 #include <thread>
 
 #include "dist/merge_node.hpp"
+#include "dist/merge_subscriber.hpp"
 #include "dist/shard_node.hpp"
 #include "dist/topology.hpp"
 #include "net/framing.hpp"
@@ -364,6 +370,326 @@ TEST(ShardNode, LateSubscriberReplaysTheFullRetainedStream) {
   EXPECT_EQ(merge.flush(), retained - 1);
   merge.stop();
   node.stop();
+}
+
+// ── Merge replication: watermark, downlink, stall watchdog ──────────────
+
+TEST(MergeNode, WatermarkTracksTheLastReleasedCursor) {
+  MergeHarness h(1);
+  // Nothing released: the empty watermark.
+  EXPECT_EQ(h.merge.watermark(), net::MergeWatermark{});
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 1, 2.0))));
+  h.sync(0, 0);
+  EXPECT_EQ(h.merge.release(), 2u);
+  const net::MergeWatermark watermark = h.merge.watermark();
+  EXPECT_EQ(watermark.released, 2u);
+  EXPECT_EQ(watermark.node, 0u);
+  EXPECT_EQ(watermark.rank, 1u);
+  EXPECT_EQ(watermark.safe_time, TimePoint(2.0));
+}
+
+TEST(MergeNode, DownlinkReplaysBacklogThenAttachBarrierThenLive) {
+  MergeHarness h(1);
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 1, 2.0))));
+  h.sync(0, 0);
+  EXPECT_EQ(h.merge.release(), 2u);
+
+  const std::string downlink_path = fresh_unix_path();
+  ASSERT_TRUE(h.merge.listen_downlink_unix(downlink_path));
+  auto stream = net::connect_unix(downlink_path, net::RetryPolicy{});
+  ASSERT_NE(stream, nullptr);
+  ASSERT_TRUE(eventually(
+      [&] { return h.merge.downlink_subscriber_count() == 1; }));
+
+  // One more release lands live after the attach.
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 2, 3.0))));
+  h.sync(0, 0);
+  EXPECT_EQ(h.merge.release(), 1u);
+
+  // Expected frame sequence: replayed backlog (batch 0, batch 1,
+  // watermark@2), the fresh attach barrier (watermark@2 again), then the
+  // live tail (batch 2, watermark@3).
+  std::vector<WireMessage> got;
+  net::FrameDecoder decoder;
+  std::vector<std::uint8_t> chunk(4096);
+  while (got.size() < 6) {
+    const auto n = stream->read_some(chunk);
+    ASSERT_TRUE(n.has_value());
+    ASSERT_GT(*n, 0u);
+    decoder.append(std::span<const std::uint8_t>(chunk.data(), *n));
+    while (auto payload = decoder.next()) {
+      auto message = net::decode(*payload);
+      ASSERT_TRUE(message.has_value());
+      got.push_back(std::move(*message));
+    }
+  }
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t i : {0u, 1u, 4u}) {
+    ASSERT_TRUE(std::holds_alternative<net::OrderedBatch>(got[i]))
+        << "frame " << i;
+  }
+  EXPECT_EQ(std::get<net::OrderedBatch>(got[0]).rank, 0u);
+  EXPECT_EQ(std::get<net::OrderedBatch>(got[1]).rank, 1u);
+  EXPECT_EQ(std::get<net::OrderedBatch>(got[4]).rank, 2u);
+  for (std::size_t i : {2u, 3u, 5u}) {
+    ASSERT_TRUE(std::holds_alternative<net::MergeWatermark>(got[i]))
+        << "frame " << i;
+  }
+  EXPECT_EQ(std::get<net::MergeWatermark>(got[2]).released, 2u);
+  EXPECT_EQ(std::get<net::MergeWatermark>(got[3]).released, 2u);
+  const auto& live = std::get<net::MergeWatermark>(got[5]);
+  EXPECT_EQ(live.released, 3u);
+  EXPECT_EQ(live.rank, 2u);
+  EXPECT_EQ(live.safe_time, TimePoint(3.0));
+  h.merge.stop();
+}
+
+TEST(MergeNode, WatchdogFlagsStalledPeerAndTrafficClearsIt) {
+  MergeConfig config;
+  config.staleness_budget = std::chrono::milliseconds(25);
+  config.watchdog_interval = std::chrono::milliseconds(2);
+  MergeNode merge(1, config);
+  auto [node_end, merge_end] = net::make_pipe_pair();
+  merge.attach(0, merge_end);
+
+  // A connected-but-never-heard peer is not "stalled" — it has no
+  // last-heard to be stale relative to (its frontier already pins the
+  // gate at −infinity).
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(merge.peer(0).stalled);
+  EXPECT_EQ(merge.peer(0).state, MergePeerState::kNeverHeard);
+  EXPECT_TRUE(std::isinf(merge.peer(0).since_heard_seconds));
+
+  ASSERT_TRUE(node_end->write_all(announce_of(0, 0, 3.0)));
+  ASSERT_TRUE(merge.wait_for_announces(0, 1, 5000));
+  EXPECT_LT(merge.peer(0).since_heard_seconds, 1.0);
+  // Silence past the budget: the watchdog surfaces the stall…
+  ASSERT_TRUE(eventually([&] { return merge.peer(0).stalled; }));
+  const MergePeerStats stalled = merge.peer(0);
+  EXPECT_TRUE(stalled.connected);
+  EXPECT_EQ(stalled.state, MergePeerState::kPeerStalled);
+  EXPECT_EQ(stalled.error, MergeError::kNone);
+  // …but never speculates: the last announced frontier still gates.
+  EXPECT_EQ(merge.gate(), TimePoint(3.0));
+
+  // Any frame clears the verdict.
+  ASSERT_TRUE(node_end->write_all(announce_of(0, 0, 4.0)));
+  ASSERT_TRUE(eventually([&] { return !merge.peer(0).stalled; }));
+  EXPECT_EQ(merge.peer(0).state, MergePeerState::kLive);
+  EXPECT_EQ(merge.gate(), TimePoint(4.0));
+
+  // Tearing the peer's stream down demotes the verdict to disconnected
+  // (the gate reverts to −infinity blocking, not to speculation).
+  node_end->close_write();
+  node_end->shutdown();
+  ASSERT_TRUE(eventually([&] { return !merge.peer(0).connected; }));
+  EXPECT_EQ(merge.peer(0).state, MergePeerState::kDisconnected);
+  merge.stop();
+}
+
+// ── ShardNode retention cap and self-clocking pump ──────────────────────
+
+TEST(ShardNode, RetentionCapBoundsBacklogAndRefusesLateSubscribers) {
+  core::ClientRegistry registry = make_registry(1);
+  ShardNodeConfig config;
+  config.frontend = test_frontend_config();
+  config.replay_retention_cap = 4;
+  ShardNode node(registry, ids(1), config);
+  const std::string uplink_path = fresh_unix_path();
+  ASSERT_TRUE(node.listen_uplink_unix(uplink_path));
+
+  // Eight empty pumps publish eight announce frames: four past the cap.
+  for (int k = 0; k < 8; ++k) node.pump(TimePoint(1.0));
+  EXPECT_EQ(node.frames_retained(), 4u);
+  EXPECT_EQ(node.frames_truncated(), 4u);
+
+  // A merge attaching now cannot be replayed from frame zero: typed
+  // refusal, not a silent gap.
+  MergeNode merge(1);
+  ASSERT_TRUE(merge.connect_unix(0, uplink_path));
+  ASSERT_TRUE(eventually(
+      [&] { return merge.peer(0).error == MergeError::kReplayTruncated; }));
+  EXPECT_FALSE(merge.peer(0).connected);
+  merge.stop();
+  node.stop();
+}
+
+TEST(ShardNode, SubscriberAttachedBeforeTruncationKeepsItsLiveStream) {
+  core::ClientRegistry registry = make_registry(1);
+  ShardNodeConfig config;
+  config.frontend = test_frontend_config();
+  config.replay_retention_cap = 2;
+  ShardNode node(registry, ids(1), config);
+  const std::string uplink_path = fresh_unix_path();
+  ASSERT_TRUE(node.listen_uplink_unix(uplink_path));
+
+  MergeNode merge(1);
+  ASSERT_TRUE(merge.connect_unix(0, uplink_path));
+  ASSERT_TRUE(eventually([&] { return node.subscriber_count() == 1; }));
+  // Truncation happens under the attached subscriber: it already
+  // consumed those frames live, so its stream stays healthy.
+  for (int k = 0; k < 6; ++k) node.pump(TimePoint(1.0));
+  ASSERT_TRUE(merge.wait_for_announces(0, 6, 5000));
+  EXPECT_GT(node.frames_truncated(), 0u);
+  EXPECT_EQ(merge.peer(0).error, MergeError::kNone);
+  EXPECT_EQ(merge.peer(0).announces, 6u);
+  merge.stop();
+  node.stop();
+}
+
+TEST(ShardNode, SelfClockingPumpAnnouncesAndFlushesOnStop) {
+  core::ClientRegistry registry = make_registry(1);
+  ShardNodeConfig config;
+  config.frontend = test_frontend_config();
+  config.pump_interval = std::chrono::microseconds(500);
+  // Manual clock pinned before the message's stamp: the held message
+  // cannot emit until the shutdown flush.
+  std::atomic<double> now{1.0};
+  config.pump_clock = [&now] { return TimePoint(now.load()); };
+  ShardNode node(registry, ids(1), config);
+
+  {
+    auto session = node.service().open_session(ClientId(0));
+    session.submit(TimePoint(5.0), MessageId(1), TimePoint(5.0005));
+  }
+
+  EXPECT_FALSE(node.pump_running());
+  node.start_pump();
+  EXPECT_TRUE(node.pump_running());
+  ASSERT_TRUE(eventually([&] { return node.announces_published() >= 3; }));
+  // Gate pinned at 1.0: every pump so far was announce-only.
+  EXPECT_EQ(node.frames_retained(), node.announces_published());
+
+  node.stop_pump();
+  EXPECT_FALSE(node.pump_running());
+  // stop_pump's trailing flush drained the held message: exactly one
+  // batch frame beyond the announces.
+  EXPECT_EQ(node.frames_retained(), node.announces_published() + 1);
+
+  // The pump can restart after a clean stop.
+  node.start_pump();
+  EXPECT_TRUE(node.pump_running());
+  node.stop();
+  EXPECT_FALSE(node.pump_running());
+}
+
+// ── MergeSubscriber protocol errors (hand-fed downlink) ─────────────────
+
+/// A bare downlink endpoint whose test owns the server side of the
+/// first accepted connection.
+struct DownlinkStub {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<ByteStream> server;
+  net::StreamAcceptor acceptor;
+  std::string path = fresh_unix_path();
+
+  DownlinkStub()
+      : acceptor([this](std::shared_ptr<ByteStream> stream) {
+          std::lock_guard<std::mutex> lock(mutex);
+          server = std::move(stream);
+          cv.notify_all();
+        }) {
+    EXPECT_TRUE(acceptor.listen_unix(path));
+  }
+
+  [[nodiscard]] std::shared_ptr<ByteStream> accept() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait_for(lock, std::chrono::seconds(5),
+                [this] { return server != nullptr; });
+    return server;
+  }
+};
+
+TEST(MergeSubscriber, OrderViolationIsTerminalNotACutover) {
+  DownlinkStub stub;
+  MergeSubscriberConfig config;
+  config.endpoints = {NodeAddress{stub.path, 0}};
+  MergeSubscriber subscriber(config);
+  subscriber.start();
+  auto server = stub.accept();
+  ASSERT_NE(server, nullptr);
+
+  // A record at safe_time 2.0, then one at 1.0 — released order must be
+  // ascending, so the replica is lying. No attach watermark excuses it
+  // (this subscriber never consumed anything before this connection).
+  ASSERT_TRUE(server->write_all(
+      encode_frame(WireMessage(make_batch(0, 0, 0, 2.0)))));
+  ASSERT_TRUE(subscriber.wait_for_released(1, 5000));
+  ASSERT_TRUE(server->write_all(
+      encode_frame(WireMessage(make_batch(0, 0, 1, 1.0)))));
+  ASSERT_TRUE(eventually([&] {
+    return subscriber.stats().error == SubscriberError::kOrderViolation;
+  }));
+  const MergeSubscriberStats stats = subscriber.stats();
+  EXPECT_FALSE(stats.connected);
+  EXPECT_EQ(stats.cutovers, 0u);
+  EXPECT_EQ(subscriber.released_count(), 1u);
+  subscriber.stop();
+}
+
+TEST(MergeSubscriber, UnexpectedFrameKindIsATypedError) {
+  DownlinkStub stub;
+  MergeSubscriberConfig config;
+  config.endpoints = {NodeAddress{stub.path, 0}};
+  MergeSubscriber subscriber(config);
+  subscriber.start();
+  auto server = stub.accept();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->write_all(encode_frame(
+      WireMessage(net::Heartbeat{ClientId(1), TimePoint(1.0)}))));
+  ASSERT_TRUE(eventually([&] {
+    return subscriber.stats().error == SubscriberError::kUnexpectedFrame;
+  }));
+  subscriber.stop();
+}
+
+TEST(MergeSubscriber, WatermarkAheadOfTheDeliveredStreamIsAViolation) {
+  DownlinkStub stub;
+  MergeSubscriberConfig config;
+  config.endpoints = {NodeAddress{stub.path, 0}};
+  MergeSubscriber subscriber(config);
+  subscriber.start();
+  auto server = stub.accept();
+  ASSERT_NE(server, nullptr);
+  // A barrier claiming 3 releases on a stream that delivered none:
+  // records were lost ahead of their watermark.
+  net::MergeWatermark watermark;
+  watermark.released = 3;
+  ASSERT_TRUE(server->write_all(encode_frame(WireMessage(watermark))));
+  ASSERT_TRUE(eventually([&] {
+    return subscriber.stats().error == SubscriberError::kOrderViolation;
+  }));
+  subscriber.stop();
+}
+
+TEST(MergeSubscriber, ConsumesLiveDownlinkWithWatermarks) {
+  MergeHarness h(1);
+  const std::string downlink_path = fresh_unix_path();
+  ASSERT_TRUE(h.merge.listen_downlink_unix(downlink_path));
+
+  MergeSubscriberConfig config;
+  config.endpoints = {NodeAddress{downlink_path, 0}};
+  MergeSubscriber subscriber(config);
+  subscriber.start();
+  // The attach barrier: an empty watermark before anything releases.
+  ASSERT_TRUE(subscriber.wait_for_watermarks(1, 5000));
+  EXPECT_EQ(subscriber.watermark(), net::MergeWatermark{});
+
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 0, 1.0))));
+  h.send(0, encode_frame(WireMessage(make_batch(0, 0, 1, 2.0))));
+  h.sync(0, 0);
+  EXPECT_EQ(h.merge.release(), 2u);
+  ASSERT_TRUE(subscriber.wait_for_released(2, 5000));
+  EXPECT_EQ(subscriber.watermark(), h.merge.watermark());
+  const MergeSubscriberStats stats = subscriber.stats();
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.error, SubscriberError::kNone);
+  EXPECT_EQ(stats.duplicates, 0u);
+  subscriber.stop();
+  h.merge.stop();
 }
 
 }  // namespace

@@ -119,6 +119,32 @@ TEST(Codec, SafeTimeAnnounceInfiniteFrontierRoundTrip) {
   EXPECT_EQ(std::get<SafeTimeAnnounce>(*decoded), s);
 }
 
+TEST(Codec, MergeWatermarkRoundTrip) {
+  const MergeWatermark w{42, 3, 1ULL << 41, TimePoint(1.5e-3)};
+  const auto decoded = decode(encode(w));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<MergeWatermark>(*decoded));
+  EXPECT_EQ(std::get<MergeWatermark>(*decoded), w);
+}
+
+TEST(Codec, EmptyMergeWatermarkRoundTrip) {
+  // released == 0 is the "nothing released yet" watermark; the cursor
+  // fields are zeros by convention.
+  const MergeWatermark w{};
+  const auto decoded = decode(encode(w));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<MergeWatermark>(*decoded));
+  EXPECT_EQ(std::get<MergeWatermark>(*decoded), w);
+}
+
+TEST(Codec, ReplayTruncatedRoundTrip) {
+  const ReplayTruncated t{2, 5, 1ULL << 35};
+  const auto decoded = decode(encode(t));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<ReplayTruncated>(*decoded));
+  EXPECT_EQ(std::get<ReplayTruncated>(*decoded), t);
+}
+
 TEST(Codec, OrderedBatchRoundTrip) {
   OrderedBatch b;
   b.node = 2;
@@ -228,6 +254,9 @@ TEST(Codec, EveryPrefixOfEveryCodecIsRejected) {
            OrderedBatch::Entry{ClientId(3), MessageId(1ULL << 60),
                                TimePoint(1.0001), TimePoint(1.0006)}}}),
       WireMessage(OrderedBatch{0, 0, 0, TimePoint(0.5), TimePoint(0.75), {}}),
+      WireMessage(MergeWatermark{7, 1, 1ULL << 50, TimePoint(2.5)}),
+      WireMessage(MergeWatermark{}),
+      WireMessage(ReplayTruncated{3, 2, 129}),
   };
   for (std::size_t sample = 0; sample < samples.size(); ++sample) {
     const auto bytes = encode(samples[sample]);
