@@ -5,9 +5,10 @@
 //   ./build/example_wire_replay record t.trace --clients 3 --messages 12
 //   ./build/example_wire_replay serve --unix /tmp/s.sock --clients 3
 //        --expect-submits 36 [--threads] [--shards 2] [--json out.json]
+//        [--transport threads|epoll] [--pollers M]
 //   ./build/example_wire_replay replay t.trace --unix /tmp/s.sock --speed 2
 //   ./build/example_wire_replay blast --unix /tmp/s.sock --client 0
-//        --messages 10000
+//        --messages 10000 [--connections N]
 //
 // The demo records a randomized multi-client workload (reconnecting
 // segments included) to a trace file, replays it through a live
@@ -162,6 +163,15 @@ struct Args {
   bool threads{false};
   std::uint32_t shards{1};
   std::string json;
+  /// serve: reader model — "threads" (one blocking reader per
+  /// connection) or "epoll" (M-poller event loop).
+  std::string transport{"threads"};
+  std::uint32_t pollers{2};
+  /// blast: sockets driven round-robin by ONE process (--client is the
+  /// base id; connection i announces client base+i). Multiplying
+  /// connections per process is what makes C=1000 benchable without a
+  /// thousand forks.
+  std::uint32_t connections{1};
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -194,6 +204,9 @@ bool parse_args(int argc, char** argv, Args& args) {
       else if (flag == "--client") args.client = static_cast<std::uint32_t>(std::atoi(value));
       else if (flag == "--shards") args.shards = static_cast<std::uint32_t>(std::atoi(value));
       else if (flag == "--json") args.json = value;
+      else if (flag == "--transport") args.transport = value;
+      else if (flag == "--pollers") args.pollers = static_cast<std::uint32_t>(std::atoi(value));
+      else if (flag == "--connections") args.connections = static_cast<std::uint32_t>(std::atoi(value));
       else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return false;
@@ -251,7 +264,17 @@ int run_serve(const Args& args) {
   core::FairOrderingService service(registry, ids(args.clients), config);
   // Real wall-clock arrivals: serve mode is the load-bench half, not the
   // equivalence half (replay against a modeled clock is the demo's job).
-  net::FrameServer server(registry, service, {});
+  net::ServerConfig server_config;
+  const bool epoll = args.transport == "epoll";
+  if (epoll) {
+    server_config.frontend.transport = net::TransportMode::kEventLoop;
+    server_config.frontend.poller_threads = args.pollers;
+  } else if (args.transport != "threads") {
+    std::fprintf(stderr, "unknown --transport '%s' (threads|epoll)\n",
+                 args.transport.c_str());
+    return 2;
+  }
+  net::FrameServer server(registry, service, server_config);
   bool listening = false;
   if (!args.unix_path.empty()) {
     listening = server.listen_unix(args.unix_path);
@@ -317,15 +340,19 @@ int run_serve(const Args& args) {
       return 1;
     }
     // google-benchmark-shaped entry so bench_multiproc.sh can merge it
-    // into BENCH_throughput.json and CI can track the family.
+    // into BENCH_throughput.json and CI can track the family. The epoll
+    // transport reports its own family (same measurement, different
+    // reader model), so both columns are tracked side by side.
+    const char* family =
+        epoll ? "MP_EpollServerIngest" : "MP_UnixServerIngest";
     std::fprintf(
         out,
         "{\n"
         "  \"context\": {\"hardware_threads\": %u, \"workers\": %d,"
-        " \"shards\": %u},\n"
+        " \"shards\": %u, \"pollers\": %u},\n"
         "  \"benchmarks\": [\n"
-        "    {\"name\": \"MP_UnixServerIngest/clients:%u/messages:%llu\",\n"
-        "     \"run_name\": \"MP_UnixServerIngest/clients:%u/messages:%llu\","
+        "    {\"name\": \"%s/clients:%u/messages:%llu\",\n"
+        "     \"run_name\": \"%s/clients:%u/messages:%llu\","
         " \"run_type\": \"iteration\", \"repetitions\": 1,"
         " \"repetition_index\": 0, \"threads\": 1, \"iterations\": 1,\n"
         "     \"real_time\": %.6f, \"cpu_time\": %.6f,"
@@ -334,9 +361,9 @@ int run_serve(const Args& args) {
         "  ]\n"
         "}\n",
         std::thread::hardware_concurrency(), args.threads ? 1 : 0,
-        args.shards, args.clients,
-        static_cast<unsigned long long>(args.expect_submits), args.clients,
-        static_cast<unsigned long long>(args.expect_submits),
+        args.shards, epoll ? args.pollers : 0, family, args.clients,
+        static_cast<unsigned long long>(args.expect_submits), family,
+        args.clients, static_cast<unsigned long long>(args.expect_submits),
         ingest_seconds * 1e3, ingest_seconds * 1e3, items_per_second,
         static_cast<double>(totals.bytes_in) / ingest_seconds);
     std::fclose(out);
@@ -346,44 +373,68 @@ int run_serve(const Args& args) {
 }
 
 int run_blast(const Args& args) {
+  // One process, N sockets, driven round-robin (N = --connections;
+  // connection i announces client --client + i). The per-connection
+  // protocol is unchanged — N=1 is the historical single-client blast —
+  // but one driver can now model C=1000 concurrent clients without a
+  // thousand processes.
+  const std::uint32_t n = std::max<std::uint32_t>(1, args.connections);
+  net::Endpoint endpoint;
+  endpoint.unix_path = args.unix_path;
+  endpoint.tcp_port = static_cast<std::uint16_t>(args.tcp_port);
   // The server may still be binding: retry with a generous budget under
   // the shared backoff policy (flat 2 ms, same schedule every client
   // driver uses).
   net::RetryPolicy retry;
   retry.attempts = 2500;
-  auto wire = net::connect_retry(
-      args.unix_path, static_cast<std::uint16_t>(args.tcp_port), retry);
-  if (wire == nullptr) {
-    std::fprintf(stderr, "client %u: cannot connect\n", args.client);
-    return 1;
+
+  std::vector<std::shared_ptr<net::ByteStream>> wires(n);
+  std::vector<std::vector<std::uint8_t>> buffers(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t client = args.client + i;
+    wires[i] = net::dial(endpoint, retry);
+    if (wires[i] == nullptr) {
+      std::fprintf(stderr, "client %u: cannot connect\n", client);
+      return 1;
+    }
+    if (!wires[i]->write_all(
+            net::encode_frame(net::WireMessage(net::DistributionAnnouncement{
+                ClientId(client), summary_for(client)})))) {
+      std::fprintf(stderr, "client %u: handshake failed\n", client);
+      return 1;
+    }
   }
-  bool ok = wire->write_all(
-      net::encode_frame(net::WireMessage(net::DistributionAnnouncement{
-          ClientId(args.client), summary_for(args.client)})));
+
   // Frames are batched into chunky writes: a blast client measures the
-  // server, not per-write syscall overhead.
-  std::vector<std::uint8_t> buffer;
+  // server, not per-write syscall overhead. Round-robin across the
+  // sockets so the server sees all connections concurrently hot.
+  bool ok = true;
   double stamp = 1.0;
   for (int k = 0; ok && k < args.messages; ++k) {
     stamp += 1e-6;
-    const auto frame = event_frame(
-        args.client,
-        WorkloadEvent{false,
-                      1000000ULL * args.client + static_cast<std::uint64_t>(k),
-                      stamp});
-    buffer.insert(buffer.end(), frame.begin(), frame.end());
-    if (buffer.size() >= 32 * 1024 || k + 1 == args.messages) {
-      ok = wire->write_all(buffer);
-      buffer.clear();
+    for (std::uint32_t i = 0; ok && i < n; ++i) {
+      const std::uint32_t client = args.client + i;
+      const auto frame = event_frame(
+          client,
+          WorkloadEvent{false,
+                        1000000ULL * client + static_cast<std::uint64_t>(k),
+                        stamp});
+      buffers[i].insert(buffers[i].end(), frame.begin(), frame.end());
+      if (buffers[i].size() >= 32 * 1024 || k + 1 == args.messages) {
+        ok = wires[i]->write_all(buffers[i]);
+        buffers[i].clear();
+      }
     }
   }
-  if (ok) {
-    ok = wire->write_all(net::encode_frame(net::WireMessage(
-        net::Heartbeat{ClientId(args.client), TimePoint(stamp + 1.0)})));
+  for (std::uint32_t i = 0; ok && i < n; ++i) {
+    ok = wires[i]->write_all(net::encode_frame(net::WireMessage(
+        net::Heartbeat{ClientId(args.client + i), TimePoint(stamp + 1.0)})));
+    wires[i]->close_write();
   }
-  wire->close_write();
   if (!ok) {
-    std::fprintf(stderr, "client %u: write failed\n", args.client);
+    std::fprintf(stderr, "blast (base client %u, %u connections): write "
+                 "failed\n",
+                 args.client, n);
     return 1;
   }
   return 0;

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Multi-process throughput benchmark: N client PROCESSES blast the wire
 # protocol at ONE FrameServer process-half over a Unix-domain socket, and
-# the measured ingest rate is merged into the tracked benchmark JSON as
-# the MP_UnixServerIngest family — the first benchmark in the repo whose
-# numbers cross a real kernel socket boundary instead of a function call.
+# the measured ingest rate is merged into the tracked benchmark JSON —
+# the first benchmarks in the repo whose numbers cross a real kernel
+# socket boundary instead of a function call. Two families:
+#
+#   MP_UnixServerIngest   thread-per-connection readers, one blast
+#                         process per client
+#   MP_EpollServerIngest  event-loop (M-poller epoll) front-end at high
+#                         connection counts (C=100 and C=1000), driven by
+#                         one blast process holding C sockets round-robin
 #
 # The merge REPLACES any existing MP_* entries in the target JSON and
 # leaves every other family untouched, so the tracked artifact is
 # regenerated as:
 #
 #   scripts/bench_throughput_json.sh        # in-process families
-#   scripts/bench_multiproc.sh              # + the multi-process family
+#   scripts/bench_multiproc.sh              # + the multi-process families
 #
 # Usage:
 #   scripts/bench_multiproc.sh [target.json]   (default: BENCH_throughput.json)
@@ -23,8 +29,17 @@
 #   MP_MESSAGES    messages per client         (default 50000)
 #   MP_THREADS     1 = threaded service        (default 0)
 #   MP_SHARDS      shard count                 (default 1)
-#   BENCH_SMOKE    1 = small sizes for CI      (2 clients x 5000 msgs)
+#   MP_POLLERS     epoll poller threads        (default 2; a single
+#                  sequential service serializes ingest behind one lock,
+#                  so more pollers only add contention)
+#   MP_EPOLL_MESSAGES  per-connection messages for the C=100 epoll row
+#                      (default 2000; the C=1000 row scales it by 1/10)
+#   BENCH_SMOKE    1 = small sizes for CI      (2 clients x 5000 msgs;
+#                  epoll rows 100 and 20 msgs/connection)
 set -euo pipefail
+
+# C=1000 means >1000 fds in both the server and the blast driver.
+ulimit -n 4096 2>/dev/null || true
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
@@ -33,10 +48,13 @@ CLIENTS="${MP_CLIENTS:-4}"
 MESSAGES="${MP_MESSAGES:-50000}"
 THREADS="${MP_THREADS:-0}"
 SHARDS="${MP_SHARDS:-1}"
+POLLERS="${MP_POLLERS:-2}"
+EPOLL_MESSAGES="${MP_EPOLL_MESSAGES:-2000}"
 
 if [[ "${BENCH_SMOKE:-0}" == "1" ]]; then
   CLIENTS=2
   MESSAGES=5000
+  EPOLL_MESSAGES=100
 fi
 
 build_type() {
@@ -71,12 +89,15 @@ cmake --build "$BUILD_DIR" --target example_wire_replay -j "$(nproc)"
 BIN="$BUILD_DIR/example_wire_replay"
 SOCK="$(mktemp -u /tmp/tommy_mp_XXXXXX.sock)"
 OUT="$(mktemp /tmp/tommy_mp_XXXXXX.json)"
+OUT_E100="$(mktemp /tmp/tommy_mp_XXXXXX.json)"
+OUT_E1K="$(mktemp /tmp/tommy_mp_XXXXXX.json)"
 SERVER_PID=""
 # Kill the background server too: a failing client aborts the script at
 # its `wait`, and an orphaned server would otherwise serve a deadline out
 # against deleted temp paths.
-trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$SOCK" "$OUT"' EXIT
+trap '[[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null; rm -f "$SOCK" "$OUT" "$OUT_E100" "$OUT_E1K"' EXIT
 
+# ── Row 1: thread-per-connection, one blast process per client ──────────
 EXPECT=$((CLIENTS * MESSAGES))
 SERVE_ARGS=(serve --unix "$SOCK" --clients "$CLIENTS"
             --expect-submits "$EXPECT" --shards "$SHARDS" --json "$OUT")
@@ -92,28 +113,53 @@ for ((i = 0; i < CLIENTS; i++)); do
 done
 for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
 wait "$SERVER_PID"
+SERVER_PID=""
 
-# Merge: replace MP_* entries in the target (creating it with the run's
-# context if absent), keep everything else.
-python3 - "$TARGET" "$OUT" <<'EOF'
+# ── Rows 2+3: epoll front-end at C=100 and C=1000 connections ───────────
+# One blast process drives all C sockets round-robin; the server runs the
+# event-loop transport with $POLLERS poller threads.
+run_epoll_row() {
+  local connections="$1" per_conn="$2" out="$3"
+  local sock expect
+  sock="$(mktemp -u /tmp/tommy_mp_XXXXXX.sock)"
+  expect=$((connections * per_conn))
+  "$BIN" serve --unix "$sock" --clients "$connections" \
+      --expect-submits "$expect" --shards "$SHARDS" \
+      --transport epoll --pollers "$POLLERS" --json "$out" &
+  SERVER_PID=$!
+  "$BIN" blast --unix "$sock" --client 0 --connections "$connections" \
+      --messages "$per_conn"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  rm -f "$sock"
+}
+
+run_epoll_row 100 "$EPOLL_MESSAGES" "$OUT_E100"
+run_epoll_row 1000 $((EPOLL_MESSAGES / 10 > 0 ? EPOLL_MESSAGES / 10 : 1)) "$OUT_E1K"
+
+# Merge: replace MP_* entries in the target (creating it with the first
+# run's context if absent), keep everything else.
+python3 - "$TARGET" "$OUT" "$OUT_E100" "$OUT_E1K" <<'EOF'
 import json
 import sys
 
-target_path, run_path = sys.argv[1], sys.argv[2]
-with open(run_path) as f:
-    run = json.load(f)
+target_path, run_paths = sys.argv[1], sys.argv[2:]
+runs = []
+for path in run_paths:
+    with open(path) as f:
+        runs.append(json.load(f))
 try:
     with open(target_path) as f:
         target = json.load(f)
 except FileNotFoundError:
-    target = {"context": run["context"], "benchmarks": []}
+    target = {"context": runs[0]["context"], "benchmarks": []}
 
 kept = [b for b in target.get("benchmarks", [])
         if not b["name"].startswith("MP_")]
-target["benchmarks"] = kept + run["benchmarks"]
+merged = [b for run in runs for b in run["benchmarks"]]
+target["benchmarks"] = kept + merged
 with open(target_path, "w") as f:
     json.dump(target, f, indent=1)
     f.write("\n")
-names = [b["name"] for b in run["benchmarks"]]
-print(f"merged {names} into {target_path}")
+print(f"merged {[b['name'] for b in merged]} into {target_path}")
 EOF

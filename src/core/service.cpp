@@ -128,6 +128,20 @@ struct FairOrderingService::ShardWorker {
     if (sleeping.load(std::memory_order_relaxed)) wake();
   }
 
+  /// Nonblocking producer side for event-driven front-ends: a full ring
+  /// returns false instead of spinning (the worker is still woken, so the
+  /// caller's retry finds room soon). Success runs the same Dekker
+  /// handshake as push().
+  bool try_push(IngestLane& lane, IngestOp op) {
+    if (!lane.ring.try_push(std::move(op))) {
+      wake();
+      return false;
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (sleeping.load(std::memory_order_relaxed)) wake();
+    return true;
+  }
+
   void refresh_lane_cache() {
     const std::uint64_t version =
         lanes_version.load(std::memory_order_acquire);
@@ -555,6 +569,39 @@ void FairOrderingService::Session::heartbeat(TimePoint local_stamp,
   op.stamp = local_stamp;
   op.arrival = now;
   lane_->worker->push(*lane_, op);
+}
+
+std::size_t FairOrderingService::Session::try_submit_batch(
+    std::span<const Submission> items) {
+  if (lane_ == nullptr) {
+    // Sequential ingest has no capacity limit: the caller holds the
+    // service's ingest serialization (its try step is acquiring that
+    // lock), so acceptance here is total.
+    inner_.submit_batch_relaxed(items);
+    return items.size();
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    IngestOp op;
+    op.kind = IngestOp::Kind::kSubmit;
+    op.stamp = items[i].stamp;
+    op.id = items[i].id;
+    op.arrival = items[i].arrival;
+    if (!lane_->worker->try_push(*lane_, op)) return i;
+  }
+  return items.size();
+}
+
+bool FairOrderingService::Session::try_heartbeat(TimePoint local_stamp,
+                                                 TimePoint now) {
+  if (lane_ == nullptr) {
+    inner_.heartbeat(local_stamp, now);
+    return true;
+  }
+  IngestOp op;
+  op.kind = IngestOp::Kind::kHeartbeat;
+  op.stamp = local_stamp;
+  op.arrival = now;
+  return lane_->worker->try_push(*lane_, op);
 }
 
 std::uint32_t FairOrderingService::shard_of(ClientId client) const {

@@ -289,6 +289,20 @@ class FairOrderingService {
     void submit_batch(std::span<const Submission> items);
     void heartbeat(TimePoint local_stamp, TimePoint now);
 
+    /// Nonblocking submit_batch for event-driven front-ends: applies (or
+    /// enqueues) a PREFIX of `items` and returns its length. Sequential
+    /// mode accepts everything (capacity there is the ingest lock, which
+    /// the caller already arbitrates); threaded mode stops at the first
+    /// op the session's full ring rejects, so the caller can hold the
+    /// remainder and stop reading its socket — backpressure instead of
+    /// the spinning push() performs.
+    [[nodiscard]] std::size_t try_submit_batch(
+        std::span<const Submission> items);
+
+    /// Nonblocking heartbeat: false when the session's ring is full (the
+    /// caller retries later; heartbeats are idempotent in effect).
+    [[nodiscard]] bool try_heartbeat(TimePoint local_stamp, TimePoint now);
+
     [[nodiscard]] ClientId client() const { return client_; }
     [[nodiscard]] std::uint32_t shard() const { return shard_; }
 

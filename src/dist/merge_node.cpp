@@ -59,18 +59,19 @@ MergeNode::MergeNode(std::uint32_t node_count, MergeConfig config)
 
 MergeNode::~MergeNode() { stop(); }
 
-bool MergeNode::connect_unix(std::uint32_t node, const std::string& path) {
-  auto stream = net::connect_unix(path, config_.retry);
+bool MergeNode::connect(std::uint32_t node, const net::Endpoint& endpoint) {
+  auto stream = net::dial(endpoint, config_.retry);
   if (stream == nullptr) return false;
   attach(node, std::move(stream));
   return true;
 }
 
+bool MergeNode::connect_unix(std::uint32_t node, const std::string& path) {
+  return connect(node, net::Endpoint{.unix_path = path, .tcp_port = 0});
+}
+
 bool MergeNode::connect_tcp(std::uint32_t node, std::uint16_t port) {
-  auto stream = net::connect_tcp(port, config_.retry);
-  if (stream == nullptr) return false;
-  attach(node, std::move(stream));
-  return true;
+  return connect(node, net::Endpoint{.unix_path = {}, .tcp_port = port});
 }
 
 void MergeNode::attach(std::uint32_t node,

@@ -148,6 +148,10 @@ class MergeNode {
   /// attaches the stream. False if the dial failed. Reconnect after a
   /// node restart is the same call again — the peer slot must be
   /// disconnected (its old reader joined here).
+  [[nodiscard]] bool connect(std::uint32_t node,
+                             const net::Endpoint& endpoint);
+
+  /// Deprecated per-transport spellings of connect().
   [[nodiscard]] bool connect_unix(std::uint32_t node,
                                   const std::string& path);
   [[nodiscard]] bool connect_tcp(std::uint32_t node, std::uint16_t port);

@@ -83,8 +83,7 @@ void MergeSubscriber::run() {
     }
     const NodeAddress& address =
         config_.endpoints[index % config_.endpoints.size()];
-    auto stream =
-        net::connect_retry(address.unix_path, address.tcp_port, config_.retry);
+    auto stream = net::dial(address, config_.retry);
     if (stream == nullptr) {
       // This endpoint's budget ran dry (still down, or never came back).
       // Move on — the cycle retries it after the others.

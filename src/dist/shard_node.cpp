@@ -110,9 +110,11 @@ std::size_t ShardNode::pump_impl(TimePoint now, bool flush_all) {
   };
   core::CallbackSink<decltype(collect)> sink(collect);
   TimePoint next_safe = TimePoint::infinite_future();
-  const std::size_t emitted =
-      flush_all ? server_.frontend().pump_flush_into(now, sink, &next_safe)
-                : server_.frontend().pump_into(now, sink, &next_safe);
+  net::PumpOptions options;
+  options.sink = &sink;
+  options.flush = flush_all;
+  options.next_safe_after = &next_safe;
+  const std::size_t emitted = server_.frontend().pump(now, options);
 
   std::vector<std::vector<std::uint8_t>> frames;
   frames.reserve(records.size() + 1);

@@ -110,17 +110,27 @@ class ShardNode {
   ShardNode(const ShardNode&) = delete;
   ShardNode& operator=(const ShardNode&) = delete;
 
+  /// Unified listen surface: one endpoint value per socket, straight
+  /// from the topology (NodeEndpoints is the same net::Endpoint type).
+  [[nodiscard]] bool listen_ingest(const net::Endpoint& endpoint) {
+    return server_.listen(endpoint);
+  }
+  [[nodiscard]] bool listen_uplink(const net::Endpoint& endpoint) {
+    return uplink_.listen(endpoint);
+  }
+
+  // Deprecated per-transport spellings (thin wrappers over the above).
   [[nodiscard]] bool listen_ingest_unix(const std::string& path) {
-    return server_.listen_unix(path);
+    return listen_ingest(net::Endpoint{.unix_path = path, .tcp_port = 0});
   }
   [[nodiscard]] bool listen_ingest_tcp(std::uint16_t port) {
-    return server_.listen_tcp(port);
+    return listen_ingest(net::Endpoint{.unix_path = {}, .tcp_port = port});
   }
   [[nodiscard]] bool listen_uplink_unix(const std::string& path) {
-    return uplink_.listen_unix(path);
+    return listen_uplink(net::Endpoint{.unix_path = path, .tcp_port = 0});
   }
   [[nodiscard]] bool listen_uplink_tcp(std::uint16_t port) {
-    return uplink_.listen_tcp(port);
+    return listen_uplink(net::Endpoint{.unix_path = {}, .tcp_port = port});
   }
 
   /// Polls the service at `now`, publishes each emitted batch as one

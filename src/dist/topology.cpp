@@ -89,8 +89,7 @@ std::shared_ptr<net::ByteStream> RouterNode::dial(
   // budget: a shard node mid-restart (socket file briefly gone, listener
   // mid-bind) refuses transiently, and the relay should outwait it
   // rather than fail the client's first frame.
-  return net::connect_retry(address.unix_path, address.tcp_port,
-                            config_.retry);
+  return net::dial(address, config_.retry);
 }
 
 }  // namespace tommy::dist

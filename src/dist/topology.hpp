@@ -35,16 +35,11 @@
 
 namespace tommy::dist {
 
-/// One dialable listening endpoint: a Unix socket path (preferred when
-/// nonempty) or a TCP port on 127.0.0.1.
-struct NodeAddress {
-  std::string unix_path{};
-  std::uint16_t tcp_port{0};
-
-  [[nodiscard]] bool empty() const {
-    return unix_path.empty() && tcp_port == 0;
-  }
-};
+/// One dialable listening endpoint. Now literally the shared net-layer
+/// address type: a topology entry passes straight into net::listen /
+/// net::dial without translation (field layout and empty() semantics are
+/// unchanged — aggregate initializers at existing call sites still work).
+using NodeAddress = net::Endpoint;
 
 /// A shard node's two listening sockets: `ingest` accepts client (or
 /// router-relayed) frame connections; `uplink` streams OrderedBatch +
@@ -118,6 +113,10 @@ class RouterNode {
   RouterNode(const RouterNode&) = delete;
   RouterNode& operator=(const RouterNode&) = delete;
 
+  /// Unified listen (deprecated per-transport spellings below).
+  [[nodiscard]] bool listen(const net::Endpoint& endpoint) {
+    return acceptor_.listen(endpoint);
+  }
   [[nodiscard]] bool listen_unix(const std::string& path);
   [[nodiscard]] bool listen_tcp(std::uint16_t port);
 

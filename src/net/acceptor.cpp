@@ -248,54 +248,71 @@ void FrameServer::stop() {
   frontend_.stop();
 }
 
-// ── Client-side connects ────────────────────────────────────────────────
+// ── Client-side dial ────────────────────────────────────────────────────
 
-std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr))
-      != 0) {
-    const int saved = errno;
-    close_fd(fd);
-    errno = saved;
-    return nullptr;
+std::shared_ptr<ByteStream> dial(const Endpoint& endpoint) {
+  int fd;
+  if (endpoint.is_unix()) {
+    sockaddr_un addr{};
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      errno = ENAMETOOLONG;
+      return nullptr;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint.unix_path.c_str(),
+                endpoint.unix_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int saved = errno;
+      close_fd(fd);
+      errno = saved;
+      return nullptr;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.tcp_port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int saved = errno;
+      close_fd(fd);
+      errno = saved;
+      return nullptr;
+    }
   }
+  // Uniform socket conditioning for BOTH transports (historically only
+  // the TCP dial and the accept path disabled Nagle): a no-op on Unix
+  // sockets, latency-critical on TCP.
   set_nodelay(fd);
   return make_fd_stream(fd);
 }
 
+std::shared_ptr<ByteStream> dial(const Endpoint& endpoint,
+                                 const RetryPolicy& policy) {
+  return connect_with_retry([&endpoint] { return dial(endpoint); }, policy);
+}
+
+std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port) {
+  return dial(Endpoint{.unix_path = {}, .tcp_port = port});
+}
+
 std::shared_ptr<ByteStream> connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  if (path.size() >= sizeof(addr.sun_path)) {
-    errno = ENAMETOOLONG;
-    return nullptr;
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr))
-      != 0) {
-    const int saved = errno;
-    close_fd(fd);
-    errno = saved;
-    return nullptr;
-  }
-  return make_fd_stream(fd);
+  return dial(Endpoint{.unix_path = path, .tcp_port = 0});
 }
 
 std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port,
                                         const RetryPolicy& policy) {
-  return connect_with_retry([port] { return connect_tcp(port); }, policy);
+  return dial(Endpoint{.unix_path = {}, .tcp_port = port}, policy);
 }
 
 std::shared_ptr<ByteStream> connect_unix(const std::string& path,
                                          const RetryPolicy& policy) {
-  return connect_with_retry([&path] { return connect_unix(path); }, policy);
+  return dial(Endpoint{.unix_path = path, .tcp_port = 0}, policy);
 }
 
 std::chrono::microseconds RetryPolicy::delay_for(int attempt) const {
@@ -322,8 +339,8 @@ void RetryPolicy::wait(int attempt) const {
 std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,
                                           std::uint16_t tcp_port,
                                           const RetryPolicy& policy) {
-  return unix_path.empty() ? connect_tcp(tcp_port, policy)
-                           : connect_unix(unix_path, policy);
+  return dial(Endpoint{.unix_path = unix_path, .tcp_port = tcp_port},
+              policy);
 }
 
 std::shared_ptr<ByteStream> connect_retry(const std::string& unix_path,

@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 
+#include "net/endpoint.hpp"
 #include "net/frontend.hpp"
 
 namespace tommy::net {
@@ -67,6 +68,13 @@ class StreamAcceptor {
   /// Binds a Unix-domain stream socket at `path` (unlinking a stale
   /// socket file first), listens, and starts the accept thread.
   [[nodiscard]] bool listen_unix(const std::string& path);
+
+  /// Unified entry point: listen_unix when the endpoint names a Unix
+  /// path, else listen_tcp. Same one-listen-per-acceptor rule.
+  [[nodiscard]] bool listen(const Endpoint& endpoint) {
+    return endpoint.is_unix() ? listen_unix(endpoint.unix_path)
+                              : listen_tcp(endpoint.tcp_port);
+  }
 
   /// Bound TCP port (valid after a successful listen_tcp).
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -144,6 +152,12 @@ class FrameServer {
   /// socket file first), listens, and starts the accept thread.
   [[nodiscard]] bool listen_unix(const std::string& path);
 
+  /// Unified entry point: listen_unix when the endpoint names a Unix
+  /// path, else listen_tcp.
+  [[nodiscard]] bool listen(const Endpoint& endpoint) {
+    return acceptor_.listen(endpoint);
+  }
+
   /// Bound TCP port (valid after a successful listen_tcp).
   [[nodiscard]] std::uint16_t port() const { return acceptor_.port(); }
   /// Bound Unix socket path (valid after a successful listen_unix).
@@ -201,40 +215,51 @@ struct RetryPolicy {
   void wait(int attempt) const;
 };
 
-/// Connects to a FrameServer listening on 127.0.0.1:`port` (numeric IPv4
-/// only — this is a test/bench/replay client, not a resolver). nullptr on
-/// failure.
+/// Dials `endpoint` once: a Unix-domain connect when it names a path,
+/// else a TCP connect to 127.0.0.1:port (numeric loopback only — this is
+/// a test/bench/replay client, not a resolver). The connected socket is
+/// uniformly conditioned regardless of transport: TCP_NODELAY applied
+/// here (a no-op on Unix sockets), O_NONBLOCK applied by make_fd_stream
+/// (FdByteStream emulates the blocking contract over poll, so one fd
+/// mode serves both read styles). nullptr on failure, errno preserved.
+[[nodiscard]] std::shared_ptr<ByteStream> dial(const Endpoint& endpoint);
+
+/// dial with a retry budget for TRANSIENT failures only — the
+/// multi-process startup race: a server mid-bind (or draining an accept
+/// burst) refuses with ECONNREFUSED/ECONNRESET/ETIMEDOUT (plus ENOENT
+/// for a Unix socket file not yet on disk), and the client backs off
+/// under `policy` instead of failing its first attempt. Non-transient
+/// failures (EACCES, ENETUNREACH, bad fd limits) return nullptr
+/// immediately with errno preserved — retrying cannot fix them.
+[[nodiscard]] std::shared_ptr<ByteStream> dial(const Endpoint& endpoint,
+                                               const RetryPolicy& policy);
+
+// ── Deprecated dial spellings ───────────────────────────────────────────
+// Thin wrappers over dial(); kept so existing call sites keep compiling.
+// New code should construct an Endpoint and call dial directly.
+
+/// Deprecated: dial(Endpoint{.tcp_port = port}).
 [[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(std::uint16_t port);
 
-/// Connects to a Unix-domain FrameServer at `path`. nullptr on failure.
+/// Deprecated: dial(Endpoint{.unix_path = path}).
 [[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
     const std::string& path);
 
-/// connect_tcp with a retry budget for TRANSIENT failures only — the
-/// multi-process startup race: a server mid-bind (or draining an accept
-/// burst) refuses with ECONNREFUSED/ECONNRESET/ETIMEDOUT, and the client
-/// backs off under `policy` instead of failing its first attempt.
-/// Non-transient failures (EACCES, ENETUNREACH, bad fd limits) return
-/// nullptr immediately with errno preserved — retrying cannot fix them.
+/// Deprecated: dial(Endpoint{.tcp_port = port}, policy).
 [[nodiscard]] std::shared_ptr<ByteStream> connect_tcp(
     std::uint16_t port, const RetryPolicy& policy);
 
-/// connect_unix with the same transient-only retry budget. ENOENT (the
-/// server has not bound its socket file yet) counts as transient.
+/// Deprecated: dial(Endpoint{.unix_path = path}, policy).
 [[nodiscard]] std::shared_ptr<ByteStream> connect_unix(
     const std::string& path, const RetryPolicy& policy);
 
-/// connect_unix (when `unix_path` is nonempty) or connect_tcp, with a
-/// retry budget: a server mid-bind or mid-accept-burst can transiently
-/// refuse (ECONNREFUSED, missing socket file), and every client-side
-/// driver (replay, blast, soak harness) wants the same patience — no
-/// client should fail on the first refused connect. nullptr once the
-/// budget is exhausted.
+/// Deprecated: dial(Endpoint{unix_path, tcp_port}, policy) — the Unix
+/// path wins when nonempty, exactly as Endpoint specifies.
 [[nodiscard]] std::shared_ptr<ByteStream> connect_retry(
     const std::string& unix_path, std::uint16_t tcp_port,
     const RetryPolicy& policy);
 
-/// Back-compat overload: flat ~2 ms between `attempts` tries.
+/// Deprecated back-compat overload: flat ~2 ms between `attempts` tries.
 [[nodiscard]] std::shared_ptr<ByteStream> connect_retry(
     const std::string& unix_path, std::uint16_t tcp_port,
     int attempts = 500);

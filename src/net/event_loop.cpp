@@ -1,0 +1,221 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+
+#include "common/check.hpp"
+
+namespace tommy::net {
+
+namespace {
+
+/// Reserved tag for the wake eventfd (registration keys are a counter,
+/// so the sentinel never collides in practice).
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    TOMMY_EXPECTS(epoll_fd_ >= 0);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    TOMMY_EXPECTS(wake_fd_ >= 0);
+    ::epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    TOMMY_EXPECTS(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  }
+
+  ~EpollPoller() override {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+  }
+
+  bool add(int fd, std::uint64_t tag) override {
+    ::epoll_event ev{};
+    // Edge-triggered, armed once: readable and writable edges both flow
+    // through the same registration, so the hot path never touches
+    // epoll_ctl again. EPOLLRDHUP surfaces peer half-close as an edge.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void remove(int fd) override {
+    ::epoll_event ev{};  // ignored since 2.6.9, required to be non-null
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  std::size_t wait(std::span<PollEvent> out, int timeout_ms) override {
+    std::array<::epoll_event, 64> events;
+    const int cap = static_cast<int>(
+        std::min(out.size(), events.size()));
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, events.data(), cap, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return 0;
+    std::size_t filled = 0;
+    for (int i = 0; i < n; ++i) {
+      const ::epoll_event& ev = events[static_cast<std::size_t>(i)];
+      if (ev.data.u64 == kWakeTag) {
+        std::uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      PollEvent& slot = out[filled++];
+      slot.tag = ev.data.u64;
+      // Error/hangup flags surface as readability: the read path drains
+      // whatever is buffered and then observes EOF or the error itself.
+      slot.readable =
+          (ev.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0;
+      slot.writable = (ev.events & EPOLLOUT) != 0;
+      slot.hangup = (ev.events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0;
+    }
+    return filled;
+  }
+
+  void wake() override {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+  }
+
+ private:
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_epoll_poller() {
+  return std::make_unique<EpollPoller>();
+}
+
+EventLoop::EventLoop(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->poller = make_epoll_poller();
+    workers_.push_back(std::move(worker));
+  }
+  // Spawn after the vector is final: run() captures a stable Worker&.
+  for (auto& worker : workers_) {
+    Worker& ref = *worker;
+    ref.thread = std::thread([this, &ref] { run(ref); });
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (auto& worker : workers_) {
+    worker->stop.store(true, std::memory_order_release);
+    worker->poller->wake();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::uint64_t EventLoop::allocate_key() {
+  return next_key_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLoop::attach(std::uint64_t key, int fd, Handler handler) {
+  Worker& worker = *workers_[key % workers_.size()];
+  auto entry = std::make_shared<Entry>();
+  entry->fd = fd;
+  entry->handler = std::move(handler);
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.handlers.emplace(key, std::move(entry));
+  }
+  // Register AFTER the handler is findable: the very first edge may
+  // fire before attach() returns.
+  TOMMY_EXPECTS(worker.poller->add(fd, key));
+}
+
+std::uint64_t EventLoop::add(int fd, Handler handler) {
+  const std::uint64_t key = allocate_key();
+  attach(key, fd, std::move(handler));
+  return key;
+}
+
+void EventLoop::remove_sync(std::uint64_t key) {
+  Worker& worker = *workers_[key % workers_.size()];
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    auto it = worker.handlers.find(key);
+    if (it == worker.handlers.end()) return;
+    fd = it->second->fd;
+    worker.handlers.erase(it);
+    std::erase(worker.ticks, key);
+  }
+  worker.poller->remove(fd);
+  // Completion barrier: an in-flight callback batch may have looked the
+  // handler up before the erase; once we hold the dispatch lock, that
+  // batch has finished and no future batch can find the key.
+  { std::lock_guard<std::mutex> barrier(worker.dispatch_mutex); }
+}
+
+void EventLoop::request_tick(std::uint64_t key) {
+  Worker& worker = *workers_[key % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (!worker.handlers.contains(key)) return;
+    if (std::find(worker.ticks.begin(), worker.ticks.end(), key)
+        != worker.ticks.end()) {
+      return;  // coalesce
+    }
+    worker.ticks.push_back(key);
+  }
+  worker.poller->wake();
+}
+
+void EventLoop::run(Worker& worker) {
+  std::array<PollEvent, 64> events;
+  std::vector<std::uint64_t> due;
+  while (!worker.stop.load(std::memory_order_acquire)) {
+    due.clear();
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      due.swap(worker.ticks);
+    }
+    // Pending ticks bound the wait at the retry cadence; otherwise sleep
+    // until an edge or a wake.
+    const int timeout_ms = due.empty() ? -1 : 1;
+    const std::size_t n = worker.poller->wait(events, timeout_ms);
+    if (worker.stop.load(std::memory_order_acquire)) break;
+    std::lock_guard<std::mutex> dispatch(worker.dispatch_mutex);
+    for (std::size_t i = 0; i < n; ++i) {
+      const PollEvent& ev = events[i];
+      std::shared_ptr<Entry> entry;
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        auto it = worker.handlers.find(ev.tag);
+        if (it != worker.handlers.end()) entry = it->second;
+      }
+      if (entry && entry->handler.on_event) {
+        entry->handler.on_event(ev.readable, ev.writable, ev.hangup);
+      }
+    }
+    for (const std::uint64_t key : due) {
+      std::shared_ptr<Entry> entry;
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        auto it = worker.handlers.find(key);
+        if (it != worker.handlers.end()) entry = it->second;
+      }
+      if (entry && entry->handler.on_tick) entry->handler.on_tick();
+    }
+  }
+}
+
+}  // namespace tommy::net

@@ -1,0 +1,143 @@
+// The event-driven transport core: a readiness Poller abstraction
+// (epoll today; the interface is shaped so an io_uring implementation
+// can slot in behind the same calls) and an EventLoop running M poller
+// threads that multiplex many fds onto few threads.
+//
+//   fd ──add──► EventLoop ──round-robin──► worker thread w/ own Poller
+//                              │ readiness edge / requested tick
+//                              ▼
+//                    Handler::on_event / on_tick   (one thread per fd:
+//                    a connection's callbacks never run concurrently)
+//
+// Threading contract:
+//  * add() assigns the fd to one worker (round-robin) and returns a key.
+//    All of that fd's callbacks run on that worker's thread, serialized
+//    — per-connection state needs no locking against itself.
+//  * Registration is edge-triggered (EPOLLIN|EPOLLOUT|EPOLLRDHUP|
+//    EPOLLET), armed ONCE at add: no epoll_ctl churn on the hot path.
+//    Handlers must drain to kWouldBlock on every readable edge, and
+//    writability edges fire only on full→writable transitions.
+//  * request_tick(key) schedules an on_tick callback ~one tick period
+//    (1ms) later on the owning worker — the retry mechanism for
+//    backpressure stalls, where no fd edge will arrive (the fd IS
+//    readable; the service is what's full).
+//  * remove_sync(key) unregisters and then barriers on the worker's
+//    dispatch lock: when it returns, no callback for the key is running
+//    or will run. It must NEVER be called from a loop thread (it would
+//    deadlock on its own dispatch lock) — reap/close/stop all run on
+//    external threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tommy::net {
+
+/// One readiness notification out of Poller::wait.
+struct PollEvent {
+  std::uint64_t tag{0};
+  bool readable{false};
+  bool writable{false};
+  /// Peer hung up or the fd errored — the read path will observe
+  /// EOF/error once drained.
+  bool hangup{false};
+};
+
+/// Minimal readiness-notification interface. One waiter thread at a
+/// time; add/remove/wake may be called from any thread.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` edge-triggered for read+write readiness under `tag`.
+  [[nodiscard]] virtual bool add(int fd, std::uint64_t tag) = 0;
+  /// Unregisters `fd`. Events already harvested may still surface.
+  virtual void remove(int fd) = 0;
+  /// Blocks up to `timeout_ms` (-1 = forever) for readiness; fills `out`
+  /// and returns the count. Returns 0 on timeout or spurious wake.
+  [[nodiscard]] virtual std::size_t wait(std::span<PollEvent> out,
+                                         int timeout_ms) = 0;
+  /// Unblocks a concurrent wait() (self-pipe/eventfd).
+  virtual void wake() = 0;
+};
+
+/// The Linux implementation: epoll + eventfd wake.
+[[nodiscard]] std::unique_ptr<Poller> make_epoll_poller();
+
+class EventLoop {
+ public:
+  struct Handler {
+    /// Readiness callback (owning worker thread).
+    std::function<void(bool readable, bool writable, bool hangup)> on_event;
+    /// Deferred-retry callback (owning worker thread; see request_tick).
+    std::function<void()> on_tick;
+  };
+
+  /// Spawns `threads` poller threads (min 1).
+  explicit EventLoop(std::size_t threads);
+
+  /// Stops and joins every poller thread. Registered handlers are
+  /// dropped without further callbacks.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Reserves a registration key (round-robin worker assignment is a
+  /// pure function of the key). Splitting allocation from attach lets
+  /// the caller publish the key into handler-visible state BEFORE the
+  /// first callback can fire.
+  [[nodiscard]] std::uint64_t allocate_key();
+
+  /// Registers `fd` under a key from allocate_key(). The handler may
+  /// fire immediately (on the owning worker thread).
+  void attach(std::uint64_t key, int fd, Handler handler);
+
+  /// allocate_key() + attach() in one call, for callers whose handlers
+  /// don't need the key. Returns the key.
+  [[nodiscard]] std::uint64_t add(int fd, Handler handler);
+
+  /// Unregisters `key` and waits until no callback for it is running.
+  /// MUST NOT be called from a loop thread (see file header).
+  void remove_sync(std::uint64_t key);
+
+  /// Schedules one on_tick for `key` on its owning worker, ~1ms out.
+  /// Coalesced: multiple requests before the tick fires yield one call.
+  void request_tick(std::uint64_t key);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  struct Entry {
+    int fd{-1};
+    Handler handler;
+  };
+
+  struct Worker {
+    std::unique_ptr<Poller> poller;
+    std::thread thread;
+    /// Guards handlers + ticks (registration vs dispatch vs tick
+    /// requests). Leaf lock: never held across a callback.
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> handlers;
+    std::vector<std::uint64_t> ticks;
+    /// Held for the duration of each callback batch; remove_sync
+    /// acquires it as a completion barrier.
+    std::mutex dispatch_mutex;
+    std::atomic<bool> stop{false};
+  };
+
+  void run(Worker& worker);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> next_key_{0};
+};
+
+}  // namespace tommy::net

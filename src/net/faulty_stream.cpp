@@ -111,6 +111,78 @@ bool FaultyByteStream::write_all(std::span<const std::uint8_t> bytes) {
   return true;
 }
 
+IoResult FaultyByteStream::try_read(std::span<std::uint8_t> out) {
+  std::size_t cap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.reads++;
+    if (delivered_ >= plan_.cut_read_after) {
+      stats_.read_cut = true;
+      return {plan_.cut_is_error ? IoStatus::kError : IoStatus::kEof, 0};
+    }
+    if (plan_.retry_every_reads != 0
+        && stats_.reads % plan_.retry_every_reads == 0) {
+      // Counted, then this very call proceeds (see the header: an
+      // injected kWouldBlock would strand an edge-triggered caller).
+      stats_.injected_retries++;
+    }
+    cap = next_chunk(plan_.read_chunks, plan_.read_chunks_cycle,
+                     read_cursor_);
+    cap = std::min<std::size_t>(
+        cap, static_cast<std::size_t>(plan_.cut_read_after - delivered_));
+  }
+  const std::size_t want = std::min(out.size(), cap);
+  const IoResult r = inner_->try_read(out.first(want));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (r.status != IoStatus::kOk) return r;
+  delivered_ += r.bytes;
+  stats_.bytes_read += r.bytes;
+  if (r.bytes > 0 && delivered_ >= plan_.cut_read_after) {
+    stats_.read_cut = true;
+    on_cut();
+  }
+  return r;
+}
+
+IoResult FaultyByteStream::try_write(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return {IoStatus::kOk, 0};
+  std::size_t chunk;
+  bool cut = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.writes++;
+    if (written_ >= plan_.cut_write_after) {
+      stats_.write_cut = true;
+      return {IoStatus::kError, 0};
+    }
+    chunk = next_chunk(plan_.write_chunks, plan_.write_chunks_cycle,
+                       write_cursor_);
+    chunk = std::min(chunk, bytes.size());
+    const auto allowed =
+        static_cast<std::size_t>(plan_.cut_write_after - written_);
+    if (chunk >= allowed) {
+      chunk = allowed;
+      cut = true;  // the allowed prefix goes through; later writes fail
+    }
+  }
+  const IoResult r = inner_->try_write(bytes.first(chunk));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (r.bytes > 0) stats_.inner_writes++;
+  if (r.status != IoStatus::kOk) return r;
+  written_ += r.bytes;
+  stats_.bytes_written += r.bytes;
+  if (cut && r.bytes == chunk) {
+    // The cut boundary was reached: a torn frame from the peer's view.
+    // This call still reports its partial progress; the NEXT write (the
+    // caller loops on the remainder) observes the failure.
+    stats_.write_cut = true;
+    on_cut();
+  }
+  return r;
+}
+
+int FaultyByteStream::poll_fd() const { return inner_->poll_fd(); }
+
 void FaultyByteStream::close_write() { inner_->close_write(); }
 
 void FaultyByteStream::shutdown() { inner_->shutdown(); }

@@ -89,6 +89,19 @@ class FaultyByteStream final : public ByteStream {
   [[nodiscard]] std::optional<std::size_t> read_some(
       std::span<std::uint8_t> out) override;
   [[nodiscard]] bool write_all(std::span<const std::uint8_t> bytes) override;
+
+  // Nonblocking contract: the same plan drives try_read/try_write, so the
+  // event-driven front-end soaks under identical fault schedules. An
+  // injected retry is counted and then the read PROCEEDS in the same call
+  // — returning kWouldBlock here would strand an edge-triggered caller
+  // (no new readiness edge ever arrives for bytes already buffered).
+  // Cuts surface as kError (or kEof when !cut_is_error) exactly like the
+  // blocking surface.
+  [[nodiscard]] IoResult try_read(std::span<std::uint8_t> out) override;
+  [[nodiscard]] IoResult try_write(
+      std::span<const std::uint8_t> bytes) override;
+  [[nodiscard]] int poll_fd() const override;
+
   void close_write() override;
   void shutdown() override;
 

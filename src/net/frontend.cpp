@@ -1,5 +1,7 @@
 #include "net/frontend.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -8,21 +10,25 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <thread>
 
 #include "common/check.hpp"
+#include "net/event_loop.hpp"
 
 namespace tommy::net {
 
-namespace {
-
 /// Default arrival clock: monotonic wall-clock seconds since the first
 /// call (one shared origin per process, so all connections agree).
+/// External linkage on purpose — poller_frontend.cpp stamps
+/// last_activity on the same timeline.
 TimePoint wall_clock_now() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point origin = clock::now();
   return TimePoint(
       std::chrono::duration<double>(clock::now() - origin).count());
 }
+
+namespace {
 
 FrontendConfig normalized(FrontendConfig config) {
   if (!config.arrival_clock) {
@@ -31,6 +37,24 @@ FrontendConfig normalized(FrontendConfig config) {
   if (config.read_chunk_bytes == 0) config.read_chunk_bytes = 1;
   if (config.submit_batch_limit == 0) config.submit_batch_limit = 1;
   return config;
+}
+
+/// Bounded ingest-lock acquisition for the nonblocking drive path. A
+/// plain try_lock punishes transient contention the same as a genuine
+/// stall: with M pollers flushing small batches into one sequential
+/// service, a microsecond collision would park the connection until the
+/// ~1ms retry tick and collapse throughput (measured 20x at C=100,
+/// pollers=4). A few yields absorb another poller's batch flush; a lock
+/// held for real (a pump mid-drain, a stalled sink) still falls through
+/// to the stall path, so drive() stays bounded — microseconds, never the
+/// holder's tenure.
+std::unique_lock<std::mutex> lock_ingest_bounded(std::mutex& mutex) {
+  std::unique_lock<std::mutex> lock(mutex, std::try_to_lock);
+  for (int spin = 0; !lock.owns_lock() && spin < 64; ++spin) {
+    std::this_thread::yield();
+    (void)lock.try_lock();
+  }
+  return lock;
 }
 
 // ── In-process pipe ─────────────────────────────────────────────────────
@@ -54,12 +78,22 @@ class PipeEndpoint final : public ByteStream {
     std::unique_lock<std::mutex> lock(in_->mutex);
     in_->cv.wait(lock, [this] { return !in_->bytes.empty() || in_->closed; });
     if (in_->bytes.empty()) return 0;  // closed and drained: EOF
-    const std::size_t n = std::min(out.size(), in_->bytes.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = in_->bytes.front();
-      in_->bytes.pop_front();
+    return take_locked(out);
+  }
+
+  IoResult try_read(std::span<std::uint8_t> out) override {
+    std::lock_guard<std::mutex> lock(in_->mutex);
+    if (in_->bytes.empty()) {
+      return IoResult{in_->closed ? IoStatus::kEof : IoStatus::kWouldBlock, 0};
     }
-    return n;
+    return IoResult{IoStatus::kOk, take_locked(out)};
+  }
+
+  IoResult try_write(std::span<const std::uint8_t> bytes) override {
+    // The pipe's buffer is unbounded, so the blocking write never
+    // blocks either — one implementation serves both contracts.
+    return write_all(bytes) ? IoResult{IoStatus::kOk, bytes.size()}
+                            : IoResult{IoStatus::kError, 0};
   }
 
   bool write_all(std::span<const std::uint8_t> bytes) override {
@@ -84,6 +118,16 @@ class PipeEndpoint final : public ByteStream {
     dir.cv.notify_all();
   }
 
+  /// in_->mutex held.
+  std::size_t take_locked(std::span<std::uint8_t> out) {
+    const std::size_t n = std::min(out.size(), in_->bytes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = in_->bytes.front();
+      in_->bytes.pop_front();
+    }
+    return n;
+  }
+
   std::shared_ptr<PipeDir> in_;
   std::shared_ptr<PipeDir> out_;
 };
@@ -92,7 +136,14 @@ class PipeEndpoint final : public ByteStream {
 
 class FdByteStream final : public ByteStream {
  public:
-  explicit FdByteStream(int fd) : fd_(fd) { TOMMY_EXPECTS(fd >= 0); }
+  explicit FdByteStream(int fd) : fd_(fd) {
+    TOMMY_EXPECTS(fd >= 0);
+    // The fd is ALWAYS nonblocking: the try_* contract needs it, and the
+    // blocking contract is emulated with poll(2) below — one fd mode
+    // serves both, so the same stream can be handed to either transport.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
 
   ~FdByteStream() override { ::close(fd_); }
 
@@ -101,6 +152,10 @@ class FdByteStream final : public ByteStream {
       const ssize_t n = ::read(fd_, out.data(), out.size());
       if (n >= 0) return static_cast<std::size_t>(n);
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!wait_ready(POLLIN)) return std::nullopt;
+        continue;
+      }
       return std::nullopt;
     }
   }
@@ -118,16 +173,62 @@ class FdByteStream final : public ByteStream {
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!wait_ready(POLLOUT)) return false;
+        continue;
+      }
       return false;
     }
     return true;
   }
+
+  IoResult try_read(std::span<std::uint8_t> out) override {
+    while (true) {
+      const ssize_t n = ::read(fd_, out.data(), out.size());
+      if (n > 0) return IoResult{IoStatus::kOk, static_cast<std::size_t>(n)};
+      if (n == 0) return IoResult{IoStatus::kEof, 0};
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{IoStatus::kWouldBlock, 0};
+      }
+      return IoResult{IoStatus::kError, 0};
+    }
+  }
+
+  IoResult try_write(std::span<const std::uint8_t> bytes) override {
+    if (bytes.empty()) return IoResult{IoStatus::kOk, 0};
+    while (true) {
+      const ssize_t n =
+          ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n > 0) return IoResult{IoStatus::kOk, static_cast<std::size_t>(n)};
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return IoResult{IoStatus::kWouldBlock, 0};
+      }
+      return IoResult{IoStatus::kError, 0};
+    }
+  }
+
+  int poll_fd() const override { return fd_; }
 
   void close_write() override { ::shutdown(fd_, SHUT_WR); }
 
   void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
 
  private:
+  /// Blocks until the fd is ready for `events` (POLLIN/POLLOUT). False
+  /// on a poll error; hangup/err revents fall through to the read/write
+  /// retry, which surfaces the definitive EOF/error.
+  bool wait_ready(short events) {
+    ::pollfd pfd{fd_, events, 0};
+    while (true) {
+      const int r = ::poll(&pfd, 1, -1);
+      if (r > 0) return true;
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
   int fd_;
 };
 
@@ -328,6 +429,135 @@ void Connection::apply_pending() {
   pending_.clear();
 }
 
+bool Connection::try_apply_pending() {
+  if (pending_.empty()) return true;
+  if (ingest_mutex_ != nullptr) {
+    // Sequential service: the only obstacle is the ingest lock (its
+    // buffers are unbounded). Still contended after the bounded spin
+    // means a pump holds it for real — back off, retry on the next tick.
+    std::unique_lock<std::mutex> lock = lock_ingest_bounded(*ingest_mutex_);
+    if (!lock.owns_lock()) return false;
+    session_.submit_batch(std::span<const core::Submission>(pending_));
+    pending_.clear();
+    return true;
+  }
+  // Threaded service: push the prefix the session ring accepts; a full
+  // ring is THE backpressure signal (the caller stops reading and the
+  // socket fills).
+  const std::size_t accepted =
+      session_.try_submit_batch(std::span<const core::Submission>(pending_));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(accepted));
+  return pending_.empty();
+}
+
+Connection::TryOutcome Connection::try_dispatch(const WireMessage& message) {
+  if (const auto* announcement =
+          std::get_if<DistributionAnnouncement>(&message)) {
+    // The handshake path keeps the blocking serialization (registry and
+    // epoch machinery): it is rare, bounded, and not worth a lock-free
+    // variant.
+    return handle_announcement(*announcement) ? TryOutcome::kOk
+                                              : TryOutcome::kFail;
+  }
+  if (!handshaken()) {
+    fail(WireError::kHandshakeExpected);
+    return TryOutcome::kFail;
+  }
+  if (const auto* msg = std::get_if<TimestampedMessage>(&message)) {
+    if (msg->client != client_) {
+      fail(WireError::kClientMismatch);
+      return TryOutcome::kFail;
+    }
+    pending_.push_back(core::Submission{msg->local_stamp, msg->id,
+                                        config_.arrival_clock(message)});
+    submits_in_.fetch_add(1, std::memory_order_relaxed);
+    if (pending_.size() >= config_.submit_batch_limit
+        && !try_apply_pending()) {
+      // The frame's effect is retained in pending_ (bounded at the
+      // batch limit) — consumed, but the flush must be retried.
+      return TryOutcome::kConsumedStall;
+    }
+    return TryOutcome::kOk;
+  }
+  if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
+    if (heartbeat->client != client_) {
+      fail(WireError::kClientMismatch);
+      return TryOutcome::kFail;
+    }
+    const TimePoint now = config_.arrival_clock(message);
+    if (ingest_mutex_ != nullptr) {
+      std::unique_lock<std::mutex> lock = lock_ingest_bounded(*ingest_mutex_);
+      if (!lock.owns_lock()) return TryOutcome::kRetryStall;
+      if (!pending_.empty()) {
+        // FIFO: buffered submits land before the heartbeat, under the
+        // same lock acquisition.
+        session_.submit_batch(std::span<const core::Submission>(pending_));
+        pending_.clear();
+      }
+      session_.heartbeat(heartbeat->local_stamp, now);
+    } else {
+      if (!try_apply_pending()) return TryOutcome::kRetryStall;
+      if (!session_.try_heartbeat(heartbeat->local_stamp, now)) {
+        return TryOutcome::kRetryStall;
+      }
+    }
+    heartbeats_in_.fetch_add(1, std::memory_order_relaxed);
+    return TryOutcome::kOk;
+  }
+  fail(WireError::kBatchFromClient);
+  return TryOutcome::kFail;
+}
+
+Connection::DriveStatus Connection::drive(
+    std::span<const std::uint8_t> bytes) {
+  if (failed()) return DriveStatus::kFailed;
+  decoder_.append(bytes);
+  return drive();
+}
+
+Connection::DriveStatus Connection::drive() {
+  if (failed()) return DriveStatus::kFailed;
+  // The stashed frame goes first: per-connection FIFO order.
+  if (stash_.has_value()) {
+    const TryOutcome outcome = try_dispatch(*stash_);
+    if (outcome == TryOutcome::kRetryStall) return DriveStatus::kStalled;
+    if (outcome == TryOutcome::kFail) return DriveStatus::kFailed;
+    stash_.reset();
+    if (outcome == TryOutcome::kConsumedStall) return DriveStatus::kStalled;
+  }
+  // A stalled batch flush gates the decode loop: without this, every
+  // retry would admit one more frame from the buffered chunk past the
+  // batch limit — pending_ is the ingest backpressure bound and must
+  // stay at it while the service is unavailable.
+  if (pending_.size() >= config_.submit_batch_limit
+      && !try_apply_pending()) {
+    return DriveStatus::kStalled;
+  }
+  while (auto payload = decoder_.next()) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    auto message = decode(*payload);
+    if (!message) {
+      fail(WireError::kMalformedMessage);
+      return DriveStatus::kFailed;
+    }
+    const TryOutcome outcome = try_dispatch(*message);
+    if (outcome == TryOutcome::kRetryStall) {
+      stash_ = std::move(*message);
+      return DriveStatus::kStalled;
+    }
+    if (outcome == TryOutcome::kFail) return DriveStatus::kFailed;
+    if (outcome == TryOutcome::kConsumedStall) return DriveStatus::kStalled;
+  }
+  if (decoder_.error() != FrameError::kNone) {
+    fail(WireError::kOversizedFrame);
+    return DriveStatus::kFailed;
+  }
+  // End of buffered frames: flush the batch remainder, exactly where
+  // on_bytes applies its trailing apply_pending.
+  return try_apply_pending() ? DriveStatus::kReady : DriveStatus::kStalled;
+}
+
 bool Connection::fail(WireError error) {
   // The valid prefix still counts: every fully-decoded, in-protocol frame
   // before the poison byte has the same effect as if the stream had ended
@@ -352,9 +582,9 @@ std::uint64_t FrameFrontend::add_connection(
     std::shared_ptr<ByteStream> stream) {
   TOMMY_EXPECTS(stream != nullptr);
   reap();
-  // Threaded services serialize nothing up front: each reader thread is
-  // its session ring's single producer. Sequential services get all
-  // ingest and polls serialized behind ingest_mutex_.
+  // Threaded services serialize nothing up front: each reader (thread or
+  // poller callback) is its session ring's single producer. Sequential
+  // services get all ingest and polls serialized behind ingest_mutex_.
   std::mutex* ingest_mutex = service_.threaded() ? nullptr : &ingest_mutex_;
   std::lock_guard<std::mutex> lock(conns_mutex_);
   std::uint64_t id;
@@ -369,10 +599,17 @@ std::uint64_t FrameFrontend::add_connection(
   }
   auto conn = std::make_shared<Conn>(std::move(stream), registry_, service_,
                                      config_, ingest_mutex);
-  Conn& ref = *conn;
-  conns_.emplace(id, std::move(conn));
+  conns_.emplace(id, conn);
   retired_.accepted++;  // folded into totals() as "ever adopted"
-  ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+  if (config_.transport == TransportMode::kEventLoop) {
+    // Registers with a poller thread (conns_mutex_ held: poller threads
+    // never take it, so there is no lock cycle, and a concurrent stop()
+    // cannot unlink the connection before it is armed).
+    attach_to_loop(conn);
+  } else {
+    Conn& ref = *conn;
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+  }
   return id;
 }
 
@@ -438,6 +675,7 @@ FrontendTotals FrameFrontend::counters_of(const Conn& conn) {
   t.submits_in = conn.machine.submits_in();
   t.heartbeats_in = conn.machine.heartbeats_in();
   t.frames_out = conn.frames_out.load(std::memory_order_relaxed);
+  t.frames_dropped = conn.frames_dropped.load(std::memory_order_relaxed);
   t.bytes_in = conn.bytes_in.load(std::memory_order_relaxed);
   t.bytes_out = conn.bytes_out.load(std::memory_order_relaxed);
   return t;
@@ -456,12 +694,24 @@ FrameFrontend::Retiring FrameFrontend::unlink_locked(
   retired_.submits_in += retiring.snapshot.submits_in;
   retired_.heartbeats_in += retiring.snapshot.heartbeats_in;
   retired_.frames_out += retiring.snapshot.frames_out;
+  retired_.frames_dropped += retiring.snapshot.frames_dropped;
   retired_.bytes_in += retiring.snapshot.bytes_in;
   retired_.bytes_out += retiring.snapshot.bytes_out;
   return retiring;
 }
 
 void FrameFrontend::retire(std::vector<Retiring>&& removed) {
+  // Event-mode connections leave their poller first: remove_sync
+  // barriers on the dispatch lock, so after it returns no callback
+  // touches the connection. (retire() only ever runs on external
+  // threads — reap/close/stop — never on a poller thread, which would
+  // deadlock that barrier.)
+  for (const auto& r : removed) {
+    if (r.conn->in_loop) {
+      event_loop_->remove_sync(r.conn->loop_key);
+      r.conn->in_loop = false;
+    }
+  }
   for (const auto& r : removed) r.conn->stream->shutdown();
   for (const auto& r : removed) {
     std::lock_guard<std::mutex> join_lock(r.conn->join_mutex);
@@ -481,6 +731,8 @@ void FrameFrontend::retire(std::vector<Retiring>&& removed) {
     retired_.heartbeats_in +=
         final_counts.heartbeats_in - r.snapshot.heartbeats_in;
     retired_.frames_out += final_counts.frames_out - r.snapshot.frames_out;
+    retired_.frames_dropped +=
+        final_counts.frames_dropped - r.snapshot.frames_dropped;
     retired_.bytes_in += final_counts.bytes_in - r.snapshot.bytes_in;
     retired_.bytes_out += final_counts.bytes_out - r.snapshot.bytes_out;
   }
@@ -529,7 +781,8 @@ bool FrameFrontend::close_connection(std::uint64_t id) {
 
 void FrameFrontend::stop() { remove_if_locked(/*force=*/true); }
 
-std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
+std::size_t FrameFrontend::drain(TimePoint now, bool flush_all,
+                                 TimePoint* next_safe_after) {
   // Dead peers leave before the broadcast: a removed connection must
   // neither receive frames nor stall a write.
   reap();
@@ -554,6 +807,13 @@ std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
       for (auto& [id, conn] : conns_) targets.push_back(conn);
     }
     for (const auto& conn : targets) {
+      if (config_.transport == TransportMode::kEventLoop) {
+        // Bounded egress: what cannot be written now queues (up to the
+        // cap, then the egress policy applies) and drains on the next
+        // writability edge — a slow subscriber never stalls the pump.
+        queue_egress(*conn, frame);
+        continue;
+      }
       std::lock_guard<std::mutex> write_lock(conn->write_mutex);
       if (!conn->write_ok.load(std::memory_order_relaxed)) continue;
       if (conn->stream->write_all(frame)) {
@@ -567,7 +827,7 @@ std::size_t FrameFrontend::drain(TimePoint now, bool flush_all) {
     }
   };
   core::CallbackSink<decltype(broadcast)> sink(broadcast);
-  return drain_locked(now, flush_all, sink);
+  return drain_locked(now, flush_all, sink, next_safe_after);
 }
 
 std::size_t FrameFrontend::drain_locked(TimePoint now, bool flush_all,
@@ -587,32 +847,12 @@ std::size_t FrameFrontend::drain_locked(TimePoint now, bool flush_all,
   return emitted;
 }
 
-std::size_t FrameFrontend::pump(TimePoint now) {
-  return drain(now, /*flush_all=*/false);
-}
-
-std::size_t FrameFrontend::pump_flush(TimePoint now) {
-  return drain(now, /*flush_all=*/true);
-}
-
-std::size_t FrameFrontend::pump_into(TimePoint now, core::EmissionSink& sink) {
-  return drain_locked(now, /*flush_all=*/false, sink);
-}
-
-std::size_t FrameFrontend::pump_flush_into(TimePoint now,
-                                           core::EmissionSink& sink) {
-  return drain_locked(now, /*flush_all=*/true, sink);
-}
-
-std::size_t FrameFrontend::pump_into(TimePoint now, core::EmissionSink& sink,
-                                     TimePoint* next_safe_after) {
-  return drain_locked(now, /*flush_all=*/false, sink, next_safe_after);
-}
-
-std::size_t FrameFrontend::pump_flush_into(TimePoint now,
-                                           core::EmissionSink& sink,
-                                           TimePoint* next_safe_after) {
-  return drain_locked(now, /*flush_all=*/true, sink, next_safe_after);
+std::size_t FrameFrontend::pump(TimePoint now, const PumpOptions& options) {
+  if (options.sink == nullptr) {
+    return drain(now, options.flush, options.next_safe_after);
+  }
+  return drain_locked(now, options.flush, *options.sink,
+                      options.next_safe_after);
 }
 
 void FrameFrontend::reconfigure() {
@@ -635,6 +875,17 @@ void FrameFrontend::join_readers() {
     // join_mutex: a concurrent reap may be joining this same reader.
     std::lock_guard<std::mutex> join_lock(conn->join_mutex);
     if (conn->reader.joinable()) conn->reader.join();
+  }
+  // Event-mode "join": wait until the poller marked each connection
+  // done (EOF reached AND every retained frame applied — finish_eof
+  // orders the done store after the last service call, exactly the
+  // all-applied guarantee the thread join gives).
+  if (config_.transport == TransportMode::kEventLoop) {
+    for (const auto& conn : conns) {
+      while (!conn->done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
   }
 }
 
@@ -686,6 +937,7 @@ ConnectionStats FrameFrontend::connection_stats(std::uint64_t id) const {
   stats.submits_in = conn.machine.submits_in();
   stats.heartbeats_in = conn.machine.heartbeats_in();
   stats.frames_out = conn.frames_out.load(std::memory_order_relaxed);
+  stats.frames_dropped = conn.frames_dropped.load(std::memory_order_relaxed);
   stats.bytes_in = conn.bytes_in.load(std::memory_order_relaxed);
   stats.bytes_out = conn.bytes_out.load(std::memory_order_relaxed);
   stats.last_activity = conn.last_activity.load(std::memory_order_relaxed);
@@ -703,6 +955,8 @@ FrontendTotals FrameFrontend::totals() const {
     totals.submits_in += conn->machine.submits_in();
     totals.heartbeats_in += conn->machine.heartbeats_in();
     totals.frames_out += conn->frames_out.load(std::memory_order_relaxed);
+    totals.frames_dropped +=
+        conn->frames_dropped.load(std::memory_order_relaxed);
     totals.bytes_in += conn->bytes_in.load(std::memory_order_relaxed);
     totals.bytes_out += conn->bytes_out.load(std::memory_order_relaxed);
   }

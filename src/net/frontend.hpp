@@ -45,6 +45,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -61,9 +62,40 @@
 
 namespace tommy::net {
 
-/// Blocking byte source/sink a connection reads from and writes to.
+class EventLoop;
+
+/// Outcome of one nonblocking I/O attempt (try_read / try_write).
+enum class IoStatus : std::uint8_t {
+  /// Progress was made; IoResult::bytes says how much.
+  kOk,
+  /// No progress possible right now — retry when the fd signals
+  /// readiness again (edge-triggered pollers re-arm on this).
+  kWouldBlock,
+  /// Clean EOF: the peer closed its write side (reads only).
+  kEof,
+  /// Transport error; the stream is dead in this direction.
+  kError,
+};
+
+struct IoResult {
+  IoStatus status{IoStatus::kError};
+  std::size_t bytes{0};
+};
+
+/// Byte source/sink a connection reads from and writes to.
 /// Implementations must allow one concurrent reader plus one concurrent
 /// writer (full-duplex); they need not support multiple readers.
+///
+/// Two contracts share this interface:
+///  * the blocking contract (read_some / write_all) — what the
+///    thread-per-connection reader model and all client-side helpers
+///    drive;
+///  * the nonblocking readiness contract (try_read / try_write +
+///    poll_fd) — what the event-driven front-end drives. try_* never
+///    block: they do at most one kernel I/O and report kWouldBlock when
+///    the fd has nothing to give/take. poll_fd() exposes the fd a
+///    Poller can wait on; streams with no fd (in-process pipes) return
+///    -1 and are not event-loop capable.
 class ByteStream {
  public:
   virtual ~ByteStream() = default;
@@ -78,6 +110,28 @@ class ByteStream {
   /// peer that went away.
   [[nodiscard]] virtual bool write_all(std::span<const std::uint8_t> bytes)
       = 0;
+
+  /// Nonblocking read: at most one kernel read. kOk means bytes > 0 were
+  /// placed in `out`; kWouldBlock means nothing available now. Streams
+  /// that only implement the blocking contract return kError (they must
+  /// not be handed to an event loop).
+  [[nodiscard]] virtual IoResult try_read(std::span<std::uint8_t> out) {
+    (void)out;
+    return IoResult{IoStatus::kError, 0};
+  }
+
+  /// Nonblocking write: at most one kernel write; partial writes are
+  /// normal (bytes says how much left the buffer). kWouldBlock means the
+  /// socket send buffer is full — retry on the next writability edge.
+  [[nodiscard]] virtual IoResult try_write(
+      std::span<const std::uint8_t> bytes) {
+    (void)bytes;
+    return IoResult{IoStatus::kError, 0};
+  }
+
+  /// The pollable fd behind this stream, or -1 when there is none (the
+  /// stream then only supports the blocking contract).
+  [[nodiscard]] virtual int poll_fd() const { return -1; }
 
   /// Half-close: ends this endpoint's outbound direction. The peer's
   /// reads drain what was written, then see EOF; this endpoint can still
@@ -152,6 +206,32 @@ enum class EofPolicy : std::uint8_t {
   kRemove,
 };
 
+/// How a FrameFrontend drives its adopted streams.
+enum class TransportMode : std::uint8_t {
+  /// The historical model: one blocking reader thread per connection.
+  /// Compatibility mode — works on any ByteStream (including in-process
+  /// pipes) and stays the default.
+  kThreadPerConnection,
+  /// Event-driven model: M poller threads multiplex every connection
+  /// through an epoll-backed EventLoop, driving the nonblocking
+  /// readiness contract (try_read / try_write + poll_fd). Streams
+  /// handed to this mode must expose a pollable fd.
+  kEventLoop,
+};
+
+/// What the event-driven front-end does to a slow subscriber whose
+/// bounded egress queue overflows.
+enum class EgressPolicy : std::uint8_t {
+  /// Tear the connection down (write_ok drops; the next reap removes
+  /// it). A subscriber that cannot keep up is disconnected rather than
+  /// silently missing frames.
+  kDisconnect,
+  /// Drop the overflowing frame, count it (ConnectionStats::
+  /// frames_dropped), and keep the connection. For telemetry-grade
+  /// subscribers where staleness beats disconnection.
+  kDrop,
+};
+
 struct FrontendConfig {
   /// Stamps each inbound message with its sequencer-clock arrival (the
   /// `now` of the session call). Default (null): monotonic wall clock,
@@ -185,6 +265,37 @@ struct FrontendConfig {
   /// of stalling until the silence timeout. Off by default — lingering
   /// subscribers and reconnecting soak clients must keep gating.
   bool retire_on_eof{false};
+  /// Reader model (see TransportMode). kEventLoop requires fd-backed
+  /// streams.
+  TransportMode transport{TransportMode::kThreadPerConnection};
+  /// Poller threads the kEventLoop transport runs (connections are
+  /// sharded across them round-robin; each connection's callbacks stay
+  /// on one thread). Ignored by kThreadPerConnection.
+  std::size_t poller_threads{2};
+  /// Bound on a connection's queued outbound bytes (kEventLoop only):
+  /// broadcasts that cannot be written immediately queue up to this many
+  /// bytes before egress_policy applies.
+  std::size_t egress_buffer_bytes{256 * 1024};
+  /// What happens when egress_buffer_bytes is exceeded (kEventLoop only).
+  EgressPolicy egress_policy{EgressPolicy::kDisconnect};
+};
+
+/// Options for the unified FrameFrontend::pump(now, options) entry point
+/// (the five historical pump*/pump*_into overloads forward here).
+struct PumpOptions {
+  /// Where emissions go. Null: broadcast — every emitted batch is
+  /// encoded once and written to every live connection (dead peers are
+  /// reaped first). Non-null: the caller consumes emissions in-process;
+  /// no broadcast, no reap.
+  core::EmissionSink* sink{nullptr};
+  /// True runs the service's flush (shutdown drain, gates ignored)
+  /// instead of poll.
+  bool flush{false};
+  /// When non-null, receives the service's next_safe_time AFTER the
+  /// drain, read under the SAME sequential-mode ingest lock acquisition
+  /// as the poll itself (what a shard node's SafeTimeAnnounce must
+  /// carry).
+  TimePoint* next_safe_after{nullptr};
 };
 
 /// Point-in-time counters for one connection (connection_stats()).
@@ -196,6 +307,8 @@ struct ConnectionStats {
   std::uint64_t heartbeats_in{0};
   /// Outbound BatchEmission frames this connection was actually sent.
   std::uint64_t frames_out{0};
+  /// Outbound frames dropped by EgressPolicy::kDrop (kEventLoop only).
+  std::uint64_t frames_dropped{0};
   std::uint64_t bytes_in{0};
   std::uint64_t bytes_out{0};
   /// Seconds (monotonic, process origin) of the last successful read or
@@ -218,6 +331,7 @@ struct FrontendTotals {
   std::uint64_t submits_in{0};
   std::uint64_t heartbeats_in{0};
   std::uint64_t frames_out{0};
+  std::uint64_t frames_dropped{0};
   std::uint64_t bytes_in{0};
   std::uint64_t bytes_out{0};
 };
@@ -242,6 +356,36 @@ class Connection {
   /// completes. Returns false once the connection is failed (the caller
   /// should stop feeding and tear the stream down).
   bool on_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Outcome of one nonblocking drive step (the event-loop ingest path).
+  enum class DriveStatus : std::uint8_t {
+    /// Everything decoded so far has been applied (or enqueued, in
+    /// threaded mode) — keep reading.
+    kReady,
+    /// The service could not absorb more right now (session ring full,
+    /// or the sequential ingest lock contended): STOP READING this
+    /// stream and retry drive() shortly. This is the backpressure
+    /// signal — an unread socket fills its kernel buffers and TCP flow
+    /// control reaches the client.
+    kStalled,
+    /// The connection failed (protocol or decode error) — tear it down.
+    kFailed,
+  };
+
+  /// Nonblocking on_bytes: appends `bytes`, then dispatches complete
+  /// frames without ever blocking on the service (bounded-time lock
+  /// attempts aside — the handshake path still serializes, it is rare
+  /// and short). Frames the service cannot absorb are retained
+  /// internally and retried by the no-argument overload.
+  [[nodiscard]] DriveStatus drive(std::span<const std::uint8_t> bytes);
+  /// Retry after kStalled: makes whatever progress the service now
+  /// allows on the retained frame/batch backlog, then resumes decoding.
+  [[nodiscard]] DriveStatus drive();
+  /// True when nothing is retained (no stashed frame, no pending batch)
+  /// — the point at which a clean EOF may complete.
+  [[nodiscard]] bool drained() const {
+    return !stash_.has_value() && pending_.empty();
+  }
 
   /// External failure injection (the reader thread reports transport
   /// errors here). No-op if already failed.
@@ -286,7 +430,26 @@ class Connection {
   void on_peer_eof();
 
  private:
+  /// Outcome of one nonblocking dispatch attempt.
+  enum class TryOutcome : std::uint8_t {
+    kOk,
+    /// The frame's effect is retained in pending_ (a submit that could
+    /// not flush) — do not re-dispatch the frame, retry the flush.
+    kConsumedStall,
+    /// The frame could not take effect at all — stash and re-dispatch
+    /// it on the next drive().
+    kRetryStall,
+    kFail,
+  };
+
   bool dispatch(WireMessage&& message);
+  /// Nonblocking dispatch: never blocks on the session ring or the
+  /// sequential ingest lock (the handshake path excepted — rare,
+  /// bounded).
+  TryOutcome try_dispatch(const WireMessage& message);
+  /// Nonblocking apply_pending: applies whatever prefix the service
+  /// accepts; true when pending_ fully drained.
+  bool try_apply_pending();
   bool handle_announcement(const DistributionAnnouncement& announcement);
   void queue_outbound(const WireMessage& message);
   /// Applies buffered submissions through the relaxed batch path.
@@ -303,6 +466,10 @@ class Connection {
   core::FairOrderingService::Session session_;
   ClientId client_{};
   std::vector<core::Submission> pending_;
+  /// A decoded frame that could not take effect (kRetryStall): retried
+  /// before any further decoding so per-connection FIFO order holds.
+  /// Driver-thread state, like pending_.
+  std::optional<WireMessage> stash_;
   /// Encoded frames awaiting the reader thread's write-back
   /// (take_outbound); reader-thread-only, no lock.
   std::vector<std::vector<std::uint8_t>> outbound_;
@@ -332,7 +499,9 @@ class FrameFrontend {
   FrameFrontend(const FrameFrontend&) = delete;
   FrameFrontend& operator=(const FrameFrontend&) = delete;
 
-  /// Adopts `stream` and spawns its reader thread. Returns the connection
+  /// Adopts `stream` and starts driving it: kThreadPerConnection spawns
+  /// its reader thread; kEventLoop registers its fd with a poller thread
+  /// (the stream must expose poll_fd() >= 0). Returns the connection
   /// id used by the introspection accessors. Ids of removed connections
   /// are recycled (smallest free id first), so a long-lived server's id
   /// space stays as dense as its live connection set. Opportunistically
@@ -348,26 +517,39 @@ class FrameFrontend {
   /// surfaces (totals(), connection_count()) are always race-free.
   std::uint64_t add_connection(std::shared_ptr<ByteStream> stream);
 
-  /// Polls the service at `now` and broadcasts every emitted batch as an
-  /// encoded BatchEmission frame to every connection whose writes still
-  /// succeed. Returns the number of batches emitted. One pump/flush at a
-  /// time (callers serialize; the service's own poll contract). Reaps
-  /// dead connections first, so a removed peer never receives (or
-  /// stalls) a broadcast.
-  std::size_t pump(TimePoint now);
+  /// THE drain entry point: polls (or, with options.flush, flushes) the
+  /// service at `now` under the sequential-mode ingest lock, with the
+  /// staged-epoch install nudge. Null options.sink broadcasts every
+  /// emitted batch as an encoded BatchEmission frame to every connection
+  /// whose writes still succeed (reaping dead peers first, so a removed
+  /// peer never receives or stalls a broadcast); a non-null sink
+  /// consumes emissions in-process instead (no broadcast, no reap) —
+  /// race-free against live readers, which a direct service_.poll() is
+  /// NOT for sequential services. options.next_safe_after, when set,
+  /// receives the post-drain frontier read under the SAME lock
+  /// acquisition as the poll (no ingest can interleave — what a shard
+  /// node's SafeTimeAnnounce must carry). Returns the number of batches
+  /// emitted. One pump/flush at a time (callers serialize; the
+  /// service's own poll contract).
+  std::size_t pump(TimePoint now, const PumpOptions& options);
 
-  /// flush() counterpart of pump (shutdown drain, gates ignored).
-  std::size_t pump_flush(TimePoint now);
+  /// Broadcast poll: pump(now, {}). (Historical name, kept stable.)
+  std::size_t pump(TimePoint now) { return pump(now, PumpOptions{}); }
 
-  /// pump() for embedders that consume emissions in-process: polls the
-  /// service at `now` into `sink` instead of broadcasting. Takes the
-  /// same sequential-mode ingest lock as pump(), so it is race-free
-  /// against live reader threads — calling service_.poll() directly
-  /// while readers run is NOT (the sequential service is externally
-  /// synchronized, and this front-end's ingest lock is that
-  /// synchronization). Same one-drain-at-a-time contract and staged-
-  /// epoch install nudge as pump(). Does not broadcast or reap.
-  std::size_t pump_into(TimePoint now, core::EmissionSink& sink);
+  /// Broadcast flush: pump(now, {.flush = true}).
+  std::size_t pump_flush(TimePoint now) {
+    PumpOptions options;
+    options.flush = true;
+    return pump(now, options);
+  }
+
+  /// Deprecated spelling of pump(now, {.sink = &sink}); prefer the
+  /// PumpOptions entry point.
+  std::size_t pump_into(TimePoint now, core::EmissionSink& sink) {
+    PumpOptions options;
+    options.sink = &sink;
+    return pump(now, options);
+  }
   template <typename F>
     requires(!std::is_base_of_v<core::EmissionSink,
                                 std::remove_reference_t<F>>)
@@ -376,8 +558,13 @@ class FrameFrontend {
     return pump_into(now, static_cast<core::EmissionSink&>(sink));
   }
 
-  /// flush() counterpart of pump_into (shutdown drain, gates ignored).
-  std::size_t pump_flush_into(TimePoint now, core::EmissionSink& sink);
+  /// Deprecated spelling of pump(now, {.sink = &sink, .flush = true}).
+  std::size_t pump_flush_into(TimePoint now, core::EmissionSink& sink) {
+    PumpOptions options;
+    options.sink = &sink;
+    options.flush = true;
+    return pump(now, options);
+  }
   template <typename F>
     requires(!std::is_base_of_v<core::EmissionSink,
                                 std::remove_reference_t<F>>)
@@ -386,21 +573,22 @@ class FrameFrontend {
     return pump_flush_into(now, static_cast<core::EmissionSink&>(sink));
   }
 
-  /// pump_into that additionally reports the service's next_safe_time
-  /// AFTER the drain, read under the SAME sequential-mode ingest lock
-  /// acquisition as the poll itself. This is what a shard node's
-  /// SafeTimeAnnounce must carry: the post-poll gate position with no
-  /// ingest interleaved between poll and read (two separate lock
-  /// acquisitions would let a straggler land in between, and the
-  /// announced frontier would describe neither the pre- nor the
-  /// post-poll state).
+  /// Deprecated next_safe_after spellings (see PumpOptions).
   std::size_t pump_into(TimePoint now, core::EmissionSink& sink,
-                        TimePoint* next_safe_after);
-  /// flush() counterpart (after a flush the buffers are empty, so the
-  /// reported frontier is infinite_future unless ingest raced in —
-  /// which the lock excludes for sequential services).
+                        TimePoint* next_safe_after) {
+    PumpOptions options;
+    options.sink = &sink;
+    options.next_safe_after = next_safe_after;
+    return pump(now, options);
+  }
   std::size_t pump_flush_into(TimePoint now, core::EmissionSink& sink,
-                              TimePoint* next_safe_after);
+                              TimePoint* next_safe_after) {
+    PumpOptions options;
+    options.sink = &sink;
+    options.flush = true;
+    options.next_safe_after = next_safe_after;
+    return pump(now, options);
+  }
 
   /// Drives any pending reconfiguration to completion (blocking —
   /// joins the primer) under the same serialization as the wire
@@ -471,6 +659,7 @@ class FrameFrontend {
     std::atomic<bool> clean_eof{false};
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> frames_dropped{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<double> last_activity{0.0};
     std::mutex write_mutex;
@@ -479,6 +668,24 @@ class FrameFrontend {
     /// stalled in write_all (which holds write_mutex). Writes happen
     /// under write_mutex; the atomic store just publishes them.
     std::atomic<bool> write_ok{true};
+
+    // ── kEventLoop state ──────────────────────────────────────────────
+    /// EventLoop registration key; meaningful only when in_loop.
+    std::uint64_t loop_key{0};
+    bool in_loop{false};
+    /// Read scratch, owned by the connection's poller thread.
+    std::vector<std::uint8_t> read_buffer;
+    /// Poller-thread-only flags: reads are paused awaiting a drive()
+    /// retry tick; the peer's EOF arrived but retained frames are still
+    /// draining.
+    bool paused{false};
+    bool eof_seen{false};
+    /// Bounded egress queue (under write_mutex): frames the broadcast
+    /// could not write immediately, flushed on writability edges.
+    /// egress_offset is how much of the head frame already left.
+    std::deque<std::vector<std::uint8_t>> egress;
+    std::size_t egress_bytes{0};
+    std::size_t egress_offset{0};
 
     Conn(std::shared_ptr<ByteStream> s, core::ClientRegistry& registry,
          core::FairOrderingService& service, FrontendConfig config,
@@ -500,7 +707,8 @@ class FrameFrontend {
   /// Writes the machine's queued ReconfigPending/HandshakeAck frames to
   /// the peer (reader thread; shares write_mutex with broadcasts).
   void flush_outbound(Conn& conn);
-  std::size_t drain(TimePoint now, bool flush_all);
+  std::size_t drain(TimePoint now, bool flush_all,
+                    TimePoint* next_safe_after = nullptr);
   /// The locked core shared by pump/pump_flush (broadcast sink) and
   /// pump_into/pump_flush_into (caller sink): sequential-mode ingest
   /// lock, staged-epoch install nudge, then one service drain. When
@@ -509,6 +717,33 @@ class FrameFrontend {
   std::size_t drain_locked(TimePoint now, bool flush_all,
                            core::EmissionSink& sink,
                            TimePoint* next_safe_after = nullptr);
+
+  // ── kEventLoop machinery (poller_frontend.cpp) ─────────────────────
+  /// Lazily creates the shared EventLoop and registers `conn`'s fd with
+  /// a poller thread (round-robin). Fails the connection if the stream
+  /// has no pollable fd.
+  void attach_to_loop(const std::shared_ptr<Conn>& conn);
+  /// Readiness callback (poller thread): drains readable bytes through
+  /// the nonblocking drive, flushes egress on writability, handles
+  /// hangup.
+  void on_loop_event(const std::shared_ptr<Conn>& conn, bool readable,
+                     bool writable, bool hangup);
+  /// Stall-retry tick (poller thread): re-drives a paused connection.
+  void on_loop_tick(const std::shared_ptr<Conn>& conn);
+  /// Reads until kWouldBlock/stall/EOF (poller thread).
+  void drain_readable(Conn& conn);
+  /// Finishes a clean EOF once retained frames drained (poller thread).
+  void finish_eof(Conn& conn);
+  /// Queues one encoded frame onto `conn`'s bounded egress (applying
+  /// the egress policy at the cap) and opportunistically flushes.
+  /// Caller holds nothing; takes write_mutex.
+  void queue_egress(Conn& conn, std::span<const std::uint8_t> frame);
+  /// Writes queued egress until kWouldBlock or empty. write_mutex held
+  /// by the caller.
+  void flush_egress_locked(Conn& conn);
+  /// Event-mode counterpart of the reader-thread shutdown: marks done
+  /// and tears the transport down.
+  void fail_loop_conn(Conn& conn);
   /// True once `conn` can be removed (reader exited and nothing is left
   /// to serve it). Lock-free on the connection itself — callers hold
   /// conns_mutex_, and this must never wait on a stalled broadcast.
@@ -540,6 +775,11 @@ class FrameFrontend {
   /// Counters of removed connections (guarded by conns_mutex_); totals()
   /// adds the live table on top.
   FrontendTotals retired_;
+  /// kEventLoop transport: the M poller threads (created lazily on the
+  /// first event-mode add_connection, shared by every connection, kept
+  /// across stop() so the front-end stays reusable). Guarded by
+  /// conns_mutex_ for creation; the pointer is stable afterwards.
+  std::unique_ptr<EventLoop> event_loop_;
 };
 
 /// Client-side multi-upstream connection set — the router tier's working

@@ -222,8 +222,11 @@ std::optional<ReplayStats> replay(const WireTrace& trace,
         switch (event->kind) {
           case WireTraceEvent::Kind::kConnect:
             if (stream != nullptr) stream->close_write();
-            stream = net::connect_retry(target.unix_path, target.tcp_port,
-                                        options.connect_retries);
+            stream = [&] {
+              net::RetryPolicy policy;
+              policy.attempts = options.connect_retries;
+              return net::dial(target, policy);
+            }();
             if (stream == nullptr) {
               failed.store(true, std::memory_order_relaxed);
               return;

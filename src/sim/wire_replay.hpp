@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "net/endpoint.hpp"
 #include "net/messages.hpp"
 
 namespace tommy::sim {
@@ -126,11 +127,9 @@ class WireTraceRecorder {
   WireTrace trace_;
 };
 
-/// Where replay connects. Set exactly one of unix_path / tcp_port.
-struct ReplayTarget {
-  std::string unix_path{};
-  std::uint16_t tcp_port{0};
-};
+/// Where replay connects (the shared net-layer endpoint type; set
+/// exactly one of unix_path / tcp_port).
+using ReplayTarget = net::Endpoint;
 
 struct ReplayOptions {
   /// Trace seconds elapsing per wall second: 1 = real time, 2 = twice as

@@ -1,0 +1,294 @@
+// The event-driven front-end's acceptance proof: the SAME messy-network
+// soak the thread-per-connection transport passes (fault-injected client
+// streams, torn handshakes, mid-frame cuts, reconnect-and-resume), but
+// served by TransportMode::kEventLoop — M poller threads multiplexing
+// every connection — and the emission stream must stay bit-identical to
+// the direct-session oracle in every engine configuration (sequential,
+// sharded, threaded, global-merge) over Unix and TCP transports.
+// soak_test.cpp already proves threaded-reader == direct, so direct
+// equivalence here IS epoll == threaded-reader, transitively.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/acceptor.hpp"
+#include "net/faulty_stream.hpp"
+#include "wire_test_util.hpp"
+
+namespace tommy::net {
+namespace {
+
+using namespace tommy::net::testing;
+using core::ClientRegistry;
+using core::FairOrderingService;
+using core::ServiceConfig;
+
+struct EpollSoakOptions {
+  int segments{4};
+  bool use_tcp{false};
+  std::uint64_t seed{1};
+  std::size_t poller_threads{2};
+  /// Small limits force the submit-batch stall paths (kConsumedStall /
+  /// pending flush) to actually run during the soak.
+  std::size_t submit_batch_limit{0};  // 0 = frontend default
+};
+
+struct EpollSoakOutcome {
+  std::vector<CapturedBatch> emissions;
+  std::uint64_t episodes{0};
+  std::uint64_t cuts{0};
+};
+
+/// One client's wire life, mirroring soak_test.cpp: submit the event
+/// sequence across several connections, each episode ending in a
+/// deliberate cut (mid-handshake, at a frame boundary, or mid-frame) or
+/// a clean close; resume from the first undelivered frame.
+template <typename ConnectFn>
+void run_epoll_soak_client(const ConnectFn& connect, std::uint32_t client,
+                           const std::vector<Event>& events, Rng rng,
+                           int segments,
+                           std::atomic<std::uint64_t>& episodes,
+                           std::atomic<std::uint64_t>& cuts) {
+  const auto handshake = announce_frame(client);
+  std::size_t next = 0;
+  const std::size_t per_segment =
+      (events.size() + static_cast<std::size_t>(segments) - 1)
+      / static_cast<std::size_t>(segments);
+  for (int segment = 0; next < events.size(); ++segment) {
+    const bool final_segment = segment >= segments - 1;
+    const std::size_t target =
+        final_segment ? events.size()
+                      : std::min(events.size(), next + per_segment);
+
+    std::vector<std::uint8_t> bytes = handshake;
+    std::vector<std::size_t> ends;
+    for (std::size_t e = next; e < target; ++e) {
+      const auto frame = event_frame(client, events[e]);
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+      ends.push_back(bytes.size());
+    }
+
+    FaultPlan plan;
+    plan.write_chunks = {
+        static_cast<std::size_t>(rng.uniform_int(1, 97)),
+        static_cast<std::size_t>(rng.uniform_int(1, 13)),
+        static_cast<std::size_t>(rng.uniform_int(1, 53))};
+    plan.write_chunks_cycle = true;
+
+    std::size_t delivered_events = target - next;
+    if (!final_segment) {
+      const double what = rng.next_double();
+      if (what < 0.2 || ends.empty()) {
+        plan.cut_write_after = static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(handshake.size()) - 1));
+        delivered_events = 0;
+      } else {
+        const auto torn = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(ends.size()) - 1));
+        const std::size_t start =
+            torn == 0 ? handshake.size() : ends[torn - 1];
+        const auto offset = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(ends[torn] - start) - 1));
+        plan.cut_write_after = start + offset;
+        delivered_events = torn;
+      }
+      cuts.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    auto inner = connect();
+    ASSERT_NE(inner, nullptr) << "client " << client << " episode "
+                              << segment;
+    FaultyByteStream wire(inner, plan);
+    const bool ok = wire.write_all(std::span<const std::uint8_t>(bytes));
+    if (final_segment) {
+      ASSERT_TRUE(ok);
+      wire.close_write();
+    } else {
+      ASSERT_FALSE(ok);
+      ASSERT_TRUE(wire.stats().write_cut);
+    }
+    episodes.fetch_add(1, std::memory_order_relaxed);
+    next += delivered_events;
+  }
+}
+
+EpollSoakOutcome run_epoll_soaked(
+    const std::vector<std::vector<Event>>& workload, ServiceConfig config,
+    EpollSoakOptions options) {
+  ClientRegistry registry =
+      make_registry(static_cast<std::uint32_t>(workload.size()));
+  FairOrderingService service(
+      registry, ids(static_cast<std::uint32_t>(workload.size())), config);
+  ServerConfig server_config;
+  server_config.frontend = test_frontend_config();
+  server_config.frontend.transport = TransportMode::kEventLoop;
+  server_config.frontend.poller_threads = options.poller_threads;
+  if (options.submit_batch_limit != 0) {
+    server_config.frontend.submit_batch_limit = options.submit_batch_limit;
+  }
+  FrameServer server(registry, service, server_config);
+
+  std::string path;
+  if (options.use_tcp) {
+    EXPECT_TRUE(server.listen_tcp(0));
+  } else {
+    path = fresh_unix_path();
+    EXPECT_TRUE(server.listen_unix(path));
+  }
+  auto connect = [&server, &path]() -> std::shared_ptr<ByteStream> {
+    return connect_retry(path, server.port());
+  };
+
+  std::atomic<std::uint64_t> episodes{0};
+  std::atomic<std::uint64_t> cuts{0};
+  Rng rng(options.seed);
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < workload.size(); ++c) {
+    Rng client_rng = rng.split();
+    clients.emplace_back([&, c, client_rng] {
+      run_epoll_soak_client(connect, c, workload[c], client_rng,
+                            options.segments, episodes, cuts);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EpollSoakOutcome outcome;
+  outcome.episodes = episodes.load();
+  outcome.cuts = cuts.load();
+  EXPECT_TRUE(server.wait_for_accepted(outcome.episodes, 10000));
+  // Event mode's join_readers: waits until every poller-registered
+  // connection has applied all its retained frames (done flag).
+  server.frontend().join_readers();
+  outcome.emissions = drain_captured(service);
+  server.stop();
+  return outcome;
+}
+
+void epoll_soak_equivalence(ServiceConfig soak_config,
+                            ServiceConfig direct_config,
+                            EpollSoakOptions options,
+                            std::uint32_t clients = 4, int per_client = 30) {
+  const auto workload =
+      make_workload(clients, per_client, /*seed=*/options.seed + 1000);
+  const auto direct = run_direct(workload, direct_config);
+  ASSERT_FALSE(direct.empty());
+  const EpollSoakOutcome outcome =
+      run_epoll_soaked(workload, soak_config, options);
+  EXPECT_GT(outcome.episodes, static_cast<std::uint64_t>(clients));
+  EXPECT_GT(outcome.cuts, 0u);
+  expect_equivalent(direct, outcome.emissions);
+}
+
+TEST(EpollSoakOverUnixSockets, SequentialEmissionsSurviveBitForBit) {
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  for (std::uint64_t seed : {21ULL, 22ULL}) {
+    EpollSoakOptions options;
+    options.seed = seed;
+    epoll_soak_equivalence(config, config, options);
+  }
+}
+
+TEST(EpollSoakOverUnixSockets, SequentialShardedEmissionsSurvive) {
+  ServiceConfig config;
+  config.with_shards(3).with_p_safe(0.99);
+  EpollSoakOptions options;
+  options.seed = 25;
+  options.poller_threads = 3;
+  epoll_soak_equivalence(config, config, options, /*clients=*/6);
+}
+
+TEST(EpollSoakOverUnixSockets, ThreadedEmissionsSurviveBitForBit) {
+  ServiceConfig threaded;
+  threaded.with_shards(2).with_p_safe(0.99).with_worker_threads();
+  ServiceConfig sequential;
+  sequential.with_shards(2).with_p_safe(0.99);
+  EpollSoakOptions options;
+  options.seed = 27;
+  epoll_soak_equivalence(threaded, sequential, options);
+}
+
+TEST(EpollSoakOverUnixSockets, GlobalMergeEmissionsSurviveBitForBit) {
+  ServiceConfig threaded;
+  threaded.with_shards(2).with_p_safe(0.99).with_worker_threads()
+      .with_drain_policy(core::DrainPolicy::kGlobalMerge);
+  ServiceConfig sequential;
+  sequential.with_shards(2).with_p_safe(0.99).with_drain_policy(
+      core::DrainPolicy::kGlobalMerge);
+  EpollSoakOptions options;
+  options.seed = 31;
+  epoll_soak_equivalence(threaded, sequential, options);
+}
+
+TEST(EpollSoakOverUnixSockets, TinySubmitBatchLimitStillBitIdentical) {
+  // submit_batch_limit=2 forces the pending-flush / kConsumedStall paths
+  // to run constantly; the emissions must not notice.
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  EpollSoakOptions options;
+  options.seed = 33;
+  options.submit_batch_limit = 2;
+  epoll_soak_equivalence(config, config, options);
+}
+
+TEST(EpollSoakOverTcp, SequentialEmissionsSurviveBitForBit) {
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  EpollSoakOptions options;
+  options.seed = 37;
+  options.use_tcp = true;
+  epoll_soak_equivalence(config, config, options);
+}
+
+TEST(EpollSoakOverTcp, ThreadedEmissionsSurviveBitForBit) {
+  ServiceConfig threaded;
+  threaded.with_shards(2).with_p_safe(0.99).with_worker_threads();
+  ServiceConfig sequential;
+  sequential.with_shards(2).with_p_safe(0.99);
+  EpollSoakOptions options;
+  options.seed = 41;
+  options.use_tcp = true;
+  epoll_soak_equivalence(threaded, sequential, options);
+}
+
+/// Event-mode churn: 60 connect/submit/disconnect cycles through the
+/// poller transport keep the connection table bounded (retire unhooks
+/// each connection from the loop via remove_sync).
+TEST(EpollSoakOverUnixSockets, ChurnKeepsTheTableBounded) {
+  ClientRegistry registry = make_registry(2);
+  ServiceConfig config;
+  config.with_p_safe(0.99);
+  FairOrderingService service(registry, ids(2), config);
+  ServerConfig server_config;
+  server_config.frontend = test_frontend_config();
+  server_config.frontend.transport = TransportMode::kEventLoop;
+  FrameServer server(registry, service, server_config);
+  const std::string path = fresh_unix_path();
+  ASSERT_TRUE(server.listen_unix(path));
+
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    auto wire = connect_unix(path);
+    ASSERT_NE(wire, nullptr);
+    std::vector<std::uint8_t> bytes = announce_frame(0);
+    const auto frame = message_frame(
+        0, static_cast<std::uint64_t>(cycle), 1.0 + 1e-3 * cycle);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+    ASSERT_TRUE(wire->write_all(bytes));
+    wire->close_write();
+    ASSERT_TRUE(eventually([&server] {
+      return server.frontend().connection_count() == 0;
+    }));
+  }
+  ASSERT_TRUE(server.wait_for_accepted(60, 10000));
+  server.frontend().join_readers();
+  server.frontend().reap();
+  EXPECT_EQ(server.frontend().tracked_connection_count(), 0u);
+  EXPECT_EQ(server.frontend().totals().accepted, 60u);
+  EXPECT_EQ(server.frontend().totals().removed, 60u);
+  EXPECT_TRUE(
+      eventually([&service] { return service.pending_count() == 60; }));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tommy::net

@@ -1,0 +1,220 @@
+// Unit proof of the event-driven transport core in isolation: the epoll
+// Poller's edge semantics (one registration, readable+writable edges,
+// hangup mapped to readability), the EventLoop's per-key serialization,
+// the request_tick retry channel, and remove_sync's completion barrier —
+// everything the poller front-end builds on.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "wire_test_util.hpp"
+
+namespace tommy::net {
+namespace {
+
+using tommy::net::testing::eventually;
+
+/// A socketpair whose fds close on destruction.
+struct Pair {
+  int fds[2]{-1, -1};
+  Pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~Pair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+};
+
+TEST(EpollPoller, ReadableEdgeCarriesTheTag) {
+  auto poller = make_epoll_poller();
+  Pair pair;
+  ASSERT_TRUE(poller->add(pair.fds[0], 42));
+
+  const char byte = 'x';
+  ASSERT_EQ(::write(pair.fds[1], &byte, 1), 1);
+
+  std::vector<PollEvent> events(8);
+  // A fresh edge-triggered registration on an already-empty socket also
+  // reports writability; loop until the readable edge shows up.
+  bool saw_readable = false;
+  for (int round = 0; round < 10 && !saw_readable; ++round) {
+    const std::size_t n = poller->wait(events, 1000);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(events[i].tag, 42u);
+      if (events[i].readable) saw_readable = true;
+    }
+  }
+  EXPECT_TRUE(saw_readable);
+}
+
+TEST(EpollPoller, WakeUnblocksAnIdleWait) {
+  auto poller = make_epoll_poller();
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    std::vector<PollEvent> events(4);
+    // No fds registered: only wake() can end this wait early.
+    (void)poller->wait(events, 5000);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  poller->wake();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(EpollPoller, HangupSurfacesAsReadable) {
+  auto poller = make_epoll_poller();
+  Pair pair;
+  ASSERT_TRUE(poller->add(pair.fds[0], 7));
+  ::close(pair.fds[1]);
+  pair.fds[1] = -1;
+
+  bool saw_hangup = false;
+  std::vector<PollEvent> events(8);
+  for (int round = 0; round < 10 && !saw_hangup; ++round) {
+    const std::size_t n = poller->wait(events, 1000);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (events[i].hangup) {
+        // The read path must be able to discover the EOF itself.
+        EXPECT_TRUE(events[i].readable);
+        saw_hangup = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_hangup);
+}
+
+TEST(EventLoop, EchoAcrossManyConnectionsAndThreads) {
+  constexpr int kConns = 16;
+  constexpr int kBytesEach = 64;
+  EventLoop loop(3);
+  EXPECT_EQ(loop.thread_count(), 3u);
+
+  std::vector<std::unique_ptr<Pair>> pairs;
+  std::vector<std::unique_ptr<std::atomic<int>>> received;
+  for (int c = 0; c < kConns; ++c) {
+    pairs.push_back(std::make_unique<Pair>());
+    received.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+
+  std::vector<std::uint64_t> keys;
+  for (int c = 0; c < kConns; ++c) {
+    const int fd = pairs[static_cast<std::size_t>(c)]->fds[0];
+    std::atomic<int>& count = *received[static_cast<std::size_t>(c)];
+    EventLoop::Handler handler;
+    handler.on_event = [fd, &count](bool readable, bool, bool) {
+      if (!readable) return;
+      char buffer[256];
+      // Edge-triggered: drain to EAGAIN (blocking fds here, so rely on
+      // one read per burst being enough for this test's small writes).
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n > 0) count.fetch_add(static_cast<int>(n));
+    };
+    keys.push_back(loop.add(fd, std::move(handler)));
+  }
+
+  for (int round = 0; round < kBytesEach; ++round) {
+    for (int c = 0; c < kConns; ++c) {
+      const char byte = static_cast<char>(round);
+      ASSERT_EQ(
+          ::write(pairs[static_cast<std::size_t>(c)]->fds[1], &byte, 1), 1);
+    }
+    // Small pacing so bursts coalesce differently across rounds.
+    if (round % 16 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  for (int c = 0; c < kConns; ++c) {
+    std::atomic<int>& count = *received[static_cast<std::size_t>(c)];
+    EXPECT_TRUE(eventually([&count] { return count.load() >= kBytesEach; }))
+        << "connection " << c << " got " << count.load();
+  }
+  for (const std::uint64_t key : keys) loop.remove_sync(key);
+}
+
+TEST(EventLoop, RequestTickFiresAndCoalesces) {
+  EventLoop loop(1);
+  Pair pair;
+  std::atomic<int> ticks{0};
+  EventLoop::Handler handler;
+  handler.on_event = [](bool, bool, bool) {};
+  handler.on_tick = [&ticks] { ticks.fetch_add(1); };
+  const std::uint64_t key = loop.add(pair.fds[0], std::move(handler));
+
+  loop.request_tick(key);
+  EXPECT_TRUE(eventually([&ticks] { return ticks.load() >= 1; }));
+
+  // A burst of requests before the tick fires coalesces to O(1) calls,
+  // not one per request.
+  const int before = ticks.load();
+  for (int i = 0; i < 100; ++i) loop.request_tick(key);
+  EXPECT_TRUE(
+      eventually([&ticks, before] { return ticks.load() > before; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(ticks.load() - before, 100);
+  loop.remove_sync(key);
+
+  // Ticks for an unregistered key are dropped, not crashed on.
+  loop.request_tick(key);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(EventLoop, RemoveSyncIsACompletionBarrier) {
+  EventLoop loop(2);
+  Pair pair;
+  std::atomic<bool> in_callback{false};
+  std::atomic<bool> removed{false};
+  std::atomic<int> calls_after_remove{0};
+
+  EventLoop::Handler handler;
+  handler.on_event = [&](bool readable, bool, bool) {
+    if (!readable) return;
+    char buffer[64];
+    (void)!::read(pair.fds[0], buffer, sizeof(buffer));
+    in_callback.store(true);
+    // Hold the callback long enough for remove_sync to be mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (removed.load()) calls_after_remove.fetch_add(1);
+  };
+  const std::uint64_t key = loop.add(pair.fds[0], std::move(handler));
+
+  const char byte = 'x';
+  ASSERT_EQ(::write(pair.fds[1], &byte, 1), 1);
+  ASSERT_TRUE(eventually([&] { return in_callback.load(); }));
+
+  // remove_sync must block until the in-flight callback batch finishes;
+  // after it returns, no callback for the key runs.
+  loop.remove_sync(key);
+  removed.store(true);
+  ASSERT_EQ(::write(pair.fds[1], &byte, 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(calls_after_remove.load(), 0);
+}
+
+TEST(EventLoop, DestructorStopsWithLiveRegistrations) {
+  Pair pair;
+  std::atomic<int> events{0};
+  {
+    EventLoop loop(2);
+    EventLoop::Handler handler;
+    handler.on_event = [&](bool, bool, bool) { events.fetch_add(1); };
+    (void)loop.add(pair.fds[0], std::move(handler));
+    const char byte = 'x';
+    ASSERT_EQ(::write(pair.fds[1], &byte, 1), 1);
+    EXPECT_TRUE(eventually([&] { return events.load() >= 1; }));
+    // Destructor joins every poller thread with the handler still
+    // registered.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tommy::net
