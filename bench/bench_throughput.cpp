@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/latency_histogram.hpp"
 #include "core/baselines.hpp"
 #include "core/online_sequencer.hpp"
 #include "core/service.hpp"
@@ -369,6 +370,79 @@ void BM_ServiceSteadyStateDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceSteadyStateDrain)
     ->ArgsProduct({{4096, 65536}, {1, 2, 4}, {0, 1}})
+    ->UseRealTime();
+
+void BM_BackloggedInsertRelease(benchmark::State& state) {
+  // The quadratic-collapse regression gate. One expected client never
+  // speaks, so the completeness gate stays shut while range(0) messages
+  // pile into the pending buffer — every insert lands in a buffer of
+  // depth ~i. The old flat sorted buffer paid an O(i) shift per insert
+  // (an O(N²) ramp that only the tail of the latency distribution saw
+  // early); the chunked HoldbackBuffer pays O(B + log i). Each insert is
+  // clocked individually into an HDR-style histogram and the tracked
+  // fields are its tail: insert_p50/p99/p999_ns. Sub-linear growth of
+  // ns-per-item from 10k to 200k held messages is the acceptance bar.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Workbench bench(50, count, Rng(9));
+  // An announced 51st client that stays silent holds the gate shut no
+  // matter what the speakers do.
+  const ClientId mute(static_cast<std::uint32_t>(bench.population.size()));
+  bench.registry.announce(mute, std::make_unique<stats::Gaussian>(0.0, 20e-6));
+  std::vector<ClientId> expected = bench.population.ids();
+  expected.push_back(mute);
+
+  tommy::LatencyHistogram inserts;
+  double release_seconds = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::OnlineConfig config;
+    config.p_safe = 0.999;
+    core::OnlineSequencer seq(bench.registry, expected, config);
+    std::vector<core::OnlineSequencer::Session> sessions;
+    sessions.reserve(bench.population.size());
+    for (ClientId c : bench.population.ids()) {
+      sessions.push_back(seq.open_session(c));
+    }
+    state.ResumeTiming();
+
+    TimePoint now(0.0);
+    for (const core::Message& m : bench.messages) {
+      now = std::max(now, m.arrival);
+      const auto t0 = std::chrono::steady_clock::now();
+      sessions[m.client.value()].submit(m.stamp, m.id, now);
+      const auto t1 = std::chrono::steady_clock::now();
+      inserts.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+    // Everything is still held: the gate never opened.
+    benchmark::DoNotOptimize(seq.pending_count());
+
+    // Open the gate (the mute client finally heartbeats) and release the
+    // whole backlog in one drain.
+    const auto r0 = std::chrono::steady_clock::now();
+    for (auto& session : sessions) {
+      session.heartbeat(now + 10_s, now + 1_ms);
+    }
+    seq.on_heartbeat(mute, now + 10_s, now + 1_ms);
+    benchmark::DoNotOptimize(seq.poll(now + 1_s));
+    const auto r1 = std::chrono::steady_clock::now();
+    release_seconds += std::chrono::duration<double>(r1 - r0).count();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["insert_p50_ns"] =
+      benchmark::Counter(static_cast<double>(inserts.percentile_ns(0.50)));
+  state.counters["insert_p99_ns"] =
+      benchmark::Counter(static_cast<double>(inserts.percentile_ns(0.99)));
+  state.counters["insert_p999_ns"] =
+      benchmark::Counter(static_cast<double>(inserts.percentile_ns(0.999)));
+  state.counters["release_ms_per_iter"] = benchmark::Counter(
+      1e3 * release_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BackloggedInsertRelease)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(200000)
     ->UseRealTime();
 
 void BM_ServiceReconfigSwap(benchmark::State& state) {

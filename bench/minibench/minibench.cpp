@@ -1,0 +1,664 @@
+// minibench implementation: registration expansion, the min_time-driven
+// iteration scaler, console + google-benchmark-shaped JSON reporting,
+// and the complexity fit. See include/benchmark/benchmark.h for scope.
+#include "benchmark/benchmark.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+namespace benchmark {
+namespace {
+
+double cpu_now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct Flags {
+  std::string filter;
+  std::string out_path;
+  std::string out_format{"json"};
+  double min_time{0.5};
+  bool list_tests{false};
+  std::string executable;
+};
+Flags g_flags;
+
+std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;
+  return ctx;
+}
+
+std::vector<std::unique_ptr<internal::Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<internal::Benchmark>> benches;
+  return benches;
+}
+
+}  // namespace
+
+// ── State timing ────────────────────────────────────────────────────────
+
+void State::start_keep_running() {
+  completed_ = 0;
+  real_seconds_ = 0.0;
+  cpu_seconds_ = 0.0;
+  ResumeTiming();
+}
+
+void State::finish_keep_running() {
+  if (timing_) PauseTiming();
+}
+
+void State::PauseTiming() {
+  real_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    real_start_)
+          .count();
+  cpu_seconds_ += cpu_now_seconds() - cpu_start_;
+  timing_ = false;
+}
+
+void State::ResumeTiming() {
+  timing_ = true;
+  real_start_ = std::chrono::steady_clock::now();
+  cpu_start_ = cpu_now_seconds();
+}
+
+// ── Registration ────────────────────────────────────────────────────────
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, Function* fn)
+    : name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::Arg(std::int64_t x) {
+  arg_tuples_.push_back({x});
+  return this;
+}
+
+Benchmark* Benchmark::Args(const std::vector<std::int64_t>& args) {
+  arg_tuples_.push_back(args);
+  return this;
+}
+
+Benchmark* Benchmark::ArgsProduct(
+    const std::vector<std::vector<std::int64_t>>& lists) {
+  std::vector<std::vector<std::int64_t>> tuples{{}};
+  for (const auto& axis : lists) {
+    std::vector<std::vector<std::int64_t>> next;
+    for (const auto& prefix : tuples) {
+      for (const std::int64_t v : axis) {
+        auto tuple = prefix;
+        tuple.push_back(v);
+        next.push_back(std::move(tuple));
+      }
+    }
+    tuples = std::move(next);
+  }
+  for (auto& tuple : tuples) arg_tuples_.push_back(std::move(tuple));
+  return this;
+}
+
+Benchmark* Benchmark::Range(std::int64_t lo, std::int64_t hi) {
+  // Upstream semantics: powers of the multiplier from lo, hi always
+  // included.
+  for (std::int64_t v = lo; v < hi; v *= range_multiplier_) {
+    arg_tuples_.push_back({v});
+    if (v > hi / range_multiplier_) break;  // overflow guard
+  }
+  arg_tuples_.push_back({hi});
+  return this;
+}
+
+Benchmark* Benchmark::RangeMultiplier(int multiplier) {
+  range_multiplier_ = multiplier;
+  return this;
+}
+
+Benchmark* Benchmark::UseRealTime() {
+  use_real_time_ = true;
+  return this;
+}
+
+Benchmark* Benchmark::Iterations(IterationCount n) {
+  fixed_iterations_ = n;
+  return this;
+}
+
+Benchmark* Benchmark::Complexity(BigO family) {
+  complexity_ = family;
+  return this;
+}
+
+Benchmark* RegisterBenchmarkInternal(Benchmark* bench) {
+  registry().emplace_back(bench);
+  return bench;
+}
+
+// ── Running ─────────────────────────────────────────────────────────────
+
+struct RunResult {
+  std::string name;
+  std::size_t family_index{0};
+  std::size_t instance_index{0};
+  IterationCount iterations{0};
+  double real_ns_per_iter{0.0};
+  double cpu_ns_per_iter{0.0};
+  double items_per_second{-1.0};
+  double bytes_per_second{-1.0};
+  std::int64_t complexity_n{0};
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+struct Runner {
+  static std::string instance_name(const Benchmark& bench,
+                                   const std::vector<std::int64_t>& args) {
+    std::string name = bench.name_;
+    for (const std::int64_t a : args) name += "/" + std::to_string(a);
+    if (bench.fixed_iterations_ > 0) {
+      name += "/iterations:" + std::to_string(bench.fixed_iterations_);
+    }
+    if (bench.use_real_time_) name += "/real_time";
+    return name;
+  }
+
+  static std::vector<std::vector<std::int64_t>> instances(
+      const Benchmark& bench) {
+    if (bench.arg_tuples_.empty()) return {{}};
+    return bench.arg_tuples_;
+  }
+
+  static RunResult run_instance(const Benchmark& bench,
+                                const std::vector<std::int64_t>& args) {
+    IterationCount iters =
+        bench.fixed_iterations_ > 0 ? bench.fixed_iterations_ : 1;
+    for (;;) {
+      State state(args, iters);
+      bench.fn_(state);
+
+      const double real = state.real_seconds();
+      const bool done = bench.fixed_iterations_ > 0 ||
+                        real >= g_flags.min_time ||
+                        iters >= (IterationCount{1} << 40);
+      if (done) {
+        RunResult r;
+        r.name = instance_name(bench, args);
+        r.iterations = iters;
+        r.real_ns_per_iter = real * 1e9 / static_cast<double>(iters);
+        r.cpu_ns_per_iter =
+            state.cpu_seconds() * 1e9 / static_cast<double>(iters);
+        // Rates follow the benchmark's clock choice, like upstream.
+        const double basis =
+            bench.use_real_time_ ? real : state.cpu_seconds();
+        const double safe_basis = basis > 0.0 ? basis : 1e-12;
+        if (state.items_processed() > 0) {
+          r.items_per_second =
+              static_cast<double>(state.items_processed()) / safe_basis;
+        }
+        if (state.bytes_processed() > 0) {
+          r.bytes_per_second =
+              static_cast<double>(state.bytes_processed()) / safe_basis;
+        }
+        r.complexity_n = state.complexity_n();
+        for (const auto& [key, counter] : state.counters) {
+          double value = counter.value;
+          if (counter.flags & Counter::kIsRate) value /= safe_basis;
+          r.counters.emplace_back(key, value);
+        }
+        return r;
+      }
+      const double grow = std::clamp(
+          g_flags.min_time * 1.4 / std::max(real, 1e-9), 2.0, 10.0);
+      iters = std::max<IterationCount>(
+          iters + 1, static_cast<IterationCount>(
+                         static_cast<double>(iters) * grow));
+    }
+  }
+};
+
+}  // namespace internal
+
+// ── Reporting ───────────────────────────────────────────────────────────
+
+namespace {
+
+std::string humanize(double value) {
+  char buf[64];
+  const char* suffix = "";
+  double v = value;
+  if (std::fabs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  std::snprintf(buf, sizeof(buf), "%.6g%s", v, suffix);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+int read_mhz() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        return static_cast<int>(std::strtod(line.c_str() + colon + 1, nullptr));
+      }
+    }
+  }
+  return 0;
+}
+
+std::string iso_now() {
+  char buf[64];
+  std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  std::strftime(buf, sizeof(buf), "%FT%T%z", &tm);
+  // %z gives +0000; splice the colon for ISO-8601 parity with upstream.
+  std::string s(buf);
+  if (s.size() >= 5) s.insert(s.size() - 2, ":");
+  return s;
+}
+
+const char* library_build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+void print_context() {
+  std::printf("%s\n", iso_now().c_str());
+  std::printf("Running %s\n", g_flags.executable.c_str());
+  std::printf("Run on (%u X %d MHz CPU s)\n",
+              std::thread::hardware_concurrency(), read_mhz());
+  double loads[3] = {0, 0, 0};
+  getloadavg(loads, 3);
+  std::printf("Load Average: %.2f, %.2f, %.2f\n", loads[0], loads[1],
+              loads[2]);
+  for (const auto& [key, value] : custom_context()) {
+    std::printf("%s: %s\n", key.c_str(), value.c_str());
+  }
+#ifndef NDEBUG
+  std::printf("***WARNING*** Library was built as DEBUG. "
+              "Timings may be affected.\n");
+#endif
+}
+
+void print_result(const internal::RunResult& r, std::size_t name_width) {
+  std::string extras;
+  for (const auto& [key, value] : r.counters) {
+    extras += " " + key + "=" + humanize(value);
+  }
+  if (r.items_per_second >= 0.0) {
+    extras += " items_per_second=" + humanize(r.items_per_second) + "/s";
+  }
+  if (r.bytes_per_second >= 0.0) {
+    extras += " bytes_per_second=" + humanize(r.bytes_per_second) + "/s";
+  }
+  std::printf("%-*s %12.0f ns %12.0f ns %12lld%s\n",
+              static_cast<int>(name_width), r.name.c_str(),
+              r.real_ns_per_iter, r.cpu_ns_per_iter,
+              static_cast<long long>(r.iterations), extras.c_str());
+}
+
+const char* big_o_name(BigO family) {
+  switch (family) {
+    case o1:
+      return "(1)";
+    case oN:
+      return "N";
+    case oLogN:
+      return "lgN";
+    case oNLogN:
+      return "NlgN";
+    case oNSquared:
+      return "N^2";
+    case oNCubed:
+      return "N^3";
+    default:
+      return "?";
+  }
+}
+
+double big_o_eval(BigO family, double n) {
+  switch (family) {
+    case o1:
+      return 1.0;
+    case oN:
+      return n;
+    case oLogN:
+      return std::log2(std::max(n, 2.0));
+    case oNLogN:
+      return n * std::log2(std::max(n, 2.0));
+    case oNSquared:
+      return n * n;
+    case oNCubed:
+      return n * n * n;
+    default:
+      return 1.0;
+  }
+}
+
+struct Fit {
+  BigO family{oNone};
+  double coef_real{0.0};
+  double coef_cpu{0.0};
+  double rms{0.0};  // relative, of the cpu fit
+};
+
+/// Least-squares fit of t = c * f(n) for one family; oAuto tries each
+/// and keeps the lowest relative RMS — the upstream approach.
+Fit fit_complexity(const std::vector<internal::RunResult>& rows, BigO family) {
+  std::vector<BigO> candidates;
+  if (family == oAuto) {
+    candidates = {o1, oN, oLogN, oNLogN, oNSquared, oNCubed};
+  } else {
+    candidates = {family};
+  }
+  Fit best;
+  bool have_best = false;
+  for (const BigO candidate : candidates) {
+    double sff = 0.0;
+    double sfr = 0.0;
+    double sfc = 0.0;
+    for (const auto& r : rows) {
+      const double f = big_o_eval(candidate, static_cast<double>(r.complexity_n));
+      sff += f * f;
+      sfr += f * r.real_ns_per_iter;
+      sfc += f * r.cpu_ns_per_iter;
+    }
+    Fit fit;
+    fit.family = candidate;
+    fit.coef_real = sff > 0.0 ? sfr / sff : 0.0;
+    fit.coef_cpu = sff > 0.0 ? sfc / sff : 0.0;
+    double err = 0.0;
+    double mean = 0.0;
+    for (const auto& r : rows) {
+      const double f = big_o_eval(candidate, static_cast<double>(r.complexity_n));
+      const double d = r.cpu_ns_per_iter - fit.coef_cpu * f;
+      err += d * d;
+      mean += r.cpu_ns_per_iter;
+    }
+    mean /= static_cast<double>(rows.size());
+    fit.rms = mean > 0.0
+                  ? std::sqrt(err / static_cast<double>(rows.size())) / mean
+                  : 0.0;
+    if (!have_best || fit.rms < best.rms) {
+      best = fit;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+void write_json(const std::string& path,
+                const std::vector<internal::RunResult>& rows,
+                const std::vector<std::pair<std::string, Fit>>& fits) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "minibench: cannot open %s for writing\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  char host[256] = "unknown";
+  gethostname(host, sizeof(host) - 1);
+  double loads[3] = {0, 0, 0};
+  getloadavg(loads, 3);
+
+  out << "{\n  \"context\": {\n";
+  out << "    \"date\": \"" << iso_now() << "\",\n";
+  out << "    \"host_name\": \"" << json_escape(host) << "\",\n";
+  out << "    \"executable\": \"" << json_escape(g_flags.executable)
+      << "\",\n";
+  out << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "    \"mhz_per_cpu\": " << read_mhz() << ",\n";
+  out << "    \"cpu_scaling_enabled\": false,\n";
+  out << "    \"caches\": [\n    ],\n";
+  out << "    \"load_avg\": [" << json_double(loads[0]) << ","
+      << json_double(loads[1]) << "," << json_double(loads[2]) << "],\n";
+  out << "    \"library_build_type\": \"" << library_build_type() << "\"";
+  for (const auto& [key, value] : custom_context()) {
+    out << ",\n    \"" << json_escape(key) << "\": \"" << json_escape(value)
+        << "\"";
+  }
+  out << "\n  },\n  \"benchmarks\": [\n";
+
+  bool first = true;
+  auto row_prefix = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+  for (const auto& r : rows) {
+    row_prefix() << "    {\n";
+    out << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    out << "      \"family_index\": " << r.family_index << ",\n";
+    out << "      \"per_family_instance_index\": " << r.instance_index
+        << ",\n";
+    out << "      \"run_name\": \"" << json_escape(r.name) << "\",\n";
+    out << "      \"run_type\": \"iteration\",\n";
+    out << "      \"repetitions\": 1,\n";
+    out << "      \"repetition_index\": 0,\n";
+    out << "      \"threads\": 1,\n";
+    out << "      \"iterations\": " << r.iterations << ",\n";
+    out << "      \"real_time\": " << json_double(r.real_ns_per_iter)
+        << ",\n";
+    out << "      \"cpu_time\": " << json_double(r.cpu_ns_per_iter) << ",\n";
+    out << "      \"time_unit\": \"ns\"";
+    for (const auto& [key, value] : r.counters) {
+      out << ",\n      \"" << json_escape(key)
+          << "\": " << json_double(value);
+    }
+    if (r.items_per_second >= 0.0) {
+      out << ",\n      \"items_per_second\": "
+          << json_double(r.items_per_second);
+    }
+    if (r.bytes_per_second >= 0.0) {
+      out << ",\n      \"bytes_per_second\": "
+          << json_double(r.bytes_per_second);
+    }
+    out << "\n    }";
+  }
+  for (const auto& [family_name, fit] : fits) {
+    row_prefix() << "    {\n";
+    out << "      \"name\": \"" << json_escape(family_name) << "_BigO\",\n";
+    out << "      \"run_name\": \"" << json_escape(family_name) << "\",\n";
+    out << "      \"run_type\": \"aggregate\",\n";
+    out << "      \"aggregate_name\": \"BigO\",\n";
+    out << "      \"cpu_coefficient\": " << json_double(fit.coef_cpu)
+        << ",\n";
+    out << "      \"real_coefficient\": " << json_double(fit.coef_real)
+        << ",\n";
+    out << "      \"big_o\": \"" << big_o_name(fit.family) << "\",\n";
+    out << "      \"time_unit\": \"ns\"\n    }";
+    row_prefix() << "    {\n";
+    out << "      \"name\": \"" << json_escape(family_name) << "_RMS\",\n";
+    out << "      \"run_name\": \"" << json_escape(family_name) << "\",\n";
+    out << "      \"run_type\": \"aggregate\",\n";
+    out << "      \"aggregate_name\": \"RMS\",\n";
+    out << "      \"rms\": " << json_double(fit.rms) << "\n    }";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+// ── Public entry points ─────────────────────────────────────────────────
+
+void AddCustomContext(const std::string& key, const std::string& value) {
+  custom_context().emplace_back(key, value);
+}
+
+void Initialize(int* argc, char** argv) {
+  if (*argc > 0) {
+    char resolved[4096];
+    if (realpath(argv[0], resolved) != nullptr) {
+      g_flags.executable = resolved;
+    } else {
+      g_flags.executable = argv[0];
+    }
+  }
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n &&
+          arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--benchmark_filter")) {
+      g_flags.filter = v;
+    } else if (const char* v = value_of("--benchmark_out")) {
+      g_flags.out_path = v;
+    } else if (const char* v = value_of("--benchmark_out_format")) {
+      g_flags.out_format = v;
+    } else if (value_of("--benchmark_format") != nullptr) {
+      // Console is the only supported live format; accepted and ignored.
+    } else if (const char* v = value_of("--benchmark_min_time")) {
+      // Plain seconds; a trailing "s" (upstream >= 1.8 syntax) is fine.
+      g_flags.min_time = std::strtod(v, nullptr);
+      if (g_flags.min_time <= 0.0) g_flags.min_time = 0.5;
+    } else if (arg == "--benchmark_list_tests" ||
+               arg == "--benchmark_list_tests=true") {
+      g_flags.list_tests = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: error: unrecognized command-line flag: %s\n",
+                 argv[0], argv[i]);
+  }
+  return argc > 1;
+}
+
+std::size_t RunSpecifiedBenchmarks() {
+  std::regex filter;
+  const bool has_filter = !g_flags.filter.empty();
+  if (has_filter) filter = std::regex(g_flags.filter);
+
+  struct Planned {
+    const internal::Benchmark* bench;
+    std::vector<std::int64_t> args;
+    std::string name;
+    std::size_t family_index;
+    std::size_t instance_index;
+  };
+  std::vector<Planned> plan;
+  for (std::size_t family = 0; family < registry().size(); ++family) {
+    const auto& bench = *registry()[family];
+    std::size_t instance = 0;
+    for (const auto& args : internal::Runner::instances(bench)) {
+      const std::string name = internal::Runner::instance_name(bench, args);
+      if (!has_filter || std::regex_search(name, filter)) {
+        plan.push_back(Planned{&bench, args, name, family, instance});
+      }
+      ++instance;
+    }
+  }
+
+  if (g_flags.list_tests) {
+    for (const auto& p : plan) std::printf("%s\n", p.name.c_str());
+    return plan.size();
+  }
+
+  print_context();
+  std::size_t name_width = 10;
+  for (const auto& p : plan) name_width = std::max(name_width, p.name.size());
+  const std::string rule(name_width + 44, '-');
+  std::printf("%s\n%-*s %15s %15s %12s UserCounters...\n%s\n", rule.c_str(),
+              static_cast<int>(name_width), "Benchmark", "Time", "CPU",
+              "Iterations", rule.c_str());
+
+  std::vector<internal::RunResult> results;
+  // family name -> rows with complexity data, in registration order.
+  std::vector<std::pair<std::string, Fit>> fits;
+  std::map<const internal::Benchmark*, std::vector<internal::RunResult>>
+      complexity_rows;
+  for (const auto& p : plan) {
+    internal::RunResult r = internal::Runner::run_instance(*p.bench, p.args);
+    r.family_index = p.family_index;
+    r.instance_index = p.instance_index;
+    print_result(r, name_width);
+    if (p.bench->complexity() != oNone && r.complexity_n > 0) {
+      complexity_rows[p.bench].push_back(r);
+    }
+    results.push_back(std::move(r));
+  }
+  for (const auto& entry : registry()) {
+    const auto it = complexity_rows.find(entry.get());
+    if (it == complexity_rows.end() || it->second.size() < 2) continue;
+    const Fit fit = fit_complexity(it->second, entry->complexity());
+    fits.emplace_back(entry->name(), fit);
+    std::printf("%s_BigO %15.2f %s %15.2f %s\n", entry->name().c_str(),
+                fit.coef_real, big_o_name(fit.family), fit.coef_cpu,
+                big_o_name(fit.family));
+    std::printf("%s_RMS %17.0f %% %15.0f %%\n", entry->name().c_str(),
+                fit.rms * 100.0, fit.rms * 100.0);
+  }
+
+  if (!g_flags.out_path.empty()) {
+    if (g_flags.out_format != "json") {
+      std::fprintf(stderr,
+                   "minibench: unsupported --benchmark_out_format=%s "
+                   "(only json)\n",
+                   g_flags.out_format.c_str());
+      std::exit(1);
+    }
+    write_json(g_flags.out_path, results, fits);
+  }
+  return plan.size();
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark

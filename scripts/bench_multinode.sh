@@ -75,10 +75,15 @@ SHARD_PIDS=()
 MERGE_PID=""
 STANDBY_PID=""
 # Kill stragglers on abort: an orphaned merge would wait out its connect
-# budget against deleted socket paths.
+# budget against deleted socket paths. The ${arr[@]+...} guard (not
+# ":-") matters under set -e: on a clean run SHARD_PIDS is empty, and
+# "${SHARD_PIDS[@]:-}" would expand to one empty word whose `kill ''`
+# fails the trap — turning every successful run into exit 1.
 trap '[[ -n "$MERGE_PID" ]] && kill "$MERGE_PID" 2>/dev/null;
       [[ -n "$STANDBY_PID" ]] && kill "$STANDBY_PID" 2>/dev/null;
-      for pid in "${SHARD_PIDS[@]:-}"; do kill "$pid" 2>/dev/null; done;
+      for pid in ${SHARD_PIDS[@]+"${SHARD_PIDS[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+      done;
       rm -f "${PREFIX}"_*.sock "${OUTS[@]:-}"' EXIT
 
 # One measured sweep row: N shards into one reporting merge, plus

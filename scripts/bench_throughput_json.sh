@@ -76,7 +76,7 @@ if [[ "$SMOKE" == "1" ]]; then
   # count of every multi-shard / worker-mode series, plus the idle-swap
   # mode of the reconfig family (mode 1 spins a producer thread — too
   # scheduler-sensitive for a smoke box; mode 0 keeps the family alive).
-  FILTER="${FILTER:-/(64|256|1024)\$|/4096(/[0-9]+)*(/real_time)?\$|ReconfigSwap/64/0(/real_time)?\$}"
+  FILTER="${FILTER:-/(64|256|1024)\$|/4096(/[0-9]+)*(/real_time)?\$|ReconfigSwap/64/0(/real_time)?\$|BackloggedInsertRelease/10000(/real_time)?\$}"
   # Plain-double form: accepted by every google-benchmark (the "0.05s"
   # suffix form only exists from 1.8 on).
   EXTRA_ARGS+=(--benchmark_min_time=0.05)
@@ -88,5 +88,28 @@ fi
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_format=console
+
+# A Release tree is necessary but not sufficient: the benchmark HARNESS
+# itself must be a Release build too. System libbenchmark packages are
+# frequently Debug builds (the library then stamps
+# "library_build_type": "debug" into the JSON context), and a Debug
+# harness inflates every timed region with its own assertions. The
+# bundled minibench (cmake -DTOMMY_BENCH_LIB=bundled, the default)
+# inherits the tree's Release configure, so this check passes there by
+# construction.
+LIB_TYPE="$(python3 -c "
+import json,sys
+print(json.load(open('$OUT')).get('context',{}).get('library_build_type',''))")"
+if [[ "$LIB_TYPE" != "release" ]]; then
+  if [[ "$(readlink -m "$OUT")" == "$(readlink -m "$TRACKED")" ]]; then
+    rm -f "$OUT"
+    echo "error: benchmark library is a '$LIB_TYPE' build; refusing to" \
+         "write the tracked $TRACKED from a non-Release harness." \
+         "Configure with -DTOMMY_BENCH_LIB=bundled (default) or point the" \
+         "system lib at a Release google-benchmark." >&2
+    exit 1
+  fi
+  echo "warning: benchmark library is a '$LIB_TYPE' build (output: $OUT)" >&2
+fi
 
 echo "wrote $OUT"

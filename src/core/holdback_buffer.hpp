@@ -1,0 +1,251 @@
+// Ordered holdback buffer — the O(log n) pending-message structure.
+//
+// The sequencer's holdback buffer grows exactly when delay distributions
+// are adversarial (that is the paper's mechanism: uncertain messages wait),
+// so its insert cost under backlog IS the worst-case hot path. A flat
+// sorted sequence pays O(backlog) element moves per insert — at 200k held
+// messages every transport converges to the same ~10-16k msg/s wall. This
+// container replaces it with a counted, chunked B-tree-style sequence:
+//
+//   chunks_ : deque of fixed-capacity sorted chunks, globally ordered
+//             (every element of chunk i precedes every element of
+//             chunk i+1 under Less)
+//
+// An insert is a binary search over chunk back-keys (O(log(n/B))), a
+// lower_bound inside one chunk (O(log B)), and one bounded vector insert
+// (<= B element moves, B = kChunkCapacity). Overfull chunks split in two;
+// a prefix pop drops whole chunks. Total per-insert cost is O(log n)
+// comparisons plus an O(B) constant-bound move — independent of the
+// backlog depth, which is the bound the adversarial suite gates on.
+//
+// The interface is shaped by what OnlineSequencer's closure scans need:
+// in-order bidirectional iteration from the front (head-batch emission and
+// the windowed uncertainty scans), an O(prefix/B) iterator_at for the
+// head-boundary scan at insert, prefix pops for emission, and whole-buffer
+// extract/assign for epoch refresh (re-key + re-sort + rebuild).
+//
+// Keys are expected unique under Less (the sequencer keys by
+// (corrected stamp, message id)); equal keys are tolerated but order among
+// them is unspecified.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tommy::core {
+
+template <typename T, typename Less>
+class HoldbackBuffer {
+ public:
+  /// Chunk capacity: large enough that the per-insert O(B) move cost stays
+  /// in one or two cache lines' worth of work, small enough that a split
+  /// is cheap. Splits produce half-full chunks, so steady-state occupancy
+  /// is ~B/2..B.
+  static constexpr std::size_t kChunkCapacity = 256;
+
+  explicit HoldbackBuffer(Less less = Less{}) : less_(std::move(less)) {}
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+
+    reference operator*() const {
+      return owner_->chunks_[chunk_]->items[item_];
+    }
+    pointer operator->() const { return &**this; }
+
+    const_iterator& operator++() {
+      if (++item_ == owner_->chunks_[chunk_]->items.size()) {
+        ++chunk_;
+        item_ = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    const_iterator& operator--() {
+      if (item_ == 0) {
+        --chunk_;
+        item_ = owner_->chunks_[chunk_]->items.size() - 1;
+      } else {
+        --item_;
+      }
+      return *this;
+    }
+    const_iterator operator--(int) {
+      const_iterator copy = *this;
+      --*this;
+      return copy;
+    }
+
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.chunk_ == b.chunk_ && a.item_ == b.item_;
+    }
+
+   private:
+    friend class HoldbackBuffer;
+    const_iterator(const HoldbackBuffer* owner, std::size_t chunk,
+                   std::size_t item)
+        : owner_(owner), chunk_(chunk), item_(item) {}
+
+    const HoldbackBuffer* owner_{nullptr};
+    std::size_t chunk_{0};
+    std::size_t item_{0};
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, 0, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, chunks_.size(), 0);
+  }
+
+  /// Iterator to the element at prefix index `idx` (== end() at size()).
+  /// Costs O(idx / B) chunk hops — cheap for the head-prefix positions the
+  /// sequencer's insert-time boundary scan asks for, NOT a general O(log n)
+  /// random access.
+  [[nodiscard]] const_iterator iterator_at(std::size_t idx) const {
+    TOMMY_EXPECTS(idx <= size_);
+    std::size_t chunk = 0;
+    while (chunk < chunks_.size() && idx >= chunks_[chunk]->items.size()) {
+      idx -= chunks_[chunk]->items.size();
+      ++chunk;
+    }
+    return const_iterator(this, chunk, idx);
+  }
+
+  [[nodiscard]] const T& front() const {
+    TOMMY_EXPECTS(size_ > 0);
+    return chunks_.front()->items.front();
+  }
+
+  /// Ordered insert: O(log n) comparisons + one bounded in-chunk move.
+  void insert(T value) {
+    if (chunks_.empty()) {
+      chunks_.push_back(make_chunk());
+      chunks_.front()->items.push_back(std::move(value));
+      size_ = 1;
+      return;
+    }
+    // First chunk whose back key is >= value owns the insert position;
+    // a value beyond every back key appends to the last chunk.
+    std::size_t lo = 0;
+    std::size_t hi = chunks_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (less_(chunks_[mid]->items.back(), value)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == chunks_.size()) --lo;
+    auto& items = chunks_[lo]->items;
+    const auto pos = std::lower_bound(items.begin(), items.end(), value, less_);
+    items.insert(pos, std::move(value));
+    ++size_;
+    if (items.size() > kChunkCapacity) split(lo);
+  }
+
+  /// Drops the first `k` elements: whole leading chunks in O(1) each, plus
+  /// one bounded partial-chunk erase.
+  void pop_front(std::size_t k) {
+    TOMMY_EXPECTS(k <= size_);
+    size_ -= k;
+    while (k > 0 && k >= chunks_.front()->items.size()) {
+      k -= chunks_.front()->items.size();
+      chunks_.pop_front();
+    }
+    if (k > 0) {
+      auto& items = chunks_.front()->items;
+      items.erase(items.begin(), items.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
+
+  void clear() {
+    chunks_.clear();
+    size_ = 0;
+  }
+
+  /// Rebuilds from an already-sorted sequence (epoch refresh: extract,
+  /// re-key, std::sort, assign). Chunks are filled to the post-split size
+  /// so the rebuild does not trigger an immediate cascade of splits.
+  void assign_sorted(std::vector<T> items) {
+    clear();
+    size_ = items.size();
+    constexpr std::size_t kFill = kChunkCapacity / 2;
+    for (std::size_t i = 0; i < items.size(); i += kFill) {
+      const std::size_t e = std::min(items.size(), i + kFill);
+      auto chunk = make_chunk();
+      chunk->items.assign(std::make_move_iterator(items.begin() +
+                                                  static_cast<std::ptrdiff_t>(i)),
+                          std::make_move_iterator(items.begin() +
+                                                  static_cast<std::ptrdiff_t>(e)));
+      chunks_.push_back(std::move(chunk));
+    }
+  }
+
+  /// Moves every element out in order, leaving the buffer empty.
+  [[nodiscard]] std::vector<T> extract_all() {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (auto& chunk : chunks_) {
+      for (T& item : chunk->items) out.push_back(std::move(item));
+    }
+    clear();
+    return out;
+  }
+
+ private:
+  struct Chunk {
+    std::vector<T> items;
+  };
+
+  [[nodiscard]] static std::unique_ptr<Chunk> make_chunk() {
+    auto chunk = std::make_unique<Chunk>();
+    // +1: an insert may momentarily hold capacity+1 elements before the
+    // split; reserving it keeps every in-chunk insert reallocation-free.
+    chunk->items.reserve(kChunkCapacity + 1);
+    return chunk;
+  }
+
+  void split(std::size_t ci) {
+    auto& items = chunks_[ci]->items;
+    auto right = make_chunk();
+    const std::size_t half = items.size() / 2;
+    right->items.assign(
+        std::make_move_iterator(items.begin() +
+                                static_cast<std::ptrdiff_t>(half)),
+        std::make_move_iterator(items.end()));
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(half), items.end());
+    chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(ci) + 1,
+                   std::move(right));
+  }
+
+  Less less_;
+  // deque, not vector: pop_front of a fully-drained leading chunk is O(1)
+  // while chunk-level binary search keeps random access.
+  std::deque<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_{0};
+};
+
+}  // namespace tommy::core

@@ -69,6 +69,7 @@ OnlineSequencer::OnlineSequencer(std::shared_ptr<const PrecedingEngine> engine,
 }
 
 void OnlineSequencer::init_expected_clients() {
+  ref_generation_ = registry_.generation();
   TOMMY_EXPECTS(config_.threshold > 0.5 && config_.threshold < 1.0);
   TOMMY_EXPECTS(config_.p_safe > 0.5 && config_.p_safe < 1.0);
   TOMMY_EXPECTS(!expected_clients_.empty());
@@ -315,7 +316,15 @@ void OnlineSequencer::refresh_entry(Buffered& entry) const {
 }
 
 void OnlineSequencer::maybe_reprime() {
-  if (config_.reference_mode) return;
+  if (config_.reference_mode) {
+    // Mirror of the fast path's refresh boundary: a registry re-announce
+    // re-keys every buffered entry, so restore (corrected, id) order
+    // before any insert or closure computation reads the buffer. Both
+    // modes therefore re-sort at the first entry-point call after an
+    // announce and stay bit-identical across it.
+    if (registry_.generation() != ref_generation_) resort_reference_buffer();
+    return;
+  }
   if (pinned_) return;  // epoch-pinned: announces wait for rebind_engine
   if (engine_->fast_ready(config_.threshold, config_.p_safe)) return;
   engine_->prime(config_.threshold, config_.p_safe);
@@ -323,14 +332,17 @@ void OnlineSequencer::maybe_reprime() {
 }
 
 void OnlineSequencer::refresh_epoch_state() {
-  // Distributions changed under us: refresh every cached constant (buffer
-  // order is preserved — exactly like the naive path, which re-evaluates
-  // probabilities per query but never re-sorts what it already buffered).
-  // The refreshed corrected stamps may no longer be monotone in the
-  // stored order, which disables the windowed early exits until order is
-  // restored (see header). Sessions refresh themselves lazily off the
-  // generation counter.
-  for (Buffered& entry : buffer_) refresh_entry(entry);
+  // Distributions changed under us: refresh every cached constant and
+  // rebuild the buffer in (corrected, id) order under the fresh keys —
+  // one O(n log n) sort at the announce boundary buys back the sorted
+  // invariant every windowed early exit depends on (the former
+  // leave-it-unsorted behaviour disabled those exits for the rest of the
+  // epoch). Sessions refresh themselves lazily off the generation
+  // counter.
+  std::vector<Buffered> entries = fast_buffer_.extract_all();
+  for (Buffered& entry : entries) refresh_entry(entry);
+  std::sort(entries.begin(), entries.end(), BufferedLess{});
+  fast_buffer_.assign_sorted(std::move(entries));
   for (Buffered& entry : last_emitted_) refresh_entry(entry);
   // The frontier offsets moved too: recompute every heard client's cached
   // frontier and rebuild the gate heap over all heard clients (clients
@@ -342,15 +354,22 @@ void OnlineSequencer::refresh_epoch_state() {
         engine_->fast_completeness_frontier(state.cindex, state.high_water);
   }
   heap_rebuild();
-  buffer_sorted_ = std::is_sorted(
-      buffer_.begin(), buffer_.end(),
-      [](const Buffered& lhs, const Buffered& rhs) {
-        if (lhs.corrected != rhs.corrected) {
-          return lhs.corrected < rhs.corrected;
-        }
-        return lhs.msg.id < rhs.msg.id;
-      });
   head_valid_ = false;
+}
+
+void OnlineSequencer::resort_reference_buffer() {
+  ref_generation_ = registry_.generation();
+  // The naive comparator, applied to the whole buffer: both modes sort
+  // unique (corrected stamp, id) keys with std::sort, and the equivalence
+  // tests prove corrected_stamp == the fast path's cached key bitwise, so
+  // the resulting permutations are identical.
+  std::sort(buffer_.begin(), buffer_.end(),
+            [this](const Buffered& lhs, const Buffered& rhs) {
+              const TimePoint lk = engine_->corrected_stamp(lhs.msg);
+              const TimePoint rk = engine_->corrected_stamp(rhs.msg);
+              if (lk != rk) return lk < rk;
+              return lhs.msg.id < rhs.msg.id;
+            });
 }
 
 void OnlineSequencer::rebind_engine(
@@ -370,7 +389,12 @@ void OnlineSequencer::rebind_engine(
   engine_ptr_ = std::move(engine);
   engine_ = engine_ptr_.get();
   for (ClientId client : new_clients) register_client(client);
-  if (config_.reference_mode) return;  // per-query evaluation: no caches
+  if (config_.reference_mode) {
+    // Per-query evaluation leaves no cached constants, but the buffer's
+    // stored order is still a cache of the old keys — restore it.
+    resort_reference_buffer();
+    return;
+  }
   refresh_epoch_state();
 }
 
@@ -436,74 +460,78 @@ void OnlineSequencer::ingest(Buffered entry) {
 }
 
 void OnlineSequencer::insert_fast(Buffered entry) {
-  const auto pos = std::lower_bound(
-      buffer_.begin(), buffer_.end(), entry,
-      [](const Buffered& lhs, const Buffered& rhs) {
-        if (lhs.corrected != rhs.corrected) {
-          return lhs.corrected < rhs.corrected;
-        }
-        return lhs.msg.id < rhs.msg.id;
-      });
-  const auto idx = static_cast<std::size_t>(pos - buffer_.begin());
-
   if (head_valid_) {
-    if (idx < head_size_) {
-      // Landed inside the head batch: positions (and possibly the cut)
-      // moved.
+    const bool inside_head =
+        entry.corrected < head_last_corrected_ ||
+        (entry.corrected == head_last_corrected_ &&
+         entry.msg.id <= head_last_id_);
+    if (inside_head) {
+      // Lands at or before the last head row: positions (and possibly
+      // the cut) moved.
       head_valid_ = false;
     } else {
       // Beyond the head. Inserts can only add uncertain pairs, never
       // remove them, so earlier (blocked) cuts stay blocked and the cut at
       // head_size_ survives iff the new entry is confidently after every
       // head row. Check exactly, nearest row first; once the gap exceeds
-      // the global maximum critical gap no farther row can be uncertain —
-      // an early exit that is only valid while the buffer is sorted.
-      for (std::size_t i = head_size_; i-- > 0;) {
-        const double diff = entry.corrected - buffer_[i].corrected;
-        if (buffer_sorted_ && diff > engine_->fast_global_max_gap()) break;
-        if (!(diff >
-              engine_->fast_critical_gap(buffer_[i].cindex, entry.cindex))) {
+      // the global maximum critical gap no farther row can be uncertain.
+      auto it = fast_buffer_.iterator_at(head_size_);
+      const auto begin = fast_buffer_.begin();
+      while (it != begin) {
+        --it;
+        const double diff = entry.corrected - it->corrected;
+        if (diff > engine_->fast_global_max_gap()) break;
+        if (!(diff > engine_->fast_critical_gap(it->cindex, entry.cindex))) {
           head_valid_ = false;
           break;
         }
       }
     }
   }
-  buffer_.insert(pos, std::move(entry));
+  fast_buffer_.insert(std::move(entry));
 }
 
 void OnlineSequencer::recompute_head() const {
-  TOMMY_ASSERT(!buffer_.empty());
+  TOMMY_ASSERT(!fast_buffer_.empty());
   // Closure rule (see BatchRule::kClosure): the head batch ends at the
   // first position e such that no uncertain pair (i < e <= j) crosses it.
   // "reach" tracks the furthest uncertain partner of any absorbed row; any
   // candidate boundary at or before reach is blocked, so we jump past it.
   // A row's uncertain partners all lie within its maximum critical gap
   // (diff > Ḡ_i ⟹ diff > g*_{ij} ∀j), so each row's scan stops at its
-  // uncertainty window instead of running to the end of the buffer —
-  // valid only while the buffer is sorted by corrected stamp; after a
-  // mid-run re-announce broke the order the scan degrades to the full
-  // sweep (still constant work per pair) until the buffer drains.
-  const std::size_t n = buffer_.size();
+  // uncertainty window instead of running to the end of the buffer (the
+  // buffer is always sorted by corrected stamp: epoch refreshes rebuild
+  // it in order). The walk is purely sequential — absorbed advances one
+  // row at a time and each inner scan starts just past it — so
+  // bidirectional iterators suffice; indices are tracked only for the
+  // reach/cut arithmetic.
+  const std::size_t n = fast_buffer_.size();
   std::size_t reach = 0;
   std::size_t absorbed = 0;
   std::size_t e = 1;
   TimePoint safe(-std::numeric_limits<double>::infinity());
+  auto row_it = fast_buffer_.begin();
   while (true) {
-    for (; absorbed < e; ++absorbed) {
-      const Buffered& row = buffer_[absorbed];
+    for (; absorbed < e; ++absorbed, ++row_it) {
+      const Buffered& row = *row_it;
       safe = std::max(safe, row.safe_time);
+      // The loop exits with absorbed == e, so the last row written here
+      // is the head's final row — exactly the key insert_fast compares
+      // against.
+      head_last_corrected_ = row.corrected;
+      head_last_id_ = row.msg.id;
       const double window = engine_->fast_max_gap_from(row.cindex);
-      for (std::size_t j = absorbed + 1; j < n; ++j) {
-        const double diff = buffer_[j].corrected - row.corrected;
-        if (buffer_sorted_ && diff > window) break;
-        if (!(diff >
-              engine_->fast_critical_gap(row.cindex, buffer_[j].cindex))) {
+      auto jt = row_it;
+      ++jt;
+      for (std::size_t j = absorbed + 1; j < n; ++j, ++jt) {
+        const double diff = jt->corrected - row.corrected;
+        if (diff > window) break;
+        if (!(diff > engine_->fast_critical_gap(row.cindex, jt->cindex))) {
           reach = std::max(reach, j);
         }
       }
     }
-    if (reach < e) break;  // clean cut: head batch is buffer_[0..e)
+    if (reach < e) break;  // clean cut: head batch is the first e rows
     e = reach + 1;
   }
   head_size_ = e;
@@ -695,15 +723,23 @@ EmissionRecord OnlineSequencer::take_head(std::size_t size, TimePoint t_b,
   record.batch.messages.reserve(size);
   last_emitted_.clear();
   last_emitted_.reserve(size);
-  for (std::size_t k = 0; k < size; ++k) {
-    record.batch.messages.push_back(buffer_[k].msg);
-    last_emitted_.push_back(buffer_[k]);
+  if (config_.reference_mode) {
+    for (std::size_t k = 0; k < size; ++k) {
+      record.batch.messages.push_back(buffer_[k].msg);
+      last_emitted_.push_back(buffer_[k]);
+    }
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(size));
+  } else {
+    auto it = fast_buffer_.begin();
+    for (std::size_t k = 0; k < size; ++k, ++it) {
+      record.batch.messages.push_back(it->msg);
+      last_emitted_.push_back(*it);
+    }
+    fast_buffer_.pop_front(size);
   }
   record.emitted_at = now;
   record.safe_time = t_b;
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(size));
-  if (buffer_.empty()) buffer_sorted_ = true;  // vacuously restored
   head_valid_ = false;
   return record;
 }
@@ -712,7 +748,7 @@ std::size_t OnlineSequencer::drain(TimePoint now, bool ignore_gates,
                                    EmissionSink& sink,
                                    std::uint32_t shard_tag) {
   std::size_t emitted = 0;
-  while (!buffer_.empty()) {
+  while (pending_count() > 0) {
     std::size_t size;
     TimePoint t_b;
     if (config_.reference_mode) {
@@ -765,7 +801,7 @@ std::size_t OnlineSequencer::flush(TimePoint now, EmissionSink& sink,
 }
 
 TimePoint OnlineSequencer::next_safe_time() const {
-  if (buffer_.empty()) return TimePoint::infinite_future();
+  if (pending_count() == 0) return TimePoint::infinite_future();
   if (config_.reference_mode) {
     return safe_time_for_naive(head_batch_size_naive());
   }

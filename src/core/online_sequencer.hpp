@@ -52,14 +52,22 @@
 // The cached pair survives across inserts because the closure is monotone
 // under insertion beyond the head: new entries can never *unblock* an
 // earlier cut (uncertain pairs only accumulate), so an insert invalidates
-// the pair only when it (a) lands inside the current head batch, or
-// (b) forms an uncertain pair with some head row — detected exactly, by
-// scanning head rows nearest-first and stopping once the corrected-stamp
-// gap exceeds the engine's global maximum critical gap. Recomputation
-// itself is windowed the same way (a row's uncertain partners all lie
-// within its max critical gap), so a poll costs O(batch + uncertainty
-// window) instead of the naive O(n²) sweep, and the deque buffer makes
-// head emission O(batch) instead of an O(n) front erase.
+// the pair only when it (a) lands inside the current head batch — detected
+// by one key compare against the cached last-head-row key — or (b) forms
+// an uncertain pair with some head row — detected exactly, by scanning
+// head rows nearest-first and stopping once the corrected-stamp gap
+// exceeds the engine's global maximum critical gap. Recomputation itself
+// is windowed the same way (a row's uncertain partners all lie within its
+// max critical gap), so a poll costs O(batch + uncertainty window) instead
+// of the naive O(n²) sweep.
+//
+// The pending buffer itself is a HoldbackBuffer — a counted chunked
+// ordered sequence with O(log n)-comparison, bounded-move inserts — so a
+// deep backlog (the adversarial regime, where uncertain messages pile up
+// behind a closed gate) no longer degrades every insert to O(backlog)
+// element moves the way the former sorted deque did. Head emission pops a
+// prefix (whole chunks in O(1)); the insert-time head-boundary check needs
+// no random access (one key compare + an O(head/B) prefix walk).
 //
 // The completeness gate (Q2) is a min-frontier heap rather than a scan:
 // every heard, gate-active client keeps one node keyed by its cached
@@ -87,6 +95,7 @@
 #include <vector>
 
 #include "core/batching.hpp"
+#include "core/holdback_buffer.hpp"
 #include "core/preceding.hpp"
 #include "core/sequencer.hpp"
 
@@ -265,7 +274,9 @@ class OnlineSequencer {
   /// callers can schedule the next poll at this instant.
   [[nodiscard]] TimePoint next_safe_time() const;
 
-  [[nodiscard]] std::size_t pending_count() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t pending_count() const {
+    return config_.reference_mode ? buffer_.size() : fast_buffer_.size();
+  }
   [[nodiscard]] Rank next_rank() const { return next_rank_; }
 
   /// Messages that arrived after a batch they confidently belonged in (or
@@ -316,6 +327,18 @@ class OnlineSequencer {
     std::uint32_t cindex{0};
   };
 
+  /// The buffer's strict weak order: (corrected stamp, message id). Ids
+  /// are unique per stream, so keys are unique and every sort/insert
+  /// order is deterministic.
+  struct BufferedLess {
+    bool operator()(const Buffered& lhs, const Buffered& rhs) const {
+      if (lhs.corrected != rhs.corrected) {
+        return lhs.corrected < rhs.corrected;
+      }
+      return lhs.msg.id < rhs.msg.id;
+    }
+  };
+
   struct ClientState {
     ClientId id;
     std::uint32_t cindex{0};
@@ -363,20 +386,25 @@ class OnlineSequencer {
   /// Violation accounting + ordered buffer insert (both modes).
   void ingest(Buffered entry);
   void refresh_entry(Buffered& entry) const;
-  /// Re-primes the engine and refreshes cached entry constants after a
-  /// registry re-announce (fast mode; takes effect at the next ingest or
+  /// Fast mode: re-primes the engine and refreshes cached entry constants
+  /// after a registry re-announce (takes effect at the next ingest or
   /// poll). A re-announce can reorder corrected stamps relative to the
-  /// stored buffer order (which is preserved, exactly as in the naive
-  /// path, which never re-sorts either); `buffer_sorted_` records
-  /// whether the sortedness invariant still holds — the windowed early
-  /// exits in the scans below are only valid while it does, so they fall
-  /// back to full (still constant-per-pair) scans until the buffer
-  /// drains or a later refresh restores order.
+  /// stored buffer order, so the refresh re-sorts the buffer under the
+  /// fresh keys — the sorted invariant (and with it every windowed early
+  /// exit) holds unconditionally. Reference mode mirrors the same
+  /// boundary: a registry generation change triggers
+  /// resort_reference_buffer(), so both modes re-key and re-order at the
+  /// first entry-point call after an announce and stay bit-identical.
   void maybe_reprime();
   /// The shared tail of maybe_reprime() and rebind_engine(): refreshes
-  /// every cached constant derived from the engine tables (buffer,
-  /// emitted set, client frontiers, gate heap, sortedness, head cache).
+  /// every cached constant derived from the engine tables (buffer —
+  /// re-keyed, re-sorted and rebuilt — emitted set, client frontiers,
+  /// gate heap, head cache).
   void refresh_epoch_state();
+  /// Reference-mode analogue of refresh_epoch_state's buffer rebuild:
+  /// re-sorts the deque under freshly evaluated corrected stamps and
+  /// records the registry generation it is sorted for.
+  void resort_reference_buffer();
 
   // Fast path.
   void insert_fast(Buffered entry);
@@ -434,7 +462,15 @@ class OnlineSequencer {
   /// wrappers; parallel to clients_.
   std::vector<Session> session_table_;
 
+  /// Reference-mode pending buffer: the retained naive sorted sequence
+  /// (per-comparison corrected-stamp inserts). Unused in fast mode.
   std::deque<Buffered> buffer_;  // sorted by (corrected stamp, id)
+  /// Fast-mode pending buffer: chunked ordered structure, O(log n)
+  /// comparisons + bounded moves per insert. Unused in reference mode.
+  HoldbackBuffer<Buffered, BufferedLess> fast_buffer_;
+  /// Registry generation buffer_ is currently sorted for (reference
+  /// mode): maybe_reprime re-sorts when it trails the live generation.
+  std::uint64_t ref_generation_{0};
   Rank next_rank_{0};
   std::vector<Buffered> last_emitted_;  // for violation detection
   std::size_t fairness_violations_{0};
@@ -458,12 +494,15 @@ class OnlineSequencer {
       TimePoint(-std::numeric_limits<double>::infinity())};
 
   // Cached head-batch closure state (fast path); see file header.
+  // head_last_corrected_/head_last_id_ cache the (corrected, id) key of
+  // the LAST head row, so the insert-time "did it land inside the head?"
+  // test is one key compare instead of a positional rank computation.
   mutable bool head_valid_{false};
   mutable std::size_t head_size_{0};
   mutable TimePoint head_safe_{
       TimePoint(-std::numeric_limits<double>::infinity())};
-  // True while buffer_ is sorted by (corrected, id); see maybe_reprime().
-  bool buffer_sorted_{true};
+  mutable double head_last_corrected_{0.0};
+  mutable MessageId head_last_id_{};
 };
 
 }  // namespace tommy::core

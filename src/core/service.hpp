@@ -483,6 +483,8 @@ class FairOrderingService {
   /// the emission queues.
   std::size_t drain_threaded(TimePoint now, bool flush_all,
                              EmissionSink& sink);
+  /// Pushes one emitted record into the kGlobalMerge holdback heap.
+  void hold_back(EmissionRecord&& record, std::uint32_t shard);
   /// Releases held-back records (kGlobalMerge) whose safe_time has been
   /// passed by `min_next_safe`; everything when `release_all`.
   std::size_t release_merged(TimePoint min_next_safe, bool release_all,
@@ -530,7 +532,10 @@ class FairOrderingService {
   std::atomic<std::uint64_t> epoch_{0};
   Reconfig reconfig_;
   /// kGlobalMerge holdback: emitted records not yet released, with their
-  /// shard tags. Kept sorted by (safe_time, shard, rank) at release.
+  /// shard tags, as a binary min-heap on (safe_time, shard, rank) — a
+  /// release round pops the released prefix in O(released · log H)
+  /// instead of re-sorting the whole holdback. (shard, rank) is unique,
+  /// so pop order equals the fully-sorted order.
   std::vector<std::pair<EmissionRecord, std::uint32_t>> holdback_;
   /// Threaded-mode state (workers, rings, mailboxes); null in sequential
   /// mode.

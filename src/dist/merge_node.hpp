@@ -249,8 +249,12 @@ class MergeNode {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Peer> peers_;
-  /// Held-back records, re-sorted by (safe_time, node, rank) at each
-  /// release — exactly release_merged's holdback.
+  /// Held-back records: a binary min-heap on (safe_time, node, rank)
+  /// (std::push_heap/pop_heap with a greater-comparator), so a release
+  /// round pops the released prefix in O(released · log H) instead of
+  /// stable_sorting the entire holdback every round. (node, rank) is
+  /// unique — each peer's accepted ranks are strictly increasing — so
+  /// heap pop order is exactly the old full-sort order.
   std::vector<net::OrderedBatch> holdback_;
   std::vector<net::OrderedBatch> released_;
 

@@ -1,0 +1,96 @@
+// The log-linear histogram's contract: bounded relative quantization
+// error at every magnitude (the property that makes p99/p999 regression
+// gates meaningful), exact percentiles against a sorted oracle in the
+// exact low range, and merge/reset semantics used when per-iteration
+// bench histograms are folded into one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/latency_histogram.hpp"
+
+namespace tommy {
+namespace {
+
+TEST(LatencyHistogram, ExactInLowRangeMatchesSortedOracle) {
+  LatencyHistogram h;
+  std::vector<std::uint64_t> oracle;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng() % 100;  // within exact-bucket range
+    h.record_ns(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (const double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::size_t rank = static_cast<std::size_t>(std::max(
+        1.0, p * static_cast<double>(oracle.size()) + 0.5));
+    EXPECT_EQ(h.percentile_ns(p), oracle[std::min(rank, oracle.size()) - 1])
+        << "p=" << p;
+  }
+  EXPECT_EQ(h.count(), oracle.size());
+  EXPECT_EQ(h.max_ns(), oracle.back());
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedAtEveryMagnitude) {
+  // One sample per histogram: the reported p100 must sit within one
+  // sub-bucket (2^-6 ≈ 1.6%) of the true value, from ns to seconds.
+  for (std::uint64_t v = 1; v < (std::uint64_t{1} << 40); v = v * 3 + 7) {
+    LatencyHistogram h;
+    h.record_ns(v);
+    const double got = static_cast<double>(h.percentile_ns(1.0));
+    const double err =
+        std::abs(got - static_cast<double>(v)) / static_cast<double>(v);
+    EXPECT_LE(err, 1.0 / 64.0) << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndSecondsConvert) {
+  LatencyHistogram h;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    // Log-uniform spread over six decades.
+    const double exponent = 2.0 + 6.0 * (static_cast<double>(rng() % 1000) / 1000.0);
+    h.record(std::pow(10.0, exponent) * 1e-9);
+  }
+  std::uint64_t prev = 0;
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const std::uint64_t v = h.percentile_ns(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_EQ(h.percentile_seconds(p), static_cast<double>(v) * 1e-9);
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max_ns() + h.max_ns() / 64);
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingIntoOne) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    if (i % 2 == 0) {
+      a.record_ns(v);
+    } else {
+      b.record_ns(v);
+    }
+    combined.record_ns(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max_ns(), combined.max_ns());
+  for (const double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile_ns(p), combined.percentile_ns(p)) << "p=" << p;
+  }
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile_ns(0.99), 0u);
+}
+
+}  // namespace
+}  // namespace tommy

@@ -1,0 +1,220 @@
+// HoldbackBuffer is the sequencer's O(log n) pending structure; these
+// tests pin its ordered-sequence contract against a flat sorted-vector
+// oracle across the operations OnlineSequencer composes: ordered inserts
+// in adversarial arrival orders (ascending, descending, interleaved
+// bursts), prefix pops straddling chunk boundaries, prefix iterators,
+// bidirectional walks, and the extract/assign rebuild used at epoch
+// refresh. Sizes deliberately cross many chunk splits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/holdback_buffer.hpp"
+
+namespace tommy::core {
+namespace {
+
+struct Entry {
+  double key{0.0};
+  std::uint64_t id{0};
+};
+
+struct EntryLess {
+  bool operator()(const Entry& lhs, const Entry& rhs) const {
+    if (lhs.key != rhs.key) return lhs.key < rhs.key;
+    return lhs.id < rhs.id;
+  }
+};
+
+using Buffer = HoldbackBuffer<Entry, EntryLess>;
+
+std::vector<Entry> contents(const Buffer& buffer) {
+  std::vector<Entry> out;
+  for (const Entry& e : buffer) out.push_back(e);
+  return out;
+}
+
+void expect_matches(const Buffer& buffer, std::vector<Entry> oracle,
+                    const char* label) {
+  SCOPED_TRACE(label);
+  std::sort(oracle.begin(), oracle.end(), EntryLess{});
+  const std::vector<Entry> got = contents(buffer);
+  ASSERT_EQ(got.size(), oracle.size());
+  ASSERT_EQ(buffer.size(), oracle.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, oracle[i].key) << "index " << i;
+    EXPECT_EQ(got[i].id, oracle[i].id) << "index " << i;
+  }
+}
+
+TEST(HoldbackBuffer, InsertOrdersAcrossManyChunksAllArrivalOrders) {
+  constexpr std::size_t kCount = 4 * Buffer::kChunkCapacity + 37;
+  enum class Order { kAscending, kDescending, kShuffled, kInterleaved };
+  for (const Order order : {Order::kAscending, Order::kDescending,
+                            Order::kShuffled, Order::kInterleaved}) {
+    std::vector<Entry> items;
+    items.reserve(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      items.push_back(Entry{static_cast<double>(i % 97), i});
+    }
+    switch (order) {
+      case Order::kAscending:
+        std::sort(items.begin(), items.end(), EntryLess{});
+        break;
+      case Order::kDescending:
+        std::sort(items.begin(), items.end(), EntryLess{});
+        std::reverse(items.begin(), items.end());
+        break;
+      case Order::kShuffled: {
+        std::mt19937_64 rng(7);
+        std::shuffle(items.begin(), items.end(), rng);
+        break;
+      }
+      case Order::kInterleaved:
+        // Alternate bursts from the low and high end of the key space —
+        // the merge-of-streams arrival pattern.
+        std::sort(items.begin(), items.end(), EntryLess{});
+        {
+          std::vector<Entry> woven;
+          woven.reserve(items.size());
+          std::size_t lo = 0;
+          std::size_t hi = items.size();
+          while (lo < hi) {
+            for (std::size_t k = 0; k < 8 && lo < hi; ++k) {
+              woven.push_back(items[lo++]);
+            }
+            for (std::size_t k = 0; k < 8 && lo < hi; ++k) {
+              woven.push_back(items[--hi]);
+            }
+          }
+          items = std::move(woven);
+        }
+        break;
+    }
+    Buffer buffer;
+    for (const Entry& e : items) buffer.insert(e);
+    expect_matches(buffer, items, "arrival order variant");
+  }
+}
+
+TEST(HoldbackBuffer, PopFrontStraddlesChunkBoundaries) {
+  Buffer buffer;
+  std::vector<Entry> oracle;
+  constexpr std::size_t kCount = 3 * Buffer::kChunkCapacity + 11;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const Entry e{static_cast<double>((i * 31) % 101), i};
+    buffer.insert(e);
+    oracle.push_back(e);
+  }
+  std::sort(oracle.begin(), oracle.end(), EntryLess{});
+  // Pop in strides chosen to land mid-chunk, at chunk edges, and across
+  // several whole chunks at once.
+  const std::size_t strides[] = {1, Buffer::kChunkCapacity / 2 - 1,
+                                 Buffer::kChunkCapacity,
+                                 2 * Buffer::kChunkCapacity + 3};
+  std::size_t si = 0;
+  while (!buffer.empty()) {
+    const std::size_t k = std::min(strides[si++ % 4], buffer.size());
+    EXPECT_EQ(buffer.front().id, oracle.front().id);
+    buffer.pop_front(k);
+    oracle.erase(oracle.begin(), oracle.begin() + static_cast<long>(k));
+    ASSERT_EQ(buffer.size(), oracle.size());
+    if (!oracle.empty()) {
+      EXPECT_EQ(buffer.front().key, oracle.front().key);
+      EXPECT_EQ(buffer.front().id, oracle.front().id);
+    }
+  }
+  EXPECT_TRUE(buffer.empty());
+  // A drained buffer accepts fresh inserts.
+  buffer.insert(Entry{1.0, 1});
+  buffer.insert(Entry{0.5, 2});
+  EXPECT_EQ(buffer.front().id, 2u);
+}
+
+TEST(HoldbackBuffer, IteratorAtAndBidirectionalWalk) {
+  Buffer buffer;
+  constexpr std::size_t kCount = 2 * Buffer::kChunkCapacity + 53;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    buffer.insert(Entry{static_cast<double>(i), i});
+  }
+  // iterator_at agrees with advancing begin() at every prefix index.
+  for (const std::size_t idx :
+       {std::size_t{0}, std::size_t{1}, Buffer::kChunkCapacity / 2 - 1,
+        Buffer::kChunkCapacity / 2, Buffer::kChunkCapacity, kCount - 1,
+        kCount}) {
+    auto walked = buffer.begin();
+    for (std::size_t i = 0; i < idx; ++i) ++walked;
+    EXPECT_TRUE(buffer.iterator_at(idx) == walked) << "index " << idx;
+  }
+  // A full backward walk from end() visits everything in reverse.
+  auto it = buffer.end();
+  std::size_t expect = kCount;
+  while (it != buffer.begin()) {
+    --it;
+    --expect;
+    EXPECT_EQ(it->id, expect);
+  }
+  EXPECT_EQ(expect, 0u);
+}
+
+TEST(HoldbackBuffer, ExtractAssignRebuildRoundTrip) {
+  Buffer buffer;
+  constexpr std::size_t kCount = 3 * Buffer::kChunkCapacity + 7;
+  std::mt19937_64 rng(11);
+  std::vector<Entry> oracle;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const Entry e{static_cast<double>(rng() % 1000), i};
+    buffer.insert(e);
+    oracle.push_back(e);
+  }
+  // Epoch refresh: extract in order, re-key, sort, rebuild.
+  std::vector<Entry> extracted = buffer.extract_all();
+  EXPECT_TRUE(buffer.empty());
+  ASSERT_EQ(extracted.size(), kCount);
+  EXPECT_TRUE(std::is_sorted(extracted.begin(), extracted.end(), EntryLess{}));
+  for (Entry& e : extracted) e.key = -e.key;  // drastic re-key: reverses
+  std::sort(extracted.begin(), extracted.end(), EntryLess{});
+  buffer.assign_sorted(std::move(extracted));
+  for (Entry& e : oracle) e.key = -e.key;
+  expect_matches(buffer, oracle, "after rebuild");
+  // The rebuilt buffer keeps absorbing ordered inserts correctly.
+  buffer.insert(Entry{-1e9, 999999});
+  EXPECT_EQ(buffer.front().id, 999999u);
+  EXPECT_EQ(buffer.size(), kCount + 1);
+}
+
+TEST(HoldbackBuffer, RandomizedMixedOpsMatchOracle) {
+  // Interleaved insert / pop_front / iterate, the composition the
+  // sequencer actually performs, against the flat oracle.
+  std::mt19937_64 rng(23);
+  Buffer buffer;
+  std::vector<Entry> oracle;
+  std::uint64_t next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto op = rng() % 10;
+    if (op < 7 || oracle.empty()) {
+      const Entry e{static_cast<double>(rng() % 500), next_id++};
+      buffer.insert(e);
+      oracle.insert(
+          std::upper_bound(oracle.begin(), oracle.end(), e, EntryLess{}), e);
+    } else {
+      const std::size_t k = 1 + rng() % oracle.size();
+      buffer.pop_front(k);
+      oracle.erase(oracle.begin(), oracle.begin() + static_cast<long>(k));
+    }
+    ASSERT_EQ(buffer.size(), oracle.size());
+    if (round % 97 == 0) {
+      const std::vector<Entry> got = contents(buffer);
+      ASSERT_EQ(got.size(), oracle.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].id, oracle[i].id) << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tommy::core

@@ -361,12 +361,13 @@ TEST(OnlineEquivalence, ViolationInducingLowPSafe) {
 
 TEST(OnlineEquivalence, MidRunReannounceRefreshesConstants) {
   // Re-announcing a distribution mid-run must take effect in the fast
-  // path exactly as it does in the reference path (constants refresh at
-  // the next ingest/poll; buffered order is preserved in both). Two
-  // regimes: a mild re-learn that keeps the buffer order intact, and a
-  // drastic mean shift (≫ every critical gap) landing on a deep backlog,
-  // which un-sorts the buffered corrected stamps and forces the fast
-  // path off its windowed scans.
+  // path exactly as it does in the reference path: both modes re-key and
+  // re-sort their buffer at the first entry-point call after the
+  // announce, so the sorted invariant (and the windowed scans it
+  // licenses) holds across the boundary. Two regimes: a mild re-learn
+  // whose re-sort is a no-op, and a drastic mean shift (≫ every critical
+  // gap) landing on a deep backlog, where the re-sort genuinely reorders
+  // the pending buffer.
   struct Variant {
     double new_mean;
     double new_sigma;

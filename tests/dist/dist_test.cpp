@@ -5,13 +5,16 @@
 // multinode_soak_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <random>
 #include <thread>
+#include <vector>
 
 #include "dist/merge_node.hpp"
 #include "dist/merge_subscriber.hpp"
@@ -224,6 +227,78 @@ TEST(MergeNode, ReleasesInSafeTimeNodeRankOrder) {
   EXPECT_EQ(released[2].rank, 1u);
   EXPECT_EQ(released[3].node, 0u);
   EXPECT_EQ(released[3].rank, 1u);
+}
+
+TEST(MergeNode, LargeHoldbackReleasesInExactSortedOrderAcrossRounds) {
+  // The holdback is a binary min-heap on (safe_time, node, rank), not a
+  // sorted sequence: each release round must still drain in the exact
+  // order the old full stable_sort produced, including across rounds
+  // that each take only a slice of a deep pre-seeded holdback.
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::size_t kPerNode = 700;
+  MergeHarness h(kNodes);
+
+  struct Key {
+    double safe;
+    std::uint32_t node;
+    Rank rank;
+  };
+  std::vector<Key> oracle;
+  std::mt19937_64 rng(41);
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    double safe = 1.0;
+    for (Rank rank = 0; rank < kPerNode; ++rank) {
+      // Frequent zero increments manufacture safe-time ties within a
+      // node (rank breaks them) and across nodes (node index breaks
+      // them) — the cases where heap order could diverge from the
+      // stable sort if keys were not unique.
+      safe += 0.25 * static_cast<double>(rng() % 4);
+      h.send(node, encode_frame(WireMessage(make_batch(node, 0, rank, safe))));
+      oracle.push_back(Key{safe, node, rank});
+    }
+  }
+  auto announce_and_wait = [&](std::uint32_t node, double frontier) {
+    const std::uint64_t target = h.merge.peer(node).announces + 1;
+    h.send(node, announce_of(node, 0, frontier));
+    ASSERT_TRUE(h.merge.wait_for_announces(node, target, 5000));
+  };
+  for (std::uint32_t node = 0; node < kNodes; ++node) {
+    announce_and_wait(node, 0.5);  // barrier: all sends applied, gate shut
+  }
+  ASSERT_EQ(h.merge.held_count(), oracle.size());
+
+  // Partial rounds against an advancing gate, then a flush of the rest.
+  // Gates at quarters of the realized safe-time span keep every round a
+  // strict slice regardless of what the rng produced.
+  double max_safe = 0.0;
+  for (const Key& k : oracle) max_safe = std::max(max_safe, k.safe);
+  std::size_t released_total = 0;
+  for (const double gate :
+       {0.25 * max_safe, 0.5 * max_safe, 0.75 * max_safe}) {
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      announce_and_wait(node, gate);
+    }
+    const std::size_t round = h.merge.release();
+    EXPECT_GT(round, 0u);
+    released_total += round;
+  }
+  EXPECT_LT(released_total, oracle.size());  // rounds were genuinely partial
+  released_total += h.merge.flush();
+  ASSERT_EQ(released_total, oracle.size());
+
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const Key& lhs, const Key& rhs) {
+                     if (lhs.safe != rhs.safe) return lhs.safe < rhs.safe;
+                     if (lhs.node != rhs.node) return lhs.node < rhs.node;
+                     return lhs.rank < rhs.rank;
+                   });
+  const auto released = h.merge.released();
+  ASSERT_EQ(released.size(), oracle.size());
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    EXPECT_EQ(released[i].safe_time.seconds(), oracle[i].safe) << "row " << i;
+    EXPECT_EQ(released[i].node, oracle[i].node) << "row " << i;
+    EXPECT_EQ(released[i].rank, oracle[i].rank) << "row " << i;
+  }
 }
 
 TEST(MergeNode, StrictGateHoldsRecordAtExactFrontier) {
